@@ -1,0 +1,49 @@
+//! # airsched-analysis
+//!
+//! Experiment orchestration and statistics for the *Time-Constrained
+//! Service on Air* reproduction.
+//!
+//! * [`experiment`] — the paper's §5 evaluation as reusable sweeps:
+//!   [`experiment::ExperimentConfig`] embeds the Figure 4 defaults,
+//!   [`experiment::sweep_channels`] produces a Figure 5 sub-figure, and
+//!   [`experiment::one_fifth_summary`] quantifies the "1/5 of the channels
+//!   is almost enough" observation.
+//! * [`report`] — renders sweeps as the tables/series the paper plots.
+//! * [`stats`] — online moments, confidence intervals, quantiles.
+//! * [`table`] — text/CSV/markdown table rendering.
+//!
+//! ```
+//! use airsched_analysis::experiment::{sweep_channels, ExperimentConfig};
+//! use airsched_analysis::report::sweep_table;
+//! use airsched_workload::distributions::GroupSizeDistribution;
+//! use airsched_workload::spec::WorkloadSpec;
+//!
+//! // A scaled-down Figure 5(d): uniform distribution, channels 1..=4.
+//! let config = ExperimentConfig {
+//!     spec: WorkloadSpec::new(60, 4, 4, 2)
+//!         .distribution(GroupSizeDistribution::Uniform),
+//!     requests: 1000,
+//!     ..ExperimentConfig::paper_defaults()
+//! };
+//! let sweep = sweep_channels(&config, 1..=4)?;
+//! println!("{}", sweep_table(&sweep).render());
+//! # Ok::<(), airsched_core::error::ScheduleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(clippy::all)]
+
+pub mod experiment;
+pub mod fairness;
+pub mod plot;
+pub mod report;
+pub mod stats;
+pub mod table;
+
+pub use experiment::{
+    channels_for_delay_budget, full_range, one_fifth_summary, replicated_sweep, sweep_channels,
+    ChannelSweep, ExperimentConfig, OneFifthSummary, ReplicatedPoint, SweepPoint,
+};
+pub use table::Table;

@@ -1,0 +1,238 @@
+//! Terminal (ASCII) charts for sweep curves.
+//!
+//! The paper presents Figure 5 as line charts; [`ascii_chart`] renders the
+//! same series in a terminal so the reproduction's shape is visible at a
+//! glance without leaving the shell. Supports a log10 y-axis, which the
+//! delay curves need (they span four orders of magnitude).
+
+use core::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series<'a> {
+    /// Legend label.
+    pub name: &'a str,
+    /// Plot glyph (one character).
+    pub glyph: char,
+    /// The data, any order; `y` must be finite.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders `series` into a `width x height` character grid with axis
+/// annotations and a legend.
+///
+/// With `log_y`, y values are plotted on a log10 scale; non-positive
+/// values are clamped to the smallest positive y in the data (delay curves
+/// legitimately reach zero).
+///
+/// # Panics
+///
+/// Panics if `width < 16`, `height < 4`, every series is empty, or any
+/// coordinate is not finite.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_analysis::plot::{ascii_chart, Series};
+///
+/// let chart = ascii_chart(
+///     &[Series {
+///         name: "PAMAD",
+///         glyph: '*',
+///         points: vec![(1.0, 100.0), (2.0, 10.0), (3.0, 1.0)],
+///     }],
+///     40,
+///     10,
+///     true,
+/// );
+/// assert!(chart.contains('*'));
+/// assert!(chart.contains("PAMAD"));
+/// ```
+#[must_use]
+pub fn ascii_chart(series: &[Series<'_>], width: usize, height: usize, log_y: bool) -> String {
+    assert!(width >= 16, "chart width must be at least 16");
+    assert!(height >= 4, "chart height must be at least 4");
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    assert!(!all.is_empty(), "nothing to plot");
+    assert!(
+        all.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+        "coordinates must be finite"
+    );
+
+    let (x_min, x_max) = min_max(all.iter().map(|p| p.0));
+    let y_floor = all
+        .iter()
+        .map(|p| p.1)
+        .filter(|y| *y > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let y_floor = if y_floor.is_finite() { y_floor } else { 1e-3 };
+    let ty = |y: f64| -> f64 {
+        if log_y {
+            y.max(y_floor).log10()
+        } else {
+            y
+        }
+    };
+    let (y_min, y_max) = min_max(all.iter().map(|p| ty(p.1)));
+    let x_span = (x_max - x_min).max(1e-12);
+    let y_span = (y_max - y_min).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((ty(y) - y_min) / y_span) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row; // top of the grid is the max
+            grid[row][col.min(width - 1)] = s.glyph;
+        }
+    }
+
+    let y_label = |row: usize| -> f64 {
+        let frac = (height - 1 - row) as f64 / (height - 1) as f64;
+        let v = y_min + frac * y_span;
+        if log_y {
+            10f64.powf(v)
+        } else {
+            v
+        }
+    };
+
+    let mut out = String::new();
+    for (row, cells) in grid.iter().enumerate() {
+        let label = if row == 0 || row == height - 1 || row == height / 2 {
+            format!("{:>9.2}", y_label(row))
+        } else {
+            " ".repeat(9)
+        };
+        let line: String = cells.iter().collect();
+        let _ = writeln!(out, "{label} |{line}");
+    }
+    let _ = writeln!(out, "{} +{}", " ".repeat(9), "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{}  {:<10.0}{:>width$.0}",
+        " ".repeat(9),
+        x_min,
+        x_max,
+        width = width - 10
+    );
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} {}", s.glyph, s.name))
+        .collect();
+    let _ = writeln!(out, "{}  {}", " ".repeat(9), legend.join("   "));
+    out
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series<'static>> {
+        vec![
+            Series {
+                name: "a",
+                glyph: '*',
+                points: vec![(1.0, 100.0), (5.0, 10.0), (10.0, 1.0)],
+            },
+            Series {
+                name: "b",
+                glyph: 'o',
+                points: vec![(1.0, 400.0), (5.0, 200.0), (10.0, 150.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_glyphs_and_legend() {
+        let chart = ascii_chart(&demo_series(), 40, 12, false);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("* a"));
+        assert!(chart.contains("o b"));
+        // Height rows + axis + x labels + legend.
+        assert_eq!(chart.lines().count(), 12 + 3);
+    }
+
+    #[test]
+    fn log_scale_spreads_small_values() {
+        // On a linear scale, 1 and 10 collapse near the bottom when the
+        // max is 10_000; on a log scale they occupy distinct rows.
+        let series = vec![Series {
+            name: "s",
+            glyph: '*',
+            points: vec![(0.0, 1.0), (1.0, 10.0), (2.0, 10_000.0)],
+        }];
+        let linear = ascii_chart(&series, 30, 10, false);
+        let log = ascii_chart(&series, 30, 10, true);
+        // Count only grid rows (they carry the " |" axis), not the legend.
+        let stars_rows = |chart: &str| -> usize {
+            chart
+                .lines()
+                .filter(|l| l.contains(" |") && l.contains('*'))
+                .count()
+        };
+        assert!(stars_rows(&log) >= stars_rows(&linear));
+        assert_eq!(stars_rows(&log), 3);
+    }
+
+    #[test]
+    fn zero_values_survive_log_scale() {
+        let series = vec![Series {
+            name: "s",
+            glyph: '*',
+            points: vec![(0.0, 0.0), (1.0, 5.0)],
+        }];
+        let chart = ascii_chart(&series, 20, 6, true);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn monotone_series_descends_visually() {
+        let series = vec![Series {
+            name: "s",
+            glyph: '*',
+            points: vec![(0.0, 100.0), (1.0, 50.0), (2.0, 10.0)],
+        }];
+        let chart = ascii_chart(&series, 30, 9, false);
+        // First star row (max) should be above the last (grid rows only).
+        let rows: Vec<usize> = chart
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains(" |") && l.contains('*'))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(rows.len() >= 2);
+        assert!(rows[0] < *rows.last().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_series_panics() {
+        let _ = ascii_chart(
+            &[Series {
+                name: "s",
+                glyph: '*',
+                points: vec![],
+            }],
+            20,
+            6,
+            false,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn tiny_width_panics() {
+        let _ = ascii_chart(&demo_series(), 4, 6, false);
+    }
+}

@@ -1,0 +1,134 @@
+//! Rendering experiment results as the tables/series the paper reports.
+
+use crate::experiment::{ChannelSweep, OneFifthSummary};
+use crate::table::{fnum, Table};
+
+/// Renders a channel sweep (one Figure 5 sub-figure) as a table with one
+/// row per channel count and one column per algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_analysis::experiment::{sweep_channels, ExperimentConfig};
+/// use airsched_analysis::report::sweep_table;
+/// use airsched_workload::distributions::GroupSizeDistribution;
+/// use airsched_workload::spec::WorkloadSpec;
+///
+/// let config = ExperimentConfig {
+///     spec: WorkloadSpec::new(30, 3, 2, 2)
+///         .distribution(GroupSizeDistribution::Uniform),
+///     requests: 500,
+///     ..ExperimentConfig::paper_defaults()
+/// };
+/// let sweep = sweep_channels(&config, 1..=3)?;
+/// let table = sweep_table(&sweep);
+/// assert_eq!(table.len(), 3);
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+#[must_use]
+pub fn sweep_table(sweep: &ChannelSweep) -> Table {
+    let mut table = Table::new(vec![
+        "channels".into(),
+        "PAMAD".into(),
+        "m-PB".into(),
+        "OPT".into(),
+    ]);
+    for p in &sweep.points {
+        table.row(vec![
+            p.channels.to_string(),
+            fnum(p.pamad, 3),
+            fnum(p.mpb, 3),
+            fnum(p.opt, 3),
+        ]);
+    }
+    table
+}
+
+/// A one-line human summary of a sweep: distribution, minimum channels,
+/// and the PAMAD-vs-OPT maximum gap.
+#[must_use]
+pub fn sweep_headline(sweep: &ChannelSweep) -> String {
+    let max_gap = sweep
+        .points
+        .iter()
+        .map(|p| (p.pamad - p.opt).abs())
+        .fold(0.0f64, f64::max);
+    let max_mpb_ratio = sweep
+        .points
+        .iter()
+        .filter(|p| p.pamad > 1e-9)
+        .map(|p| p.mpb / p.pamad)
+        .fold(1.0f64, f64::max);
+    format!(
+        "Figure 5 ({}): N_min = {}, max |PAMAD - OPT| = {:.3} slots, \
+         m-PB up to {:.2}x worse than PAMAD",
+        sweep.distribution, sweep.min_channels, max_gap, max_mpb_ratio
+    )
+}
+
+/// Renders the §5 one-fifth observation across distributions.
+#[must_use]
+pub fn one_fifth_table(rows: &[OneFifthSummary]) -> Table {
+    let mut table = Table::new(vec![
+        "distribution".into(),
+        "N_min".into(),
+        "N_min/5".into(),
+        "AvgD@1".into(),
+        "AvgD@N/5".into(),
+        "AvgD@N_min".into(),
+    ]);
+    for s in rows {
+        table.row(vec![
+            s.distribution.to_string(),
+            s.min_channels.to_string(),
+            s.one_fifth.to_string(),
+            fnum(s.avgd_at_1, 2),
+            fnum(s.avgd_at_fifth, 3),
+            fnum(s.avgd_at_min, 3),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{one_fifth_summary, sweep_channels, ExperimentConfig};
+    use airsched_workload::distributions::GroupSizeDistribution;
+    use airsched_workload::spec::WorkloadSpec;
+
+    fn small_config() -> ExperimentConfig {
+        ExperimentConfig {
+            spec: WorkloadSpec::new(40, 3, 2, 2).distribution(GroupSizeDistribution::Uniform),
+            requests: 800,
+            ..ExperimentConfig::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn sweep_table_has_a_row_per_point() {
+        let sweep = sweep_channels(&small_config(), 1..=4).unwrap();
+        let table = sweep_table(&sweep);
+        assert_eq!(table.len(), 4);
+        let text = table.render();
+        assert!(text.contains("PAMAD"));
+        assert!(text.contains("m-PB"));
+        assert!(text.contains("OPT"));
+    }
+
+    #[test]
+    fn headline_mentions_distribution_and_min() {
+        let sweep = sweep_channels(&small_config(), 1..=2).unwrap();
+        let line = sweep_headline(&sweep);
+        assert!(line.contains("uniform"));
+        assert!(line.contains("N_min"));
+    }
+
+    #[test]
+    fn one_fifth_table_rows() {
+        let s = one_fifth_summary(&small_config()).unwrap();
+        let table = one_fifth_table(&[s]);
+        assert_eq!(table.len(), 1);
+        assert!(table.render().contains("AvgD@N/5"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Basic statistics: online moments, confidence intervals, quantiles.
+
+use core::fmt;
+
+/// Welford online accumulator for mean and variance.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_analysis::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "observations must be finite");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (division by `n`).
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (division by `n - 1`; 0 for fewer than 2 samples).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Normal-approximation 95% confidence half-width for the mean
+    /// (`1.96 * s / sqrt(n)`; 0 for fewer than 2 samples).
+    #[must_use]
+    pub fn ci95_halfwidth(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} +/- {:.4} (95% CI), sd={:.4}",
+            self.count,
+            self.mean(),
+            self.ci95_halfwidth(),
+            self.stddev()
+        )
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// The `q`-quantile of `values` by linear interpolation, leaving the input
+/// untouched.
+///
+/// # Panics
+///
+/// Panics if `values` is empty, `q` is outside `[0, 1]`, or any value is
+/// NaN.
+#[must_use]
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of an empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.ci95_halfwidth(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.5, 2.5, 3.5, 10.0, -4.0, 0.25];
+        let mut s = OnlineStats::new();
+        s.extend(xs.iter().copied());
+        let naive_mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let naive_var: f64 =
+            xs.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - naive_mean).abs() < 1e-12);
+        assert!((s.sample_variance() - naive_var).abs() < 1e-12);
+        assert_eq!(s.min(), -4.0);
+        assert_eq!(s.max(), 10.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = OnlineStats::new();
+        let mut large = OnlineStats::new();
+        for i in 0..10 {
+            small.push(f64::from(i % 3));
+        }
+        for i in 0..1000 {
+            large.push(f64::from(i % 3));
+        }
+        assert!(large.ci95_halfwidth() < small.ci95_halfwidth());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_observation_panics() {
+        OnlineStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        // Input untouched (slice order preserved).
+        assert_eq!(xs, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn quantile_handles_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(quantile(&xs, 0.5), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn display_shows_ci() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(2.0);
+        assert!(s.to_string().contains("95% CI"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Plain-text and CSV table rendering for experiment output.
+//!
+//! The bench binaries print the same rows the paper's tables and figure
+//! series contain; this module keeps that formatting in one place.
+
+use core::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_analysis::table::Table;
+///
+/// let mut t = Table::new(vec!["channels".into(), "AvgD".into()]);
+/// t.row(vec!["1".into(), "394.2".into()]);
+/// t.row(vec!["2".into(), "101.7".into()]);
+/// let text = t.render();
+/// assert!(text.contains("channels"));
+/// assert!(text.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned plain text with a header rule.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let sep = if i + 1 == cols { "\n" } else { "  " };
+            let _ = write!(out, "{h:>width$}{sep}", width = widths[i]);
+        }
+        for (i, w) in widths.iter().enumerate() {
+            let sep = if i + 1 == cols { "\n" } else { "  " };
+            let _ = write!(out, "{}{sep}", "-".repeat(*w));
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let sep = if i + 1 == cols { "\n" } else { "  " };
+                let _ = write!(out, "{cell:>width$}{sep}", width = widths[i]);
+            }
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-style quoting for cells containing commas,
+    /// quotes, or newlines).
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains([',', '"', '\n']) {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimal places (helper for table cells).
+#[must_use]
+pub fn fnum(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["a".into(), "bee".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["300".into(), "4".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned_text() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "  a  bee");
+        assert_eq!(lines[1], "---  ---");
+        assert_eq!(lines[2], "  1    2");
+        assert_eq!(lines[3], "300    4");
+    }
+
+    #[test]
+    fn renders_csv_with_quoting() {
+        let mut t = Table::new(vec!["x".into(), "note".into()]);
+        t.row(vec!["1".into(), "has, comma".into()]);
+        t.row(vec!["2".into(), "has \"quote\"".into()]);
+        let csv = t.render_csv();
+        assert!(csv.contains("\"has, comma\""));
+        assert!(csv.contains("\"has \"\"quote\"\"\""));
+        assert!(csv.starts_with("x,note\n"));
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let md = sample().render_markdown();
+        assert!(md.starts_with("| a | bee |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 300 | 4 |"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let t = Table::new(vec!["x".into()]);
+        assert!(t.is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_mismatch_panics() {
+        let mut t = Table::new(vec!["x".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_header_panics() {
+        let _ = Table::new(vec![]);
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(0.0, 3), "0.000");
+    }
+}

@@ -1,0 +1,62 @@
+//! Access-path micro-benchmarks: per-request wait resolution and the full
+//! 3000-request AvgD measurement used by every Figure 5 point.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use airsched_core::bound::minimum_channels;
+use airsched_core::pamad;
+use airsched_sim::access::measure;
+use airsched_workload::distributions::GroupSizeDistribution;
+use airsched_workload::requests::{AccessPattern, RequestGenerator};
+use airsched_workload::spec::WorkloadSpec;
+
+fn bench_access(c: &mut Criterion) {
+    let ladder = WorkloadSpec::paper_defaults()
+        .distribution(GroupSizeDistribution::Uniform)
+        .build()
+        .expect("paper workload builds");
+    let n = minimum_channels(&ladder).div_ceil(5);
+    let program = pamad::schedule(&ladder, n)
+        .expect("pamad runs")
+        .into_program();
+    let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 42);
+    let requests = gen.take(3000, program.cycle_len());
+
+    c.bench_function("access/wait_from_single", |b| {
+        let req = requests[0];
+        b.iter(|| black_box(program.wait_from(black_box(req.page), black_box(req.arrival))))
+    });
+
+    let mut group = c.benchmark_group("access");
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.bench_function("measure_3000_requests", |b| {
+        b.iter(|| black_box(measure(&program, &ladder, black_box(&requests))))
+    });
+    group.finish();
+}
+
+fn bench_request_generation(c: &mut Criterion) {
+    let ladder = WorkloadSpec::paper_defaults()
+        .distribution(GroupSizeDistribution::Uniform)
+        .build()
+        .expect("paper workload builds");
+    let mut group = c.benchmark_group("requests");
+    group.throughput(Throughput::Elements(3000));
+    group.bench_function("uniform_3000", |b| {
+        b.iter(|| {
+            let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 42);
+            black_box(gen.take(3000, 512))
+        })
+    });
+    group.bench_function("zipf_3000", |b| {
+        b.iter(|| {
+            let mut gen = RequestGenerator::new(&ladder, AccessPattern::Zipf { theta: 0.95 }, 42);
+            black_box(gen.take(3000, 512))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_access, bench_request_generation);
+criterion_main!(benches);

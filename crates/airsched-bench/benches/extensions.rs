@@ -1,0 +1,124 @@
+//! Micro-benchmarks of the extension modules: the drop baseline, online
+//! scheduling churn, text serialization, the discrete-event simulation, and
+//! lossy measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use airsched_core::bound::minimum_channels;
+use airsched_core::dropping::{schedule_with_drops, DropPolicy};
+use airsched_core::dynamic::OnlineScheduler;
+use airsched_core::pamad;
+use airsched_core::textio::{parse_program, write_program};
+use airsched_core::types::PageId;
+use airsched_sim::lossy::{measure_lossy, LossModel};
+use airsched_sim::sim::{SimConfig, Simulation};
+use airsched_workload::distributions::GroupSizeDistribution;
+use airsched_workload::requests::{AccessPattern, RequestGenerator};
+use airsched_workload::spec::WorkloadSpec;
+
+fn paper_ladder() -> airsched_core::group::GroupLadder {
+    WorkloadSpec::paper_defaults()
+        .distribution(GroupSizeDistribution::Uniform)
+        .build()
+        .expect("paper workload builds")
+}
+
+fn bench_dropping(c: &mut Criterion) {
+    let ladder = paper_ladder();
+    let n = minimum_channels(&ladder).div_ceil(5);
+    c.bench_function("dropping/tightest_first_at_fifth", |b| {
+        b.iter(|| {
+            black_box(
+                schedule_with_drops(black_box(&ladder), n, DropPolicy::TightestFirst)
+                    .expect("drop baseline runs"),
+            )
+        })
+    });
+}
+
+fn bench_online(c: &mut Criterion) {
+    let ladder = paper_ladder();
+    let n = minimum_channels(&ladder);
+    c.bench_function("online/admit_full_paper_ladder", |b| {
+        b.iter(|| {
+            let mut sched = OnlineScheduler::new(n, ladder.max_time()).unwrap();
+            for (page, group) in ladder.pages() {
+                sched
+                    .add_page(page, ladder.time_of(group).slots())
+                    .expect("fits at the minimum");
+            }
+            black_box(sched)
+        })
+    });
+    c.bench_function("online/remove_one_page", |b| {
+        let mut sched = OnlineScheduler::new(n, ladder.max_time()).unwrap();
+        for (page, group) in ladder.pages() {
+            sched
+                .add_page(page, ladder.time_of(group).slots())
+                .expect("fits");
+        }
+        b.iter_batched(
+            || sched.clone(),
+            |mut s| {
+                s.remove_page(PageId::new(0)).unwrap();
+                black_box(s)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_textio(c: &mut Criterion) {
+    let ladder = paper_ladder();
+    let n = minimum_channels(&ladder).div_ceil(5);
+    let program = pamad::schedule(&ladder, n).unwrap().into_program();
+    let text = write_program(&program);
+    c.bench_function("textio/write_paper_program", |b| {
+        b.iter(|| black_box(write_program(black_box(&program))))
+    });
+    c.bench_function("textio/parse_paper_program", |b| {
+        b.iter(|| black_box(parse_program(black_box(&text)).expect("own output parses")))
+    });
+}
+
+fn bench_des(c: &mut Criterion) {
+    let ladder = paper_ladder();
+    let n = minimum_channels(&ladder).div_ceil(5);
+    let program = pamad::schedule(&ladder, n).unwrap().into_program();
+    let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 42);
+    let requests = gen.take(3000, program.cycle_len() * 10);
+    let sim = Simulation::new(&program, &ladder, SimConfig::default());
+    c.bench_function("des/run_3000_requests", |b| {
+        b.iter(|| black_box(sim.run(black_box(&requests))))
+    });
+}
+
+fn bench_lossy(c: &mut Criterion) {
+    let ladder = paper_ladder();
+    let n = minimum_channels(&ladder).div_ceil(5);
+    let program = pamad::schedule(&ladder, n).unwrap().into_program();
+    let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 42);
+    let requests = gen.take(3000, program.cycle_len());
+    c.bench_function("lossy/measure_3000_at_30pct", |b| {
+        b.iter(|| {
+            black_box(measure_lossy(
+                &program,
+                &ladder,
+                black_box(&requests),
+                LossModel::with_loss(0.3),
+                7,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dropping,
+    bench_online,
+    bench_textio,
+    bench_des,
+    bench_lossy
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! End-to-end cost of one Figure 5 data point (all three algorithms
+//! scheduled, placed, and measured with 3000 requests) per distribution —
+//! the unit of work the `fig5` binary repeats across the channel axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use airsched_analysis::experiment::{sweep_channels, ExperimentConfig};
+use airsched_core::bound::minimum_channels;
+use airsched_workload::distributions::GroupSizeDistribution;
+
+fn bench_fig5_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_point");
+    group.sample_size(10);
+    for dist in GroupSizeDistribution::ALL {
+        let config = ExperimentConfig::paper_defaults().with_distribution(dist);
+        let ladder = config.ladder().expect("workload builds");
+        let fifth = minimum_channels(&ladder).div_ceil(5);
+        group.bench_with_input(
+            BenchmarkId::new("at_one_fifth", dist.to_string()),
+            &fifth,
+            |b, &n| b.iter(|| black_box(sweep_channels(&config, [n]).expect("sweep runs"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_point);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Scheduler micro-benchmarks at full paper scale (n = 1000, h = 8):
+//! SUSC construction, PAMAD frequency derivation and placement, the OPT
+//! structured search, and m-PB — each at a scarce, a 1/5, and the minimum
+//! channel budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use airsched_core::bound::minimum_channels;
+use airsched_core::delay::Weighting;
+use airsched_core::{mpb, opt, pamad, susc};
+use airsched_workload::distributions::GroupSizeDistribution;
+use airsched_workload::spec::WorkloadSpec;
+
+fn paper_ladder() -> airsched_core::group::GroupLadder {
+    WorkloadSpec::paper_defaults()
+        .distribution(GroupSizeDistribution::Uniform)
+        .build()
+        .expect("paper workload builds")
+}
+
+fn bench_susc(c: &mut Criterion) {
+    let ladder = paper_ladder();
+    let min = minimum_channels(&ladder);
+    c.bench_function("susc/minimum_channels", |b| {
+        b.iter(|| black_box(minimum_channels(black_box(&ladder))))
+    });
+    c.bench_function("susc/schedule_at_minimum", |b| {
+        b.iter(|| black_box(susc::schedule(black_box(&ladder), min).expect("valid")))
+    });
+    c.bench_function("susc/schedule_fast_at_minimum", |b| {
+        b.iter(|| black_box(susc::schedule_fast(black_box(&ladder), min).expect("valid")))
+    });
+}
+
+fn bench_pamad(c: &mut Criterion) {
+    let ladder = paper_ladder();
+    let min = minimum_channels(&ladder);
+    let budgets = [1u32, min.div_ceil(5), min - 1];
+    let mut group = c.benchmark_group("pamad");
+    for &n in &budgets {
+        group.bench_with_input(BenchmarkId::new("derive_frequencies", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(pamad::derive_frequencies(
+                    black_box(&ladder),
+                    n,
+                    Weighting::PaperEq2,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("schedule_full", n), &n, |b, &n| {
+            b.iter(|| black_box(pamad::schedule(black_box(&ladder), n).expect("pamad runs")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_opt(c: &mut Criterion) {
+    let ladder = paper_ladder();
+    let min = minimum_channels(&ladder);
+    let mut group = c.benchmark_group("opt");
+    for &n in &[1u32, min.div_ceil(5), min - 1] {
+        group.bench_with_input(BenchmarkId::new("search_r_structured", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(opt::search_r_structured(
+                    black_box(&ladder),
+                    n,
+                    Weighting::PaperEq2,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mpb(c: &mut Criterion) {
+    let ladder = paper_ladder();
+    let min = minimum_channels(&ladder);
+    let n = min.div_ceil(5);
+    c.bench_function("mpb/schedule_at_fifth", |b| {
+        b.iter(|| black_box(mpb::schedule(black_box(&ladder), n).expect("mpb runs")))
+    });
+}
+
+criterion_group!(benches, bench_susc, bench_pamad, bench_opt, bench_mpb);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! System-level benchmarks: station tick throughput, wire encode/decode,
+//! and the branch-and-bound OPT against the plain full search.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use airsched_core::delay::Weighting;
+use airsched_core::group::GroupLadder;
+use airsched_core::opt::{search_full, search_full_bnb, OptConfig};
+use airsched_core::susc;
+use airsched_core::types::PageId;
+use airsched_proto::transmitter::{DebugPayloads, FrameStream};
+use airsched_server::Station;
+
+fn bench_station(c: &mut Criterion) {
+    // A loaded station: 64 pages across four tiers on 8 channels.
+    let build = || {
+        let mut station = Station::new(8, 16).unwrap();
+        let mut id = 0u32;
+        for &(t, count) in &[(2u64, 4u32), (4, 8), (8, 16), (16, 24)] {
+            for _ in 0..count {
+                station.publish(PageId::new(id), t).unwrap();
+                id += 1;
+            }
+        }
+        station
+    };
+    let mut group = c.benchmark_group("station");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("tick_1024_with_subscribers", |b| {
+        b.iter_batched(
+            || {
+                let mut s = build();
+                for k in 0..52u32 {
+                    s.subscribe(PageId::new(k)).unwrap();
+                }
+                s
+            },
+            |mut s| black_box(s.run(1024)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap();
+    let program = susc::schedule(&ladder, 4).unwrap();
+    let frames: Vec<_> = FrameStream::new(&program, DebugPayloads)
+        .take(256)
+        .collect();
+    let wire: Vec<u8> = frames.iter().flat_map(|f| f.encode()).collect();
+
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("encode_256_frames", |b| {
+        b.iter(|| {
+            for f in &frames {
+                black_box(f.encode());
+            }
+        })
+    });
+    group.bench_function("decode_256_frames", |b| {
+        b.iter(|| black_box(airsched_proto::frame::decode_stream(black_box(&wire))))
+    });
+    group.finish();
+}
+
+fn bench_opt_search(c: &mut Criterion) {
+    let ladder = GroupLadder::geometric(2, 2, &[6, 8, 10, 4]).unwrap();
+    let config = OptConfig {
+        enumeration_limit: 1 << 26,
+        ..OptConfig::default()
+    };
+    let mut group = c.benchmark_group("opt_full_space");
+    group.sample_size(10);
+    group.bench_function("plain_enumeration", |b| {
+        b.iter(|| black_box(search_full(black_box(&ladder), 3, config).expect("fits limit")))
+    });
+    group.bench_function("branch_and_bound", |b| {
+        b.iter(|| black_box(search_full_bnb(black_box(&ladder), 3, config)))
+    });
+    let _ = Weighting::PaperEq2;
+    group.finish();
+}
+
+criterion_group!(benches, bench_station, bench_wire, bench_opt_search);
+criterion_main!(benches);

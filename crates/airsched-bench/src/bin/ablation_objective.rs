@@ -1,0 +1,54 @@
+//! Ablation: Equation-2-literal objective vs. the §4.1-normalized variant.
+//!
+//! DESIGN.md documents that the paper's printed Equation 2 multiplies two
+//! *unnormalized* gap-overshoot estimates (verified against the worked
+//! example), while §4.1's derivation divides by the gap. This ablation runs
+//! PAMAD with both objectives across the channel range and compares the
+//! *measured* average delay, answering: does the discrepancy matter?
+//!
+//! Run: `cargo run --release -p airsched-bench --bin ablation_objective`
+
+use airsched_analysis::table::{fnum, Table};
+use airsched_bench::{extra_num, parse_common_args};
+use airsched_core::bound::minimum_channels;
+use airsched_core::delay::Weighting;
+use airsched_core::pamad;
+use airsched_sim::access::measure;
+use airsched_workload::requests::RequestGenerator;
+
+fn main() {
+    let (config, dists, extra) = parse_common_args();
+    let step: u32 = extra_num(&extra, "step", 4);
+
+    for dist in dists {
+        let config = config.clone().with_distribution(dist);
+        let ladder = config.ladder().expect("workload builds");
+        let min = minimum_channels(&ladder);
+        println!("distribution {dist} (N_min = {min}):");
+
+        let mut gen = RequestGenerator::new(&ladder, config.access, config.seed);
+        let normalized = gen.take_normalized(config.requests);
+
+        let mut table = Table::new(vec![
+            "channels".into(),
+            "Eq2-literal".into(),
+            "normalized".into(),
+        ]);
+        for n in (1..=min).step_by(step as usize) {
+            let mut row = vec![n.to_string()];
+            for weighting in [Weighting::PaperEq2, Weighting::Normalized] {
+                let program = pamad::schedule_with(&ladder, n, weighting)
+                    .expect("pamad runs")
+                    .into_program();
+                let requests: Vec<_> = normalized
+                    .iter()
+                    .map(|nr| nr.materialize(program.cycle_len()))
+                    .collect();
+                let (summary, _) = measure(&program, &ladder, &requests);
+                row.push(fnum(summary.avg_delay(), 3));
+            }
+            table.row(row);
+        }
+        println!("{}\n", table.render());
+    }
+}

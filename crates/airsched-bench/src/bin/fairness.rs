@@ -1,0 +1,92 @@
+//! Fairness ablation: who absorbs the delay when channels are scarce?
+//!
+//! §4's design rationale says delay should be "equally dispersed". This
+//! binary measures, per group, the mean delay normalized by the group's
+//! expected time under PAMAD, m-PB and OPT, plus Jain's fairness index over
+//! those normalized delays — revealing a real trade-off the paper does not
+//! plot: m-PB is the fairest by this metric (deadline-proportional
+//! frequencies equalize `spacing/t_i` by construction) while losing badly
+//! on the average; PAMAD and OPT buy their low averages by letting the
+//! tight groups absorb more of the residual delay.
+//!
+//! Run: `cargo run --release -p airsched-bench --bin fairness`
+
+use airsched_analysis::fairness::{delay_fairness_index, group_fairness};
+use airsched_analysis::table::{fnum, Table};
+use airsched_bench::{extra_num, parse_common_args};
+use airsched_core::bound::minimum_channels;
+use airsched_core::delay::Weighting;
+use airsched_core::{mpb, opt, pamad};
+use airsched_sim::access::measure;
+use airsched_workload::distributions::GroupSizeDistribution;
+use airsched_workload::requests::RequestGenerator;
+
+fn main() {
+    let (config, _dists, extra) = parse_common_args();
+    let config = config.with_distribution(GroupSizeDistribution::Uniform);
+    let ladder = config.ladder().expect("workload builds");
+    let min = minimum_channels(&ladder);
+    let frac: u32 = extra_num(&extra, "frac", 5);
+    let n = (min / frac).max(1);
+
+    println!(
+        "Delay fairness at {n} of {min} channels (uniform dist, normalized \
+         delay = AvgD / t_i per group)\n"
+    );
+
+    let contenders = [
+        (
+            "PAMAD",
+            pamad::schedule(&ladder, n)
+                .expect("pamad runs")
+                .into_program(),
+        ),
+        (
+            "m-PB",
+            mpb::schedule(&ladder, n).expect("mpb runs").into_program(),
+        ),
+        (
+            "OPT",
+            opt::search_r_structured(&ladder, n, Weighting::PaperEq2)
+                .place(&ladder, n)
+                .expect("placement runs")
+                .into_program(),
+        ),
+    ];
+
+    let mut headers = vec![
+        "scheduler".to_string(),
+        "AvgD".to_string(),
+        "Jain".to_string(),
+    ];
+    for i in 1..=ladder.group_count() {
+        headers.push(format!("G{i}/t"));
+    }
+    let mut table = Table::new(headers);
+
+    for (name, program) in &contenders {
+        let mut gen = RequestGenerator::new(&ladder, config.access, config.seed);
+        let requests = gen.take(config.requests * 4, program.cycle_len());
+        let (summary, _) = measure(program, &ladder, &requests);
+        let mut row = vec![
+            (*name).to_string(),
+            fnum(summary.avg_delay(), 2),
+            fnum(delay_fairness_index(&summary, &ladder), 3),
+        ];
+        let rows = group_fairness(&summary, &ladder);
+        for g in &rows {
+            row.push(fnum(g.normalized_delay, 3));
+        }
+        // Pad if some group saw no requests (unlikely at this volume).
+        while row.len() < 3 + ladder.group_count() {
+            row.push("-".into());
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "\nreading: m-PB equalizes normalized delay by construction (Jain ~1) \
+         but its average is far worse; PAMAD/OPT minimize the average and \
+         concentrate residual delay on tight-deadline groups."
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 3: the four group-size distributions, n = 1000 over h = 8 groups.
+//!
+//! The paper shows these as bar charts; this binary prints the per-group
+//! page counts and an ASCII rendering of each shape.
+//!
+//! Run: `cargo run --release -p airsched-bench --bin fig3_distributions`
+
+use airsched_analysis::table::Table;
+use airsched_bench::parse_common_args;
+use airsched_workload::distributions::GroupSizeDistribution;
+
+fn main() {
+    let (config, _dists, _extra) = parse_common_args();
+    let ladder = config.ladder().expect("paper defaults build");
+    let h = ladder.group_count();
+    let n = ladder.total_pages();
+
+    println!("Figure 3: group size distributions (n = {n}, h = {h})\n");
+
+    let mut headers = vec!["distribution".to_string()];
+    for i in 1..=h {
+        headers.push(format!("G{i}"));
+    }
+    let mut table = Table::new(headers);
+    for dist in GroupSizeDistribution::ALL {
+        let counts = dist.page_counts(h, n);
+        let mut row = vec![dist.to_string()];
+        row.extend(counts.iter().map(ToString::to_string));
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    // ASCII bars, 50 columns at full scale.
+    for dist in GroupSizeDistribution::ALL {
+        let counts = dist.page_counts(h, n);
+        let max = *counts.iter().max().expect("h > 0");
+        println!("\n{dist}:");
+        for (i, &c) in counts.iter().enumerate() {
+            let width = ((c * 50) / max) as usize;
+            println!("  G{} {:>4} |{}", i + 1, c, "#".repeat(width.max(1)));
+        }
+    }
+}

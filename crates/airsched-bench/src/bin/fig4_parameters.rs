@@ -1,0 +1,40 @@
+//! Figure 4: the experiment parameter table, as embedded in
+//! [`airsched_analysis::experiment::ExperimentConfig::paper_defaults`].
+//!
+//! Run: `cargo run --release -p airsched-bench --bin fig4_parameters`
+
+use airsched_analysis::table::Table;
+use airsched_bench::parse_common_args;
+
+fn main() {
+    let (config, _dists, _extra) = parse_common_args();
+    let ladder = config.ladder().expect("paper defaults build");
+
+    let mut table = Table::new(vec!["Parameter".into(), "Default value".into()]);
+    table.row(vec![
+        "n - total number".into(),
+        ladder.total_pages().to_string(),
+    ]);
+    table.row(vec![
+        "h - number of groups".into(),
+        ladder.group_count().to_string(),
+    ]);
+    table.row(vec![
+        "t_i - expected time".into(),
+        ladder
+            .times()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    table.row(vec![
+        "group size distributions".into(),
+        "{normal, L-skewed, S-skewed, uniform}".into(),
+    ]);
+    table.row(vec![
+        "number of requests".into(),
+        config.requests.to_string(),
+    ]);
+    println!("Figure 4: parameter settings\n\n{}", table.render());
+}

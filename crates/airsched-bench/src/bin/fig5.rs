@@ -1,0 +1,70 @@
+//! Figure 5(a–d): average delay vs. number of channels for PAMAD, m-PB and
+//! OPT under the four group-size distributions, at full paper scale
+//! (n = 1000, h = 8, t = 4..512, 3000 requests).
+//!
+//! Run: `cargo run --release -p airsched-bench --bin fig5 -- --dist all`
+//! Options: `--dist normal|sskew|lskew|uniform|all`, `--step K` (sample
+//! every K-th channel count), `--csv true`, `--plot true` (ASCII chart on
+//! a log y-axis, like the paper's figures), `--requests N`, `--seed S`.
+
+use airsched_analysis::experiment::sweep_channels;
+use airsched_analysis::plot::{ascii_chart, Series};
+use airsched_analysis::report::{sweep_headline, sweep_table};
+use airsched_bench::{extra_flag, extra_num, parse_common_args};
+use airsched_core::bound::minimum_channels;
+
+fn main() {
+    let (config, dists, extra) = parse_common_args();
+    let step: u32 = extra_num(&extra, "step", 1);
+    let csv = extra_flag(&extra, "csv");
+    let plot = extra_flag(&extra, "plot");
+    assert!(step > 0, "--step must be positive");
+
+    let labels = ["(a)", "(b)", "(c)", "(d)"];
+    for (dist, label) in dists.iter().zip(labels.iter().cycle()) {
+        let config = config.clone().with_distribution(*dist);
+        let ladder = config.ladder().expect("workload builds");
+        let min = minimum_channels(&ladder);
+        let channels: Vec<u32> = (1..=min)
+            .step_by(step as usize)
+            .chain(std::iter::once(min)) // always include the right edge
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let sweep = sweep_channels(&config, channels).expect("sweep runs");
+        println!("Figure 5{label}: {}", sweep_headline(&sweep));
+        if plot {
+            let to_points = |f: fn(&airsched_analysis::experiment::SweepPoint) -> f64| {
+                sweep
+                    .points
+                    .iter()
+                    .map(|p| (f64::from(p.channels), f(p)))
+                    .collect::<Vec<_>>()
+            };
+            let series = [
+                Series {
+                    name: "PAMAD",
+                    glyph: '*',
+                    points: to_points(|p| p.pamad),
+                },
+                Series {
+                    name: "m-PB",
+                    glyph: 'o',
+                    points: to_points(|p| p.mpb),
+                },
+                Series {
+                    name: "OPT",
+                    glyph: '+',
+                    points: to_points(|p| p.opt),
+                },
+            ];
+            println!("{}", ascii_chart(&series, 64, 18, true));
+        }
+        let table = sweep_table(&sweep);
+        if csv {
+            println!("{}", table.render_csv());
+        } else if !plot {
+            println!("{}", table.render());
+        }
+    }
+}

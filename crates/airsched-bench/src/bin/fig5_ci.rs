@@ -1,0 +1,57 @@
+//! Figure 5 with error bars: the AvgD curves replicated over independent
+//! request seeds, reporting mean ± 95% CI per point — the statistical
+//! rigor the paper's single-run curves omit.
+//!
+//! Run: `cargo run --release -p airsched-bench --bin fig5_ci -- --dist uniform`
+//! Options: `--seeds K` (default 5), `--step K` (default 8).
+
+use airsched_analysis::experiment::replicated_sweep;
+use airsched_analysis::table::{fnum, Table};
+use airsched_bench::{extra_num, parse_common_args};
+use airsched_core::bound::minimum_channels;
+
+fn main() {
+    let (config, dists, extra) = parse_common_args();
+    let step: u32 = extra_num(&extra, "step", 8);
+    let seed_count: u64 = extra_num(&extra, "seeds", 5);
+    let seeds: Vec<u64> = (0..seed_count).map(|k| config.seed + k * 7919).collect();
+
+    for dist in dists {
+        let config = config.clone().with_distribution(dist);
+        let ladder = config.ladder().expect("workload builds");
+        let min = minimum_channels(&ladder);
+        let channels: Vec<u32> = (1..=min)
+            .step_by(step as usize)
+            .chain(std::iter::once(min))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let points = replicated_sweep(&config, channels, &seeds).expect("sweep runs");
+
+        println!(
+            "Figure 5 with 95% CIs ({dist}, N_min = {min}, {} seeds):",
+            seeds.len()
+        );
+        let mut table = Table::new(vec![
+            "channels".into(),
+            "PAMAD".into(),
+            "±".into(),
+            "m-PB".into(),
+            "±".into(),
+            "OPT".into(),
+            "±".into(),
+        ]);
+        for p in &points {
+            table.row(vec![
+                p.channels.to_string(),
+                fnum(p.pamad.mean(), 3),
+                fnum(p.pamad.ci95_halfwidth(), 3),
+                fnum(p.mpb.mean(), 3),
+                fnum(p.mpb.ci95_halfwidth(), 3),
+                fnum(p.opt.mean(), 3),
+                fnum(p.opt.ci95_halfwidth(), 3),
+            ]);
+        }
+        println!("{}\n", table.render());
+    }
+}

@@ -1,0 +1,79 @@
+//! Extension experiment: splitting a fixed transceiver budget between
+//! broadcast (push) channels and on-demand (pull) servers.
+//!
+//! The paper treats the broadcast channel count as given and argues that a
+//! good broadcast schedule protects the on-demand channel. The natural
+//! system-design question one step further: if a base station owns `B`
+//! transceivers total, how many should broadcast and how many should serve
+//! pulls? For each split `(k broadcast, B - k pull)` we run the full
+//! discrete-event simulation (impatient clients abandon to the pull queue)
+//! and report mean end-to-end latency — exposing the sweet spot.
+//!
+//! Run: `cargo run --release -p airsched-bench --bin hybrid_split`
+
+use airsched_analysis::table::{fnum, Table};
+use airsched_bench::{extra_num, parse_common_args};
+use airsched_core::bound::minimum_channels;
+use airsched_core::pamad;
+use airsched_sim::sim::{SimConfig, Simulation};
+use airsched_workload::distributions::GroupSizeDistribution;
+use airsched_workload::requests::RequestGenerator;
+
+fn main() {
+    let (config, _dists, extra) = parse_common_args();
+    let config = config.with_distribution(GroupSizeDistribution::Uniform);
+    let ladder = config.ladder().expect("workload builds");
+    let min = minimum_channels(&ladder);
+
+    // Total transceiver budget: one third of the broadcast minimum, so the
+    // system is genuinely resource-starved. Override with --budget.
+    let budget: u32 = extra_num(&extra, "budget", (min / 3).max(2));
+    let horizon: u64 = extra_num(&extra, "horizon", 30_000);
+    let patience: f64 = extra_num(&extra, "patience", 2.0);
+
+    println!(
+        "Hybrid push/pull split (uniform dist, N_min = {min}, budget = \
+         {budget} transceivers, patience {patience}x)\n"
+    );
+
+    let mut table = Table::new(vec![
+        "broadcast ch".into(),
+        "pull servers".into(),
+        "abandon %".into(),
+        "od queue wait".into(),
+        "mean latency".into(),
+    ]);
+
+    let mut best: Option<(u32, f64)> = None;
+    for k in 1..budget {
+        let pull = budget - k;
+        let program = pamad::schedule(&ladder, k)
+            .expect("pamad runs")
+            .into_program();
+        let sim_config = SimConfig {
+            patience_factor: patience,
+            ondemand_service_slots: 2,
+            ondemand_servers: pull,
+        };
+        let mut gen = RequestGenerator::new(&ladder, config.access, config.seed);
+        let requests = gen.take(config.requests, horizon);
+        let report = Simulation::new(&program, &ladder, sim_config).run(&requests);
+        table.row(vec![
+            k.to_string(),
+            pull.to_string(),
+            fnum(report.abandonment_rate() * 100.0, 1),
+            fnum(report.ondemand.mean_queue_wait, 2),
+            fnum(report.mean_total_latency, 1),
+        ]);
+        if best.is_none_or(|(_, l)| report.mean_total_latency < l) {
+            best = Some((k, report.mean_total_latency));
+        }
+    }
+    println!("{}", table.render());
+    if let Some((k, latency)) = best {
+        println!(
+            "\nbest split: {k} broadcast / {} pull (mean latency {latency:.1} slots)",
+            budget - k
+        );
+    }
+}

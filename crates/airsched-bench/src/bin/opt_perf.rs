@@ -1,0 +1,37 @@
+//! OPT search cost: candidates evaluated and wall time vs. channel count
+//! at full paper scale (the paper calls its exhaustive search
+//! "unacceptably high"; the dynamic-bound structured search is not).
+//!
+//! Run: `cargo run --release -p airsched-bench --bin opt_perf`
+
+use airsched_bench::parse_common_args;
+use airsched_core::bound::minimum_channels;
+use airsched_core::delay::Weighting;
+use airsched_core::opt;
+
+fn main() {
+    let (config, dists, _extra) = parse_common_args();
+    let config = config.with_distribution(dists[0]);
+    let ladder = config.ladder().expect("workload builds");
+    let min = minimum_channels(&ladder);
+    println!(
+        "OPT (r-structured, dynamic bounds) on {} — N_min = {min}\n",
+        dists[0]
+    );
+    println!(
+        "{:>8}  {:>10}  {:>12}  {:>10}",
+        "channels", "evaluated", "objective", "time"
+    );
+    let mut points: Vec<u32> = (0..).map(|k| 1u32 << k).take_while(|&n| n < min).collect();
+    points.push(min);
+    for n in points {
+        let t0 = std::time::Instant::now();
+        let r = opt::search_r_structured(&ladder, n, Weighting::PaperEq2);
+        println!(
+            "{n:>8}  {:>10}  {:>12.4}  {:>10?}",
+            r.evaluated(),
+            r.objective(),
+            t0.elapsed()
+        );
+    }
+}

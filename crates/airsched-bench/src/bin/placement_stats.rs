@@ -1,0 +1,91 @@
+//! Probing Algorithm 4's window claim.
+//!
+//! The paper asserts that during placement "an empty time slot can always
+//! be found" within each appearance's ideal window "because the length of
+//! a major cycle has been calculated to hold all broadcast data pages".
+//! Total capacity is indeed sufficient, but individual windows *can* fill
+//! up; our implementation then falls back to the nearest later column
+//! (`displaced`) and, in the extreme, to a column already holding the page
+//! (`duplicated`). This binary measures how often each case occurs across
+//! the channel axis — quantifying exactly how far practice deviates from
+//! the idealized claim.
+//!
+//! Run: `cargo run --release -p airsched-bench --bin placement_stats`
+
+use airsched_analysis::table::{fnum, Table};
+use airsched_bench::{extra_num, parse_common_args};
+use airsched_core::bound::minimum_channels;
+use airsched_core::pamad;
+use airsched_workload::distributions::GroupSizeDistribution;
+
+fn main() {
+    let (config, _dists, extra) = parse_common_args();
+    let config = config.with_distribution(GroupSizeDistribution::Uniform);
+    let ladder = config.ladder().expect("workload builds");
+    let min = minimum_channels(&ladder);
+    let step: u32 = extra_num(&extra, "step", 8);
+
+    println!("Algorithm 4 placement outcomes (uniform dist, N_min = {min})\n");
+    let mut table = Table::new(vec![
+        "channels".into(),
+        "instances".into(),
+        "in window %".into(),
+        "displaced %".into(),
+        "duplicated %".into(),
+    ]);
+    let channels: Vec<u32> = (1..=min)
+        .step_by(step as usize)
+        .chain(std::iter::once(min))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for n in channels {
+        let outcome = pamad::schedule(&ladder, n).expect("pamad runs");
+        let stats = outcome.placement_stats();
+        let total = stats.total() as f64;
+        table.row(vec![
+            n.to_string(),
+            stats.total().to_string(),
+            fnum(stats.in_window as f64 / total * 100.0, 2),
+            fnum(stats.displaced as f64 / total * 100.0, 2),
+            fnum(stats.duplicated as f64 / total * 100.0, 2),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // A small, tight workload where the claim *does* break: the Equation 8
+    // cycle runs 100% full at the minimum, leaving the even-spread no
+    // slack.
+    let tight =
+        airsched_core::group::GroupLadder::new(vec![(2, 11), (6, 1), (18, 1), (54, 13), (162, 7)])
+            .expect("tight ladder builds");
+    let tight_min = minimum_channels(&tight);
+    println!("\ncounter-example: {tight} at its minimum ({tight_min} channels)\n");
+    let mut table = Table::new(vec![
+        "channels".into(),
+        "instances".into(),
+        "in window %".into(),
+        "displaced %".into(),
+        "duplicated %".into(),
+    ]);
+    for n in 1..=tight_min {
+        let outcome = pamad::schedule(&tight, n).expect("pamad runs");
+        let stats = outcome.placement_stats();
+        let total = stats.total() as f64;
+        table.row(vec![
+            n.to_string(),
+            stats.total().to_string(),
+            fnum(stats.in_window as f64 / total * 100.0, 2),
+            fnum(stats.displaced as f64 / total * 100.0, 2),
+            fnum(stats.duplicated as f64 / total * 100.0, 2),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "\nreading: at paper scale the ideal-window claim holds for every \
+         instance; it breaks only when the Equation 8 cycle runs ~100% full \
+         (tight workloads at their exact minimum), where placements displace \
+         and, in the extreme, duplicate — which is why SUSC, not PAMAD, is \
+         the right scheduler in the sufficient regime."
+    );
+}

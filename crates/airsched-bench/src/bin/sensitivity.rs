@@ -1,0 +1,128 @@
+//! Sensitivity analysis (ours, beyond the paper): how robust is the
+//! "PAMAD ≈ OPT ≫ m-PB" picture to each workload parameter?
+//!
+//! One parameter varies at a time around the Figure 4 defaults; the channel
+//! budget is held at `ceil(N_min / 5)` of each configuration's own minimum
+//! (the paper's recommended operating point).
+//!
+//! Run: `cargo run --release -p airsched-bench --bin sensitivity`
+
+use airsched_analysis::experiment::{sweep_channels, ExperimentConfig};
+use airsched_analysis::table::{fnum, Table};
+use airsched_bench::parse_common_args;
+use airsched_core::bound::minimum_channels;
+use airsched_workload::distributions::GroupSizeDistribution;
+use airsched_workload::spec::WorkloadSpec;
+
+fn measure(config: &ExperimentConfig) -> (u32, f64, f64, f64) {
+    let ladder = config.ladder().expect("workload builds");
+    let min = minimum_channels(&ladder);
+    let n = min.div_ceil(5).max(1);
+    let sweep = sweep_channels(config, [n]).expect("sweep runs");
+    let p = sweep.points[0];
+    (min, p.pamad, p.mpb, p.opt)
+}
+
+fn main() {
+    let (base, _dists, _extra) = parse_common_args();
+    let base = base.with_distribution(GroupSizeDistribution::Uniform);
+
+    println!("Sensitivity around Figure 4 defaults (uniform dist, channels = ceil(N_min/5))\n");
+
+    // Number of groups h.
+    let mut table = Table::new(vec![
+        "h".into(),
+        "N_min".into(),
+        "PAMAD".into(),
+        "m-PB".into(),
+        "OPT".into(),
+    ]);
+    for h in [2usize, 4, 6, 8, 10] {
+        let config = ExperimentConfig {
+            spec: WorkloadSpec::new(1000, h, 4, 2).distribution(GroupSizeDistribution::Uniform),
+            ..base.clone()
+        };
+        let (min, pamad, mpb, opt) = measure(&config);
+        table.row(vec![
+            h.to_string(),
+            min.to_string(),
+            fnum(pamad, 3),
+            fnum(mpb, 3),
+            fnum(opt, 3),
+        ]);
+    }
+    println!("varying h (number of groups):\n{}", table.render());
+
+    // Total pages n.
+    let mut table = Table::new(vec![
+        "n".into(),
+        "N_min".into(),
+        "PAMAD".into(),
+        "m-PB".into(),
+        "OPT".into(),
+    ]);
+    for n in [250u64, 500, 1000, 2000] {
+        let config = ExperimentConfig {
+            spec: WorkloadSpec::new(n, 8, 4, 2).distribution(GroupSizeDistribution::Uniform),
+            ..base.clone()
+        };
+        let (min, pamad, mpb, opt) = measure(&config);
+        table.row(vec![
+            n.to_string(),
+            min.to_string(),
+            fnum(pamad, 3),
+            fnum(mpb, 3),
+            fnum(opt, 3),
+        ]);
+    }
+    println!("\nvarying n (total pages):\n{}", table.render());
+
+    // Time ratio c.
+    let mut table = Table::new(vec![
+        "c".into(),
+        "N_min".into(),
+        "PAMAD".into(),
+        "m-PB".into(),
+        "OPT".into(),
+    ]);
+    for c in [2u64, 3, 4] {
+        let config = ExperimentConfig {
+            spec: WorkloadSpec::new(1000, 8, 4, c).distribution(GroupSizeDistribution::Uniform),
+            ..base.clone()
+        };
+        let (min, pamad, mpb, opt) = measure(&config);
+        table.row(vec![
+            c.to_string(),
+            min.to_string(),
+            fnum(pamad, 3),
+            fnum(mpb, 3),
+            fnum(opt, 3),
+        ]);
+    }
+    println!("\nvarying c (expected-time ratio):\n{}", table.render());
+
+    // Seed stability at the default point.
+    let mut table = Table::new(vec![
+        "seed".into(),
+        "PAMAD".into(),
+        "m-PB".into(),
+        "OPT".into(),
+    ]);
+    for seed in [1u64, 7, 42, 1234, 99999] {
+        let config = ExperimentConfig {
+            seed,
+            ..base.clone()
+        };
+        let (_, pamad, mpb, opt) = measure(&config);
+        table.row(vec![
+            seed.to_string(),
+            fnum(pamad, 3),
+            fnum(mpb, 3),
+            fnum(opt, 3),
+        ]);
+    }
+    println!(
+        "\nseed stability (3000-request estimates at the default point):\n{}",
+        table.render()
+    );
+}

@@ -1,0 +1,136 @@
+//! Smoke tests: every figure/experiment binary runs end to end at reduced
+//! scale and prints its expected markers. Guards the harness against
+//! bit-rot without paying full paper-scale runtimes in CI.
+
+use std::process::Command;
+
+/// Reduced-scale workload arguments shared by the sweeps.
+const SMALL: &[&str] = &[
+    "--n",
+    "80",
+    "--groups",
+    "4",
+    "--t1",
+    "4",
+    "--requests",
+    "400",
+];
+
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin).args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn fig3_distributions() {
+    let text = run(env!("CARGO_BIN_EXE_fig3_distributions"), SMALL);
+    assert!(text.contains("Figure 3"));
+    assert!(text.contains("L-skewed"));
+}
+
+#[test]
+fn fig4_parameters() {
+    let text = run(env!("CARGO_BIN_EXE_fig4_parameters"), &[]);
+    assert!(text.contains("Figure 4"));
+    assert!(text.contains("3000"));
+}
+
+#[test]
+fn fig5_table_csv_and_plot() {
+    let mut args = SMALL.to_vec();
+    args.extend(["--dist", "uniform", "--step", "3"]);
+    let text = run(env!("CARGO_BIN_EXE_fig5"), &args);
+    assert!(text.contains("PAMAD"));
+    assert!(text.contains("N_min"));
+
+    let mut args_csv = args.clone();
+    args_csv.extend(["--csv", "true"]);
+    let csv = run(env!("CARGO_BIN_EXE_fig5"), &args_csv);
+    assert!(csv.contains("channels,PAMAD,m-PB,OPT"));
+
+    let mut args_plot = args;
+    args_plot.extend(["--plot", "true"]);
+    let plot = run(env!("CARGO_BIN_EXE_fig5"), &args_plot);
+    assert!(plot.contains("* PAMAD"));
+}
+
+#[test]
+fn fig5_ci() {
+    let mut args = SMALL.to_vec();
+    args.extend(["--dist", "uniform", "--step", "5", "--seeds", "2"]);
+    let text = run(env!("CARGO_BIN_EXE_fig5_ci"), &args);
+    assert!(text.contains("95% CI"));
+}
+
+#[test]
+fn table_onefifth() {
+    let text = run(env!("CARGO_BIN_EXE_table_onefifth"), SMALL);
+    assert!(text.contains("AvgD@N/5"));
+}
+
+#[test]
+fn ablations_and_perf() {
+    let mut args = SMALL.to_vec();
+    args.extend(["--dist", "uniform", "--step", "5"]);
+    let text = run(env!("CARGO_BIN_EXE_ablation_objective"), &args);
+    assert!(text.contains("Eq2-literal"));
+
+    let text = run(env!("CARGO_BIN_EXE_ablation_opt"), &[]);
+    assert!(text.contains("structured"));
+
+    let mut args = SMALL.to_vec();
+    args.extend(["--dist", "uniform"]);
+    let text = run(env!("CARGO_BIN_EXE_opt_perf"), &args);
+    assert!(text.contains("evaluated"));
+}
+
+#[test]
+fn extension_experiments() {
+    let mut args = SMALL.to_vec();
+    args.extend(["--dist", "uniform"]);
+
+    let text = run(env!("CARGO_BIN_EXE_fairness"), &args);
+    assert!(text.contains("Jain"));
+
+    let mut hybrid_args = args.clone();
+    hybrid_args.extend(["--budget", "4", "--horizon", "2000"]);
+    let text = run(env!("CARGO_BIN_EXE_hybrid_split"), &hybrid_args);
+    assert!(text.contains("best split"));
+
+    let text = run(env!("CARGO_BIN_EXE_zipf_access"), &args);
+    assert!(text.contains("zipf-aware"));
+
+    let mut mg_args = args.clone();
+    mg_args.extend(["--samples", "40"]);
+    let text = run(env!("CARGO_BIN_EXE_multiget"), &mg_args);
+    assert!(text.contains("speedup"));
+
+    let mut drop_args = args.clone();
+    drop_args.extend(["--horizon", "2000"]);
+    let text = run(env!("CARGO_BIN_EXE_drop_vs_pamad"), &drop_args);
+    assert!(text.contains("drop+SUSC"));
+
+    let text = run(env!("CARGO_BIN_EXE_placement_stats"), &args);
+    assert!(text.contains("in window %"));
+}
+
+#[test]
+fn report_all_writes_markdown() {
+    let dir = std::env::temp_dir().join("airsched-bench-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.md");
+    let mut args = SMALL.to_vec();
+    let path_str = path.to_str().unwrap();
+    args.extend(["--dist", "uniform", "--step", "5", "--out", path_str]);
+    let text = run(env!("CARGO_BIN_EXE_report_all"), &args);
+    assert!(text.contains("wrote"));
+    let report = std::fs::read_to_string(&path).unwrap();
+    assert!(report.contains("# airsched reproduction report"));
+    assert!(report.contains("Figure 2"));
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,180 @@
+//! A small hand-rolled argument parser (no external CLI dependency; see
+//! DESIGN.md's dependency budget).
+//!
+//! Grammar: `airsched <command> [--key value]... [--flag]...`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: the subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    command: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// A parse or validation error, printed to stderr by `main`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// An option is `--key value`; a bare `--key` followed by another
+    /// option or nothing is a boolean flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a positional argument after the command.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let takes_value = iter.peek().is_some_and(|next| !next.starts_with("--"));
+                if takes_value {
+                    let value = iter.next().expect("peeked");
+                    args.options.insert(key.to_string(), value);
+                } else {
+                    args.flags.push(key.to_string());
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument '{tok}' (options are --key value)"
+                )));
+            }
+        }
+        Ok(args)
+    }
+
+    /// The subcommand, if any.
+    #[must_use]
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// A string option.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean flag was passed.
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// A parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] if the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}'"))),
+        }
+    }
+
+    /// A required numeric option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] if missing or unparsable.
+    pub fn require_num<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))?;
+        v.parse()
+            .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}'")))
+    }
+
+    /// A comma-separated list of integers (e.g. `--counts 3,5,3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on any unparsable element.
+    pub fn num_list(&self, key: &str) -> Result<Option<Vec<u64>>, ArgError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|part| {
+                    part.trim()
+                        .parse::<u64>()
+                        .map_err(|_| ArgError(format!("--{key}: cannot parse '{part}'")))
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(ToString::to_string)).unwrap()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let args = parse(&["sweep", "--dist", "uniform", "--csv", "--n", "100"]);
+        assert_eq!(args.command(), Some("sweep"));
+        assert_eq!(args.get("dist"), Some("uniform"));
+        assert!(args.flag("csv"));
+        assert_eq!(args.num::<u64>("n", 0).unwrap(), 100);
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let args = parse(&["bound"]);
+        assert_eq!(args.num::<u32>("channels", 7).unwrap(), 7);
+        assert!(!args.flag("csv"));
+        assert_eq!(args.get("dist"), None);
+    }
+
+    #[test]
+    fn trailing_flag_is_boolean() {
+        let args = parse(&["schedule", "--grid"]);
+        assert!(args.flag("grid"));
+    }
+
+    #[test]
+    fn rejects_extra_positionals() {
+        let err = Args::parse(["a".to_string(), "b".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("unexpected positional"));
+    }
+
+    #[test]
+    fn num_list_parses_csv() {
+        let args = parse(&["x", "--counts", "3,5, 3"]);
+        assert_eq!(args.num_list("counts").unwrap(), Some(vec![3, 5, 3]));
+        assert_eq!(args.num_list("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn bad_numbers_error() {
+        let args = parse(&["x", "--n", "abc"]);
+        assert!(args.num::<u64>("n", 1).is_err());
+        assert!(args.require_num::<u64>("n").is_err());
+        assert!(args.require_num::<u64>("absent").is_err());
+        let args = parse(&["x", "--counts", "1,zz"]);
+        assert!(args.num_list("counts").is_err());
+    }
+}

@@ -1,0 +1,816 @@
+//! The CLI subcommands. Each returns its output as a `String` so the
+//! commands are unit-testable without capturing stdout.
+
+use airsched_analysis::experiment::{one_fifth_summary, sweep_channels, ExperimentConfig};
+use airsched_analysis::report::{one_fifth_table, sweep_headline, sweep_table};
+use airsched_core::bound::{channel_demand, minimum_channels, minimum_channels_per_group};
+use airsched_core::rearrange::Rearrangement;
+use airsched_core::schedule::build_program;
+use airsched_core::validity;
+use airsched_sim::access::measure;
+use airsched_sim::sim::{SimConfig, Simulation};
+use airsched_workload::distributions::GroupSizeDistribution;
+use airsched_workload::requests::{AccessPattern, RequestGenerator};
+use airsched_workload::spec::WorkloadSpec;
+
+use crate::args::{ArgError, Args};
+use crate::workload_args::ladder_from_args;
+
+/// Usage text shown for `--help` / unknown commands.
+pub const USAGE: &str = "\
+airsched - time-constrained data broadcast scheduling (ICDCS 2005 reproduction)
+
+USAGE: airsched <command> [options]
+
+COMMANDS:
+  bound      minimum channels for a workload (Theorem 3.1)
+  schedule   build a broadcast program (SUSC or PAMAD by channel budget)
+  simulate   measure average delay of a program with synthetic clients
+  sweep      Figure-5 style channel sweep: PAMAD vs m-PB vs OPT
+  onefifth   quantify the \"1/5 of minimum channels\" observation
+  rearrange  round arbitrary expected times onto a geometric ladder
+  drop       the drop-pages baseline (paper §4, solution 1)
+  energy     tuning-energy vs latency under (1,m) air indexing
+  inspect    validate a saved program file against a workload
+  trace      print the transmission stream slot by slot
+  plan       smallest channel count meeting an average-delay budget
+  items      schedule variable-length items (LENxTIME specs)
+
+WORKLOAD OPTIONS:
+  --times 2,4,8 --counts 3,5,3   explicit groups, or
+  --n 1000 --groups 8 --t1 4 --ratio 2 --dist uniform|normal|lskew|sskew
+  (sweep/onefifth iterate over *generated* workloads and accept only the
+   second form)
+
+COMMAND OPTIONS:
+  schedule:  --channels N [--grid] [--save FILE]
+  simulate:  --channels N [--requests 3000] [--seed 42] [--zipf THETA]
+             [--des] (full discrete-event run with impatience/on-demand)
+             [--trace FILE] (replay a recorded trace instead of generating)
+             [--save-trace FILE] (record the generated requests)
+  sweep:     [--requests 3000] [--seed 42] [--csv] [--step K] [--max N]
+  rearrange: --raw-times 2,3,4,6,9 [--ratio 2]
+  drop:      --channels N [--policy tightest|relaxed|proportional]
+  energy:    --channels N [--segments M] [--requests 3000] [--seed 42]
+  inspect:   --file FILE
+  trace:     --channels N [--slots 20] [--from 0]
+  plan:      --budget SLOTS [--requests 3000] [--seed 42]
+  items:     --specs 3x8,1x2,2x5 [--ratio 2] [--channels N]
+";
+
+/// Dispatches a parsed command line; returns the text to print.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] with a user-facing message on any failure.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    match args.command() {
+        Some("bound") => cmd_bound(args),
+        Some("schedule") => cmd_schedule(args),
+        Some("simulate") => cmd_simulate(args),
+        Some("sweep") => cmd_sweep(args),
+        Some("onefifth") => cmd_onefifth(args),
+        Some("rearrange") => cmd_rearrange(args),
+        Some("drop") => cmd_drop(args),
+        Some("energy") => cmd_energy(args),
+        Some("inspect") => cmd_inspect(args),
+        Some("trace") => cmd_trace(args),
+        Some("plan") => cmd_plan(args),
+        Some("items") => cmd_items(args),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(ArgError(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_bound(args: &Args) -> Result<String, ArgError> {
+    let ladder = ladder_from_args(args)?;
+    let tight = minimum_channels(&ladder);
+    let per_group = minimum_channels_per_group(&ladder);
+    Ok(format!(
+        "workload: {ladder}\n\
+         channel demand (sum P_i/t_i): {:.4}\n\
+         minimum channels (Theorem 3.1, tight): {tight}\n\
+         per-group variant (sum of ceilings):   {per_group}\n",
+        channel_demand(&ladder)
+    ))
+}
+
+fn cmd_schedule(args: &Args) -> Result<String, ArgError> {
+    let ladder = ladder_from_args(args)?;
+    let channels: u32 = args.require_num("channels")?;
+    let outcome = build_program(&ladder, channels).map_err(|e| ArgError(e.to_string()))?;
+    let report = validity::check(outcome.program(), &ladder);
+    let mut out = format!(
+        "workload: {ladder}\n\
+         algorithm: {} (minimum channels: {})\n\
+         program: {}\n\
+         frequencies: {:?}\n\
+         validity: {report}\n",
+        outcome.algorithm(),
+        outcome.minimum_channels(),
+        outcome.program(),
+        outcome.frequencies(),
+    );
+    if args.flag("grid") {
+        out.push_str(&outcome.program().render_grid());
+    }
+    if let Some(path) = args.get("save") {
+        let text = airsched_core::textio::write_program(outcome.program());
+        std::fs::write(path, text).map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+        out.push_str(&format!("saved program to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_drop(args: &Args) -> Result<String, ArgError> {
+    use airsched_core::dropping::{schedule_with_drops, DropPolicy};
+    let ladder = ladder_from_args(args)?;
+    let channels: u32 = args.require_num("channels")?;
+    let policy = match args.get("policy").unwrap_or("tightest") {
+        "tightest" => DropPolicy::TightestFirst,
+        "relaxed" => DropPolicy::MostRelaxedFirst,
+        "proportional" => DropPolicy::Proportional,
+        other => {
+            return Err(ArgError(format!(
+                "unknown drop policy '{other}' (tightest, relaxed, proportional)"
+            )))
+        }
+    };
+    let outcome =
+        schedule_with_drops(&ladder, channels, policy).map_err(|e| ArgError(e.to_string()))?;
+    let report = validity::check(outcome.program(), outcome.kept_ladder());
+    Ok(format!(
+        "workload: {ladder}\n\
+         policy: {policy:?}\n\
+         dropped {} of {} pages ({:.1}%)\n\
+         kept workload: {}\n\
+         program: {}\n\
+         validity over kept pages: {report}\n",
+        outcome.dropped().len(),
+        ladder.total_pages(),
+        outcome.drop_rate(&ladder) * 100.0,
+        outcome.kept_ladder(),
+        outcome.program(),
+    ))
+}
+
+fn cmd_energy(args: &Args) -> Result<String, ArgError> {
+    use airsched_sim::energy::{measure_energy, TuningScheme};
+    let ladder = ladder_from_args(args)?;
+    let channels: u32 = args.require_num("channels")?;
+    let segments: u32 = args.num("segments", 4)?;
+    let requests: usize = args.num("requests", 3000)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let outcome = build_program(&ladder, channels).map_err(|e| ArgError(e.to_string()))?;
+    let program = outcome.program();
+    let reqs = RequestGenerator::new(&ladder, AccessPattern::Uniform, seed)
+        .take(requests, program.cycle_len());
+
+    let mut out = format!("algorithm: {}, program: {}\n", outcome.algorithm(), program);
+    for (name, scheme) in [
+        ("continuous listening".to_string(), TuningScheme::Continuous),
+        (
+            format!("(1,{segments}) indexing"),
+            TuningScheme::Indexed { segments },
+        ),
+    ] {
+        let (summary, skipped) = measure_energy(program, &ladder, &reqs, scheme);
+        out.push_str(&format!(
+            "{name}: mean active {:.2} slots, doze ratio {:.1}%, avg wait \
+             {:.2}, AvgD {:.3}, skipped {skipped}\n",
+            summary.mean_active_slots,
+            summary.doze_ratio * 100.0,
+            summary.delays.avg_wait(),
+            summary.delays.avg_delay(),
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_inspect(args: &Args) -> Result<String, ArgError> {
+    let path = args
+        .get("file")
+        .ok_or_else(|| ArgError("missing required option --file".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read '{path}': {e}")))?;
+    let program =
+        airsched_core::textio::parse_program(&text).map_err(|e| ArgError(e.to_string()))?;
+    let mut out = format!("program: {program}\n");
+    // With a workload given, run the full quality analysis.
+    if args.get("times").is_some() || args.get("counts").is_some() {
+        let ladder = ladder_from_args(args)?;
+        let report = airsched_core::report::analyze(&program, &ladder);
+        out.push_str(&format!("workload: {ladder}\n{report}"));
+    }
+    if args.flag("grid") {
+        out.push_str(&program.render_grid());
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, ArgError> {
+    let ladder = ladder_from_args(args)?;
+    let channels: u32 = args.require_num("channels")?;
+    let requests: usize = args.num("requests", 3000)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let access = match args.get("zipf") {
+        None => AccessPattern::Uniform,
+        Some(theta) => AccessPattern::Zipf {
+            theta: theta
+                .parse()
+                .map_err(|_| ArgError(format!("--zipf: cannot parse '{theta}'")))?,
+        },
+    };
+    let outcome = build_program(&ladder, channels).map_err(|e| ArgError(e.to_string()))?;
+    let program = outcome.program();
+
+    // Request stream: replay a trace file, or generate (and maybe record).
+    let reqs = match args.get("trace") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read '{path}': {e}")))?;
+            airsched_workload::trace::parse_trace(&text).map_err(|e| ArgError(e.to_string()))?
+        }
+        None => {
+            let mut gen = RequestGenerator::new(&ladder, access, seed);
+            let horizon = if args.flag("des") {
+                program.cycle_len().max(1) * 20
+            } else {
+                program.cycle_len()
+            };
+            gen.take(requests, horizon)
+        }
+    };
+    if let Some(path) = args.get("save-trace") {
+        std::fs::write(path, airsched_workload::trace::write_trace(&reqs))
+            .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+    }
+
+    if args.flag("des") {
+        let sim = Simulation::new(program, &ladder, SimConfig::default());
+        let report = sim.run(&reqs);
+        Ok(format!(
+            "algorithm: {}\nprogram: {}\n{report}\n",
+            outcome.algorithm(),
+            program
+        ))
+    } else {
+        let (summary, misses) = measure(program, &ladder, &reqs);
+        Ok(format!(
+            "algorithm: {}\nprogram: {}\n{summary}\nmisses: {misses}\n",
+            outcome.algorithm(),
+            program
+        ))
+    }
+}
+
+fn experiment_config(args: &Args) -> Result<ExperimentConfig, ArgError> {
+    if args.get("times").is_some() || args.get("counts").is_some() {
+        return Err(ArgError(
+            "this command sweeps *generated* workloads; describe one with \
+             --n/--groups/--t1/--ratio/--dist instead of --times/--counts"
+                .into(),
+        ));
+    }
+    let dist_name = args.get("dist").unwrap_or("uniform");
+    let dist = GroupSizeDistribution::parse(dist_name)
+        .ok_or_else(|| ArgError(format!("unknown distribution '{dist_name}'")))?;
+    Ok(ExperimentConfig {
+        spec: WorkloadSpec::new(
+            args.num("n", 1000u64)?,
+            args.num("groups", 8usize)?,
+            args.num("t1", 4u64)?,
+            args.num("ratio", 2u64)?,
+        )
+        .distribution(dist),
+        requests: args.num("requests", 3000usize)?,
+        seed: args.num("seed", 42u64)?,
+        ..ExperimentConfig::paper_defaults()
+    })
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
+    let config = experiment_config(args)?;
+    let ladder = config.ladder().map_err(|e| ArgError(e.to_string()))?;
+    let min = minimum_channels(&ladder);
+    let max: u32 = args.num("max", min)?;
+    let step: u32 = args.num("step", 1)?;
+    if step == 0 {
+        return Err(ArgError("--step must be positive".into()));
+    }
+    let channels: Vec<u32> = (1..=max.min(min)).step_by(step as usize).collect();
+    let sweep = sweep_channels(&config, channels).map_err(|e| ArgError(e.to_string()))?;
+    let table = sweep_table(&sweep);
+    let body = if args.flag("csv") {
+        table.render_csv()
+    } else {
+        table.render()
+    };
+    Ok(format!("{}\n{body}", sweep_headline(&sweep)))
+}
+
+fn cmd_onefifth(args: &Args) -> Result<String, ArgError> {
+    let mut rows = Vec::new();
+    for dist in GroupSizeDistribution::ALL {
+        let config = experiment_config(args)?.with_distribution(dist);
+        rows.push(one_fifth_summary(&config).map_err(|e| ArgError(e.to_string()))?);
+    }
+    Ok(one_fifth_table(&rows).render())
+}
+
+fn cmd_rearrange(args: &Args) -> Result<String, ArgError> {
+    let raw = args
+        .num_list("raw-times")?
+        .ok_or_else(|| ArgError("missing required option --raw-times".into()))?;
+    let ratio: u64 = args.num("ratio", 2)?;
+    let r = Rearrangement::with_ratio(&raw, ratio).map_err(|e| ArgError(e.to_string()))?;
+    let mut out = format!(
+        "ladder: {}\nrelative bandwidth slack: {:.4}\n",
+        r.ladder(),
+        r.relative_slack()
+    );
+    for a in r.assignments() {
+        out.push_str(&format!(
+            "  t={} -> t'={} (page {})\n",
+            a.original_time, a.assigned_time, a.page
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_trace(args: &Args) -> Result<String, ArgError> {
+    use airsched_sim::server::BroadcastStream;
+    let ladder = ladder_from_args(args)?;
+    let channels: u32 = args.require_num("channels")?;
+    let slots: u64 = args.num("slots", 20)?;
+    let from: u64 = args.num("from", 0)?;
+    let outcome = build_program(&ladder, channels).map_err(|e| ArgError(e.to_string()))?;
+    let program = outcome.program();
+    let mut out = format!(
+        "algorithm: {}, cycle {} slots, tracing t={from}..{}\n",
+        outcome.algorithm(),
+        program.cycle_len(),
+        from + slots
+    );
+    for slot in BroadcastStream::starting_at(program, from).take(slots as usize) {
+        out.push_str(&format!("t{:>4} |", slot.time));
+        for page in &slot.pages {
+            match page {
+                Some(p) => out.push_str(&format!(" {:>4}", p.index())),
+                None => out.push_str("    ."),
+            }
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn cmd_plan(args: &Args) -> Result<String, ArgError> {
+    use airsched_analysis::experiment::channels_for_delay_budget;
+    use airsched_core::bound::minimum_channels;
+    let budget: f64 = args.require_num("budget")?;
+    if !(budget.is_finite() && budget >= 0.0) {
+        return Err(ArgError("--budget must be a non-negative number".into()));
+    }
+    let config = experiment_config(args)?;
+    let ladder = config.ladder().map_err(|e| ArgError(e.to_string()))?;
+    let min = minimum_channels(&ladder);
+    match channels_for_delay_budget(&config, budget).map_err(|e| ArgError(e.to_string()))? {
+        Some(n) => Ok(format!(
+            "workload: {ladder}\n\
+             minimum channels for zero delay: {min}\n\
+             smallest channel count with AvgD <= {budget} slots: {n}\n"
+        )),
+        None => Ok(format!(
+            "workload: {ladder}\n\
+             minimum channels for zero delay: {min}\n\
+             no channel count up to {min} meets AvgD <= {budget} slots \
+             (budget below PAMAD's placement noise floor; SUSC at {min} \
+             achieves exactly zero)\n"
+        )),
+    }
+}
+
+fn cmd_items(args: &Args) -> Result<String, ArgError> {
+    use airsched_core::bound::minimum_channels;
+    use airsched_core::items::{ItemCatalogue, ItemId, ItemSpec};
+    let specs_raw = args
+        .get("specs")
+        .ok_or_else(|| ArgError("missing required option --specs (e.g. 3x8,1x2)".into()))?;
+    let mut specs = Vec::new();
+    for part in specs_raw.split(',') {
+        let (len, t) = part
+            .trim()
+            .split_once(['x', 'X'])
+            .ok_or_else(|| ArgError(format!("'{part}' is not LENxTIME")))?;
+        specs.push(ItemSpec {
+            length: len
+                .parse()
+                .map_err(|_| ArgError(format!("bad length '{len}'")))?,
+            expected_time: t
+                .parse()
+                .map_err(|_| ArgError(format!("bad expected time '{t}'")))?,
+        });
+    }
+    let ratio: u64 = args.num("ratio", 2)?;
+    let catalogue = ItemCatalogue::build(&specs, ratio).map_err(|e| ArgError(e.to_string()))?;
+    let min = minimum_channels(catalogue.ladder());
+    let channels: u32 = args.num("channels", min)?;
+    let outcome =
+        build_program(catalogue.ladder(), channels).map_err(|e| ArgError(e.to_string()))?;
+
+    let mut out = format!(
+        "catalogue: {} item(s) -> {} unit pages\n\
+         ladder: {}\n\
+         minimum channels: {min}; scheduling on {channels} -> {}\n",
+        catalogue.len(),
+        catalogue.ladder().total_pages(),
+        catalogue.ladder(),
+        outcome.algorithm(),
+    );
+    for idx in 0..catalogue.len() {
+        let item = ItemId::new(u32::try_from(idx).expect("catalogue fits in u32"));
+        let spec = catalogue.spec(item);
+        out.push_str(&format!(
+            "  {item}: {} slot(s), t={}, parts {:?}, worst-case assembly \
+             {} slots\n",
+            spec.length,
+            spec.expected_time,
+            catalogue
+                .pages_of(item)
+                .iter()
+                .map(|p| p.index())
+                .collect::<Vec<_>>(),
+            catalogue.worst_case_assembly(item),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(parts: &[&str]) -> Result<String, ArgError> {
+        run(&Args::parse(parts.iter().map(ToString::to_string)).unwrap())
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run_line(&[]).unwrap().contains("USAGE"));
+        assert!(run_line(&["help"]).unwrap().contains("USAGE"));
+        assert!(run_line(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn bound_on_paper_example() {
+        let out = run_line(&["bound", "--times", "2,4", "--counts", "2,3"]).unwrap();
+        assert!(out.contains("tight): 2"), "{out}");
+        assert!(out.contains("1.7500"), "{out}");
+    }
+
+    #[test]
+    fn schedule_selects_algorithms() {
+        let susc = run_line(&[
+            "schedule",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--channels",
+            "4",
+            "--grid",
+        ])
+        .unwrap();
+        assert!(susc.contains("SUSC"), "{susc}");
+        assert!(susc.contains("valid broadcast program"), "{susc}");
+        assert!(susc.contains("ch0:"), "{susc}");
+
+        let pamad = run_line(&[
+            "schedule",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--channels",
+            "3",
+        ])
+        .unwrap();
+        assert!(pamad.contains("PAMAD"), "{pamad}");
+        assert!(pamad.contains("[4, 2, 1]"), "{pamad}");
+    }
+
+    #[test]
+    fn schedule_requires_channels() {
+        assert!(run_line(&["schedule", "--times", "2", "--counts", "1"]).is_err());
+    }
+
+    #[test]
+    fn simulate_reports_avgd() {
+        let out = run_line(&[
+            "simulate",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--channels",
+            "3",
+            "--requests",
+            "500",
+        ])
+        .unwrap();
+        assert!(out.contains("AvgD"), "{out}");
+        assert!(out.contains("500 requests"), "{out}");
+    }
+
+    #[test]
+    fn simulate_des_mode() {
+        let out = run_line(&[
+            "simulate",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--channels",
+            "2",
+            "--requests",
+            "300",
+            "--des",
+        ])
+        .unwrap();
+        assert!(out.contains("on-demand"), "{out}");
+        assert!(out.contains("mean total latency"), "{out}");
+    }
+
+    #[test]
+    fn sweep_small_workload() {
+        let out = run_line(&[
+            "sweep",
+            "--n",
+            "40",
+            "--groups",
+            "3",
+            "--t1",
+            "2",
+            "--requests",
+            "400",
+        ])
+        .unwrap();
+        assert!(out.contains("PAMAD"), "{out}");
+        assert!(out.contains("Figure 5"), "{out}");
+        let csv = run_line(&[
+            "sweep",
+            "--n",
+            "40",
+            "--groups",
+            "3",
+            "--t1",
+            "2",
+            "--requests",
+            "400",
+            "--csv",
+        ])
+        .unwrap();
+        assert!(csv.contains("channels,PAMAD,m-PB,OPT"), "{csv}");
+    }
+
+    #[test]
+    fn sweep_rejects_explicit_group_lists() {
+        // --times/--counts would be silently ignored; make it an error.
+        let err = run_line(&[
+            "sweep",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--requests",
+            "100",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("generated"), "{err}");
+        let err = run_line(&["onefifth", "--counts", "3,5,3"]).unwrap_err();
+        assert!(err.to_string().contains("generated"), "{err}");
+    }
+
+    #[test]
+    fn sweep_rejects_zero_step() {
+        assert!(
+            run_line(&["sweep", "--n", "40", "--groups", "3", "--t1", "2", "--step", "0"]).is_err()
+        );
+    }
+
+    #[test]
+    fn rearrange_paper_example() {
+        let out = run_line(&["rearrange", "--raw-times", "2,3,4,6,9"]).unwrap();
+        assert!(out.contains("t=3 -> t'=2"), "{out}");
+        assert!(out.contains("t=9 -> t'=8"), "{out}");
+    }
+
+    #[test]
+    fn rearrange_requires_times() {
+        assert!(run_line(&["rearrange"]).is_err());
+    }
+
+    #[test]
+    fn drop_command_reports_drops() {
+        let out = run_line(&[
+            "drop",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--channels",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("dropped"), "{out}");
+        assert!(out.contains("valid broadcast program"), "{out}");
+        let out = run_line(&[
+            "drop",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--channels",
+            "3",
+            "--policy",
+            "relaxed",
+        ])
+        .unwrap();
+        assert!(out.contains("MostRelaxedFirst"), "{out}");
+        assert!(run_line(&[
+            "drop",
+            "--times",
+            "2",
+            "--counts",
+            "1",
+            "--channels",
+            "1",
+            "--policy",
+            "bogus",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn energy_command_compares_schemes() {
+        let out = run_line(&[
+            "energy",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--channels",
+            "4",
+            "--requests",
+            "400",
+            "--segments",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("continuous listening"), "{out}");
+        assert!(out.contains("(1,3) indexing"), "{out}");
+    }
+
+    #[test]
+    fn schedule_save_and_inspect_round_trip() {
+        let dir = std::env::temp_dir().join("airsched-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("program.txt");
+        let path_str = path.to_str().unwrap();
+        let out = run_line(&[
+            "schedule",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--channels",
+            "4",
+            "--save",
+            path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("saved program"), "{out}");
+        let out = run_line(&[
+            "inspect", "--file", path_str, "--times", "2,4,8", "--counts", "3,5,3",
+        ])
+        .unwrap();
+        assert!(out.contains("valid broadcast program"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn items_command_schedules_catalogue() {
+        let out = run_line(&["items", "--specs", "3x8,1x2,2x5"]).unwrap();
+        assert!(out.contains("3 item(s)"), "{out}");
+        assert!(out.contains("item0"), "{out}");
+        assert!(out.contains("worst-case assembly"), "{out}");
+        assert!(run_line(&["items", "--specs", "3-8"]).is_err());
+        assert!(run_line(&["items", "--specs", "axb"]).is_err());
+        assert!(run_line(&["items"]).is_err());
+    }
+
+    #[test]
+    fn plan_finds_operating_point() {
+        let out = run_line(&[
+            "plan",
+            "--n",
+            "60",
+            "--groups",
+            "4",
+            "--t1",
+            "4",
+            "--budget",
+            "5",
+            "--requests",
+            "500",
+        ])
+        .unwrap();
+        assert!(out.contains("smallest channel count"), "{out}");
+        assert!(run_line(&["plan", "--budget", "nan-ish"]).is_err());
+        assert!(run_line(&["plan"]).is_err());
+    }
+
+    #[test]
+    fn simulate_trace_record_and_replay() {
+        let dir = std::env::temp_dir().join("airsched-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("requests.trace");
+        let path_str = path.to_str().unwrap();
+        let recorded = run_line(&[
+            "simulate",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--channels",
+            "3",
+            "--requests",
+            "200",
+            "--save-trace",
+            path_str,
+        ])
+        .unwrap();
+        let replayed = run_line(&[
+            "simulate",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--channels",
+            "3",
+            "--trace",
+            path_str,
+        ])
+        .unwrap();
+        // Identical requests -> identical measurement.
+        assert_eq!(recorded, replayed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_prints_slots() {
+        let out = run_line(&[
+            "trace",
+            "--times",
+            "2,4",
+            "--counts",
+            "2,3",
+            "--channels",
+            "2",
+            "--slots",
+            "6",
+            "--from",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("t   2 |"), "{out}");
+        assert!(out.contains("t   7 |"), "{out}");
+        assert_eq!(out.lines().count(), 7, "{out}");
+    }
+
+    #[test]
+    fn inspect_missing_file_errors() {
+        assert!(run_line(&["inspect", "--file", "/nonexistent/x.txt"]).is_err());
+        assert!(run_line(&["inspect"]).is_err());
+    }
+
+    #[test]
+    fn onefifth_small() {
+        let out = run_line(&[
+            "onefifth",
+            "--n",
+            "60",
+            "--groups",
+            "4",
+            "--t1",
+            "2",
+            "--requests",
+            "300",
+        ])
+        .unwrap();
+        assert!(out.contains("AvgD@N/5"), "{out}");
+        // Four distribution rows + header + rule.
+        assert_eq!(out.lines().count(), 6, "{out}");
+    }
+}

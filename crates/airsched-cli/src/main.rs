@@ -1,0 +1,29 @@
+//! `airsched` — command-line interface to the ICDCS 2005 reproduction.
+//!
+//! Run `airsched help` for usage. See the repository README for a tour.
+
+mod args;
+mod commands;
+mod workload_args;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Translating CLI options into a [`GroupLadder`].
+//!
+//! Two mutually exclusive styles:
+//!
+//! * explicit: `--times 2,4,8 --counts 3,5,3`
+//! * generated: `--n 1000 --groups 8 --t1 4 --ratio 2 --dist uniform`
+//!   (each with the paper's Figure 4 value as its default)
+
+use airsched_core::group::GroupLadder;
+use airsched_workload::distributions::GroupSizeDistribution;
+use airsched_workload::spec::WorkloadSpec;
+
+use crate::args::{ArgError, Args};
+
+/// Builds the ladder described by the command line.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for inconsistent or unparsable options.
+pub fn ladder_from_args(args: &Args) -> Result<GroupLadder, ArgError> {
+    let times = args.num_list("times")?;
+    let counts = args.num_list("counts")?;
+    match (times, counts) {
+        (Some(times), Some(counts)) => {
+            if times.len() != counts.len() {
+                return Err(ArgError(format!(
+                    "--times has {} entries but --counts has {}",
+                    times.len(),
+                    counts.len()
+                )));
+            }
+            GroupLadder::new(times.into_iter().zip(counts).collect())
+                .map_err(|e| ArgError(e.to_string()))
+        }
+        (Some(_), None) | (None, Some(_)) => Err(ArgError(
+            "--times and --counts must be given together".into(),
+        )),
+        (None, None) => {
+            let dist_name = args.get("dist").unwrap_or("uniform");
+            let dist = GroupSizeDistribution::parse(dist_name).ok_or_else(|| {
+                ArgError(format!(
+                    "unknown distribution '{dist_name}' (expected uniform, normal, \
+                     lskew, or sskew)"
+                ))
+            })?;
+            let spec = WorkloadSpec::new(
+                args.num("n", 1000u64)?,
+                args.num("groups", 8usize)?,
+                args.num("t1", 4u64)?,
+                args.num("ratio", 2u64)?,
+            )
+            .distribution(dist);
+            spec.build().map_err(|e| ArgError(e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(ToString::to_string)).unwrap()
+    }
+
+    #[test]
+    fn explicit_times_and_counts() {
+        let ladder =
+            ladder_from_args(&parse(&["x", "--times", "2,4,8", "--counts", "3,5,3"])).unwrap();
+        assert_eq!(ladder.times(), &[2, 4, 8]);
+        assert_eq!(ladder.page_counts(), &[3, 5, 3]);
+    }
+
+    #[test]
+    fn generated_defaults_are_the_paper() {
+        let ladder = ladder_from_args(&parse(&["x"])).unwrap();
+        assert_eq!(ladder.total_pages(), 1000);
+        assert_eq!(ladder.times(), &[4, 8, 16, 32, 64, 128, 256, 512]);
+    }
+
+    #[test]
+    fn generated_with_distribution() {
+        let ladder = ladder_from_args(&parse(&[
+            "x", "--n", "100", "--groups", "4", "--t1", "2", "--dist", "lskew",
+        ]))
+        .unwrap();
+        assert_eq!(ladder.group_count(), 4);
+        assert_eq!(ladder.total_pages(), 100);
+        assert!(ladder.page_counts()[0] > ladder.page_counts()[3]);
+    }
+
+    #[test]
+    fn mismatched_lists_error() {
+        assert!(ladder_from_args(&parse(&["x", "--times", "2,4", "--counts", "1"])).is_err());
+        assert!(ladder_from_args(&parse(&["x", "--times", "2,4"])).is_err());
+    }
+
+    #[test]
+    fn unknown_distribution_errors() {
+        let err = ladder_from_args(&parse(&["x", "--dist", "pareto"])).unwrap_err();
+        assert!(err.to_string().contains("unknown distribution"));
+    }
+
+    #[test]
+    fn invalid_ladder_errors() {
+        let err =
+            ladder_from_args(&parse(&["x", "--times", "2,3", "--counts", "1,1"])).unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Theorem 3.1: the minimum number of channels for a *valid* broadcast
+//! program.
+//!
+//! A valid program delivers every page of group `G_i` within `t_i` slots of
+//! any tune-in instant, which forces page `p` of `G_i` to consume at least
+//! `1/t_i` of one channel's bandwidth. Summing over all pages gives the
+//! bound `N >= sum_i P_i / t_i`, i.e. `N = ceil(sum_i P_i / t_i)` channels
+//! suffice — and [`crate::susc`] constructs a valid program at exactly this
+//! bound, so it is tight.
+//!
+//! Note on the paper's typesetting: equation (1) reads `sum_i ceil(P_i/t_i)`
+//! but the worked example computes `ceil(2/2 + 3/4) = 2`, a single ceiling
+//! over the sum. The single-ceiling bound is the correct tight one (see
+//! `tests/` property tests exercising SUSC at the bound); the per-group
+//! variant is also provided for comparison.
+
+use crate::group::GroupLadder;
+
+/// The tight minimum number of channels: `ceil(sum_i P_i / t_i)`.
+///
+/// This is the value the paper's worked example computes, and the bound at
+/// which [`crate::susc::schedule`] always succeeds.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::bound::minimum_channels;
+/// use airsched_core::group::GroupLadder;
+///
+/// // Paper §3.1 example: P = (2, 3), t = (2, 4) => ceil(1.75) = 2.
+/// let ladder = GroupLadder::new(vec![(2, 2), (4, 3)])?;
+/// assert_eq!(minimum_channels(&ladder), 2);
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+#[must_use]
+pub fn minimum_channels(ladder: &GroupLadder) -> u32 {
+    // Exact rational arithmetic over the common denominator t_h (every t_i
+    // divides t_h), avoiding floating-point rounding at the ceiling edge.
+    let th = ladder.max_time();
+    let mut numerator: u128 = 0;
+    for (t, p) in ladder.times().iter().zip(ladder.page_counts()) {
+        // P_i / t_i == P_i * (t_h / t_i) / t_h; t_i | t_h by ladder invariant.
+        numerator += u128::from(*p) * u128::from(th / t);
+    }
+    let n = numerator.div_ceil(u128::from(th));
+    u32::try_from(n).expect("minimum channel count fits in u32")
+}
+
+/// The paper's typeset formula: `sum_i ceil(P_i / t_i)`.
+///
+/// Always greater than or equal to [`minimum_channels`]; strictly greater
+/// whenever two or more groups have fractional `P_i / t_i` parts that pack
+/// into fewer shared channels.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::bound::{minimum_channels, minimum_channels_per_group};
+/// use airsched_core::group::GroupLadder;
+///
+/// let ladder = GroupLadder::new(vec![(2, 1), (4, 1)])?;
+/// assert_eq!(minimum_channels(&ladder), 1);          // ceil(0.75)
+/// assert_eq!(minimum_channels_per_group(&ladder), 2); // ceil(0.5)+ceil(0.25)
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+#[must_use]
+pub fn minimum_channels_per_group(ladder: &GroupLadder) -> u32 {
+    let n: u64 = ladder
+        .times()
+        .iter()
+        .zip(ladder.page_counts())
+        .map(|(t, p)| p.div_ceil(*t))
+        .sum();
+    u32::try_from(n).expect("minimum channel count fits in u32")
+}
+
+/// The exact channel *demand* `sum_i P_i / t_i` as a float, useful for
+/// reporting how oversubscribed an insufficient-channel system is.
+#[must_use]
+pub fn channel_demand(ladder: &GroupLadder) -> f64 {
+    ladder
+        .times()
+        .iter()
+        .zip(ladder.page_counts())
+        .map(|(t, p)| *p as f64 / *t as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_needs_two_channels() {
+        let ladder = GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap();
+        assert_eq!(minimum_channels(&ladder), 2);
+        assert_eq!(minimum_channels_per_group(&ladder), 2);
+    }
+
+    #[test]
+    fn figure2_example_needs_four_channels() {
+        // P = (3, 5, 3), t = (2, 4, 8): 1.5 + 1.25 + 0.375 = 3.125 -> 4.
+        let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap();
+        assert_eq!(minimum_channels(&ladder), 4);
+    }
+
+    #[test]
+    fn single_ceiling_is_tighter_than_per_group() {
+        let ladder = GroupLadder::new(vec![(2, 1), (4, 1)]).unwrap();
+        assert_eq!(minimum_channels(&ladder), 1);
+        assert_eq!(minimum_channels_per_group(&ladder), 2);
+    }
+
+    #[test]
+    fn per_group_never_below_tight_bound() {
+        let cases = [
+            vec![(2, 3), (4, 5), (8, 3)],
+            vec![(1, 1)],
+            vec![(4, 100), (8, 200), (16, 50)],
+            vec![(3, 7), (6, 1), (12, 1), (24, 9)],
+        ];
+        for groups in cases {
+            let ladder = GroupLadder::new(groups).unwrap();
+            assert!(minimum_channels_per_group(&ladder) >= minimum_channels(&ladder));
+        }
+    }
+
+    #[test]
+    fn exact_division_has_no_ceiling_slack() {
+        // 4/2 + 8/4 = 4 exactly.
+        let ladder = GroupLadder::new(vec![(2, 4), (4, 8)]).unwrap();
+        assert_eq!(minimum_channels(&ladder), 4);
+        assert!((channel_demand(&ladder) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_matches_bound_ceiling() {
+        let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap();
+        let demand = channel_demand(&ladder);
+        assert!((demand - 3.125).abs() < 1e-12);
+        assert_eq!(minimum_channels(&ladder), demand.ceil() as u32);
+    }
+
+    #[test]
+    fn paper_default_workload_bound() {
+        // h=8, t=4..512, 125 pages per group.
+        let ladder = GroupLadder::geometric(4, 2, &[125; 8]).unwrap();
+        // demand = 125 * (1/4 + 1/8 + ... + 1/512) = 125 * (2/4 - 1/512)*... compute:
+        let expect: f64 = [4u64, 8, 16, 32, 64, 128, 256, 512]
+            .iter()
+            .map(|&t| 125.0 / t as f64)
+            .sum();
+        assert_eq!(minimum_channels(&ladder), expect.ceil() as u32);
+        // Sanity: about 62.3 -> 63 channels.
+        assert_eq!(minimum_channels(&ladder), 63);
+    }
+
+    #[test]
+    fn large_counts_do_not_overflow() {
+        let ladder = GroupLadder::new(vec![(1, 4_000_000)]).unwrap();
+        assert_eq!(minimum_channels(&ladder), 4_000_000);
+    }
+}

@@ -1,0 +1,412 @@
+//! The drop-pages baseline — §4's "first solution".
+//!
+//! When channels are insufficient, one can "simply drop some data pages to
+//! reduce the amount of data to be broadcast so that the expected time of
+//! all broadcast data can be satisfied", then schedule the survivors with
+//! SUSC. The paper rejects this because every dropped page's readers are
+//! pushed onto the on-demand channel, degrading its quality of service —
+//! this module implements the baseline so that trade-off is measurable
+//! (see `airsched-sim`'s on-demand model and the `drop_vs_pamad`
+//! experiment binary).
+
+use crate::bound::minimum_channels;
+use crate::error::ScheduleError;
+use crate::group::GroupLadder;
+use crate::program::BroadcastProgram;
+use crate::susc;
+use crate::types::PageId;
+
+/// Which pages to sacrifice first when shrinking the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DropPolicy {
+    /// Drop pages with the *tightest* expected times first. Each such page
+    /// frees `1/t_i` of a channel — the most per drop — so this minimizes
+    /// the number of pages dropped.
+    #[default]
+    TightestFirst,
+    /// Drop pages with the most *relaxed* expected times first. Each drop
+    /// frees the least bandwidth, so many more pages are dropped, but the
+    /// dropped pages are the ones clients were willing to wait longest
+    /// for.
+    MostRelaxedFirst,
+    /// Drop proportionally from every group (round-robin across groups,
+    /// spreading the pain).
+    Proportional,
+}
+
+/// The result of the drop-then-SUSC pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropOutcome {
+    program: BroadcastProgram,
+    kept: GroupLadder,
+    dropped: Vec<PageId>,
+    policy: DropPolicy,
+}
+
+impl DropOutcome {
+    /// The valid broadcast program over the surviving pages.
+    ///
+    /// Page ids in the program refer to the **kept ladder's** numbering
+    /// (see [`DropOutcome::kept_ladder`]); use [`DropOutcome::dropped`]
+    /// against the original ladder's numbering.
+    #[must_use]
+    pub fn program(&self) -> &BroadcastProgram {
+        &self.program
+    }
+
+    /// The surviving workload (page ids renumbered group-major).
+    #[must_use]
+    pub fn kept_ladder(&self) -> &GroupLadder {
+        &self.kept
+    }
+
+    /// Pages dropped, in the *original* ladder's numbering.
+    #[must_use]
+    pub fn dropped(&self) -> &[PageId] {
+        &self.dropped
+    }
+
+    /// The policy that selected the victims.
+    #[must_use]
+    pub fn policy(&self) -> DropPolicy {
+        self.policy
+    }
+
+    /// Fraction of the original pages dropped.
+    #[must_use]
+    pub fn drop_rate(&self, original: &GroupLadder) -> f64 {
+        self.dropped.len() as f64 / original.total_pages() as f64
+    }
+}
+
+/// Drops pages per `policy` until the workload fits `n_real` channels,
+/// then schedules the survivors with SUSC.
+///
+/// # Errors
+///
+/// * [`ScheduleError::NoChannels`] if `n_real == 0`.
+/// * [`ScheduleError::EmptyLadder`] if satisfying the budget would require
+///   dropping *every* page.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::dropping::{schedule_with_drops, DropPolicy};
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::validity;
+///
+/// // Needs 4 channels; with 3, TightestFirst drops t=2 pages until it fits.
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// let outcome = schedule_with_drops(&ladder, 3, DropPolicy::TightestFirst)?;
+/// assert!(!outcome.dropped().is_empty());
+/// assert!(validity::check(outcome.program(), outcome.kept_ladder()).is_valid());
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+pub fn schedule_with_drops(
+    ladder: &GroupLadder,
+    n_real: u32,
+    policy: DropPolicy,
+) -> Result<DropOutcome, ScheduleError> {
+    if n_real == 0 {
+        return Err(ScheduleError::NoChannels);
+    }
+    let h = ladder.group_count();
+    let mut counts: Vec<u64> = ladder.page_counts().to_vec();
+    let times = ladder.times();
+
+    // Demand in units of 1/t_h channels (exact integer arithmetic).
+    let th = ladder.max_time();
+    let weight = |g: usize| th / times[g]; // slots per cycle one page of g costs
+    let mut demand: u64 = counts.iter().enumerate().map(|(g, &p)| p * weight(g)).sum();
+    let budget = u64::from(n_real) * th;
+
+    let mut dropped_per_group = vec![0u64; h];
+    let mut rr_cursor = 0usize; // for Proportional
+    while demand > budget {
+        // Choose the next victim group with pages left.
+        let victim = match policy {
+            DropPolicy::TightestFirst => (0..h).find(|&g| counts[g] > 0),
+            DropPolicy::MostRelaxedFirst => (0..h).rev().find(|&g| counts[g] > 0),
+            DropPolicy::Proportional => {
+                let mut chosen = None;
+                for step in 0..h {
+                    let g = (rr_cursor + step) % h;
+                    if counts[g] > 0 {
+                        chosen = Some(g);
+                        rr_cursor = (g + 1) % h;
+                        break;
+                    }
+                }
+                chosen
+            }
+        };
+        let Some(g) = victim else {
+            return Err(ScheduleError::EmptyLadder);
+        };
+        counts[g] -= 1;
+        dropped_per_group[g] += 1;
+        demand -= weight(g);
+        if counts.iter().all(|&c| c == 0) && demand > budget {
+            return Err(ScheduleError::EmptyLadder);
+        }
+    }
+
+    // Victims are the last pages of each group (group-major numbering).
+    let mut dropped = Vec::new();
+    for (info, &d) in ladder.groups().zip(&dropped_per_group) {
+        let keep = info.page_count - d;
+        for k in keep..info.page_count {
+            dropped.push(PageId::new(
+                info.first_page.index() + u32::try_from(k).expect("page index fits"),
+            ));
+        }
+    }
+
+    // Build the kept ladder (dropping empty groups entirely).
+    let kept_groups: Vec<(u64, u64)> = times
+        .iter()
+        .zip(&counts)
+        .filter(|(_, &c)| c > 0)
+        .map(|(&t, &c)| (t, c))
+        .collect();
+    if kept_groups.is_empty() {
+        return Err(ScheduleError::EmptyLadder);
+    }
+    let kept = GroupLadder::new(kept_groups)?;
+    debug_assert!(minimum_channels(&kept) <= n_real);
+    let program = susc::schedule(&kept, n_real)?;
+    Ok(DropOutcome {
+        program,
+        kept,
+        dropped,
+        policy,
+    })
+}
+
+/// Maps a page id of the original ladder onto the kept ladder's numbering,
+/// or `None` if it was dropped (or out of range).
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::dropping::{map_page, schedule_with_drops, DropPolicy};
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::types::PageId;
+///
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// let outcome = schedule_with_drops(&ladder, 3, DropPolicy::TightestFirst)?;
+/// for page in outcome.dropped() {
+///     assert_eq!(map_page(&ladder, &outcome, *page), None);
+/// }
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+#[must_use]
+pub fn map_page(original: &GroupLadder, outcome: &DropOutcome, page: PageId) -> Option<PageId> {
+    let group = original.group_of(page)?;
+    if outcome.dropped.contains(&page) {
+        return None;
+    }
+    // Offset of the page within its group (survivors keep their order).
+    let first = original
+        .groups()
+        .find(|i| i.id == group)
+        .expect("group exists")
+        .first_page;
+    let offset = page.index() - first.index();
+    // Locate the same expected time in the kept ladder.
+    let t = original.time_of(group).slots();
+    let kept_group = outcome
+        .kept
+        .groups()
+        .find(|i| i.expected_time.slots() == t)?;
+    if u64::from(offset) >= kept_group.page_count {
+        return None;
+    }
+    Some(PageId::new(kept_group.first_page.index() + offset))
+}
+
+/// Re-labels the kept program's pages with the *original* ladder's ids, so
+/// it can be measured/simulated against request streams drawn from the
+/// original workload (requests for dropped pages simply never find their
+/// page and fall through to the on-demand channel).
+///
+/// # Panics
+///
+/// Panics if `outcome` was not produced from `original` (inconsistent
+/// ladders).
+#[must_use]
+pub fn program_in_original_ids(original: &GroupLadder, outcome: &DropOutcome) -> BroadcastProgram {
+    // kept id -> original id
+    let mut reverse = std::collections::BTreeMap::new();
+    for (page, _) in original.pages() {
+        if let Some(kept) = map_page(original, outcome, page) {
+            let prev = reverse.insert(kept, page);
+            assert!(prev.is_none(), "kept page mapped twice");
+        }
+    }
+    let source = outcome.program();
+    let mut relabeled = BroadcastProgram::new(source.channels(), source.cycle_len());
+    for (kept, original_id) in &reverse {
+        for pos in source.occurrences(*kept) {
+            relabeled
+                .place(pos, *original_id)
+                .expect("relabeling a disjoint layout cannot collide");
+        }
+    }
+    relabeled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::GroupId;
+    use crate::validity;
+
+    fn fig2_ladder() -> GroupLadder {
+        GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap()
+    }
+
+    #[test]
+    fn no_drops_needed_when_sufficient() {
+        let ladder = fig2_ladder();
+        let outcome = schedule_with_drops(&ladder, 4, DropPolicy::TightestFirst).unwrap();
+        assert!(outcome.dropped().is_empty());
+        assert_eq!(outcome.kept_ladder(), &ladder);
+        assert!(validity::check(outcome.program(), &ladder).is_valid());
+    }
+
+    #[test]
+    fn tightest_first_drops_fewest() {
+        let ladder = fig2_ladder(); // demand 3.125, budget 3
+        let tight = schedule_with_drops(&ladder, 3, DropPolicy::TightestFirst).unwrap();
+        let relaxed = schedule_with_drops(&ladder, 3, DropPolicy::MostRelaxedFirst).unwrap();
+        assert!(tight.dropped().len() <= relaxed.dropped().len());
+        // Tightest-first victims come from G1 (t = 2).
+        assert!(tight
+            .dropped()
+            .iter()
+            .all(|p| ladder.group_of(*p) == Some(GroupId::new(0))));
+    }
+
+    #[test]
+    fn result_always_fits_and_validates() {
+        let ladder = GroupLadder::geometric(2, 2, &[10, 20, 15, 5]).unwrap();
+        for policy in [
+            DropPolicy::TightestFirst,
+            DropPolicy::MostRelaxedFirst,
+            DropPolicy::Proportional,
+        ] {
+            for n in 1..=minimum_channels(&ladder) {
+                let outcome = schedule_with_drops(&ladder, n, policy).unwrap();
+                assert!(
+                    minimum_channels(outcome.kept_ladder()) <= n,
+                    "{policy:?} n={n}"
+                );
+                assert!(
+                    validity::check(outcome.program(), outcome.kept_ladder()).is_valid(),
+                    "{policy:?} n={n}"
+                );
+                // Conservation: kept + dropped = original.
+                assert_eq!(
+                    outcome.kept_ladder().total_pages() + outcome.dropped().len() as u64,
+                    ladder.total_pages()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_spreads_drops() {
+        let ladder = GroupLadder::geometric(2, 2, &[10, 10, 10]).unwrap();
+        let outcome = schedule_with_drops(&ladder, 2, DropPolicy::Proportional).unwrap();
+        // Drops touch more than one group.
+        let groups: std::collections::BTreeSet<_> = outcome
+            .dropped()
+            .iter()
+            .map(|p| ladder.group_of(*p).unwrap())
+            .collect();
+        assert!(groups.len() > 1, "{:?}", outcome.dropped());
+    }
+
+    #[test]
+    fn map_page_tracks_survivors() {
+        let ladder = fig2_ladder();
+        let outcome = schedule_with_drops(&ladder, 3, DropPolicy::TightestFirst).unwrap();
+        // A page of G2 survives with its relative position.
+        let mapped = map_page(&ladder, &outcome, PageId::new(4)).unwrap();
+        assert_eq!(
+            outcome
+                .kept_ladder()
+                .expected_time_of(mapped)
+                .unwrap()
+                .slots(),
+            4
+        );
+        // Dropped pages map to None.
+        for p in outcome.dropped() {
+            assert_eq!(map_page(&ladder, &outcome, *p), None);
+        }
+        // Out of range maps to None.
+        assert_eq!(map_page(&ladder, &outcome, PageId::new(99)), None);
+    }
+
+    #[test]
+    fn drop_rate_reported() {
+        let ladder = fig2_ladder();
+        let outcome = schedule_with_drops(&ladder, 2, DropPolicy::TightestFirst).unwrap();
+        let rate = outcome.drop_rate(&ladder);
+        assert!(rate > 0.0 && rate < 1.0);
+        assert_eq!(outcome.policy(), DropPolicy::TightestFirst);
+    }
+
+    #[test]
+    fn zero_channels_error() {
+        assert!(matches!(
+            schedule_with_drops(&fig2_ladder(), 0, DropPolicy::TightestFirst),
+            Err(ScheduleError::NoChannels)
+        ));
+    }
+
+    #[test]
+    fn relabeled_program_uses_original_ids() {
+        let ladder = fig2_ladder();
+        let outcome = schedule_with_drops(&ladder, 3, DropPolicy::TightestFirst).unwrap();
+        let relabeled = program_in_original_ids(&ladder, &outcome);
+        // Surviving pages keep their full frequency under original ids;
+        // dropped pages never appear.
+        let mut aired = 0u64;
+        for (page, group) in ladder.pages() {
+            let freq = relabeled.frequency(page);
+            if outcome.dropped().contains(&page) {
+                assert_eq!(freq, 0, "{page} was dropped");
+            } else {
+                assert_eq!(
+                    freq,
+                    ladder.max_time() / ladder.time_of(group).slots(),
+                    "{page}"
+                );
+                aired += 1;
+            }
+        }
+        assert_eq!(aired, outcome.kept_ladder().total_pages());
+        // Survivors still meet their deadlines under the original ladder.
+        let report = validity::check(&relabeled, &ladder);
+        for v in report.violations() {
+            assert!(
+                outcome.dropped().contains(&v.page()),
+                "unexpected violation {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_shortage_may_empty_the_ladder() {
+        // One channel, all pages t=1: each page needs a whole channel.
+        let ladder = GroupLadder::new(vec![(1, 5)]).unwrap();
+        // 1 channel fits exactly one t=1 page.
+        let outcome = schedule_with_drops(&ladder, 1, DropPolicy::TightestFirst).unwrap();
+        assert_eq!(outcome.kept_ladder().total_pages(), 1);
+        assert_eq!(outcome.dropped().len(), 4);
+    }
+}

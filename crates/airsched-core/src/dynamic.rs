@@ -1,0 +1,340 @@
+//! Online (incremental) scheduling: keep a valid program while pages come
+//! and go.
+//!
+//! A real broadcast server does not rebuild its program from scratch every
+//! time an item is published or expires. [`OnlineScheduler`] maintains a
+//! SUSC-structured program (fixed cycle `t_h`, every page periodic with
+//! period `t_i` on a single channel) under `add_page` / `remove_page`,
+//! preserving the validity invariant at every step.
+//!
+//! Additions can fail with [`ScheduleError::PlacementFailed`] even when
+//! spare capacity exists, because removals fragment the periodic slot
+//! structure; [`OnlineScheduler::rebuild`] compacts the program (a fresh
+//! SUSC pass over the live pages). This mirrors the classic
+//! allocate/fragment/compact lifecycle of any slotted resource manager.
+
+use std::collections::BTreeMap;
+
+use crate::error::ScheduleError;
+use crate::program::BroadcastProgram;
+use crate::types::{ChannelId, GridPos, PageId, SlotIndex};
+
+/// An incrementally maintained, always-valid broadcast program.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::dynamic::OnlineScheduler;
+/// use airsched_core::types::PageId;
+///
+/// // 2 channels, 8-slot cycle (the largest supported expected time).
+/// let mut sched = OnlineScheduler::new(2, 8)?;
+/// sched.add_page(PageId::new(0), 2)?; // broadcast every 2 slots
+/// sched.add_page(PageId::new(1), 4)?;
+/// assert_eq!(sched.program().frequency(PageId::new(0)), 4);
+/// sched.remove_page(PageId::new(0))?;
+/// assert_eq!(sched.program().frequency(PageId::new(0)), 0);
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineScheduler {
+    program: BroadcastProgram,
+    /// Expected time of each live page.
+    pages: BTreeMap<PageId, u64>,
+}
+
+impl OnlineScheduler {
+    /// Creates an empty scheduler with `channels` channels and a cycle of
+    /// `max_time` slots (the largest expected time it will accept).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NoChannels`] if `channels == 0`, or
+    /// [`ScheduleError::InvalidFrequencies`] if `max_time == 0`.
+    pub fn new(channels: u32, max_time: u64) -> Result<Self, ScheduleError> {
+        if channels == 0 {
+            return Err(ScheduleError::NoChannels);
+        }
+        if max_time == 0 {
+            return Err(ScheduleError::InvalidFrequencies {
+                reason: "cycle length must be positive",
+            });
+        }
+        Ok(Self {
+            program: BroadcastProgram::new(channels, max_time),
+            pages: BTreeMap::new(),
+        })
+    }
+
+    /// The current program (always valid for the live pages).
+    #[must_use]
+    pub fn program(&self) -> &BroadcastProgram {
+        &self.program
+    }
+
+    /// The live pages and their expected times.
+    #[must_use]
+    pub fn pages(&self) -> &BTreeMap<PageId, u64> {
+        &self.pages
+    }
+
+    /// Fraction of grid cells in use.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.program.utilization()
+    }
+
+    /// Adds `page` with expected time `expected`, placing it periodically
+    /// (every `expected` slots on one channel, SUSC-style).
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::InvalidFrequencies`] if `expected` is zero, does
+    ///   not divide the cycle, or the page id is already live.
+    /// * [`ScheduleError::PlacementFailed`] if no periodic slot family is
+    ///   free — retry after [`OnlineScheduler::rebuild`], or treat as
+    ///   capacity exhaustion if that also fails.
+    pub fn add_page(&mut self, page: PageId, expected: u64) -> Result<(), ScheduleError> {
+        let cycle = self.program.cycle_len();
+        if expected == 0 || !cycle.is_multiple_of(expected) {
+            return Err(ScheduleError::InvalidFrequencies {
+                reason: "expected time must divide the cycle length",
+            });
+        }
+        if self.pages.contains_key(&page) {
+            return Err(ScheduleError::InvalidFrequencies {
+                reason: "page id is already scheduled",
+            });
+        }
+        let repeats = cycle / expected;
+        // Find a channel and offset whose whole periodic family is free.
+        for ch in 0..self.program.channels() {
+            'offset: for y in 0..expected {
+                for k in 0..repeats {
+                    let pos = GridPos::new(ChannelId::new(ch), SlotIndex::new(y + k * expected));
+                    if !self.program.is_free(pos) {
+                        continue 'offset;
+                    }
+                }
+                for k in 0..repeats {
+                    let pos = GridPos::new(ChannelId::new(ch), SlotIndex::new(y + k * expected));
+                    self.program
+                        .place(pos, page)
+                        .expect("family was checked to be free");
+                }
+                self.pages.insert(page, expected);
+                return Ok(());
+            }
+        }
+        Err(ScheduleError::PlacementFailed { page })
+    }
+
+    /// Removes `page`, freeing its slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::InvalidFrequencies`] if the page is not
+    /// live.
+    pub fn remove_page(&mut self, page: PageId) -> Result<(), ScheduleError> {
+        if self.pages.remove(&page).is_none() {
+            return Err(ScheduleError::InvalidFrequencies {
+                reason: "page is not scheduled",
+            });
+        }
+        // Rebuild the grid without this page (clearing cells in place is
+        // not supported by the write-once program; reconstruct in a single
+        // grid pass).
+        let mut fresh = BroadcastProgram::new(self.program.channels(), self.program.cycle_len());
+        for ch in 0..self.program.channels() {
+            for slot in 0..self.program.cycle_len() {
+                let pos = GridPos::new(ChannelId::new(ch), SlotIndex::new(slot));
+                match self.program.page_at(pos) {
+                    Some(p) if p != page => {
+                        fresh
+                            .place(pos, p)
+                            .expect("copying a disjoint layout cannot collide");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.program = fresh;
+        Ok(())
+    }
+
+    /// Compacts the program: re-places every live page from scratch
+    /// (tightest expected times first, as SUSC does). Restores the
+    /// placement guarantees after fragmentation from removals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::PlacementFailed`] if even a fresh pass
+    /// cannot fit the live pages (true capacity exhaustion).
+    pub fn rebuild(&mut self) -> Result<(), ScheduleError> {
+        self.rebuild_with(&[])
+    }
+
+    /// Compacts the program while admitting `pending` new pages in the
+    /// same pass, so tight-deadline newcomers are ordered correctly among
+    /// the survivors (SUSC's validity argument needs tightest-first
+    /// insertion — a plain [`OnlineScheduler::rebuild`] followed by
+    /// [`OnlineScheduler::add_page`] of a *tighter* page can still fail).
+    ///
+    /// On failure the scheduler is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::InvalidFrequencies`] if a pending page is
+    ///   malformed (zero/non-dividing time, or a duplicate id).
+    /// * [`ScheduleError::PlacementFailed`] on true capacity exhaustion.
+    pub fn rebuild_with(&mut self, pending: &[(PageId, u64)]) -> Result<(), ScheduleError> {
+        let mut order: Vec<(PageId, u64)> = self.pages.iter().map(|(p, t)| (*p, *t)).collect();
+        order.extend_from_slice(pending);
+        order.sort_by_key(|&(p, t)| (t, p));
+        let snapshot = self.clone();
+        self.program = BroadcastProgram::new(self.program.channels(), self.program.cycle_len());
+        self.pages.clear();
+        for (page, t) in order {
+            if let Err(e) = self.add_page(page, t) {
+                *self = snapshot;
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupLadder;
+    use crate::validity;
+
+    /// Checks the invariant against a synthesized ladder for the live set.
+    fn assert_valid(sched: &OnlineScheduler) {
+        for (&page, &t) in sched.pages() {
+            let gaps = sched.program().cyclic_gaps(page);
+            assert!(!gaps.is_empty(), "{page} missing");
+            assert!(gaps.iter().all(|&g| g <= t), "{page} (t={t}) gaps {gaps:?}");
+        }
+    }
+
+    #[test]
+    fn add_and_remove_preserve_validity() {
+        let mut sched = OnlineScheduler::new(2, 8).unwrap();
+        sched.add_page(PageId::new(0), 2).unwrap();
+        sched.add_page(PageId::new(1), 4).unwrap();
+        sched.add_page(PageId::new(2), 8).unwrap();
+        assert_valid(&sched);
+        sched.remove_page(PageId::new(1)).unwrap();
+        assert_valid(&sched);
+        assert_eq!(sched.program().frequency(PageId::new(1)), 0);
+        sched.add_page(PageId::new(3), 4).unwrap();
+        assert_valid(&sched);
+    }
+
+    #[test]
+    fn fills_to_capacity_then_fails() {
+        // 1 channel, cycle 4: capacity for exactly two t=2 pages.
+        let mut sched = OnlineScheduler::new(1, 4).unwrap();
+        sched.add_page(PageId::new(0), 2).unwrap();
+        sched.add_page(PageId::new(1), 2).unwrap();
+        assert_eq!(sched.utilization(), 1.0);
+        assert!(matches!(
+            sched.add_page(PageId::new(2), 2),
+            Err(ScheduleError::PlacementFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut sched = OnlineScheduler::new(1, 8).unwrap();
+        assert!(sched.add_page(PageId::new(0), 3).is_err()); // 3 does not divide 8
+        assert!(sched.add_page(PageId::new(0), 0).is_err());
+        sched.add_page(PageId::new(0), 8).unwrap();
+        assert!(sched.add_page(PageId::new(0), 4).is_err()); // duplicate id
+        assert!(sched.remove_page(PageId::new(9)).is_err());
+        assert!(OnlineScheduler::new(0, 8).is_err());
+        assert!(OnlineScheduler::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn fragmentation_then_rebuild() {
+        // 1 channel, cycle 4. Fill with t=4 pages at offsets 0..3, remove
+        // two non-adjacent ones, then a t=2 page needs offsets {y, y+2}
+        // free simultaneously.
+        let mut sched = OnlineScheduler::new(1, 4).unwrap();
+        for i in 0..4 {
+            sched.add_page(PageId::new(i), 4).unwrap();
+        }
+        sched.remove_page(PageId::new(0)).unwrap(); // frees slot 0
+        sched.remove_page(PageId::new(3)).unwrap(); // frees slot 3
+                                                    // Slots 0 and 3 are free but a t=2 page needs {0,2} or {1,3}.
+        assert!(matches!(
+            sched.add_page(PageId::new(9), 2),
+            Err(ScheduleError::PlacementFailed { .. })
+        ));
+        // Compacting *with* the newcomer orders it tightest-first and fits.
+        sched.rebuild_with(&[(PageId::new(9), 2)]).unwrap();
+        assert_eq!(sched.program().frequency(PageId::new(9)), 2);
+        assert_valid(&sched);
+    }
+
+    #[test]
+    fn rebuild_with_rolls_back_on_overflow() {
+        let mut sched = OnlineScheduler::new(1, 4).unwrap();
+        sched.add_page(PageId::new(0), 2).unwrap();
+        sched.add_page(PageId::new(1), 2).unwrap();
+        let before = sched.clone();
+        // No room for a third t=2 page even after compaction.
+        assert!(sched.rebuild_with(&[(PageId::new(2), 2)]).is_err());
+        assert_eq!(sched, before);
+    }
+
+    #[test]
+    fn rebuild_failure_rolls_back() {
+        let mut sched = OnlineScheduler::new(1, 4).unwrap();
+        sched.add_page(PageId::new(0), 2).unwrap();
+        sched.add_page(PageId::new(1), 2).unwrap();
+        let before = sched.clone();
+        // Rebuild of a full, feasible layout succeeds and is equivalent.
+        sched.rebuild().unwrap();
+        assert_eq!(sched.pages(), before.pages());
+        assert_valid(&sched);
+    }
+
+    #[test]
+    fn matches_susc_for_a_full_ladder() {
+        // Adding a whole ladder page-by-page (tightest first) reproduces a
+        // valid SUSC-style program at the minimum channel count.
+        let ladder = GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap();
+        let mut sched = OnlineScheduler::new(2, ladder.max_time()).unwrap();
+        for (page, group) in ladder.pages() {
+            sched.add_page(page, ladder.time_of(group).slots()).unwrap();
+        }
+        let report = validity::check(sched.program(), &ladder);
+        assert!(report.is_valid(), "{report}");
+    }
+
+    #[test]
+    fn interleaved_workload_stays_valid() {
+        let mut sched = OnlineScheduler::new(3, 16).unwrap();
+        let mut next_id = 0u32;
+        // Add/remove churn.
+        for round in 0..6 {
+            for &t in &[2u64, 4, 8, 16] {
+                let page = PageId::new(next_id);
+                next_id += 1;
+                if sched.add_page(page, t).is_err() {
+                    let _ = sched.rebuild();
+                    let _ = sched.add_page(page, t);
+                }
+            }
+            if round % 2 == 0 && !sched.pages().is_empty() {
+                let victim = *sched.pages().keys().next().unwrap();
+                sched.remove_page(victim).unwrap();
+            }
+            assert_valid(&sched);
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Group ladders: the paper's `h` groups of pages with geometric expected
+//! times `t_{i+1} = c * t_i`.
+//!
+//! A [`GroupLadder`] is the canonical workload description consumed by every
+//! scheduler in this crate. Pages are numbered group-major: group `G_1`
+//! (index 0) owns page ids `0 .. P_1`, group `G_2` owns the next `P_2` ids,
+//! and so on.
+
+use core::fmt;
+
+use crate::error::ScheduleError;
+use crate::types::{ExpectedTime, GroupId, PageId};
+
+/// Description of one group in a ladder: its expected time and page count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GroupInfo {
+    /// The group's identifier (`G_{index+1}` in paper numbering).
+    pub id: GroupId,
+    /// The expected time `t_i` shared by every page of the group.
+    pub expected_time: ExpectedTime,
+    /// The number of pages `P_i` in the group.
+    pub page_count: u64,
+    /// The id of the group's first page (pages are numbered group-major).
+    pub first_page: PageId,
+}
+
+impl GroupInfo {
+    /// Iterates over the page ids owned by this group.
+    pub fn page_ids(self) -> impl Iterator<Item = PageId> {
+        let start = self.first_page.index();
+        (0..self.page_count)
+            .map(move |k| PageId::new(start + u32::try_from(k).expect("page count fits in u32")))
+    }
+}
+
+/// The workload description of §2: `h` groups with harmonic expected times.
+///
+/// Invariants enforced at construction:
+///
+/// * at least one group, and every group has at least one page;
+/// * expected times strictly ascend and each divides the next
+///   (`t_i | t_{i+1}`). The paper assumes the stronger constant-ratio form
+///   `t_{i+1} = c * t_i`; divisibility is the property the algorithms
+///   actually rely on, and [`GroupLadder::uniform_ratio`] reports whether
+///   the paper's constant `c` exists;
+/// * the total page count fits in a `u32` (so pages can be identified by
+///   [`PageId`]).
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+///
+/// // Figure 2 of the paper: P = (3, 5, 3), t = (2, 4, 8).
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// assert_eq!(ladder.group_count(), 3);
+/// assert_eq!(ladder.ratio(), 2);
+/// assert_eq!(ladder.total_pages(), 11);
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GroupLadder {
+    times: Vec<u64>,
+    pages: Vec<u64>,
+    /// The constant ratio `c` if one exists (always `Some(1)` for `h == 1`).
+    uniform_ratio: Option<u64>,
+}
+
+impl GroupLadder {
+    /// Builds a ladder from `(expected_time, page_count)` pairs, ordered by
+    /// ascending expected time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::EmptyLadder`] for an empty input,
+    /// [`ScheduleError::EmptyGroup`] if any `page_count` is zero,
+    /// [`ScheduleError::NonAscendingTimes`] if times do not strictly ascend,
+    /// and [`ScheduleError::NonGeometricTimes`] if the ratio between
+    /// consecutive times is not a constant integer `c >= 2`.
+    pub fn new(groups: Vec<(u64, u64)>) -> Result<Self, ScheduleError> {
+        if groups.is_empty() {
+            return Err(ScheduleError::EmptyLadder);
+        }
+        let mut times = Vec::with_capacity(groups.len());
+        let mut pages = Vec::with_capacity(groups.len());
+        for (idx, &(t, p)) in groups.iter().enumerate() {
+            let group = GroupId::new(u32::try_from(idx).expect("group index fits in u32"));
+            if t == 0 {
+                return Err(ScheduleError::NonGeometricTimes {
+                    group,
+                    found: 0,
+                    required: 1,
+                });
+            }
+            if p == 0 {
+                return Err(ScheduleError::EmptyGroup { group });
+            }
+            times.push(t);
+            pages.push(p);
+        }
+        let uniform_ratio = Self::validate_times(&times)?;
+        let total = pages
+            .iter()
+            .try_fold(0u64, |acc, &p| acc.checked_add(p))
+            .filter(|&t| u32::try_from(t).is_ok())
+            .ok_or(ScheduleError::WorkloadTooLarge {
+                reason: "total page count must fit in u32",
+            })?;
+        let _ = total;
+        Ok(Self {
+            times,
+            pages,
+            uniform_ratio,
+        })
+    }
+
+    /// Builds a ladder from a base time `t_1`, a ratio `c`, and per-group
+    /// page counts (`counts[i]` pages at time `t_1 * c^i`).
+    ///
+    /// This is the constructor used by the paper's experiment defaults
+    /// (`t_1 = 4`, `c = 2`, `h = 8`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same validation as [`GroupLadder::new`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use airsched_core::group::GroupLadder;
+    ///
+    /// let ladder = GroupLadder::geometric(4, 2, &[10, 20, 30])?;
+    /// assert_eq!(ladder.times(), &[4, 8, 16]);
+    /// # Ok::<(), airsched_core::error::ScheduleError>(())
+    /// ```
+    pub fn geometric(t1: u64, ratio: u64, counts: &[u64]) -> Result<Self, ScheduleError> {
+        let mut groups = Vec::with_capacity(counts.len());
+        let mut t = t1;
+        for (idx, &p) in counts.iter().enumerate() {
+            groups.push((t, p));
+            if idx + 1 < counts.len() {
+                t = t
+                    .checked_mul(ratio)
+                    .ok_or(ScheduleError::WorkloadTooLarge {
+                        reason: "expected times overflow u64",
+                    })?;
+            }
+        }
+        Self::new(groups)
+    }
+
+    /// Validates ascending divisibility and returns the constant ratio `c`
+    /// if the ladder is uniformly geometric.
+    fn validate_times(times: &[u64]) -> Result<Option<u64>, ScheduleError> {
+        if times.len() == 1 {
+            // A single group has no ratio; 1 is the conventional value.
+            return Ok(Some(1));
+        }
+        let mut ratio = None;
+        let mut uniform = true;
+        for i in 1..times.len() {
+            let group = GroupId::new(u32::try_from(i).expect("group index fits in u32"));
+            let (prev, cur) = (times[i - 1], times[i]);
+            if cur <= prev {
+                return Err(ScheduleError::NonAscendingTimes { group });
+            }
+            if cur % prev != 0 {
+                return Err(ScheduleError::NonGeometricTimes {
+                    group,
+                    found: cur,
+                    required: prev.saturating_mul(ratio.unwrap_or(2)),
+                });
+            }
+            let c = cur / prev;
+            match ratio {
+                None => ratio = Some(c),
+                Some(r) if r == c => {}
+                Some(_) => uniform = false,
+            }
+        }
+        Ok(if uniform { ratio } else { None })
+    }
+
+    /// The number of groups `h`.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.times.len()
+    }
+
+    /// The paper's constant ratio `c`, if the ladder is uniformly geometric
+    /// (`Some(1)` for a single group; `None` when consecutive ratios differ).
+    #[must_use]
+    pub fn uniform_ratio(&self) -> Option<u64> {
+        self.uniform_ratio
+    }
+
+    /// The common ratio `c` for a uniformly geometric ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is divisible but not uniformly geometric; use
+    /// [`GroupLadder::uniform_ratio`] for the fallible variant.
+    #[must_use]
+    pub fn ratio(&self) -> u64 {
+        self.uniform_ratio
+            .expect("ladder is not uniformly geometric; use uniform_ratio()")
+    }
+
+    /// The expected times `t_1 .. t_h`, in slots, ascending.
+    #[must_use]
+    pub fn times(&self) -> &[u64] {
+        &self.times
+    }
+
+    /// The page counts `P_1 .. P_h`.
+    #[must_use]
+    pub fn page_counts(&self) -> &[u64] {
+        &self.pages
+    }
+
+    /// The largest expected time `t_h`, which is also the SUSC cycle length.
+    #[must_use]
+    pub fn max_time(&self) -> u64 {
+        *self.times.last().expect("ladder is non-empty")
+    }
+
+    /// Total number of distinct pages `n`.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.pages.iter().sum()
+    }
+
+    /// The expected time of group `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[must_use]
+    pub fn time_of(&self, group: GroupId) -> ExpectedTime {
+        ExpectedTime::from_slots(self.times[group.index() as usize])
+    }
+
+    /// The page count of group `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[must_use]
+    pub fn pages_of(&self, group: GroupId) -> u64 {
+        self.pages[group.index() as usize]
+    }
+
+    /// Maps a page id to its group, or `None` if the id is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use airsched_core::group::GroupLadder;
+    /// use airsched_core::types::{GroupId, PageId};
+    ///
+    /// let ladder = GroupLadder::new(vec![(2, 3), (4, 5)])?;
+    /// assert_eq!(ladder.group_of(PageId::new(2)), Some(GroupId::new(0)));
+    /// assert_eq!(ladder.group_of(PageId::new(3)), Some(GroupId::new(1)));
+    /// assert_eq!(ladder.group_of(PageId::new(8)), None);
+    /// # Ok::<(), airsched_core::error::ScheduleError>(())
+    /// ```
+    #[must_use]
+    pub fn group_of(&self, page: PageId) -> Option<GroupId> {
+        let mut cursor = 0u64;
+        for (idx, &p) in self.pages.iter().enumerate() {
+            cursor += p;
+            if u64::from(page.index()) < cursor {
+                return Some(GroupId::new(
+                    u32::try_from(idx).expect("group index fits in u32"),
+                ));
+            }
+        }
+        None
+    }
+
+    /// The expected time of a page, or `None` if the id is out of range.
+    #[must_use]
+    pub fn expected_time_of(&self, page: PageId) -> Option<ExpectedTime> {
+        self.group_of(page).map(|g| self.time_of(g))
+    }
+
+    /// Iterates over group descriptors in ladder order.
+    pub fn groups(&self) -> impl Iterator<Item = GroupInfo> + '_ {
+        let mut first = 0u32;
+        (0..self.group_count()).map(move |idx| {
+            let info = GroupInfo {
+                id: GroupId::new(u32::try_from(idx).expect("group index fits in u32")),
+                expected_time: ExpectedTime::from_slots(self.times[idx]),
+                page_count: self.pages[idx],
+                first_page: PageId::new(first),
+            };
+            first += u32::try_from(self.pages[idx]).expect("page count fits in u32");
+            info
+        })
+    }
+
+    /// Iterates over every page id with its group, group-major.
+    pub fn pages(&self) -> impl Iterator<Item = (PageId, GroupId)> + '_ {
+        self.groups()
+            .flat_map(|info| info.page_ids().map(move |p| (p, info.id)))
+    }
+
+    /// The SUSC broadcast frequency of group `i`: `ceil(t_h / t_i)`, which is
+    /// exactly `c^(h-1-i)` for a geometric ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[must_use]
+    pub fn sufficient_frequency(&self, group: GroupId) -> u64 {
+        let t = self.times[group.index() as usize];
+        self.max_time().div_ceil(t)
+    }
+}
+
+impl fmt::Display for GroupLadder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.uniform_ratio {
+            Some(c) => write!(f, "ladder[h={}, c={}](", self.group_count(), c)?,
+            None => write!(f, "ladder[h={}, c=var](", self.group_count())?,
+        }
+        for (idx, (t, p)) in self.times.iter().zip(&self.pages).enumerate() {
+            if idx > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "G{}: {}x t={}", idx + 1, p, t)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_ladder() -> GroupLadder {
+        GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap()
+    }
+
+    #[test]
+    fn accepts_paper_figure_2_workload() {
+        let ladder = fig2_ladder();
+        assert_eq!(ladder.group_count(), 3);
+        assert_eq!(ladder.ratio(), 2);
+        assert_eq!(ladder.times(), &[2, 4, 8]);
+        assert_eq!(ladder.page_counts(), &[3, 5, 3]);
+        assert_eq!(ladder.total_pages(), 11);
+        assert_eq!(ladder.max_time(), 8);
+    }
+
+    #[test]
+    fn rejects_empty_ladder() {
+        assert_eq!(GroupLadder::new(vec![]), Err(ScheduleError::EmptyLadder));
+    }
+
+    #[test]
+    fn rejects_empty_group() {
+        assert_eq!(
+            GroupLadder::new(vec![(2, 3), (4, 0)]),
+            Err(ScheduleError::EmptyGroup {
+                group: GroupId::new(1)
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_non_ascending_times() {
+        assert_eq!(
+            GroupLadder::new(vec![(4, 1), (4, 1)]),
+            Err(ScheduleError::NonAscendingTimes {
+                group: GroupId::new(1)
+            })
+        );
+        assert_eq!(
+            GroupLadder::new(vec![(4, 1), (2, 1)]),
+            Err(ScheduleError::NonAscendingTimes {
+                group: GroupId::new(1)
+            })
+        );
+    }
+
+    #[test]
+    fn accepts_divisible_but_non_uniform_ratio() {
+        // 2 -> 4 is c=2, 4 -> 12 is c=3: divisible, not uniformly geometric.
+        let ladder = GroupLadder::new(vec![(2, 1), (4, 1), (12, 1)]).unwrap();
+        assert_eq!(ladder.uniform_ratio(), None);
+        assert!(ladder.to_string().contains("c=var"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not uniformly geometric")]
+    fn ratio_panics_for_non_uniform_ladder() {
+        let ladder = GroupLadder::new(vec![(2, 1), (4, 1), (12, 1)]).unwrap();
+        let _ = ladder.ratio();
+    }
+
+    #[test]
+    fn rejects_non_divisible_times() {
+        let err = GroupLadder::new(vec![(2, 1), (3, 1)]).unwrap_err();
+        assert!(matches!(err, ScheduleError::NonGeometricTimes { .. }));
+        // 4 does not divide 6.
+        let err = GroupLadder::new(vec![(2, 1), (4, 1), (6, 1)]).unwrap_err();
+        assert!(matches!(err, ScheduleError::NonGeometricTimes { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_time() {
+        let err = GroupLadder::new(vec![(0, 1)]).unwrap_err();
+        assert!(matches!(err, ScheduleError::NonGeometricTimes { .. }));
+    }
+
+    #[test]
+    fn single_group_has_ratio_one() {
+        let ladder = GroupLadder::new(vec![(5, 10)]).unwrap();
+        assert_eq!(ladder.ratio(), 1);
+        assert_eq!(ladder.max_time(), 5);
+    }
+
+    #[test]
+    fn geometric_constructor_matches_manual() {
+        let a = GroupLadder::geometric(4, 2, &[1, 2, 3]).unwrap();
+        let b = GroupLadder::new(vec![(4, 1), (8, 2), (16, 3)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_default_ladder_builds() {
+        // Figure 4 defaults: h=8, t = 4..512.
+        let counts = [125u64; 8];
+        let ladder = GroupLadder::geometric(4, 2, &counts).unwrap();
+        assert_eq!(ladder.times(), &[4, 8, 16, 32, 64, 128, 256, 512]);
+        assert_eq!(ladder.total_pages(), 1000);
+    }
+
+    #[test]
+    fn group_of_maps_boundaries() {
+        let ladder = fig2_ladder();
+        assert_eq!(ladder.group_of(PageId::new(0)), Some(GroupId::new(0)));
+        assert_eq!(ladder.group_of(PageId::new(2)), Some(GroupId::new(0)));
+        assert_eq!(ladder.group_of(PageId::new(3)), Some(GroupId::new(1)));
+        assert_eq!(ladder.group_of(PageId::new(7)), Some(GroupId::new(1)));
+        assert_eq!(ladder.group_of(PageId::new(8)), Some(GroupId::new(2)));
+        assert_eq!(ladder.group_of(PageId::new(10)), Some(GroupId::new(2)));
+        assert_eq!(ladder.group_of(PageId::new(11)), None);
+    }
+
+    #[test]
+    fn expected_time_of_page() {
+        let ladder = fig2_ladder();
+        assert_eq!(ladder.expected_time_of(PageId::new(4)).unwrap().slots(), 4);
+        assert!(ladder.expected_time_of(PageId::new(99)).is_none());
+    }
+
+    #[test]
+    fn groups_iterator_assigns_first_pages() {
+        let ladder = fig2_ladder();
+        let infos: Vec<_> = ladder.groups().collect();
+        assert_eq!(infos[0].first_page, PageId::new(0));
+        assert_eq!(infos[1].first_page, PageId::new(3));
+        assert_eq!(infos[2].first_page, PageId::new(8));
+        let ids: Vec<_> = infos[1].page_ids().collect();
+        assert_eq!(ids, (3..8).map(PageId::new).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pages_iterator_is_group_major_and_complete() {
+        let ladder = fig2_ladder();
+        let all: Vec<_> = ladder.pages().collect();
+        assert_eq!(all.len(), 11);
+        assert_eq!(all[0], (PageId::new(0), GroupId::new(0)));
+        assert_eq!(all[10], (PageId::new(10), GroupId::new(2)));
+        // ids are dense and sorted.
+        for (k, (page, _)) in all.iter().enumerate() {
+            assert_eq!(page.index() as usize, k);
+        }
+    }
+
+    #[test]
+    fn sufficient_frequency_is_geometric() {
+        let ladder = fig2_ladder();
+        assert_eq!(ladder.sufficient_frequency(GroupId::new(0)), 4);
+        assert_eq!(ladder.sufficient_frequency(GroupId::new(1)), 2);
+        assert_eq!(ladder.sufficient_frequency(GroupId::new(2)), 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = fig2_ladder().to_string();
+        assert!(s.contains("h=3"));
+        assert!(s.contains("c=2"));
+        assert!(s.contains("G1: 3x t=2"));
+    }
+}

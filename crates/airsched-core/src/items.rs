@@ -1,0 +1,299 @@
+//! Variable-length items (extension beyond the paper's unit pages).
+//!
+//! The paper assumes every data item fits one slot. Real items (a quote
+//! sheet, a traffic map tile) span several. This module maps multi-slot
+//! *items* onto unit pages the schedulers understand:
+//!
+//! * every item of length `L` and expected time `t` becomes `L` unit pages
+//!   sharing that expected time — if all parts recur within `t`, a client
+//!   arriving at any instant can assemble the item within `t` plus at most
+//!   one extra recurrence of parts it *just* missed (see
+//!   [`ItemCatalogue::worst_case_assembly`]);
+//! * the catalogue tracks the item → pages mapping so receptions can be
+//!   reassembled ([`ItemCatalogue::pages_of`], [`ItemCatalogue::item_of`]).
+//!
+//! Retrieval of a whole item with a single tuner is exactly the multi-page
+//! problem solved by `airsched-sim`'s `multiget` module.
+
+use crate::error::ScheduleError;
+use crate::group::GroupLadder;
+use crate::rearrange::Rearrangement;
+use crate::types::PageId;
+
+/// Identifier of a multi-slot item, in catalogue order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(u32);
+
+impl ItemId {
+    /// Creates an item id.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The catalogue index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for ItemId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "item{}", self.0)
+    }
+}
+
+/// One catalogue entry: an item's length in slots and its expected time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ItemSpec {
+    /// Length in slots (`>= 1`).
+    pub length: u64,
+    /// Expected time, in slots.
+    pub expected_time: u64,
+}
+
+/// A catalogue of variable-length items lowered onto unit pages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemCatalogue {
+    ladder: GroupLadder,
+    /// Per item: the unit pages carrying its parts, in part order.
+    parts: Vec<Vec<PageId>>,
+    specs: Vec<ItemSpec>,
+}
+
+impl ItemCatalogue {
+    /// Lowers `items` onto a geometric ladder with ratio `ratio`.
+    ///
+    /// Each item contributes `length` entries with its expected time to
+    /// the §2 rearrangement, so parts land in the group whose (rounded)
+    /// time the item requires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] for empty catalogues, zero lengths or
+    /// times, or a ratio below 2.
+    pub fn build(items: &[ItemSpec], ratio: u64) -> Result<Self, ScheduleError> {
+        if items.is_empty() {
+            return Err(ScheduleError::EmptyLadder);
+        }
+        if items.iter().any(|i| i.length == 0) {
+            return Err(ScheduleError::InvalidFrequencies {
+                reason: "item length must be at least one slot",
+            });
+        }
+        // One rearrangement input per part, remembering which item each
+        // belongs to.
+        let mut raw_times = Vec::new();
+        let mut owner = Vec::new();
+        for (idx, item) in items.iter().enumerate() {
+            for _ in 0..item.length {
+                raw_times.push(item.expected_time);
+                owner.push(idx);
+            }
+        }
+        let r = Rearrangement::with_ratio(&raw_times, ratio)?;
+        let mut parts = vec![Vec::new(); items.len()];
+        for (assignment, &item_idx) in r.assignments().iter().zip(&owner) {
+            parts[item_idx].push(assignment.page);
+        }
+        Ok(Self {
+            ladder: r.ladder().clone(),
+            parts,
+            specs: items.to_vec(),
+        })
+    }
+
+    /// The unit-page ladder to feed the schedulers.
+    #[must_use]
+    pub fn ladder(&self) -> &GroupLadder {
+        &self.ladder
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the catalogue is empty (never: construction requires items).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The original spec of an item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range.
+    #[must_use]
+    pub fn spec(&self, item: ItemId) -> ItemSpec {
+        self.specs[item.index() as usize]
+    }
+
+    /// The unit pages carrying an item's parts, in part order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range.
+    #[must_use]
+    pub fn pages_of(&self, item: ItemId) -> &[PageId] {
+        &self.parts[item.index() as usize]
+    }
+
+    /// The item a page belongs to, or `None` for an unknown page.
+    #[must_use]
+    pub fn item_of(&self, page: PageId) -> Option<ItemId> {
+        self.parts
+            .iter()
+            .position(|pages| pages.contains(&page))
+            .map(|idx| ItemId::new(u32::try_from(idx).expect("catalogue fits in u32")))
+    }
+
+    /// Worst-case assembly time of an item under a *valid* program: every
+    /// part recurs within the (rounded) expected time `t'`, and a client
+    /// listening to all channels needs at most `t'` to catch every part —
+    /// parts it misses mid-transmission recur within another `t'`. The
+    /// bound is `2 * t'` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range.
+    #[must_use]
+    pub fn worst_case_assembly(&self, item: ItemId) -> u64 {
+        let pages = self.pages_of(item);
+        let t = pages
+            .iter()
+            .map(|&p| {
+                self.ladder
+                    .expected_time_of(p)
+                    .expect("catalogue pages are in the ladder")
+                    .slots()
+            })
+            .max()
+            .expect("items have at least one part");
+        2 * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::minimum_channels;
+    use crate::susc;
+
+    fn catalogue() -> ItemCatalogue {
+        ItemCatalogue::build(
+            &[
+                ItemSpec {
+                    length: 3,
+                    expected_time: 8,
+                },
+                ItemSpec {
+                    length: 1,
+                    expected_time: 2,
+                },
+                ItemSpec {
+                    length: 2,
+                    expected_time: 5, // rounds down to 4
+                },
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lowering_counts_parts() {
+        let cat = catalogue();
+        assert_eq!(cat.len(), 3);
+        assert!(!cat.is_empty());
+        assert_eq!(cat.ladder().total_pages(), 6);
+        assert_eq!(cat.pages_of(ItemId::new(0)).len(), 3);
+        assert_eq!(cat.pages_of(ItemId::new(1)).len(), 1);
+        assert_eq!(cat.pages_of(ItemId::new(2)).len(), 2);
+    }
+
+    #[test]
+    fn parts_inherit_rounded_times() {
+        let cat = catalogue();
+        // Item 2 wanted 5 slots; the ladder rounds down to 4.
+        for &page in cat.pages_of(ItemId::new(2)) {
+            assert_eq!(cat.ladder().expected_time_of(page).unwrap().slots(), 4);
+        }
+        assert_eq!(cat.spec(ItemId::new(2)).expected_time, 5);
+    }
+
+    #[test]
+    fn item_of_inverts_pages_of() {
+        let cat = catalogue();
+        for idx in 0..cat.len() {
+            let item = ItemId::new(u32::try_from(idx).unwrap());
+            for &page in cat.pages_of(item) {
+                assert_eq!(cat.item_of(page), Some(item));
+            }
+        }
+        assert_eq!(cat.item_of(PageId::new(99)), None);
+    }
+
+    #[test]
+    fn assembly_bound_holds_on_a_valid_program() {
+        let cat = catalogue();
+        let n = minimum_channels(cat.ladder());
+        let program = susc::schedule(cat.ladder(), n).unwrap();
+        // A multi-tuner client arriving at any instant receives every part
+        // within its expected time, so assembly <= max part wait <= t'.
+        for idx in 0..cat.len() {
+            let item = ItemId::new(u32::try_from(idx).unwrap());
+            let bound = cat.worst_case_assembly(item);
+            for arrival in 0..program.cycle_len() {
+                let worst_part = cat
+                    .pages_of(item)
+                    .iter()
+                    .map(|&p| program.wait_from(p, arrival).unwrap())
+                    .max()
+                    .unwrap();
+                assert!(
+                    worst_part <= bound,
+                    "{item} arrival {arrival}: {worst_part} > {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(ItemCatalogue::build(&[], 2).is_err());
+        assert!(ItemCatalogue::build(
+            &[ItemSpec {
+                length: 0,
+                expected_time: 4
+            }],
+            2
+        )
+        .is_err());
+        assert!(ItemCatalogue::build(
+            &[ItemSpec {
+                length: 1,
+                expected_time: 0
+            }],
+            2
+        )
+        .is_err());
+        assert!(ItemCatalogue::build(
+            &[ItemSpec {
+                length: 1,
+                expected_time: 4
+            }],
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn display_and_ids() {
+        assert_eq!(ItemId::new(3).to_string(), "item3");
+        assert_eq!(ItemId::new(3).index(), 3);
+    }
+}

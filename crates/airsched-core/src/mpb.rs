@@ -1,0 +1,122 @@
+//! m-PB — the modified Periodic Broadcast baseline (§5).
+//!
+//! The paper compares PAMAD against the periodic broadcast (PB) scheme of
+//! Xuan et al. (RTAS '97), extended to multiple channels: each page keeps
+//! the broadcast frequency its deadline implies under *sufficient* channels
+//! — `S_i = t_h / t_i` appearances per cycle — and, when channels are
+//! insufficient, the major cycle simply stretches to
+//! `ceil(sum S_i P_i / N_real)` slots. (The paper's observation: "keeping
+//! the same broadcast frequency of a data page ... incurs a longer major
+//! broadcast cycle".) Placement then reuses PAMAD's Algorithm 4 verbatim,
+//! exactly as the paper prescribes for fairness: "assignment of data to
+//! multiple channels is the same as that of the PAMAD algorithm once the
+//! broadcast frequency is determined".
+//!
+//! Because every per-page spacing stretches by the same factor
+//! `t_major / t_h`, m-PB over-serves tight-deadline groups at the expense
+//! of everyone — which is precisely the behaviour PAMAD's frequency
+//! reduction improves on.
+
+use crate::error::ScheduleError;
+use crate::group::GroupLadder;
+use crate::pamad::{place_frequencies, Placement};
+
+/// The m-PB frequency vector: `S_i = ceil(t_h / t_i)` (exact division for a
+/// divisibility ladder).
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::mpb;
+///
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// assert_eq!(mpb::frequencies(&ladder), vec![4, 2, 1]);
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+#[must_use]
+pub fn frequencies(ladder: &GroupLadder) -> Vec<u64> {
+    let th = ladder.max_time();
+    ladder.times().iter().map(|&t| th.div_ceil(t)).collect()
+}
+
+/// Schedules `ladder` on `n_real` channels with the m-PB policy.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::NoChannels`] if `n_real == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::mpb;
+///
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// let placement = mpb::schedule(&ladder, 3)?;
+/// // 25 instances on 3 channels -> 9-slot cycle, same as PAMAD here
+/// // (this workload's PAMAD frequencies coincide with t_h/t_i).
+/// assert_eq!(placement.program().cycle_len(), 9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn schedule(ladder: &GroupLadder, n_real: u32) -> Result<Placement, ScheduleError> {
+    place_frequencies(ladder, &frequencies(ladder), n_real)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::expected_program_delay;
+    use crate::pamad;
+    use crate::validity;
+
+    #[test]
+    fn frequencies_are_deadline_proportional() {
+        let ladder = GroupLadder::geometric(4, 2, &[1, 1, 1, 1]).unwrap();
+        assert_eq!(frequencies(&ladder), vec![8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn sufficient_channels_give_a_valid_program() {
+        let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap();
+        let placement = schedule(&ladder, 4).unwrap();
+        let report = validity::check(placement.program(), &ladder);
+        assert!(report.is_valid(), "{report}");
+    }
+
+    #[test]
+    fn insufficient_channels_stretch_the_cycle() {
+        let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap();
+        // 25 instances: 2 channels -> 13-slot cycle (vs t_h = 8).
+        let placement = schedule(&ladder, 2).unwrap();
+        assert_eq!(placement.program().cycle_len(), 13);
+        assert_eq!(placement.stats().dropped, 0);
+    }
+
+    #[test]
+    fn pamad_beats_or_matches_mpb_when_channels_are_scarce() {
+        // A skewed workload where keeping full frequency for tight groups
+        // is wasteful.
+        let ladder = GroupLadder::geometric(2, 2, &[30, 10, 5, 5]).unwrap();
+        for n in 1..=3u32 {
+            let mpb_d =
+                expected_program_delay(schedule(&ladder, n).unwrap().program(), &ladder).unwrap();
+            let pamad_d =
+                expected_program_delay(pamad::schedule(&ladder, n).unwrap().program(), &ladder)
+                    .unwrap();
+            assert!(
+                pamad_d <= mpb_d * 1.05 + 1e-9,
+                "n={n}: PAMAD {pamad_d} should not lose to m-PB {mpb_d}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_channels_error() {
+        let ladder = GroupLadder::new(vec![(2, 1)]).unwrap();
+        assert!(matches!(
+            schedule(&ladder, 0),
+            Err(ScheduleError::NoChannels)
+        ));
+    }
+}

@@ -1,0 +1,638 @@
+//! OPT — the optimal-frequency baseline (§5).
+//!
+//! The paper compares PAMAD against "an optimal (OPT) algorithm which
+//! exhaustively searches for a set of optimal broadcast frequencies that
+//! incurs the minimum delay", noting its search time is "unacceptably
+//! high". Two search modes are provided:
+//!
+//! * [`search_full`] — true exhaustive enumeration of every frequency
+//!   vector `(S_1 .. S_h)` within per-group caps. Exponential; guarded by an
+//!   enumeration limit and intended for small ladders (tests, worked
+//!   examples, cross-checks).
+//! * [`search_r_structured`] — joint enumeration of the *ratio* vectors
+//!   `(r_1 .. r_{h-1})` that PAMAD searches greedily, i.e. the harmonic
+//!   family `S_i = prod_{j >= i} r_j`. This is a global optimum over the
+//!   same structured space PAMAD draws from (PAMAD fixes each `r` stage by
+//!   stage; this mode revisits all combinations jointly), and is cheap
+//!   enough for the paper's Figure 5 workloads. It is the default OPT used
+//!   by the benchmark harness; DESIGN.md records the substitution.
+//!
+//! Both modes minimize the same analytic objective as PAMAD
+//! ([`crate::delay::group_objective`]), then materialize the program with
+//! Algorithm 4 so the comparison isolates the frequency choice.
+
+use crate::delay::{group_objective, Weighting};
+use crate::error::ScheduleError;
+use crate::group::GroupLadder;
+use crate::pamad::{place_frequencies, Placement};
+
+/// Tuning knobs for the exhaustive searches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptConfig {
+    /// Per-group frequency cap multiplier for [`search_full`]: group `i` is
+    /// searched over `1 ..= factor * t_h / t_i`.
+    pub max_freq_factor: u64,
+    /// Abort [`search_full`] if the candidate count exceeds this.
+    pub enumeration_limit: u128,
+    /// Objective weighting to minimize.
+    pub weighting: Weighting,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        Self {
+            max_freq_factor: 2,
+            enumeration_limit: 1 << 24,
+            weighting: Weighting::PaperEq2,
+        }
+    }
+}
+
+/// The outcome of an OPT search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptResult {
+    freqs: Vec<u64>,
+    objective: f64,
+    evaluated: u64,
+}
+
+impl OptResult {
+    /// The minimizing frequency vector `S_1 .. S_h`.
+    #[must_use]
+    pub fn frequencies(&self) -> &[u64] {
+        &self.freqs
+    }
+
+    /// The minimal analytic objective `D'`.
+    #[must_use]
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Number of candidate vectors evaluated.
+    #[must_use]
+    pub fn evaluated(&self) -> u64 {
+        self.evaluated
+    }
+
+    /// Materializes the program for the found frequencies (Algorithm 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NoChannels`] if `n_real == 0`.
+    pub fn place(&self, ladder: &GroupLadder, n_real: u32) -> Result<Placement, ScheduleError> {
+        place_frequencies(ladder, &self.freqs, n_real)
+    }
+}
+
+/// Joint search over ratio vectors `(r_1 .. r_{h-1})`, `S_i = prod r_{j>=i}`.
+///
+/// Each `r_j` ranges over `1 ..= ceil((N*t_{j+1} - P_{j+1}) / sum_{k<=j} P_k)`
+/// (Algorithm 3's stage bound evaluated at its loosest, i.e. with all
+/// earlier ratios at 1), clamped to at least 1.
+///
+/// # Panics
+///
+/// Panics if `n_real == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::delay::Weighting;
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::opt;
+///
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// let best = opt::search_r_structured(&ladder, 3, Weighting::PaperEq2);
+/// assert_eq!(best.frequencies(), &[4, 2, 1]); // PAMAD is optimal here
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+#[must_use]
+pub fn search_r_structured(ladder: &GroupLadder, n_real: u32, weighting: Weighting) -> OptResult {
+    assert!(n_real > 0, "n_real must be non-zero");
+    let h = ladder.group_count();
+    let times = ladder.times();
+    let pages = ladder.page_counts();
+
+    if h == 1 {
+        return OptResult {
+            freqs: vec![1],
+            objective: group_objective(times, pages, &[1], n_real, weighting),
+            evaluated: 1,
+        };
+    }
+
+    let mut search = RSearch {
+        times,
+        pages,
+        n_real,
+        weighting,
+        ratios: vec![1u64; h - 1],
+        best_freqs: Vec::new(),
+        best_obj: f64::INFINITY,
+        evaluated: 0,
+    };
+    search.dfs(0);
+    OptResult {
+        freqs: search.best_freqs,
+        objective: search.best_obj,
+        evaluated: search.evaluated,
+    }
+}
+
+/// DFS over ratio vectors with *dynamic* Algorithm-3 stage bounds: the
+/// range of `r_j` depends on the ratios already fixed at positions `< j`
+/// (`ceil((N*t_{j+1} - P_{j+1}) / F_j)`, where `F_j` counts the slot
+/// instances the first `j+1` groups occupy per repetition). Larger earlier
+/// ratios therefore tighten later ranges, keeping the tree far smaller than
+/// the static cross-product while covering the same meaningful space.
+struct RSearch<'a> {
+    times: &'a [u64],
+    pages: &'a [u64],
+    n_real: u32,
+    weighting: Weighting,
+    ratios: Vec<u64>,
+    best_freqs: Vec<u64>,
+    best_obj: f64,
+    evaluated: u64,
+}
+
+impl RSearch<'_> {
+    fn dfs(&mut self, j: usize) {
+        let h = self.times.len();
+        if j == h - 1 {
+            let mut freqs = vec![1u64; h];
+            for i in (0..h - 1).rev() {
+                freqs[i] = freqs[i + 1].saturating_mul(self.ratios[i]);
+            }
+            let obj = group_objective(self.times, self.pages, &freqs, self.n_real, self.weighting);
+            self.evaluated += 1;
+            // Strict improvement: ties keep the earlier (lexicographically
+            // smaller, hence cheaper) vector.
+            if obj < self.best_obj {
+                self.best_obj = obj;
+                self.best_freqs = freqs;
+            }
+            return;
+        }
+        // F_j: slot instances of groups 0..=j per repetition under the
+        // prefix ratios (position j not yet fixed).
+        let mut f_prev = 0u64;
+        for k in 0..=j {
+            let mut prod = 1u64;
+            for &r in &self.ratios[k..j] {
+                prod = prod.saturating_mul(r);
+            }
+            f_prev = f_prev.saturating_add(prod.saturating_mul(self.pages[k]));
+        }
+        let numer = u64::from(self.n_real)
+            .saturating_mul(self.times[j + 1])
+            .saturating_sub(self.pages[j + 1]);
+        let bound = numer.div_ceil(f_prev.max(1)).max(1);
+        for r in 1..=bound {
+            self.ratios[j] = r;
+            self.dfs(j + 1);
+        }
+        self.ratios[j] = 1;
+    }
+}
+
+/// True exhaustive enumeration of all frequency vectors within caps.
+///
+/// Group `i` is searched over `1 ..= config.max_freq_factor * t_h / t_i`.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::SearchSpaceTooLarge`] if the candidate count
+/// exceeds `config.enumeration_limit`.
+///
+/// # Panics
+///
+/// Panics if `n_real == 0`.
+pub fn search_full(
+    ladder: &GroupLadder,
+    n_real: u32,
+    config: OptConfig,
+) -> Result<OptResult, ScheduleError> {
+    assert!(n_real > 0, "n_real must be non-zero");
+    let h = ladder.group_count();
+    let times = ladder.times();
+    let pages = ladder.page_counts();
+    let th = ladder.max_time();
+
+    let caps: Vec<u64> = times
+        .iter()
+        .map(|&t| (config.max_freq_factor * (th / t)).max(1))
+        .collect();
+    let candidates: u128 = caps.iter().map(|&c| u128::from(c)).product();
+    if candidates > config.enumeration_limit {
+        return Err(ScheduleError::SearchSpaceTooLarge {
+            candidates,
+            limit: config.enumeration_limit,
+        });
+    }
+
+    let mut best_freqs = Vec::new();
+    let mut best_obj = f64::INFINITY;
+    let mut evaluated = 0u64;
+    let mut freqs = vec![1u64; h];
+
+    loop {
+        let obj = group_objective(times, pages, &freqs, n_real, config.weighting);
+        evaluated += 1;
+        // Prefer lower objective; among equal objectives, fewer total slot
+        // instances (a shorter cycle).
+        if best_freqs.is_empty()
+            || obj < best_obj
+            || (obj == best_obj
+                && total_instances(&freqs, pages) < total_instances(&best_freqs, pages))
+        {
+            best_obj = obj;
+            best_freqs = freqs.clone();
+        }
+
+        let mut pos = 0;
+        loop {
+            if pos == h {
+                return Ok(OptResult {
+                    freqs: best_freqs,
+                    objective: best_obj,
+                    evaluated,
+                });
+            }
+            if freqs[pos] < caps[pos] {
+                freqs[pos] += 1;
+                break;
+            }
+            freqs[pos] = 1;
+            pos += 1;
+        }
+    }
+}
+
+fn total_instances(freqs: &[u64], pages: &[u64]) -> u64 {
+    freqs.iter().zip(pages).map(|(&s, &p)| s * p).sum()
+}
+
+/// Branch-and-bound exhaustive search over the full frequency space.
+///
+/// Covers the same space as [`search_full`] (per-group caps
+/// `1 ..= factor * t_h / t_i`) but prunes with an *admissible* lower
+/// bound, so it finds the same optimum while visiting a small fraction of
+/// the tree — extending true exhaustive search to ladders where plain
+/// enumeration explodes.
+///
+/// **The bound.** Once `S_1 .. S_j` are fixed, the final slot count is at
+/// least `F_lb = sum_{i<=j} S_i P_i + sum_{k>j} P_k` (every remaining
+/// group airs at least once). For a *fixed* `S_i`, each delay term is
+/// non-decreasing in `F` wherever it is positive (it has the form
+/// `(F/c - t)^2 / F` up to the ceiling on `t_major`, whose derivative is
+/// `(F/c - t)(F/c + t)/F^2 >= 0`), so evaluating the fixed groups' terms
+/// at `F_lb` and crediting the remaining groups zero never overestimates.
+/// The search starts from [`search_r_structured`]'s solution as the
+/// incumbent, which makes the bound bite immediately.
+///
+/// # Panics
+///
+/// Panics if `n_real == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::delay::Weighting;
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::opt::{search_full, search_full_bnb, OptConfig};
+///
+/// let ladder = GroupLadder::new(vec![(2, 4), (4, 6), (8, 2)])?;
+/// let config = OptConfig::default();
+/// let plain = search_full(&ladder, 2, config)?;
+/// let bnb = search_full_bnb(&ladder, 2, config);
+/// assert_eq!(bnb.objective(), plain.objective());
+/// assert!(bnb.evaluated() <= plain.evaluated());
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+#[must_use]
+pub fn search_full_bnb(ladder: &GroupLadder, n_real: u32, config: OptConfig) -> OptResult {
+    assert!(n_real > 0, "n_real must be non-zero");
+    let h = ladder.group_count();
+    let times = ladder.times();
+    let pages = ladder.page_counts();
+    let th = ladder.max_time();
+
+    let caps: Vec<u64> = times
+        .iter()
+        .map(|&t| (config.max_freq_factor * (th / t)).max(1))
+        .collect();
+    // Suffix page sums: remaining_pages[j] = sum of P_k for k >= j.
+    let mut remaining_pages = vec![0u64; h + 1];
+    for j in (0..h).rev() {
+        remaining_pages[j] = remaining_pages[j + 1] + pages[j];
+    }
+
+    // Incumbent: the structured optimum (always within the cap space as
+    // long as its frequencies respect the caps; clamp defensively).
+    let seed = search_r_structured(ladder, n_real, config.weighting);
+    let mut best_freqs: Vec<u64> = seed
+        .frequencies()
+        .iter()
+        .zip(&caps)
+        .map(|(&s, &cap)| s.min(cap))
+        .collect();
+    let mut best_obj = group_objective(times, pages, &best_freqs, n_real, config.weighting);
+    let mut evaluated = seed.evaluated();
+
+    struct Bnb<'a> {
+        times: &'a [u64],
+        pages: &'a [u64],
+        caps: &'a [u64],
+        remaining_pages: &'a [u64],
+        n_real: u32,
+        weighting: Weighting,
+        freqs: Vec<u64>,
+        best_freqs: Vec<u64>,
+        best_obj: f64,
+        evaluated: u64,
+    }
+
+    impl Bnb<'_> {
+        /// Admissible lower bound with groups `0..j` fixed.
+        fn lower_bound(&self, j: usize) -> f64 {
+            let fixed_slots: u64 = self.freqs[..j]
+                .iter()
+                .zip(self.pages)
+                .map(|(&s, &p)| s * p)
+                .sum();
+            let f_lb = fixed_slots + self.remaining_pages[j];
+            let tm_lb = f_lb.div_ceil(u64::from(self.n_real));
+            let n_pages: u64 = self.pages.iter().sum();
+            let zipf_masses = match self.weighting {
+                Weighting::ZipfAccess { theta } => Some(crate::delay::zipf_group_masses_for_bound(
+                    self.pages, n_pages, theta,
+                )),
+                _ => None,
+            };
+            let (f_f, tm, nr) = (f_lb as f64, tm_lb as f64, f64::from(self.n_real));
+            let mut lb = 0.0;
+            for i in 0..j {
+                let (t, p, s) = (
+                    self.times[i] as f64,
+                    self.pages[i] as f64,
+                    self.freqs[i] as f64,
+                );
+                match self.weighting {
+                    Weighting::PaperEq2 => {
+                        let a = f_f / (nr * s) - t;
+                        let b = tm / s - t;
+                        if a > 0.0 && b > 0.0 {
+                            lb += (s * p / f_f) * a * b / 2.0;
+                        }
+                    }
+                    Weighting::Normalized | Weighting::ZipfAccess { .. } => {
+                        let weight = match &zipf_masses {
+                            Some(m) => m[i],
+                            None => p / n_pages as f64,
+                        };
+                        let gap = tm / s;
+                        if gap > t {
+                            lb += weight * (gap - t) * (gap - t) / (2.0 * gap);
+                        }
+                    }
+                }
+            }
+            lb
+        }
+
+        fn dfs(&mut self, j: usize) {
+            if j == self.freqs.len() {
+                let obj = group_objective(
+                    self.times,
+                    self.pages,
+                    &self.freqs,
+                    self.n_real,
+                    self.weighting,
+                );
+                self.evaluated += 1;
+                if obj < self.best_obj
+                    || (obj == self.best_obj
+                        && total_instances(&self.freqs, self.pages)
+                            < total_instances(&self.best_freqs, self.pages))
+                {
+                    self.best_obj = obj;
+                    self.best_freqs = self.freqs.clone();
+                }
+                return;
+            }
+            for s in 1..=self.caps[j] {
+                self.freqs[j] = s;
+                if self.lower_bound(j + 1) > self.best_obj {
+                    // Terms only grow with larger later F; larger s at this
+                    // position only raises F further, but terms of *later*
+                    // siblings may differ — prune this subtree only.
+                    continue;
+                }
+                self.dfs(j + 1);
+            }
+            self.freqs[j] = 1;
+        }
+    }
+
+    let mut bnb = Bnb {
+        times,
+        pages,
+        caps: &caps,
+        remaining_pages: &remaining_pages,
+        n_real,
+        weighting: config.weighting,
+        freqs: vec![1u64; h],
+        best_freqs: best_freqs.clone(),
+        best_obj,
+        evaluated,
+    };
+    bnb.dfs(0);
+    best_freqs = bnb.best_freqs;
+    best_obj = bnb.best_obj;
+    evaluated = bnb.evaluated;
+
+    OptResult {
+        freqs: best_freqs,
+        objective: best_obj,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pamad;
+
+    fn fig2_ladder() -> GroupLadder {
+        GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap()
+    }
+
+    #[test]
+    fn r_structured_matches_paper_example() {
+        let best = search_r_structured(&fig2_ladder(), 3, Weighting::PaperEq2);
+        assert_eq!(best.frequencies(), &[4, 2, 1]);
+        assert!((best.objective() - 0.04166666667).abs() < 1e-8);
+        assert!(best.evaluated() >= 4);
+    }
+
+    #[test]
+    fn pamad_never_beats_opt_on_the_objective() {
+        let ladders = [
+            GroupLadder::geometric(2, 2, &[10, 20, 15]).unwrap(),
+            GroupLadder::geometric(4, 2, &[5, 50, 20, 10]).unwrap(),
+            GroupLadder::geometric(2, 3, &[7, 3, 9]).unwrap(),
+        ];
+        for ladder in &ladders {
+            for n in 1..=4u32 {
+                let opt = search_r_structured(ladder, n, Weighting::PaperEq2);
+                let plan = pamad::derive_frequencies(ladder, n, Weighting::PaperEq2);
+                let pamad_obj = group_objective(
+                    ladder.times(),
+                    ladder.page_counts(),
+                    plan.frequencies(),
+                    n,
+                    Weighting::PaperEq2,
+                );
+                assert!(
+                    opt.objective() <= pamad_obj + 1e-12,
+                    "OPT {:?} ({}) must not lose to PAMAD {:?} ({})",
+                    opt.frequencies(),
+                    opt.objective(),
+                    plan.frequencies(),
+                    pamad_obj
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_search_is_at_least_as_good_as_structured() {
+        let ladder = GroupLadder::new(vec![(2, 4), (4, 6)]).unwrap();
+        for n in 1..=3u32 {
+            let full = search_full(&ladder, n, OptConfig::default()).unwrap();
+            let structured = search_r_structured(&ladder, n, Weighting::PaperEq2);
+            assert!(
+                full.objective() <= structured.objective() + 1e-12,
+                "n={n}: full {} vs structured {}",
+                full.objective(),
+                structured.objective()
+            );
+        }
+    }
+
+    #[test]
+    fn full_search_respects_enumeration_limit() {
+        let ladder = GroupLadder::geometric(2, 2, &[1; 10]).unwrap();
+        let config = OptConfig {
+            enumeration_limit: 100,
+            ..OptConfig::default()
+        };
+        assert!(matches!(
+            search_full(&ladder, 1, config),
+            Err(ScheduleError::SearchSpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn sufficient_channels_find_zero_objective() {
+        let best = search_r_structured(&fig2_ladder(), 4, Weighting::PaperEq2);
+        assert_eq!(best.objective(), 0.0);
+    }
+
+    #[test]
+    fn result_places_into_a_program() {
+        let best = search_r_structured(&fig2_ladder(), 3, Weighting::PaperEq2);
+        let placement = best.place(&fig2_ladder(), 3).unwrap();
+        assert_eq!(placement.program().cycle_len(), 9);
+    }
+
+    #[test]
+    fn single_group_trivial() {
+        let ladder = GroupLadder::new(vec![(4, 9)]).unwrap();
+        let best = search_r_structured(&ladder, 2, Weighting::PaperEq2);
+        assert_eq!(best.frequencies(), &[1]);
+        assert_eq!(best.evaluated(), 1);
+    }
+
+    #[test]
+    fn normalized_weighting_supported() {
+        let best = search_r_structured(&fig2_ladder(), 2, Weighting::Normalized);
+        assert_eq!(best.frequencies().len(), 3);
+    }
+
+    #[test]
+    fn bnb_matches_plain_full_search() {
+        let ladders = [
+            GroupLadder::new(vec![(2, 4), (4, 6)]).unwrap(),
+            fig2_ladder(),
+            GroupLadder::new(vec![(2, 8), (4, 4), (8, 6), (16, 2)]).unwrap(),
+        ];
+        for ladder in &ladders {
+            for n in 1..=3u32 {
+                for weighting in [Weighting::PaperEq2, Weighting::Normalized] {
+                    let config = OptConfig {
+                        weighting,
+                        ..OptConfig::default()
+                    };
+                    let plain = search_full(ladder, n, config).unwrap();
+                    let bnb = search_full_bnb(ladder, n, config);
+                    assert!(
+                        (plain.objective() - bnb.objective()).abs() < 1e-12,
+                        "n={n} {weighting:?}: plain {} vs bnb {}",
+                        plain.objective(),
+                        bnb.objective()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bnb_prunes_substantially() {
+        // A ladder whose plain cap space is large.
+        let ladder = GroupLadder::geometric(2, 2, &[6, 8, 10, 4, 2]).unwrap();
+        let config = OptConfig {
+            enumeration_limit: 1 << 26,
+            ..OptConfig::default()
+        };
+        let plain = search_full(&ladder, 3, config).unwrap();
+        let bnb = search_full_bnb(&ladder, 3, config);
+        assert!((plain.objective() - bnb.objective()).abs() < 1e-12);
+        assert!(
+            bnb.evaluated() * 4 < plain.evaluated(),
+            "bnb {} vs plain {} evaluations",
+            bnb.evaluated(),
+            plain.evaluated()
+        );
+    }
+
+    #[test]
+    fn bnb_handles_zipf_weighting() {
+        let ladder = fig2_ladder();
+        let config = OptConfig {
+            weighting: Weighting::ZipfAccess { theta: 0.9 },
+            ..OptConfig::default()
+        };
+        let plain = search_full(&ladder, 2, config).unwrap();
+        let bnb = search_full_bnb(&ladder, 2, config);
+        assert!((plain.objective() - bnb.objective()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bnb_beyond_plain_search_feasibility() {
+        // Plain full search would need > 2^26 candidates here; the B&B
+        // still terminates and never does worse than the structured seed.
+        let ladder = GroupLadder::geometric(2, 2, &[10, 12, 14, 10, 8, 6]).unwrap();
+        let n = 4;
+        let config = OptConfig {
+            enumeration_limit: 1 << 20,
+            ..OptConfig::default()
+        };
+        assert!(search_full(&ladder, n, config).is_err());
+        let structured = search_r_structured(&ladder, n, Weighting::PaperEq2);
+        let bnb = search_full_bnb(&ladder, n, config);
+        assert!(bnb.objective() <= structured.objective() + 1e-12);
+    }
+}

@@ -1,0 +1,480 @@
+//! The broadcast program `B`: an `N x t_major` grid of page slots that the
+//! server transmits cyclically, one column per time slot, all channels in
+//! parallel.
+//!
+//! Semantics used throughout the crate:
+//!
+//! * The program repeats forever with period [`BroadcastProgram::cycle_len`].
+//! * A client that wants page `p` and tunes in at (continuous or discrete)
+//!   time `a` receives `p` at the end of the first slot at or after `a` whose
+//!   column contains `p` **on any channel** — clients are assumed to know the
+//!   schedule (via an index channel) and tune to the right channel.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use crate::types::{ChannelId, GridPos, PageId, SlotIndex};
+
+/// A rectangular, cyclic broadcast schedule.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::program::BroadcastProgram;
+/// use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
+///
+/// let mut program = BroadcastProgram::new(2, 4);
+/// let pos = GridPos::new(ChannelId::new(0), SlotIndex::new(1));
+/// program.place(pos, PageId::new(7))?;
+/// assert_eq!(program.page_at(pos), Some(PageId::new(7)));
+/// assert_eq!(program.occupied_slots(), 1);
+/// # Ok::<(), airsched_core::program::SlotOccupied>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BroadcastProgram {
+    channels: u32,
+    cycle_len: u64,
+    /// Row-major: `grid[channel * cycle_len + slot]`.
+    grid: Vec<Option<PageId>>,
+    /// Columns (deduplicated, sorted) in which each page appears.
+    columns: BTreeMap<PageId, Vec<u64>>,
+    /// Every cell holding each page, kept sorted row-major so that
+    /// equality and [`BroadcastProgram::occurrences`] are independent of
+    /// placement order.
+    cells: BTreeMap<PageId, Vec<GridPos>>,
+    occupied: u64,
+}
+
+/// Error returned by [`BroadcastProgram::place`] when the slot is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotOccupied {
+    /// The contested position.
+    pub pos: GridPos,
+    /// The page already occupying it.
+    pub existing: PageId,
+}
+
+impl fmt::Display for SlotOccupied {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot {} already holds {}", self.pos, self.existing)
+    }
+}
+
+impl std::error::Error for SlotOccupied {}
+
+impl BroadcastProgram {
+    /// Creates an empty program with `channels` rows and `cycle_len` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0` or `cycle_len == 0`, or if the grid size
+    /// would overflow `usize`.
+    #[must_use]
+    pub fn new(channels: u32, cycle_len: u64) -> Self {
+        assert!(channels > 0, "a program needs at least one channel");
+        assert!(cycle_len > 0, "a program needs at least one slot");
+        let cells = u64::from(channels)
+            .checked_mul(cycle_len)
+            .and_then(|c| usize::try_from(c).ok())
+            .expect("program grid must fit in memory");
+        Self {
+            channels,
+            cycle_len,
+            grid: vec![None; cells],
+            columns: BTreeMap::new(),
+            cells: BTreeMap::new(),
+            occupied: 0,
+        }
+    }
+
+    /// Number of channels (rows).
+    #[must_use]
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Cycle length in slots (columns).
+    #[must_use]
+    pub fn cycle_len(&self) -> u64 {
+        self.cycle_len
+    }
+
+    /// Total number of grid cells.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        u64::from(self.channels) * self.cycle_len
+    }
+
+    /// Number of filled cells.
+    #[must_use]
+    pub fn occupied_slots(&self) -> u64 {
+        self.occupied
+    }
+
+    /// Fraction of cells filled, in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.occupied as f64 / self.capacity() as f64
+    }
+
+    fn cell_index(&self, pos: GridPos) -> usize {
+        assert!(
+            pos.channel.index() < self.channels,
+            "channel {} out of range (have {})",
+            pos.channel,
+            self.channels
+        );
+        assert!(
+            pos.slot.index() < self.cycle_len,
+            "slot {} out of range (cycle is {})",
+            pos.slot,
+            self.cycle_len
+        );
+        usize::try_from(u64::from(pos.channel.index()) * self.cycle_len + pos.slot.index())
+            .expect("cell index fits in usize")
+    }
+
+    /// The page at `pos`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    #[must_use]
+    pub fn page_at(&self, pos: GridPos) -> Option<PageId> {
+        self.grid[self.cell_index(pos)]
+    }
+
+    /// Whether the cell at `pos` is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    #[must_use]
+    pub fn is_free(&self, pos: GridPos) -> bool {
+        self.page_at(pos).is_none()
+    }
+
+    /// Places `page` at `pos`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SlotOccupied`] if the cell already holds a page (programs
+    /// are write-once by design; schedulers never overwrite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn place(&mut self, pos: GridPos, page: PageId) -> Result<(), SlotOccupied> {
+        let idx = self.cell_index(pos);
+        if let Some(existing) = self.grid[idx] {
+            return Err(SlotOccupied { pos, existing });
+        }
+        self.grid[idx] = Some(page);
+        self.occupied += 1;
+        let cols = self.columns.entry(page).or_default();
+        match cols.binary_search(&pos.slot.index()) {
+            Ok(_) => {} // same column on another channel: one logical occurrence
+            Err(at) => cols.insert(at, pos.slot.index()),
+        }
+        let cells = self.cells.entry(page).or_default();
+        let at = cells.partition_point(|c| *c < pos);
+        cells.insert(at, pos);
+        Ok(())
+    }
+
+    /// The sorted, deduplicated columns in which `page` appears (a page
+    /// appearing on two channels in the same column counts once — a client
+    /// only needs one of them).
+    #[must_use]
+    pub fn occurrence_columns(&self, page: PageId) -> &[u64] {
+        self.columns.get(&page).map_or(&[], Vec::as_slice)
+    }
+
+    /// All `(channel, slot)` cells holding `page`, sorted row-major.
+    #[must_use]
+    pub fn occurrences(&self, page: PageId) -> Vec<GridPos> {
+        self.cells.get(&page).cloned().unwrap_or_default()
+    }
+
+    /// Every distinct page that appears at least once.
+    pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.columns.keys().copied()
+    }
+
+    /// Number of logical occurrences (distinct columns) of `page`.
+    #[must_use]
+    pub fn frequency(&self, page: PageId) -> u64 {
+        self.occurrence_columns(page).len() as u64
+    }
+
+    /// The wait, in whole slots, from a tune-in at the *start* of slot
+    /// `arrival` (taken modulo the cycle) until `page` has been fully
+    /// received, or `None` if the page is never broadcast.
+    ///
+    /// A client arriving at the start of the very slot that carries its page
+    /// waits 1 slot (the page must finish transmitting).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use airsched_core::program::BroadcastProgram;
+    /// use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
+    ///
+    /// let mut p = BroadcastProgram::new(1, 4);
+    /// p.place(GridPos::new(ChannelId::new(0), SlotIndex::new(2)), PageId::new(0)).unwrap();
+    /// assert_eq!(p.wait_from(PageId::new(0), 0), Some(3)); // slots 0,1,2
+    /// assert_eq!(p.wait_from(PageId::new(0), 2), Some(1));
+    /// assert_eq!(p.wait_from(PageId::new(0), 3), Some(4)); // wraps around
+    /// assert_eq!(p.wait_from(PageId::new(9), 0), None);
+    /// ```
+    #[must_use]
+    pub fn wait_from(&self, page: PageId, arrival: u64) -> Option<u64> {
+        let cols = self.occurrence_columns(page);
+        if cols.is_empty() {
+            return None;
+        }
+        let a = arrival % self.cycle_len;
+        // First column >= a, else wrap to the first column next cycle.
+        match cols.binary_search(&a) {
+            Ok(_) => Some(1),
+            Err(idx) => {
+                if idx < cols.len() {
+                    Some(cols[idx] - a + 1)
+                } else {
+                    Some(self.cycle_len - a + cols[0] + 1)
+                }
+            }
+        }
+    }
+
+    /// The cyclic gaps, in slots, between consecutive logical occurrences of
+    /// `page`, including the wrap-around gap from the last occurrence back to
+    /// the first. Returns an empty vector for a page never broadcast.
+    ///
+    /// The gaps always sum to the cycle length.
+    #[must_use]
+    pub fn cyclic_gaps(&self, page: PageId) -> Vec<u64> {
+        let cols = self.occurrence_columns(page);
+        match cols.len() {
+            0 => Vec::new(),
+            1 => vec![self.cycle_len],
+            n => {
+                let mut gaps = Vec::with_capacity(n);
+                for w in cols.windows(2) {
+                    gaps.push(w[1] - w[0]);
+                }
+                gaps.push(self.cycle_len - cols[n - 1] + cols[0]);
+                gaps
+            }
+        }
+    }
+
+    /// Renders the grid as an ASCII table, one row per channel. Intended for
+    /// small programs (examples, debugging); columns are page ids or `.` for
+    /// empty cells.
+    #[must_use]
+    pub fn render_grid(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .columns
+            .keys()
+            .last()
+            .map_or(1, |p| p.index().to_string().len())
+            .max(1);
+        for ch in 0..self.channels {
+            out.push_str(&format!("ch{ch}: "));
+            for slot in 0..self.cycle_len {
+                let pos = GridPos::new(ChannelId::new(ch), SlotIndex::new(slot));
+                match self.page_at(pos) {
+                    Some(p) => out.push_str(&format!("{:>width$} ", p.index())),
+                    None => out.push_str(&format!("{:>width$} ", ".")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for BroadcastProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program[{} channels x {} slots, {}/{} filled]",
+            self.channels,
+            self.cycle_len,
+            self.occupied,
+            self.capacity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(ch: u32, slot: u64) -> GridPos {
+        GridPos::new(ChannelId::new(ch), SlotIndex::new(slot))
+    }
+
+    #[test]
+    fn new_program_is_empty() {
+        let p = BroadcastProgram::new(3, 5);
+        assert_eq!(p.channels(), 3);
+        assert_eq!(p.cycle_len(), 5);
+        assert_eq!(p.capacity(), 15);
+        assert_eq!(p.occupied_slots(), 0);
+        assert_eq!(p.utilization(), 0.0);
+        assert!(p.pages().next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        let _ = BroadcastProgram::new(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_cycle_panics() {
+        let _ = BroadcastProgram::new(1, 0);
+    }
+
+    #[test]
+    fn place_and_read_back() {
+        let mut p = BroadcastProgram::new(2, 4);
+        p.place(pos(1, 3), PageId::new(9)).unwrap();
+        assert_eq!(p.page_at(pos(1, 3)), Some(PageId::new(9)));
+        assert!(p.is_free(pos(0, 0)));
+        assert!(!p.is_free(pos(1, 3)));
+        assert_eq!(p.occupied_slots(), 1);
+    }
+
+    #[test]
+    fn double_place_is_rejected() {
+        let mut p = BroadcastProgram::new(1, 2);
+        p.place(pos(0, 0), PageId::new(1)).unwrap();
+        let err = p.place(pos(0, 0), PageId::new(2)).unwrap_err();
+        assert_eq!(err.existing, PageId::new(1));
+        assert_eq!(err.pos, pos(0, 0));
+        assert!(err.to_string().contains("already holds"));
+        // The failed placement did not change the grid.
+        assert_eq!(p.page_at(pos(0, 0)), Some(PageId::new(1)));
+        assert_eq!(p.occupied_slots(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slot_panics() {
+        let p = BroadcastProgram::new(1, 2);
+        let _ = p.page_at(pos(0, 2));
+    }
+
+    #[test]
+    fn occurrence_columns_dedup_same_column_across_channels() {
+        let mut p = BroadcastProgram::new(2, 4);
+        p.place(pos(0, 1), PageId::new(5)).unwrap();
+        p.place(pos(1, 1), PageId::new(5)).unwrap();
+        p.place(pos(0, 3), PageId::new(5)).unwrap();
+        assert_eq!(p.occurrence_columns(PageId::new(5)), &[1, 3]);
+        assert_eq!(p.frequency(PageId::new(5)), 2);
+        assert_eq!(p.occurrences(PageId::new(5)).len(), 3);
+    }
+
+    #[test]
+    fn occurrence_columns_stay_sorted_regardless_of_insert_order() {
+        let mut p = BroadcastProgram::new(1, 8);
+        for slot in [5, 1, 7, 3] {
+            p.place(pos(0, slot), PageId::new(0)).unwrap();
+        }
+        assert_eq!(p.occurrence_columns(PageId::new(0)), &[1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn wait_from_basic_and_wraparound() {
+        let mut p = BroadcastProgram::new(1, 6);
+        p.place(pos(0, 2), PageId::new(0)).unwrap();
+        p.place(pos(0, 5), PageId::new(0)).unwrap();
+        assert_eq!(p.wait_from(PageId::new(0), 0), Some(3));
+        assert_eq!(p.wait_from(PageId::new(0), 2), Some(1));
+        assert_eq!(p.wait_from(PageId::new(0), 3), Some(3));
+        assert_eq!(p.wait_from(PageId::new(0), 5), Some(1));
+        // Arrival beyond the cycle wraps.
+        assert_eq!(p.wait_from(PageId::new(0), 6), Some(3));
+        assert_eq!(p.wait_from(PageId::new(0), 14), Some(1));
+    }
+
+    #[test]
+    fn wait_from_missing_page_is_none() {
+        let p = BroadcastProgram::new(1, 4);
+        assert_eq!(p.wait_from(PageId::new(0), 0), None);
+    }
+
+    #[test]
+    fn cyclic_gaps_sum_to_cycle() {
+        let mut p = BroadcastProgram::new(1, 10);
+        for slot in [0, 3, 4, 9] {
+            p.place(pos(0, slot), PageId::new(1)).unwrap();
+        }
+        let gaps = p.cyclic_gaps(PageId::new(1));
+        assert_eq!(gaps, vec![3, 1, 5, 1]);
+        assert_eq!(gaps.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn cyclic_gaps_single_occurrence_is_whole_cycle() {
+        let mut p = BroadcastProgram::new(1, 7);
+        p.place(pos(0, 4), PageId::new(2)).unwrap();
+        assert_eq!(p.cyclic_gaps(PageId::new(2)), vec![7]);
+    }
+
+    #[test]
+    fn cyclic_gaps_absent_page_is_empty() {
+        let p = BroadcastProgram::new(1, 7);
+        assert!(p.cyclic_gaps(PageId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn render_grid_shows_pages_and_holes() {
+        let mut p = BroadcastProgram::new(2, 3);
+        p.place(pos(0, 0), PageId::new(1)).unwrap();
+        p.place(pos(1, 2), PageId::new(2)).unwrap();
+        let s = p.render_grid();
+        assert!(s.contains("ch0: 1 . ."));
+        assert!(s.contains("ch1: . . 2"));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut p = BroadcastProgram::new(2, 3);
+        p.place(pos(0, 0), PageId::new(1)).unwrap();
+        assert_eq!(p.to_string(), "program[2 channels x 3 slots, 1/6 filled]");
+    }
+
+    #[test]
+    fn equality_is_placement_order_independent() {
+        // Same final grid, different placement orders (including a page
+        // spanning channels placed high-channel-first).
+        let mut a = BroadcastProgram::new(2, 3);
+        a.place(pos(1, 0), PageId::new(7)).unwrap();
+        a.place(pos(0, 2), PageId::new(7)).unwrap();
+        a.place(pos(0, 0), PageId::new(1)).unwrap();
+        let mut b = BroadcastProgram::new(2, 3);
+        b.place(pos(0, 0), PageId::new(1)).unwrap();
+        b.place(pos(0, 2), PageId::new(7)).unwrap();
+        b.place(pos(1, 0), PageId::new(7)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.occurrences(PageId::new(7)), b.occurrences(PageId::new(7)));
+        // Occurrences are row-major regardless of placement order.
+        assert_eq!(a.occurrences(PageId::new(7)), vec![pos(0, 2), pos(1, 0)]);
+    }
+
+    #[test]
+    fn utilization_tracks_fill() {
+        let mut p = BroadcastProgram::new(1, 4);
+        p.place(pos(0, 0), PageId::new(0)).unwrap();
+        p.place(pos(0, 1), PageId::new(1)).unwrap();
+        assert!((p.utilization() - 0.5).abs() < 1e-12);
+    }
+}

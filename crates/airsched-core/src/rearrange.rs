@@ -1,0 +1,349 @@
+//! Expected-time rearrangement (§2 of the paper).
+//!
+//! Real workloads carry almost arbitrary expected times. The paper reduces
+//! scheduling complexity by rounding each expected time *down* to the nearest
+//! value on a geometric ladder `t_1, c*t_1, c^2*t_1, ...` — rounding down
+//! keeps every original constraint satisfied (a page is never delivered
+//! later than its true expected time), at the cost of some bandwidth.
+//!
+//! The paper's example: expected times `2, 3, 4, 6, 9` with `c = 2` become
+//! `2, 2, 4, 4, 8`, i.e. three groups `t = (2, 4, 8)`.
+
+use crate::error::ScheduleError;
+use crate::group::GroupLadder;
+use crate::types::PageId;
+
+/// The result of rearranging raw expected times onto a geometric ladder.
+///
+/// Holds the resulting [`GroupLadder`] plus the page-level mapping needed to
+/// relate scheduler output back to the caller's original items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rearrangement {
+    ladder: GroupLadder,
+    /// `assignments[k]` is the position of original item `k` after
+    /// rearrangement.
+    assignments: Vec<Assignment>,
+    ratio: u64,
+    base: u64,
+}
+
+/// Where one original item landed after rearrangement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Assignment {
+    /// The page id assigned in the rearranged ladder's group-major numbering.
+    pub page: PageId,
+    /// The item's original expected time, in slots.
+    pub original_time: u64,
+    /// The rounded-down ladder time the item was assigned, in slots.
+    pub assigned_time: u64,
+}
+
+impl Assignment {
+    /// The bandwidth slack introduced by rounding down: `original - assigned`.
+    #[must_use]
+    pub const fn slack(&self) -> u64 {
+        self.original_time - self.assigned_time
+    }
+}
+
+impl Rearrangement {
+    /// Rearranges `times` (one entry per original item, arbitrary order) onto
+    /// a geometric ladder with ratio `ratio`, using the smallest input time
+    /// as the ladder base `t_1`.
+    ///
+    /// Every time is rounded **down** to the largest `t_1 * ratio^k` not
+    /// exceeding it, so rearranged constraints are at least as strict as the
+    /// originals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::EmptyLadder`] if `times` is empty, and
+    /// [`ScheduleError::InvalidFrequencies`] if `ratio < 2` or any time is
+    /// zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use airsched_core::rearrange::Rearrangement;
+    ///
+    /// // The paper's §2 example.
+    /// let r = Rearrangement::with_ratio(&[2, 3, 4, 6, 9], 2)?;
+    /// assert_eq!(r.ladder().times(), &[2, 4, 8]);
+    /// assert_eq!(r.ladder().page_counts(), &[2, 2, 1]);
+    /// # Ok::<(), airsched_core::error::ScheduleError>(())
+    /// ```
+    pub fn with_ratio(times: &[u64], ratio: u64) -> Result<Self, ScheduleError> {
+        Self::with_base_and_ratio(times, times.iter().copied().min().unwrap_or(0), ratio)
+    }
+
+    /// Rearranges with an explicit ladder base `t_1` (must not exceed the
+    /// smallest input time) and ratio.
+    ///
+    /// # Errors
+    ///
+    /// As [`Rearrangement::with_ratio`], plus
+    /// [`ScheduleError::InvalidFrequencies`] if `base` is zero or larger
+    /// than the smallest input time.
+    pub fn with_base_and_ratio(
+        times: &[u64],
+        base: u64,
+        ratio: u64,
+    ) -> Result<Self, ScheduleError> {
+        if times.is_empty() {
+            return Err(ScheduleError::EmptyLadder);
+        }
+        if ratio < 2 {
+            return Err(ScheduleError::InvalidFrequencies {
+                reason: "rearrangement ratio must be at least 2",
+            });
+        }
+        if base == 0 || times.contains(&0) {
+            return Err(ScheduleError::InvalidFrequencies {
+                reason: "expected times must be positive",
+            });
+        }
+        if times.iter().any(|&t| t < base) {
+            return Err(ScheduleError::InvalidFrequencies {
+                reason: "ladder base exceeds the smallest expected time",
+            });
+        }
+
+        // Round every time down onto the ladder and count the rungs used.
+        let rungs: Vec<u32> = times.iter().map(|&t| rung_below(t, base, ratio)).collect();
+        let max_rung = *rungs.iter().max().expect("non-empty");
+
+        let mut counts = vec![0u64; max_rung as usize + 1];
+        for &r in &rungs {
+            counts[r as usize] += 1;
+        }
+
+        // Build the dense ladder: empty rungs are dropped, so remember the
+        // mapping rung -> dense group index and assign group-major page ids.
+        let mut rung_to_group = vec![usize::MAX; max_rung as usize + 1];
+        let mut dense: Vec<(u64, u64)> = Vec::new();
+        let mut t = base;
+        for (rung, &cnt) in counts.iter().enumerate() {
+            if cnt > 0 {
+                rung_to_group[rung] = dense.len();
+                dense.push((t, cnt));
+            }
+            if rung < max_rung as usize {
+                // Cannot overflow: rung_below only returned rungs whose
+                // ladder value fits, so every intermediate value does too.
+                t = t
+                    .checked_mul(ratio)
+                    .expect("intermediate rung values fit by construction");
+            }
+        }
+        let ladder = GroupLadder::new(dense)?;
+
+        // First page id per dense group.
+        let mut first_page = Vec::with_capacity(ladder.group_count());
+        let mut cursor = 0u32;
+        for &p in ladder.page_counts() {
+            first_page.push(cursor);
+            cursor += u32::try_from(p).expect("page count fits in u32");
+        }
+
+        let mut next_in_group = first_page.clone();
+        let mut assignments = Vec::with_capacity(times.len());
+        for (&orig, &rung) in times.iter().zip(&rungs) {
+            let g = rung_to_group[rung as usize];
+            let page = PageId::new(next_in_group[g]);
+            next_in_group[g] += 1;
+            assignments.push(Assignment {
+                page,
+                original_time: orig,
+                assigned_time: ladder.times()[g],
+            });
+        }
+
+        Ok(Self {
+            ladder,
+            assignments,
+            ratio,
+            base,
+        })
+    }
+
+    /// Picks, among `ratios`, the ratio whose rearrangement wastes the least
+    /// bandwidth (smallest total relative slack `sum((t - t') / t)`), and
+    /// returns that rearrangement.
+    ///
+    /// Ties resolve to the smaller ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error if every candidate ratio fails, or
+    /// [`ScheduleError::InvalidFrequencies`] if `ratios` is empty.
+    pub fn best_ratio(times: &[u64], ratios: &[u64]) -> Result<Self, ScheduleError> {
+        let mut best: Option<(f64, Self)> = None;
+        let mut first_err = None;
+        for &c in ratios {
+            match Self::with_ratio(times, c) {
+                Ok(r) => {
+                    let loss = r.relative_slack();
+                    let better = match &best {
+                        None => true,
+                        Some((best_loss, _)) => loss < *best_loss,
+                    };
+                    if better {
+                        best = Some((loss, r));
+                    }
+                }
+                Err(e) => first_err = Some(e),
+            }
+        }
+        match best {
+            Some((_, r)) => Ok(r),
+            None => Err(first_err.unwrap_or(ScheduleError::InvalidFrequencies {
+                reason: "no candidate ratios supplied",
+            })),
+        }
+    }
+
+    /// The rearranged ladder, ready for scheduling.
+    #[must_use]
+    pub fn ladder(&self) -> &GroupLadder {
+        &self.ladder
+    }
+
+    /// Per-original-item assignments, in input order.
+    #[must_use]
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// The ladder ratio used.
+    #[must_use]
+    pub fn ratio(&self) -> u64 {
+        self.ratio
+    }
+
+    /// The ladder base `t_1` used.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total relative bandwidth slack, `sum((original - assigned) / original)`.
+    ///
+    /// Zero means every input time was already on the ladder.
+    #[must_use]
+    pub fn relative_slack(&self) -> f64 {
+        self.assignments
+            .iter()
+            .map(|a| a.slack() as f64 / a.original_time as f64)
+            .sum()
+    }
+}
+
+/// Largest rung index `k` with `base * ratio^k <= t`.
+fn rung_below(t: u64, base: u64, ratio: u64) -> u32 {
+    debug_assert!(t >= base && base > 0 && ratio >= 2);
+    let mut rung = 0u32;
+    let mut val = base;
+    while let Some(next) = val.checked_mul(ratio) {
+        if next > t {
+            break;
+        }
+        val = next;
+        rung += 1;
+    }
+    rung
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_section2_example() {
+        // times 2, 3, 4, 6, 9 -> 2, 2, 4, 4, 8.
+        let r = Rearrangement::with_ratio(&[2, 3, 4, 6, 9], 2).unwrap();
+        assert_eq!(r.ladder().times(), &[2, 4, 8]);
+        assert_eq!(r.ladder().page_counts(), &[2, 2, 1]);
+        let assigned: Vec<u64> = r.assignments().iter().map(|a| a.assigned_time).collect();
+        assert_eq!(assigned, vec![2, 2, 4, 4, 8]);
+        assert_eq!(r.base(), 2);
+        assert_eq!(r.ratio(), 2);
+    }
+
+    #[test]
+    fn rounding_never_exceeds_original() {
+        let times = [5, 7, 13, 100, 6, 2, 31];
+        let r = Rearrangement::with_ratio(&times, 2).unwrap();
+        for a in r.assignments() {
+            assert!(a.assigned_time <= a.original_time);
+            // Rounded down by strictly less than a factor of the ratio.
+            assert!(a.assigned_time * r.ratio() > a.original_time);
+        }
+    }
+
+    #[test]
+    fn already_on_ladder_has_zero_slack() {
+        let r = Rearrangement::with_ratio(&[4, 8, 8, 16, 32], 2).unwrap();
+        assert_eq!(r.relative_slack(), 0.0);
+        assert_eq!(r.ladder().times(), &[4, 8, 16, 32]);
+    }
+
+    #[test]
+    fn empty_rungs_are_dropped_from_the_ladder() {
+        // 2 and 50 with c=2: rungs 2,4,8,16,32 - only 2 and 32 used.
+        let r = Rearrangement::with_ratio(&[2, 50], 2).unwrap();
+        assert_eq!(r.ladder().times(), &[2, 32]);
+        // ladder ratio check: 32/2 = 16, still a valid geometric ladder
+        // because the dense ladder must itself be geometric...
+        // 2 -> 32 is c=16, a single step, so consistent.
+        assert_eq!(r.ladder().ratio(), 16);
+    }
+
+    #[test]
+    fn page_ids_are_group_major_and_dense() {
+        let r = Rearrangement::with_ratio(&[9, 2, 6, 3, 4], 2).unwrap();
+        // groups: t=2 {2,3}, t=4 {6,4}, t=8 {9}
+        let mut ids: Vec<u32> = r.assignments().iter().map(|a| a.page.index()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        // The item with original time 9 must be in the last group (t=8).
+        let a9 = r.assignments()[0];
+        assert_eq!(a9.original_time, 9);
+        assert_eq!(a9.assigned_time, 8);
+        assert_eq!(r.ladder().group_of(a9.page).unwrap().paper_index(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(Rearrangement::with_ratio(&[], 2).is_err());
+        assert!(Rearrangement::with_ratio(&[1, 2], 1).is_err());
+        assert!(Rearrangement::with_ratio(&[0, 2], 2).is_err());
+        assert!(Rearrangement::with_base_and_ratio(&[4, 8], 5, 2).is_err());
+        assert!(Rearrangement::with_base_and_ratio(&[4, 8], 0, 2).is_err());
+    }
+
+    #[test]
+    fn best_ratio_prefers_lower_slack() {
+        // Times that are all powers of 3 of a base: ratio 3 is lossless.
+        let times = [2, 6, 18, 54];
+        let r = Rearrangement::best_ratio(&times, &[2, 3, 4]).unwrap();
+        assert_eq!(r.ratio(), 3);
+        assert_eq!(r.relative_slack(), 0.0);
+    }
+
+    #[test]
+    fn best_ratio_requires_candidates() {
+        assert!(Rearrangement::best_ratio(&[2, 4], &[]).is_err());
+    }
+
+    #[test]
+    fn slack_accessor_matches_fields() {
+        let r = Rearrangement::with_ratio(&[3], 2).unwrap();
+        let a = r.assignments()[0];
+        assert_eq!(a.slack(), 0); // base = min = 3 -> exactly on ladder
+        let r = Rearrangement::with_base_and_ratio(&[3], 2, 2).unwrap();
+        let a = r.assignments()[0];
+        assert_eq!(a.assigned_time, 2);
+        assert_eq!(a.slack(), 1);
+    }
+}

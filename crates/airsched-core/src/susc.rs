@@ -1,0 +1,352 @@
+//! SUSC — Scheduling Under Sufficient Channels (§3.2, Algorithms 1 and 2).
+//!
+//! Given at least the minimum number of channels (Theorem 3.1), SUSC builds
+//! a *valid* program of cycle length `t_h`:
+//!
+//! 1. take pages in ascending expected-time order (group order);
+//! 2. for each page, find the first free slot `(x, y)` scanning channel by
+//!    channel within columns `0 .. t_i` (`GetAvailableSlot`);
+//! 3. replicate the page at `(x, y + k*t_i)` for
+//!    `k = 0 .. t_h/t_i - 1` (Theorem 3.3: all appearances share a channel
+//!    and are exactly `t_i` apart).
+//!
+//! Theorem 3.2 guarantees step 2 always succeeds when
+//! `N >= ceil(sum P_i/t_i)`; the implementation still returns
+//! [`ScheduleError::PlacementFailed`] rather than panicking if the
+//! invariant were ever broken.
+
+use crate::bound::minimum_channels;
+use crate::error::ScheduleError;
+use crate::group::GroupLadder;
+use crate::program::BroadcastProgram;
+use crate::types::{ChannelId, GridPos, SlotIndex};
+
+/// Builds a valid broadcast program on `channels` channels.
+///
+/// The cycle length is `t_h` (the largest expected time). Channels beyond
+/// the minimum are left empty.
+///
+/// # Errors
+///
+/// * [`ScheduleError::NoChannels`] if `channels == 0`.
+/// * [`ScheduleError::InsufficientChannels`] if `channels` is below
+///   Theorem 3.1's bound — use [`crate::pamad`] in that regime.
+/// * [`ScheduleError::PlacementFailed`] if the internal invariant of
+///   Theorem 3.2 were violated (never expected to occur).
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::{susc, validity};
+///
+/// let ladder = GroupLadder::new(vec![(2, 2), (4, 3)])?;
+/// let program = susc::schedule(&ladder, 2)?;
+/// assert_eq!(program.cycle_len(), 4);
+/// assert!(validity::check(&program, &ladder).is_valid());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn schedule(ladder: &GroupLadder, channels: u32) -> Result<BroadcastProgram, ScheduleError> {
+    if channels == 0 {
+        return Err(ScheduleError::NoChannels);
+    }
+    let required = minimum_channels(ladder);
+    if channels < required {
+        return Err(ScheduleError::InsufficientChannels {
+            supplied: channels,
+            required,
+        });
+    }
+
+    let cycle = ladder.max_time();
+    let mut program = BroadcastProgram::new(channels, cycle);
+
+    // Groups are stored in ascending expected-time order already, and pages
+    // within a group are interchangeable (paper: "their order is
+    // unimportant").
+    for info in ladder.groups() {
+        let t = info.expected_time.slots();
+        let repeats = cycle / t; // exact: t_i | t_h by ladder invariant
+        for page in info.page_ids() {
+            let (x, y) =
+                get_available_slot(&program, t).ok_or(ScheduleError::PlacementFailed { page })?;
+            for k in 0..repeats {
+                let pos = GridPos::new(ChannelId::new(x), SlotIndex::new(y + k * t));
+                program
+                    .place(pos, page)
+                    .map_err(|_| ScheduleError::PlacementFailed { page })?;
+            }
+        }
+    }
+    Ok(program)
+}
+
+/// Convenience: computes the Theorem 3.1 minimum and schedules at exactly
+/// that channel count.
+///
+/// # Errors
+///
+/// Propagates [`schedule`]'s errors (only [`ScheduleError::PlacementFailed`]
+/// is reachable, and only if an internal invariant breaks).
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::susc;
+///
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// let (program, channels) = susc::schedule_minimum(&ladder)?;
+/// assert_eq!(channels, 4);
+/// assert_eq!(program.channels(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn schedule_minimum(ladder: &GroupLadder) -> Result<(BroadcastProgram, u32), ScheduleError> {
+    let n = minimum_channels(ladder);
+    let program = schedule(ladder, n)?;
+    Ok((program, n))
+}
+
+/// Algorithm 2, `GetAvailableSlot`: the first free `(channel, column)` with
+/// `column < t_i`, scanning columns within each channel before moving to the
+/// next channel.
+fn get_available_slot(program: &BroadcastProgram, t: u64) -> Option<(u32, u64)> {
+    let window = t.min(program.cycle_len());
+    for x in 0..program.channels() {
+        for y in 0..window {
+            let pos = GridPos::new(ChannelId::new(x), SlotIndex::new(y));
+            if program.is_free(pos) {
+                return Some((x, y));
+            }
+        }
+    }
+    None
+}
+
+/// The optimized SUSC the paper alludes to in §3.2 ("the search of an
+/// available slot ... need not be always starting from the first slot of
+/// every channel"): per-channel cursors remember how far each channel has
+/// been filled, so the total slot-search work is linear in the grid instead
+/// of quadratic.
+///
+/// Produces **exactly** the same program as [`schedule`] — pages are placed
+/// in the same order and every channel is filled left to right, so the
+/// first free slot is always at or after the cursor. The equivalence is
+/// pinned by unit and property tests, and the `schedulers` bench measures
+/// the speedup.
+///
+/// # Errors
+///
+/// As [`schedule`].
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::susc;
+///
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// assert_eq!(
+///     susc::schedule_fast(&ladder, 4)?,
+///     susc::schedule(&ladder, 4)?,
+/// );
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+pub fn schedule_fast(
+    ladder: &GroupLadder,
+    channels: u32,
+) -> Result<BroadcastProgram, ScheduleError> {
+    if channels == 0 {
+        return Err(ScheduleError::NoChannels);
+    }
+    let required = minimum_channels(ladder);
+    if channels < required {
+        return Err(ScheduleError::InsufficientChannels {
+            supplied: channels,
+            required,
+        });
+    }
+
+    let cycle = ladder.max_time();
+    let mut program = BroadcastProgram::new(channels, cycle);
+    // cursor[x]: first column of channel x that might still be free.
+    // Invariant: every column left of the cursor is occupied. It holds
+    // because pages are placed in ascending expected-time order: a page
+    // placed at (x, y) with period t fills y and nothing left of it stays
+    // free — plain SUSC scans left-to-right too and never frees cells.
+    let mut cursor = vec![0u64; channels as usize];
+
+    for info in ladder.groups() {
+        let t = info.expected_time.slots();
+        let window = t.min(cycle);
+        let repeats = cycle / t;
+        for page in info.page_ids() {
+            let mut placed = false;
+            for x in 0..channels {
+                // Advance this channel's cursor over filled cells.
+                let c = &mut cursor[x as usize];
+                while *c < window
+                    && !program.is_free(GridPos::new(ChannelId::new(x), SlotIndex::new(*c)))
+                {
+                    *c += 1;
+                }
+                if *c >= window {
+                    continue;
+                }
+                let y = *c;
+                for k in 0..repeats {
+                    let pos = GridPos::new(ChannelId::new(x), SlotIndex::new(y + k * t));
+                    program
+                        .place(pos, page)
+                        .map_err(|_| ScheduleError::PlacementFailed { page })?;
+                }
+                placed = true;
+                break;
+            }
+            if !placed {
+                return Err(ScheduleError::PlacementFailed { page });
+            }
+        }
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PageId;
+    use crate::validity;
+
+    #[test]
+    fn schedules_paper_bound_example() {
+        let ladder = GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap();
+        let program = schedule(&ladder, 2).unwrap();
+        let report = validity::check(&program, &ladder);
+        assert!(report.is_valid(), "{report}");
+        // Fully valid with exactly the minimum: one channel must fail.
+        assert!(matches!(
+            schedule(&ladder, 1),
+            Err(ScheduleError::InsufficientChannels {
+                supplied: 1,
+                required: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn zero_channels_is_an_error() {
+        let ladder = GroupLadder::new(vec![(2, 1)]).unwrap();
+        assert_eq!(schedule(&ladder, 0), Err(ScheduleError::NoChannels));
+    }
+
+    #[test]
+    fn figure2_workload_at_minimum_four_channels() {
+        let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap();
+        let (program, n) = schedule_minimum(&ladder).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(program.cycle_len(), 8);
+        assert!(validity::check(&program, &ladder).is_valid());
+    }
+
+    #[test]
+    fn frequencies_match_theorem_3_3() {
+        let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap();
+        let (program, _) = schedule_minimum(&ladder).unwrap();
+        for (page, group) in ladder.pages() {
+            let expected_freq = ladder.max_time() / ladder.time_of(group).slots();
+            assert_eq!(program.frequency(page), expected_freq, "page {page}");
+            // All appearances of one page stay on a single channel and are
+            // exactly t_i apart (Theorem 3.3).
+            let occ = program.occurrences(page);
+            let ch = occ[0].channel;
+            assert!(occ.iter().all(|p| p.channel == ch));
+            let t = ladder.time_of(group).slots();
+            for w in occ.windows(2) {
+                assert_eq!(w[1].slot.index() - w[0].slot.index(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn extra_channels_stay_partly_empty() {
+        let ladder = GroupLadder::new(vec![(2, 1)]).unwrap();
+        let program = schedule(&ladder, 3).unwrap();
+        assert!(validity::check(&program, &ladder).is_valid());
+        assert_eq!(program.occupied_slots(), 1); // one page, once per 2-cycle... t_h = 2, freq 1
+        assert_eq!(program.channels(), 3);
+    }
+
+    #[test]
+    fn single_group_packs_rows() {
+        // 5 pages, t = 2 -> demand 2.5 -> 3 channels; cycle 2.
+        let ladder = GroupLadder::new(vec![(2, 5)]).unwrap();
+        let (program, n) = schedule_minimum(&ladder).unwrap();
+        assert_eq!(n, 3);
+        assert!(validity::check(&program, &ladder).is_valid());
+        // Every page appears once in the 2-slot cycle.
+        for (page, _) in ladder.pages() {
+            assert_eq!(program.frequency(page), 1);
+        }
+    }
+
+    #[test]
+    fn tight_full_utilization_case() {
+        // P = (3, 2), t = (2, 4): demand = 1.5 + 0.5 = 2 channels, 8 cells,
+        // needed instances = 3*2 + 2*1 = 8 -> zero slack.
+        let ladder = GroupLadder::new(vec![(2, 3), (4, 2)]).unwrap();
+        let (program, n) = schedule_minimum(&ladder).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(program.occupied_slots(), program.capacity());
+        assert!(validity::check(&program, &ladder).is_valid());
+    }
+
+    #[test]
+    fn first_pages_fill_lowest_channels_first() {
+        let ladder = GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap();
+        let program = schedule(&ladder, 2).unwrap();
+        // Page 0 (first of G1) lands at (ch0, slot0) and repeats at slot 2.
+        let occ = program.occurrences(PageId::new(0));
+        assert_eq!(occ[0].channel.index(), 0);
+        assert_eq!(occ[0].slot.index(), 0);
+        assert_eq!(occ[1].slot.index(), 2);
+    }
+
+    #[test]
+    fn deep_ladder_schedules_validly() {
+        let ladder = GroupLadder::geometric(2, 2, &[4, 6, 9, 5, 3]).unwrap();
+        let (program, _) = schedule_minimum(&ladder).unwrap();
+        assert!(validity::check(&program, &ladder).is_valid());
+    }
+
+    #[test]
+    fn fast_variant_is_bit_identical() {
+        let ladders = [
+            GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap(),
+            GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap(),
+            GroupLadder::geometric(2, 2, &[4, 6, 9, 5, 3]).unwrap(),
+            GroupLadder::new(vec![(2, 3), (4, 2), (12, 7)]).unwrap(),
+        ];
+        for ladder in &ladders {
+            let min = minimum_channels(ladder);
+            for n in min..min + 2 {
+                assert_eq!(
+                    schedule_fast(ladder, n).unwrap(),
+                    schedule(ladder, n).unwrap(),
+                    "{ladder} at {n} channels"
+                );
+            }
+        }
+        // And the same errors.
+        let ladder = &ladders[1];
+        assert_eq!(schedule_fast(ladder, 0), schedule(ladder, 0));
+        assert_eq!(schedule_fast(ladder, 1), schedule(ladder, 1));
+    }
+
+    #[test]
+    fn non_uniform_divisible_ladder_schedules_validly() {
+        // times 2, 4, 12 (ratios 2 then 3) — divisibility is enough.
+        let ladder = GroupLadder::new(vec![(2, 3), (4, 2), (12, 7)]).unwrap();
+        let (program, _) = schedule_minimum(&ladder).unwrap();
+        assert!(validity::check(&program, &ladder).is_valid());
+    }
+}

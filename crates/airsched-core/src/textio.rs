@@ -1,0 +1,288 @@
+//! Plain-text serialization of broadcast programs and ladders.
+//!
+//! A broadcast program is operational state a server wants to persist,
+//! diff, and ship to transmitters; this module defines a stable,
+//! human-readable format for that (independent of the optional `serde`
+//! feature, which serializes the in-memory representation instead).
+//!
+//! ```text
+//! airsched-program v1
+//! channels 3
+//! cycle 9
+//! grid
+//! 0 3 6 0 9 0 3 0 6
+//! 1 4 7 1 10 1 4 1 7
+//! 2 5 8 2 . 2 5 2 .
+//! ```
+//!
+//! Ladders serialize on one line as `time:count` pairs: `2:3 4:5 8:3`.
+
+use core::fmt;
+
+use crate::error::ScheduleError;
+use crate::group::GroupLadder;
+use crate::program::BroadcastProgram;
+use crate::types::{ChannelId, GridPos, PageId, SlotIndex};
+
+/// Magic first line of the program format.
+const MAGIC: &str = "airsched-program v1";
+
+/// Error parsing the text formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTextError {
+    /// 1-based line of the problem (0 for structural problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTextError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseTextError {
+    ParseTextError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes a program to the v1 text format.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::susc;
+/// use airsched_core::textio::{parse_program, write_program};
+///
+/// let ladder = GroupLadder::new(vec![(2, 2), (4, 3)])?;
+/// let program = susc::schedule(&ladder, 2)?;
+/// let text = write_program(&program);
+/// assert_eq!(parse_program(&text)?, program);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn write_program(program: &BroadcastProgram) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!("channels {}\n", program.channels()));
+    out.push_str(&format!("cycle {}\n", program.cycle_len()));
+    out.push_str("grid\n");
+    for ch in 0..program.channels() {
+        let mut first = true;
+        for slot in 0..program.cycle_len() {
+            if !first {
+                out.push(' ');
+            }
+            first = false;
+            match program.page_at(GridPos::new(ChannelId::new(ch), SlotIndex::new(slot))) {
+                Some(p) => out.push_str(&p.index().to_string()),
+                None => out.push('.'),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the v1 text format back into a program.
+///
+/// # Errors
+///
+/// Returns [`ParseTextError`] describing the first malformed line.
+pub fn parse_program(text: &str) -> Result<BroadcastProgram, ParseTextError> {
+    let mut lines = text.lines().enumerate();
+    let (_, magic) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if magic.trim() != MAGIC {
+        return Err(err(1, format!("expected '{MAGIC}'")));
+    }
+    let channels = parse_kv(lines.next(), "channels")?;
+    let cycle = parse_kv(lines.next(), "cycle")?;
+    let channels = u32::try_from(channels).map_err(|_| err(2, "channels out of range"))?;
+    if channels == 0 || cycle == 0 {
+        return Err(err(2, "channels and cycle must be positive"));
+    }
+    let (grid_line_no, grid) = lines.next().ok_or_else(|| err(0, "missing 'grid'"))?;
+    if grid.trim() != "grid" {
+        return Err(err(grid_line_no + 1, "expected 'grid'"));
+    }
+
+    let mut program = BroadcastProgram::new(channels, cycle);
+    let mut rows = 0u32;
+    for (line_no, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if rows >= channels {
+            return Err(err(line_no + 1, "more grid rows than channels"));
+        }
+        let cells: Vec<&str> = line.split_whitespace().collect();
+        if cells.len() as u64 != cycle {
+            return Err(err(
+                line_no + 1,
+                format!("expected {cycle} cells, found {}", cells.len()),
+            ));
+        }
+        for (slot, cell) in cells.iter().enumerate() {
+            if *cell == "." {
+                continue;
+            }
+            let page: u32 = cell
+                .parse()
+                .map_err(|_| err(line_no + 1, format!("bad page id '{cell}'")))?;
+            let pos = GridPos::new(ChannelId::new(rows), SlotIndex::new(slot as u64));
+            program
+                .place(pos, PageId::new(page))
+                .map_err(|e| err(line_no + 1, e.to_string()))?;
+        }
+        rows += 1;
+    }
+    if rows != channels {
+        return Err(err(
+            0,
+            format!("expected {channels} grid rows, found {rows}"),
+        ));
+    }
+    Ok(program)
+}
+
+fn parse_kv(line: Option<(usize, &str)>, key: &str) -> Result<u64, ParseTextError> {
+    let (line_no, line) = line.ok_or_else(|| err(0, format!("missing '{key}'")))?;
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some(k), Some(v), None) if k == key => v
+            .parse()
+            .map_err(|_| err(line_no + 1, format!("bad {key} value '{v}'"))),
+        _ => Err(err(line_no + 1, format!("expected '{key} <number>'"))),
+    }
+}
+
+/// Serializes a ladder as `time:count` pairs (`2:3 4:5 8:3`).
+#[must_use]
+pub fn write_ladder(ladder: &GroupLadder) -> String {
+    ladder
+        .times()
+        .iter()
+        .zip(ladder.page_counts())
+        .map(|(t, p)| format!("{t}:{p}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parses the `time:count` ladder format.
+///
+/// # Errors
+///
+/// Returns [`ParseTextError`] on malformed pairs, or wraps the
+/// [`ScheduleError`] if the pairs do not form a valid ladder.
+pub fn parse_ladder(text: &str) -> Result<GroupLadder, ParseTextError> {
+    let mut groups = Vec::new();
+    for (i, pair) in text.split_whitespace().enumerate() {
+        let (t, p) = pair
+            .split_once(':')
+            .ok_or_else(|| err(1, format!("pair {} ('{pair}') is not 'time:count'", i + 1)))?;
+        let t: u64 = t
+            .parse()
+            .map_err(|_| err(1, format!("bad time '{t}' in pair {}", i + 1)))?;
+        let p: u64 = p
+            .parse()
+            .map_err(|_| err(1, format!("bad count '{p}' in pair {}", i + 1)))?;
+        groups.push((t, p));
+    }
+    GroupLadder::new(groups).map_err(|e: ScheduleError| err(1, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pamad, susc};
+
+    fn fig2_ladder() -> GroupLadder {
+        GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap()
+    }
+
+    #[test]
+    fn program_round_trips_susc() {
+        let program = susc::schedule(&fig2_ladder(), 4).unwrap();
+        let text = write_program(&program);
+        assert_eq!(parse_program(&text).unwrap(), program);
+    }
+
+    #[test]
+    fn program_round_trips_pamad_with_holes() {
+        let program = pamad::schedule(&fig2_ladder(), 3).unwrap().into_program();
+        let text = write_program(&program);
+        assert!(
+            text.contains('.'),
+            "PAMAD program should have holes:\n{text}"
+        );
+        assert_eq!(parse_program(&text).unwrap(), program);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let e = parse_program("nonsense v9\n").unwrap_err();
+        assert!(e.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn rejects_wrong_cell_count() {
+        let text = "airsched-program v1\nchannels 1\ncycle 3\ngrid\n1 2\n";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.message.contains("expected 3 cells"));
+        assert_eq!(e.line, 5);
+    }
+
+    #[test]
+    fn rejects_row_count_mismatch() {
+        let text = "airsched-program v1\nchannels 2\ncycle 2\ngrid\n1 2\n";
+        assert!(parse_program(text).unwrap_err().message.contains("rows"));
+        let text = "airsched-program v1\nchannels 1\ncycle 2\ngrid\n1 2\n3 4\n";
+        assert!(parse_program(text).unwrap_err().message.contains("rows"));
+    }
+
+    #[test]
+    fn rejects_bad_page_and_structure() {
+        let text = "airsched-program v1\nchannels 1\ncycle 2\ngrid\n1 x\n";
+        assert!(parse_program(text)
+            .unwrap_err()
+            .message
+            .contains("bad page id"));
+        assert!(parse_program("").is_err());
+        let text = "airsched-program v1\nchannels 0\ncycle 2\ngrid\n";
+        assert!(parse_program(text).is_err());
+        let text = "airsched-program v1\nchannels a\ncycle 2\ngrid\n";
+        assert!(parse_program(text).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let program = susc::schedule(&fig2_ladder(), 4).unwrap();
+        let mut text = write_program(&program);
+        text.push('\n');
+        assert_eq!(parse_program(&text).unwrap(), program);
+    }
+
+    #[test]
+    fn ladder_round_trips() {
+        let ladder = fig2_ladder();
+        let text = write_ladder(&ladder);
+        assert_eq!(text, "2:3 4:5 8:3");
+        assert_eq!(parse_ladder(&text).unwrap(), ladder);
+    }
+
+    #[test]
+    fn ladder_parse_errors() {
+        assert!(parse_ladder("2-3").is_err());
+        assert!(parse_ladder("a:3").is_err());
+        assert!(parse_ladder("2:b").is_err());
+        assert!(parse_ladder("").is_err()); // empty ladder invalid
+        assert!(parse_ladder("2:3 3:1").is_err()); // non-divisible times
+    }
+}

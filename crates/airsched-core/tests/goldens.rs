@@ -1,0 +1,77 @@
+//! Golden snapshots: the exact programs the algorithms produce for the
+//! paper's Figure 2 workload, pinned cell by cell. Any change to scheduler
+//! behaviour — even one that keeps validity and delay intact — shows up
+//! here first, so algorithm drift is always a conscious decision.
+
+use airsched_core::group::GroupLadder;
+use airsched_core::textio::write_program;
+use airsched_core::{mpb, pamad, susc};
+
+fn fig2_ladder() -> GroupLadder {
+    GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap()
+}
+
+#[test]
+fn susc_program_snapshot() {
+    let program = susc::schedule(&fig2_ladder(), 4).unwrap();
+    let expected = "\
+airsched-program v1
+channels 4
+cycle 8
+grid
+0 1 0 1 0 1 0 1
+2 3 2 4 2 3 2 4
+5 6 7 8 5 6 7 9
+10 . . . . . . .
+";
+    assert_eq!(write_program(&program), expected);
+}
+
+#[test]
+fn pamad_program_snapshot() {
+    let program = pamad::schedule(&fig2_ladder(), 3).unwrap().into_program();
+    let expected = "\
+airsched-program v1
+channels 3
+cycle 9
+grid
+0 3 6 0 9 0 3 0 6
+1 4 7 1 10 1 4 1 7
+2 5 8 2 . 2 5 2 .
+";
+    assert_eq!(write_program(&program), expected);
+}
+
+#[test]
+fn mpb_program_snapshot() {
+    // m-PB with 2 channels: frequencies (4, 2, 1), 13-slot cycle.
+    let program = mpb::schedule(&fig2_ladder(), 2).unwrap().into_program();
+    let text = write_program(&program);
+    let expected = "\
+airsched-program v1
+channels 2
+cycle 13
+grid
+0 2 4 6 0 2 9 0 2 4 0 2 7
+1 3 5 7 1 8 10 1 3 5 1 6 .
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn susc_minimum_snapshot_for_bound_example() {
+    // The Theorem 3.1 example P=(2,3), t=(2,4) at its minimum of 2.
+    let ladder = GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap();
+    let program = susc::schedule(&ladder, 2).unwrap();
+    // Pages 2-4 (t = 4) each air once per 4-slot cycle; pages 0-1 (t = 2)
+    // twice. One cell stays idle: capacity 8, demand 2*2 + 3*1 = 7.
+    let expected = "\
+airsched-program v1
+channels 2
+cycle 4
+grid
+0 1 0 1
+2 3 4 .
+";
+    assert_eq!(write_program(&program), expected);
+}

@@ -1,0 +1,221 @@
+//! Property-based tests for the core scheduling invariants.
+//!
+//! These exercise the claims the paper proves (Theorems 3.1–3.3) and the
+//! structural invariants of PAMAD/m-PB/OPT on randomized group ladders.
+
+use proptest::prelude::*;
+
+use airsched_core::bound::{channel_demand, minimum_channels, minimum_channels_per_group};
+use airsched_core::delay::{expected_program_delay, group_objective, major_cycle, Weighting};
+use airsched_core::group::GroupLadder;
+use airsched_core::{mpb, opt, pamad, susc, validity};
+
+/// A random harmonic ladder: 1-5 groups, base time 1-6, ratio 2-4,
+/// 1-40 pages per group.
+fn arb_ladder() -> impl Strategy<Value = GroupLadder> {
+    (1u64..=6, 2u64..=4, prop::collection::vec(1u64..=40, 1..=5)).prop_map(|(t1, c, counts)| {
+        GroupLadder::geometric(t1, c, &counts).expect("generated ladder is valid")
+    })
+}
+
+/// A random *divisible but possibly non-uniform* ladder.
+fn arb_divisible_ladder() -> impl Strategy<Value = GroupLadder> {
+    (
+        1u64..=4,
+        prop::collection::vec((2u64..=3, 1u64..=25), 1..=4),
+    )
+        .prop_map(|(t1, steps)| {
+            let mut t = t1;
+            let mut groups = Vec::with_capacity(steps.len());
+            for (c, p) in steps {
+                groups.push((t, p));
+                t *= c;
+            }
+            GroupLadder::new(groups).expect("generated ladder is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 3.1 + Theorem 3.2: SUSC succeeds at exactly the tight bound
+    /// and the result is a valid program.
+    #[test]
+    fn susc_is_valid_at_the_tight_minimum(ladder in arb_ladder()) {
+        let n = minimum_channels(&ladder);
+        let program = susc::schedule(&ladder, n).expect("SUSC at the bound");
+        let report = validity::check(&program, &ladder);
+        prop_assert!(report.is_valid(), "{report}\n{}", program.render_grid());
+        // And a valid program has zero expected delay.
+        let d = expected_program_delay(&program, &ladder).unwrap();
+        prop_assert_eq!(d, 0.0);
+    }
+
+    /// Converse of Theorem 3.1: one channel below the bound, the demand
+    /// provably exceeds capacity (the bound really is necessary).
+    #[test]
+    fn below_the_bound_demand_exceeds_capacity(ladder in arb_ladder()) {
+        let n = minimum_channels(&ladder);
+        prop_assume!(n > 1);
+        // Required bandwidth share strictly exceeds n - 1 channels.
+        prop_assert!(channel_demand(&ladder) > f64::from(n - 1));
+    }
+
+    /// The per-group (typeset) bound never undercuts the tight bound.
+    #[test]
+    fn per_group_bound_dominates(ladder in arb_ladder()) {
+        prop_assert!(minimum_channels_per_group(&ladder) >= minimum_channels(&ladder));
+        // And the tight bound brackets the (float) demand: n-1 < demand <= n.
+        let n = f64::from(minimum_channels(&ladder));
+        let demand = channel_demand(&ladder);
+        prop_assert!(demand <= n + 1e-6 && demand > n - 1.0 - 1e-6);
+    }
+
+    /// Theorem 3.3 under SUSC: every page's appearances sit on one channel,
+    /// exactly t_i apart, starting within the first t_i columns.
+    #[test]
+    fn susc_appearance_structure(ladder in arb_ladder()) {
+        let (program, _) = susc::schedule_minimum(&ladder).unwrap();
+        for (page, group) in ladder.pages() {
+            let t = ladder.time_of(group).slots();
+            let occ = program.occurrences(page);
+            prop_assert!(!occ.is_empty());
+            prop_assert!(occ[0].slot.index() < t);
+            let ch = occ[0].channel;
+            for w in occ.windows(2) {
+                prop_assert_eq!(w[0].channel, ch);
+                prop_assert_eq!(w[1].slot.index() - w[0].slot.index(), t);
+            }
+            prop_assert_eq!(occ.len() as u64, ladder.max_time() / t);
+        }
+    }
+
+    /// The cursor-optimized SUSC (§3.2's noted optimization) is
+    /// bit-identical to the plain algorithm on every input.
+    #[test]
+    fn susc_fast_is_bit_identical(ladder in arb_ladder(), extra in 0u32..3) {
+        let n = minimum_channels(&ladder) + extra;
+        prop_assert_eq!(
+            susc::schedule_fast(&ladder, n).expect("fast succeeds"),
+            susc::schedule(&ladder, n).expect("plain succeeds")
+        );
+    }
+
+    /// SUSC with surplus channels is still valid.
+    #[test]
+    fn susc_with_surplus_channels(ladder in arb_ladder(), extra in 1u32..4) {
+        let n = minimum_channels(&ladder) + extra;
+        let program = susc::schedule(&ladder, n).unwrap();
+        prop_assert!(validity::check(&program, &ladder).is_valid());
+    }
+
+    /// Divisibility (not a constant ratio) is sufficient for SUSC validity.
+    #[test]
+    fn susc_on_divisible_ladders(ladder in arb_divisible_ladder()) {
+        let (program, _) = susc::schedule_minimum(&ladder).unwrap();
+        prop_assert!(validity::check(&program, &ladder).is_valid());
+    }
+
+    /// PAMAD always airs every page at least once, never drops an instance,
+    /// and its frequencies are non-increasing with a unit tail.
+    #[test]
+    fn pamad_total_coverage(ladder in arb_ladder(), n in 1u32..6) {
+        let outcome = pamad::schedule(&ladder, n).unwrap();
+        prop_assert_eq!(outcome.placement_stats().dropped, 0);
+        let freqs = outcome.plan().frequencies();
+        prop_assert_eq!(*freqs.last().unwrap(), 1);
+        for w in freqs.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        for (page, _) in ladder.pages() {
+            prop_assert!(outcome.program().frequency(page) >= 1);
+        }
+    }
+
+    /// PAMAD's program materializes exactly the planned instance count
+    /// (frequencies sum * pages), with no same-column duplicates.
+    #[test]
+    fn pamad_instance_accounting(ladder in arb_ladder(), n in 1u32..6) {
+        let outcome = pamad::schedule(&ladder, n).unwrap();
+        let planned: u64 = outcome
+            .plan()
+            .frequencies()
+            .iter()
+            .zip(ladder.page_counts())
+            .map(|(s, p)| s * p)
+            .sum();
+        prop_assert_eq!(outcome.placement_stats().total(), planned);
+        prop_assert_eq!(outcome.program().occupied_slots(), planned);
+        let stats = outcome.placement_stats();
+        let mut logical = 0u64;
+        let mut cells = 0u64;
+        for (page, _) in ladder.pages() {
+            logical += outcome.program().occurrence_columns(page).len() as u64;
+            cells += outcome.program().occurrences(page).len() as u64;
+        }
+        prop_assert_eq!(cells, planned);
+        prop_assert_eq!(cells - logical, stats.duplicated);
+    }
+
+    /// With sufficient channels PAMAD's plan achieves a zero analytic
+    /// objective (it reproduces the SUSC regime).
+    #[test]
+    fn pamad_zero_objective_when_sufficient(ladder in arb_ladder()) {
+        let n = minimum_channels(&ladder);
+        let plan = pamad::derive_frequencies(&ladder, n, Weighting::PaperEq2);
+        prop_assert!(plan.final_objective().abs() < 1e-12);
+    }
+
+    /// The jointly-searched OPT never loses to the stage-greedy PAMAD on
+    /// the shared analytic objective.
+    #[test]
+    fn opt_dominates_pamad_objective(ladder in arb_ladder(), n in 1u32..6) {
+        let best = opt::search_r_structured(&ladder, n, Weighting::PaperEq2);
+        let plan = pamad::derive_frequencies(&ladder, n, Weighting::PaperEq2);
+        let pamad_obj = group_objective(
+            ladder.times(),
+            ladder.page_counts(),
+            plan.frequencies(),
+            n,
+            Weighting::PaperEq2,
+        );
+        prop_assert!(best.objective() <= pamad_obj + 1e-9);
+    }
+
+    /// m-PB never drops instances and its cycle matches Equation 8.
+    #[test]
+    fn mpb_cycle_matches_equation8(ladder in arb_ladder(), n in 1u32..6) {
+        let placement = mpb::schedule(&ladder, n).unwrap();
+        prop_assert_eq!(placement.stats().dropped, 0);
+        let expect = major_cycle(ladder.page_counts(), &mpb::frequencies(&ladder), n);
+        prop_assert_eq!(placement.program().cycle_len(), expect);
+    }
+
+    /// The analytic program delay is always finite and non-negative, and
+    /// zero exactly when validity holds.
+    #[test]
+    fn program_delay_consistent_with_validity(ladder in arb_ladder(), n in 1u32..6) {
+        let outcome = pamad::schedule(&ladder, n).unwrap();
+        let d = expected_program_delay(outcome.program(), &ladder).unwrap();
+        prop_assert!(d.is_finite() && d >= 0.0);
+        let valid = validity::check(outcome.program(), &ladder).is_valid();
+        if valid {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    /// Cyclic gaps of every page sum to the cycle length (program invariant).
+    #[test]
+    fn gaps_partition_the_cycle(ladder in arb_ladder(), n in 1u32..6) {
+        let outcome = pamad::schedule(&ladder, n).unwrap();
+        for (page, _) in ladder.pages() {
+            let gaps = outcome.program().cyclic_gaps(page);
+            prop_assert_eq!(
+                gaps.iter().sum::<u64>(),
+                outcome.program().cycle_len()
+            );
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Robustness: parsers and validators must reject garbage gracefully —
+//! errors, never panics.
+
+use proptest::prelude::*;
+
+use airsched_core::rearrange::Rearrangement;
+use airsched_core::textio::{parse_ladder, parse_program};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text never panics the program parser.
+    #[test]
+    fn parse_program_never_panics(input in ".{0,256}") {
+        let _ = parse_program(&input);
+    }
+
+    /// Arbitrary text prefixed with the magic header never panics either
+    /// (exercises the header-accepted paths).
+    #[test]
+    fn parse_program_with_magic_never_panics(body in ".{0,200}") {
+        let input = format!("airsched-program v1\n{body}");
+        let _ = parse_program(&input);
+    }
+
+    /// Structured-looking but wrong headers never panic.
+    #[test]
+    fn parse_program_with_header_fields_never_panics(
+        channels in any::<i64>(),
+        cycle in any::<i64>(),
+        body in "[0-9 .x\n]{0,120}",
+    ) {
+        let input =
+            format!("airsched-program v1\nchannels {channels}\ncycle {cycle}\ngrid\n{body}");
+        let _ = parse_program(&input);
+    }
+
+    /// Arbitrary text never panics the ladder parser.
+    #[test]
+    fn parse_ladder_never_panics(input in ".{0,128}") {
+        let _ = parse_ladder(&input);
+    }
+
+    /// Numeric-looking ladder pairs never panic.
+    #[test]
+    fn parse_ladder_numeric_pairs_never_panics(
+        pairs in prop::collection::vec((any::<u64>(), any::<u64>()), 0..6),
+    ) {
+        let text = pairs
+            .iter()
+            .map(|(t, p)| format!("{t}:{p}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = parse_ladder(&text);
+    }
+
+    /// Rearrangement handles arbitrary time lists without panicking
+    /// (zeros and overflow candidates are rejected as errors).
+    #[test]
+    fn rearrangement_never_panics(
+        times in prop::collection::vec(any::<u64>(), 0..12),
+        ratio in any::<u64>(),
+    ) {
+        let _ = Rearrangement::with_ratio(&times, ratio);
+    }
+
+    /// Trace parsing never panics.
+    #[test]
+    fn parse_trace_never_panics(input in ".{0,200}") {
+        let _ = airsched_workload::trace::parse_trace(&input);
+    }
+}

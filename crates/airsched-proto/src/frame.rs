@@ -1,0 +1,374 @@
+//! Slot frames: the unit a transmitter puts on the air.
+//!
+//! One frame carries one page transmission in one slot on one channel.
+//! Layout (big-endian, 24-byte header + payload):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        0x41495253 ("AIRS")
+//!      4     1  version      1
+//!      5     1  flags        bit 0: IDLE (carrier only, no page)
+//!      6     2  channel      u16
+//!      8     8  slot_time    u64  absolute slot index
+//!     16     4  page         u32  page id (0 when IDLE)
+//!     20     2  payload_len  u16
+//!     22     2  crc          CRC-16/CCITT-FALSE over bytes 0..22 + payload
+//!     24     -  payload
+//! ```
+//!
+//! The checksum lets receivers detect corruption (see
+//! `airsched-sim::lossy` for what loss does to service quality); the
+//! sequence of `slot_time`s lets them detect gaps after dozing.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use airsched_core::types::{ChannelId, PageId};
+
+/// Frame magic: `"AIRS"`.
+pub const MAGIC: u32 = 0x4149_5253;
+/// Current wire version.
+pub const VERSION: u8 = 1;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 24;
+/// Largest payload a frame may carry.
+pub const MAX_PAYLOAD: usize = u16::MAX as usize;
+
+const FLAG_IDLE: u8 = 0b0000_0001;
+
+/// One slot transmission on one channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The channel the frame airs on.
+    pub channel: ChannelId,
+    /// Absolute slot index.
+    pub slot_time: u64,
+    /// The page carried, or `None` for an idle carrier slot.
+    pub page: Option<PageId>,
+    /// Opaque page payload (empty for idle frames).
+    pub payload: Bytes,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// Fewer bytes than a header.
+    Truncated {
+        /// Bytes needed beyond what was supplied.
+        missing: usize,
+    },
+    /// The magic bytes are wrong.
+    BadMagic {
+        /// The value found.
+        found: u32,
+    },
+    /// Unsupported version.
+    BadVersion {
+        /// The value found.
+        found: u8,
+    },
+    /// The checksum does not match (corruption).
+    BadChecksum,
+    /// An idle frame carried a payload or page id.
+    MalformedIdle,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Truncated { missing } => {
+                write!(f, "frame truncated: {missing} byte(s) missing")
+            }
+            Self::BadMagic { found } => write!(f, "bad magic {found:#010x}"),
+            Self::BadVersion { found } => write!(f, "unsupported version {found}"),
+            Self::BadChecksum => write!(f, "checksum mismatch"),
+            Self::MalformedIdle => write!(f, "idle frame carries data"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Frame {
+    /// A data frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`].
+    #[must_use]
+    pub fn data(channel: ChannelId, slot_time: u64, page: PageId, payload: Bytes) -> Self {
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "payload exceeds the frame limit"
+        );
+        Self {
+            channel,
+            slot_time,
+            page: Some(page),
+            payload,
+        }
+    }
+
+    /// An idle-carrier frame (keeps receivers slot-synchronized).
+    #[must_use]
+    pub fn idle(channel: ChannelId, slot_time: u64) -> Self {
+        Self {
+            channel,
+            slot_time,
+            page: None,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Whether this is an idle frame.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.page.is_none()
+    }
+
+    /// Encodes the frame to bytes.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
+        buf.put_u32(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(if self.is_idle() { FLAG_IDLE } else { 0 });
+        buf.put_u16(u16::try_from(self.channel.index()).unwrap_or(u16::MAX));
+        buf.put_u64(self.slot_time);
+        buf.put_u32(self.page.map_or(0, PageId::index));
+        buf.put_u16(u16::try_from(self.payload.len()).expect("payload fits in u16"));
+        // CRC over the header so far + payload.
+        let crc = crc16(buf.as_ref(), &self.payload);
+        buf.put_u16(crc);
+        buf.extend_from_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decodes one frame from `bytes` (which must contain exactly one
+    /// frame; see [`decode_stream`] for concatenated frames).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for truncation, bad magic/version, checksum
+    /// mismatch, or malformed idle frames.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let (frame, used) = Self::decode_prefix(bytes)?;
+        if used != bytes.len() {
+            // Trailing garbage counts as corruption of this frame's framing.
+            return Err(DecodeError::Truncated { missing: 0 });
+        }
+        Ok(frame)
+    }
+
+    /// Decodes a frame from the front of `bytes`, returning it and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Frame::decode`].
+    pub fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), DecodeError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated {
+                missing: HEADER_LEN - bytes.len(),
+            });
+        }
+        let mut header = &bytes[..HEADER_LEN];
+        let magic = header.get_u32();
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic { found: magic });
+        }
+        let version = header.get_u8();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion { found: version });
+        }
+        let flags = header.get_u8();
+        let channel = header.get_u16();
+        let slot_time = header.get_u64();
+        let page = header.get_u32();
+        let payload_len = header.get_u16() as usize;
+        let crc_stored = header.get_u16();
+
+        let total = HEADER_LEN + payload_len;
+        if bytes.len() < total {
+            return Err(DecodeError::Truncated {
+                missing: total - bytes.len(),
+            });
+        }
+        let payload = &bytes[HEADER_LEN..total];
+        let crc_actual = crc16(&bytes[..HEADER_LEN - 2], payload);
+        if crc_actual != crc_stored {
+            return Err(DecodeError::BadChecksum);
+        }
+
+        let idle = flags & FLAG_IDLE != 0;
+        if idle && (payload_len != 0 || page != 0) {
+            return Err(DecodeError::MalformedIdle);
+        }
+        Ok((
+            Self {
+                channel: ChannelId::new(u32::from(channel)),
+                slot_time,
+                page: if idle { None } else { Some(PageId::new(page)) },
+                payload: Bytes::copy_from_slice(payload),
+            },
+            total,
+        ))
+    }
+}
+
+/// Decodes a buffer of concatenated frames, stopping at the first error.
+///
+/// Returns the frames decoded and the byte offset where decoding stopped
+/// (equals the buffer length on full success).
+#[must_use]
+pub fn decode_stream(bytes: &[u8]) -> (Vec<Frame>, usize) {
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    while offset < bytes.len() {
+        match Frame::decode_prefix(&bytes[offset..]) {
+            Ok((frame, used)) => {
+                frames.push(frame);
+                offset += used;
+            }
+            Err(_) => break,
+        }
+    }
+    (frames, offset)
+}
+
+/// CRC-16/CCITT-FALSE over the header prefix and payload.
+fn crc16(header: &[u8], payload: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in header.iter().chain(payload) {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::data(
+            ChannelId::new(2),
+            987_654,
+            PageId::new(41),
+            Bytes::from_static(b"quote:ACME=42.17"),
+        )
+    }
+
+    #[test]
+    fn data_frame_round_trips() {
+        let frame = sample();
+        let encoded = frame.encode();
+        assert_eq!(encoded.len(), HEADER_LEN + 16);
+        let decoded = Frame::decode(&encoded).unwrap();
+        assert_eq!(decoded, frame);
+        assert!(!decoded.is_idle());
+    }
+
+    #[test]
+    fn idle_frame_round_trips() {
+        let frame = Frame::idle(ChannelId::new(0), 7);
+        let decoded = Frame::decode(&frame.encode()).unwrap();
+        assert_eq!(decoded, frame);
+        assert!(decoded.is_idle());
+        assert!(decoded.payload.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = sample().encode().to_vec();
+        for idx in [6, 10, 20, HEADER_LEN + 3] {
+            let mut copy = bytes.clone();
+            copy[idx] ^= 0x40;
+            // Any single-bit flip must be detected — as a checksum
+            // mismatch, or as truncation when the flipped bit is in the
+            // length field.
+            assert!(
+                Frame::decode(&copy).is_err(),
+                "flip at {idx} went undetected"
+            );
+        }
+        // Flipping magic is reported as magic, not checksum.
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(DecodeError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_reports_missing_bytes() {
+        let encoded = sample().encode();
+        let err = Frame::decode(&encoded[..10]).unwrap_err();
+        assert_eq!(err, DecodeError::Truncated { missing: 14 });
+        let err = Frame::decode(&encoded[..HEADER_LEN + 2]).unwrap_err();
+        assert!(matches!(err, DecodeError::Truncated { .. }));
+    }
+
+    #[test]
+    fn version_gate() {
+        let mut bytes = sample().encode().to_vec();
+        bytes[4] = 9;
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(DecodeError::BadVersion { found: 9 })
+        );
+    }
+
+    #[test]
+    fn stream_decoding_stops_at_corruption() {
+        let mut buf = Vec::new();
+        for k in 0..4u64 {
+            buf.extend_from_slice(&Frame::idle(ChannelId::new(0), k).encode());
+        }
+        let (frames, used) = decode_stream(&buf);
+        assert_eq!(frames.len(), 4);
+        assert_eq!(used, buf.len());
+        // Corrupt the third frame.
+        let frame_len = HEADER_LEN;
+        buf[2 * frame_len + 9] ^= 1;
+        let (frames, used) = decode_stream(&buf);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(used, 2 * frame_len);
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(DecodeError::BadChecksum.to_string().contains("checksum"));
+        assert!(DecodeError::Truncated { missing: 3 }
+            .to_string()
+            .contains("3 byte"));
+        assert!(DecodeError::BadMagic { found: 0 }
+            .to_string()
+            .contains("magic"));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload exceeds")]
+    fn oversized_payload_panics() {
+        let _ = Frame::data(
+            ChannelId::new(0),
+            0,
+            PageId::new(0),
+            Bytes::from(vec![0u8; MAX_PAYLOAD + 1]),
+        );
+    }
+
+    #[test]
+    fn crc_is_stable() {
+        // Pin the CRC algorithm so the wire format never drifts silently.
+        assert_eq!(crc16(b"123456789", b""), 0x29B1); // CCITT-FALSE check value
+        assert_eq!(crc16(b"", b"123456789"), 0x29B1);
+        assert_eq!(crc16(b"1234", b"56789"), 0x29B1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # airsched-proto
+//!
+//! The wire format for time-constrained broadcast transmissions: every
+//! slot on every channel becomes a checksummed [`frame::Frame`]
+//! ([`transmitter::FrameStream`] produces them from a
+//! [`airsched_core::program::BroadcastProgram`]; [`receiver::Receiver`]
+//! reassembles a client's wanted pages and tracks slot gaps after dozing).
+//!
+//! ```
+//! use airsched_core::group::GroupLadder;
+//! use airsched_core::susc;
+//! use airsched_core::types::PageId;
+//! use airsched_proto::receiver::Receiver;
+//! use airsched_proto::transmitter::{DebugPayloads, FrameStream};
+//!
+//! let ladder = GroupLadder::new(vec![(2, 2), (4, 3)])?;
+//! let program = susc::schedule(&ladder, 2)?;
+//! let mut rx = Receiver::new([PageId::new(4)]);
+//! for frame in FrameStream::new(&program, DebugPayloads).take(16) {
+//!     // Over the wire and back.
+//!     let decoded = airsched_proto::frame::Frame::decode(&frame.encode())?;
+//!     if rx.consume(&decoded).is_some() {
+//!         break;
+//!     }
+//! }
+//! assert!(rx.is_satisfied());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(clippy::all)]
+
+pub mod frame;
+pub mod receiver;
+pub mod transmitter;
+
+pub use frame::{decode_stream, DecodeError, Frame};
+pub use receiver::{Receiver, ReceiverStats, Reception};
+pub use transmitter::{frames_for_slot, DebugPayloads, FrameStream, PayloadSource};

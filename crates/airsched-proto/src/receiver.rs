@@ -1,0 +1,196 @@
+//! The receiving side: reassembling a client's view from a frame stream.
+//!
+//! [`Receiver`] consumes frames (one channel's worth or all channels'),
+//! tracks slot synchronization, detects gaps after dozing, and surfaces
+//! page receptions to the application.
+
+use std::collections::BTreeSet;
+
+use airsched_core::types::PageId;
+use bytes::Bytes;
+
+use crate::frame::Frame;
+
+/// One successfully received page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reception {
+    /// The page received.
+    pub page: PageId,
+    /// The slot it aired in.
+    pub slot_time: u64,
+    /// Its payload.
+    pub payload: Bytes,
+}
+
+/// Receiver statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReceiverStats {
+    /// Frames consumed (data + idle).
+    pub frames: u64,
+    /// Data frames carrying a wanted page.
+    pub hits: u64,
+    /// Slot-clock gaps observed (frames whose slot_time skipped ahead).
+    pub gaps: u64,
+}
+
+/// A client-side receiver with a set of wanted pages.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::types::{ChannelId, PageId};
+/// use airsched_proto::frame::Frame;
+/// use airsched_proto::receiver::Receiver;
+/// use bytes::Bytes;
+///
+/// let mut rx = Receiver::new([PageId::new(3)]);
+/// let frame = Frame::data(ChannelId::new(0), 5, PageId::new(3), Bytes::from_static(b"hi"));
+/// let got = rx.consume(&frame).unwrap();
+/// assert_eq!(got.page, PageId::new(3));
+/// assert!(rx.wanted().is_empty()); // satisfied
+/// ```
+#[derive(Debug, Clone)]
+pub struct Receiver {
+    wanted: BTreeSet<PageId>,
+    last_slot: Option<u64>,
+    stats: ReceiverStats,
+}
+
+impl Receiver {
+    /// Creates a receiver wanting the given pages.
+    pub fn new(wanted: impl IntoIterator<Item = PageId>) -> Self {
+        Self {
+            wanted: wanted.into_iter().collect(),
+            last_slot: None,
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Pages still outstanding.
+    #[must_use]
+    pub fn wanted(&self) -> &BTreeSet<PageId> {
+        &self.wanted
+    }
+
+    /// Adds a page to the want set.
+    pub fn want(&mut self, page: PageId) {
+        self.wanted.insert(page);
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    /// Consumes one frame; returns a [`Reception`] if it satisfied a
+    /// wanted page (which is then removed from the want set).
+    pub fn consume(&mut self, frame: &Frame) -> Option<Reception> {
+        self.stats.frames += 1;
+        if let Some(last) = self.last_slot {
+            if frame.slot_time > last + 1 {
+                self.stats.gaps += 1;
+            }
+        }
+        self.last_slot = Some(
+            self.last_slot
+                .map_or(frame.slot_time, |l| l.max(frame.slot_time)),
+        );
+
+        let page = frame.page?;
+        if self.wanted.remove(&page) {
+            self.stats.hits += 1;
+            Some(Reception {
+                page,
+                slot_time: frame.slot_time,
+                payload: frame.payload.clone(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Whether every wanted page has been received.
+    #[must_use]
+    pub fn is_satisfied(&self) -> bool {
+        self.wanted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airsched_core::group::GroupLadder;
+    use airsched_core::susc;
+    use airsched_core::types::ChannelId;
+    use bytes::Bytes;
+
+    use crate::transmitter::{DebugPayloads, FrameStream};
+
+    #[test]
+    fn receiver_collects_wanted_pages_from_a_stream() {
+        let ladder = GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap();
+        let program = susc::schedule(&ladder, 2).unwrap();
+        let wanted: Vec<PageId> = ladder.pages().map(|(p, _)| p).collect();
+        let mut rx = Receiver::new(wanted.iter().copied());
+        let mut receptions = Vec::new();
+        for frame in FrameStream::new(&program, DebugPayloads).take(64) {
+            if let Some(r) = rx.consume(&frame) {
+                receptions.push(r);
+            }
+            if rx.is_satisfied() {
+                break;
+            }
+        }
+        assert!(rx.is_satisfied(), "missing: {:?}", rx.wanted());
+        assert_eq!(receptions.len(), wanted.len());
+        assert_eq!(rx.stats().hits, wanted.len() as u64);
+        // Every page within one cycle: a valid SUSC program airs all pages
+        // in the first t_h slots.
+        assert!(receptions.iter().all(|r| r.slot_time < program.cycle_len()));
+    }
+
+    #[test]
+    fn unwanted_pages_are_ignored() {
+        let mut rx = Receiver::new([PageId::new(7)]);
+        let frame = Frame::data(
+            ChannelId::new(0),
+            0,
+            PageId::new(3),
+            Bytes::from_static(b"x"),
+        );
+        assert!(rx.consume(&frame).is_none());
+        assert!(!rx.is_satisfied());
+        assert_eq!(rx.stats().hits, 0);
+        assert_eq!(rx.stats().frames, 1);
+    }
+
+    #[test]
+    fn gaps_are_detected_after_dozing() {
+        let mut rx = Receiver::new([]);
+        rx.consume(&Frame::idle(ChannelId::new(0), 0));
+        rx.consume(&Frame::idle(ChannelId::new(0), 1));
+        rx.consume(&Frame::idle(ChannelId::new(0), 5)); // dozed 1..5
+        assert_eq!(rx.stats().gaps, 1);
+        rx.consume(&Frame::idle(ChannelId::new(0), 6));
+        assert_eq!(rx.stats().gaps, 1);
+    }
+
+    #[test]
+    fn want_can_grow_dynamically() {
+        let mut rx = Receiver::new([]);
+        assert!(rx.is_satisfied());
+        rx.want(PageId::new(1));
+        assert!(!rx.is_satisfied());
+        let frame = Frame::data(
+            ChannelId::new(0),
+            0,
+            PageId::new(1),
+            Bytes::from_static(b"y"),
+        );
+        assert!(rx.consume(&frame).is_some());
+        assert!(rx.is_satisfied());
+        // Receiving it again is a no-op.
+        assert!(rx.consume(&frame).is_none());
+    }
+}

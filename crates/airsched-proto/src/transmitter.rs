@@ -1,0 +1,182 @@
+//! Turning a broadcast program into a frame stream.
+//!
+//! [`FrameStream`] walks a [`BroadcastProgram`] slot by slot and emits one
+//! [`Frame`] per channel per slot (idle frames included, so receivers stay
+//! slot-synchronized), pulling payloads from a caller-supplied source.
+
+use airsched_core::program::BroadcastProgram;
+use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
+use bytes::Bytes;
+
+use crate::frame::Frame;
+
+/// Supplies the payload bytes for a page each time it airs.
+pub trait PayloadSource {
+    /// The bytes to transmit for `page` at `slot_time`.
+    fn payload(&mut self, page: PageId, slot_time: u64) -> Bytes;
+}
+
+/// A payload source that renders a deterministic text payload — handy for
+/// demos and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DebugPayloads;
+
+impl PayloadSource for DebugPayloads {
+    fn payload(&mut self, page: PageId, slot_time: u64) -> Bytes {
+        Bytes::from(format!("{page}@t{slot_time}"))
+    }
+}
+
+/// An infinite frame stream over a program.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::susc;
+/// use airsched_proto::transmitter::{DebugPayloads, FrameStream};
+///
+/// let ladder = GroupLadder::new(vec![(2, 2), (4, 3)])?;
+/// let program = susc::schedule(&ladder, 2)?;
+/// let mut stream = FrameStream::new(&program, DebugPayloads);
+/// let first_slot: Vec<_> = stream.by_ref().take(2).collect(); // 2 channels
+/// assert!(first_slot.iter().all(|f| f.slot_time == 0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct FrameStream<'a, S> {
+    program: &'a BroadcastProgram,
+    source: S,
+    time: u64,
+    channel: u32,
+}
+
+impl<'a, S: PayloadSource> FrameStream<'a, S> {
+    /// Starts the stream at slot 0, channel 0.
+    pub fn new(program: &'a BroadcastProgram, source: S) -> Self {
+        Self {
+            program,
+            source,
+            time: 0,
+            channel: 0,
+        }
+    }
+}
+
+impl<S: PayloadSource> Iterator for FrameStream<'_, S> {
+    type Item = Frame;
+
+    fn next(&mut self) -> Option<Frame> {
+        let column = self.time % self.program.cycle_len();
+        let channel = ChannelId::new(self.channel);
+        let pos = GridPos::new(channel, SlotIndex::new(column));
+        let frame = match self.program.page_at(pos) {
+            Some(page) => Frame::data(
+                channel,
+                self.time,
+                page,
+                self.source.payload(page, self.time),
+            ),
+            None => Frame::idle(channel, self.time),
+        };
+        self.channel += 1;
+        if self.channel == self.program.channels() {
+            self.channel = 0;
+            self.time += 1;
+        }
+        Some(frame)
+    }
+}
+
+/// Encodes one slot's worth of per-channel payloads (e.g. a live station's
+/// `TickOutcome::on_air`) into frames — the adapter between a dynamic
+/// server and the wire.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::types::PageId;
+/// use airsched_proto::transmitter::{frames_for_slot, DebugPayloads};
+///
+/// let on_air = [Some(PageId::new(3)), None];
+/// let frames = frames_for_slot(&on_air, 17, &mut DebugPayloads);
+/// assert_eq!(frames.len(), 2);
+/// assert_eq!(frames[0].page, Some(PageId::new(3)));
+/// assert!(frames[1].is_idle());
+/// ```
+pub fn frames_for_slot<S: PayloadSource>(
+    on_air: &[Option<PageId>],
+    slot_time: u64,
+    source: &mut S,
+) -> Vec<Frame> {
+    on_air
+        .iter()
+        .enumerate()
+        .map(|(ch, page)| {
+            let channel = ChannelId::new(u32::try_from(ch).expect("channel fits in u32"));
+            match page {
+                Some(p) => Frame::data(channel, slot_time, *p, source.payload(*p, slot_time)),
+                None => Frame::idle(channel, slot_time),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airsched_core::group::GroupLadder;
+    use airsched_core::susc;
+
+    fn program() -> BroadcastProgram {
+        let ladder = GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap();
+        susc::schedule(&ladder, 2).unwrap()
+    }
+
+    #[test]
+    fn emits_one_frame_per_channel_per_slot() {
+        let p = program();
+        let frames: Vec<Frame> = FrameStream::new(&p, DebugPayloads)
+            .take((p.channels() as usize) * (p.cycle_len() as usize))
+            .collect();
+        // Channel-major within each slot, slots ascending.
+        for (k, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.slot_time, (k as u64) / u64::from(p.channels()));
+            assert_eq!(
+                u64::from(frame.channel.index()),
+                (k as u64) % u64::from(p.channels())
+            );
+        }
+    }
+
+    #[test]
+    fn frames_match_the_grid() {
+        let p = program();
+        for frame in FrameStream::new(&p, DebugPayloads).take(32) {
+            let pos = GridPos::new(
+                frame.channel,
+                SlotIndex::new(frame.slot_time % p.cycle_len()),
+            );
+            assert_eq!(p.page_at(pos), frame.page);
+            if let Some(page) = frame.page {
+                let text = String::from_utf8(frame.payload.to_vec()).unwrap();
+                assert!(text.starts_with(&page.to_string()), "{text}");
+            } else {
+                assert!(frame.payload.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_stream_round_trips() {
+        let p = program();
+        let mut wire = Vec::new();
+        let original: Vec<Frame> = FrameStream::new(&p, DebugPayloads).take(24).collect();
+        for f in &original {
+            wire.extend_from_slice(&f.encode());
+        }
+        let (decoded, used) = crate::frame::decode_stream(&wire);
+        assert_eq!(used, wire.len());
+        assert_eq!(decoded, original);
+    }
+}

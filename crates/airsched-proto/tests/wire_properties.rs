@@ -1,0 +1,85 @@
+//! Property tests for the wire format: round-trip fidelity and decoder
+//! robustness against arbitrary and corrupted bytes.
+
+use proptest::prelude::*;
+
+use airsched_core::types::{ChannelId, PageId};
+use airsched_proto::frame::{decode_stream, Frame, HEADER_LEN};
+use bytes::Bytes;
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        0u32..u32::from(u16::MAX),
+        any::<u64>(),
+        prop::option::of(any::<u32>()),
+        prop::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(channel, slot, page, payload)| match page {
+            Some(p) => Frame::data(
+                ChannelId::new(channel),
+                slot,
+                PageId::new(p),
+                Bytes::from(payload),
+            ),
+            None => Frame::idle(ChannelId::new(channel), slot),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every frame round-trips bit-exactly.
+    #[test]
+    fn frame_round_trip(frame in arb_frame()) {
+        let encoded = frame.encode();
+        let decoded = Frame::decode(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Frame::decode(&bytes);
+        let _ = decode_stream(&bytes);
+    }
+
+    /// Any single-bit flip in an encoded frame is detected.
+    #[test]
+    fn single_bit_flips_are_detected(
+        frame in arb_frame(),
+        byte_sel in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = frame.encode().to_vec();
+        let idx = byte_sel.index(bytes.len());
+        bytes[idx] ^= 1 << bit;
+        prop_assert!(
+            Frame::decode(&bytes).is_err(),
+            "flip of bit {} at byte {} went undetected",
+            bit,
+            idx
+        );
+    }
+
+    /// Concatenated frames decode back to the same sequence.
+    #[test]
+    fn stream_round_trip(frames in prop::collection::vec(arb_frame(), 0..8)) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        let (decoded, used) = decode_stream(&wire);
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Truncating an encoded frame anywhere strictly inside it is reported
+    /// as truncation or checksum failure, never success.
+    #[test]
+    fn truncation_is_detected(frame in arb_frame(), cut in any::<prop::sample::Index>()) {
+        let bytes = frame.encode();
+        prop_assume!(bytes.len() > HEADER_LEN || !frame.payload.is_empty() || bytes.len() > 1);
+        let cut = cut.index(bytes.len().saturating_sub(1).max(1));
+        prop_assert!(Frame::decode(&bytes[..cut]).is_err());
+    }
+}

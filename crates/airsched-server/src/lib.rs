@@ -1,0 +1,31 @@
+//! # airsched-server
+//!
+//! A runnable time-constrained broadcast station, built from the
+//! scheduling machinery of [`airsched_core`]: a live catalogue with
+//! publish/expire, client subscriptions delivered the moment their page
+//! airs, a slot-by-slot transmission clock, and live statistics. The
+//! schedule stays *valid* (every catalogue page within its expected time
+//! from any instant) through every change, by way of the online scheduler
+//! and automatic compaction.
+//!
+//! ```
+//! use airsched_core::types::PageId;
+//! use airsched_server::Station;
+//!
+//! let mut station = Station::new(2, 8)?;
+//! station.publish(PageId::new(0), 2)?;   // must air every 2 slots
+//! station.publish(PageId::new(1), 8)?;
+//! let client = station.subscribe(PageId::new(1))?;
+//! let deliveries = station.run(8);       // one full cycle serves everyone
+//! assert!(deliveries.iter().any(|d| d.client == client && d.within_deadline));
+//! # Ok::<(), airsched_server::StationError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(clippy::all)]
+
+pub mod station;
+
+pub use station::{ClientId, Delivery, Station, StationError, StationStats, TickOutcome};

@@ -1,0 +1,447 @@
+//! The broadcast station: a live server over an always-valid schedule.
+//!
+//! [`Station`] glues the pieces of the reproduction into the long-running
+//! process a deployment would actually operate:
+//!
+//! * a catalogue managed through [`Station::publish`] / [`Station::expire`]
+//!   (backed by [`airsched_core::dynamic::OnlineScheduler`], so the
+//!   schedule stays valid through every change, compacting when needed);
+//! * client subscriptions ([`Station::subscribe`]) that are delivered the
+//!   moment their page airs;
+//! * a slot clock driven by [`Station::tick`], each tick transmitting one
+//!   column of the program and returning the deliveries it caused;
+//! * live statistics ([`Station::stats`]): waits, deadline hits, backlog.
+
+use std::collections::BTreeMap;
+
+use airsched_core::dynamic::OnlineScheduler;
+use airsched_core::error::ScheduleError;
+use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
+
+/// Identifier of a subscribed client, unique within one station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(u64);
+
+impl core::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+/// One delivery produced by a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Who was served.
+    pub client: ClientId,
+    /// The page they waited for.
+    pub page: PageId,
+    /// Whole slots from subscription to full reception.
+    pub wait: u64,
+    /// Whether the wait stayed within the page's expected time.
+    pub within_deadline: bool,
+}
+
+/// What one slot of air time did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickOutcome {
+    /// The slot that just finished transmitting.
+    pub time: u64,
+    /// Pages on the air this slot, by channel (`None` = idle carrier).
+    pub on_air: Vec<Option<PageId>>,
+    /// Clients served this slot.
+    pub deliveries: Vec<Delivery>,
+}
+
+/// Aggregate station statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StationStats {
+    /// Slots ticked so far.
+    pub slots_elapsed: u64,
+    /// Total deliveries.
+    pub delivered: u64,
+    /// Deliveries within their page's expected time.
+    pub on_time: u64,
+    /// Sum of delivery waits (for the mean).
+    pub total_wait: u64,
+    /// Clients currently waiting.
+    pub waiting: u64,
+}
+
+impl StationStats {
+    /// Mean wait per delivery, in slots (0 when nothing delivered).
+    #[must_use]
+    pub fn mean_wait(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_wait as f64 / self.delivered as f64
+        }
+    }
+
+    /// Fraction of deliveries within the expected time (1.0 when none).
+    #[must_use]
+    pub fn on_time_rate(&self) -> f64 {
+        if self.delivered == 0 {
+            1.0
+        } else {
+            self.on_time as f64 / self.delivered as f64
+        }
+    }
+}
+
+/// Errors specific to station operation (scheduling errors pass through
+/// as [`ScheduleError`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StationError {
+    /// The page is not in the catalogue.
+    UnknownPage {
+        /// The missing page.
+        page: PageId,
+    },
+    /// Admission failed even after compaction: the catalogue no longer
+    /// fits the channel budget.
+    CapacityExhausted {
+        /// The page that could not be admitted.
+        page: PageId,
+    },
+    /// An underlying scheduling error.
+    Schedule(ScheduleError),
+}
+
+impl core::fmt::Display for StationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::UnknownPage { page } => write!(f, "{page} is not in the catalogue"),
+            Self::CapacityExhausted { page } => write!(
+                f,
+                "cannot admit {page}: catalogue exceeds the channel budget"
+            ),
+            Self::Schedule(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScheduleError> for StationError {
+    fn from(e: ScheduleError) -> Self {
+        Self::Schedule(e)
+    }
+}
+
+/// A live broadcast station.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::types::PageId;
+/// use airsched_server::station::Station;
+///
+/// let mut station = Station::new(2, 8)?;
+/// station.publish(PageId::new(0), 2)?;
+/// station.publish(PageId::new(1), 4)?;
+/// let client = station.subscribe(PageId::new(0))?;
+///
+/// // The page airs every 2 slots, so the client is served within 2 ticks.
+/// let mut served = false;
+/// for _ in 0..2 {
+///     let tick = station.tick();
+///     if tick.deliveries.iter().any(|d| d.client == client) {
+///         served = true;
+///         break;
+///     }
+/// }
+/// assert!(served);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Station {
+    scheduler: OnlineScheduler,
+    time: u64,
+    /// Waiting clients per page, with their subscription instant.
+    waiting: BTreeMap<PageId, Vec<(ClientId, u64)>>,
+    next_client: u64,
+    stats: StationStats,
+}
+
+impl Station {
+    /// Creates a station with `channels` transmitters and a `cycle`-slot
+    /// schedule (the largest expected time it will accept).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] for a zero channel count or cycle.
+    pub fn new(channels: u32, cycle: u64) -> Result<Self, StationError> {
+        Ok(Self {
+            scheduler: OnlineScheduler::new(channels, cycle)?,
+            time: 0,
+            waiting: BTreeMap::new(),
+            next_client: 0,
+            stats: StationStats::default(),
+        })
+    }
+
+    /// The current slot clock.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+
+    /// Live statistics.
+    #[must_use]
+    pub fn stats(&self) -> StationStats {
+        self.stats
+    }
+
+    /// The current catalogue: page → expected time.
+    #[must_use]
+    pub fn catalogue(&self) -> &BTreeMap<PageId, u64> {
+        self.scheduler.pages()
+    }
+
+    /// Publishes a page with an expected time, compacting the schedule if
+    /// fragmentation blocks direct admission.
+    ///
+    /// # Errors
+    ///
+    /// * [`StationError::CapacityExhausted`] if it does not fit even after
+    ///   compaction.
+    /// * [`StationError::Schedule`] for malformed inputs (zero or
+    ///   non-dividing expected time, duplicate page id).
+    pub fn publish(&mut self, page: PageId, expected: u64) -> Result<(), StationError> {
+        match self.scheduler.add_page(page, expected) {
+            Ok(()) => Ok(()),
+            Err(ScheduleError::PlacementFailed { .. }) => self
+                .scheduler
+                .rebuild_with(&[(page, expected)])
+                .map_err(|_| StationError::CapacityExhausted { page }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Removes a page from the catalogue. Clients still waiting for it
+    /// keep waiting and will only be served if it is re-published.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StationError::UnknownPage`] if the page is not live.
+    pub fn expire(&mut self, page: PageId) -> Result<(), StationError> {
+        self.scheduler
+            .remove_page(page)
+            .map_err(|_| StationError::UnknownPage { page })
+    }
+
+    /// Registers a client waiting for `page` from the current instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StationError::UnknownPage`] for a page not in the
+    /// catalogue (a real frontend would route such clients to the
+    /// on-demand channel).
+    pub fn subscribe(&mut self, page: PageId) -> Result<ClientId, StationError> {
+        if !self.scheduler.pages().contains_key(&page) {
+            return Err(StationError::UnknownPage { page });
+        }
+        let id = ClientId(self.next_client);
+        self.next_client += 1;
+        self.waiting.entry(page).or_default().push((id, self.time));
+        self.stats.waiting += 1;
+        Ok(id)
+    }
+
+    /// Transmits one slot: every channel sends its scheduled page, waiting
+    /// clients whose page aired are served, and the clock advances.
+    pub fn tick(&mut self) -> TickOutcome {
+        let program = self.scheduler.program();
+        let column = self.time % program.cycle_len();
+        let on_air: Vec<Option<PageId>> = (0..program.channels())
+            .map(|ch| program.page_at(GridPos::new(ChannelId::new(ch), SlotIndex::new(column))))
+            .collect();
+
+        let mut deliveries = Vec::new();
+        for page in on_air.iter().flatten() {
+            if let Some(waiters) = self.waiting.remove(page) {
+                let expected = self.scheduler.pages().get(page).copied();
+                for (client, since) in waiters {
+                    // Received at the end of this slot.
+                    let wait = self.time - since + 1;
+                    let within = expected.is_some_and(|t| wait <= t);
+                    deliveries.push(Delivery {
+                        client,
+                        page: *page,
+                        wait,
+                        within_deadline: within,
+                    });
+                    self.stats.delivered += 1;
+                    self.stats.total_wait += wait;
+                    self.stats.waiting -= 1;
+                    if within {
+                        self.stats.on_time += 1;
+                    }
+                }
+            }
+        }
+
+        let outcome = TickOutcome {
+            time: self.time,
+            on_air,
+            deliveries,
+        };
+        self.time += 1;
+        self.stats.slots_elapsed += 1;
+        outcome
+    }
+
+    /// Ticks `slots` times, returning all deliveries in order.
+    pub fn run(&mut self, slots: u64) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        for _ in 0..slots {
+            out.extend(self.tick().deliveries);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station_with_catalogue() -> Station {
+        let mut s = Station::new(2, 8).unwrap();
+        s.publish(PageId::new(0), 2).unwrap();
+        s.publish(PageId::new(1), 4).unwrap();
+        s.publish(PageId::new(2), 8).unwrap();
+        s
+    }
+
+    #[test]
+    fn subscribers_are_served_within_deadline() {
+        let mut s = station_with_catalogue();
+        // Subscribe to everything at various instants; every delivery must
+        // be on time because the schedule is valid.
+        let mut pending = Vec::new();
+        for round in 0..16u64 {
+            let page = PageId::new(u32::try_from(round % 3).unwrap());
+            pending.push((s.subscribe(page).unwrap(), page));
+            let tick = s.tick();
+            for d in &tick.deliveries {
+                assert!(d.within_deadline, "{d:?}");
+            }
+        }
+        // Drain the rest.
+        s.run(16);
+        assert_eq!(s.stats().waiting, 0);
+        assert_eq!(s.stats().on_time, s.stats().delivered);
+        assert!(s.stats().mean_wait() >= 1.0);
+        assert_eq!(s.stats().on_time_rate(), 1.0);
+    }
+
+    #[test]
+    fn unknown_page_subscription_is_rejected() {
+        let mut s = station_with_catalogue();
+        let err = s.subscribe(PageId::new(9)).unwrap_err();
+        assert!(matches!(err, StationError::UnknownPage { .. }));
+        assert!(err.to_string().contains("not in the catalogue"));
+    }
+
+    #[test]
+    fn publish_duplicate_and_bad_times_error() {
+        let mut s = station_with_catalogue();
+        assert!(matches!(
+            s.publish(PageId::new(0), 4),
+            Err(StationError::Schedule(_))
+        ));
+        assert!(s.publish(PageId::new(9), 3).is_err()); // 3 does not divide 8
+        assert!(s.publish(PageId::new(9), 0).is_err());
+    }
+
+    #[test]
+    fn expire_stops_transmission() {
+        let mut s = station_with_catalogue();
+        s.expire(PageId::new(0)).unwrap();
+        assert!(s.expire(PageId::new(0)).is_err());
+        for _ in 0..16 {
+            let tick = s.tick();
+            assert!(
+                !tick.on_air.contains(&Some(PageId::new(0))),
+                "expired page still on air"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_exhaustion_reports() {
+        let mut s = Station::new(1, 2).unwrap();
+        s.publish(PageId::new(0), 2).unwrap();
+        s.publish(PageId::new(1), 2).unwrap();
+        let err = s.publish(PageId::new(2), 2).unwrap_err();
+        assert!(matches!(err, StationError::CapacityExhausted { .. }));
+        assert!(err.to_string().contains("channel budget"));
+    }
+
+    #[test]
+    fn publish_compacts_through_fragmentation() {
+        // Same scenario as the OnlineScheduler fragmentation test, but via
+        // the station's publish, which must self-heal.
+        let mut s = Station::new(1, 4).unwrap();
+        for i in 0..4 {
+            s.publish(PageId::new(i), 4).unwrap();
+        }
+        s.expire(PageId::new(0)).unwrap();
+        s.expire(PageId::new(3)).unwrap();
+        s.publish(PageId::new(9), 2).unwrap(); // needs compaction
+        assert_eq!(s.catalogue().len(), 3);
+    }
+
+    #[test]
+    fn clock_and_stats_advance() {
+        let mut s = station_with_catalogue();
+        assert_eq!(s.now(), 0);
+        s.run(10);
+        assert_eq!(s.now(), 10);
+        assert_eq!(s.stats().slots_elapsed, 10);
+    }
+
+    #[test]
+    fn delivery_wait_is_exact() {
+        let mut s = Station::new(1, 4).unwrap();
+        s.publish(PageId::new(0), 4).unwrap(); // airs at slot 0 of each cycle
+                                               // Let one full cycle pass, subscribe at t=4 (the page's slot).
+        s.run(4);
+        let client = s.subscribe(PageId::new(0)).unwrap();
+        let tick = s.tick();
+        assert_eq!(tick.deliveries.len(), 1);
+        let d = tick.deliveries[0];
+        assert_eq!(d.client, client);
+        assert_eq!(d.wait, 1);
+        assert!(d.within_deadline);
+    }
+
+    #[test]
+    fn multiple_waiters_served_together() {
+        let mut s = Station::new(1, 4).unwrap();
+        s.publish(PageId::new(0), 4).unwrap();
+        s.run(1); // move past the page's slot
+        let a = s.subscribe(PageId::new(0)).unwrap();
+        let b = s.subscribe(PageId::new(0)).unwrap();
+        assert_ne!(a, b);
+        let deliveries = s.run(4);
+        assert_eq!(deliveries.len(), 2);
+        assert!(deliveries.iter().all(|d| d.page == PageId::new(0)));
+    }
+
+    #[test]
+    fn client_id_display() {
+        let mut s = station_with_catalogue();
+        let c = s.subscribe(PageId::new(0)).unwrap();
+        assert_eq!(c.to_string(), "client0");
+    }
+}

@@ -1,0 +1,298 @@
+//! Tuning-time (energy) accounting with and without air indexing.
+//!
+//! The paper assumes clients can find their page on the broadcast (e.g. via
+//! an index channel) and evaluates latency only. This module adds the
+//! classic `(1, m)` air-indexing model (Imielinski et al.) so the energy
+//! side of the design is measurable too:
+//!
+//! * **No index** — the client listens continuously from tune-in until its
+//!   page arrives: minimal latency, worst energy (active the whole wait).
+//! * **`(1, m)` index** — the cycle is divided into `m` segments with an
+//!   index at each boundary (modelled as zero-width metadata on a control
+//!   channel, the common "directory channel" design). The client probes one
+//!   slot at tune-in, dozes to the next index point, reads the index, dozes
+//!   to its page's slot, and receives it: at most three active slots, but
+//!   the page is only *located* at the index, so occurrences between
+//!   tune-in and the index are missed — latency can grow.
+//!
+//! The resulting latency/energy trade-off is reported by
+//! [`measure_energy`].
+
+use airsched_core::group::GroupLadder;
+use airsched_core::program::BroadcastProgram;
+use airsched_workload::requests::Request;
+
+use crate::metrics::{DelayAccumulator, DelaySummary};
+
+/// How clients locate their page on the air.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TuningScheme {
+    /// Listen continuously from tune-in until the page arrives.
+    Continuous,
+    /// `(1, m)` indexing: `m` evenly spaced index points per cycle.
+    Indexed {
+        /// Number of index points per broadcast cycle (`m >= 1`).
+        segments: u32,
+    },
+}
+
+/// Energy/latency summary of one request batch under one tuning scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergySummary {
+    /// Latency statistics (waits and deadline delays).
+    pub delays: DelaySummary,
+    /// Mean slots spent actively listening per request.
+    pub mean_active_slots: f64,
+    /// `1 - active/wait`: fraction of waiting time spent dozing.
+    pub doze_ratio: f64,
+}
+
+/// Measures latency and tuning energy for `requests` under `scheme`.
+///
+/// Requests whose page never airs are skipped (they cannot be served by
+/// the broadcast at all); the skipped count is returned alongside.
+///
+/// # Panics
+///
+/// Panics if an indexed scheme has `segments == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::susc;
+/// use airsched_sim::energy::{measure_energy, TuningScheme};
+/// use airsched_workload::requests::{AccessPattern, RequestGenerator};
+///
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// let program = susc::schedule(&ladder, 4)?;
+/// let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 1);
+/// let requests = gen.take(2000, program.cycle_len());
+///
+/// let (always_on, _) = measure_energy(
+///     &program, &ladder, &requests, TuningScheme::Continuous);
+/// let (indexed, _) = measure_energy(
+///     &program, &ladder, &requests, TuningScheme::Indexed { segments: 4 });
+///
+/// // Indexing spends far less energy but can wait longer.
+/// assert!(indexed.mean_active_slots < always_on.mean_active_slots);
+/// assert!(indexed.delays.avg_wait() >= always_on.delays.avg_wait());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn measure_energy(
+    program: &BroadcastProgram,
+    ladder: &GroupLadder,
+    requests: &[Request],
+    scheme: TuningScheme,
+) -> (EnergySummary, u64) {
+    if let TuningScheme::Indexed { segments } = scheme {
+        assert!(segments > 0, "an indexed scheme needs at least one segment");
+    }
+    let cycle = program.cycle_len();
+    let mut acc = DelayAccumulator::new();
+    let mut skipped = 0u64;
+    let mut total_active: u64 = 0;
+    let mut total_wait: u64 = 0;
+
+    for &req in requests {
+        let Some(group) = ladder.group_of(req.page) else {
+            skipped += 1;
+            continue;
+        };
+        let t = ladder.time_of(group).slots();
+        let arrival = req.arrival % cycle;
+
+        let (wait, active) = match scheme {
+            TuningScheme::Continuous => {
+                let Some(wait) = program.wait_from(req.page, arrival) else {
+                    skipped += 1;
+                    continue;
+                };
+                (wait, wait)
+            }
+            TuningScheme::Indexed { segments } => {
+                // Next index point at a multiple of ceil(cycle/m) at or
+                // after the arrival (wrapping).
+                let seg = cycle.div_ceil(u64::from(segments)).max(1);
+                let to_index = (seg - (arrival % seg)) % seg;
+                let index_at = arrival + to_index;
+                let Some(wait_after) = program.wait_from(req.page, index_at) else {
+                    skipped += 1;
+                    continue;
+                };
+                let wait = to_index + wait_after;
+                // Active: the initial probe slot, the index slot, and the
+                // page slot (probe and index coincide when arriving exactly
+                // at an index point).
+                let active = if to_index == 0 { 2 } else { 3 };
+                (wait, active.min(wait))
+            }
+        };
+        total_active += active;
+        total_wait += wait;
+        acc.record(group, wait, wait.saturating_sub(t));
+    }
+
+    let n = acc.len() as f64;
+    let delays = acc.finish();
+    let mean_active = if n == 0.0 {
+        0.0
+    } else {
+        total_active as f64 / n
+    };
+    let doze_ratio = if total_wait == 0 {
+        0.0
+    } else {
+        1.0 - (total_active as f64 / total_wait as f64)
+    };
+    (
+        EnergySummary {
+            delays,
+            mean_active_slots: mean_active,
+            doze_ratio,
+        },
+        skipped,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airsched_core::{pamad, susc};
+    use airsched_workload::requests::{AccessPattern, RequestGenerator};
+
+    fn fig2_ladder() -> GroupLadder {
+        GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap()
+    }
+
+    fn requests(ladder: &GroupLadder, cycle: u64, n: usize) -> Vec<Request> {
+        RequestGenerator::new(ladder, AccessPattern::Uniform, 5).take(n, cycle)
+    }
+
+    #[test]
+    fn continuous_active_equals_wait() {
+        let ladder = fig2_ladder();
+        let program = susc::schedule(&ladder, 4).unwrap();
+        let reqs = requests(&ladder, program.cycle_len(), 1000);
+        let (summary, skipped) = measure_energy(&program, &ladder, &reqs, TuningScheme::Continuous);
+        assert_eq!(skipped, 0);
+        assert!((summary.mean_active_slots - summary.delays.avg_wait()).abs() < 1e-9);
+        assert_eq!(summary.doze_ratio, 0.0);
+    }
+
+    #[test]
+    fn indexing_trades_latency_for_energy() {
+        let ladder = fig2_ladder();
+        let program = pamad::schedule(&ladder, 3).unwrap().into_program();
+        let reqs = requests(&ladder, program.cycle_len(), 3000);
+        let (on, _) = measure_energy(&program, &ladder, &reqs, TuningScheme::Continuous);
+        let (idx, _) = measure_energy(
+            &program,
+            &ladder,
+            &reqs,
+            TuningScheme::Indexed { segments: 3 },
+        );
+        assert!(idx.mean_active_slots < on.mean_active_slots);
+        assert!(idx.mean_active_slots <= 3.0);
+        assert!(idx.delays.avg_wait() >= on.delays.avg_wait());
+        assert!(idx.doze_ratio > 0.0);
+    }
+
+    #[test]
+    fn more_segments_reduce_index_latency_penalty() {
+        let ladder = fig2_ladder();
+        let program = pamad::schedule(&ladder, 3).unwrap().into_program();
+        let reqs = requests(&ladder, program.cycle_len(), 3000);
+        let (coarse, _) = measure_energy(
+            &program,
+            &ladder,
+            &reqs,
+            TuningScheme::Indexed { segments: 1 },
+        );
+        let (fine, _) = measure_energy(
+            &program,
+            &ladder,
+            &reqs,
+            TuningScheme::Indexed { segments: 9 },
+        );
+        assert!(
+            fine.delays.avg_wait() <= coarse.delays.avg_wait(),
+            "fine {} vs coarse {}",
+            fine.delays.avg_wait(),
+            coarse.delays.avg_wait()
+        );
+    }
+
+    #[test]
+    fn arrival_at_index_point_uses_two_active_slots() {
+        // Single page at slot 0 of a 4-slot cycle, index every slot
+        // (segments = cycle): to_index is always 0.
+        let ladder = GroupLadder::new(vec![(4, 1)]).unwrap();
+        let program = susc::schedule(&ladder, 1).unwrap();
+        let reqs: Vec<Request> = (0..4)
+            .map(|a| Request {
+                page: airsched_core::types::PageId::new(0),
+                arrival: a,
+            })
+            .collect();
+        let (summary, _) = measure_energy(
+            &program,
+            &ladder,
+            &reqs,
+            TuningScheme::Indexed {
+                segments: u32::try_from(program.cycle_len()).unwrap(),
+            },
+        );
+        assert!(summary.mean_active_slots <= 2.0);
+    }
+
+    #[test]
+    fn never_broadcast_pages_are_skipped() {
+        let ladder = GroupLadder::new(vec![(2, 2)]).unwrap();
+        let mut program = BroadcastProgram::new(1, 2);
+        program
+            .place(
+                airsched_core::types::GridPos::new(
+                    airsched_core::types::ChannelId::new(0),
+                    airsched_core::types::SlotIndex::new(0),
+                ),
+                airsched_core::types::PageId::new(0),
+            )
+            .unwrap();
+        let reqs = [Request {
+            page: airsched_core::types::PageId::new(1),
+            arrival: 0,
+        }];
+        for scheme in [
+            TuningScheme::Continuous,
+            TuningScheme::Indexed { segments: 2 },
+        ] {
+            let (_, skipped) = measure_energy(&program, &ladder, &reqs, scheme);
+            assert_eq!(skipped, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_panics() {
+        let ladder = fig2_ladder();
+        let program = susc::schedule(&ladder, 4).unwrap();
+        let _ = measure_energy(
+            &program,
+            &ladder,
+            &[],
+            TuningScheme::Indexed { segments: 0 },
+        );
+    }
+
+    #[test]
+    fn empty_requests_neutral() {
+        let ladder = fig2_ladder();
+        let program = susc::schedule(&ladder, 4).unwrap();
+        let (summary, skipped) = measure_energy(&program, &ladder, &[], TuningScheme::Continuous);
+        assert_eq!(skipped, 0);
+        assert_eq!(summary.mean_active_slots, 0.0);
+        assert_eq!(summary.delays.requests(), 0);
+    }
+}

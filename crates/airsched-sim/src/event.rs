@@ -1,0 +1,166 @@
+//! A minimal deterministic discrete-event queue.
+//!
+//! Events fire in non-decreasing time order; ties break by insertion order
+//! (FIFO), which keeps simulations reproducible regardless of heap
+//! internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a simulation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled<E> {
+    time: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered, FIFO-tie-broken event queue.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_sim::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(5, "late");
+/// q.schedule(1, "early");
+/// q.schedule(5, "late-second");
+/// assert_eq!(q.pop(), Some((1, "early")));
+/// assert_eq!(q.pop(), Some((5, "late")));
+/// assert_eq!(q.pop(), Some((5, "late-second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the last popped event's time (causality).
+    pub fn schedule(&mut self, time: u64, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the queue's clock.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// The time of the most recently popped event.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(3, 'c');
+        q.schedule(1, 'a');
+        q.schedule(3, 'd');
+        q.schedule(2, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn tracks_now_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(4, 0u32);
+        q.schedule(9, 1u32);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.now(), 4);
+        q.pop();
+        assert_eq!(q.now(), 9);
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), 9);
+    }
+
+    #[test]
+    fn allows_scheduling_at_now() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 0u8);
+        q.pop();
+        q.schedule(5, 1u8); // same instant is fine
+        assert_eq!(q.pop(), Some((5, 1u8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 0u8);
+        q.pop();
+        q.schedule(4, 1u8);
+    }
+}

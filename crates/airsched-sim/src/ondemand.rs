@@ -1,0 +1,237 @@
+//! The on-demand (pull) channel: a FIFO multi-server queue.
+//!
+//! The paper's §1 motivation: clients whose patience runs out abandon the
+//! broadcast channel and pull the page over an on-demand uplink, and "too
+//! often and too many such actions could seriously congest the on-demand
+//! channels". This module models that back-end so the congestion effect of
+//! a poor broadcast program is measurable.
+
+use core::fmt;
+use std::collections::BinaryHeap;
+
+/// A FIFO queue served by `servers` identical servers, each taking
+/// `service_slots` per request.
+#[derive(Debug, Clone)]
+pub struct OndemandChannel {
+    /// Min-heap of times at which each server frees up.
+    free_at: BinaryHeap<std::cmp::Reverse<u64>>,
+    /// Completion times of requests still in the system (queued or being
+    /// served), pruned lazily on each submit.
+    pending: BinaryHeap<std::cmp::Reverse<u64>>,
+    service_slots: u64,
+    served: u64,
+    total_queue_wait: u64,
+    max_backlog: u64,
+    busy_slots: u64,
+    first_arrival: Option<u64>,
+    last_completion: u64,
+}
+
+/// Aggregate statistics of an on-demand channel after a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OndemandStats {
+    /// Requests served.
+    pub served: u64,
+    /// Mean time spent waiting for a server (excluding service), in slots.
+    pub mean_queue_wait: f64,
+    /// Largest number of requests simultaneously queued or in service.
+    pub max_backlog: u64,
+    /// Fraction of the busy horizon the servers spent serving, in `[0, 1]`
+    /// (aggregate over all servers).
+    pub utilization: f64,
+}
+
+impl OndemandChannel {
+    /// Creates a channel with `servers` servers and a fixed service time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0` or `service_slots == 0`.
+    #[must_use]
+    pub fn new(servers: u32, service_slots: u64) -> Self {
+        assert!(servers > 0, "need at least one on-demand server");
+        assert!(service_slots > 0, "service time must be positive");
+        let mut free_at = BinaryHeap::with_capacity(servers as usize);
+        for _ in 0..servers {
+            free_at.push(std::cmp::Reverse(0));
+        }
+        Self {
+            free_at,
+            pending: BinaryHeap::new(),
+            service_slots,
+            served: 0,
+            total_queue_wait: 0,
+            max_backlog: 0,
+            busy_slots: 0,
+            first_arrival: None,
+            last_completion: 0,
+        }
+    }
+
+    /// Submits a request arriving at `time`; returns its completion time.
+    ///
+    /// Requests must be submitted in non-decreasing arrival order (FIFO).
+    pub fn submit(&mut self, time: u64) -> u64 {
+        self.submit_with_service(time, self.service_slots)
+    }
+
+    /// Submits a request with an explicit service duration (for stochastic
+    /// service-time models; see [`crate::sim::SimConfig`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_slots == 0`.
+    pub fn submit_with_service(&mut self, time: u64, service_slots: u64) -> u64 {
+        assert!(service_slots > 0, "service time must be positive");
+        self.first_arrival.get_or_insert(time);
+        let std::cmp::Reverse(free) = self.free_at.pop().expect("at least one server");
+        let start = free.max(time);
+        let completion = start + service_slots;
+        self.free_at.push(std::cmp::Reverse(completion));
+
+        self.served += 1;
+        self.total_queue_wait += start - time;
+        self.busy_slots += service_slots;
+        self.last_completion = self.last_completion.max(completion);
+
+        // Backlog: requests still in the system (queued or in service) the
+        // moment this one arrives, including itself.
+        while matches!(self.pending.peek(), Some(std::cmp::Reverse(c)) if *c <= time) {
+            self.pending.pop();
+        }
+        self.pending.push(std::cmp::Reverse(completion));
+        self.max_backlog = self.max_backlog.max(self.pending.len() as u64);
+        completion
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> OndemandStats {
+        let horizon = match self.first_arrival {
+            Some(first) if self.last_completion > first => {
+                (self.last_completion - first) * self.free_at.len() as u64
+            }
+            _ => 0,
+        };
+        OndemandStats {
+            served: self.served,
+            mean_queue_wait: if self.served == 0 {
+                0.0
+            } else {
+                self.total_queue_wait as f64 / self.served as f64
+            },
+            max_backlog: self.max_backlog,
+            utilization: if horizon == 0 {
+                0.0
+            } else {
+                self.busy_slots as f64 / horizon as f64
+            },
+        }
+    }
+}
+
+impl fmt::Display for OndemandStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "on-demand: {} served, mean queue wait {:.2} slots, peak backlog \
+             {}, utilization {:.1}%",
+            self.served,
+            self.mean_queue_wait,
+            self.max_backlog,
+            self.utilization * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut ch = OndemandChannel::new(1, 2);
+        assert_eq!(ch.submit(10), 12);
+        let s = ch.stats();
+        assert_eq!(s.served, 1);
+        assert_eq!(s.mean_queue_wait, 0.0);
+    }
+
+    #[test]
+    fn queueing_builds_up_on_one_server() {
+        let mut ch = OndemandChannel::new(1, 3);
+        assert_eq!(ch.submit(0), 3);
+        assert_eq!(ch.submit(0), 6); // waits 3
+        assert_eq!(ch.submit(0), 9); // waits 6
+        let s = ch.stats();
+        assert_eq!(s.served, 3);
+        assert!((s.mean_queue_wait - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_backlog, 3);
+        assert!((s.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_servers_share_load() {
+        let mut ch = OndemandChannel::new(2, 3);
+        assert_eq!(ch.submit(0), 3);
+        assert_eq!(ch.submit(0), 3);
+        assert_eq!(ch.submit(0), 6);
+        let s = ch.stats();
+        assert!((s.mean_queue_wait - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaps_let_the_queue_drain() {
+        let mut ch = OndemandChannel::new(1, 2);
+        ch.submit(0);
+        ch.submit(100);
+        let s = ch.stats();
+        assert_eq!(s.mean_queue_wait, 0.0);
+        assert!(s.utilization < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_servers_panics() {
+        let _ = OndemandChannel::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "service time")]
+    fn zero_service_panics() {
+        let _ = OndemandChannel::new(1, 0);
+    }
+
+    #[test]
+    fn explicit_service_times_are_respected() {
+        let mut ch = OndemandChannel::new(1, 2);
+        assert_eq!(ch.submit_with_service(0, 5), 5);
+        assert_eq!(ch.submit_with_service(0, 1), 6);
+        let s = ch.stats();
+        assert_eq!(s.served, 2);
+        assert!((s.mean_queue_wait - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "service time")]
+    fn zero_explicit_service_panics() {
+        let mut ch = OndemandChannel::new(1, 2);
+        let _ = ch.submit_with_service(0, 0);
+    }
+
+    #[test]
+    fn stats_display() {
+        let mut ch = OndemandChannel::new(1, 1);
+        ch.submit(0);
+        assert!(ch.stats().to_string().contains("on-demand: 1 served"));
+    }
+
+    #[test]
+    fn empty_channel_neutral_stats() {
+        let ch = OndemandChannel::new(2, 5);
+        let s = ch.stats();
+        assert_eq!(s.served, 0);
+        assert_eq!(s.mean_queue_wait, 0.0);
+        assert_eq!(s.utilization, 0.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! The end-to-end broadcast system simulation.
+//!
+//! Combines the broadcast program, a client population with bounded
+//! patience, and the on-demand pull channel into one discrete-event run —
+//! the full system sketched in the paper's introduction. Clients tune in,
+//! wait for their page up to `patience_factor * t_i` slots, and abandon to
+//! the on-demand queue if the broadcast misses that budget. The report
+//! shows how broadcast scheduling quality translates into on-demand
+//! congestion.
+
+use core::fmt;
+
+use airsched_core::group::GroupLadder;
+use airsched_core::program::BroadcastProgram;
+use airsched_workload::requests::Request;
+
+use crate::event::EventQueue;
+use crate::metrics::{DelayAccumulator, DelaySummary};
+use crate::ondemand::{OndemandChannel, OndemandStats};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// A client abandons the broadcast after `patience_factor * t_i` slots
+    /// without its page. The paper's clients are exactly-on-time
+    /// (`factor = 1.0` would abandon the moment the expected time passes);
+    /// the default of 2.0 models the mildly patient clients of the
+    /// impatience literature the paper cites.
+    pub patience_factor: f64,
+    /// Slots one on-demand request occupies a pull server.
+    pub ondemand_service_slots: u64,
+    /// Number of parallel on-demand servers (uplink capacity).
+    pub ondemand_servers: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            patience_factor: 2.0,
+            ondemand_service_slots: 2,
+            ondemand_servers: 1,
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Delay summary over requests served by the broadcast channel.
+    pub broadcast: DelaySummary,
+    /// Number of requests that abandoned to the on-demand channel.
+    pub abandoned: u64,
+    /// On-demand channel statistics.
+    pub ondemand: OndemandStats,
+    /// Mean end-to-end latency (tune-in to reception) over *all* requests,
+    /// whichever channel served them, in slots.
+    pub mean_total_latency: f64,
+}
+
+impl SimReport {
+    /// Fraction of requests that abandoned to the on-demand channel.
+    #[must_use]
+    pub fn abandonment_rate(&self) -> f64 {
+        let total = self.broadcast.requests() + self.abandoned;
+        if total == 0 {
+            0.0
+        } else {
+            self.abandoned as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "broadcast: {}", self.broadcast)?;
+        writeln!(
+            f,
+            "abandoned: {} ({:.1}%)",
+            self.abandoned,
+            self.abandonment_rate() * 100.0
+        )?;
+        writeln!(f, "{}", self.ondemand)?;
+        write!(
+            f,
+            "mean total latency: {:.2} slots",
+            self.mean_total_latency
+        )
+    }
+}
+
+/// Internal event alphabet of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A client tunes in (index into the request slice).
+    Arrival(usize),
+    /// A client's patience expires; it abandons to the on-demand queue.
+    Abandon(usize),
+}
+
+/// The simulation driver.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::pamad;
+/// use airsched_sim::sim::{SimConfig, Simulation};
+/// use airsched_workload::requests::{AccessPattern, RequestGenerator};
+///
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// let program = pamad::schedule(&ladder, 2)?.into_program();
+/// let sim = Simulation::new(&program, &ladder, SimConfig::default());
+/// let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 7);
+/// let requests = gen.take(1000, program.cycle_len() * 50);
+/// let report = sim.run(&requests);
+/// assert_eq!(report.broadcast.requests() + report.abandoned, 1000);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulation<'a> {
+    program: &'a BroadcastProgram,
+    ladder: &'a GroupLadder,
+    config: SimConfig,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation over a program and its workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.patience_factor` is not finite and positive, or if
+    /// the on-demand parameters are zero.
+    #[must_use]
+    pub fn new(program: &'a BroadcastProgram, ladder: &'a GroupLadder, config: SimConfig) -> Self {
+        assert!(
+            config.patience_factor.is_finite() && config.patience_factor > 0.0,
+            "patience factor must be positive and finite"
+        );
+        assert!(config.ondemand_servers > 0, "need an on-demand server");
+        assert!(
+            config.ondemand_service_slots > 0,
+            "on-demand service time must be positive"
+        );
+        Self {
+            program,
+            ladder,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Runs the discrete-event simulation over `requests` (arrivals are
+    /// absolute times; they need not be sorted).
+    ///
+    /// Requests whose page the ladder does not know, or that is never
+    /// broadcast, abandon immediately at arrival.
+    #[must_use]
+    pub fn run(&self, requests: &[Request]) -> SimReport {
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| requests[i].arrival);
+        for i in order {
+            queue.schedule(requests[i].arrival, Event::Arrival(i));
+        }
+
+        let mut broadcast_acc = DelayAccumulator::new();
+        let mut ondemand = OndemandChannel::new(
+            self.config.ondemand_servers,
+            self.config.ondemand_service_slots,
+        );
+        let mut abandoned = 0u64;
+        let mut total_latency = 0u64;
+        let total_requests = requests.len() as u64;
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Event::Arrival(i) => {
+                    let req = requests[i];
+                    let group = self.ladder.group_of(req.page);
+                    let wait = self.program.wait_from(req.page, req.arrival);
+                    match (group, wait) {
+                        (Some(g), Some(w)) => {
+                            let t = self.ladder.time_of(g).slots();
+                            let patience = self.patience(t);
+                            if w <= patience {
+                                broadcast_acc.record(g, w, w.saturating_sub(t));
+                                total_latency += w;
+                            } else {
+                                queue.schedule(now + patience, Event::Abandon(i));
+                            }
+                        }
+                        _ => {
+                            // Unknown or never-broadcast page: straight to
+                            // the on-demand channel.
+                            queue.schedule(now, Event::Abandon(i));
+                        }
+                    }
+                }
+                Event::Abandon(i) => {
+                    let req = requests[i];
+                    abandoned += 1;
+                    let completion = ondemand.submit(now);
+                    total_latency += completion - req.arrival;
+                }
+            }
+        }
+
+        SimReport {
+            broadcast: broadcast_acc.finish(),
+            abandoned,
+            ondemand: ondemand.stats(),
+            mean_total_latency: if total_requests == 0 {
+                0.0
+            } else {
+                total_latency as f64 / total_requests as f64
+            },
+        }
+    }
+
+    /// Patience budget for a page with expected time `t`.
+    fn patience(&self, t: u64) -> u64 {
+        let p = (self.config.patience_factor * t as f64).ceil();
+        // Expected times are small enough that this cast is exact.
+        p as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airsched_core::{pamad, susc};
+    use airsched_workload::requests::{AccessPattern, RequestGenerator};
+
+    fn fig2_ladder() -> GroupLadder {
+        GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap()
+    }
+
+    fn requests(ladder: &GroupLadder, count: usize, horizon: u64, seed: u64) -> Vec<Request> {
+        RequestGenerator::new(ladder, AccessPattern::Uniform, seed).take(count, horizon)
+    }
+
+    #[test]
+    fn valid_program_never_abandons() {
+        let ladder = fig2_ladder();
+        let program = susc::schedule(&ladder, 4).unwrap();
+        let sim = Simulation::new(&program, &ladder, SimConfig::default());
+        let report = sim.run(&requests(&ladder, 2000, 400, 1));
+        assert_eq!(report.abandoned, 0);
+        assert_eq!(report.broadcast.requests(), 2000);
+        assert_eq!(report.broadcast.avg_delay(), 0.0);
+        assert_eq!(report.ondemand.served, 0);
+        assert_eq!(report.abandonment_rate(), 0.0);
+    }
+
+    #[test]
+    fn starved_broadcast_congests_ondemand() {
+        let ladder = fig2_ladder();
+        // One channel for a four-channel workload: long gaps, impatience.
+        let program = pamad::schedule(&ladder, 1).unwrap().into_program();
+        let config = SimConfig {
+            patience_factor: 1.0,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&program, &ladder, config);
+        let report = sim.run(&requests(&ladder, 2000, 2000, 2));
+        assert!(report.abandoned > 0, "{report}");
+        assert!(report.ondemand.served == report.abandoned);
+        assert!(report.mean_total_latency > 0.0);
+    }
+
+    #[test]
+    fn better_scheduling_reduces_abandonment() {
+        let ladder = fig2_ladder();
+        let config = SimConfig {
+            patience_factor: 1.5,
+            ..SimConfig::default()
+        };
+        let one = pamad::schedule(&ladder, 1).unwrap().into_program();
+        let three = pamad::schedule(&ladder, 3).unwrap().into_program();
+        let reqs = requests(&ladder, 3000, 3000, 3);
+        let r1 = Simulation::new(&one, &ladder, config).run(&reqs);
+        let r3 = Simulation::new(&three, &ladder, config).run(&reqs);
+        assert!(
+            r3.abandonment_rate() <= r1.abandonment_rate(),
+            "3ch {} vs 1ch {}",
+            r3.abandonment_rate(),
+            r1.abandonment_rate()
+        );
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let ladder = fig2_ladder();
+        let program = pamad::schedule(&ladder, 2).unwrap().into_program();
+        let sim = Simulation::new(&program, &ladder, SimConfig::default());
+        let reqs = requests(&ladder, 500, 1000, 4);
+        let report = sim.run(&reqs);
+        assert_eq!(report.broadcast.requests() + report.abandoned, 500);
+        assert_eq!(report.ondemand.served, report.abandoned);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let ladder = fig2_ladder();
+        let program = pamad::schedule(&ladder, 2).unwrap().into_program();
+        let sim = Simulation::new(&program, &ladder, SimConfig::default());
+        let reqs = requests(&ladder, 800, 900, 5);
+        assert_eq!(sim.run(&reqs), sim.run(&reqs));
+    }
+
+    #[test]
+    fn empty_request_set() {
+        let ladder = fig2_ladder();
+        let program = susc::schedule(&ladder, 4).unwrap();
+        let sim = Simulation::new(&program, &ladder, SimConfig::default());
+        let report = sim.run(&[]);
+        assert_eq!(report.broadcast.requests(), 0);
+        assert_eq!(report.mean_total_latency, 0.0);
+    }
+
+    #[test]
+    fn display_report() {
+        let ladder = fig2_ladder();
+        let program = susc::schedule(&ladder, 4).unwrap();
+        let sim = Simulation::new(&program, &ladder, SimConfig::default());
+        let text = sim.run(&requests(&ladder, 10, 50, 6)).to_string();
+        assert!(text.contains("broadcast:"));
+        assert!(text.contains("mean total latency"));
+    }
+
+    #[test]
+    #[should_panic(expected = "patience factor")]
+    fn bad_patience_panics() {
+        let ladder = fig2_ladder();
+        let program = susc::schedule(&ladder, 4).unwrap();
+        let config = SimConfig {
+            patience_factor: 0.0,
+            ..SimConfig::default()
+        };
+        let _ = Simulation::new(&program, &ladder, config);
+    }
+}

@@ -1,0 +1,197 @@
+//! Program transitions: what clients experience while the server swaps
+//! broadcast programs.
+//!
+//! When the catalogue or channel budget changes, the server atomically
+//! replaces program `A` with program `B` at some slot boundary. Clients
+//! already waiting keep listening: a client that tuned in under `A` and is
+//! still unserved at the switch continues under `B`. This module measures
+//! the *transient* delay of such clients — the cost of a reconfiguration —
+//! which neither steady-state measurement captures.
+
+use airsched_core::group::GroupLadder;
+use airsched_core::program::BroadcastProgram;
+use airsched_workload::requests::Request;
+
+use crate::metrics::{DelayAccumulator, DelaySummary};
+
+/// Measures requests spanning a program switch.
+///
+/// Time is absolute: program `old` plays for slots `0 .. switch_at`, then
+/// `new` plays from `switch_at` onward (its cycle phase restarts at the
+/// switch, as a real retransmitter would). Requests may arrive before or
+/// after the switch; each is served by the first occurrence of its page on
+/// whichever program is playing at that moment.
+///
+/// Returns the delay summary plus the number of requests that could not be
+/// served (page absent from the program that was playing when their turn
+/// came — e.g. a page dropped by the new program).
+///
+/// # Panics
+///
+/// Panics if a request's page is missing from the ladder.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::{pamad, susc};
+/// use airsched_sim::transition::measure_transition;
+/// use airsched_workload::requests::{AccessPattern, RequestGenerator};
+///
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// let old = pamad::schedule(&ladder, 2)?.into_program();   // starved
+/// let new = susc::schedule(&ladder, 4)?;                    // upgraded
+/// let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 5);
+/// let requests = gen.take(2000, 100); // arrivals across the switch at t=50
+/// let (summary, unserved) = measure_transition(&old, &new, 50, &ladder, &requests);
+/// assert_eq!(unserved, 0);
+/// assert!(summary.requests() == 2000);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn measure_transition(
+    old: &BroadcastProgram,
+    new: &BroadcastProgram,
+    switch_at: u64,
+    ladder: &GroupLadder,
+    requests: &[Request],
+) -> (DelaySummary, u64) {
+    let mut acc = DelayAccumulator::new();
+    let mut unserved = 0u64;
+
+    for &req in requests {
+        let group = ladder
+            .group_of(req.page)
+            .expect("request page must be in the ladder");
+        let t = ladder.time_of(group).slots();
+
+        let served_at = if req.arrival >= switch_at {
+            // Entirely under the new program (phase restarted at switch).
+            new.wait_from(req.page, req.arrival - switch_at)
+                .map(|w| req.arrival + w)
+        } else {
+            // Start under the old program; if the next occurrence lands
+            // before the switch it counts, otherwise continue under new.
+            match old.wait_from(req.page, req.arrival) {
+                Some(w) if req.arrival + w <= switch_at => Some(req.arrival + w),
+                _ => new.wait_from(req.page, 0).map(|w| switch_at + w),
+            }
+        };
+
+        match served_at {
+            Some(done) => {
+                let wait = done - req.arrival;
+                acc.record(group, wait, wait.saturating_sub(t));
+            }
+            None => unserved += 1,
+        }
+    }
+    (acc.finish(), unserved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airsched_core::{pamad, susc};
+    use airsched_workload::requests::{AccessPattern, RequestGenerator};
+
+    fn fig2_ladder() -> GroupLadder {
+        GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap()
+    }
+
+    #[test]
+    fn identical_programs_match_steady_state() {
+        let ladder = fig2_ladder();
+        let program = susc::schedule(&ladder, 4).unwrap();
+        let reqs = RequestGenerator::new(&ladder, AccessPattern::Uniform, 1)
+            .take(2000, program.cycle_len());
+        // Switch at a cycle boundary between two copies of the same
+        // program: nothing changes.
+        let cycle = program.cycle_len();
+        let shifted: Vec<Request> = reqs
+            .iter()
+            .map(|r| Request {
+                page: r.page,
+                arrival: r.arrival, // all before the switch
+            })
+            .collect();
+        let (summary, unserved) =
+            measure_transition(&program, &program, cycle * 10, &ladder, &shifted);
+        assert_eq!(unserved, 0);
+        assert_eq!(summary.avg_delay(), 0.0);
+    }
+
+    #[test]
+    fn upgrade_mid_wait_is_bounded() {
+        let ladder = fig2_ladder();
+        let old = pamad::schedule(&ladder, 1).unwrap().into_program();
+        let new = susc::schedule(&ladder, 4).unwrap();
+        // All requests arrive just before the switch: worst case they wait
+        // until the switch plus one new-program deadline.
+        let switch_at = 100u64;
+        let reqs: Vec<Request> =
+            RequestGenerator::new(&ladder, AccessPattern::Uniform, 2).take(1000, switch_at);
+        let (summary, unserved) = measure_transition(&old, &new, switch_at, &ladder, &reqs);
+        assert_eq!(unserved, 0);
+        // Bounded by time-to-switch + t_h (the new program is valid).
+        assert!(summary.max_delay() <= switch_at + ladder.max_time());
+    }
+
+    #[test]
+    fn downgrade_increases_delay() {
+        let ladder = fig2_ladder();
+        let good = susc::schedule(&ladder, 4).unwrap();
+        let bad = pamad::schedule(&ladder, 1).unwrap().into_program();
+        let reqs: Vec<Request> =
+            RequestGenerator::new(&ladder, AccessPattern::Uniform, 3).take(2000, 200);
+        let (up, _) = measure_transition(&bad, &good, 100, &ladder, &reqs);
+        let (down, _) = measure_transition(&good, &bad, 100, &ladder, &reqs);
+        assert!(
+            down.avg_delay() > up.avg_delay(),
+            "downgrade {} vs upgrade {}",
+            down.avg_delay(),
+            up.avg_delay()
+        );
+    }
+
+    #[test]
+    fn requests_after_switch_never_see_the_old_program() {
+        let ladder = fig2_ladder();
+        let old = pamad::schedule(&ladder, 1).unwrap().into_program();
+        let new = susc::schedule(&ladder, 4).unwrap();
+        let reqs: Vec<Request> = RequestGenerator::new(&ladder, AccessPattern::Uniform, 4)
+            .take(1500, 300)
+            .into_iter()
+            .map(|r| Request {
+                page: r.page,
+                arrival: r.arrival + 1000, // switch long past
+            })
+            .collect();
+        let (summary, unserved) = measure_transition(&old, &new, 1000, &ladder, &reqs);
+        assert_eq!(unserved, 0);
+        // Pure steady state of the (valid) new program.
+        assert_eq!(summary.avg_delay(), 0.0);
+    }
+
+    #[test]
+    fn pages_missing_from_the_new_program_are_unserved() {
+        let ladder = fig2_ladder();
+        let old = susc::schedule(&ladder, 4).unwrap();
+        // New program drops everything but page 0.
+        let mut new = BroadcastProgram::new(1, 2);
+        new.place(
+            airsched_core::types::GridPos::new(
+                airsched_core::types::ChannelId::new(0),
+                airsched_core::types::SlotIndex::new(0),
+            ),
+            airsched_core::types::PageId::new(0),
+        )
+        .unwrap();
+        let reqs = [Request {
+            page: airsched_core::types::PageId::new(5),
+            arrival: 500, // after the switch
+        }];
+        let (_, unserved) = measure_transition(&old, &new, 100, &ladder, &reqs);
+        assert_eq!(unserved, 1);
+    }
+}

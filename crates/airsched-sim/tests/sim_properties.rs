@@ -1,0 +1,103 @@
+//! Property tests for the simulation layer's extension modules: energy,
+//! lossy reception, multi-page retrieval, and transitions.
+
+use proptest::prelude::*;
+
+use airsched_core::bound::minimum_channels;
+use airsched_core::group::GroupLadder;
+use airsched_core::{pamad, susc};
+use airsched_sim::energy::{measure_energy, TuningScheme};
+use airsched_sim::lossy::{measure_lossy, LossModel};
+use airsched_sim::multiget::{retrieve_greedy, MultiRequest};
+use airsched_sim::transition::measure_transition;
+use airsched_workload::requests::{AccessPattern, Request, RequestGenerator};
+
+fn arb_ladder() -> impl Strategy<Value = GroupLadder> {
+    (1u64..=4, 2u64..=3, prop::collection::vec(1u64..=15, 1..=4))
+        .prop_map(|(t1, c, counts)| GroupLadder::geometric(t1, c, &counts).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Indexed tuning never listens more than 3 slots per request and
+    /// never waits less than the continuous listener.
+    #[test]
+    fn indexing_bounds_hold(ladder in arb_ladder(), n in 1u32..4, segments in 1u32..12) {
+        let program = pamad::schedule(&ladder, n).unwrap().into_program();
+        let requests = RequestGenerator::new(&ladder, AccessPattern::Uniform, 3)
+            .take(500, program.cycle_len());
+        let (cont, _) =
+            measure_energy(&program, &ladder, &requests, TuningScheme::Continuous);
+        let (idx, _) = measure_energy(
+            &program,
+            &ladder,
+            &requests,
+            TuningScheme::Indexed { segments },
+        );
+        prop_assert!(idx.mean_active_slots <= 3.0 + 1e-9);
+        prop_assert!(idx.delays.avg_wait() + 1e-9 >= cont.delays.avg_wait());
+        prop_assert!((0.0..=1.0).contains(&idx.doze_ratio));
+    }
+
+    /// Zero loss reproduces the plain measurement exactly; raising the
+    /// loss never reduces the mean wait.
+    #[test]
+    fn loss_monotonicity(ladder in arb_ladder(), seed in 0u64..1000) {
+        let n = minimum_channels(&ladder);
+        let program = susc::schedule(&ladder, n).unwrap();
+        let requests = RequestGenerator::new(&ladder, AccessPattern::Uniform, seed)
+            .take(600, program.cycle_len());
+        let (clean, failed) =
+            measure_lossy(&program, &ladder, &requests, LossModel::lossless(), seed);
+        prop_assert_eq!(failed, 0);
+        prop_assert_eq!(clean.avg_delay(), 0.0); // valid program
+        let mut last = clean.avg_wait();
+        for loss in [0.2f64, 0.5] {
+            let model = LossModel { loss, max_attempts: 64 };
+            let (noisy, _) = measure_lossy(&program, &ladder, &requests, model, seed);
+            prop_assert!(noisy.avg_wait() + 1e-9 >= last);
+            last = noisy.avg_wait();
+        }
+    }
+
+    /// Greedy multi-page retrieval: completion is at least the slowest
+    /// individual page's wait, and switches never exceed pages - 1 ...
+    /// plus revisits are possible only when a switch cost exists.
+    #[test]
+    fn multiget_structure(ladder in arb_ladder(), arrival in 0u64..64, k in 1usize..5) {
+        let n = minimum_channels(&ladder);
+        let program = susc::schedule(&ladder, n).unwrap();
+        let pages: Vec<_> = ladder.pages().map(|(p, _)| p).take(k).collect();
+        let req = MultiRequest { pages: pages.clone(), arrival };
+        let access = retrieve_greedy(&program, &req, 0).unwrap();
+        let slowest = pages
+            .iter()
+            .map(|&p| program.wait_from(p, arrival).unwrap())
+            .max()
+            .unwrap();
+        prop_assert!(access.completion_wait >= slowest);
+        prop_assert!(access.page_waits.len() == pages.len().min(access.page_waits.len()));
+        // With free switching the client can always chase the earliest
+        // occurrence, so completion is bounded by one cycle per page.
+        prop_assert!(
+            access.completion_wait <= program.cycle_len() * pages.len() as u64 + 1
+        );
+    }
+
+    /// Transition to the *same* program at a cycle-aligned boundary is
+    /// invisible: waits match the steady-state closed form.
+    #[test]
+    fn self_transition_is_identity(ladder in arb_ladder(), cycles in 1u64..5) {
+        let n = minimum_channels(&ladder);
+        let program = susc::schedule(&ladder, n).unwrap();
+        let switch_at = program.cycle_len() * cycles;
+        let requests: Vec<Request> = RequestGenerator::new(&ladder, AccessPattern::Uniform, 7)
+            .take(400, switch_at);
+        let (summary, unserved) =
+            measure_transition(&program, &program, switch_at, &ladder, &requests);
+        prop_assert_eq!(unserved, 0);
+        let (plain, _) = airsched_sim::access::measure(&program, &ladder, &requests);
+        prop_assert!((summary.avg_wait() - plain.avg_wait()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,2 @@
+//! Anchor crate for the repository-level integration tests in `/tests`
+//! (wired via `[[test]]` path entries in this crate's manifest).

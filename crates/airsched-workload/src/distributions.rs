@@ -1,0 +1,243 @@
+//! Group-size distributions (the paper's Figure 3).
+//!
+//! The broadcast data generator assigns `n` pages to `h` groups following
+//! one of four shapes: *normal*, *S-skewed*, *L-skewed*, and *uniform*. The
+//! paper shows the shapes as bar charts without numbers; the parametric
+//! forms here reproduce those shapes deterministically:
+//!
+//! * **uniform** — equal counts per group;
+//! * **normal** — a discrete bell centred on the middle group;
+//! * **L-skewed** — mass concentrated at the *low* end (most pages have
+//!   tight expected times), decaying geometrically — the letter "L" read as
+//!   the silhouette of the histogram;
+//! * **S-skewed** — the mirror image: mass concentrated at the *high* end
+//!   (most pages are relaxed), growing geometrically.
+//!
+//! Counts are apportioned by the largest-remainder method so they always
+//! sum to exactly `n`, with every group receiving at least one page.
+
+use core::fmt;
+
+/// The four group-size shapes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupSizeDistribution {
+    /// Equal page counts in every group.
+    Uniform,
+    /// Discrete bell centred on the middle group (sigma = h/4).
+    Normal,
+    /// Geometrically decaying from the first (tightest) group.
+    LSkewed,
+    /// Geometrically growing toward the last (most relaxed) group.
+    SSkewed,
+}
+
+impl GroupSizeDistribution {
+    /// All four variants, in the paper's listing order.
+    pub const ALL: [Self; 4] = [Self::Normal, Self::SSkewed, Self::LSkewed, Self::Uniform];
+
+    /// Parses the names used by the CLI and bench harness.
+    ///
+    /// Accepts `uniform`, `normal`, `lskew`/`l-skewed`/`lskewed`, and
+    /// `sskew`/`s-skewed`/`sskewed` (case-insensitive).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "uniform" => Some(Self::Uniform),
+            "normal" => Some(Self::Normal),
+            "lskew" | "l-skewed" | "lskewed" | "l" => Some(Self::LSkewed),
+            "sskew" | "s-skewed" | "sskewed" | "s" => Some(Self::SSkewed),
+            _ => None,
+        }
+    }
+
+    /// The per-group page counts for `n` total pages over `h` groups.
+    ///
+    /// Counts sum to exactly `n` and every group gets at least one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h == 0` or `n < h` (cannot give every group a page).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use airsched_workload::distributions::GroupSizeDistribution;
+    ///
+    /// let counts = GroupSizeDistribution::Uniform.page_counts(8, 1000);
+    /// assert_eq!(counts, vec![125; 8]);
+    ///
+    /// let skew = GroupSizeDistribution::LSkewed.page_counts(8, 1000);
+    /// assert_eq!(skew.iter().sum::<u64>(), 1000);
+    /// assert!(skew[0] > skew[7]);
+    /// ```
+    #[must_use]
+    pub fn page_counts(self, h: usize, n: u64) -> Vec<u64> {
+        assert!(h > 0, "need at least one group");
+        assert!(
+            n >= h as u64,
+            "need at least one page per group ({n} pages for {h} groups)"
+        );
+        let weights = self.weights(h);
+        apportion(&weights, n)
+    }
+
+    /// The unnormalized shape weights for `h` groups.
+    fn weights(self, h: usize) -> Vec<f64> {
+        match self {
+            Self::Uniform => vec![1.0; h],
+            Self::Normal => {
+                let mu = (h as f64 - 1.0) / 2.0;
+                let sigma = (h as f64 / 4.0).max(0.5);
+                (0..h)
+                    .map(|i| {
+                        let z = (i as f64 - mu) / sigma;
+                        (-0.5 * z * z).exp()
+                    })
+                    .collect()
+            }
+            Self::LSkewed => (0..h).map(|i| DECAY.powi(i as i32)).collect(),
+            Self::SSkewed => (0..h).map(|i| DECAY.powi((h - 1 - i) as i32)).collect(),
+        }
+    }
+}
+
+/// Geometric decay factor for the skewed shapes.
+const DECAY: f64 = 0.6;
+
+impl fmt::Display for GroupSizeDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Uniform => write!(f, "uniform"),
+            Self::Normal => write!(f, "normal"),
+            Self::LSkewed => write!(f, "L-skewed"),
+            Self::SSkewed => write!(f, "S-skewed"),
+        }
+    }
+}
+
+/// Largest-remainder apportionment of `n` units over `weights`, with a
+/// one-unit floor per bucket.
+fn apportion(weights: &[f64], n: u64) -> Vec<u64> {
+    let h = weights.len() as u64;
+    let total: f64 = weights.iter().sum();
+    // Reserve the one-page floor, apportion the rest proportionally.
+    let spare = n - h;
+    let mut counts: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = spare as f64 * w / total;
+        let floor = exact.floor() as u64;
+        counts.push(1 + floor);
+        assigned += floor;
+        remainders.push((i, exact - floor as f64));
+    }
+    // Distribute what the floors left over to the largest remainders.
+    let mut leftover = spare - assigned;
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(core::cmp::Ordering::Equal));
+    let mut idx = 0;
+    while leftover > 0 {
+        counts[remainders[idx % remainders.len()].0] += 1;
+        leftover -= 1;
+        idx += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_splits_evenly() {
+        assert_eq!(
+            GroupSizeDistribution::Uniform.page_counts(8, 1000),
+            vec![125; 8]
+        );
+        // Non-divisible totals still sum correctly.
+        let c = GroupSizeDistribution::Uniform.page_counts(3, 10);
+        assert_eq!(c.iter().sum::<u64>(), 10);
+        assert!(c.iter().all(|&x| (3..=4).contains(&x)));
+    }
+
+    #[test]
+    fn all_distributions_sum_to_n_with_floor() {
+        for dist in GroupSizeDistribution::ALL {
+            for (h, n) in [(8usize, 1000u64), (5, 17), (1, 3), (8, 8), (3, 1000)] {
+                let counts = dist.page_counts(h, n);
+                assert_eq!(counts.len(), h, "{dist} h={h}");
+                assert_eq!(counts.iter().sum::<u64>(), n, "{dist} h={h} n={n}");
+                assert!(counts.iter().all(|&c| c >= 1), "{dist}: {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn normal_peaks_in_the_middle() {
+        let c = GroupSizeDistribution::Normal.page_counts(8, 1000);
+        let peak = c.iter().max().unwrap();
+        assert!(c[3] == *peak || c[4] == *peak, "{c:?}");
+        assert!(c[0] < c[3] && c[7] < c[4], "{c:?}");
+        // Roughly symmetric.
+        assert!((c[0] as i64 - c[7] as i64).abs() <= 2, "{c:?}");
+    }
+
+    #[test]
+    fn l_skew_decreases_s_skew_increases() {
+        let l = GroupSizeDistribution::LSkewed.page_counts(8, 1000);
+        for w in l.windows(2) {
+            assert!(w[0] >= w[1], "{l:?}");
+        }
+        let s = GroupSizeDistribution::SSkewed.page_counts(8, 1000);
+        for w in s.windows(2) {
+            assert!(w[0] <= w[1], "{s:?}");
+        }
+        // The two skews are mirror images.
+        let mut rev = s.clone();
+        rev.reverse();
+        assert_eq!(l, rev);
+    }
+
+    #[test]
+    fn parse_accepts_cli_names() {
+        use GroupSizeDistribution::*;
+        assert_eq!(GroupSizeDistribution::parse("uniform"), Some(Uniform));
+        assert_eq!(GroupSizeDistribution::parse("NORMAL"), Some(Normal));
+        assert_eq!(GroupSizeDistribution::parse("lskew"), Some(LSkewed));
+        assert_eq!(GroupSizeDistribution::parse("L-Skewed"), Some(LSkewed));
+        assert_eq!(GroupSizeDistribution::parse("sskew"), Some(SSkewed));
+        assert_eq!(GroupSizeDistribution::parse("bogus"), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GroupSizeDistribution::LSkewed.to_string(), "L-skewed");
+        assert_eq!(GroupSizeDistribution::Uniform.to_string(), "uniform");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page per group")]
+    fn too_few_pages_panics() {
+        let _ = GroupSizeDistribution::Uniform.page_counts(10, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_panics() {
+        let _ = GroupSizeDistribution::Uniform.page_counts(0, 5);
+    }
+
+    #[test]
+    fn single_group_takes_everything() {
+        for dist in GroupSizeDistribution::ALL {
+            assert_eq!(dist.page_counts(1, 42), vec![42]);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        for dist in GroupSizeDistribution::ALL {
+            assert_eq!(dist.page_counts(8, 1000), dist.page_counts(8, 1000));
+        }
+    }
+}

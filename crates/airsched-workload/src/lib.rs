@@ -1,0 +1,42 @@
+//! # airsched-workload
+//!
+//! Workload generation for time-constrained broadcast scheduling — the
+//! *broadcast data generator* of the paper's §5 evaluation.
+//!
+//! * [`distributions`] — the four group-size shapes of Figure 3 (normal,
+//!   S-skewed, L-skewed, uniform), deterministic and exact-sum.
+//! * [`spec`] — [`spec::WorkloadSpec`], a builder embedding the Figure 4
+//!   parameter defaults (`n = 1000`, `h = 8`, `t = 4 .. 512`).
+//! * [`requests`] — seeded client request streams (page choice + tune-in
+//!   instant), uniform or Zipf access.
+//! * [`zipf`] — the Zipf sampler backing skewed access.
+//!
+//! ```
+//! use airsched_workload::distributions::GroupSizeDistribution;
+//! use airsched_workload::requests::{AccessPattern, RequestGenerator};
+//! use airsched_workload::spec::WorkloadSpec;
+//!
+//! let ladder = WorkloadSpec::paper_defaults()
+//!     .distribution(GroupSizeDistribution::LSkewed)
+//!     .build()?;
+//! let mut requests = RequestGenerator::new(&ladder, AccessPattern::Uniform, 42);
+//! let batch = requests.take(3000, 512);
+//! assert_eq!(batch.len(), 3000);
+//! # Ok::<(), airsched_core::error::ScheduleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(clippy::all)]
+
+pub mod distributions;
+pub mod requests;
+pub mod spec;
+pub mod trace;
+pub mod zipf;
+
+pub use distributions::GroupSizeDistribution;
+pub use requests::{AccessPattern, NormalizedRequest, Request, RequestGenerator};
+pub use spec::WorkloadSpec;
+pub use trace::{parse_trace, write_trace};

@@ -1,0 +1,474 @@
+//! Client request generation.
+//!
+//! A *request* models one client tuning in at some instant and wanting one
+//! page (the paper: "every access of a client is only one data page"). The
+//! generator is fully deterministic given a seed, so every figure in the
+//! bench harness is reproducible bit for bit.
+
+use airsched_core::group::GroupLadder;
+use airsched_core::types::PageId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// How requests choose their page.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AccessPattern {
+    /// Every page equally likely (`1/n`) — the paper's assumption.
+    #[default]
+    Uniform,
+    /// Zipf by page id (page 0 hottest) with the given exponent.
+    Zipf {
+        /// The skew exponent; 0 degenerates to uniform.
+        theta: f64,
+    },
+}
+
+/// One client request: which page, and the slot at whose start the client
+/// tunes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// The requested page.
+    pub page: PageId,
+    /// Tune-in instant, as a slot index (taken modulo the program cycle by
+    /// consumers).
+    pub arrival: u64,
+}
+
+/// A request whose tune-in instant is a cycle *phase* in `[0, 1)` rather
+/// than a slot index.
+///
+/// Broadcast programs built by different algorithms for the same workload
+/// have different cycle lengths; to compare them on *identical* client
+/// behaviour, draw one normalized stream and [`materialize`] it per
+/// program.
+///
+/// [`materialize`]: NormalizedRequest::materialize
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedRequest {
+    /// The requested page.
+    pub page: PageId,
+    /// Tune-in phase within the cycle, in `[0, 1)`.
+    pub phase: f64,
+}
+
+impl NormalizedRequest {
+    /// Converts the phase into a concrete slot arrival for a cycle of
+    /// `cycle_len` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_len == 0`.
+    #[must_use]
+    pub fn materialize(self, cycle_len: u64) -> Request {
+        assert!(cycle_len > 0, "cycle length must be positive");
+        let slot = ((self.phase * cycle_len as f64) as u64).min(cycle_len - 1);
+        Request {
+            page: self.page,
+            arrival: slot,
+        }
+    }
+}
+
+/// Deterministic request-stream generator.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_workload::requests::{AccessPattern, RequestGenerator};
+///
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 42);
+/// let reqs = gen.take(3000, 9); // 3000 requests over a 9-slot cycle
+/// assert_eq!(reqs.len(), 3000);
+/// assert!(reqs.iter().all(|r| r.arrival < 9));
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    total_pages: u32,
+    pattern: AccessPattern,
+    zipf: Option<Zipf>,
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl RequestGenerator {
+    /// Creates a generator over `ladder`'s pages with the given pattern and
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Zipf pattern carries a negative or non-finite `theta`.
+    #[must_use]
+    pub fn new(ladder: &GroupLadder, pattern: AccessPattern, seed: u64) -> Self {
+        let total_pages =
+            u32::try_from(ladder.total_pages()).expect("ladder page count fits in u32");
+        let zipf = match pattern {
+            AccessPattern::Uniform => None,
+            AccessPattern::Zipf { theta } => Some(Zipf::new(total_pages as usize, theta)),
+        };
+        Self {
+            total_pages,
+            pattern,
+            zipf,
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed the generator was built with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The access pattern in use.
+    #[must_use]
+    pub fn pattern(&self) -> AccessPattern {
+        self.pattern
+    }
+
+    /// Draws the next request, with the arrival uniform over
+    /// `0 .. cycle_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_len == 0`.
+    pub fn next_request(&mut self, cycle_len: u64) -> Request {
+        assert!(cycle_len > 0, "cycle length must be positive");
+        let page_index = match &self.zipf {
+            None => self.rng.gen_range(0..self.total_pages),
+            Some(z) => u32::try_from(z.sample(&mut self.rng)).expect("page index fits in u32"),
+        };
+        Request {
+            page: PageId::new(page_index),
+            arrival: self.rng.gen_range(0..cycle_len),
+        }
+    }
+
+    /// Draws `count` requests over a `cycle_len`-slot cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_len == 0`.
+    pub fn take(&mut self, count: usize, cycle_len: u64) -> Vec<Request> {
+        (0..count).map(|_| self.next_request(cycle_len)).collect()
+    }
+
+    /// Draws `count` requests with Poisson arrivals: inter-arrival gaps
+    /// are exponential with mean `1 / rate` slots, accumulated from time
+    /// zero and rounded to whole slots. Arrivals are non-decreasing —
+    /// the natural input for the discrete-event simulation, where arrival
+    /// *rate* (not phase) drives on-demand congestion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn take_poisson(&mut self, count: usize, rate: f64) -> Vec<Request> {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive and finite"
+        );
+        let mut clock = 0.0f64;
+        (0..count)
+            .map(|_| {
+                // Inverse-transform sampling of Exp(rate).
+                let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                clock += -u.ln() / rate;
+                let page_index = match &self.zipf {
+                    None => self.rng.gen_range(0..self.total_pages),
+                    Some(z) => {
+                        u32::try_from(z.sample(&mut self.rng)).expect("page index fits in u32")
+                    }
+                };
+                Request {
+                    page: PageId::new(page_index),
+                    arrival: clock as u64,
+                }
+            })
+            .collect()
+    }
+
+    /// Draws `count` requests with *bursty* (on/off) arrivals: the stream
+    /// alternates between an ON state arriving at `base_rate *
+    /// burst_factor` and an OFF state arriving at `base_rate`, switching
+    /// state after each arrival with probability `p_switch` (geometric
+    /// state durations). `burst_factor = 1` degenerates to
+    /// [`RequestGenerator::take_poisson`].
+    ///
+    /// Flash-crowd behaviour like this is what stresses the on-demand
+    /// channel in the discrete-event simulation: the mean rate matches a
+    /// Poisson stream, but the peaks overload queues a mean-rate analysis
+    /// would call healthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_rate` or `burst_factor` is not finite and positive,
+    /// or `p_switch` is outside `[0, 1]`.
+    pub fn take_bursty(
+        &mut self,
+        count: usize,
+        base_rate: f64,
+        burst_factor: f64,
+        p_switch: f64,
+    ) -> Vec<Request> {
+        assert!(
+            base_rate.is_finite() && base_rate > 0.0,
+            "base rate must be positive and finite"
+        );
+        assert!(
+            burst_factor.is_finite() && burst_factor > 0.0,
+            "burst factor must be positive and finite"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_switch),
+            "switch probability must be in [0, 1]"
+        );
+        let mut clock = 0.0f64;
+        let mut bursting = false;
+        (0..count)
+            .map(|_| {
+                let rate = if bursting {
+                    base_rate * burst_factor
+                } else {
+                    base_rate
+                };
+                let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                clock += -u.ln() / rate;
+                if self.rng.gen::<f64>() < p_switch {
+                    bursting = !bursting;
+                }
+                let page_index = match &self.zipf {
+                    None => self.rng.gen_range(0..self.total_pages),
+                    Some(z) => {
+                        u32::try_from(z.sample(&mut self.rng)).expect("page index fits in u32")
+                    }
+                };
+                Request {
+                    page: PageId::new(page_index),
+                    arrival: clock as u64,
+                }
+            })
+            .collect()
+    }
+
+    /// Draws one cycle-length-agnostic request (phase in `[0, 1)`).
+    pub fn next_normalized(&mut self) -> NormalizedRequest {
+        let page_index = match &self.zipf {
+            None => self.rng.gen_range(0..self.total_pages),
+            Some(z) => u32::try_from(z.sample(&mut self.rng)).expect("page index fits in u32"),
+        };
+        NormalizedRequest {
+            page: PageId::new(page_index),
+            phase: self.rng.gen::<f64>(),
+        }
+    }
+
+    /// Draws `count` normalized requests.
+    pub fn take_normalized(&mut self, count: usize) -> Vec<NormalizedRequest> {
+        (0..count).map(|_| self.next_normalized()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> GroupLadder {
+        GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let l = ladder();
+        let a = RequestGenerator::new(&l, AccessPattern::Uniform, 7).take(100, 9);
+        let b = RequestGenerator::new(&l, AccessPattern::Uniform, 7).take(100, 9);
+        assert_eq!(a, b);
+        let c = RequestGenerator::new(&l, AccessPattern::Uniform, 8).take(100, 9);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pages_and_arrivals_in_range() {
+        let l = ladder();
+        let reqs = RequestGenerator::new(&l, AccessPattern::Uniform, 1).take(2000, 13);
+        assert!(reqs.iter().all(|r| r.page.index() < 11));
+        assert!(reqs.iter().all(|r| r.arrival < 13));
+        // All pages eventually requested.
+        let mut seen = vec![false; 11];
+        for r in &reqs {
+            seen[r.page.index() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let l = GroupLadder::new(vec![(2, 10)]).unwrap();
+        let reqs = RequestGenerator::new(&l, AccessPattern::Uniform, 3).take(50_000, 4);
+        let mut counts = [0u32; 10];
+        for r in &reqs {
+            counts[r.page.index() as usize] += 1;
+        }
+        for &c in &counts {
+            let freq = f64::from(c) / 50_000.0;
+            assert!((freq - 0.1).abs() < 0.01, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_on_low_ids() {
+        let l = GroupLadder::new(vec![(2, 10)]).unwrap();
+        let reqs = RequestGenerator::new(&l, AccessPattern::Zipf { theta: 1.2 }, 3).take(20_000, 4);
+        let mut counts = [0u32; 10];
+        for r in &reqs {
+            counts[r.page.index() as usize] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+    }
+
+    #[test]
+    fn accessors() {
+        let gen = RequestGenerator::new(&ladder(), AccessPattern::Uniform, 5);
+        assert_eq!(gen.seed(), 5);
+        assert_eq!(gen.pattern(), AccessPattern::Uniform);
+        assert_eq!(AccessPattern::default(), AccessPattern::Uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle length")]
+    fn zero_cycle_panics() {
+        let mut gen = RequestGenerator::new(&ladder(), AccessPattern::Uniform, 5);
+        let _ = gen.next_request(0);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotone_with_right_rate() {
+        let l = ladder();
+        let rate = 0.25; // one arrival every 4 slots on average
+        let reqs = RequestGenerator::new(&l, AccessPattern::Uniform, 21).take_poisson(20_000, rate);
+        assert_eq!(reqs.len(), 20_000);
+        for w in reqs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        let span = reqs.last().unwrap().arrival as f64;
+        let measured_rate = 20_000.0 / span;
+        assert!(
+            (measured_rate - rate).abs() < 0.01,
+            "measured rate {measured_rate}"
+        );
+        // Pages still drawn from the workload.
+        assert!(reqs.iter().all(|r| r.page.index() < 11));
+    }
+
+    #[test]
+    fn bursty_arrivals_are_monotone_and_spikier_than_poisson() {
+        let l = ladder();
+        let count = 30_000;
+        let poisson = RequestGenerator::new(&l, AccessPattern::Uniform, 8).take_poisson(count, 0.5);
+        let bursty = RequestGenerator::new(&l, AccessPattern::Uniform, 8)
+            .take_bursty(count, 0.25, 8.0, 0.02);
+        for w in bursty.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        // Burstiness: variance of per-window arrival counts, normalized by
+        // the mean (index of dispersion), is clearly higher for the bursty
+        // stream.
+        let dispersion = |reqs: &[Request]| -> f64 {
+            let horizon = reqs.last().unwrap().arrival + 1;
+            let window = (horizon / 200).max(1);
+            let mut counts = vec![0f64; (horizon / window + 1) as usize];
+            for r in reqs {
+                counts[(r.arrival / window) as usize] += 1.0;
+            }
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+            var / mean
+        };
+        let d_poisson = dispersion(&poisson);
+        let d_bursty = dispersion(&bursty);
+        assert!(
+            d_bursty > d_poisson * 2.0,
+            "bursty dispersion {d_bursty} vs poisson {d_poisson}"
+        );
+    }
+
+    #[test]
+    fn bursty_factor_one_is_poissonlike() {
+        let l = ladder();
+        let reqs =
+            RequestGenerator::new(&l, AccessPattern::Uniform, 9).take_bursty(5000, 0.5, 1.0, 0.1);
+        let span = reqs.last().unwrap().arrival as f64;
+        let rate = 5000.0 / span;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "switch probability")]
+    fn bursty_rejects_bad_switch_probability() {
+        let mut gen = RequestGenerator::new(&ladder(), AccessPattern::Uniform, 1);
+        let _ = gen.take_bursty(10, 1.0, 2.0, 1.5);
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let l = ladder();
+        let a = RequestGenerator::new(&l, AccessPattern::Uniform, 3).take_poisson(100, 0.5);
+        let b = RequestGenerator::new(&l, AccessPattern::Uniform, 3).take_poisson(100, 0.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate")]
+    fn poisson_rejects_bad_rate() {
+        let mut gen = RequestGenerator::new(&ladder(), AccessPattern::Uniform, 1);
+        let _ = gen.take_poisson(10, 0.0);
+    }
+
+    #[test]
+    fn normalized_requests_materialize_within_cycle() {
+        let mut gen = RequestGenerator::new(&ladder(), AccessPattern::Uniform, 9);
+        let normalized = gen.take_normalized(1000);
+        for cycle in [1u64, 9, 13, 512] {
+            for nr in &normalized {
+                let r = nr.materialize(cycle);
+                assert!(r.arrival < cycle);
+                assert_eq!(r.page, nr.page);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_same_pages_across_cycles() {
+        // The whole point: one stream, several programs, same page choices.
+        let mut gen = RequestGenerator::new(&ladder(), AccessPattern::Uniform, 10);
+        let normalized = gen.take_normalized(50);
+        let a: Vec<_> = normalized.iter().map(|nr| nr.materialize(9).page).collect();
+        let b: Vec<_> = normalized
+            .iter()
+            .map(|nr| nr.materialize(25).page)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phases_are_in_unit_interval() {
+        let mut gen = RequestGenerator::new(&ladder(), AccessPattern::Uniform, 11);
+        for nr in gen.take_normalized(500) {
+            assert!((0.0..1.0).contains(&nr.phase));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle length")]
+    fn materialize_zero_cycle_panics() {
+        let nr = NormalizedRequest {
+            page: PageId::new(0),
+            phase: 0.5,
+        };
+        let _ = nr.materialize(0);
+    }
+}

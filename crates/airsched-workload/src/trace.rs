@@ -1,0 +1,138 @@
+//! Request-trace serialization: record and replay client request streams.
+//!
+//! The paper's evaluation draws 3000 synthetic requests; real deployments
+//! measure against recorded traces. The format is one request per line,
+//! `arrival page`, with `#` comments and blank lines ignored:
+//!
+//! ```text
+//! # arrival page
+//! 0 4
+//! 3 17
+//! ```
+
+use core::fmt;
+
+use airsched_core::types::PageId;
+
+use crate::requests::Request;
+
+/// Error parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serializes requests to the trace format.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::types::PageId;
+/// use airsched_workload::requests::Request;
+/// use airsched_workload::trace::{parse_trace, write_trace};
+///
+/// let requests = vec![Request { page: PageId::new(4), arrival: 0 }];
+/// let text = write_trace(&requests);
+/// assert_eq!(parse_trace(&text).unwrap(), requests);
+/// ```
+#[must_use]
+pub fn write_trace(requests: &[Request]) -> String {
+    let mut out = String::from("# arrival page\n");
+    for r in requests {
+        out.push_str(&format!("{} {}\n", r.arrival, r.page.index()));
+    }
+    out
+}
+
+/// Parses the trace format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] describing the first malformed line.
+pub fn parse_trace(text: &str) -> Result<Vec<Request>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (arrival, page) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(p), None) => (a, p),
+            _ => {
+                return Err(ParseTraceError {
+                    line: line_no + 1,
+                    message: "expected 'arrival page'".into(),
+                })
+            }
+        };
+        let arrival: u64 = arrival.parse().map_err(|_| ParseTraceError {
+            line: line_no + 1,
+            message: format!("bad arrival '{arrival}'"),
+        })?;
+        let page: u32 = page.parse().map_err(|_| ParseTraceError {
+            line: line_no + 1,
+            message: format!("bad page id '{page}'"),
+        })?;
+        out.push(Request {
+            page: PageId::new(page),
+            arrival,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::requests::{AccessPattern, RequestGenerator};
+    use airsched_core::group::GroupLadder;
+
+    #[test]
+    fn round_trips_generated_traces() {
+        let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap();
+        let requests = RequestGenerator::new(&ladder, AccessPattern::Uniform, 4).take(500, 9);
+        let text = write_trace(&requests);
+        assert_eq!(parse_trace(&text).unwrap(), requests);
+    }
+
+    #[test]
+    fn tolerates_comments_and_blanks() {
+        let text = "# header\n\n 0 1 \n# mid\n5 2\n";
+        let requests = parse_trace(text).unwrap();
+        assert_eq!(requests.len(), 2);
+        assert_eq!(requests[1].arrival, 5);
+        assert_eq!(requests[1].page, PageId::new(2));
+    }
+
+    #[test]
+    fn reports_malformed_lines() {
+        let err = parse_trace("0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("expected"));
+        let err = parse_trace("0 1\nx 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bad arrival"));
+        let err = parse_trace("0 zz\n").unwrap_err();
+        assert!(err.message.contains("bad page id"));
+        let err = parse_trace("1 2 3\n").unwrap_err();
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn empty_trace_is_empty() {
+        assert!(parse_trace("").unwrap().is_empty());
+        assert!(parse_trace("# only comments\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Zipf-distributed page access sampling.
+//!
+//! The paper's evaluation uses uniform page access (`prob = 1/n`), but real
+//! broadcast workloads are famously skewed (Broadcast Disks, Acharya et
+//! al.), so the request generator also supports a Zipf law:
+//! `P(rank k) ∝ 1 / k^theta` for `k = 1..n`. `theta = 0` degenerates to
+//! uniform.
+
+use rand::Rng;
+
+/// A precomputed Zipf sampler over ranks `0 .. n-1` (rank 0 hottest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler for `n` items with exponent `theta >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or `theta` is negative or not finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use airsched_workload::zipf::Zipf;
+    ///
+    /// let z = Zipf::new(100, 0.8);
+    /// assert_eq!(z.len(), 100);
+    /// assert!(z.probability(0) > z.probability(99));
+    /// ```
+    #[must_use]
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and non-negative"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cumulative.last_mut().expect("n > 0") = 1.0;
+        Self { cumulative, theta }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler is empty (never: construction requires `n > 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// The exponent `theta`.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The probability mass of rank `rank` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn probability(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[rank] - self.cumulative[rank - 1]
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative is finite"))
+        {
+            Ok(idx) | Err(idx) => idx.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for theta in [0.0, 0.5, 0.95, 2.0] {
+            let z = Zipf::new(50, theta);
+            let sum: f64 = (0..50).map(|k| z.probability(k)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "theta={theta}: {sum}");
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.probability(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mild = Zipf::new(100, 0.5);
+        let harsh = Zipf::new(100, 1.5);
+        assert!(harsh.probability(0) > mild.probability(0));
+        assert!(harsh.probability(99) < mild.probability(99));
+    }
+
+    #[test]
+    fn sampling_matches_mass_roughly() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let freq = f64::from(count) / f64::from(draws);
+            let expect = z.probability(k);
+            assert!((freq - expect).abs() < 0.01, "rank {k}: {freq} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(100, 0.8);
+        let a: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..32).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..32).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_item_always_rank_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn negative_theta_panics() {
+        let _ = Zipf::new(5, -1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Capacity planning: how many channels does a deployment really need?
+//!
+//! Reproduces the paper's §5 headline observation on a mid-sized workload:
+//! the average delay collapses long before the channel budget reaches the
+//! Theorem 3.1 minimum — about one fifth of it is already "almost as good".
+//!
+//! Run with: `cargo run -p airsched-cli --example capacity_planning`
+
+use airsched_analysis::experiment::{one_fifth_summary, sweep_channels, ExperimentConfig};
+use airsched_analysis::report::{one_fifth_table, sweep_table};
+use airsched_workload::distributions::GroupSizeDistribution;
+use airsched_workload::spec::WorkloadSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-sized deployment so the example runs in a couple of seconds;
+    // the bench harness runs the full n=1000 paper configuration.
+    let config = ExperimentConfig {
+        spec: WorkloadSpec::new(200, 6, 4, 2).distribution(GroupSizeDistribution::Normal),
+        requests: 3000,
+        ..ExperimentConfig::paper_defaults()
+    };
+
+    let ladder = config.ladder()?;
+    let min = airsched_core::bound::minimum_channels(&ladder);
+    println!("workload: {ladder}");
+    println!("minimum channels: {min}\n");
+
+    let sweep = sweep_channels(&config, 1..=min)?;
+    println!("{}", sweep_table(&sweep).render());
+
+    println!("\nthe 1/5 rule across all four distributions:");
+    let mut rows = Vec::new();
+    for dist in GroupSizeDistribution::ALL {
+        rows.push(one_fifth_summary(&config.clone().with_distribution(dist))?);
+    }
+    println!("{}", one_fifth_table(&rows).render());
+
+    println!(
+        "\nreading: at N_min/5 channels the residual AvgD is already tiny \
+         compared to the single-channel case - a fifth of the spectrum buys \
+         nearly all of the service quality."
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Variable-length items end to end: a catalogue of multi-slot documents
+//! lowered onto unit pages, scheduled, and reassembled by a single-tuner
+//! client using greedy multi-page retrieval.
+//!
+//! Run with: `cargo run -p airsched-cli --example catalog_items`
+
+use airsched_core::bound::minimum_channels;
+use airsched_core::items::{ItemCatalogue, ItemId, ItemSpec};
+use airsched_core::susc;
+use airsched_sim::multiget::{retrieve_greedy, MultiRequest};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small content catalogue: lengths in slots, freshness requirements.
+    let items = [
+        ItemSpec {
+            length: 1,
+            expected_time: 4,
+        }, // breaking headline
+        ItemSpec {
+            length: 3,
+            expected_time: 8,
+        }, // article with photos
+        ItemSpec {
+            length: 2,
+            expected_time: 8,
+        }, // market summary
+        ItemSpec {
+            length: 4,
+            expected_time: 16,
+        }, // weather maps
+        ItemSpec {
+            length: 6,
+            expected_time: 32,
+        }, // long-form feature
+    ];
+    let catalogue = ItemCatalogue::build(&items, 2)?;
+    println!(
+        "catalogue: {} items -> {} unit pages, ladder {}",
+        catalogue.len(),
+        catalogue.ladder().total_pages(),
+        catalogue.ladder()
+    );
+
+    let n = minimum_channels(catalogue.ladder());
+    let program = susc::schedule(catalogue.ladder(), n)?;
+    println!(
+        "scheduled on {n} channels, cycle {} slots\n",
+        program.cycle_len()
+    );
+
+    // A single-tuner client assembles each item from several arrival
+    // instants; channel switches cost one slot.
+    for idx in 0..catalogue.len() {
+        let item = ItemId::new(u32::try_from(idx)?);
+        let spec = catalogue.spec(item);
+        let bound = catalogue.worst_case_assembly(item);
+        let mut worst = 0;
+        for arrival in 0..program.cycle_len() {
+            let req = MultiRequest {
+                pages: catalogue.pages_of(item).to_vec(),
+                arrival,
+            };
+            let access = retrieve_greedy(&program, &req, 1).expect("every part airs under SUSC");
+            worst = worst.max(access.completion_wait);
+        }
+        println!(
+            "{item}: {} slot(s), wanted within {:>2} -> worst single-tuner \
+             assembly {worst:>2} slots (analytic bound {bound})",
+            spec.length, spec.expected_time
+        );
+    }
+    println!(
+        "\nnote: single-tuner assembly can exceed the per-part expected time \
+         when parts collide in one column — the multi-channel guarantee is \
+         per page, and the switch cost adds on top (the trade-off the \
+         paper's reference [5] studies)."
+    );
+    Ok(())
+}

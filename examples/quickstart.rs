@@ -1,0 +1,46 @@
+//! Quickstart: the whole pipeline on a small workload.
+//!
+//! Run with: `cargo run -p airsched-cli --example quickstart`
+
+use airsched_core::bound::minimum_channels;
+use airsched_core::group::GroupLadder;
+use airsched_core::schedule::build_program;
+use airsched_core::validity;
+use airsched_sim::access::measure;
+use airsched_workload::requests::{AccessPattern, RequestGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A broadcast workload: 3 pages the clients expect within 2 slots,
+    // 5 within 4 slots, 3 within 8 slots (the paper's Figure 2 data set).
+    let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+    println!("workload: {ladder}");
+
+    // Theorem 3.1: how many channels would satisfy everyone?
+    let min = minimum_channels(&ladder);
+    println!("minimum channels for zero delay: {min}");
+
+    // With enough channels the facade picks SUSC and the program is valid:
+    // no client ever waits past its expected time, whenever it tunes in.
+    let outcome = build_program(&ladder, min)?;
+    println!("\nwith {min} channels -> {}", outcome.algorithm());
+    println!("{}", outcome.program().render_grid());
+    let report = validity::check(outcome.program(), &ladder);
+    println!("validity: {report}");
+
+    // With fewer channels it switches to PAMAD and minimizes average delay.
+    let scarce = build_program(&ladder, min - 1)?;
+    println!(
+        "\nwith {} channels -> {} (frequencies {:?})",
+        min - 1,
+        scarce.algorithm(),
+        scarce.frequencies()
+    );
+    println!("{}", scarce.program().render_grid());
+
+    // Measure what clients actually experience.
+    let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 42);
+    let requests = gen.take(3000, scarce.program().cycle_len());
+    let (summary, _) = measure(scarce.program(), &ladder, &requests);
+    println!("measured: {summary}");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Stock ticker scenario: arbitrary freshness requirements, impatient
+//! clients, and the on-demand fallback channel.
+//!
+//! The paper's §1 motivating example: stock quotes lose their value if they
+//! arrive late, and clients who give up on the broadcast hammer the pull
+//! channel. This example starts from *raw* per-symbol freshness
+//! requirements (not yet on a geometric ladder), rearranges them (§2),
+//! schedules under a channel shortage, and runs the full discrete-event
+//! simulation to see how much pull-channel congestion each scheduler
+//! causes.
+//!
+//! Run with: `cargo run -p airsched-cli --example stock_ticker`
+
+use airsched_core::bound::minimum_channels;
+use airsched_core::rearrange::Rearrangement;
+use airsched_core::{mpb, pamad};
+use airsched_sim::sim::{SimConfig, Simulation};
+use airsched_workload::requests::{AccessPattern, RequestGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Freshness requirements (slots) for 40 symbols across tiers: hot
+    // tech stocks want data within ~3 slots, blue chips within ~10,
+    // bonds/ETFs are relaxed.
+    let mut raw_times = Vec::new();
+    raw_times.extend(std::iter::repeat_n(3, 8)); // hot movers
+    raw_times.extend(std::iter::repeat_n(5, 6));
+    raw_times.extend(std::iter::repeat_n(10, 10)); // blue chips
+    raw_times.extend(std::iter::repeat_n(26, 10));
+    raw_times.extend(std::iter::repeat_n(50, 6)); // slow instruments
+
+    // Rearrange onto a geometric ladder (times round *down*, so every
+    // original requirement still holds).
+    let r = Rearrangement::with_ratio(&raw_times, 2)?;
+    let ladder = r.ladder().clone();
+    println!("rearranged workload: {ladder}");
+    println!(
+        "bandwidth slack from rounding: {:.2} (relative)",
+        r.relative_slack()
+    );
+
+    let min = minimum_channels(&ladder);
+    let available = (min / 2).max(1); // budget crunch: half the channels
+    println!("minimum channels {min}, available {available}\n");
+
+    // Clients: 4000 requests over a fixed horizon (same arrival rate for
+    // every scheduler, so the on-demand comparison is apples to apples).
+    let config = SimConfig {
+        patience_factor: 1.5,
+        ondemand_service_slots: 2,
+        ondemand_servers: 2,
+    };
+    let horizon = 4000;
+
+    for (name, program) in [
+        ("PAMAD", pamad::schedule(&ladder, available)?.into_program()),
+        ("m-PB ", mpb::schedule(&ladder, available)?.into_program()),
+    ] {
+        let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 2024);
+        let requests = gen.take(4000, horizon);
+        let report = Simulation::new(&program, &ladder, config).run(&requests);
+        println!("== {name} (cycle {} slots) ==", program.cycle_len());
+        println!("{report}\n");
+    }
+
+    println!(
+        "note: the better the broadcast schedule, the fewer clients abandon \
+         to the pull channel - the paper's core motivation."
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Traffic alert scenario: a sudden channel shortage and how PAMAD
+//! degrades gracefully where m-PB does not.
+//!
+//! Motivated by the paper's §1 example: accident warnings must reach
+//! drivers heading toward the site quickly; other road data (congestion
+//! maps, parking, weather) tolerates more staleness. A base station loses
+//! transmitters one by one and we watch the average delay of each policy.
+//!
+//! Run with: `cargo run -p airsched-cli --example traffic_alerts`
+
+use airsched_core::bound::minimum_channels;
+use airsched_core::delay::Weighting;
+use airsched_core::group::GroupLadder;
+use airsched_core::{mpb, opt, pamad};
+use airsched_sim::access::measure;
+use airsched_workload::requests::{AccessPattern, RequestGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Alert tiers: 6 urgent accident/closure alerts (8 slots), 20
+    // congestion segments (32 slots), 40 slower feeds (128 slots).
+    let ladder = GroupLadder::new(vec![(8, 6), (32, 20), (128, 40)])?;
+    let min = minimum_channels(&ladder);
+    println!("workload: {ladder}");
+    println!("minimum channels: {min}\n");
+
+    println!(
+        "{:>8}  {:>9} {:>9} {:>9}   (measured AvgD, slots)",
+        "channels", "PAMAD", "m-PB", "OPT"
+    );
+    for channels in (1..=min).rev() {
+        let pamad_p = pamad::schedule(&ladder, channels)?.into_program();
+        let mpb_p = mpb::schedule(&ladder, channels)?.into_program();
+        let opt_p = opt::search_r_structured(&ladder, channels, Weighting::PaperEq2)
+            .place(&ladder, channels)?
+            .into_program();
+
+        let mut row = Vec::new();
+        for program in [&pamad_p, &mpb_p, &opt_p] {
+            let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 7);
+            let requests = gen.take(3000, program.cycle_len());
+            let (summary, _) = measure(program, &ladder, &requests);
+            row.push(summary.avg_delay());
+        }
+        println!(
+            "{channels:>8}  {:>9.3} {:>9.3} {:>9.3}",
+            row[0], row[1], row[2]
+        );
+    }
+
+    println!(
+        "\nPAMAD hugs OPT at every shortage level; m-PB, which keeps full \
+         per-page frequency and just stretches its cycle, falls behind as \
+         channels disappear."
+    );
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! End-to-end reproduction checks at (scaled) paper scale: the qualitative
+//! claims of Figure 5 must hold on every distribution.
+
+use airsched_analysis::experiment::{sweep_channels, ExperimentConfig};
+use airsched_core::bound::minimum_channels;
+use airsched_workload::distributions::GroupSizeDistribution;
+use airsched_workload::spec::WorkloadSpec;
+
+/// A reduced paper workload (n = 250, h = 6) keeping the full pipeline but
+/// fast enough for CI; the bench binaries run the n = 1000 original.
+fn reduced_config(dist: GroupSizeDistribution) -> ExperimentConfig {
+    ExperimentConfig {
+        spec: WorkloadSpec::new(250, 6, 4, 2).distribution(dist),
+        requests: 3000,
+        ..ExperimentConfig::paper_defaults()
+    }
+}
+
+/// The three Figure 5 observations, per distribution:
+/// 1. PAMAD ~= OPT everywhere;
+/// 2. m-PB is clearly worse in the scarce region;
+/// 3. AvgD at ~N/5 channels is a tiny fraction of the 1-channel delay.
+#[test]
+fn figure5_shape_holds_on_all_distributions() {
+    for dist in GroupSizeDistribution::ALL {
+        let config = reduced_config(dist);
+        let ladder = config.ladder().unwrap();
+        let min = minimum_channels(&ladder);
+        let sweep = sweep_channels(&config, 1..=min).unwrap();
+
+        // (1) PAMAD tracks OPT: summed across the sweep, PAMAD is within
+        // 25% of OPT (the paper: "almost overlaps").
+        let sum_pamad: f64 = sweep.points.iter().map(|p| p.pamad).sum();
+        let sum_opt: f64 = sweep.points.iter().map(|p| p.opt).sum();
+        assert!(
+            sum_pamad <= sum_opt * 1.25 + 1.0,
+            "{dist}: PAMAD {sum_pamad:.2} vs OPT {sum_opt:.2}"
+        );
+
+        // (2) m-PB is much worse where channels are scarce (between 10%
+        // and 60% of the minimum; at the edges all methods converge).
+        let lo = (min / 10).max(2);
+        let hi = (min * 6 / 10).max(3);
+        let mut pamad_mid = 0.0;
+        let mut mpb_mid = 0.0;
+        for p in sweep
+            .points
+            .iter()
+            .filter(|p| p.channels >= lo && p.channels <= hi)
+        {
+            pamad_mid += p.pamad;
+            mpb_mid += p.mpb;
+        }
+        assert!(
+            mpb_mid > pamad_mid * 1.5,
+            "{dist}: m-PB ({mpb_mid:.2}) should clearly lose to PAMAD \
+             ({pamad_mid:.2}) in the scarce region"
+        );
+
+        // (3) the 1/5 rule: delay at ceil(min/5) is a small fraction of the
+        // single-channel delay (under 20% at this reduced scale; the full
+        // n=1000 workload lands near 2-5%, see EXPERIMENTS.md).
+        let at_1 = sweep.at(1).unwrap().pamad;
+        let fifth = min.div_ceil(5).max(1);
+        let at_fifth = sweep.at(fifth).unwrap().pamad;
+        // The collapse sharpens as N_min grows; with a tiny N_min/5 (a
+        // couple of channels) allow a looser factor.
+        let threshold = if fifth >= 5 { 0.20 } else { 0.35 };
+        assert!(
+            at_fifth < at_1 * threshold,
+            "{dist}: AvgD {at_fifth:.2} at {fifth} channels vs {at_1:.2} at 1"
+        );
+
+        // (4) monotone-ish decline: each point is at most 1.5x the previous
+        // (sampling noise allowance) and the last point is near zero.
+        for w in sweep.points.windows(2) {
+            assert!(
+                w[1].pamad <= w[0].pamad * 1.5 + 0.5,
+                "{dist}: AvgD rose sharply from {} ch ({:.3}) to {} ch ({:.3})",
+                w[0].channels,
+                w[0].pamad,
+                w[1].channels,
+                w[1].pamad
+            );
+        }
+        let last = sweep.points.last().unwrap();
+        assert!(
+            last.pamad < 1.0,
+            "{dist}: AvgD at minimum {:.3}",
+            last.pamad
+        );
+    }
+}
+
+/// The facade delivers a zero-delay program whenever channels suffice,
+/// for every distribution at reduced paper scale.
+#[test]
+fn sufficient_channels_meet_every_deadline_end_to_end() {
+    use airsched_sim::access::measure;
+    use airsched_workload::requests::{AccessPattern, RequestGenerator};
+
+    for dist in GroupSizeDistribution::ALL {
+        let ladder = reduced_config(dist).ladder().unwrap();
+        let min = minimum_channels(&ladder);
+        let outcome = airsched_core::build_program(&ladder, min).unwrap();
+        assert_eq!(outcome.algorithm(), airsched_core::Algorithm::Susc);
+        let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 11);
+        let requests = gen.take(3000, outcome.program().cycle_len());
+        let (summary, misses) = measure(outcome.program(), &ladder, &requests);
+        assert_eq!(misses, 0, "{dist}");
+        assert_eq!(summary.avg_delay(), 0.0, "{dist}");
+        assert_eq!(summary.hit_rate(), 1.0, "{dist}");
+    }
+}
+
+/// Zipf access does not break anything: sweeps still decline and PAMAD
+/// still beats m-PB (the paper assumes uniform; this guards the extension).
+#[test]
+fn zipf_access_preserves_ordering() {
+    use airsched_workload::requests::AccessPattern;
+    let config = ExperimentConfig {
+        access: AccessPattern::Zipf { theta: 0.9 },
+        ..reduced_config(GroupSizeDistribution::Uniform)
+    };
+    let ladder = config.ladder().unwrap();
+    let min = minimum_channels(&ladder);
+    let sweep = sweep_channels(&config, [1, min / 4, min / 2, min]).unwrap();
+    let first = sweep.points.first().unwrap();
+    let last = sweep.points.last().unwrap();
+    assert!(first.pamad > last.pamad);
+    let mid = sweep.at(min / 2).unwrap();
+    assert!(mid.mpb >= mid.pamad * 0.9);
+}

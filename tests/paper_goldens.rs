@@ -1,0 +1,101 @@
+//! Golden tests pinning every concrete number the paper states, across
+//! crate boundaries.
+
+use airsched_core::bound::{minimum_channels, minimum_channels_per_group};
+use airsched_core::delay::{group_objective, major_cycle, Weighting};
+use airsched_core::group::GroupLadder;
+use airsched_core::pamad;
+use airsched_core::rearrange::Rearrangement;
+use airsched_workload::distributions::GroupSizeDistribution;
+use airsched_workload::spec::WorkloadSpec;
+
+/// §3.1's example: P = (2, 3), t = (2, 4) needs `ceil(1.75) = 2` channels.
+#[test]
+fn theorem_31_example() {
+    let ladder = GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap();
+    assert_eq!(minimum_channels(&ladder), 2);
+    assert_eq!(minimum_channels_per_group(&ladder), 2);
+}
+
+/// §2's rearrangement example: times 2, 3, 4, 6, 9 -> 2, 2, 4, 4, 8 with
+/// three groups t = (2, 4, 8) and c = 2.
+#[test]
+fn section_2_rearrangement_example() {
+    let r = Rearrangement::with_ratio(&[2, 3, 4, 6, 9], 2).unwrap();
+    assert_eq!(r.ladder().times(), &[2, 4, 8]);
+    assert_eq!(r.ladder().page_counts(), &[2, 2, 1]);
+    assert_eq!(r.ladder().uniform_ratio(), Some(2));
+    let assigned: Vec<u64> = r.assignments().iter().map(|a| a.assigned_time).collect();
+    assert_eq!(assigned, vec![2, 2, 4, 4, 8]);
+}
+
+/// Figure 2's complete walk-through: the stage objectives, the chosen
+/// ratios, the final frequencies and the 9-slot cycle.
+#[test]
+fn figure_2_walkthrough() {
+    let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap();
+    // "From Equation (1) we know that four channels are minimally required".
+    assert_eq!(minimum_channels(&ladder), 4);
+
+    // Step 2: D'_2 = 0.12 at r1 = 1, D'_2 = 0 at r1 = 2.
+    let d = group_objective(&[2, 4], &[3, 5], &[1, 1], 3, Weighting::PaperEq2);
+    assert!((d - 0.125).abs() < 1e-9);
+    let d = group_objective(&[2, 4], &[3, 5], &[2, 1], 3, Weighting::PaperEq2);
+    assert_eq!(d, 0.0);
+
+    // Step 3: D'_3 = 0.15 at r2 = 1, 0.04 at r2 = 2.
+    let d = group_objective(&[2, 4, 8], &[3, 5, 3], &[2, 1, 1], 3, Weighting::PaperEq2);
+    assert!((d - 0.15476190476).abs() < 1e-9);
+    let d = group_objective(&[2, 4, 8], &[3, 5, 3], &[4, 2, 1], 3, Weighting::PaperEq2);
+    assert!((d - 0.04166666667).abs() < 1e-8);
+
+    // "S1 = 4, S2 = 2, S3 = 1" and "the cycle length is ceil(25/3) = 9".
+    let outcome = pamad::schedule(&ladder, 3).unwrap();
+    assert_eq!(outcome.plan().ratios(), &[2, 2]);
+    assert_eq!(outcome.plan().frequencies(), &[4, 2, 1]);
+    assert_eq!(major_cycle(&[3, 5, 3], &[4, 2, 1], 3), 9);
+    assert_eq!(outcome.program().cycle_len(), 9);
+    assert_eq!(outcome.program().occupied_slots(), 25);
+}
+
+/// Figure 4's parameter table is the library's default configuration.
+#[test]
+fn figure_4_defaults() {
+    let ladder = WorkloadSpec::paper_defaults().build().unwrap();
+    assert_eq!(ladder.total_pages(), 1000);
+    assert_eq!(ladder.group_count(), 8);
+    assert_eq!(ladder.times(), &[4, 8, 16, 32, 64, 128, 256, 512]);
+    assert_eq!(ladder.uniform_ratio(), Some(2));
+    let config = airsched_analysis::experiment::ExperimentConfig::paper_defaults();
+    assert_eq!(config.requests, 3000);
+}
+
+/// Figure 3: every distribution produces exactly n pages over h groups
+/// with its characteristic shape.
+#[test]
+fn figure_3_distribution_shapes() {
+    for dist in GroupSizeDistribution::ALL {
+        let counts = dist.page_counts(8, 1000);
+        assert_eq!(counts.iter().sum::<u64>(), 1000, "{dist}");
+    }
+    let normal = GroupSizeDistribution::Normal.page_counts(8, 1000);
+    assert!(normal[3] > normal[0] && normal[4] > normal[7]);
+    let l = GroupSizeDistribution::LSkewed.page_counts(8, 1000);
+    assert!(l.windows(2).all(|w| w[0] >= w[1]));
+    let s = GroupSizeDistribution::SSkewed.page_counts(8, 1000);
+    assert!(s.windows(2).all(|w| w[0] <= w[1]));
+    let u = GroupSizeDistribution::Uniform.page_counts(8, 1000);
+    assert_eq!(u, vec![125; 8]);
+}
+
+/// The tight bound differs from the typeset per-group formula exactly when
+/// fractional parts pack; the paper's own example uses the tight one.
+#[test]
+fn bound_variants_disagree_where_expected() {
+    let ladder = GroupLadder::new(vec![(2, 1), (4, 1)]).unwrap();
+    assert_eq!(minimum_channels(&ladder), 1);
+    assert_eq!(minimum_channels_per_group(&ladder), 2);
+    // SUSC really does succeed at the tight bound here.
+    let program = airsched_core::susc::schedule(&ladder, 1).unwrap();
+    assert!(airsched_core::validity::check(&program, &ladder).is_valid());
+}
