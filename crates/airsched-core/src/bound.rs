@@ -14,6 +14,7 @@
 //! `tests/` property tests exercising SUSC at the bound); the per-group
 //! variant is also provided for comparison.
 
+use crate::error::ScheduleError;
 use crate::group::GroupLadder;
 
 /// The tight minimum number of channels: `ceil(sum_i P_i / t_i)`.
@@ -72,6 +73,77 @@ pub fn minimum_channels_per_group(ladder: &GroupLadder) -> u32 {
         .map(|(t, p)| p.div_ceil(*t))
         .sum();
     u32::try_from(n).expect("minimum channel count fits in u32")
+}
+
+/// Theorem 3.1 for a raw catalogue: the minimum channels for `times`,
+/// one entry per page, with **no** ladder structure assumed —
+/// `ceil(sum_k 1 / t_k)` in exact rational arithmetic.
+///
+/// This is the decision rule of the fault-tolerant station's degradation
+/// ladder: while surviving channels stay at or above this bound a valid
+/// SUSC rebuild exists; below it the station must fall back to PAMAD
+/// best-effort.
+///
+/// An empty catalogue needs zero channels.
+///
+/// # Errors
+///
+/// * [`ScheduleError::InvalidFrequencies`] if any time is zero.
+/// * [`ScheduleError::WorkloadTooLarge`] if the exact running fraction
+///   overflows 128-bit arithmetic (astronomically many co-prime times).
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::bound::minimum_channels_for_times;
+///
+/// // Two pages at t=2 and three at t=4: 1 + 0.75 -> 2 channels.
+/// assert_eq!(minimum_channels_for_times(&[2, 2, 4, 4, 4])?, 2);
+/// // Times need not be harmonic.
+/// assert_eq!(minimum_channels_for_times(&[3, 8])?, 1);
+/// assert_eq!(minimum_channels_for_times(&[])?, 0);
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+pub fn minimum_channels_for_times(times: &[u64]) -> Result<u32, ScheduleError> {
+    // Running sum num/den, reduced by gcd after every step so the
+    // denominator stays the lcm of the distinct times seen so far.
+    let mut num: u128 = 0;
+    let mut den: u128 = 1;
+    for &t in times {
+        if t == 0 {
+            return Err(ScheduleError::InvalidFrequencies {
+                reason: "expected times must be positive",
+            });
+        }
+        let t = u128::from(t);
+        let g = gcd(den, t);
+        let scale = t / g;
+        num = num
+            .checked_mul(scale)
+            .and_then(|n| n.checked_add(den / g))
+            .ok_or(ScheduleError::WorkloadTooLarge {
+                reason: "channel-demand fraction overflows 128 bits",
+            })?;
+        den = den
+            .checked_mul(scale)
+            .ok_or(ScheduleError::WorkloadTooLarge {
+                reason: "channel-demand denominator overflows 128 bits",
+            })?;
+        let g = gcd(num, den);
+        num /= g;
+        den /= g;
+    }
+    let n = num.div_ceil(den);
+    u32::try_from(n).map_err(|_| ScheduleError::WorkloadTooLarge {
+        reason: "minimum channel count exceeds u32",
+    })
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
 }
 
 /// The exact channel *demand* `sum_i P_i / t_i` as a float, useful for
@@ -159,5 +231,37 @@ mod tests {
     fn large_counts_do_not_overflow() {
         let ladder = GroupLadder::new(vec![(1, 4_000_000)]).unwrap();
         assert_eq!(minimum_channels(&ladder), 4_000_000);
+    }
+
+    #[test]
+    fn catalogue_bound_matches_ladder_bound_on_ladder_times() {
+        let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap();
+        let mut times = Vec::new();
+        for (t, p) in ladder.times().iter().zip(ladder.page_counts()) {
+            times.extend(std::iter::repeat_n(*t, *p as usize));
+        }
+        assert_eq!(
+            minimum_channels_for_times(&times).unwrap(),
+            minimum_channels(&ladder)
+        );
+    }
+
+    #[test]
+    fn catalogue_bound_handles_non_harmonic_times() {
+        // 1/3 + 1/5 + 1/7 = 71/105 -> 1 channel.
+        assert_eq!(minimum_channels_for_times(&[3, 5, 7]).unwrap(), 1);
+        // 1/2 + 1/3 + 1/4 = 13/12 -> 2 channels.
+        assert_eq!(minimum_channels_for_times(&[2, 3, 4]).unwrap(), 2);
+        // Exact integer sums have no ceiling slack: 4 * (1/4) = 1.
+        assert_eq!(minimum_channels_for_times(&[4, 4, 4, 4]).unwrap(), 1);
+    }
+
+    #[test]
+    fn catalogue_bound_edge_cases() {
+        assert_eq!(minimum_channels_for_times(&[]).unwrap(), 0);
+        assert_eq!(minimum_channels_for_times(&[1]).unwrap(), 1);
+        assert!(minimum_channels_for_times(&[2, 0]).is_err());
+        // Many t=1 pages: demand is the page count itself.
+        assert_eq!(minimum_channels_for_times(&[1; 1000]).unwrap(), 1000);
     }
 }

@@ -29,7 +29,6 @@ use crate::types::PageId;
 
 /// Which analytic objective a frequency search minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Weighting {
     /// Equation 2 exactly as printed in the paper: access probability
     /// `S_i*P_i / F` and unnormalized overshoot product. Verified against

@@ -18,7 +18,6 @@ use crate::types::PageId;
 
 /// Which pages to sacrifice first when shrinking the workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DropPolicy {
     /// Drop pages with the *tightest* expected times first. Each such page
     /// frees `1/t_i` of a channel — the most per drop — so this minimizes

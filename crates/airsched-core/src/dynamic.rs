@@ -188,11 +188,40 @@ impl OnlineScheduler {
     ///   malformed (zero/non-dividing time, or a duplicate id).
     /// * [`ScheduleError::PlacementFailed`] on true capacity exhaustion.
     pub fn rebuild_with(&mut self, pending: &[(PageId, u64)]) -> Result<(), ScheduleError> {
+        self.rebuild_onto(self.program.channels(), pending)
+    }
+
+    /// Re-packs the live pages onto a *different* channel count — the SUSC
+    /// rung of the fault-tolerance ladder. Shrinking to the surviving
+    /// channels succeeds exactly when the survivors still satisfy
+    /// Theorem 3.1 for the live catalogue (plus packing granularity);
+    /// growing back on recovery always succeeds.
+    ///
+    /// On failure the scheduler is left unchanged, so callers can probe
+    /// ("would the live set fit on `n` channels?") and fall back to PAMAD
+    /// ([`crate::degrade::replan`]) when the answer is no.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::NoChannels`] if `channels == 0`.
+    /// * [`ScheduleError::PlacementFailed`] if the live pages do not fit.
+    pub fn rebuild_on_channels(&mut self, channels: u32) -> Result<(), ScheduleError> {
+        if channels == 0 {
+            return Err(ScheduleError::NoChannels);
+        }
+        self.rebuild_onto(channels, &[])
+    }
+
+    fn rebuild_onto(
+        &mut self,
+        channels: u32,
+        pending: &[(PageId, u64)],
+    ) -> Result<(), ScheduleError> {
         let mut order: Vec<(PageId, u64)> = self.pages.iter().map(|(p, t)| (*p, *t)).collect();
         order.extend_from_slice(pending);
         order.sort_by_key(|&(p, t)| (t, p));
         let snapshot = self.clone();
-        self.program = BroadcastProgram::new(self.program.channels(), self.program.cycle_len());
+        self.program = BroadcastProgram::new(channels, self.program.cycle_len());
         self.pages.clear();
         for (page, t) in order {
             if let Err(e) = self.add_page(page, t) {
@@ -301,6 +330,39 @@ mod tests {
         sched.rebuild().unwrap();
         assert_eq!(sched.pages(), before.pages());
         assert_valid(&sched);
+    }
+
+    #[test]
+    fn rebuild_on_channels_shrinks_and_grows() {
+        // Live set: 2 pages at t=2, 2 at t=4 -> demand 1.5, minimum 2.
+        let mut sched = OnlineScheduler::new(3, 8).unwrap();
+        sched.add_page(PageId::new(0), 2).unwrap();
+        sched.add_page(PageId::new(1), 2).unwrap();
+        sched.add_page(PageId::new(2), 4).unwrap();
+        sched.add_page(PageId::new(3), 4).unwrap();
+
+        // Shrink to the minimum: still valid.
+        sched.rebuild_on_channels(2).unwrap();
+        assert_eq!(sched.program().channels(), 2);
+        assert_valid(&sched);
+
+        // Below the minimum: refused, state unchanged.
+        let before = sched.clone();
+        assert!(matches!(
+            sched.rebuild_on_channels(1),
+            Err(ScheduleError::PlacementFailed { .. })
+        ));
+        assert_eq!(sched, before);
+
+        // Grow back: always fits.
+        sched.rebuild_on_channels(3).unwrap();
+        assert_eq!(sched.program().channels(), 3);
+        assert_valid(&sched);
+
+        assert!(matches!(
+            sched.rebuild_on_channels(0),
+            Err(ScheduleError::NoChannels)
+        ));
     }
 
     #[test]

@@ -13,7 +13,6 @@ use crate::types::{ExpectedTime, GroupId, PageId};
 
 /// Description of one group in a ladder: its expected time and page count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GroupInfo {
     /// The group's identifier (`G_{index+1}` in paper numbering).
     pub id: GroupId,
@@ -60,7 +59,6 @@ impl GroupInfo {
 /// # Ok::<(), airsched_core::error::ScheduleError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GroupLadder {
     times: Vec<u64>,
     pages: Vec<u64>,

@@ -65,6 +65,9 @@
 //! | [`mpb`] | §5 m-PB baseline |
 //! | [`opt`] | §5 OPT baseline |
 //! | [`schedule`] | regime selection facade |
+//! | [`dynamic`] | — (online add/remove over a valid program) |
+//! | [`degrade`] | — (catalogue re-planning for channel loss) |
+//! | [`retry`] | — (shared bounded-retry / tune-away policy) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -72,6 +75,7 @@
 #![warn(clippy::all)]
 
 pub mod bound;
+pub mod degrade;
 pub mod delay;
 pub mod dropping;
 pub mod dynamic;
@@ -84,6 +88,7 @@ pub mod pamad;
 pub mod program;
 pub mod rearrange;
 pub mod report;
+pub mod retry;
 pub mod schedule;
 pub mod susc;
 pub mod textio;

@@ -31,7 +31,6 @@ use crate::types::{ChannelId, GridPos, PageId, SlotIndex};
 /// # Ok::<(), airsched_core::program::SlotOccupied>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BroadcastProgram {
     channels: u32,
     cycle_len: u64,

@@ -29,7 +29,6 @@ pub struct Rearrangement {
 
 /// Where one original item landed after rearrangement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Assignment {
     /// The page id assigned in the rearranged ladder's group-major numbering.
     pub page: PageId,

@@ -1,0 +1,191 @@
+//! Shared retry and tune-away policy for unreliable reception paths.
+//!
+//! Both the wire-level receiver (`airsched-proto`) and the lossy-channel
+//! simulator (`airsched-sim`) bound how long a client keeps chasing a page
+//! over a noisy channel. Historically each carried its own ad-hoc
+//! `max_attempts` knob; [`RetryPolicy`] unifies them and adds the
+//! tune-away rule used by the fault-tolerant station: after a run of
+//! consecutive corrupt frames the client stops listening for a while
+//! (backs off) instead of burning battery on a channel that is clearly
+//! down.
+
+use core::fmt;
+
+/// Error constructing a [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryError {
+    reason: &'static str,
+}
+
+impl RetryError {
+    /// Human-readable description of the invalid parameter.
+    #[must_use]
+    pub const fn reason(&self) -> &'static str {
+        self.reason
+    }
+}
+
+impl fmt::Display for RetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid retry policy: {}", self.reason)
+    }
+}
+
+impl std::error::Error for RetryError {}
+
+/// Bounded-retry parameters for a receiver on an unreliable channel.
+///
+/// * `max_attempts` — per-page budget: how many broadcast occurrences a
+///   client will try to receive before abandoning the page.
+/// * `tune_away_after` — how many *consecutive* corrupt frames trigger a
+///   tune-away (the client assumes the channel is down).
+/// * `backoff_slots` — how many slots the client ignores the air after
+///   tuning away, before listening again.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::retry::RetryPolicy;
+///
+/// let policy = RetryPolicy::new(3)?.with_tune_away(2, 8)?;
+/// assert_eq!(policy.max_attempts(), 3);
+/// assert!(policy.allows_attempt(2));
+/// assert!(!policy.allows_attempt(3));
+/// assert!(RetryPolicy::new(0).is_err());
+/// # Ok::<(), airsched_core::retry::RetryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    tune_away_after: u32,
+    backoff_slots: u64,
+}
+
+impl RetryPolicy {
+    /// Creates a policy with a per-page budget of `max_attempts` tries and
+    /// no tune-away behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetryError`] if `max_attempts == 0` (a client that never
+    /// tries can never receive anything).
+    pub const fn new(max_attempts: u32) -> Result<Self, RetryError> {
+        if max_attempts == 0 {
+            return Err(RetryError {
+                reason: "max_attempts must be at least 1",
+            });
+        }
+        Ok(Self {
+            max_attempts,
+            tune_away_after: u32::MAX,
+            backoff_slots: 0,
+        })
+    }
+
+    /// A policy that retries forever and never tunes away.
+    #[must_use]
+    pub const fn unlimited() -> Self {
+        Self {
+            max_attempts: u32::MAX,
+            tune_away_after: u32::MAX,
+            backoff_slots: 0,
+        }
+    }
+
+    /// Adds a tune-away rule: after `after` consecutive corrupt frames,
+    /// ignore the air for `backoff_slots` slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetryError`] if `after == 0` (tuning away before the
+    /// first corruption would mean never listening at all).
+    pub const fn with_tune_away(self, after: u32, backoff_slots: u64) -> Result<Self, RetryError> {
+        if after == 0 {
+            return Err(RetryError {
+                reason: "tune_away_after must be at least 1",
+            });
+        }
+        Ok(Self {
+            tune_away_after: after,
+            backoff_slots,
+            ..self
+        })
+    }
+
+    /// The per-page attempt budget.
+    #[must_use]
+    pub const fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Consecutive corrupt frames tolerated before tuning away.
+    #[must_use]
+    pub const fn tune_away_after(&self) -> u32 {
+        self.tune_away_after
+    }
+
+    /// Slots spent ignoring the air after a tune-away.
+    #[must_use]
+    pub const fn backoff_slots(&self) -> u64 {
+        self.backoff_slots
+    }
+
+    /// Whether a page that has already burned `attempts_so_far` tries may
+    /// be attempted again.
+    #[must_use]
+    pub const fn allows_attempt(&self, attempts_so_far: u32) -> bool {
+        attempts_so_far < self.max_attempts
+    }
+}
+
+impl Default for RetryPolicy {
+    /// The permissive legacy behaviour: unlimited retries, no tune-away.
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_attempts_and_zero_tune_away() {
+        assert!(RetryPolicy::new(0).is_err());
+        assert!(RetryPolicy::new(1).unwrap().with_tune_away(0, 4).is_err());
+        let err = RetryPolicy::new(0).unwrap_err();
+        assert!(err.to_string().contains("max_attempts"));
+        assert!(!err.reason().is_empty());
+    }
+
+    #[test]
+    fn budget_is_exclusive_of_the_limit() {
+        let policy = RetryPolicy::new(2).unwrap();
+        assert!(policy.allows_attempt(0));
+        assert!(policy.allows_attempt(1));
+        assert!(!policy.allows_attempt(2));
+        assert!(!policy.allows_attempt(u32::MAX));
+    }
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let policy = RetryPolicy::unlimited();
+        assert!(policy.allows_attempt(u32::MAX - 1));
+        assert_eq!(policy.tune_away_after(), u32::MAX);
+        assert_eq!(RetryPolicy::default(), policy);
+    }
+
+    #[test]
+    fn tune_away_parameters_round_trip() {
+        let policy = RetryPolicy::new(5).unwrap().with_tune_away(3, 16).unwrap();
+        assert_eq!(policy.max_attempts(), 5);
+        assert_eq!(policy.tune_away_after(), 3);
+        assert_eq!(policy.backoff_slots(), 16);
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<RetryError>();
+    }
+}

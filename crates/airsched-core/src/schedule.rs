@@ -14,7 +14,6 @@ use crate::susc;
 
 /// Which algorithm the facade selected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Algorithm {
     /// Sufficient channels: SUSC, every expected time met.
     Susc,

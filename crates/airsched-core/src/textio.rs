@@ -2,8 +2,8 @@
 //!
 //! A broadcast program is operational state a server wants to persist,
 //! diff, and ship to transmitters; this module defines a stable,
-//! human-readable format for that (independent of the optional `serde`
-//! feature, which serializes the in-memory representation instead).
+//! human-readable format for that, with no external serialization
+//! dependencies.
 //!
 //! ```text
 //! airsched-program v1
@@ -107,6 +107,13 @@ pub fn parse_program(text: &str) -> Result<BroadcastProgram, ParseTextError> {
     let channels = u32::try_from(channels).map_err(|_| err(2, "channels out of range"))?;
     if channels == 0 || cycle == 0 {
         return Err(err(2, "channels and cycle must be positive"));
+    }
+    // Reject absurd header dimensions before allocating the grid: the
+    // allocation is `channels * cycle` cells and must not be driven into a
+    // capacity-overflow panic (or an OOM) by hostile input.
+    const MAX_PARSE_CELLS: u128 = 1 << 24;
+    if u128::from(channels) * u128::from(cycle) > MAX_PARSE_CELLS {
+        return Err(err(2, "program dimensions too large"));
     }
     let (grid_line_no, grid) = lines.next().ok_or_else(|| err(0, "missing 'grid'"))?;
     if grid.trim() != "grid" {

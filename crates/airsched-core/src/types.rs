@@ -22,7 +22,6 @@ use core::fmt;
 /// assert_eq!(p.to_string(), "p7");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PageId(u32);
 
 impl PageId {
@@ -72,7 +71,6 @@ impl From<PageId> for u32 {
 /// assert_eq!(g.to_string(), "G1");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GroupId(u32);
 
 impl GroupId {
@@ -117,7 +115,6 @@ impl From<u32> for GroupId {
 /// assert_eq!(ChannelId::new(2).to_string(), "ch2");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChannelId(u32);
 
 impl ChannelId {
@@ -152,7 +149,6 @@ impl From<u32> for ChannelId {
 /// The paper indexes slots from 1; the API is zero-based throughout and
 /// documents paper formulas in 1-based terms where they are quoted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SlotIndex(u64);
 
 impl SlotIndex {
@@ -196,7 +192,6 @@ impl From<u64> for SlotIndex {
 /// assert!(ExpectedTime::new(0).is_none());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExpectedTime(u64);
 
 impl ExpectedTime {
@@ -239,7 +234,6 @@ impl fmt::Display for ExpectedTime {
 /// Mirrors the paper's `(x, y)` pair returned by `GetAvailableSlot`, with
 /// zero-based indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GridPos {
     /// The channel (row).
     pub channel: ChannelId,

@@ -3,9 +3,21 @@
 //! [`Receiver`] consumes frames (one channel's worth or all channels'),
 //! tracks slot synchronization, detects gaps after dozing, and surfaces
 //! page receptions to the application.
+//!
+//! Real links corrupt frames. A receiver built with
+//! [`Receiver::with_policy`] carries an
+//! [`airsched_core::retry::RetryPolicy`] that bounds how long it chases a
+//! page through the noise: every corrupt occurrence of a wanted page
+//! ([`Receiver::consume_corrupt`]) burns one unit of that page's attempt
+//! budget, an exhausted budget abandons the page (the client would fall
+//! back to an on-demand channel), and a long enough run of *consecutive*
+//! corrupt frames tunes the receiver away from the air entirely for the
+//! policy's backoff window. [`Receiver::new`] keeps the legacy
+//! behaviour — unlimited patience — via [`RetryPolicy::unlimited`].
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
+use airsched_core::retry::RetryPolicy;
 use airsched_core::types::PageId;
 use bytes::Bytes;
 
@@ -25,12 +37,20 @@ pub struct Reception {
 /// Receiver statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReceiverStats {
-    /// Frames consumed (data + idle).
+    /// Frames consumed (data + idle + corrupt).
     pub frames: u64,
-    /// Data frames carrying a wanted page.
+    /// Data frames carrying a wanted page, received intact.
     pub hits: u64,
     /// Slot-clock gaps observed (frames whose slot_time skipped ahead).
     pub gaps: u64,
+    /// Corrupt frames seen (outside backoff windows).
+    pub corrupt: u64,
+    /// Wanted pages given up on after exhausting their attempt budget.
+    pub abandoned: u64,
+    /// Tune-aways triggered by runs of consecutive corrupt frames.
+    pub tune_aways: u64,
+    /// Frames ignored because they arrived inside a backoff window.
+    pub ignored: u64,
 }
 
 /// A client-side receiver with a set of wanted pages.
@@ -49,18 +69,57 @@ pub struct ReceiverStats {
 /// assert_eq!(got.page, PageId::new(3));
 /// assert!(rx.wanted().is_empty()); // satisfied
 /// ```
+///
+/// Bounded retries over a noisy link:
+///
+/// ```
+/// use airsched_core::retry::RetryPolicy;
+/// use airsched_core::types::{ChannelId, PageId};
+/// use airsched_proto::frame::Frame;
+/// use airsched_proto::receiver::Receiver;
+/// use bytes::Bytes;
+///
+/// let policy = RetryPolicy::new(2)?;
+/// let mut rx = Receiver::with_policy([PageId::new(3)], policy);
+/// let frame = Frame::data(ChannelId::new(0), 0, PageId::new(3), Bytes::new());
+/// assert_eq!(rx.consume_corrupt(&frame), None);           // one attempt left
+/// assert_eq!(rx.consume_corrupt(&frame), Some(PageId::new(3))); // abandoned
+/// assert!(rx.wanted().is_empty());
+/// assert!(rx.abandoned().contains(&PageId::new(3)));
+/// # Ok::<(), airsched_core::retry::RetryError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct Receiver {
     wanted: BTreeSet<PageId>,
+    /// Corrupt occurrences burned per still-wanted page.
+    attempts: BTreeMap<PageId, u32>,
+    /// Pages given up on (budget exhausted).
+    abandoned: BTreeSet<PageId>,
+    policy: RetryPolicy,
+    /// Length of the current run of consecutive corrupt frames.
+    corrupt_run: u32,
+    /// While set, frames with `slot_time` below it are ignored.
+    backoff_until: Option<u64>,
     last_slot: Option<u64>,
     stats: ReceiverStats,
 }
 
 impl Receiver {
-    /// Creates a receiver wanting the given pages.
+    /// Creates a receiver wanting the given pages, with unlimited retries
+    /// (the legacy behaviour).
     pub fn new(wanted: impl IntoIterator<Item = PageId>) -> Self {
+        Self::with_policy(wanted, RetryPolicy::unlimited())
+    }
+
+    /// Creates a receiver with a bounded [`RetryPolicy`].
+    pub fn with_policy(wanted: impl IntoIterator<Item = PageId>, policy: RetryPolicy) -> Self {
         Self {
             wanted: wanted.into_iter().collect(),
+            attempts: BTreeMap::new(),
+            abandoned: BTreeSet::new(),
+            policy,
+            corrupt_run: 0,
+            backoff_until: None,
             last_slot: None,
             stats: ReceiverStats::default(),
         }
@@ -72,8 +131,35 @@ impl Receiver {
         &self.wanted
     }
 
-    /// Adds a page to the want set.
+    /// Pages given up on after exhausting their attempt budget.
+    #[must_use]
+    pub fn abandoned(&self) -> &BTreeSet<PageId> {
+        &self.abandoned
+    }
+
+    /// The retry policy in force.
+    #[must_use]
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Corrupt occurrences burned so far for a still-wanted page.
+    #[must_use]
+    pub fn attempts_for(&self, page: PageId) -> u32 {
+        self.attempts.get(&page).copied().unwrap_or(0)
+    }
+
+    /// Whether the receiver is tuned away from the air at `slot_time`.
+    #[must_use]
+    pub fn is_backing_off(&self, slot_time: u64) -> bool {
+        self.backoff_until.is_some_and(|until| slot_time < until)
+    }
+
+    /// Adds a page to the want set (clearing any previous abandonment —
+    /// re-wanting a page restarts its budget).
     pub fn want(&mut self, page: PageId) {
+        self.abandoned.remove(&page);
+        self.attempts.remove(&page);
         self.wanted.insert(page);
     }
 
@@ -83,22 +169,25 @@ impl Receiver {
         self.stats
     }
 
-    /// Consumes one frame; returns a [`Reception`] if it satisfied a
-    /// wanted page (which is then removed from the want set).
+    /// Consumes one intact frame; returns a [`Reception`] if it satisfied
+    /// a wanted page (which is then removed from the want set).
+    ///
+    /// Frames arriving inside a tune-away backoff window are ignored —
+    /// the client is not listening, so even a wanted page passes it by.
     pub fn consume(&mut self, frame: &Frame) -> Option<Reception> {
         self.stats.frames += 1;
-        if let Some(last) = self.last_slot {
-            if frame.slot_time > last + 1 {
-                self.stats.gaps += 1;
-            }
+        if self.is_backing_off(frame.slot_time) {
+            self.stats.ignored += 1;
+            return None;
         }
-        self.last_slot = Some(
-            self.last_slot
-                .map_or(frame.slot_time, |l| l.max(frame.slot_time)),
-        );
+        self.backoff_until = None;
+        self.track_slot(frame.slot_time);
+        // Any intact frame proves the channel is alive again.
+        self.corrupt_run = 0;
 
         let page = frame.page?;
         if self.wanted.remove(&page) {
+            self.attempts.remove(&page);
             self.stats.hits += 1;
             Some(Reception {
                 page,
@@ -110,10 +199,63 @@ impl Receiver {
         }
     }
 
-    /// Whether every wanted page has been received.
+    /// Consumes one frame that arrived corrupted (its header survived,
+    /// its payload did not — the common failure on a bursty link).
+    ///
+    /// If the frame carried a wanted page, one unit of that page's
+    /// attempt budget is burned; returns `Some(page)` when this
+    /// corruption exhausted the budget and the page was abandoned. A long
+    /// enough run of consecutive corrupt frames triggers the policy's
+    /// tune-away: the receiver stops listening for `backoff_slots` slots.
+    pub fn consume_corrupt(&mut self, frame: &Frame) -> Option<PageId> {
+        self.stats.frames += 1;
+        if self.is_backing_off(frame.slot_time) {
+            self.stats.ignored += 1;
+            return None;
+        }
+        self.backoff_until = None;
+        self.track_slot(frame.slot_time);
+        self.stats.corrupt += 1;
+
+        let mut gave_up = None;
+        if let Some(page) = frame.page {
+            if self.wanted.contains(&page) {
+                let burned = self.attempts.entry(page).or_insert(0);
+                *burned = burned.saturating_add(1);
+                if *burned >= self.policy.max_attempts() {
+                    self.wanted.remove(&page);
+                    self.attempts.remove(&page);
+                    self.abandoned.insert(page);
+                    self.stats.abandoned += 1;
+                    gave_up = Some(page);
+                }
+            }
+        }
+
+        self.corrupt_run = self.corrupt_run.saturating_add(1);
+        if self.corrupt_run >= self.policy.tune_away_after() {
+            self.corrupt_run = 0;
+            self.backoff_until = Some(frame.slot_time + 1 + self.policy.backoff_slots());
+            self.stats.tune_aways += 1;
+        }
+        gave_up
+    }
+
+    /// Whether every wanted page has been received (abandoned pages no
+    /// longer count as wanted — the client has already fallen back to an
+    /// on-demand path for them).
     #[must_use]
     pub fn is_satisfied(&self) -> bool {
         self.wanted.is_empty()
+    }
+
+    fn track_slot(&mut self, slot_time: u64) {
+        if let Some(last) = self.last_slot {
+            if slot_time > last + 1 {
+                self.stats.gaps += 1;
+            }
+        }
+        self.last_slot = Some(self.last_slot.map_or(slot_time, |l| l.max(slot_time)));
     }
 }
 
@@ -192,5 +334,84 @@ mod tests {
         assert!(rx.is_satisfied());
         // Receiving it again is a no-op.
         assert!(rx.consume(&frame).is_none());
+    }
+
+    fn data(slot: u64, page: u32) -> Frame {
+        Frame::data(ChannelId::new(0), slot, PageId::new(page), Bytes::new())
+    }
+
+    #[test]
+    fn corrupt_occurrences_burn_the_attempt_budget() {
+        let policy = RetryPolicy::new(3).unwrap();
+        let mut rx = Receiver::with_policy([PageId::new(1)], policy);
+        assert_eq!(rx.consume_corrupt(&data(0, 1)), None);
+        assert_eq!(rx.attempts_for(PageId::new(1)), 1);
+        assert_eq!(rx.consume_corrupt(&data(2, 1)), None);
+        // Corrupt frames for other pages don't touch this budget.
+        assert_eq!(rx.consume_corrupt(&data(3, 9)), None);
+        assert_eq!(rx.attempts_for(PageId::new(1)), 2);
+        // Third corruption exhausts the budget.
+        assert_eq!(rx.consume_corrupt(&data(4, 1)), Some(PageId::new(1)));
+        assert!(rx.wanted().is_empty());
+        assert!(rx.abandoned().contains(&PageId::new(1)));
+        assert!(rx.is_satisfied()); // fell back to on-demand
+        assert_eq!(rx.stats().abandoned, 1);
+        assert_eq!(rx.stats().corrupt, 4);
+    }
+
+    #[test]
+    fn clean_reception_clears_the_attempt_count() {
+        let policy = RetryPolicy::new(2).unwrap();
+        let mut rx = Receiver::with_policy([PageId::new(1)], policy);
+        rx.consume_corrupt(&data(0, 1));
+        assert_eq!(rx.attempts_for(PageId::new(1)), 1);
+        assert!(rx.consume(&data(2, 1)).is_some());
+        assert_eq!(rx.attempts_for(PageId::new(1)), 0);
+        // Re-wanting the page after abandonment restarts its budget.
+        rx.consume_corrupt(&data(3, 1)); // not wanted: no budget burned
+        rx.want(PageId::new(1));
+        assert_eq!(rx.attempts_for(PageId::new(1)), 0);
+    }
+
+    #[test]
+    fn consecutive_corruption_tunes_the_receiver_away() {
+        let policy = RetryPolicy::unlimited().with_tune_away(2, 4).unwrap();
+        let mut rx = Receiver::with_policy([PageId::new(1)], policy);
+        rx.consume_corrupt(&data(0, 9));
+        assert!(!rx.is_backing_off(1));
+        rx.consume_corrupt(&data(1, 9)); // second in a row: tune away
+        assert_eq!(rx.stats().tune_aways, 1);
+        // Backing off through slots 2..=5; even a wanted page passes by.
+        assert!(rx.is_backing_off(2));
+        assert!(rx.consume(&data(3, 1)).is_none());
+        assert_eq!(rx.stats().ignored, 1);
+        assert!(!rx.is_satisfied());
+        // Listening again from slot 6.
+        assert!(!rx.is_backing_off(6));
+        assert!(rx.consume(&data(6, 1)).is_some());
+        assert!(rx.is_satisfied());
+    }
+
+    #[test]
+    fn intact_frames_reset_the_corrupt_run() {
+        let policy = RetryPolicy::unlimited().with_tune_away(2, 4).unwrap();
+        let mut rx = Receiver::with_policy([], policy);
+        rx.consume_corrupt(&data(0, 9));
+        rx.consume(&Frame::idle(ChannelId::new(0), 1)); // run broken
+        rx.consume_corrupt(&data(2, 9));
+        assert_eq!(rx.stats().tune_aways, 0);
+        rx.consume_corrupt(&data(3, 9));
+        assert_eq!(rx.stats().tune_aways, 1);
+    }
+
+    #[test]
+    fn unlimited_policy_never_abandons() {
+        let mut rx = Receiver::new([PageId::new(1)]);
+        for slot in 0..100 {
+            assert_eq!(rx.consume_corrupt(&data(slot, 1)), None);
+        }
+        assert!(rx.wanted().contains(&PageId::new(1)));
+        assert!(rx.abandoned().is_empty());
+        assert_eq!(rx.stats().tune_aways, 0);
     }
 }

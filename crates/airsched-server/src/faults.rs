@@ -1,0 +1,519 @@
+//! Deterministic fault injection for the broadcast station.
+//!
+//! A [`FaultPlan`] describes *what goes wrong*: a scripted list of
+//! [`FaultEvent`]s (channel outages and recoveries, one-slot transmitter
+//! stalls, corrupted frames) plus optional seed-driven random fault rates.
+//! A [`FaultInjector`] executes the plan slot by slot, handing the station
+//! one [`SlotFaults`] per tick.
+//!
+//! Everything here is deterministic: the injector draws a fixed number of
+//! random samples per channel per slot (whether or not each sample is
+//! used), so two injectors built from the same plan produce byte-identical
+//! fault streams — and therefore two identically-driven stations produce
+//! identical [`crate::TickOutcome`] streams. That property is what makes
+//! chaos tests reproducible.
+
+use airsched_core::types::ChannelId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One scripted fault, pinned to an absolute slot time.
+///
+/// Events whose channel is out of range for the station are ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultEvent {
+    /// The channel's transmitter dies at the start of slot `at`.
+    Down {
+        /// Slot at which the outage begins.
+        at: u64,
+        /// The failing channel.
+        channel: ChannelId,
+    },
+    /// The channel's transmitter comes back at the start of slot `at`.
+    Up {
+        /// Slot at which the recovery happens.
+        at: u64,
+        /// The recovering channel.
+        channel: ChannelId,
+    },
+    /// The transmitter stalls for exactly slot `at`: nothing is sent, the
+    /// carrier goes idle for one slot.
+    Stall {
+        /// The stalled slot.
+        at: u64,
+        /// The stalling channel.
+        channel: ChannelId,
+    },
+    /// The frame sent in slot `at` goes out corrupted: receivers see the
+    /// transmission but cannot use it.
+    Corrupt {
+        /// The corrupted slot.
+        at: u64,
+        /// The corrupting channel.
+        channel: ChannelId,
+    },
+}
+
+impl FaultEvent {
+    /// The slot this event fires in.
+    #[must_use]
+    pub fn at(&self) -> u64 {
+        match self {
+            Self::Down { at, .. }
+            | Self::Up { at, .. }
+            | Self::Stall { at, .. }
+            | Self::Corrupt { at, .. } => *at,
+        }
+    }
+
+    /// The channel this event targets.
+    #[must_use]
+    pub fn channel(&self) -> ChannelId {
+        match self {
+            Self::Down { channel, .. }
+            | Self::Up { channel, .. }
+            | Self::Stall { channel, .. }
+            | Self::Corrupt { channel, .. } => *channel,
+        }
+    }
+}
+
+/// A reproducible description of the faults to inject into a station.
+///
+/// Combines a scripted event list (applied at exact slots, always winning
+/// over the random phase) with per-slot, per-channel random fault
+/// probabilities drawn from a seeded generator.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::types::ChannelId;
+/// use airsched_server::faults::{FaultEvent, FaultPlan};
+///
+/// // Channel 1 dies at slot 10 and recovers at slot 30; on top of that,
+/// // 1% of frames are corrupted at random (seed 7).
+/// let plan = FaultPlan::seeded(7)
+///     .with_corruption(0.01)
+///     .with_script(vec![
+///         FaultEvent::Down { at: 10, channel: ChannelId::new(1) },
+///         FaultEvent::Up { at: 30, channel: ChannelId::new(1) },
+///     ]);
+/// assert_eq!(plan.script().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    script: Vec<FaultEvent>,
+    seed: u64,
+    outage: f64,
+    recovery: f64,
+    stall: f64,
+    corruption: f64,
+}
+
+fn assert_probability(p: f64, what: &str) {
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "{what} must be a probability in [0, 1], got {p}"
+    );
+}
+
+impl FaultPlan {
+    /// A purely scripted plan: no random faults at all.
+    #[must_use]
+    pub fn scripted(events: Vec<FaultEvent>) -> Self {
+        Self::seeded(0).with_script(events)
+    }
+
+    /// An empty plan drawing random faults from `seed` (rates default to
+    /// zero; set them with the `with_*` builders).
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            script: Vec::new(),
+            seed,
+            outage: 0.0,
+            recovery: 0.0,
+            stall: 0.0,
+            corruption: 0.0,
+        }
+    }
+
+    /// Replaces the scripted event list.
+    #[must_use]
+    pub fn with_script(mut self, events: Vec<FaultEvent>) -> Self {
+        self.script = events;
+        self
+    }
+
+    /// Per-slot probability that a live channel fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability in `[0, 1]`.
+    #[must_use]
+    pub fn with_outage(mut self, p: f64) -> Self {
+        assert_probability(p, "outage rate");
+        self.outage = p;
+        self
+    }
+
+    /// Per-slot probability that a dead channel recovers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability in `[0, 1]`.
+    #[must_use]
+    pub fn with_recovery(mut self, p: f64) -> Self {
+        assert_probability(p, "recovery rate");
+        self.recovery = p;
+        self
+    }
+
+    /// Per-slot probability that a live channel stalls for one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability in `[0, 1]`.
+    #[must_use]
+    pub fn with_stalls(mut self, p: f64) -> Self {
+        assert_probability(p, "stall rate");
+        self.stall = p;
+        self
+    }
+
+    /// Per-slot probability that a live channel's frame goes out corrupted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability in `[0, 1]`.
+    #[must_use]
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        assert_probability(p, "corruption rate");
+        self.corruption = p;
+        self
+    }
+
+    /// The scripted events (in the order they were supplied).
+    #[must_use]
+    pub fn script(&self) -> &[FaultEvent] {
+        &self.script
+    }
+
+    /// The random-phase seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// The faults affecting one slot, as produced by [`FaultInjector::sample`].
+///
+/// `stalled` and `corrupted` are indexed by physical channel; transition
+/// lists record channels whose up/down state changed *this* slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotFaults {
+    /// Channels that failed at the start of this slot.
+    pub went_down: Vec<ChannelId>,
+    /// Channels that recovered at the start of this slot.
+    pub came_up: Vec<ChannelId>,
+    /// Per-channel: transmitter stalled for this slot (nothing sent).
+    pub stalled: Vec<bool>,
+    /// Per-channel: this slot's frame goes out corrupted.
+    pub corrupted: Vec<bool>,
+}
+
+impl SlotFaults {
+    /// Whether this slot is entirely fault-free.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.went_down.is_empty()
+            && self.came_up.is_empty()
+            && !self.stalled.iter().any(|&s| s)
+            && !self.corrupted.iter().any(|&c| c)
+    }
+}
+
+/// Executes a [`FaultPlan`] against a fixed channel count, one slot at a
+/// time.
+///
+/// The injector owns the authoritative up/down state of every channel. The
+/// random phase draws exactly four samples per channel per slot (outage,
+/// recovery, stall, corruption) regardless of whether each applies, so the
+/// random stream never depends on channel state and runs stay reproducible
+/// even when scripts and random faults interleave.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    script: Vec<FaultEvent>,
+    cursor: usize,
+    rng: SmallRng,
+    up: Vec<bool>,
+    outage: f64,
+    recovery: f64,
+    stall: f64,
+    corruption: f64,
+}
+
+impl FaultInjector {
+    /// Builds an injector for a station with `channels` transmitters, all
+    /// initially up.
+    #[must_use]
+    pub fn new(plan: &FaultPlan, channels: u32) -> Self {
+        let mut script = plan.script.clone();
+        // Stable: same-slot events keep their scripted order.
+        script.sort_by_key(FaultEvent::at);
+        Self {
+            script,
+            cursor: 0,
+            rng: SmallRng::seed_from_u64(plan.seed),
+            up: vec![true; channels as usize],
+            outage: plan.outage,
+            recovery: plan.recovery,
+            stall: plan.stall,
+            corruption: plan.corruption,
+        }
+    }
+
+    /// Number of channels being injected into.
+    #[must_use]
+    pub fn channels(&self) -> u32 {
+        u32::try_from(self.up.len()).expect("channel count fits in u32")
+    }
+
+    /// Whether `channel` is currently up (out-of-range channels are down).
+    #[must_use]
+    pub fn is_up(&self, channel: ChannelId) -> bool {
+        self.up
+            .get(channel.index() as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// How many channels are currently up.
+    #[must_use]
+    pub fn up_count(&self) -> u32 {
+        u32::try_from(self.up.iter().filter(|&&u| u).count()).expect("fits in u32")
+    }
+
+    /// Forces `channel` down outside the plan (mirrors a station-side
+    /// manual failure so plan and station agree on channel state).
+    pub fn force_down(&mut self, channel: ChannelId) {
+        if let Some(up) = self.up.get_mut(channel.index() as usize) {
+            *up = false;
+        }
+    }
+
+    /// Forces `channel` up outside the plan.
+    pub fn force_up(&mut self, channel: ChannelId) {
+        if let Some(up) = self.up.get_mut(channel.index() as usize) {
+            *up = true;
+        }
+    }
+
+    /// Produces the faults for slot `time`.
+    ///
+    /// `time` must advance monotonically across calls for scripted events
+    /// to fire (each is applied the first time `sample` sees a slot at or
+    /// past its `at`).
+    pub fn sample(&mut self, time: u64) -> SlotFaults {
+        let n = self.up.len();
+        let before = self.up.clone();
+        let mut stalled = vec![false; n];
+        let mut corrupted = vec![false; n];
+
+        // Random phase: a fixed four draws per channel, state-independent.
+        for ch in 0..n {
+            let outage_draw: f64 = self.rng.gen();
+            let recovery_draw: f64 = self.rng.gen();
+            let stall_draw: f64 = self.rng.gen();
+            let corrupt_draw: f64 = self.rng.gen();
+            if self.up[ch] && outage_draw < self.outage {
+                self.up[ch] = false;
+            } else if !self.up[ch] && recovery_draw < self.recovery {
+                self.up[ch] = true;
+            }
+            stalled[ch] = stall_draw < self.stall;
+            corrupted[ch] = corrupt_draw < self.corruption;
+        }
+
+        // Scripted phase: overrides whatever the random phase decided.
+        while let Some(event) = self.script.get(self.cursor) {
+            if event.at() > time {
+                break;
+            }
+            let ch = event.channel().index() as usize;
+            if ch < n {
+                match event {
+                    FaultEvent::Down { .. } => self.up[ch] = false,
+                    FaultEvent::Up { .. } => self.up[ch] = true,
+                    FaultEvent::Stall { at, .. } if *at == time => stalled[ch] = true,
+                    FaultEvent::Corrupt { at, .. } if *at == time => corrupted[ch] = true,
+                    // A stall/corrupt slot that was skipped over (the
+                    // caller jumped past it) has no lasting effect.
+                    FaultEvent::Stall { .. } | FaultEvent::Corrupt { .. } => {}
+                }
+            }
+            self.cursor += 1;
+        }
+
+        let mut went_down = Vec::new();
+        let mut came_up = Vec::new();
+        for (ch, &was_up) in before.iter().enumerate() {
+            let id = ChannelId::new(u32::try_from(ch).expect("channel fits in u32"));
+            match (was_up, self.up[ch]) {
+                (true, false) => went_down.push(id),
+                (false, true) => came_up.push(id),
+                _ => {}
+            }
+        }
+        // Down channels transmit nothing, so stall/corrupt flags only
+        // matter for live ones; mask them for cleanliness.
+        for ch in 0..n {
+            if !self.up[ch] {
+                stalled[ch] = false;
+                corrupted[ch] = false;
+            }
+        }
+
+        SlotFaults {
+            went_down,
+            came_up,
+            stalled,
+            corrupted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch(i: u32) -> ChannelId {
+        ChannelId::new(i)
+    }
+
+    #[test]
+    fn scripted_outage_and_recovery_fire_on_time() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent::Down {
+                at: 2,
+                channel: ch(0),
+            },
+            FaultEvent::Up {
+                at: 5,
+                channel: ch(0),
+            },
+        ]);
+        let mut inj = FaultInjector::new(&plan, 2);
+        assert!(inj.sample(0).is_clean());
+        assert!(inj.sample(1).is_clean());
+        let f = inj.sample(2);
+        assert_eq!(f.went_down, vec![ch(0)]);
+        assert!(!inj.is_up(ch(0)));
+        assert_eq!(inj.up_count(), 1);
+        assert!(inj.sample(3).is_clean());
+        assert!(inj.sample(4).is_clean());
+        let f = inj.sample(5);
+        assert_eq!(f.came_up, vec![ch(0)]);
+        assert!(inj.is_up(ch(0)));
+    }
+
+    #[test]
+    fn scripted_stall_and_corrupt_last_one_slot() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent::Stall {
+                at: 1,
+                channel: ch(0),
+            },
+            FaultEvent::Corrupt {
+                at: 1,
+                channel: ch(1),
+            },
+        ]);
+        let mut inj = FaultInjector::new(&plan, 2);
+        assert!(inj.sample(0).is_clean());
+        let f = inj.sample(1);
+        assert_eq!(f.stalled, vec![true, false]);
+        assert_eq!(f.corrupted, vec![false, true]);
+        assert!(inj.sample(2).is_clean());
+    }
+
+    #[test]
+    fn same_seed_means_identical_fault_streams() {
+        let plan = FaultPlan::seeded(42)
+            .with_outage(0.1)
+            .with_recovery(0.3)
+            .with_stalls(0.05)
+            .with_corruption(0.2);
+        let mut a = FaultInjector::new(&plan, 4);
+        let mut b = FaultInjector::new(&plan, 4);
+        for t in 0..500 {
+            assert_eq!(a.sample(t), b.sample(t), "diverged at slot {t}");
+        }
+    }
+
+    #[test]
+    fn random_faults_actually_happen_and_recover() {
+        let plan = FaultPlan::seeded(7).with_outage(0.2).with_recovery(0.5);
+        let mut inj = FaultInjector::new(&plan, 3);
+        let mut saw_down = false;
+        let mut saw_up = false;
+        for t in 0..200 {
+            let f = inj.sample(t);
+            saw_down |= !f.went_down.is_empty();
+            saw_up |= !f.came_up.is_empty();
+        }
+        assert!(saw_down && saw_up);
+    }
+
+    #[test]
+    fn out_of_range_scripted_channels_are_ignored() {
+        let plan = FaultPlan::scripted(vec![FaultEvent::Down {
+            at: 0,
+            channel: ch(9),
+        }]);
+        let mut inj = FaultInjector::new(&plan, 2);
+        assert!(inj.sample(0).is_clean());
+        assert_eq!(inj.up_count(), 2);
+        assert!(!inj.is_up(ch(9)));
+    }
+
+    #[test]
+    fn force_down_and_up_mirror_station_state() {
+        let mut inj = FaultInjector::new(&FaultPlan::seeded(0), 2);
+        inj.force_down(ch(1));
+        assert_eq!(inj.up_count(), 1);
+        inj.force_up(ch(1));
+        assert_eq!(inj.up_count(), 2);
+        inj.force_down(ch(7)); // out of range: no-op
+        assert_eq!(inj.up_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_rates_above_one() {
+        let _ = FaultPlan::seeded(0).with_outage(1.5);
+    }
+
+    #[test]
+    fn down_channels_do_not_stall_or_corrupt() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent::Down {
+                at: 0,
+                channel: ch(0),
+            },
+            FaultEvent::Stall {
+                at: 1,
+                channel: ch(0),
+            },
+            FaultEvent::Corrupt {
+                at: 1,
+                channel: ch(0),
+            },
+        ]);
+        let mut inj = FaultInjector::new(&plan, 1);
+        inj.sample(0);
+        let f = inj.sample(1);
+        assert_eq!(f.stalled, vec![false]);
+        assert_eq!(f.corrupted, vec![false]);
+    }
+}

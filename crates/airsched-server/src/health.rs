@@ -1,0 +1,325 @@
+//! Per-channel health monitoring for the broadcast station.
+//!
+//! The station reports every transmission attempt to a [`HealthMonitor`]
+//! as a [`SlotObservation`]; the monitor aggregates them into windowed
+//! error and stall rates per channel and compares them against
+//! [`HealthThresholds`], emitting a typed [`ChannelEvent`] whenever a
+//! channel crosses into or out of the degraded band. Hard outages and
+//! recoveries (which the station learns about from the fault injector or
+//! its manual failure API, not from observations) are reported through the
+//! same event type so a single consumer sees the whole health picture.
+//!
+//! Rates are carried as integer *permille* (parts per thousand) so events
+//! stay `Eq`/`Hash`-able and tick outcomes remain exactly comparable
+//! across runs — a requirement for the deterministic chaos tests.
+
+use airsched_core::types::ChannelId;
+
+/// What the station observed on one channel in one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotObservation {
+    /// A frame went out intact.
+    Clean,
+    /// A transmission was due but the transmitter stalled.
+    Stalled,
+    /// A frame went out corrupted.
+    Corrupt,
+}
+
+/// Thresholds that separate a healthy channel from a degraded one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HealthThresholds {
+    /// Observations per evaluation window (rates are computed once per
+    /// full window).
+    pub window: u32,
+    /// Corrupt-frame rate, in permille, at or above which the channel is
+    /// flagged degraded.
+    pub error_permille: u32,
+    /// Stall rate, in permille, at or above which the channel is flagged
+    /// degraded.
+    pub stall_permille: u32,
+}
+
+impl Default for HealthThresholds {
+    /// 32-observation windows; 25% errors or stalls flag the channel.
+    fn default() -> Self {
+        Self {
+            window: 32,
+            error_permille: 250,
+            stall_permille: 250,
+        }
+    }
+}
+
+/// A health-state transition on one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelEvent {
+    /// The channel's transmitter failed (hard outage).
+    Down {
+        /// The failed channel.
+        channel: ChannelId,
+        /// The slot the outage took effect.
+        at: u64,
+    },
+    /// The channel's transmitter recovered.
+    Up {
+        /// The recovered channel.
+        channel: ChannelId,
+        /// The slot the recovery took effect.
+        at: u64,
+    },
+    /// The channel's windowed error/stall rates crossed the degraded
+    /// threshold.
+    Degraded {
+        /// The degraded channel.
+        channel: ChannelId,
+        /// The slot the window completed.
+        at: u64,
+        /// Corrupt-frame rate over the window, in permille.
+        error_permille: u32,
+        /// Stall rate over the window, in permille.
+        stall_permille: u32,
+    },
+    /// A previously degraded channel completed a window back under the
+    /// thresholds.
+    Healthy {
+        /// The recovered channel.
+        channel: ChannelId,
+        /// The slot the window completed.
+        at: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ChannelHealth {
+    samples: u32,
+    errors: u32,
+    stalls: u32,
+    degraded: bool,
+}
+
+/// Windowed per-channel error/stall-rate tracking.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::types::ChannelId;
+/// use airsched_server::health::{
+///     ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation,
+/// };
+///
+/// let thresholds = HealthThresholds { window: 4, error_permille: 500, stall_permille: 500 };
+/// let mut monitor = HealthMonitor::new(2, thresholds);
+/// let ch = ChannelId::new(0);
+/// // Three corrupt frames out of four trip the 50% threshold.
+/// monitor.record(ch, SlotObservation::Corrupt, 0);
+/// monitor.record(ch, SlotObservation::Corrupt, 1);
+/// monitor.record(ch, SlotObservation::Clean, 2);
+/// let event = monitor.record(ch, SlotObservation::Corrupt, 3);
+/// assert!(matches!(event, Some(ChannelEvent::Degraded { error_permille: 750, .. })));
+/// assert!(monitor.is_degraded(ch));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    thresholds: HealthThresholds,
+    channels: Vec<ChannelHealth>,
+}
+
+impl HealthMonitor {
+    /// A monitor for `channels` channels, all initially healthy.
+    ///
+    /// A zero `window` in the thresholds is bumped to 1 (an empty window
+    /// can never complete).
+    #[must_use]
+    pub fn new(channels: u32, mut thresholds: HealthThresholds) -> Self {
+        thresholds.window = thresholds.window.max(1);
+        Self {
+            thresholds,
+            channels: vec![ChannelHealth::default(); channels as usize],
+        }
+    }
+
+    /// The active thresholds.
+    #[must_use]
+    pub fn thresholds(&self) -> HealthThresholds {
+        self.thresholds
+    }
+
+    /// Whether `channel` is currently flagged degraded (out-of-range
+    /// channels are not).
+    #[must_use]
+    pub fn is_degraded(&self, channel: ChannelId) -> bool {
+        self.channels
+            .get(channel.index() as usize)
+            .is_some_and(|c| c.degraded)
+    }
+
+    /// Records one observation; returns an event if the completed window
+    /// moved the channel across the degraded boundary.
+    ///
+    /// Out-of-range channels are ignored.
+    pub fn record(
+        &mut self,
+        channel: ChannelId,
+        observation: SlotObservation,
+        at: u64,
+    ) -> Option<ChannelEvent> {
+        let state = self.channels.get_mut(channel.index() as usize)?;
+        state.samples += 1;
+        match observation {
+            SlotObservation::Clean => {}
+            SlotObservation::Stalled => state.stalls += 1,
+            SlotObservation::Corrupt => state.errors += 1,
+        }
+        if state.samples < self.thresholds.window {
+            return None;
+        }
+        let error_permille = state.errors * 1000 / state.samples;
+        let stall_permille = state.stalls * 1000 / state.samples;
+        let was_degraded = state.degraded;
+        state.degraded = error_permille >= self.thresholds.error_permille
+            || stall_permille >= self.thresholds.stall_permille;
+        let now_degraded = state.degraded;
+        state.samples = 0;
+        state.errors = 0;
+        state.stalls = 0;
+        match (was_degraded, now_degraded) {
+            (false, true) => Some(ChannelEvent::Degraded {
+                channel,
+                at,
+                error_permille,
+                stall_permille,
+            }),
+            (true, false) => Some(ChannelEvent::Healthy { channel, at }),
+            _ => None,
+        }
+    }
+
+    /// Clears `channel`'s window and degraded flag — called when a channel
+    /// recovers from a hard outage so pre-outage errors do not instantly
+    /// re-flag it.
+    pub fn reset(&mut self, channel: ChannelId) {
+        if let Some(state) = self.channels.get_mut(channel.index() as usize) {
+            *state = ChannelHealth::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch(i: u32) -> ChannelId {
+        ChannelId::new(i)
+    }
+
+    fn small_monitor() -> HealthMonitor {
+        HealthMonitor::new(
+            2,
+            HealthThresholds {
+                window: 4,
+                error_permille: 500,
+                stall_permille: 500,
+            },
+        )
+    }
+
+    #[test]
+    fn clean_windows_stay_healthy() {
+        let mut m = small_monitor();
+        for t in 0..16 {
+            assert_eq!(m.record(ch(0), SlotObservation::Clean, t), None);
+        }
+        assert!(!m.is_degraded(ch(0)));
+    }
+
+    #[test]
+    fn degraded_then_healthy_round_trip() {
+        let mut m = small_monitor();
+        for t in 0..4 {
+            let e = m.record(ch(0), SlotObservation::Corrupt, t);
+            if t < 3 {
+                assert_eq!(e, None);
+            } else {
+                assert_eq!(
+                    e,
+                    Some(ChannelEvent::Degraded {
+                        channel: ch(0),
+                        at: 3,
+                        error_permille: 1000,
+                        stall_permille: 0,
+                    })
+                );
+            }
+        }
+        assert!(m.is_degraded(ch(0)));
+        // A clean window flips it back exactly once.
+        for t in 4..8 {
+            let e = m.record(ch(0), SlotObservation::Clean, t);
+            if t < 7 {
+                assert_eq!(e, None);
+            } else {
+                assert_eq!(
+                    e,
+                    Some(ChannelEvent::Healthy {
+                        channel: ch(0),
+                        at: 7
+                    })
+                );
+            }
+        }
+        assert!(!m.is_degraded(ch(0)));
+    }
+
+    #[test]
+    fn stalls_count_toward_their_own_threshold() {
+        let mut m = small_monitor();
+        m.record(ch(1), SlotObservation::Stalled, 0);
+        m.record(ch(1), SlotObservation::Stalled, 1);
+        m.record(ch(1), SlotObservation::Clean, 2);
+        let e = m.record(ch(1), SlotObservation::Clean, 3);
+        assert_eq!(
+            e,
+            Some(ChannelEvent::Degraded {
+                channel: ch(1),
+                at: 3,
+                error_permille: 0,
+                stall_permille: 500,
+            })
+        );
+    }
+
+    #[test]
+    fn reset_clears_the_degraded_flag() {
+        let mut m = small_monitor();
+        for t in 0..4 {
+            m.record(ch(0), SlotObservation::Corrupt, t);
+        }
+        assert!(m.is_degraded(ch(0)));
+        m.reset(ch(0));
+        assert!(!m.is_degraded(ch(0)));
+    }
+
+    #[test]
+    fn out_of_range_channels_are_inert() {
+        let mut m = small_monitor();
+        assert_eq!(m.record(ch(9), SlotObservation::Corrupt, 0), None);
+        assert!(!m.is_degraded(ch(9)));
+        m.reset(ch(9)); // no panic
+    }
+
+    #[test]
+    fn zero_window_is_bumped_to_one() {
+        let mut m = HealthMonitor::new(
+            1,
+            HealthThresholds {
+                window: 0,
+                error_permille: 1,
+                stall_permille: 1,
+            },
+        );
+        assert_eq!(m.thresholds().window, 1);
+        // Every corrupt observation completes a window immediately.
+        assert!(m.record(ch(0), SlotObservation::Corrupt, 0).is_some());
+    }
+}

@@ -1,12 +1,20 @@
 //! # airsched-server
 //!
-//! A runnable time-constrained broadcast station, built from the
-//! scheduling machinery of [`airsched_core`]: a live catalogue with
-//! publish/expire, client subscriptions delivered the moment their page
-//! airs, a slot-by-slot transmission clock, and live statistics. The
+//! A runnable, fault-tolerant time-constrained broadcast station, built
+//! from the scheduling machinery of [`airsched_core`]: a live catalogue
+//! with publish/expire, client subscriptions delivered the moment their
+//! page airs, a slot-by-slot transmission clock, and live statistics. The
 //! schedule stays *valid* (every catalogue page within its expected time
 //! from any instant) through every change, by way of the online scheduler
 //! and automatic compaction.
+//!
+//! When transmitters fail, the station walks a degradation ladder instead
+//! of falling over: it re-packs the catalogue into a still-valid SUSC
+//! program while the survivors meet Theorem 3.1's minimum, fails over to
+//! PAMAD best-effort below it, and climbs back on recovery — preserving
+//! every in-flight subscription. Faults come from a deterministic,
+//! seed-driven injector ([`faults`]), and a windowed health monitor
+//! ([`health`]) flags noisy channels before they die.
 //!
 //! ```
 //! use airsched_core::types::PageId;
@@ -20,12 +28,38 @@
 //! assert!(deliveries.iter().any(|d| d.client == client && d.within_deadline));
 //! # Ok::<(), airsched_server::StationError>(())
 //! ```
+//!
+//! Injecting faults is just as direct:
+//!
+//! ```
+//! use airsched_core::types::{ChannelId, PageId};
+//! use airsched_server::faults::{FaultEvent, FaultPlan};
+//! use airsched_server::{Mode, Station};
+//!
+//! let plan = FaultPlan::scripted(vec![
+//!     FaultEvent::Down { at: 4, channel: ChannelId::new(1) },
+//! ]);
+//! let mut station = Station::with_faults(2, 8, &plan)?;
+//! station.publish(PageId::new(0), 4)?;
+//! station.run(4);
+//! assert_eq!(station.mode(), Mode::Valid);
+//! station.tick();                        // slot 4: the outage lands
+//! assert_eq!(station.mode(), Mode::Repacked);
+//! # Ok::<(), airsched_server::StationError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![warn(clippy::all)]
 
+pub mod faults;
+pub mod health;
 pub mod station;
 
-pub use station::{ClientId, Delivery, Station, StationError, StationStats, TickOutcome};
+pub use faults::{FaultEvent, FaultInjector, FaultPlan, SlotFaults};
+pub use health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
+pub use station::{
+    ClientId, DegradationPolicy, Delivery, Mode, ModeTally, Station, StationError, StationStats,
+    TickOutcome,
+};

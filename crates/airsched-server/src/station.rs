@@ -1,4 +1,5 @@
-//! The broadcast station: a live server over an always-valid schedule.
+//! The broadcast station: a live server over an always-valid schedule,
+//! hardened against channel failure.
 //!
 //! [`Station`] glues the pieces of the reproduction into the long-running
 //! process a deployment would actually operate:
@@ -10,13 +11,46 @@
 //!   moment their page airs;
 //! * a slot clock driven by [`Station::tick`], each tick transmitting one
 //!   column of the program and returning the deliveries it caused;
-//! * live statistics ([`Station::stats`]): waits, deadline hits, backlog.
+//! * live statistics ([`Station::stats`]): waits, deadline hits, backlog,
+//!   failovers and per-mode delivery tallies.
+//!
+//! ## The degradation ladder
+//!
+//! Transmitters fail. The station reacts by walking a ladder of
+//! [`Mode`]s, re-planning the *same* catalogue onto the surviving
+//! channels and preserving every in-flight subscription:
+//!
+//! * **[`Mode::Valid`]** — all channels up; the primary always-valid
+//!   program airs.
+//! * **[`Mode::Repacked`]** — some channels down, but the survivors still
+//!   meet Theorem 3.1's minimum
+//!   ([`airsched_core::bound::minimum_channels_for_times`]); the
+//!   catalogue is re-packed into a *valid* program on the survivors via
+//!   SUSC ([`OnlineScheduler::rebuild_on_channels`]).
+//! * **[`Mode::BestEffort`]** — survivors fall below the minimum; no
+//!   valid program exists, so the station fails over to PAMAD
+//!   ([`airsched_core::degrade::replan`]) and spreads the unavoidable
+//!   delay evenly.
+//! * **[`Mode::Offline`]** — nothing left to transmit with.
+//!
+//! Recovery climbs back up the same ladder. Faults arrive either from a
+//! deterministic [`FaultInjector`] (attached with
+//! [`Station::with_faults`]) or from the manual
+//! [`Station::fail_channel`] / [`Station::restore_channel`] API; a
+//! [`HealthMonitor`] watches windowed error/stall rates on top and
+//! surfaces typed [`ChannelEvent`]s through every tick.
 
 use std::collections::BTreeMap;
 
+use airsched_core::bound::minimum_channels_for_times;
+use airsched_core::degrade;
 use airsched_core::dynamic::OnlineScheduler;
 use airsched_core::error::ScheduleError;
+use airsched_core::program::BroadcastProgram;
 use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
+
+use crate::faults::{FaultInjector, FaultPlan};
+use crate::health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
 
 /// Identifier of a subscribed client, unique within one station.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -41,15 +75,113 @@ pub struct Delivery {
     pub within_deadline: bool,
 }
 
+/// Where the station currently sits on the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// All channels up; the primary always-valid program is on the air.
+    Valid,
+    /// Channels lost, but the survivors meet the catalogue's minimum: a
+    /// SUSC re-pack keeps the program valid.
+    Repacked,
+    /// Survivors are below the minimum: PAMAD best-effort, deadlines no
+    /// longer guaranteed.
+    BestEffort,
+    /// No channels up (or no plan possible): nothing transmits.
+    Offline,
+}
+
+impl Mode {
+    /// Whether the station still *guarantees* every expected time (the
+    /// valid rungs of the ladder: [`Mode::Valid`] and [`Mode::Repacked`]).
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        matches!(self, Self::Valid | Self::Repacked)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Self::Valid => 0,
+            Self::Repacked => 1,
+            Self::BestEffort => 2,
+            Self::Offline => 3,
+        }
+    }
+}
+
+impl core::fmt::Display for Mode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::Valid => "valid",
+            Self::Repacked => "repacked",
+            Self::BestEffort => "best-effort",
+            Self::Offline => "offline",
+        })
+    }
+}
+
+/// Which rungs of the degradation ladder the station may use.
+///
+/// Both rungs default to enabled. Disabling `repack` makes any channel
+/// loss fail straight over to best-effort; disabling `best_effort` makes
+/// an under-minimum station go offline instead of airing a non-valid
+/// program (with an empty catalogue this also skips the trivial re-pack,
+/// so the station reports offline until channels return).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DegradationPolicy {
+    /// Allow the SUSC re-pack rung ([`Mode::Repacked`]).
+    pub repack: bool,
+    /// Allow the PAMAD rung ([`Mode::BestEffort`]).
+    pub best_effort: bool,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        Self {
+            repack: true,
+            best_effort: true,
+        }
+    }
+}
+
+/// Deliveries attributed to one [`Mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ModeTally {
+    /// Deliveries made while the station was in this mode.
+    pub delivered: u64,
+    /// Of those, deliveries within the page's expected time.
+    pub on_time: u64,
+}
+
+impl ModeTally {
+    /// Fraction of this mode's deliveries that met their deadline (1.0
+    /// when the mode delivered nothing).
+    #[must_use]
+    pub fn on_time_rate(&self) -> f64 {
+        if self.delivered == 0 {
+            1.0
+        } else {
+            self.on_time as f64 / self.delivered as f64
+        }
+    }
+}
+
 /// What one slot of air time did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TickOutcome {
     /// The slot that just finished transmitting.
     pub time: u64,
-    /// Pages on the air this slot, by channel (`None` = idle carrier).
+    /// The degradation-ladder mode the slot was transmitted in.
+    pub mode: Mode,
+    /// Pages on the air this slot, by physical channel (`None` = idle or
+    /// down carrier).
     pub on_air: Vec<Option<PageId>>,
+    /// Per physical channel: the frame aired but went out corrupted (its
+    /// page shows in `on_air` yet nobody could receive it).
+    pub corrupted: Vec<bool>,
     /// Clients served this slot.
     pub deliveries: Vec<Delivery>,
+    /// Channel health transitions that surfaced this slot.
+    pub events: Vec<ChannelEvent>,
 }
 
 /// Aggregate station statistics.
@@ -65,6 +197,15 @@ pub struct StationStats {
     pub total_wait: u64,
     /// Clients currently waiting.
     pub waiting: u64,
+    /// Transitions onto the best-effort (PAMAD) rung.
+    pub failovers: u64,
+    /// Transitions onto the re-packed (reduced-channel SUSC) rung.
+    pub repacks: u64,
+    /// Climbs back to [`Mode::Valid`] after a degraded spell.
+    pub recoveries: u64,
+    /// Slots spent in any mode other than [`Mode::Valid`].
+    pub degraded_slots: u64,
+    per_mode: [ModeTally; 4],
 }
 
 impl StationStats {
@@ -86,6 +227,12 @@ impl StationStats {
         } else {
             self.on_time as f64 / self.delivered as f64
         }
+    }
+
+    /// Delivery tally attributed to `mode`.
+    #[must_use]
+    pub fn per_mode(&self, mode: Mode) -> ModeTally {
+        self.per_mode[mode.index()]
     }
 }
 
@@ -137,6 +284,19 @@ impl From<ScheduleError> for StationError {
     }
 }
 
+/// The program actually on the air, as chosen by the degradation ladder.
+#[derive(Debug, Clone)]
+enum ActivePlan {
+    /// The primary scheduler's program across all configured channels.
+    Full,
+    /// A valid SUSC re-pack onto the surviving channels.
+    Reduced(BroadcastProgram),
+    /// A PAMAD best-effort plan onto the surviving channels.
+    BestEffort(BroadcastProgram),
+    /// Nothing transmits.
+    Offline,
+}
+
 /// A live broadcast station.
 ///
 /// # Examples
@@ -170,6 +330,16 @@ pub struct Station {
     waiting: BTreeMap<PageId, Vec<(ClientId, u64)>>,
     next_client: u64,
     stats: StationStats,
+    /// Physical channel up/down state; length is the configured count.
+    channel_up: Vec<bool>,
+    injector: Option<FaultInjector>,
+    health: HealthMonitor,
+    policy: DegradationPolicy,
+    mode: Mode,
+    active: ActivePlan,
+    /// Events produced outside `tick` (manual fail/restore), surfaced on
+    /// the next tick.
+    pending_events: Vec<ChannelEvent>,
 }
 
 impl Station {
@@ -186,7 +356,58 @@ impl Station {
             waiting: BTreeMap::new(),
             next_client: 0,
             stats: StationStats::default(),
+            channel_up: vec![true; channels as usize],
+            injector: None,
+            health: HealthMonitor::new(channels, HealthThresholds::default()),
+            policy: DegradationPolicy::default(),
+            mode: Mode::Valid,
+            active: ActivePlan::Full,
+            pending_events: Vec::new(),
         })
+    }
+
+    /// Creates a station with a [`FaultPlan`] attached: every tick first
+    /// asks the plan's injector what broke this slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] for a zero channel count or cycle.
+    pub fn with_faults(channels: u32, cycle: u64, plan: &FaultPlan) -> Result<Self, StationError> {
+        let mut station = Self::new(channels, cycle)?;
+        station.set_fault_plan(plan);
+        Ok(station)
+    }
+
+    /// Attaches (or replaces) the fault plan mid-run. The injector starts
+    /// from the station's *current* channel state.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        let channels = u32::try_from(self.channel_up.len()).expect("channel count fits in u32");
+        let mut injector = FaultInjector::new(plan, channels);
+        for (ch, &up) in self.channel_up.iter().enumerate() {
+            if !up {
+                injector.force_down(ChannelId::new(u32::try_from(ch).expect("fits in u32")));
+            }
+        }
+        self.injector = Some(injector);
+    }
+
+    /// Replaces the health thresholds, resetting all health windows.
+    pub fn set_health_thresholds(&mut self, thresholds: HealthThresholds) {
+        let channels = u32::try_from(self.channel_up.len()).expect("channel count fits in u32");
+        self.health = HealthMonitor::new(channels, thresholds);
+    }
+
+    /// Replaces the degradation policy and immediately re-evaluates the
+    /// ladder under it.
+    pub fn set_degradation_policy(&mut self, policy: DegradationPolicy) {
+        self.policy = policy;
+        self.refresh_plan();
+    }
+
+    /// The active degradation policy.
+    #[must_use]
+    pub fn degradation_policy(&self) -> DegradationPolicy {
+        self.policy
     }
 
     /// The current slot clock.
@@ -201,14 +422,85 @@ impl Station {
         self.stats
     }
 
+    /// The current degradation-ladder mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The per-channel health monitor.
+    #[must_use]
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// How many channels are currently up.
+    #[must_use]
+    pub fn channels_up(&self) -> u32 {
+        u32::try_from(self.channel_up.iter().filter(|&&u| u).count()).expect("fits in u32")
+    }
+
+    /// Whether `channel` is currently up (out-of-range channels are not).
+    #[must_use]
+    pub fn is_channel_up(&self, channel: ChannelId) -> bool {
+        self.channel_up
+            .get(channel.index() as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
     /// The current catalogue: page → expected time.
     #[must_use]
     pub fn catalogue(&self) -> &BTreeMap<PageId, u64> {
         self.scheduler.pages()
     }
 
+    /// Manually fails a channel (e.g. an operator pulling a transmitter),
+    /// re-evaluating the degradation ladder. Returns the resulting mode.
+    /// A no-op for channels already down or out of range.
+    pub fn fail_channel(&mut self, channel: ChannelId) -> Mode {
+        let ch = channel.index() as usize;
+        if ch < self.channel_up.len() && self.channel_up[ch] {
+            self.channel_up[ch] = false;
+            if let Some(injector) = &mut self.injector {
+                injector.force_down(channel);
+            }
+            self.pending_events.push(ChannelEvent::Down {
+                channel,
+                at: self.time,
+            });
+            self.refresh_plan();
+        }
+        self.mode
+    }
+
+    /// Manually restores a channel, climbing back up the ladder. Returns
+    /// the resulting mode. A no-op for channels already up or out of
+    /// range.
+    pub fn restore_channel(&mut self, channel: ChannelId) -> Mode {
+        let ch = channel.index() as usize;
+        if ch < self.channel_up.len() && !self.channel_up[ch] {
+            self.channel_up[ch] = true;
+            if let Some(injector) = &mut self.injector {
+                injector.force_up(channel);
+            }
+            self.health.reset(channel);
+            self.pending_events.push(ChannelEvent::Up {
+                channel,
+                at: self.time,
+            });
+            self.refresh_plan();
+        }
+        self.mode
+    }
+
     /// Publishes a page with an expected time, compacting the schedule if
     /// fragmentation blocks direct admission.
+    ///
+    /// Admission is always judged against the *configured* channel count:
+    /// a degraded station keeps accepting everything it could accept
+    /// healthy, and the degraded plan is re-derived to include the new
+    /// page.
     ///
     /// # Errors
     ///
@@ -217,14 +509,18 @@ impl Station {
     /// * [`StationError::Schedule`] for malformed inputs (zero or
     ///   non-dividing expected time, duplicate page id).
     pub fn publish(&mut self, page: PageId, expected: u64) -> Result<(), StationError> {
-        match self.scheduler.add_page(page, expected) {
+        let result = match self.scheduler.add_page(page, expected) {
             Ok(()) => Ok(()),
             Err(ScheduleError::PlacementFailed { .. }) => self
                 .scheduler
                 .rebuild_with(&[(page, expected)])
                 .map_err(|_| StationError::CapacityExhausted { page }),
             Err(e) => Err(e.into()),
+        };
+        if result.is_ok() && !matches!(self.active, ActivePlan::Full) {
+            self.refresh_plan();
         }
+        result
     }
 
     /// Removes a page from the catalogue. Clients still waiting for it
@@ -236,7 +532,11 @@ impl Station {
     pub fn expire(&mut self, page: PageId) -> Result<(), StationError> {
         self.scheduler
             .remove_page(page)
-            .map_err(|_| StationError::UnknownPage { page })
+            .map_err(|_| StationError::UnknownPage { page })?;
+        if !matches!(self.active, ActivePlan::Full) {
+            self.refresh_plan();
+        }
+        Ok(())
     }
 
     /// Registers a client waiting for `page` from the current instant.
@@ -257,43 +557,208 @@ impl Station {
         Ok(id)
     }
 
-    /// Transmits one slot: every channel sends its scheduled page, waiting
-    /// clients whose page aired are served, and the clock advances.
-    pub fn tick(&mut self) -> TickOutcome {
-        let program = self.scheduler.program();
-        let column = self.time % program.cycle_len();
-        let on_air: Vec<Option<PageId>> = (0..program.channels())
-            .map(|ch| program.page_at(GridPos::new(ChannelId::new(ch), SlotIndex::new(column))))
-            .collect();
+    /// Re-derives the on-air plan and ladder mode from the current
+    /// channel state, catalogue and policy.
+    fn refresh_plan(&mut self) {
+        let configured = u32::try_from(self.channel_up.len()).expect("channel count fits in u32");
+        let n_up = self.channels_up();
+        let (active, mode) = if n_up == 0 {
+            (ActivePlan::Offline, Mode::Offline)
+        } else if n_up == configured {
+            (ActivePlan::Full, Mode::Valid)
+        } else {
+            self.reduced_plan(n_up)
+        };
+        self.active = active;
+        if mode != self.mode {
+            match mode {
+                Mode::BestEffort => self.stats.failovers += 1,
+                Mode::Repacked => self.stats.repacks += 1,
+                Mode::Valid => self.stats.recoveries += 1,
+                Mode::Offline => {}
+            }
+            self.mode = mode;
+        }
+    }
 
+    /// The ladder decision for `0 < n_up < configured` survivors: a SUSC
+    /// re-pack while the survivors meet the catalogue's Theorem 3.1
+    /// minimum, PAMAD best-effort below it.
+    fn reduced_plan(&mut self, n_up: u32) -> (ActivePlan, Mode) {
+        let times: Vec<u64> = self.scheduler.pages().values().copied().collect();
+        // An overflowing demand fraction cannot possibly be met by any
+        // physical channel count; treat it as insufficient.
+        let minimum = minimum_channels_for_times(&times).unwrap_or(u32::MAX);
+        if self.policy.repack && n_up >= minimum {
+            let mut probe = self.scheduler.clone();
+            if probe.rebuild_on_channels(n_up).is_ok() {
+                return (ActivePlan::Reduced(probe.program().clone()), Mode::Repacked);
+            }
+            // Sufficient in principle but the packer could not place this
+            // particular catalogue (non-harmonic times); fall through.
+        }
+        if self.policy.best_effort {
+            let catalogue: Vec<(PageId, u64)> = self
+                .scheduler
+                .pages()
+                .iter()
+                .map(|(&p, &t)| (p, t))
+                .collect();
+            if let Ok(plan) = degrade::replan(&catalogue, n_up) {
+                return (
+                    ActivePlan::BestEffort(plan.into_program()),
+                    Mode::BestEffort,
+                );
+            }
+        }
+        (ActivePlan::Offline, Mode::Offline)
+    }
+
+    /// Transmits one slot: the fault injector (if any) is consulted,
+    /// every live channel sends its scheduled page, waiting clients whose
+    /// page aired intact are served, and the clock advances.
+    pub fn tick(&mut self) -> TickOutcome {
+        let mut events = std::mem::take(&mut self.pending_events);
+        let configured = self.channel_up.len();
+        let mut stalled = vec![false; configured];
+        let mut corrupt_wanted = vec![false; configured];
+
+        if let Some(injector) = self.injector.as_mut() {
+            let faults = injector.sample(self.time);
+            let mut changed = false;
+            for channel in faults.went_down {
+                let ch = channel.index() as usize;
+                if ch < configured && self.channel_up[ch] {
+                    self.channel_up[ch] = false;
+                    events.push(ChannelEvent::Down {
+                        channel,
+                        at: self.time,
+                    });
+                    changed = true;
+                }
+            }
+            for channel in faults.came_up {
+                let ch = channel.index() as usize;
+                if ch < configured && !self.channel_up[ch] {
+                    self.channel_up[ch] = true;
+                    self.health.reset(channel);
+                    events.push(ChannelEvent::Up {
+                        channel,
+                        at: self.time,
+                    });
+                    changed = true;
+                }
+            }
+            stalled = faults.stalled;
+            corrupt_wanted = faults.corrupted;
+            if changed {
+                self.refresh_plan();
+            }
+        }
+
+        // One column of the active plan, mapped onto physical channels
+        // (the reduced plans' logical rows fill the live channels in
+        // ascending physical order).
+        let mut on_air: Vec<Option<PageId>> = vec![None; configured];
+        match &self.active {
+            ActivePlan::Full => {
+                let program = self.scheduler.program();
+                let column = self.time % program.cycle_len();
+                for (ch, slot) in on_air.iter_mut().enumerate() {
+                    if self.channel_up[ch] {
+                        let channel = ChannelId::new(u32::try_from(ch).expect("fits in u32"));
+                        *slot = program.page_at(GridPos::new(channel, SlotIndex::new(column)));
+                    }
+                }
+            }
+            ActivePlan::Reduced(program) | ActivePlan::BestEffort(program) => {
+                let column = self.time % program.cycle_len();
+                let mut row = 0u32;
+                for (ch, slot) in on_air.iter_mut().enumerate() {
+                    if self.channel_up[ch] && row < program.channels() {
+                        *slot = program
+                            .page_at(GridPos::new(ChannelId::new(row), SlotIndex::new(column)));
+                        row += 1;
+                    }
+                }
+            }
+            ActivePlan::Offline => {}
+        }
+
+        // Apply stalls and corruption, feeding the health monitor one
+        // observation per attempted transmission.
+        let mut corrupted = vec![false; configured];
+        for ch in 0..configured {
+            if !self.channel_up[ch] {
+                continue;
+            }
+            let channel = ChannelId::new(u32::try_from(ch).expect("fits in u32"));
+            if stalled[ch] {
+                if on_air[ch].take().is_some() {
+                    if let Some(e) =
+                        self.health
+                            .record(channel, SlotObservation::Stalled, self.time)
+                    {
+                        events.push(e);
+                    }
+                }
+            } else if on_air[ch].is_some() {
+                let observation = if corrupt_wanted[ch] {
+                    corrupted[ch] = true;
+                    SlotObservation::Corrupt
+                } else {
+                    SlotObservation::Clean
+                };
+                if let Some(e) = self.health.record(channel, observation, self.time) {
+                    events.push(e);
+                }
+            }
+        }
+
+        // Serve waiters from intact frames only; a corrupted frame shows
+        // in `on_air` but delivers nothing.
         let mut deliveries = Vec::new();
-        for page in on_air.iter().flatten() {
-            if let Some(waiters) = self.waiting.remove(page) {
-                let expected = self.scheduler.pages().get(page).copied();
+        for ch in 0..configured {
+            if corrupted[ch] {
+                continue;
+            }
+            let Some(page) = on_air[ch] else { continue };
+            if let Some(waiters) = self.waiting.remove(&page) {
+                let expected = self.scheduler.pages().get(&page).copied();
                 for (client, since) in waiters {
                     // Received at the end of this slot.
                     let wait = self.time - since + 1;
                     let within = expected.is_some_and(|t| wait <= t);
                     deliveries.push(Delivery {
                         client,
-                        page: *page,
+                        page,
                         wait,
                         within_deadline: within,
                     });
                     self.stats.delivered += 1;
                     self.stats.total_wait += wait;
                     self.stats.waiting -= 1;
+                    let tally = &mut self.stats.per_mode[self.mode.index()];
+                    tally.delivered += 1;
                     if within {
                         self.stats.on_time += 1;
+                        tally.on_time += 1;
                     }
                 }
             }
         }
 
+        if self.mode != Mode::Valid {
+            self.stats.degraded_slots += 1;
+        }
+
         let outcome = TickOutcome {
             time: self.time,
+            mode: self.mode,
             on_air,
+            corrupted,
             deliveries,
+            events,
         };
         self.time += 1;
         self.stats.slots_elapsed += 1;
@@ -313,6 +778,7 @@ impl Station {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultEvent;
 
     fn station_with_catalogue() -> Station {
         let mut s = Station::new(2, 8).unwrap();
@@ -443,5 +909,273 @@ mod tests {
         let mut s = station_with_catalogue();
         let c = s.subscribe(PageId::new(0)).unwrap();
         assert_eq!(c.to_string(), "client0");
+    }
+
+    // --- fault tolerance ---
+
+    /// A 3-channel catalogue whose Theorem 3.1 minimum is 2: demand is
+    /// 1/2 + 1/2 + 1/4 + 1/8 = 1.375.
+    fn resilient_station() -> Station {
+        let mut s = Station::new(3, 8).unwrap();
+        s.publish(PageId::new(0), 2).unwrap();
+        s.publish(PageId::new(1), 2).unwrap();
+        s.publish(PageId::new(2), 4).unwrap();
+        s.publish(PageId::new(3), 8).unwrap();
+        s
+    }
+
+    #[test]
+    fn ladder_walks_down_and_back_up() {
+        let mut s = resilient_station();
+        assert_eq!(s.mode(), Mode::Valid);
+        // 2 survivors >= minimum 2: a valid re-pack.
+        assert_eq!(s.fail_channel(ChannelId::new(2)), Mode::Repacked);
+        assert!(s.mode().is_valid());
+        // 1 survivor < 2: PAMAD best-effort.
+        assert_eq!(s.fail_channel(ChannelId::new(1)), Mode::BestEffort);
+        assert!(!s.mode().is_valid());
+        // 0 survivors: off the air.
+        assert_eq!(s.fail_channel(ChannelId::new(0)), Mode::Offline);
+        assert!(s.tick().on_air.iter().all(Option::is_none));
+        // Climb back up the same rungs.
+        assert_eq!(s.restore_channel(ChannelId::new(0)), Mode::BestEffort);
+        assert_eq!(s.restore_channel(ChannelId::new(1)), Mode::Repacked);
+        assert_eq!(s.restore_channel(ChannelId::new(2)), Mode::Valid);
+        let stats = s.stats();
+        assert_eq!(stats.failovers, 2); // entered best-effort going down AND up
+        assert_eq!(stats.repacks, 2); // down-walk and up-walk
+        assert_eq!(stats.recoveries, 1);
+        assert!(stats.degraded_slots >= 1);
+    }
+
+    #[test]
+    fn repacked_mode_keeps_deadlines_and_subscriptions() {
+        let mut s = resilient_station();
+        let client = s.subscribe(PageId::new(2)).unwrap();
+        assert_eq!(s.fail_channel(ChannelId::new(2)), Mode::Repacked);
+        // Down channel airs nothing; survivors meet every deadline.
+        let mut served = false;
+        for _ in 0..8 {
+            let tick = s.tick();
+            assert_eq!(tick.mode, Mode::Repacked);
+            assert_eq!(tick.on_air[2], None);
+            for d in &tick.deliveries {
+                assert!(d.within_deadline, "{d:?}");
+                served |= d.client == client;
+            }
+        }
+        assert!(served, "subscription lost across the re-pack");
+        assert_eq!(s.stats().per_mode(Mode::Repacked).on_time_rate(), 1.0);
+    }
+
+    #[test]
+    fn best_effort_mode_keeps_every_page_on_air() {
+        let mut s = resilient_station();
+        s.fail_channel(ChannelId::new(2));
+        s.fail_channel(ChannelId::new(1));
+        assert_eq!(s.mode(), Mode::BestEffort);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..32 {
+            let tick = s.tick();
+            assert_eq!(tick.mode, Mode::BestEffort);
+            // Only channel 0 survives.
+            assert_eq!(tick.on_air[1], None);
+            assert_eq!(tick.on_air[2], None);
+            seen.extend(tick.on_air[0]);
+        }
+        // PAMAD keeps the whole catalogue broadcasting on the survivor.
+        assert_eq!(seen.len(), 4, "pages vanished in best-effort: {seen:?}");
+    }
+
+    #[test]
+    fn corrupt_frames_do_not_deliver() {
+        let plan = FaultPlan::scripted(vec![FaultEvent::Corrupt {
+            at: 0,
+            channel: ChannelId::new(0),
+        }]);
+        let mut s = Station::with_faults(1, 4, &plan).unwrap();
+        s.publish(PageId::new(0), 4).unwrap(); // airs at slots 0, 4, 8...
+        let client = s.subscribe(PageId::new(0)).unwrap();
+        let tick = s.tick();
+        assert_eq!(tick.on_air[0], Some(PageId::new(0)));
+        assert_eq!(tick.corrupted, vec![true]);
+        assert!(tick.deliveries.is_empty(), "corrupt frame delivered");
+        // The client is served by the next intact occurrence — late.
+        let deliveries = s.run(4);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].client, client);
+        assert_eq!(deliveries[0].wait, 5);
+        assert!(!deliveries[0].within_deadline);
+    }
+
+    #[test]
+    fn stalled_slot_airs_nothing() {
+        let plan = FaultPlan::scripted(vec![FaultEvent::Stall {
+            at: 0,
+            channel: ChannelId::new(0),
+        }]);
+        let mut s = Station::with_faults(1, 4, &plan).unwrap();
+        s.publish(PageId::new(0), 4).unwrap();
+        let tick = s.tick();
+        assert_eq!(tick.on_air, vec![None]);
+        assert_eq!(tick.corrupted, vec![false]);
+        // Next cycle transmits normally.
+        s.run(3);
+        let tick = s.tick();
+        assert_eq!(tick.on_air, vec![Some(PageId::new(0))]);
+    }
+
+    #[test]
+    fn injector_outages_surface_as_events_and_modes() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent::Down {
+                at: 2,
+                channel: ChannelId::new(2),
+            },
+            FaultEvent::Up {
+                at: 6,
+                channel: ChannelId::new(2),
+            },
+        ]);
+        let mut s = Station::with_faults(3, 8, &plan).unwrap();
+        s.publish(PageId::new(0), 2).unwrap();
+        s.publish(PageId::new(1), 2).unwrap();
+        s.publish(PageId::new(2), 4).unwrap();
+        s.publish(PageId::new(3), 8).unwrap();
+        assert_eq!(s.tick().mode, Mode::Valid);
+        assert_eq!(s.tick().mode, Mode::Valid);
+        let tick = s.tick(); // slot 2: outage applies before transmission
+        assert_eq!(tick.mode, Mode::Repacked);
+        assert_eq!(
+            tick.events,
+            vec![ChannelEvent::Down {
+                channel: ChannelId::new(2),
+                at: 2
+            }]
+        );
+        s.tick();
+        s.tick();
+        s.tick();
+        let tick = s.tick(); // slot 6: recovery
+        assert_eq!(tick.mode, Mode::Valid);
+        assert_eq!(
+            tick.events,
+            vec![ChannelEvent::Up {
+                channel: ChannelId::new(2),
+                at: 6
+            }]
+        );
+        assert_eq!(s.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn health_monitor_flags_a_noisy_channel() {
+        let plan = FaultPlan::seeded(3).with_corruption(1.0);
+        let mut s = Station::with_faults(1, 4, &plan).unwrap();
+        s.set_health_thresholds(HealthThresholds {
+            window: 4,
+            error_permille: 500,
+            stall_permille: 500,
+        });
+        s.publish(PageId::new(0), 1).unwrap(); // airs every slot
+        let mut degraded_events = 0;
+        for _ in 0..8 {
+            let tick = s.tick();
+            degraded_events += tick
+                .events
+                .iter()
+                .filter(|e| matches!(e, ChannelEvent::Degraded { .. }))
+                .count();
+        }
+        assert_eq!(degraded_events, 1, "exactly one degraded transition");
+        assert!(s.health().is_degraded(ChannelId::new(0)));
+    }
+
+    #[test]
+    fn per_mode_tallies_attribute_deliveries() {
+        let mut s = resilient_station();
+        s.subscribe(PageId::new(0)).unwrap();
+        s.run(2); // served in valid mode
+        s.fail_channel(ChannelId::new(2));
+        s.fail_channel(ChannelId::new(1));
+        s.subscribe(PageId::new(0)).unwrap();
+        s.run(16); // served in best-effort mode
+        let stats = s.stats();
+        assert_eq!(stats.per_mode(Mode::Valid).delivered, 1);
+        assert!(stats.per_mode(Mode::BestEffort).delivered >= 1);
+        assert_eq!(
+            stats.delivered,
+            stats.per_mode(Mode::Valid).delivered
+                + stats.per_mode(Mode::Repacked).delivered
+                + stats.per_mode(Mode::BestEffort).delivered
+        );
+        assert_eq!(stats.per_mode(Mode::Offline).delivered, 0);
+    }
+
+    #[test]
+    fn equal_seeds_give_identical_tick_streams() {
+        let plan = FaultPlan::seeded(99)
+            .with_outage(0.05)
+            .with_recovery(0.25)
+            .with_stalls(0.02)
+            .with_corruption(0.1);
+        let build = || {
+            let mut s = Station::with_faults(3, 8, &plan).unwrap();
+            s.publish(PageId::new(0), 2).unwrap();
+            s.publish(PageId::new(1), 4).unwrap();
+            s.publish(PageId::new(2), 8).unwrap();
+            s.subscribe(PageId::new(0)).unwrap();
+            s.subscribe(PageId::new(2)).unwrap();
+            s
+        };
+        let mut a = build();
+        let mut b = build();
+        for t in 0..400 {
+            assert_eq!(a.tick(), b.tick(), "streams diverged at slot {t}");
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn policy_can_disable_rungs() {
+        let mut s = resilient_station();
+        s.set_degradation_policy(DegradationPolicy {
+            repack: false,
+            best_effort: true,
+        });
+        // Without the re-pack rung, any loss goes straight to best-effort.
+        assert_eq!(s.fail_channel(ChannelId::new(2)), Mode::BestEffort);
+        s.set_degradation_policy(DegradationPolicy {
+            repack: true,
+            best_effort: false,
+        });
+        assert_eq!(s.mode(), Mode::Repacked);
+        // Without best-effort, dropping below the minimum goes offline.
+        assert_eq!(s.fail_channel(ChannelId::new(1)), Mode::Offline);
+        assert!(s.degradation_policy().repack);
+    }
+
+    #[test]
+    fn publish_and_expire_refresh_a_degraded_plan() {
+        let mut s = Station::new(2, 8).unwrap();
+        s.publish(PageId::new(0), 4).unwrap();
+        s.publish(PageId::new(1), 8).unwrap();
+        // One survivor still meets the minimum (1/4 + 1/8 < 1).
+        assert_eq!(s.fail_channel(ChannelId::new(1)), Mode::Repacked);
+        // Raising demand past one channel must drop to best-effort.
+        s.publish(PageId::new(2), 2).unwrap();
+        s.publish(PageId::new(3), 2).unwrap();
+        s.publish(PageId::new(4), 4).unwrap();
+        assert_eq!(s.mode(), Mode::BestEffort);
+        // Shedding the load climbs back to a valid re-pack.
+        s.expire(PageId::new(2)).unwrap();
+        s.expire(PageId::new(3)).unwrap();
+        assert_eq!(s.mode(), Mode::Repacked);
+        // The new page is on the degraded plan's air.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..8 {
+            seen.extend(s.tick().on_air[0]);
+        }
+        assert!(seen.contains(&PageId::new(4)));
     }
 }

@@ -49,7 +49,7 @@ pub mod transition;
 
 pub use access::{access_one, exact_avg_delay, measure, Access};
 pub use energy::{measure_energy, EnergySummary, TuningScheme};
-pub use lossy::{measure_lossy, LossModel};
+pub use lossy::{measure_lossy, InvalidLoss, LossModel};
 pub use metrics::{DelayAccumulator, DelaySummary, GroupDelay};
 pub use multiget::{retrieve_fixed_order, retrieve_greedy, MultiAccess, MultiRequest};
 pub use server::{BroadcastStream, SlotTransmission};

@@ -6,14 +6,42 @@
 //! effective delay of a program degrades with the loss rate, and degrades
 //! *faster* for programs with long inter-appearance gaps. This module
 //! quantifies that (an extension beyond the paper; DESIGN.md lists it).
+//!
+//! Retry behaviour is shared with the wire-level receiver through
+//! [`airsched_core::retry::RetryPolicy`]: the per-page attempt budget
+//! bounds how many occurrences a client chases, and the tune-away rule
+//! (if configured) makes a client that keeps missing stop listening for
+//! the policy's backoff window before trying again.
+
+use core::fmt;
 
 use airsched_core::group::GroupLadder;
 use airsched_core::program::BroadcastProgram;
+use airsched_core::retry::RetryPolicy;
 use airsched_workload::requests::Request;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::metrics::{DelayAccumulator, DelaySummary};
+
+/// Error for a loss probability outside `[0, 1)`.
+///
+/// `1.0` is rejected explicitly: a channel that loses *every* reception
+/// can never serve anyone, so any attempt budget is just a slow spelling
+/// of failure — the caller almost certainly meant something else.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidLoss {
+    /// The rejected value.
+    pub value: f64,
+}
+
+impl fmt::Display for InvalidLoss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loss probability must be in [0, 1), got {}", self.value)
+    }
+}
+
+impl std::error::Error for InvalidLoss {}
 
 /// Reception model: each occurrence of the wanted page is independently
 /// received with probability `1 - loss`.
@@ -21,10 +49,10 @@ use crate::metrics::{DelayAccumulator, DelaySummary};
 pub struct LossModel {
     /// Per-reception loss probability in `[0, 1)`.
     pub loss: f64,
-    /// Give up after this many missed receptions (the client would fall
-    /// back to the on-demand channel); the attempt is then counted in the
+    /// Attempt budget and tune-away behaviour, shared with the wire-level
+    /// receiver. A request that exhausts the budget is counted in the
     /// returned failure tally rather than the delay summary.
-    pub max_attempts: u32,
+    pub retry: RetryPolicy,
 }
 
 impl LossModel {
@@ -33,25 +61,44 @@ impl LossModel {
     pub fn lossless() -> Self {
         Self {
             loss: 0.0,
-            max_attempts: 1,
+            retry: RetryPolicy::new(1).expect("1 attempt is a valid budget"),
         }
     }
 
     /// A model with the given loss probability and a 16-attempt budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLoss`] if `loss` is not in `[0, 1)` — including
+    /// exactly `1.0`, under which no request could ever be served.
+    pub fn try_with_loss(loss: f64) -> Result<Self, InvalidLoss> {
+        if !(0.0..1.0).contains(&loss) {
+            return Err(InvalidLoss { value: loss });
+        }
+        Ok(Self {
+            loss,
+            retry: RetryPolicy::new(16).expect("16 attempts is a valid budget"),
+        })
+    }
+
+    /// Panicking convenience for [`LossModel::try_with_loss`].
     ///
     /// # Panics
     ///
     /// Panics if `loss` is not in `[0, 1)`.
     #[must_use]
     pub fn with_loss(loss: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&loss),
-            "loss probability must be in [0, 1)"
-        );
-        Self {
-            loss,
-            max_attempts: 16,
+        match Self::try_with_loss(loss) {
+            Ok(model) => model,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 }
 
@@ -59,14 +106,17 @@ impl LossModel {
 ///
 /// Returns the delay summary over served requests plus the count of
 /// requests that exhausted their attempt budget (or whose page never
-/// airs).
+/// airs). If the model's policy has a tune-away rule, a client that
+/// misses that many occurrences in a row stops listening for the backoff
+/// window (the lost time shows up as extra delay on its eventual
+/// service).
 ///
 /// Deterministic for a given `seed`.
 ///
 /// # Panics
 ///
-/// Panics if the model's `loss` is outside `[0, 1)` or `max_attempts` is
-/// zero.
+/// Panics if the model's `loss` is outside `[0, 1)` (possible only via a
+/// hand-rolled struct literal — the constructors validate).
 ///
 /// # Examples
 ///
@@ -82,7 +132,8 @@ impl LossModel {
 /// let requests = gen.take(2000, program.cycle_len());
 ///
 /// let (clean, _) = measure_lossy(&program, &ladder, &requests, LossModel::lossless(), 7);
-/// let (noisy, _) = measure_lossy(&program, &ladder, &requests, LossModel::with_loss(0.3), 7);
+/// let noisy_model = LossModel::try_with_loss(0.3)?;
+/// let (noisy, _) = measure_lossy(&program, &ladder, &requests, noisy_model, 7);
 /// assert_eq!(clean.avg_delay(), 0.0);           // valid program, no loss
 /// assert!(noisy.avg_delay() > 0.0);             // losses break the guarantee
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -99,7 +150,6 @@ pub fn measure_lossy(
         (0.0..1.0).contains(&model.loss),
         "loss probability must be in [0, 1)"
     );
-    assert!(model.max_attempts > 0, "need at least one attempt");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut acc = DelayAccumulator::new();
     let mut failed = 0u64;
@@ -113,7 +163,8 @@ pub fn measure_lossy(
         let mut clock = req.arrival;
         let mut wait_total = 0u64;
         let mut served = false;
-        for _ in 0..model.max_attempts {
+        let mut missed_run = 0u32;
+        for _ in 0..model.retry.max_attempts() {
             let Some(wait) = program.wait_from(req.page, clock) else {
                 break;
             };
@@ -125,6 +176,14 @@ pub fn measure_lossy(
             }
             // Missed it; resume listening right after that slot.
             clock += wait;
+            missed_run += 1;
+            if missed_run >= model.retry.tune_away_after() {
+                // Tune away: the client stops listening for the backoff
+                // window, which counts toward its wait.
+                missed_run = 0;
+                clock += model.retry.backoff_slots();
+                wait_total += model.retry.backoff_slots();
+            }
         }
         if !served {
             failed += 1;
@@ -194,19 +253,32 @@ mod tests {
         let program = susc::schedule(&ladder, 4).unwrap();
         let reqs = requests(&ladder, program.cycle_len());
         // With one attempt and heavy loss, many requests fail outright.
-        let model = LossModel {
-            loss: 0.9,
-            max_attempts: 1,
-        };
+        let model = LossModel::with_loss(0.9).with_retry(RetryPolicy::new(1).unwrap());
         let (_, failed) = measure_lossy(&program, &ladder, &reqs, model, 2);
         assert!(failed > (reqs.len() as u64) / 2, "failed = {failed}");
         // With a generous budget nearly all get through eventually.
-        let model = LossModel {
-            loss: 0.9,
-            max_attempts: 64,
-        };
+        let model = LossModel::with_loss(0.9).with_retry(RetryPolicy::new(64).unwrap());
         let (_, failed) = measure_lossy(&program, &ladder, &reqs, model, 2);
         assert!(failed < (reqs.len() as u64) / 100, "failed = {failed}");
+    }
+
+    #[test]
+    fn tune_away_adds_backoff_delay() {
+        let ladder = fig2_ladder();
+        let program = susc::schedule(&ladder, 4).unwrap();
+        let reqs = requests(&ladder, program.cycle_len());
+        let plain = LossModel::with_loss(0.6).with_retry(RetryPolicy::new(64).unwrap());
+        let jumpy = LossModel::with_loss(0.6)
+            .with_retry(RetryPolicy::new(64).unwrap().with_tune_away(2, 32).unwrap());
+        let (patient, _) = measure_lossy(&program, &ladder, &reqs, plain, 21);
+        let (impatient, _) = measure_lossy(&program, &ladder, &reqs, jumpy, 21);
+        // Backing off costs wall-clock time the patient client does not pay.
+        assert!(
+            impatient.avg_wait() > patient.avg_wait(),
+            "{} <= {}",
+            impatient.avg_wait(),
+            patient.avg_wait()
+        );
     }
 
     #[test]
@@ -226,20 +298,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "loss probability")]
-    fn invalid_loss_panics() {
-        let _ = LossModel::with_loss(1.0);
+    fn boundary_losses_are_rejected_with_error() {
+        let err = LossModel::try_with_loss(1.0).unwrap_err();
+        assert_eq!(err.value, 1.0);
+        assert!(err.to_string().contains("loss probability"));
+        assert!(LossModel::try_with_loss(-0.1).is_err());
+        assert!(LossModel::try_with_loss(f64::NAN).is_err());
+        assert!(LossModel::try_with_loss(0.0).is_ok());
+        assert!(LossModel::try_with_loss(0.999).is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "at least one attempt")]
-    fn zero_attempts_panics() {
-        let ladder = fig2_ladder();
-        let program = susc::schedule(&ladder, 4).unwrap();
-        let model = LossModel {
-            loss: 0.1,
-            max_attempts: 0,
-        };
-        let _ = measure_lossy(&program, &ladder, &[], model, 1);
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_panics() {
+        let _ = LossModel::with_loss(1.0);
     }
 }

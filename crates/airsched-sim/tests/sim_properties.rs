@@ -54,7 +54,8 @@ proptest! {
         prop_assert_eq!(clean.avg_delay(), 0.0); // valid program
         let mut last = clean.avg_wait();
         for loss in [0.2f64, 0.5] {
-            let model = LossModel { loss, max_attempts: 64 };
+            let model = LossModel::with_loss(loss)
+                .with_retry(airsched_core::retry::RetryPolicy::new(64).unwrap());
             let (noisy, _) = measure_lossy(&program, &ladder, &requests, model, seed);
             prop_assert!(noisy.avg_wait() + 1e-9 >= last);
             last = noisy.avg_wait();

@@ -1,0 +1,319 @@
+//! Chaos-style integration tests for the fault-tolerant broadcast station.
+//!
+//! A scripted outage storm walks the station down the whole degradation
+//! ladder (Valid → Repacked → BestEffort → Offline) and back up, while
+//! clients keep subscribing. The tests pin the ladder's contract:
+//!
+//! * the station claims a *valid* mode (`Valid` or `Repacked`) only while
+//!   every delivery whose wait is fully contained in the current plan
+//!   epoch meets its deadline;
+//! * failover to PAMAD best-effort happens exactly when the survivor
+//!   count drops below the catalogue's Theorem 3.1 minimum;
+//! * SUSC service (`Mode::Valid`) is restored after recovery, and no
+//!   in-flight subscription is lost anywhere along the way;
+//! * the fault injector is fully deterministic: equal seeds give equal
+//!   `TickOutcome` streams.
+
+use airsched_core::bound::minimum_channels_for_times;
+use airsched_core::types::{ChannelId, PageId};
+use airsched_server::{ChannelEvent, FaultEvent, FaultPlan, Mode, Station};
+
+fn ch(n: u32) -> ChannelId {
+    ChannelId::new(n)
+}
+
+fn page(n: u32) -> PageId {
+    PageId::new(n)
+}
+
+/// Four channels, a 16-slot cycle, and a harmonic catalogue whose demand
+/// fraction is 1.3125 — so Theorem 3.1 says two survivors still suffice.
+const CATALOGUE: [(u32, u64); 6] = [(0, 2), (1, 4), (2, 8), (3, 16), (4, 4), (5, 8)];
+
+fn storm_station(plan: &FaultPlan) -> Station {
+    let mut station = Station::with_faults(4, 16, plan).unwrap();
+    for (p, t) in CATALOGUE {
+        station.publish(page(p), t).unwrap();
+    }
+    station
+}
+
+fn catalogue_minimum(station: &Station) -> u32 {
+    let times: Vec<u64> = station.catalogue().values().copied().collect();
+    minimum_channels_for_times(&times).unwrap()
+}
+
+/// The mode the ladder promises for a given survivor count, for a
+/// harmonic catalogue (where the SUSC re-pack always succeeds at or
+/// above the minimum).
+fn expected_mode(survivors: u32, configured: u32, minimum: u32) -> Mode {
+    if survivors == 0 {
+        Mode::Offline
+    } else if survivors == configured {
+        Mode::Valid
+    } else if survivors >= minimum {
+        Mode::Repacked
+    } else {
+        Mode::BestEffort
+    }
+}
+
+/// The full storm: channels die one by one until the station is dark,
+/// then recover one by one. Checks mode-vs-survivor agreement on every
+/// tick, the valid-mode deadline guarantee for epoch-contained waits,
+/// the stats counters, and that every subscription survives.
+#[test]
+fn scripted_storm_walks_the_ladder_and_keeps_promises() {
+    let script = vec![
+        FaultEvent::Down {
+            at: 20,
+            channel: ch(3),
+        },
+        FaultEvent::Down {
+            at: 40,
+            channel: ch(2),
+        },
+        FaultEvent::Down {
+            at: 60,
+            channel: ch(1),
+        },
+        FaultEvent::Down {
+            at: 80,
+            channel: ch(0),
+        },
+        FaultEvent::Up {
+            at: 90,
+            channel: ch(0),
+        },
+        FaultEvent::Up {
+            at: 100,
+            channel: ch(1),
+        },
+        FaultEvent::Up {
+            at: 120,
+            channel: ch(2),
+        },
+        FaultEvent::Up {
+            at: 140,
+            channel: ch(3),
+        },
+    ];
+    let mut station = storm_station(&FaultPlan::scripted(script));
+    let minimum = catalogue_minimum(&station);
+    assert_eq!(
+        minimum, 2,
+        "harmonic catalogue chosen so two survivors suffice"
+    );
+
+    // The plan epoch starts whenever the on-air plan is re-derived — on
+    // any channel transition, even one that does not change the mode
+    // (e.g. Repacked on 3 survivors -> Repacked on 2). A wait contained
+    // in one epoch ran entirely under a single plan.
+    let mut epoch_start = 0u64;
+    let mut next_page = 0u32;
+    let mut subscribed = 0u64;
+    let mut delivered = 0u64;
+    let mut late_in_valid_epoch = 0u64;
+
+    for t in 0..200u64 {
+        if t < 180 && t % 3 == 0 {
+            station.subscribe(page(next_page % 6)).unwrap();
+            next_page += 1;
+            subscribed += 1;
+        }
+        let out = station.tick();
+        assert_eq!(out.time, t);
+        assert_eq!(out.on_air.len(), 4);
+
+        if out
+            .events
+            .iter()
+            .any(|e| matches!(e, ChannelEvent::Down { .. } | ChannelEvent::Up { .. }))
+        {
+            epoch_start = t;
+        }
+
+        let survivors = station.channels_up();
+        assert_eq!(
+            out.mode,
+            expected_mode(survivors, 4, minimum),
+            "slot {t}: {survivors} survivors"
+        );
+
+        // Down channels never transmit.
+        for (c, slot) in out.on_air.iter().enumerate() {
+            if !station.is_channel_up(ch(u32::try_from(c).unwrap())) {
+                assert_eq!(*slot, None, "slot {t} channel {c}");
+            }
+        }
+
+        for d in &out.deliveries {
+            delivered += 1;
+            let since = t + 1 - d.wait;
+            if since >= epoch_start && out.mode.is_valid() && !d.within_deadline {
+                late_in_valid_epoch += 1;
+            }
+        }
+    }
+
+    // The core robustness promise: while the station claimed a valid
+    // mode, no wait that ran under a single plan missed its deadline.
+    assert_eq!(late_in_valid_epoch, 0);
+
+    // SUSC restored after the last recovery, nobody left behind.
+    assert_eq!(station.mode(), Mode::Valid);
+    assert_eq!(station.channels_up(), 4);
+    assert_eq!(
+        delivered, subscribed,
+        "every subscription is eventually served"
+    );
+    assert_eq!(station.stats().waiting, 0);
+
+    let stats = station.stats();
+    // Into BestEffort twice: going down past the minimum, and climbing
+    // back up out of Offline.
+    assert_eq!(stats.failovers, 2);
+    // Into Repacked twice: first channel loss, and the climb back from
+    // BestEffort (further losses within the Repacked rung don't count).
+    assert_eq!(stats.repacks, 2);
+    assert_eq!(stats.recoveries, 1);
+    // Slots 20..140 ran in a non-Valid mode.
+    assert_eq!(stats.degraded_slots, 120);
+
+    // Per-mode tallies partition the global counters.
+    let modes = [Mode::Valid, Mode::Repacked, Mode::BestEffort, Mode::Offline];
+    let per_mode_delivered: u64 = modes.iter().map(|&m| stats.per_mode(m).delivered).sum();
+    let per_mode_on_time: u64 = modes.iter().map(|&m| stats.per_mode(m).on_time).sum();
+    assert_eq!(per_mode_delivered, stats.delivered);
+    assert_eq!(per_mode_on_time, stats.on_time);
+    assert!(stats.per_mode(Mode::Repacked).delivered > 0);
+    assert!(stats.per_mode(Mode::BestEffort).delivered > 0);
+}
+
+/// Failover to PAMAD happens *exactly* when the survivors drop below the
+/// Theorem 3.1 minimum: one channel above the line stays Repacked, one
+/// below goes BestEffort, and recovery steps straight back.
+#[test]
+fn pamad_failover_triggers_exactly_below_the_minimum() {
+    let mut station = storm_station(&FaultPlan::scripted(vec![]));
+    let minimum = catalogue_minimum(&station);
+
+    // Walk down manually so each rung is observable between ticks.
+    let mut expected = Vec::new();
+    for c in (0..4u32).rev() {
+        let mode = station.fail_channel(ch(c));
+        expected.push((station.channels_up(), mode));
+    }
+    for (survivors, mode) in expected {
+        assert_eq!(
+            mode,
+            expected_mode(survivors, 4, minimum),
+            "{survivors} survivors"
+        );
+        // The boundary itself: BestEffort if and only if below minimum.
+        assert_eq!(
+            mode == Mode::BestEffort,
+            survivors > 0 && survivors < minimum
+        );
+    }
+
+    for c in 0..4u32 {
+        let mode = station.restore_channel(ch(c));
+        assert_eq!(mode, expected_mode(station.channels_up(), 4, minimum));
+    }
+    assert_eq!(station.mode(), Mode::Valid);
+}
+
+/// A subscription made while the station is completely dark is not lost:
+/// it is served after recovery, with the outage time counted against its
+/// (necessarily missed) deadline.
+#[test]
+fn subscriptions_survive_a_total_outage() {
+    let mut station = storm_station(&FaultPlan::scripted(vec![]));
+    for c in 0..4u32 {
+        station.fail_channel(ch(c));
+    }
+    assert_eq!(station.mode(), Mode::Offline);
+
+    let client = station.subscribe(page(0)).unwrap();
+    let dark = station.run(30);
+    assert!(dark.is_empty(), "a dark station delivers nothing");
+
+    for c in 0..4u32 {
+        station.restore_channel(ch(c));
+    }
+    let after = station.run(16);
+    let served = after.iter().find(|d| d.client == client).expect("served");
+    assert!(served.wait > 30, "the outage counts toward the wait");
+    assert!(!served.within_deadline);
+    assert_eq!(station.stats().waiting, 0);
+}
+
+/// A seeded random storm (outage-prone but recovery-dominant, with
+/// stalls and corruption mixed in) never strands a subscriber: once the
+/// faults stop and the channels are restored, the backlog drains within
+/// one cycle.
+#[test]
+fn random_storm_drains_once_faults_stop() {
+    let plan = FaultPlan::seeded(0xC4A05)
+        .with_outage(0.02)
+        .with_recovery(0.25)
+        .with_stalls(0.05)
+        .with_corruption(0.05);
+    let mut station = storm_station(&plan);
+
+    let mut subscribed = 0u64;
+    for t in 0..900u64 {
+        if t % 5 == 0 {
+            station.subscribe(page((t % 6) as u32)).unwrap();
+            subscribed += 1;
+        }
+        let out = station.tick();
+        assert_eq!(out.on_air.len(), 4);
+        assert_eq!(out.corrupted.len(), 4);
+        for (corrupt, slot) in out.corrupted.iter().zip(&out.on_air) {
+            if *corrupt {
+                assert!(slot.is_some(), "corruption implies a transmission");
+            }
+        }
+    }
+    assert!(subscribed > 0);
+
+    // Stop the weather, restore everything, and give the station one
+    // full cycle of calm air.
+    station.set_fault_plan(&FaultPlan::scripted(vec![]));
+    for c in 0..4u32 {
+        station.restore_channel(ch(c));
+    }
+    station.run(16);
+    assert_eq!(station.mode(), Mode::Valid);
+    assert_eq!(
+        station.stats().waiting,
+        0,
+        "the backlog drains under calm air"
+    );
+    assert_eq!(station.stats().delivered, subscribed);
+}
+
+/// The acceptance criterion for the injector: two stations built from
+/// the same seed, catalogue and client schedule produce bit-identical
+/// `TickOutcome` streams and statistics.
+#[test]
+fn equal_seeds_give_identical_chaos_runs() {
+    let plan = FaultPlan::seeded(77)
+        .with_outage(0.04)
+        .with_recovery(0.2)
+        .with_stalls(0.08)
+        .with_corruption(0.1);
+    let mut a = storm_station(&plan);
+    let mut b = storm_station(&plan);
+    for t in 0..400u64 {
+        if t % 7 == 0 {
+            a.subscribe(page((t % 6) as u32)).unwrap();
+            b.subscribe(page((t % 6) as u32)).unwrap();
+        }
+        assert_eq!(a.tick(), b.tick(), "slot {t}");
+    }
+    assert_eq!(a.stats(), b.stats());
+    assert_eq!(a.mode(), b.mode());
+}

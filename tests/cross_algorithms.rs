@@ -2,6 +2,7 @@
 
 use airsched_core::bound::minimum_channels;
 use airsched_core::delay::{expected_program_delay, Weighting};
+use airsched_core::dynamic::OnlineScheduler;
 use airsched_core::group::GroupLadder;
 use airsched_core::{mpb, opt, pamad, susc, validity};
 use airsched_sim::access::exact_avg_delay;
@@ -94,6 +95,39 @@ proptest! {
             d_opt <= d_pamad * 1.5 + 2.5,
             "OPT measured {d_opt} vs PAMAD {d_pamad}"
         );
+    }
+
+    /// Robustness: the station's failover rung is a SUSC re-pack of the
+    /// live catalogue onto the survivors. For any ladder and any
+    /// surviving-channel count at or above the Theorem 3.1 minimum, the
+    /// rebuild must succeed and the resulting program must still pass the
+    /// validity checker.
+    #[test]
+    fn failover_rebuild_stays_valid_above_minimum(ladder in arb_ladder(), extra in 1u32..4) {
+        let min = minimum_channels(&ladder);
+        let configured = min + extra;
+        let catalogue: Vec<_> = ladder
+            .pages()
+            .map(|(page, group)| (page, ladder.time_of(group).slots()))
+            .collect();
+        let mut sched = OnlineScheduler::new(configured, ladder.max_time()).unwrap();
+        sched.rebuild_with(&catalogue).unwrap();
+        for survivors in min..configured {
+            let mut probe = sched.clone();
+            prop_assert!(
+                probe.rebuild_on_channels(survivors).is_ok(),
+                "re-pack onto {survivors} of {configured} channels (minimum {min}) failed"
+            );
+            let report = validity::check(probe.program(), &ladder);
+            prop_assert!(
+                report.is_valid(),
+                "re-packed program invalid on {survivors} survivors: {:?}",
+                report.violations()
+            );
+            // Climbing back to the full complement restores validity too.
+            prop_assert!(probe.rebuild_on_channels(configured).is_ok());
+            prop_assert!(validity::check(probe.program(), &ladder).is_valid());
+        }
     }
 }
 

@@ -1,0 +1,900 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! slice of proptest it uses: the [`proptest!`] macro family, composable
+//! [`strategy::Strategy`] values (ranges, tuples, vectors, options, regex-ish
+//! string patterns, `prop_oneof!`, `prop_map`/`prop_flat_map`), and a
+//! deterministic test runner.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the ordinary assertion
+//!   message; the run is fully deterministic (the seed is derived from the
+//!   test name), so failures reproduce exactly.
+//! * **Regex strategies** support the subset used in this workspace:
+//!   `.`, character classes like `[0-9 .x\n]`, literals, and `{m,n}` /
+//!   `{n}` / `*` / `+` / `?` repetition.
+//! * `prop_assert*!` delegate to `assert*!` (panic instead of returning a
+//!   `TestCaseError`), which is equivalent under this runner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Deterministic runner: configuration, PRNG, and the case loop.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Returns a config running `cases` cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Marker returned by `prop_assume!` when a case must be discarded.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Reject;
+
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        #[must_use]
+        pub fn from_seed(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns the next 32 random bits.
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// Draws uniformly from `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot sample an empty range");
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// Draws uniformly from the inclusive range `[lo, hi]`.
+        pub fn between(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo <= hi, "cannot sample an empty range");
+            let span = hi - lo;
+            if span == u64::MAX {
+                return self.next_u64();
+            }
+            lo + self.below(span + 1)
+        }
+    }
+
+    /// Stable FNV-1a hash of the test name, used to derive per-test seeds.
+    fn fnv1a(name: &str) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Runs `case` until `config.cases` cases have been accepted.
+    ///
+    /// The seed is derived from `name` alone, so every run of the same test
+    /// binary explores the same inputs. A panicking case reports its index
+    /// and seed on stderr before propagating, for reproduction by eye.
+    pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), Reject>,
+    {
+        let seed = fnv1a(name) ^ 0xA076_1D64_78BD_642F;
+        let mut rng = TestRng::from_seed(seed);
+        let mut accepted: u32 = 0;
+        let mut attempts: u64 = 0;
+        let max_attempts = u64::from(config.cases) * 20 + 100;
+        while accepted < config.cases && attempts < max_attempts {
+            attempts += 1;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+            match result {
+                Ok(Ok(())) => accepted += 1,
+                Ok(Err(Reject)) => {}
+                Err(panic) => {
+                    eprintln!(
+                        "proptest (vendored stub): test `{name}` failed on \
+                         case #{accepted} (attempt {attempts}, seed {seed:#x})"
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        if accepted < config.cases {
+            eprintln!(
+                "proptest (vendored stub): test `{name}` accepted only \
+                 {accepted}/{} cases before the rejection cap",
+                config.cases
+            );
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and core combinators.
+pub mod strategy {
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Mirrors upstream's trait minus shrinking: `generate` replaces
+    /// `new_tree` and yields the value directly.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Discards generated values failing `f` (bounded retries).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let value = self.inner.generate(rng);
+                if (self.f)(&value) {
+                    return value;
+                }
+            }
+            panic!("prop_filter({}) rejected 1000 candidates", self.whence);
+        }
+    }
+
+    /// A reference-counted, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice among boxed strategies; built by `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over `options`; must be non-empty.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.below(self.options.len() as u64) as usize;
+            self.options[pick].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.between(self.start as u64, self.end as u64 - 1) as $ty
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.between(*self.start() as u64, *self.end() as u64) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+}
+
+/// `any::<T>()` support for primitive types and [`sample::Index`].
+pub mod arbitrary {
+    use core::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias towards edge values: full-range otherwise.
+                    match rng.below(8) {
+                        0 => <$ty>::MIN,
+                        1 => <$ty>::MAX,
+                        2 => 0 as $ty,
+                        3 => 1 as $ty,
+                        _ => rng.next_u64() as $ty,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            match rng.below(8) {
+                0 => 0.0,
+                1 => -1.0,
+                2 => f64::INFINITY,
+                3 => f64::NAN,
+                _ => (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64),
+            }
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns a strategy producing arbitrary values of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// `prop::collection` — sized `Vec` strategies.
+pub mod collection {
+    use core::ops::{Range, RangeInclusive};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                min: exact,
+                max: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            Self {
+                min: range.start,
+                max: range.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            Self {
+                min: *range.start(),
+                max: *range.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.between(self.size.min as u64, self.size.max as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Returns a strategy for vectors of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `prop::option` — `Option<T>` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// Returns a strategy yielding `None` about a quarter of the time.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+/// `prop::sample` — collection-index sampling.
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose size is unknown at generation time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index {
+        raw: usize,
+    }
+
+    impl Index {
+        /// Projects this sample onto a collection of `len` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len == 0`.
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            self.raw % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Self {
+                raw: rng.next_u64() as usize,
+            }
+        }
+    }
+}
+
+/// Regex-pattern string strategies (subset; see the crate docs).
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        /// `.` — any char except `\n`.
+        AnyChar,
+        /// `[...]` — one of an explicit set.
+        Class(Vec<char>),
+        /// A literal character.
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &mut core::iter::Peekable<core::str::Chars<'_>>) -> Vec<char> {
+        let mut set = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .expect("unterminated character class in pattern");
+            match c {
+                ']' => break,
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape in class");
+                    set.push(unescape(esc));
+                }
+                _ => {
+                    if chars.peek() == Some(&'-') {
+                        let mut look = chars.clone();
+                        look.next();
+                        if let Some(&end) = look.peek() {
+                            if end != ']' {
+                                chars.next();
+                                chars.next();
+                                for v in (c as u32)..=(end as u32) {
+                                    if let Some(ch) = char::from_u32(v) {
+                                        set.push(ch);
+                                    }
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                    set.push(c);
+                }
+            }
+        }
+        assert!(!set.is_empty(), "empty character class in pattern");
+        set
+    }
+
+    fn parse_repeat(chars: &mut core::iter::Peekable<core::str::Chars<'_>>) -> (u32, u32) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.parse().expect("bad repeat lower bound");
+                        let hi = if hi.is_empty() {
+                            lo + 16
+                        } else {
+                            hi.parse().expect("bad repeat upper bound")
+                        };
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = spec.parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::AnyChar,
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => Atom::Literal(unescape(chars.next().expect("dangling escape in pattern"))),
+                other => Atom::Literal(other),
+            };
+            let (min, max) = parse_repeat(&mut chars);
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Mostly printable ASCII plus a sprinkling of awkward characters.
+    fn any_char(rng: &mut TestRng) -> char {
+        match rng.below(16) {
+            0 => '\t',
+            1 => '\u{0}',
+            2 => 'é',
+            3 => '世',
+            _ => char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap(),
+        }
+    }
+
+    fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let reps = rng.between(u64::from(piece.min), u64::from(piece.max)) as u32;
+            for _ in 0..reps {
+                match &piece.atom {
+                    Atom::AnyChar => out.push(any_char(rng)),
+                    Atom::Class(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate(self, rng)
+        }
+    }
+}
+
+/// Namespaced re-exports mirroring `proptest::prelude::prop::*`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(
+                &__config,
+                stringify!($name),
+                |__rng| -> ::core::result::Result<(), $crate::test_runner::Reject> {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), __rng);
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_compose() {
+        let strat = (1u64..=6, 2u64..4, prop::collection::vec(1u64..=40, 1..=5))
+            .prop_map(|(a, b, v)| (a, b, v.len()));
+        let mut rng = crate::test_runner::TestRng::from_seed(1);
+        for _ in 0..200 {
+            let (a, b, len) = Strategy::generate(&strat, &mut rng);
+            assert!((1..=6).contains(&a));
+            assert!((2..4).contains(&b));
+            assert!((1..=5).contains(&len));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_text() {
+        let mut rng = crate::test_runner::TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[0-9 .x\n]{0,120}", &mut rng);
+            assert!(s.chars().all(|c| c.is_ascii_digit()
+                || c == ' '
+                || c == '.'
+                || c == 'x'
+                || c == '\n'));
+            assert!(s.chars().count() <= 120);
+            let free = Strategy::generate(&".{0,16}", &mut rng);
+            assert!(free.chars().count() <= 16);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro supports metas, multiple args, and assume/assert.
+        #[test]
+        fn macro_end_to_end(
+            x in 0u32..100,
+            ys in prop::collection::vec(any::<u8>(), 0..4),
+            pick in any::<prop::sample::Index>(),
+        ) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.len(), ys.len());
+            if !ys.is_empty() {
+                let _ = ys[pick.index(ys.len())];
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_and_flat_map() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)]
+            .prop_flat_map(|n| (Just(n), prop::collection::vec(0u8..10, n as usize)));
+        let mut rng = crate::test_runner::TestRng::from_seed(3);
+        for _ in 0..100 {
+            let (n, v) = Strategy::generate(&strat, &mut rng);
+            assert_eq!(v.len(), n as usize);
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut first = Vec::new();
+        crate::test_runner::run_cases(&ProptestConfig::with_cases(16), "stream", |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::test_runner::run_cases(&ProptestConfig::with_cases(16), "stream", |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}
