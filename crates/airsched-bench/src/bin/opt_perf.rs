@@ -19,8 +19,8 @@ fn main() {
         dists[0]
     );
     println!(
-        "{:>8}  {:>10}  {:>12}  {:>10}",
-        "channels", "evaluated", "objective", "time"
+        "{:>8}  {:>10}  {:>10}  {:>12}  {:>10}",
+        "channels", "evaluated", "pruned", "objective", "time"
     );
     let mut points: Vec<u32> = (0..).map(|k| 1u32 << k).take_while(|&n| n < min).collect();
     points.push(min);
@@ -28,8 +28,9 @@ fn main() {
         let t0 = std::time::Instant::now();
         let r = opt::search_r_structured(&ladder, n, Weighting::PaperEq2);
         println!(
-            "{n:>8}  {:>10}  {:>12.4}  {:>10?}",
+            "{n:>8}  {:>10}  {:>10}  {:>12.4}  {:>10?}",
             r.evaluated(),
+            r.pruned(),
             r.objective(),
             t0.elapsed()
         );

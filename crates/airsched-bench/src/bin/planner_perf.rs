@@ -1,0 +1,269 @@
+//! Planner & measurement performance baseline: times the pruned/parallel
+//! OPT searches, the incremental PAMAD stage loop, the closed-form exact
+//! AvgD, sharded measurement, and the validity sweep at Figure-5 scale,
+//! and emits machine-readable `BENCH_planner.json` so later PRs have a
+//! trajectory to beat.
+//!
+//! Run: `cargo run --release -p airsched-bench --bin planner_perf`
+//!
+//! Options (beyond the common `--dist/--n/--groups/--t1/--ratio/--requests/
+//! --seed`): `--threads <k>` to override the worker count (default: all
+//! available cores) and `--out <path>` for the JSON file (default
+//! `BENCH_planner.json` in the working directory).
+//!
+//! The binary **exits non-zero** if any optimized path diverges from its
+//! reference (parallel vs serial OPT, closed-form vs scanned AvgD,
+//! sharded vs serial measurement) — CI runs it as a correctness gate.
+
+use std::time::Instant;
+
+use airsched_bench::{extra_num, parse_common_args};
+use airsched_core::bound::minimum_channels;
+use airsched_core::delay::Weighting;
+use airsched_core::group::GroupLadder;
+use airsched_core::{opt, pamad, validity};
+use airsched_sim::access::{self, Measurer};
+use airsched_workload::requests::{AccessPattern, RequestGenerator};
+
+/// Wall time of `f` in microseconds, best of `reps` runs (the searches are
+/// deterministic, so min-of-k isolates scheduler noise).
+fn time_us<T>(reps: u32, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    (out.expect("reps >= 1"), best)
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let (config, dists, extra) = parse_common_args();
+    let config = config.with_distribution(dists[0]);
+    let ladder = config.ladder().expect("workload builds");
+    let threads = extra_num(
+        &extra,
+        "threads",
+        std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
+    );
+    let out_path = extra
+        .iter()
+        .find(|(k, _)| k == "out")
+        .map_or_else(|| "BENCH_planner.json".to_string(), |(_, v)| v.clone());
+
+    let n_min = minimum_channels(&ladder);
+    let mut divergences: Vec<String> = Vec::new();
+    println!(
+        "planner_perf on {} ({} pages, {} groups, t1={}, t_h={}) — N_min = {n_min}, {threads} threads\n",
+        dists[0],
+        ladder.total_pages(),
+        ladder.group_count(),
+        ladder.times()[0],
+        ladder.max_time()
+    );
+
+    // --- OPT r-structured at N = N_min (the Figure-5 operating point). ---
+    let (unpruned, unpruned_us) = time_us(3, || {
+        opt::search_r_structured_unpruned(&ladder, n_min, Weighting::PaperEq2)
+    });
+    let (serial, serial_us) = time_us(3, || {
+        opt::search_r_structured(&ladder, n_min, Weighting::PaperEq2)
+    });
+    let (parallel, parallel_us) = time_us(3, || {
+        opt::search_r_structured_parallel(&ladder, n_min, Weighting::PaperEq2, threads)
+    });
+    let opt_identical = serial.frequencies() == unpruned.frequencies()
+        && serial.objective() == unpruned.objective()
+        && parallel.frequencies() == serial.frequencies()
+        && parallel.objective() == serial.objective();
+    if !opt_identical {
+        divergences.push("opt_r_structured: pruned/parallel diverge from reference".into());
+    }
+    if serial.evaluated() >= unpruned.evaluated() {
+        divergences.push(format!(
+            "opt_r_structured: pruning did not reduce evaluations ({} vs {})",
+            serial.evaluated(),
+            unpruned.evaluated()
+        ));
+    }
+    // Headline: the seed paid the unpruned serial cost; the new planner
+    // pays the pruned (parallel where cores exist) cost.
+    let opt_speedup = unpruned_us / parallel_us.min(serial_us);
+    println!("OPT r-structured @ N={n_min}:");
+    println!(
+        "  unpruned serial  {unpruned_us:>10.1} µs  evaluated {}",
+        unpruned.evaluated()
+    );
+    println!(
+        "  pruned serial    {serial_us:>10.1} µs  evaluated {} (cut {})",
+        serial.evaluated(),
+        serial.pruned()
+    );
+    println!(
+        "  pruned parallel  {parallel_us:>10.1} µs  ({threads} threads)  speedup vs seed: {opt_speedup:.1}x\n"
+    );
+
+    // --- Full branch-and-bound on a reduced ladder (its cap space at full
+    // paper scale is astronomically larger than the structured space). ---
+    let bnb_ladder = GroupLadder::geometric(2, 2, &[6, 8, 10, 4, 2]).expect("static ladder");
+    let bnb_n = minimum_channels(&bnb_ladder);
+    let bnb_config = opt::OptConfig::default();
+    let (bnb_serial, bnb_serial_us) =
+        time_us(3, || opt::search_full_bnb(&bnb_ladder, bnb_n, bnb_config));
+    let (bnb_parallel, bnb_parallel_us) = time_us(3, || {
+        opt::search_full_bnb_parallel(&bnb_ladder, bnb_n, bnb_config, threads)
+    });
+    let bnb_identical = bnb_parallel.frequencies() == bnb_serial.frequencies()
+        && bnb_parallel.objective() == bnb_serial.objective();
+    if !bnb_identical {
+        divergences.push("bnb: parallel diverges from serial".into());
+    }
+    println!(
+        "B&B (reduced ladder, N={bnb_n}): serial {bnb_serial_us:.1} µs, parallel {bnb_parallel_us:.1} µs, evaluated {} (cut {})\n",
+        bnb_serial.evaluated(),
+        bnb_serial.pruned()
+    );
+
+    // --- PAMAD stage loop (incremental, windowed trace). ---
+    let (plan, pamad_us) = time_us(5, || {
+        pamad::derive_frequencies(&ladder, n_min, Weighting::PaperEq2)
+    });
+    let stage_evaluated: u64 = plan.stages().iter().map(|s| s.evaluated).sum();
+    println!("PAMAD derive_frequencies @ N={n_min}: {pamad_us:.1} µs, {stage_evaluated} stage candidates\n");
+
+    // --- Exact AvgD: closed form vs per-arrival scan, on a program with
+    // real delays (half the minimum channels). ---
+    let meas_n = (n_min / 2).max(1);
+    let program = pamad::schedule(&ladder, meas_n)
+        .expect("schedule builds")
+        .into_program();
+    let (fast, fast_us) = time_us(3, || access::exact_avg_delay(&program, &ladder));
+    let (slow, slow_us) = time_us(1, || {
+        access::reference::exact_avg_delay_scan(&program, &ladder)
+    });
+    if fast != slow {
+        divergences.push(format!(
+            "exact_avg_delay: closed form {fast:?} != scan {slow:?}"
+        ));
+    }
+    println!(
+        "exact AvgD @ N={meas_n} (cycle {}): closed form {fast_us:.1} µs vs scan {slow_us:.1} µs ({:.0}x)\n",
+        program.cycle_len(),
+        slow_us / fast_us
+    );
+
+    // --- Measurement: serial vs sharded. ---
+    let requests = RequestGenerator::new(&ladder, AccessPattern::Uniform, config.seed)
+        .take(config.requests, program.cycle_len());
+    let (serial_meas, meas_serial_us) =
+        time_us(3, || Measurer::new().measure(&program, &ladder, &requests));
+    let (parallel_meas, meas_parallel_us) = time_us(3, || {
+        Measurer::new()
+            .parallelism(threads)
+            .measure(&program, &ladder, &requests)
+    });
+    if serial_meas != parallel_meas {
+        divergences.push("measure: sharded summary diverges from serial".into());
+    }
+    println!(
+        "measure {} requests: serial {meas_serial_us:.1} µs, {threads}-way {meas_parallel_us:.1} µs\n",
+        requests.len()
+    );
+
+    // --- Validity sweep (allocation-free gap iterator). ---
+    let (report, validity_us) = time_us(5, || validity::check(&program, &ladder));
+    println!(
+        "validity sweep: {validity_us:.1} µs ({})\n",
+        if report.is_valid() {
+            "valid"
+        } else {
+            "invalid"
+        }
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"planner_perf\",\n",
+            "  \"workload\": {{\"dist\": \"{dist}\", \"pages\": {pages}, \"groups\": {groups}, ",
+            "\"t1\": {t1}, \"t_h\": {th}, \"n_min\": {n_min}}},\n",
+            "  \"threads\": {threads},\n",
+            "  \"opt_r_structured\": {{\"unpruned_serial_us\": {o_u}, \"pruned_serial_us\": {o_s}, ",
+            "\"pruned_parallel_us\": {o_p}, \"evaluated_unpruned\": {e_u}, \"evaluated_pruned\": {e_p}, ",
+            "\"pruned_subtrees\": {cut}, \"speedup_vs_unpruned_serial\": {o_x}, \"identical\": {o_id}}},\n",
+            "  \"bnb\": {{\"serial_us\": {b_s}, \"parallel_us\": {b_p}, \"evaluated\": {b_e}, ",
+            "\"pruned_subtrees\": {b_c}, \"identical\": {b_id}}},\n",
+            "  \"pamad\": {{\"derive_us\": {p_us}, \"stage_candidates\": {p_e}}},\n",
+            "  \"exact_avg_delay\": {{\"closed_form_us\": {d_f}, \"scan_us\": {d_s}, ",
+            "\"speedup\": {d_x}, \"identical\": {d_id}}},\n",
+            "  \"measure\": {{\"requests\": {m_n}, \"serial_us\": {m_s}, \"parallel_us\": {m_p}, ",
+            "\"identical\": {m_id}}},\n",
+            "  \"validity\": {{\"check_us\": {v_us}, \"valid\": {v_ok}}},\n",
+            "  \"divergences\": {divs}\n",
+            "}}\n"
+        ),
+        dist = dists[0],
+        pages = ladder.total_pages(),
+        groups = ladder.group_count(),
+        t1 = ladder.times()[0],
+        th = ladder.max_time(),
+        n_min = n_min,
+        threads = threads,
+        o_u = json_f(unpruned_us),
+        o_s = json_f(serial_us),
+        o_p = json_f(parallel_us),
+        e_u = unpruned.evaluated(),
+        e_p = serial.evaluated(),
+        cut = serial.pruned(),
+        o_x = json_f(opt_speedup),
+        o_id = opt_identical,
+        b_s = json_f(bnb_serial_us),
+        b_p = json_f(bnb_parallel_us),
+        b_e = bnb_serial.evaluated(),
+        b_c = bnb_serial.pruned(),
+        b_id = bnb_identical,
+        p_us = json_f(pamad_us),
+        p_e = stage_evaluated,
+        d_f = json_f(fast_us),
+        d_s = json_f(slow_us),
+        d_x = json_f(slow_us / fast_us),
+        d_id = fast == slow,
+        m_n = requests.len(),
+        m_s = json_f(meas_serial_us),
+        m_p = json_f(meas_parallel_us),
+        m_id = serial_meas == parallel_meas,
+        v_us = json_f(validity_us),
+        v_ok = report.is_valid(),
+        divs = if divergences.is_empty() {
+            "[]".to_string()
+        } else {
+            format!(
+                "[{}]",
+                divergences
+                    .iter()
+                    .map(|d| format!("\"{}\"", d.replace('"', "'")))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        },
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_planner.json");
+    println!("wrote {out_path}");
+
+    if !divergences.is_empty() {
+        eprintln!("DIVERGENCE:");
+        for d in &divergences {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,7 @@
 //! | `ablation_objective` | Eq. 2-literal vs §4.1-normalized objective |
 //! | `ablation_opt` | structured vs full-exhaustive OPT gap |
 //! | `opt_perf` | OPT search cost vs channel count |
+//! | `planner_perf` | planner/measurement perf baseline → `BENCH_planner.json` |
 //! | `drop_vs_pamad` | §4 Solution 1 (drop pages) vs PAMAD, with on-demand congestion |
 //! | `fairness` | per-group normalized delay and Jain index (design-rationale ablation) |
 //! | `hybrid_split` | push/pull transceiver budget split (extension) |

@@ -8,7 +8,8 @@
 //! * [`search_full`] — true exhaustive enumeration of every frequency
 //!   vector `(S_1 .. S_h)` within per-group caps. Exponential; guarded by an
 //!   enumeration limit and intended for small ladders (tests, worked
-//!   examples, cross-checks).
+//!   examples, cross-checks). [`search_full_bnb`] covers the same space
+//!   with branch-and-bound pruning.
 //! * [`search_r_structured`] — joint enumeration of the *ratio* vectors
 //!   `(r_1 .. r_{h-1})` that PAMAD searches greedily, i.e. the harmonic
 //!   family `S_i = prod_{j >= i} r_j`. This is a global optimum over the
@@ -20,6 +21,29 @@
 //! Both modes minimize the same analytic objective as PAMAD
 //! ([`crate::delay::group_objective`]), then materialize the program with
 //! Algorithm 4 so the comparison isolates the frequency choice.
+//!
+//! ## Performance engineering (DESIGN.md §7)
+//!
+//! The searches are built to run "as fast as the hardware allows":
+//!
+//! * **Admissible pruning.** Both DFS modes carry an admissible lower
+//!   bound on every subtree's objective; a subtree whose bound cannot beat
+//!   the incumbent is cut *before* it is enumerated. The bound never
+//!   overestimates, so the found optimum — and, because ties are broken by
+//!   enumeration order, the exact frequency vector — is bit-identical to
+//!   the unpruned search ([`search_r_structured_unpruned`] is retained as
+//!   the reference).
+//! * **Incremental prefix products.** The slot count `F_j` of a ratio
+//!   prefix obeys `F_{j+1} = r_j * F_j + P_{j+1}`, so extending a prefix is
+//!   `O(1)` instead of the `O(h^2)` per-node vector rebuild the seed
+//!   implementation paid.
+//! * **Scoped-thread fan-out.** [`search_r_structured_parallel`] and
+//!   [`search_full_bnb_parallel`] deal the top-level choices round-robin
+//!   over `std::thread::scope` workers (the build is offline and std-only —
+//!   no rayon). Each worker runs the serial pruned DFS over its share and
+//!   the results merge deterministically by objective, then the serial
+//!   tie-break, then top-level enumeration order, so the parallel result is
+//!   bit-identical to the serial one for any thread count.
 
 use crate::delay::{group_objective, Weighting};
 use crate::error::ScheduleError;
@@ -54,6 +78,7 @@ pub struct OptResult {
     freqs: Vec<u64>,
     objective: f64,
     evaluated: u64,
+    pruned: u64,
 }
 
 impl OptResult {
@@ -75,6 +100,13 @@ impl OptResult {
         self.evaluated
     }
 
+    /// Number of subtrees cut by the admissible lower bound before being
+    /// enumerated (zero for the unpruned reference search).
+    #[must_use]
+    pub fn pruned(&self) -> u64 {
+        self.pruned
+    }
+
     /// Materializes the program for the found frequencies (Algorithm 4).
     ///
     /// # Errors
@@ -85,11 +117,15 @@ impl OptResult {
     }
 }
 
-/// Joint search over ratio vectors `(r_1 .. r_{h-1})`, `S_i = prod r_{j>=i}`.
+/// Joint search over ratio vectors `(r_1 .. r_{h-1})`, `S_i = prod r_{j>=i}`,
+/// with admissible subtree pruning.
 ///
 /// Each `r_j` ranges over `1 ..= ceil((N*t_{j+1} - P_{j+1}) / sum_{k<=j} P_k)`
 /// (Algorithm 3's stage bound evaluated at its loosest, i.e. with all
-/// earlier ratios at 1), clamped to at least 1.
+/// earlier ratios at 1), clamped to at least 1. Subtrees whose lower bound
+/// cannot improve on the incumbent are skipped; the result is bit-identical
+/// to [`search_r_structured_unpruned`] while [`OptResult::evaluated`] is
+/// strictly smaller whenever anything prunes.
 ///
 /// # Panics
 ///
@@ -109,6 +145,72 @@ impl OptResult {
 /// ```
 #[must_use]
 pub fn search_r_structured(ladder: &GroupLadder, n_real: u32, weighting: Weighting) -> OptResult {
+    r_structured_impl(ladder, n_real, weighting, true, 1)
+}
+
+/// The unpruned reference for [`search_r_structured`]: enumerates every
+/// ratio vector in the dynamic-bound space without the lower-bound cut.
+///
+/// Kept so benchmarks (`planner_perf`) and tests can demonstrate that the
+/// pruned search returns bit-identical frequencies and objective while
+/// evaluating strictly fewer candidates.
+///
+/// # Panics
+///
+/// Panics if `n_real == 0`.
+#[must_use]
+pub fn search_r_structured_unpruned(
+    ladder: &GroupLadder,
+    n_real: u32,
+    weighting: Weighting,
+) -> OptResult {
+    r_structured_impl(ladder, n_real, weighting, false, 1)
+}
+
+/// Parallel [`search_r_structured`]: fans the top-level ratio `r_1` out
+/// round-robin over `threads` scoped worker threads.
+///
+/// The merged result (frequencies and objective) is bit-identical to the
+/// serial pruned search for any `threads >= 1`; only the `evaluated` /
+/// `pruned` tallies may differ, because each worker prunes against its own
+/// incumbent rather than a globally shared one. `threads <= 1` runs the
+/// serial search.
+///
+/// # Panics
+///
+/// Panics if `n_real == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::delay::Weighting;
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::opt;
+///
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// let serial = opt::search_r_structured(&ladder, 2, Weighting::PaperEq2);
+/// let parallel = opt::search_r_structured_parallel(&ladder, 2, Weighting::PaperEq2, 4);
+/// assert_eq!(parallel.frequencies(), serial.frequencies());
+/// assert_eq!(parallel.objective(), serial.objective());
+/// # Ok::<(), airsched_core::error::ScheduleError>(())
+/// ```
+#[must_use]
+pub fn search_r_structured_parallel(
+    ladder: &GroupLadder,
+    n_real: u32,
+    weighting: Weighting,
+    threads: usize,
+) -> OptResult {
+    r_structured_impl(ladder, n_real, weighting, true, threads.max(1))
+}
+
+fn r_structured_impl(
+    ladder: &GroupLadder,
+    n_real: u32,
+    weighting: Weighting,
+    prune: bool,
+    threads: usize,
+) -> OptResult {
     assert!(n_real > 0, "n_real must be non-zero");
     let h = ladder.group_count();
     let times = ladder.times();
@@ -119,25 +221,128 @@ pub fn search_r_structured(ladder: &GroupLadder, n_real: u32, weighting: Weighti
             freqs: vec![1],
             objective: group_objective(times, pages, &[1], n_real, weighting),
             evaluated: 1,
+            pruned: 0,
         };
     }
 
-    let mut search = RSearch {
-        times,
-        pages,
-        n_real,
-        weighting,
-        ratios: vec![1u64; h - 1],
-        best_freqs: Vec::new(),
-        best_obj: f64::INFINITY,
-        evaluated: 0,
+    let bound_weights = bound_weights(pages, weighting);
+
+    // Top-level range for r_1 (position 0): F_0 = P_0.
+    let top_bound = ratio_bound(n_real, times[1], pages[1], pages[0]);
+
+    let worker = |top_values: &[u64]| -> RSearch<'_> {
+        let mut search = RSearch {
+            times,
+            pages,
+            n_real,
+            weighting,
+            prune,
+            bound_weights: bound_weights.as_deref(),
+            ratios: vec![1u64; h - 1],
+            best: None,
+            evaluated: 0,
+            pruned: 0,
+        };
+        for &r in top_values {
+            search.ratios[0] = r;
+            let f_child = r.saturating_mul(pages[0]).saturating_add(pages[1]);
+            if search.try_prune(1, f_child) {
+                continue;
+            }
+            search.descend(1, f_child);
+        }
+        search
     };
-    search.dfs(0);
+
+    let (best, evaluated, pruned) = if threads <= 1 || top_bound < 2 {
+        let all: Vec<u64> = (1..=top_bound).collect();
+        let search = worker(&all);
+        (search.best, search.evaluated, search.pruned)
+    } else {
+        // Deal r values round-robin so the (typically larger) low-r
+        // subtrees spread across workers.
+        let workers = threads.min(top_bound as usize);
+        let chunks: Vec<Vec<u64>> = (0..workers)
+            .map(|w| {
+                (1..=top_bound)
+                    .filter(|r| ((r - 1) as usize) % workers == w)
+                    .collect()
+            })
+            .collect();
+        let results: Vec<RSearch<'_>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(|| worker(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("search worker panicked"))
+                .collect()
+        });
+        // Deterministic merge: lowest objective wins; among exact ties the
+        // candidate found at the smallest top-level r (each r is owned by
+        // exactly one worker, and within a worker the DFS already keeps the
+        // first-found optimum) — exactly the serial enumeration order.
+        let mut best: Option<RBest> = None;
+        let mut evaluated = 0;
+        let mut pruned = 0;
+        for search in results {
+            evaluated += search.evaluated;
+            pruned += search.pruned;
+            if let Some(cand) = search.best {
+                let replace = match &best {
+                    None => true,
+                    Some(inc) => {
+                        cand.objective < inc.objective
+                            || (cand.objective == inc.objective && cand.top_r < inc.top_r)
+                    }
+                };
+                if replace {
+                    best = Some(cand);
+                }
+            }
+        }
+        (best, evaluated, pruned)
+    };
+
+    let best = best.expect("every top-level ratio leads to at least one leaf");
     OptResult {
-        freqs: search.best_freqs,
-        objective: search.best_obj,
-        evaluated: search.evaluated,
+        freqs: best.freqs,
+        objective: best.objective,
+        evaluated,
+        pruned,
     }
+}
+
+/// Algorithm 3's stage bound `ceil((N*t_next - P_next) / F_prev)`, at least 1.
+fn ratio_bound(n_real: u32, t_next: u64, p_next: u64, f_prev: u64) -> u64 {
+    let numer = u64::from(n_real)
+        .saturating_mul(t_next)
+        .saturating_sub(p_next);
+    numer.div_ceil(f_prev.max(1)).max(1)
+}
+
+/// Per-group weights the admissible bound charges late groups with, for the
+/// normalized weightings (`None` for the paper-literal objective, which
+/// derives its weight from the frequency vector itself).
+fn bound_weights(pages: &[u64], weighting: Weighting) -> Option<Vec<f64>> {
+    let n_pages: u64 = pages.iter().sum();
+    match weighting {
+        Weighting::PaperEq2 => None,
+        Weighting::Normalized => Some(pages.iter().map(|&p| p as f64 / n_pages as f64).collect()),
+        Weighting::ZipfAccess { theta } => Some(crate::delay::zipf_group_masses_for_bound(
+            pages, n_pages, theta,
+        )),
+    }
+}
+
+/// The best leaf a search (or worker) has seen.
+struct RBest {
+    freqs: Vec<u64>,
+    objective: f64,
+    /// The top-level ratio `r_1` under which the leaf was found — the merge
+    /// tie-break that reproduces serial enumeration order.
+    top_r: u64,
 }
 
 /// DFS over ratio vectors with *dynamic* Algorithm-3 stage bounds: the
@@ -146,19 +351,90 @@ pub fn search_r_structured(ladder: &GroupLadder, n_real: u32, weighting: Weighti
 /// instances the first `j+1` groups occupy per repetition). Larger earlier
 /// ratios therefore tighten later ranges, keeping the tree far smaller than
 /// the static cross-product while covering the same meaningful space.
+///
+/// The prefix slot count is maintained incrementally
+/// (`F_{j+1} = r_j * F_j + P_{j+1}`), so extending a candidate costs `O(1)`
+/// and a leaf evaluation `O(h)` — the seed implementation re-derived every
+/// prefix product from scratch, `O(h^2)` per node.
 struct RSearch<'a> {
     times: &'a [u64],
     pages: &'a [u64],
     n_real: u32,
     weighting: Weighting,
+    prune: bool,
+    /// Fixed per-group weights for the bound (normalized weightings only).
+    bound_weights: Option<&'a [f64]>,
     ratios: Vec<u64>,
-    best_freqs: Vec<u64>,
-    best_obj: f64,
+    best: Option<RBest>,
     evaluated: u64,
+    pruned: u64,
 }
 
 impl RSearch<'_> {
-    fn dfs(&mut self, j: usize) {
+    /// Admissible lower bound with ratio positions `0 .. j1` fixed, i.e.
+    /// groups `0 ..= j1` in fixed relative frequency, where `f` is the slot
+    /// count `F_{j1} = sum_{k <= j1} q_k P_k` of that prefix
+    /// (`q_k = prod ratios[k .. j1]`).
+    ///
+    /// Any completion multiplies every fixed group's frequency by the same
+    /// future product `M >= 1` and adds at least one appearance of each
+    /// remaining group, so the spacing `F / S_i` of fixed group `i` is at
+    /// least `f / q_i`. Every objective term is non-decreasing in that
+    /// spacing wherever it is positive (see DESIGN.md §7 for the algebra),
+    /// so evaluating the fixed groups at their spacing floor and crediting
+    /// the remaining groups zero never overestimates.
+    fn lower_bound(&self, j1: usize, f: u64) -> f64 {
+        let f_f = f as f64;
+        let nr = f64::from(self.n_real);
+        let mut lb = 0.0;
+        let mut q = 1.0f64; // prod ratios[i .. j1], built from i = j1 down
+        for i in (0..=j1).rev() {
+            let x_lb = f_f / q; // spacing floor F / S_i
+            let t = self.times[i] as f64;
+            match self.bound_weights {
+                None => {
+                    // PaperEq2: term >= (P_i / x) * (x/N - t)^2 / 2, which
+                    // is non-decreasing in x wherever x/N > t.
+                    let a = x_lb / nr - t;
+                    if a > 0.0 {
+                        lb += (self.pages[i] as f64 / x_lb) * a * a / 2.0;
+                    }
+                }
+                Some(weights) => {
+                    // Normalized / Zipf: gap = t_major / S_i >= x / N and
+                    // (g-t)^2 / 2g is non-decreasing in g for g > t.
+                    let gap = x_lb / nr;
+                    if gap > t {
+                        lb += weights[i] * (gap - t) * (gap - t) / (2.0 * gap);
+                    }
+                }
+            }
+            if i > 0 {
+                q *= self.ratios[i - 1] as f64;
+            }
+        }
+        lb
+    }
+
+    /// Returns `true` (and tallies) when the subtree rooted at the prefix
+    /// `ratios[0 .. j1]` with slot count `f` cannot strictly improve on the
+    /// incumbent. Ties keep the earlier enumeration, so `>=` is exact.
+    fn try_prune(&mut self, j1: usize, f: u64) -> bool {
+        if !self.prune {
+            return false;
+        }
+        match &self.best {
+            Some(best) if self.lower_bound(j1, f) >= best.objective => {
+                self.pruned += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Continues the DFS with ratio positions `0 .. j` fixed and prefix slot
+    /// count `f_prev = F_j` covering groups `0 ..= j`.
+    fn descend(&mut self, j: usize, f_prev: u64) {
         let h = self.times.len();
         if j == h - 1 {
             let mut freqs = vec![1u64; h];
@@ -168,30 +444,28 @@ impl RSearch<'_> {
             let obj = group_objective(self.times, self.pages, &freqs, self.n_real, self.weighting);
             self.evaluated += 1;
             // Strict improvement: ties keep the earlier (lexicographically
-            // smaller, hence cheaper) vector.
-            if obj < self.best_obj {
-                self.best_obj = obj;
-                self.best_freqs = freqs;
+            // smaller in ratio order, hence first-enumerated) vector.
+            let improves = match &self.best {
+                None => true,
+                Some(best) => obj < best.objective,
+            };
+            if improves {
+                self.best = Some(RBest {
+                    freqs,
+                    objective: obj,
+                    top_r: self.ratios[0],
+                });
             }
             return;
         }
-        // F_j: slot instances of groups 0..=j per repetition under the
-        // prefix ratios (position j not yet fixed).
-        let mut f_prev = 0u64;
-        for k in 0..=j {
-            let mut prod = 1u64;
-            for &r in &self.ratios[k..j] {
-                prod = prod.saturating_mul(r);
-            }
-            f_prev = f_prev.saturating_add(prod.saturating_mul(self.pages[k]));
-        }
-        let numer = u64::from(self.n_real)
-            .saturating_mul(self.times[j + 1])
-            .saturating_sub(self.pages[j + 1]);
-        let bound = numer.div_ceil(f_prev.max(1)).max(1);
+        let bound = ratio_bound(self.n_real, self.times[j + 1], self.pages[j + 1], f_prev);
         for r in 1..=bound {
             self.ratios[j] = r;
-            self.dfs(j + 1);
+            let f_child = r.saturating_mul(f_prev).saturating_add(self.pages[j + 1]);
+            if self.try_prune(j + 1, f_child) {
+                continue;
+            }
+            self.descend(j + 1, f_child);
         }
         self.ratios[j] = 1;
     }
@@ -258,6 +532,7 @@ pub fn search_full(
                     freqs: best_freqs,
                     objective: best_obj,
                     evaluated,
+                    pruned: 0,
                 });
             }
             if freqs[pos] < caps[pos] {
@@ -313,6 +588,142 @@ fn total_instances(freqs: &[u64], pages: &[u64]) -> u64 {
 /// ```
 #[must_use]
 pub fn search_full_bnb(ladder: &GroupLadder, n_real: u32, config: OptConfig) -> OptResult {
+    bnb_impl(ladder, n_real, config, 1)
+}
+
+/// Parallel [`search_full_bnb`]: fans the top-level frequency `S_1` out
+/// round-robin over `threads` scoped worker threads, each seeded with the
+/// structured incumbent.
+///
+/// The merged frequencies and objective are bit-identical to the serial
+/// branch-and-bound for any `threads >= 1` (merge order: objective, then
+/// total slot instances, then top-level enumeration order — the serial
+/// replacement rule). `threads <= 1` runs the serial search.
+///
+/// # Panics
+///
+/// Panics if `n_real == 0`.
+#[must_use]
+pub fn search_full_bnb_parallel(
+    ladder: &GroupLadder,
+    n_real: u32,
+    config: OptConfig,
+    threads: usize,
+) -> OptResult {
+    bnb_impl(ladder, n_real, config, threads.max(1))
+}
+
+/// The best candidate a B&B worker has seen, with the serial tie-break key.
+struct BnbBest {
+    freqs: Vec<u64>,
+    objective: f64,
+    instances: u64,
+    /// Top-level `S_1` of the candidate (0 for the structured seed, which
+    /// serially precedes — and therefore wins ties against — every leaf).
+    top_s: u64,
+}
+
+struct Bnb<'a> {
+    times: &'a [u64],
+    pages: &'a [u64],
+    caps: &'a [u64],
+    remaining_pages: &'a [u64],
+    n_real: u32,
+    weighting: Weighting,
+    /// Zipf masses hoisted out of the per-node bound (computed once).
+    zipf_masses: Option<&'a [f64]>,
+    n_pages: u64,
+    freqs: Vec<u64>,
+    best: BnbBest,
+    evaluated: u64,
+    pruned: u64,
+}
+
+impl Bnb<'_> {
+    /// Admissible lower bound with groups `0..j` fixed, whose slot
+    /// instances sum to `fixed_slots`.
+    fn lower_bound(&self, j: usize, fixed_slots: u64) -> f64 {
+        let f_lb = fixed_slots + self.remaining_pages[j];
+        let tm_lb = f_lb.div_ceil(u64::from(self.n_real));
+        let (f_f, tm, nr) = (f_lb as f64, tm_lb as f64, f64::from(self.n_real));
+        let mut lb = 0.0;
+        for i in 0..j {
+            let (t, p, s) = (
+                self.times[i] as f64,
+                self.pages[i] as f64,
+                self.freqs[i] as f64,
+            );
+            match self.weighting {
+                Weighting::PaperEq2 => {
+                    let a = f_f / (nr * s) - t;
+                    let b = tm / s - t;
+                    if a > 0.0 && b > 0.0 {
+                        lb += (s * p / f_f) * a * b / 2.0;
+                    }
+                }
+                Weighting::Normalized | Weighting::ZipfAccess { .. } => {
+                    let weight = match self.zipf_masses {
+                        Some(m) => m[i],
+                        None => p / self.n_pages as f64,
+                    };
+                    let gap = tm / s;
+                    if gap > t {
+                        lb += weight * (gap - t) * (gap - t) / (2.0 * gap);
+                    }
+                }
+            }
+        }
+        lb
+    }
+
+    /// Offers a fully assigned frequency vector to the incumbent under the
+    /// serial replacement rule.
+    fn offer_leaf(&mut self) {
+        let obj = group_objective(
+            self.times,
+            self.pages,
+            &self.freqs,
+            self.n_real,
+            self.weighting,
+        );
+        self.evaluated += 1;
+        let instances = total_instances(&self.freqs, self.pages);
+        if obj < self.best.objective
+            || (obj == self.best.objective && instances < self.best.instances)
+        {
+            self.best = BnbBest {
+                freqs: self.freqs.clone(),
+                objective: obj,
+                instances,
+                top_s: self.freqs[0],
+            };
+        }
+    }
+
+    /// DFS over positions `j..` with groups `0..j` fixed at `fixed_slots`
+    /// slot instances.
+    fn dfs(&mut self, j: usize, fixed_slots: u64) {
+        if j == self.freqs.len() {
+            self.offer_leaf();
+            return;
+        }
+        for s in 1..=self.caps[j] {
+            self.freqs[j] = s;
+            let child_slots = fixed_slots + s * self.pages[j];
+            if self.lower_bound(j + 1, child_slots) > self.best.objective {
+                // Terms only grow with larger later F; larger s at this
+                // position only raises F further, but terms of *later*
+                // siblings may differ — prune this subtree only.
+                self.pruned += 1;
+                continue;
+            }
+            self.dfs(j + 1, child_slots);
+        }
+        self.freqs[j] = 1;
+    }
+}
+
+fn bnb_impl(ladder: &GroupLadder, n_real: u32, config: OptConfig, threads: usize) -> OptResult {
     assert!(n_real > 0, "n_real must be non-zero");
     let h = ladder.group_count();
     let times = ladder.times();
@@ -328,135 +739,123 @@ pub fn search_full_bnb(ladder: &GroupLadder, n_real: u32, config: OptConfig) -> 
     for j in (0..h).rev() {
         remaining_pages[j] = remaining_pages[j + 1] + pages[j];
     }
+    let n_pages: u64 = pages.iter().sum();
+    let zipf_masses = match config.weighting {
+        Weighting::ZipfAccess { theta } => Some(crate::delay::zipf_group_masses_for_bound(
+            pages, n_pages, theta,
+        )),
+        _ => None,
+    };
 
     // Incumbent: the structured optimum (always within the cap space as
     // long as its frequencies respect the caps; clamp defensively).
     let seed = search_r_structured(ladder, n_real, config.weighting);
-    let mut best_freqs: Vec<u64> = seed
+    let seed_freqs: Vec<u64> = seed
         .frequencies()
         .iter()
         .zip(&caps)
         .map(|(&s, &cap)| s.min(cap))
         .collect();
-    let mut best_obj = group_objective(times, pages, &best_freqs, n_real, config.weighting);
-    let mut evaluated = seed.evaluated();
-
-    struct Bnb<'a> {
-        times: &'a [u64],
-        pages: &'a [u64],
-        caps: &'a [u64],
-        remaining_pages: &'a [u64],
-        n_real: u32,
-        weighting: Weighting,
-        freqs: Vec<u64>,
-        best_freqs: Vec<u64>,
-        best_obj: f64,
-        evaluated: u64,
-    }
-
-    impl Bnb<'_> {
-        /// Admissible lower bound with groups `0..j` fixed.
-        fn lower_bound(&self, j: usize) -> f64 {
-            let fixed_slots: u64 = self.freqs[..j]
-                .iter()
-                .zip(self.pages)
-                .map(|(&s, &p)| s * p)
-                .sum();
-            let f_lb = fixed_slots + self.remaining_pages[j];
-            let tm_lb = f_lb.div_ceil(u64::from(self.n_real));
-            let n_pages: u64 = self.pages.iter().sum();
-            let zipf_masses = match self.weighting {
-                Weighting::ZipfAccess { theta } => Some(crate::delay::zipf_group_masses_for_bound(
-                    self.pages, n_pages, theta,
-                )),
-                _ => None,
-            };
-            let (f_f, tm, nr) = (f_lb as f64, tm_lb as f64, f64::from(self.n_real));
-            let mut lb = 0.0;
-            for i in 0..j {
-                let (t, p, s) = (
-                    self.times[i] as f64,
-                    self.pages[i] as f64,
-                    self.freqs[i] as f64,
-                );
-                match self.weighting {
-                    Weighting::PaperEq2 => {
-                        let a = f_f / (nr * s) - t;
-                        let b = tm / s - t;
-                        if a > 0.0 && b > 0.0 {
-                            lb += (s * p / f_f) * a * b / 2.0;
-                        }
-                    }
-                    Weighting::Normalized | Weighting::ZipfAccess { .. } => {
-                        let weight = match &zipf_masses {
-                            Some(m) => m[i],
-                            None => p / n_pages as f64,
-                        };
-                        let gap = tm / s;
-                        if gap > t {
-                            lb += weight * (gap - t) * (gap - t) / (2.0 * gap);
-                        }
-                    }
-                }
-            }
-            lb
-        }
-
-        fn dfs(&mut self, j: usize) {
-            if j == self.freqs.len() {
-                let obj = group_objective(
-                    self.times,
-                    self.pages,
-                    &self.freqs,
-                    self.n_real,
-                    self.weighting,
-                );
-                self.evaluated += 1;
-                if obj < self.best_obj
-                    || (obj == self.best_obj
-                        && total_instances(&self.freqs, self.pages)
-                            < total_instances(&self.best_freqs, self.pages))
-                {
-                    self.best_obj = obj;
-                    self.best_freqs = self.freqs.clone();
-                }
-                return;
-            }
-            for s in 1..=self.caps[j] {
-                self.freqs[j] = s;
-                if self.lower_bound(j + 1) > self.best_obj {
-                    // Terms only grow with larger later F; larger s at this
-                    // position only raises F further, but terms of *later*
-                    // siblings may differ — prune this subtree only.
-                    continue;
-                }
-                self.dfs(j + 1);
-            }
-            self.freqs[j] = 1;
-        }
-    }
-
-    let mut bnb = Bnb {
-        times,
-        pages,
-        caps: &caps,
-        remaining_pages: &remaining_pages,
-        n_real,
-        weighting: config.weighting,
-        freqs: vec![1u64; h],
-        best_freqs: best_freqs.clone(),
-        best_obj,
-        evaluated,
+    let seed_best = BnbBest {
+        objective: group_objective(times, pages, &seed_freqs, n_real, config.weighting),
+        instances: total_instances(&seed_freqs, pages),
+        freqs: seed_freqs,
+        top_s: 0,
     };
-    bnb.dfs(0);
-    best_freqs = bnb.best_freqs;
-    best_obj = bnb.best_obj;
-    evaluated = bnb.evaluated;
+
+    let make_worker = |top_values: &[u64]| -> Bnb<'_> {
+        let mut bnb = Bnb {
+            times,
+            pages,
+            caps: &caps,
+            remaining_pages: &remaining_pages,
+            n_real,
+            weighting: config.weighting,
+            zipf_masses: zipf_masses.as_deref(),
+            n_pages,
+            freqs: vec![1u64; h],
+            best: BnbBest {
+                freqs: seed_best.freqs.clone(),
+                objective: seed_best.objective,
+                instances: seed_best.instances,
+                top_s: 0,
+            },
+            evaluated: 0,
+            pruned: 0,
+        };
+        for &s in top_values {
+            bnb.freqs[0] = s;
+            if h == 1 {
+                bnb.offer_leaf();
+                continue;
+            }
+            let child_slots = s * pages[0];
+            if bnb.lower_bound(1, child_slots) > bnb.best.objective {
+                bnb.pruned += 1;
+                continue;
+            }
+            bnb.dfs(1, child_slots);
+        }
+        bnb
+    };
+
+    let top_cap = caps[0];
+    let (best, evaluated, pruned) = if threads <= 1 || top_cap < 2 {
+        let all: Vec<u64> = (1..=top_cap).collect();
+        let bnb = make_worker(&all);
+        (bnb.best, bnb.evaluated, bnb.pruned)
+    } else {
+        let workers = threads.min(top_cap as usize);
+        let chunks: Vec<Vec<u64>> = (0..workers)
+            .map(|w| {
+                (1..=top_cap)
+                    .filter(|s| ((s - 1) as usize) % workers == w)
+                    .collect()
+            })
+            .collect();
+        let results: Vec<Bnb<'_>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(|| make_worker(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("B&B worker panicked"))
+                .collect()
+        });
+        // Deterministic merge reproducing the serial replacement rule:
+        // objective, then total instances, then top-level order (the seed's
+        // top_s of 0 precedes every real leaf).
+        let mut best = BnbBest {
+            freqs: seed_best.freqs.clone(),
+            objective: seed_best.objective,
+            instances: seed_best.instances,
+            top_s: 0,
+        };
+        let mut evaluated = 0;
+        let mut pruned = 0;
+        let mut candidates: Vec<BnbBest> = Vec::with_capacity(results.len());
+        for bnb in results {
+            evaluated += bnb.evaluated;
+            pruned += bnb.pruned;
+            candidates.push(bnb.best);
+        }
+        candidates.sort_by_key(|c| c.top_s);
+        for cand in candidates {
+            if cand.objective < best.objective
+                || (cand.objective == best.objective && cand.instances < best.instances)
+            {
+                best = cand;
+            }
+        }
+        (best, evaluated, pruned)
+    };
 
     OptResult {
-        freqs: best_freqs,
-        objective: best_obj,
-        evaluated,
+        freqs: best.freqs,
+        objective: best.objective,
+        evaluated: evaluated + seed.evaluated(),
+        pruned,
     }
 }
 
@@ -474,7 +873,78 @@ mod tests {
         let best = search_r_structured(&fig2_ladder(), 3, Weighting::PaperEq2);
         assert_eq!(best.frequencies(), &[4, 2, 1]);
         assert!((best.objective() - 0.04166666667).abs() < 1e-8);
-        assert!(best.evaluated() >= 4);
+        assert!(best.evaluated() >= 1);
+    }
+
+    #[test]
+    fn pruned_matches_unpruned_reference() {
+        let ladders = [
+            fig2_ladder(),
+            GroupLadder::geometric(2, 2, &[10, 20, 15]).unwrap(),
+            GroupLadder::geometric(4, 2, &[5, 50, 20, 10]).unwrap(),
+            GroupLadder::geometric(2, 3, &[7, 3, 9]).unwrap(),
+        ];
+        for ladder in &ladders {
+            for n in 1..=5u32 {
+                for weighting in [
+                    Weighting::PaperEq2,
+                    Weighting::Normalized,
+                    Weighting::ZipfAccess { theta: 0.9 },
+                ] {
+                    let reference = search_r_structured_unpruned(ladder, n, weighting);
+                    let pruned = search_r_structured(ladder, n, weighting);
+                    assert_eq!(
+                        pruned.frequencies(),
+                        reference.frequencies(),
+                        "n={n} {weighting:?}"
+                    );
+                    assert_eq!(pruned.objective(), reference.objective());
+                    assert!(pruned.evaluated() <= reference.evaluated());
+                    assert_eq!(reference.pruned(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_evaluations() {
+        // The ratio space only opens up as N approaches N_min (tight stage
+        // bounds keep it trivial at small N) — prune where there is a tree.
+        let ladder = GroupLadder::geometric(2, 2, &[10, 20, 15, 8]).unwrap();
+        let n = crate::bound::minimum_channels(&ladder);
+        let reference = search_r_structured_unpruned(&ladder, n, Weighting::PaperEq2);
+        let pruned = search_r_structured(&ladder, n, Weighting::PaperEq2);
+        assert!(
+            pruned.evaluated() < reference.evaluated(),
+            "pruned {} vs reference {} evaluations",
+            pruned.evaluated(),
+            reference.evaluated()
+        );
+        assert!(pruned.pruned() > 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let ladders = [
+            fig2_ladder(),
+            GroupLadder::geometric(2, 2, &[10, 20, 15]).unwrap(),
+            GroupLadder::geometric(4, 2, &[5, 50, 20, 10]).unwrap(),
+        ];
+        for ladder in &ladders {
+            for n in 1..=5u32 {
+                let serial = search_r_structured(ladder, n, Weighting::PaperEq2);
+                for threads in [2usize, 3, 4, 8] {
+                    let parallel =
+                        search_r_structured_parallel(ladder, n, Weighting::PaperEq2, threads);
+                    assert_eq!(
+                        parallel.frequencies(),
+                        serial.frequencies(),
+                        "threads={threads}"
+                    );
+                    assert!(parallel.objective() == serial.objective());
+                }
+            }
+        }
     }
 
     #[test]
@@ -554,6 +1024,8 @@ mod tests {
         let best = search_r_structured(&ladder, 2, Weighting::PaperEq2);
         assert_eq!(best.frequencies(), &[1]);
         assert_eq!(best.evaluated(), 1);
+        let parallel = search_r_structured_parallel(&ladder, 2, Weighting::PaperEq2, 4);
+        assert_eq!(parallel.frequencies(), &[1]);
     }
 
     #[test]
@@ -590,6 +1062,29 @@ mod tests {
     }
 
     #[test]
+    fn bnb_parallel_matches_serial_bitwise() {
+        let ladders = [
+            fig2_ladder(),
+            GroupLadder::new(vec![(2, 8), (4, 4), (8, 6), (16, 2)]).unwrap(),
+        ];
+        for ladder in &ladders {
+            for n in 1..=3u32 {
+                let config = OptConfig::default();
+                let serial = search_full_bnb(ladder, n, config);
+                for threads in [2usize, 3, 7] {
+                    let parallel = search_full_bnb_parallel(ladder, n, config, threads);
+                    assert_eq!(
+                        parallel.frequencies(),
+                        serial.frequencies(),
+                        "threads={threads}"
+                    );
+                    assert!(parallel.objective() == serial.objective());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn bnb_prunes_substantially() {
         // A ladder whose plain cap space is large.
         let ladder = GroupLadder::geometric(2, 2, &[6, 8, 10, 4, 2]).unwrap();
@@ -606,6 +1101,7 @@ mod tests {
             bnb.evaluated(),
             plain.evaluated()
         );
+        assert!(bnb.pruned() > 0);
     }
 
     #[test]

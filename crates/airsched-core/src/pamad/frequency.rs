@@ -13,6 +13,15 @@
 //! slot instances the first `i-1` groups occupy per repetition; beyond that
 //! bound the earlier groups would already fit inside `t_i` with room to
 //! spare, so larger `r` cannot reduce delay.
+//!
+//! The stage loop is incremental (DESIGN.md §7): the fixed-ratio suffix
+//! products `R_j = prod_{k=j}^{g-2} r_k` are computed once per stage
+//! (`O(g)`), and the trial frequency vector is updated in place per `r`
+//! (`freqs[j] = r * R_j`), so a candidate evaluation costs `O(g)` instead
+//! of the seed's `O(g²)` rebuild. Trace retention is bounded by
+//! [`TraceDetail`] — the stage bound can reach [`MAX_STAGE_RANGE`]
+//! (`1 << 20`), and pre-allocating a `Candidate` per trial would reserve
+//! ~16 MiB per stage on degenerate ladders.
 
 use crate::delay::{group_objective, Weighting};
 use crate::group::GroupLadder;
@@ -21,11 +30,51 @@ use crate::types::GroupId;
 /// Hard cap on any single stage's search range; the analytic bound is far
 /// smaller for every realistic workload, so hitting this indicates a
 /// degenerate configuration rather than a meaningful optimum.
-const MAX_STAGE_RANGE: u64 = 1 << 20;
+pub const MAX_STAGE_RANGE: u64 = 1 << 20;
+
+/// Candidates retained per stage by the default trace detail
+/// ([`TraceDetail::Window`]). Large enough to keep every realistic stage's
+/// full trace (the paper workloads' bounds are in the tens), small enough
+/// that a degenerate `MAX_STAGE_RANGE` stage holds ~64 KiB, not ~16 MiB.
+pub const DEFAULT_TRACE_WINDOW: usize = 4096;
 
 /// Two stage objectives within this distance are considered tied; the
 /// tie-break (closeness to the group-time ratio) then applies.
 const TIE_EPS: f64 = 1e-12;
+
+/// How much of each stage's candidate sweep to retain in [`StageTrace`].
+///
+/// Retention is diagnostic only: the chosen ratio, the best objective, and
+/// the evaluated count are always recorded, so the *plan* is identical
+/// under every detail level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceDetail {
+    /// Record no per-candidate data (fastest, zero trace allocation).
+    Off,
+    /// Record the first `n` candidates of each stage, in ascending `r`.
+    Window(usize),
+    /// Record every candidate (up to [`MAX_STAGE_RANGE`] per stage — can
+    /// reserve ~16 MiB on degenerate ladders; opt-in for that reason).
+    Full,
+}
+
+impl Default for TraceDetail {
+    /// [`TraceDetail::Window`] at [`DEFAULT_TRACE_WINDOW`].
+    fn default() -> Self {
+        TraceDetail::Window(DEFAULT_TRACE_WINDOW)
+    }
+}
+
+impl TraceDetail {
+    /// The retention cap this detail level implies for a stage.
+    fn cap(self) -> usize {
+        match self {
+            TraceDetail::Off => 0,
+            TraceDetail::Window(n) => n,
+            TraceDetail::Full => MAX_STAGE_RANGE as usize,
+        }
+    }
+}
 
 /// One candidate evaluated during a stage search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,8 +90,12 @@ pub struct Candidate {
 pub struct StageTrace {
     /// The group `G_i` being added at this stage.
     pub group: GroupId,
-    /// Every `(r, D'_i)` pair evaluated, in ascending `r`.
+    /// The retained `(r, D'_i)` pairs, in ascending `r` — all of them under
+    /// [`TraceDetail::Full`], a prefix window otherwise (see
+    /// [`StageTrace::evaluated`] for the true sweep size).
     pub candidates: Vec<Candidate>,
+    /// Total candidates evaluated at this stage (>= `candidates.len()`).
+    pub evaluated: u64,
     /// The chosen `r_{i-1}^opt` (the minimizer; among ties, the candidate
     /// closest to the group-time ratio `t_i / t_{i-1}`).
     pub chosen: u64,
@@ -100,7 +153,8 @@ impl FrequencyPlan {
     }
 }
 
-/// Runs Algorithm 3 for `ladder` on `n_real` channels.
+/// Runs Algorithm 3 for `ladder` on `n_real` channels with the default
+/// trace retention ([`TraceDetail::Window`] at [`DEFAULT_TRACE_WINDOW`]).
 ///
 /// Works for any positive `n_real`; with sufficient channels every stage
 /// finds a zero-delay `r` and the result reproduces the SUSC frequencies.
@@ -129,26 +183,51 @@ pub fn derive_frequencies(
     n_real: u32,
     weighting: Weighting,
 ) -> FrequencyPlan {
+    derive_frequencies_with_trace(ladder, n_real, weighting, TraceDetail::default())
+}
+
+/// [`derive_frequencies`] with explicit control over how many candidates
+/// each [`StageTrace`] retains.
+///
+/// The returned frequencies, ratios, chosen values, and objectives are
+/// identical for every [`TraceDetail`]; only `StageTrace::candidates`
+/// differs.
+///
+/// # Panics
+///
+/// Panics if `n_real == 0`.
+#[must_use]
+pub fn derive_frequencies_with_trace(
+    ladder: &GroupLadder,
+    n_real: u32,
+    weighting: Weighting,
+    detail: TraceDetail,
+) -> FrequencyPlan {
     assert!(n_real > 0, "n_real must be non-zero");
     let h = ladder.group_count();
     let times = ladder.times();
     let pages = ladder.page_counts();
+    let trace_cap = detail.cap();
 
     let mut ratios: Vec<u64> = Vec::with_capacity(h.saturating_sub(1));
     let mut stages: Vec<StageTrace> = Vec::with_capacity(h.saturating_sub(1));
+    // Trial frequency vector, updated in place across stages and trials.
+    let mut freqs: Vec<u64> = Vec::with_capacity(h);
+    // suffix[j] = prod_{k=j}^{g-2} r_k, the fixed-ratio product group j's
+    // frequency is scaled by; recomputed once per stage, O(g).
+    let mut suffix: Vec<u64> = Vec::with_capacity(h);
 
     // Stage for group index g (0-based; paper's i = g + 1), g = 1 .. h-1.
     for g in 1..h {
-        // F_{i-1}: slot instances of groups 0..g per repetition, using the
-        // ratios fixed so far. R_j = prod_{k=j}^{g-2} r_k (empty product for
-        // j = g-1).
+        suffix.clear();
+        suffix.resize(g, 1u64);
+        for j in (0..g.saturating_sub(1)).rev() {
+            suffix[j] = suffix[j + 1].saturating_mul(ratios[j]);
+        }
+        // F_{i-1}: slot instances of groups 0..g per repetition.
         let mut f_prev: u64 = 0;
         for j in 0..g {
-            let mut r_prod: u64 = 1;
-            for &r in &ratios[j..] {
-                r_prod = r_prod.saturating_mul(r);
-            }
-            f_prev = f_prev.saturating_add(r_prod.saturating_mul(pages[j]));
+            f_prev = f_prev.saturating_add(suffix[j].saturating_mul(pages[j]));
         }
         debug_assert!(f_prev > 0, "earlier groups always hold pages");
 
@@ -166,23 +245,22 @@ pub fn derive_frequencies(
         // stay zero-delay through later stages.
         let c_i = times[g] / times[g - 1];
 
-        let mut candidates = Vec::with_capacity(upper as usize);
+        let retain = (upper as usize).min(trace_cap);
+        let mut candidates = Vec::with_capacity(retain);
         let mut best: Option<Candidate> = None;
+        freqs.clear();
+        freqs.resize(g + 1, 1u64);
         for r in 1..=upper {
-            // Build the prefix frequency vector: groups 0..g get
-            // R_j = prod_{k=j}^{g-1} r_k with r_{g-1} = trial, group g gets 1.
-            let mut freqs = Vec::with_capacity(g + 1);
+            // Prefix frequencies: groups 0..g get r * suffix[j], group g
+            // stays 1 — an O(g) in-place refresh per trial.
             for j in 0..g {
-                let mut r_prod: u64 = r;
-                for &fixed in &ratios[j..] {
-                    r_prod = r_prod.saturating_mul(fixed);
-                }
-                freqs.push(r_prod);
+                freqs[j] = suffix[j].saturating_mul(r);
             }
-            freqs.push(1);
             let objective = group_objective(&times[..=g], &pages[..=g], &freqs, n_real, weighting);
             let cand = Candidate { r, objective };
-            candidates.push(cand);
+            if candidates.len() < retain {
+                candidates.push(cand);
+            }
             let better = match best {
                 None => true,
                 Some(b) => {
@@ -207,6 +285,7 @@ pub fn derive_frequencies(
         stages.push(StageTrace {
             group: GroupId::new(u32::try_from(g).expect("group index fits in u32")),
             candidates,
+            evaluated: upper,
             chosen: best.r,
             best_objective: best.objective,
         });
@@ -254,6 +333,7 @@ mod tests {
         let s2 = &stages[0];
         assert_eq!(s2.group, GroupId::new(1));
         assert_eq!(s2.candidates.len(), 3);
+        assert_eq!(s2.evaluated, 3);
         assert!((s2.candidates[0].objective - 0.125).abs() < 1e-9);
         assert_eq!(s2.candidates[1].objective, 0.0);
         assert_eq!(s2.chosen, 2);
@@ -263,6 +343,7 @@ mod tests {
         let s3 = &stages[1];
         assert_eq!(s3.group, GroupId::new(2));
         assert_eq!(s3.candidates.len(), 2);
+        assert_eq!(s3.evaluated, 2);
         assert!((s3.candidates[0].objective - 0.15476190476).abs() < 1e-9);
         assert!((s3.candidates[1].objective - 0.04166666667).abs() < 1e-8);
         assert_eq!(s3.chosen, 2);
@@ -315,6 +396,48 @@ mod tests {
     fn normalized_weighting_also_produces_a_plan() {
         let plan = derive_frequencies(&fig2_ladder(), 3, Weighting::Normalized);
         assert_eq!(plan.frequencies().len(), 3);
+        assert_eq!(*plan.frequencies().last().unwrap(), 1);
+    }
+
+    #[test]
+    fn trace_detail_levels_agree_on_the_plan() {
+        let ladder = GroupLadder::geometric(2, 2, &[10, 20, 15, 8]).unwrap();
+        let full =
+            derive_frequencies_with_trace(&ladder, 5, Weighting::PaperEq2, TraceDetail::Full);
+        for detail in [
+            TraceDetail::Off,
+            TraceDetail::Window(1),
+            TraceDetail::default(),
+        ] {
+            let plan = derive_frequencies_with_trace(&ladder, 5, Weighting::PaperEq2, detail);
+            assert_eq!(plan.frequencies(), full.frequencies(), "{detail:?}");
+            assert_eq!(plan.ratios(), full.ratios());
+            assert_eq!(plan.final_objective(), full.final_objective());
+            for (a, b) in plan.stages().iter().zip(full.stages()) {
+                assert_eq!(a.chosen, b.chosen);
+                assert_eq!(a.best_objective, b.best_objective);
+                assert_eq!(a.evaluated, b.evaluated);
+                assert!(a.candidates.len() <= detail.cap());
+            }
+        }
+        assert!(full
+            .stages()
+            .iter()
+            .all(|s| s.candidates.len() as u64 == s.evaluated));
+    }
+
+    /// Regression for the pre-allocation hazard: a degenerate ladder whose
+    /// stage bound hits [`MAX_STAGE_RANGE`] must not materialize a
+    /// `Candidate` per trial under the default trace detail.
+    #[test]
+    fn degenerate_ladder_keeps_trace_bounded() {
+        // One page due every slot followed by one due in ~2M slots: the
+        // second stage's bound N*t_2 - P_2 / F_1 saturates the clamp.
+        let ladder = GroupLadder::new(vec![(1, 1), (1 << 21, 1)]).unwrap();
+        let plan = derive_frequencies(&ladder, 1, Weighting::PaperEq2);
+        let stage = &plan.stages()[0];
+        assert_eq!(stage.evaluated, MAX_STAGE_RANGE);
+        assert!(stage.candidates.len() <= DEFAULT_TRACE_WINDOW);
         assert_eq!(*plan.frequencies().last().unwrap(), 1);
     }
 

@@ -21,7 +21,10 @@
 mod frequency;
 mod placement;
 
-pub use frequency::{derive_frequencies, Candidate, FrequencyPlan, StageTrace};
+pub use frequency::{
+    derive_frequencies, derive_frequencies_with_trace, Candidate, FrequencyPlan, StageTrace,
+    TraceDetail, DEFAULT_TRACE_WINDOW, MAX_STAGE_RANGE,
+};
 pub use placement::{place_frequencies, Placement, PlacementStats};
 
 use crate::delay::Weighting;

@@ -11,7 +11,6 @@
 //!   schedule (via an index channel) and tune to the right channel.
 
 use core::fmt;
-use std::collections::BTreeMap;
 
 use crate::types::{ChannelId, GridPos, PageId, SlotIndex};
 
@@ -36,12 +35,17 @@ pub struct BroadcastProgram {
     cycle_len: u64,
     /// Row-major: `grid[channel * cycle_len + slot]`.
     grid: Vec<Option<PageId>>,
-    /// Columns (deduplicated, sorted) in which each page appears.
-    columns: BTreeMap<PageId, Vec<u64>>,
-    /// Every cell holding each page, kept sorted row-major so that
-    /// equality and [`BroadcastProgram::occurrences`] are independent of
-    /// placement order.
-    cells: BTreeMap<PageId, Vec<GridPos>>,
+    /// Columns (deduplicated, sorted) in which each page appears, indexed
+    /// densely by `PageId::index()` — page ids are dense by construction
+    /// ([`crate::group::GroupLadder`] numbers them contiguously from 0), so
+    /// a direct table beats the seed's `BTreeMap` on every lookup the hot
+    /// paths make (`occurrence_columns`, `wait_from`, validity sweeps).
+    /// Entries for never-placed pages are empty vectors.
+    columns: Vec<Vec<u64>>,
+    /// Every cell holding each page (same dense indexing), kept sorted
+    /// row-major so that equality and [`BroadcastProgram::occurrences`] are
+    /// independent of placement order.
+    cells: Vec<Vec<GridPos>>,
     occupied: u64,
 }
 
@@ -81,8 +85,8 @@ impl BroadcastProgram {
             channels,
             cycle_len,
             grid: vec![None; cells],
-            columns: BTreeMap::new(),
-            cells: BTreeMap::new(),
+            columns: Vec::new(),
+            cells: Vec::new(),
             occupied: 0,
         }
     }
@@ -171,12 +175,18 @@ impl BroadcastProgram {
         }
         self.grid[idx] = Some(page);
         self.occupied += 1;
-        let cols = self.columns.entry(page).or_default();
+        let p = page.index() as usize;
+        if p >= self.columns.len() {
+            // Dense page ids: the tables never grow past the catalogue size.
+            self.columns.resize_with(p + 1, Vec::new);
+            self.cells.resize_with(p + 1, Vec::new);
+        }
+        let cols = &mut self.columns[p];
         match cols.binary_search(&pos.slot.index()) {
             Ok(_) => {} // same column on another channel: one logical occurrence
             Err(at) => cols.insert(at, pos.slot.index()),
         }
-        let cells = self.cells.entry(page).or_default();
+        let cells = &mut self.cells[p];
         let at = cells.partition_point(|c| *c < pos);
         cells.insert(at, pos);
         Ok(())
@@ -187,18 +197,27 @@ impl BroadcastProgram {
     /// only needs one of them).
     #[must_use]
     pub fn occurrence_columns(&self, page: PageId) -> &[u64] {
-        self.columns.get(&page).map_or(&[], Vec::as_slice)
+        self.columns
+            .get(page.index() as usize)
+            .map_or(&[], Vec::as_slice)
     }
 
     /// All `(channel, slot)` cells holding `page`, sorted row-major.
     #[must_use]
     pub fn occurrences(&self, page: PageId) -> Vec<GridPos> {
-        self.cells.get(&page).cloned().unwrap_or_default()
+        self.cells
+            .get(page.index() as usize)
+            .cloned()
+            .unwrap_or_default()
     }
 
-    /// Every distinct page that appears at least once.
+    /// Every distinct page that appears at least once, in ascending id order.
     pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
-        self.columns.keys().copied()
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, cols)| !cols.is_empty())
+            .map(|(i, _)| PageId::new(u32::try_from(i).expect("dense table index fits in u32")))
     }
 
     /// Number of logical occurrences (distinct columns) of `page`.
@@ -249,24 +268,29 @@ impl BroadcastProgram {
 
     /// The cyclic gaps, in slots, between consecutive logical occurrences of
     /// `page`, including the wrap-around gap from the last occurrence back to
-    /// the first. Returns an empty vector for a page never broadcast.
+    /// the first. Yields nothing for a page never broadcast, and one
+    /// whole-cycle gap for a page broadcast once.
     ///
-    /// The gaps always sum to the cycle length.
+    /// The gaps always sum to the cycle length. Allocation-free — this is
+    /// what [`crate::validity::check`] and the closed-form exact-delay path
+    /// iterate per page.
+    pub fn cyclic_gaps_iter(&self, page: PageId) -> impl Iterator<Item = u64> + '_ {
+        let cols = self.occurrence_columns(page);
+        let cycle = self.cycle_len;
+        let n = cols.len();
+        (0..n).map(move |i| {
+            if i + 1 < n {
+                cols[i + 1] - cols[i]
+            } else {
+                cycle - cols[n - 1] + cols[0]
+            }
+        })
+    }
+
+    /// [`BroadcastProgram::cyclic_gaps_iter`], collected.
     #[must_use]
     pub fn cyclic_gaps(&self, page: PageId) -> Vec<u64> {
-        let cols = self.occurrence_columns(page);
-        match cols.len() {
-            0 => Vec::new(),
-            1 => vec![self.cycle_len],
-            n => {
-                let mut gaps = Vec::with_capacity(n);
-                for w in cols.windows(2) {
-                    gaps.push(w[1] - w[0]);
-                }
-                gaps.push(self.cycle_len - cols[n - 1] + cols[0]);
-                gaps
-            }
-        }
+        self.cyclic_gaps_iter(page).collect()
     }
 
     /// Renders the grid as an ASCII table, one row per channel. Intended for
@@ -276,8 +300,7 @@ impl BroadcastProgram {
     pub fn render_grid(&self) -> String {
         let mut out = String::new();
         let width = self
-            .columns
-            .keys()
+            .pages()
             .last()
             .map_or(1, |p| p.index().to_string().len())
             .max(1);
@@ -432,6 +455,34 @@ mod tests {
     fn cyclic_gaps_absent_page_is_empty() {
         let p = BroadcastProgram::new(1, 7);
         assert!(p.cyclic_gaps(PageId::new(0)).is_empty());
+        assert_eq!(p.cyclic_gaps_iter(PageId::new(0)).count(), 0);
+    }
+
+    #[test]
+    fn gap_iterator_matches_collected_gaps() {
+        let mut p = BroadcastProgram::new(2, 12);
+        for slot in [0, 3, 4, 9] {
+            p.place(pos(0, slot), PageId::new(1)).unwrap();
+        }
+        p.place(pos(1, 7), PageId::new(3)).unwrap();
+        for page in [PageId::new(1), PageId::new(3), PageId::new(2)] {
+            let collected: Vec<u64> = p.cyclic_gaps_iter(page).collect();
+            assert_eq!(collected, p.cyclic_gaps(page));
+        }
+        assert_eq!(p.cyclic_gaps_iter(PageId::new(1)).sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn pages_iterates_sparse_dense_table_in_order() {
+        // Non-contiguous page ids leave empty dense-table entries that must
+        // not surface as pages.
+        let mut p = BroadcastProgram::new(1, 8);
+        p.place(pos(0, 0), PageId::new(6)).unwrap();
+        p.place(pos(0, 1), PageId::new(2)).unwrap();
+        let pages: Vec<PageId> = p.pages().collect();
+        assert_eq!(pages, vec![PageId::new(2), PageId::new(6)]);
+        assert!(p.occurrence_columns(PageId::new(4)).is_empty());
+        assert!(p.occurrences(PageId::new(99)).is_empty());
     }
 
     #[test]

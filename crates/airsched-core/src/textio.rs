@@ -143,6 +143,12 @@ pub fn parse_program(text: &str) -> Result<BroadcastProgram, ParseTextError> {
             let page: u32 = cell
                 .parse()
                 .map_err(|_| err(line_no + 1, format!("bad page id '{cell}'")))?;
+            // Page ids index dense per-page tables; a hostile id like
+            // u32::MAX would make the program allocate a table that large,
+            // so bound ids by the same budget as the grid itself.
+            if u128::from(page) >= MAX_PARSE_CELLS {
+                return Err(err(line_no + 1, format!("page id '{cell}' too large")));
+            }
             let pos = GridPos::new(ChannelId::new(rows), SlotIndex::new(slot as u64));
             program
                 .place(pos, PageId::new(page))
@@ -262,6 +268,13 @@ mod tests {
             .message
             .contains("bad page id"));
         assert!(parse_program("").is_err());
+        // An id that parses as u32 but would force a multi-gigabyte dense
+        // page table is rejected, not allocated.
+        let text = "airsched-program v1\nchannels 1\ncycle 2\ngrid\n4294967295 .\n";
+        assert!(parse_program(text)
+            .unwrap_err()
+            .message
+            .contains("too large"));
         let text = "airsched-program v1\nchannels 0\ncycle 2\ngrid\n";
         assert!(parse_program(text).is_err());
         let text = "airsched-program v1\nchannels a\ncycle 2\ngrid\n";

@@ -164,8 +164,10 @@ pub fn check(program: &BroadcastProgram, ladder: &GroupLadder) -> ValidityReport
                 limit,
             });
         }
-        // Condition 2: every cyclic gap at most t_i.
-        for gap in program.cyclic_gaps(page) {
+        // Condition 2: every cyclic gap at most t_i. The iterator walks the
+        // occurrence columns directly, so the sweep allocates nothing per
+        // page.
+        for gap in program.cyclic_gaps_iter(page) {
             if gap > limit {
                 report
                     .violations

@@ -61,13 +61,161 @@ pub fn access_one(
     })
 }
 
-/// Measures a request batch, producing the AvgD summary the paper reports.
+/// How a request batch accounts for requests that cannot be served by
+/// broadcast. Both kinds count toward the total miss tally returned by
+/// [`measure`]; they differ in what lands in the delay accumulator:
 ///
-/// Requests whose page is never broadcast are counted with a delay equal to
-/// one full cycle beyond the expected time (a pessimistic but finite
-/// stand-in for "switched to the on-demand channel"); the count of such
-/// misses is returned alongside. With PAMAD/m-PB/SUSC programs every page
-/// airs, so the miss count is zero.
+/// * **Known page, never broadcast** — the ladder knows the page's group
+///   and expected time, so the miss is *also* recorded as a penalty sample
+///   of one full cycle of delay (`wait = t_i + cycle`, `delay = cycle`): a
+///   pessimistic but finite stand-in for "switched to the on-demand
+///   channel". Dropping a page therefore visibly degrades AvgD and hit
+///   rate.
+/// * **Unknown page** — the ladder has no group or expected time to
+///   synthesize a penalty from, so the request is counted as a miss and
+///   excluded from the delay statistics entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MissStats {
+    /// Requests for pages the ladder does not contain (not recorded in the
+    /// delay summary).
+    pub unknown_page: u64,
+    /// Requests for ladder pages the program never airs (recorded with the
+    /// cycle-length penalty).
+    pub never_broadcast: u64,
+}
+
+impl MissStats {
+    /// Total missed requests, both kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.unknown_page + self.never_broadcast
+    }
+
+    /// Componentwise sum (shard merge).
+    fn absorb(&mut self, other: MissStats) {
+        self.unknown_page += other.unknown_page;
+        self.never_broadcast += other.never_broadcast;
+    }
+}
+
+/// The single place a request resolves to an outcome — both the serial and
+/// the sharded measurement paths go through this, so the miss policy
+/// documented on [`MissStats`] cannot drift between them.
+fn resolve_into(
+    program: &BroadcastProgram,
+    ladder: &GroupLadder,
+    req: Request,
+    acc: &mut DelayAccumulator,
+    misses: &mut MissStats,
+) {
+    let Some(group) = ladder.group_of(req.page) else {
+        misses.unknown_page += 1;
+        return;
+    };
+    match access_one(program, ladder, req) {
+        Some(a) => acc.record(group, a.wait, a.delay),
+        None => {
+            misses.never_broadcast += 1;
+            let t = ladder.time_of(group).slots();
+            acc.record(group, t + program.cycle_len(), program.cycle_len());
+        }
+    }
+}
+
+/// Configurable measurement: [`measure`] with a parallelism knob and the
+/// split miss accounting.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::pamad;
+/// use airsched_sim::access::Measurer;
+/// use airsched_workload::requests::{AccessPattern, RequestGenerator};
+///
+/// let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+/// let program = pamad::schedule(&ladder, 3)?.into_program();
+/// let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 42);
+/// let requests = gen.take(3000, program.cycle_len());
+/// let (summary, misses) = Measurer::new().parallelism(4).measure(&program, &ladder, &requests);
+/// assert_eq!(misses.total(), 0);
+/// assert_eq!(summary.requests(), 3000);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measurer {
+    parallelism: usize,
+}
+
+impl Measurer {
+    /// A serial measurer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shards the request batch across up to `threads` scoped worker
+    /// threads (`0` and `1` both mean serial). Every summary statistic is
+    /// order-independent, so the result is identical to the serial path for
+    /// any thread count.
+    #[must_use]
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads;
+        self
+    }
+
+    /// Measures a request batch, producing the AvgD summary the paper
+    /// reports plus the split miss statistics (see [`MissStats`] for the
+    /// two miss kinds and what each records).
+    #[must_use]
+    pub fn measure(
+        &self,
+        program: &BroadcastProgram,
+        ladder: &GroupLadder,
+        requests: &[Request],
+    ) -> (DelaySummary, MissStats) {
+        let threads = self.parallelism.max(1).min(requests.len().max(1));
+        let mut acc = DelayAccumulator::new();
+        let mut misses = MissStats::default();
+        if threads <= 1 {
+            for &req in requests {
+                resolve_into(program, ladder, req, &mut acc, &mut misses);
+            }
+        } else {
+            let chunk_len = requests.len().div_ceil(threads);
+            let shards: Vec<(DelayAccumulator, MissStats)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = requests
+                    .chunks(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut acc = DelayAccumulator::new();
+                            let mut misses = MissStats::default();
+                            for &req in chunk {
+                                resolve_into(program, ladder, req, &mut acc, &mut misses);
+                            }
+                            (acc, misses)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("measurement shard panicked"))
+                    .collect()
+            });
+            for (shard_acc, shard_misses) in shards {
+                acc.merge(shard_acc);
+                misses.absorb(shard_misses);
+            }
+        }
+        (acc.finish(), misses)
+    }
+}
+
+/// Measures a request batch, producing the AvgD summary the paper reports
+/// and the total miss count (serial; see [`Measurer`] for the parallel
+/// variant and [`MissStats`] for what each miss kind records).
+///
+/// With PAMAD/m-PB/SUSC programs every page airs, so the miss count is zero.
 ///
 /// # Examples
 ///
@@ -92,32 +240,23 @@ pub fn measure(
     ladder: &GroupLadder,
     requests: &[Request],
 ) -> (DelaySummary, u64) {
-    let mut acc = DelayAccumulator::new();
-    let mut misses = 0u64;
-    for &req in requests {
-        let group = match ladder.group_of(req.page) {
-            Some(g) => g,
-            None => {
-                misses += 1;
-                continue;
-            }
-        };
-        match access_one(program, ladder, req) {
-            Some(a) => acc.record(group, a.wait, a.delay),
-            None => {
-                misses += 1;
-                let t = ladder.time_of(group).slots();
-                let penalty_wait = t + program.cycle_len();
-                acc.record(group, penalty_wait, program.cycle_len());
-            }
-        }
-    }
-    (acc.finish(), misses)
+    let (summary, misses) = Measurer::new().measure(program, ladder, requests);
+    (summary, misses.total())
 }
 
 /// Exact AvgD over *all* `(page, arrival)` combinations — the discrete
-/// expectation rather than a sampled estimate. Cost is
-/// `O(n * cycle)` lookups; intended for tests and small programs.
+/// expectation rather than a sampled estimate — in closed form over the
+/// program's occurrence gaps.
+///
+/// Across one cyclic gap of `g` slots ending at an occurrence, the `g`
+/// arrivals inside the gap wait exactly `1, 2, .., g` slots (one each), so
+/// with expected time `t` the summed delay over the gap is the triangular
+/// tail `Σ_{w=t+1..g} (w - t) = (g-t)(g-t+1)/2` when `g > t` and zero
+/// otherwise. Summing over a page's gaps covers all `cycle` arrivals, so
+/// the whole expectation costs `O(total occurrences)` instead of the
+/// `O(pages × cycle)` per-arrival scan (retained as
+/// [`reference::exact_avg_delay_scan`]); both accumulate the same integer
+/// total, so they agree *bit-for-bit*.
 ///
 /// Returns `None` if any ladder page is never broadcast.
 #[must_use]
@@ -126,14 +265,44 @@ pub fn exact_avg_delay(program: &BroadcastProgram, ladder: &GroupLadder) -> Opti
     let mut total: u128 = 0;
     let mut count: u128 = 0;
     for (page, group) in ladder.pages() {
-        let t = ladder.time_of(group).slots();
-        for arrival in 0..cycle {
-            let wait = program.wait_from(page, arrival)?;
-            total += u128::from(wait.saturating_sub(t));
-            count += 1;
+        if program.occurrence_columns(page).is_empty() {
+            return None;
         }
+        let t = ladder.time_of(group).slots();
+        for g in program.cyclic_gaps_iter(page) {
+            if g > t {
+                let d = u128::from(g - t);
+                total += d * (d + 1) / 2;
+            }
+        }
+        count += u128::from(cycle);
     }
     Some(total as f64 / count as f64)
+}
+
+/// Brute-force references kept for cross-validation: the proptest corpus
+/// in `tests/cross_algorithms.rs` asserts the closed-form paths equal these
+/// exactly.
+pub mod reference {
+    use super::{BroadcastProgram, GroupLadder};
+
+    /// The seed implementation of [`super::exact_avg_delay`]: a per-arrival
+    /// scan costing `O(pages × cycle)` binary searches.
+    #[must_use]
+    pub fn exact_avg_delay_scan(program: &BroadcastProgram, ladder: &GroupLadder) -> Option<f64> {
+        let cycle = program.cycle_len();
+        let mut total: u128 = 0;
+        let mut count: u128 = 0;
+        for (page, group) in ladder.pages() {
+            let t = ladder.time_of(group).slots();
+            for arrival in 0..cycle {
+                let wait = program.wait_from(page, arrival)?;
+                total += u128::from(wait.saturating_sub(t));
+                count += 1;
+            }
+        }
+        Some(total as f64 / count as f64)
+    }
 }
 
 /// Convenience: measure with a given page id when the ladder is implied.
@@ -284,5 +453,69 @@ mod tests {
         // The in-ladder miss was recorded with the cycle-length penalty.
         assert_eq!(summary.requests(), 1);
         assert_eq!(summary.max_delay(), 4);
+
+        // The split accounting separates the two miss kinds: the unknown
+        // page is counted but not recorded, the never-broadcast page is
+        // counted *and* recorded with the penalty sample.
+        let (split_summary, stats) = Measurer::new().measure(&program, &ladder, &requests);
+        assert_eq!(stats.unknown_page, 1);
+        assert_eq!(stats.never_broadcast, 1);
+        assert_eq!(stats.total(), 2);
+        assert_eq!(split_summary, summary);
+    }
+
+    #[test]
+    fn parallel_measure_matches_serial() {
+        let ladder = fig2_ladder();
+        let program = pamad::schedule(&ladder, 1).unwrap().into_program();
+        let requests = RequestGenerator::new(&ladder, AccessPattern::Uniform, 7)
+            .take(5000, program.cycle_len());
+        let (serial, serial_miss) = Measurer::new().measure(&program, &ladder, &requests);
+        for threads in [2usize, 3, 4, 16] {
+            let (parallel, parallel_miss) = Measurer::new()
+                .parallelism(threads)
+                .measure(&program, &ladder, &requests);
+            assert_eq!(parallel, serial, "threads={threads}");
+            assert_eq!(parallel_miss, serial_miss);
+        }
+        // More shards than requests degrades gracefully.
+        let tiny = &requests[..3];
+        let (a, am) = Measurer::new()
+            .parallelism(64)
+            .measure(&program, &ladder, tiny);
+        let (b, bm) = Measurer::new().measure(&program, &ladder, tiny);
+        assert_eq!(a, b);
+        assert_eq!(am, bm);
+    }
+
+    #[test]
+    fn closed_form_exact_delay_matches_scan() {
+        let ladders = [
+            fig2_ladder(),
+            GroupLadder::geometric(2, 2, &[40, 10, 6, 4]).unwrap(),
+        ];
+        for ladder in &ladders {
+            for n in 1..=4u32 {
+                let program = pamad::schedule(ladder, n).unwrap().into_program();
+                let fast = exact_avg_delay(&program, ladder);
+                let slow = reference::exact_avg_delay_scan(&program, ladder);
+                // Bit-identical, not approximately equal: both divide the
+                // same integer total by the same count.
+                assert_eq!(fast, slow, "n={n}");
+            }
+        }
+        // Never-broadcast page: both paths report None.
+        let ladder = GroupLadder::new(vec![(2, 2)]).unwrap();
+        let mut p = airsched_core::program::BroadcastProgram::new(1, 2);
+        p.place(
+            airsched_core::types::GridPos::new(
+                airsched_core::types::ChannelId::new(0),
+                airsched_core::types::SlotIndex::new(0),
+            ),
+            PageId::new(0),
+        )
+        .unwrap();
+        assert_eq!(exact_avg_delay(&p, &ladder), None);
+        assert_eq!(reference::exact_avg_delay_scan(&p, &ladder), None);
     }
 }

@@ -47,7 +47,7 @@ pub mod server;
 pub mod sim;
 pub mod transition;
 
-pub use access::{access_one, exact_avg_delay, measure, Access};
+pub use access::{access_one, exact_avg_delay, measure, Access, Measurer, MissStats};
 pub use energy::{measure_energy, EnergySummary, TuningScheme};
 pub use lossy::{measure_lossy, InvalidLoss, LossModel};
 pub use metrics::{DelayAccumulator, DelaySummary, GroupDelay};

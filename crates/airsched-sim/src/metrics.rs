@@ -85,6 +85,14 @@ impl DelayAccumulator {
         self.samples.is_empty()
     }
 
+    /// Absorbs another accumulator's samples (parallel measurement shards
+    /// merge through this). Every [`DelaySummary`] statistic is
+    /// order-independent — totals commute and `finish` sorts the delay
+    /// samples — so the merged summary equals the single-shard one.
+    pub fn merge(&mut self, other: DelayAccumulator) {
+        self.samples.extend(other.samples);
+    }
+
     /// Finalizes into a summary.
     #[must_use]
     pub fn finish(self) -> DelaySummary {

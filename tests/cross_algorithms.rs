@@ -5,7 +5,7 @@ use airsched_core::delay::{expected_program_delay, Weighting};
 use airsched_core::dynamic::OnlineScheduler;
 use airsched_core::group::GroupLadder;
 use airsched_core::{mpb, opt, pamad, susc, validity};
-use airsched_sim::access::exact_avg_delay;
+use airsched_sim::access::{exact_avg_delay, reference};
 use airsched_sim::sim::{SimConfig, Simulation};
 use airsched_workload::requests::{AccessPattern, RequestGenerator};
 
@@ -95,6 +95,88 @@ proptest! {
             d_opt <= d_pamad * 1.5 + 2.5,
             "OPT measured {d_opt} vs PAMAD {d_pamad}"
         );
+    }
+
+    /// Closed-form exact AvgD equals the brute-force per-arrival scan
+    /// *bit-for-bit* on arbitrary valid programs — both accumulate the same
+    /// integer delay total, so the f64 quotients are identical, not merely
+    /// close.
+    #[test]
+    fn closed_form_exact_delay_matches_scan_on_programs(
+        ladder in arb_ladder(),
+        n in 1u32..5,
+    ) {
+        let program = pamad::schedule(&ladder, n).unwrap().into_program();
+        prop_assert_eq!(
+            exact_avg_delay(&program, &ladder),
+            reference::exact_avg_delay_scan(&program, &ladder)
+        );
+    }
+
+    /// Same equality on arbitrary *hand-mutilated* programs: random subsets
+    /// of a page's occurrences (including dropping pages entirely, where
+    /// both paths must return None) exercise invalid gap structures the
+    /// schedulers never produce.
+    #[test]
+    fn closed_form_exact_delay_matches_scan_on_invalid_programs(
+        ladder in arb_ladder(),
+        keep_mask in prop::collection::vec(0u8..4, 1..64),
+        drop_page in any::<bool>(),
+    ) {
+        use airsched_core::program::BroadcastProgram;
+        use airsched_core::types::{ChannelId, GridPos, SlotIndex};
+
+        // Rebuild a single-channel program keeping a pseudo-random subset of
+        // each page's SUSC occurrences (kept ≡ keep_mask says so), possibly
+        // dropping the last page entirely.
+        let min = minimum_channels(&ladder);
+        let source = susc::schedule(&ladder, min).unwrap();
+        let cycle = source.cycle_len();
+        let mut program = BroadcastProgram::new(1, cycle);
+        let last_page = ladder.pages().last().unwrap().0;
+        let mut placed_any = false;
+        let mut dropped = false;
+        for (idx, (page, _)) in ladder.pages().enumerate() {
+            if drop_page && page == last_page && placed_any {
+                dropped = true;
+                continue;
+            }
+            let cols = source.occurrence_columns(page);
+            for (k, &col) in cols.iter().enumerate() {
+                let keep = keep_mask[(idx + k) % keep_mask.len()] != 0;
+                // Always keep the first occurrence so the page stays
+                // broadcast (unless deliberately dropped above).
+                if !keep && k > 0 {
+                    continue;
+                }
+                let pos = GridPos::new(ChannelId::new(0), SlotIndex::new(col));
+                if program.page_at(pos).is_none() {
+                    program.place(pos, page).unwrap();
+                    placed_any = true;
+                }
+            }
+        }
+        let fast = exact_avg_delay(&program, &ladder);
+        let slow = reference::exact_avg_delay_scan(&program, &ladder);
+        prop_assert_eq!(fast, slow);
+        if dropped {
+            // A never-broadcast ladder page makes both paths bail.
+            prop_assert_eq!(fast, None);
+        }
+    }
+
+    /// Determinism: the parallel OPT search returns bit-identical
+    /// frequencies and objective to the serial one for any thread count.
+    #[test]
+    fn parallel_and_serial_opt_agree(
+        ladder in arb_ladder(),
+        n in 1u32..6,
+        threads in 2usize..9,
+    ) {
+        let serial = opt::search_r_structured(&ladder, n, Weighting::PaperEq2);
+        let parallel = opt::search_r_structured_parallel(&ladder, n, Weighting::PaperEq2, threads);
+        prop_assert_eq!(parallel.frequencies(), serial.frequencies());
+        prop_assert!(parallel.objective() == serial.objective());
     }
 
     /// Robustness: the station's failover rung is a SUSC re-pack of the
