@@ -1,0 +1,825 @@
+//! Serving-path performance: drives faulted and un-faulted stations at
+//! 10k/100k/1M subscribers through the allocation-free
+//! [`Station::tick_into`] serving loop and two baselines — the retained
+//! bit-identical [`Station::tick_reference`], and a faithful replica of
+//! the pre-PR seed station (`BTreeMap`-keyed waiting lists, `BTreeMap`
+//! subscribe, allocating tick) rebuilt here from public APIs. It also
+//! times table-driven frame encoding into one reused buffer against
+//! per-frame encoding. Emits machine-readable `BENCH_station.json`
+//! (ticks/sec, deliveries/sec, bytes encoded/sec) and **exits non-zero**
+//! if the optimized path diverges from either baseline in any outcome,
+//! delivery or statistic — CI runs it as a correctness gate.
+//!
+//! Run: `cargo run --release -p airsched-bench --bin station_perf`
+//!
+//! Options (beyond the common `--seed`): `--channels` (8), `--cycle`
+//! (1024), `--pages` (1680), `--slots` (4096, serving-loop slots timed per
+//! rep), `--max-subs` (1000000, caps the subscriber matrix), `--reps` (3)
+//! and `--out <path>` for the JSON file (default `BENCH_station.json` in
+//! the working directory).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use airsched_bench::{extra_num, parse_common_args};
+use airsched_core::bound::minimum_channels_for_times;
+use airsched_core::degrade;
+use airsched_core::dynamic::OnlineScheduler;
+use airsched_core::group::GroupLadder;
+use airsched_core::program::BroadcastProgram;
+use airsched_core::susc;
+use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
+use airsched_proto::transmitter::{encode_slot_into, frames_for_slot, PayloadSource};
+use airsched_server::faults::{FaultInjector, FaultPlan};
+use airsched_server::health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
+use airsched_server::station::{Station, TickBuf};
+use airsched_server::Mode;
+use bytes::{Bytes, BytesMut};
+
+/// Constant payload for the encode phase: an `Arc` clone per frame, so
+/// payload synthesis is negligible next to the encoding being measured.
+static PAYLOAD: [u8; 64] = [0x5A; 64];
+
+struct FixedPayload;
+
+impl PayloadSource for FixedPayload {
+    fn payload(&mut self, _page: PageId, _slot_time: u64) -> Bytes {
+        Bytes::from_static(&PAYLOAD)
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+struct Config {
+    channels: u32,
+    cycle: u64,
+    pages: u32,
+    slots: u64,
+    reps: u32,
+    seed: u64,
+}
+
+impl Config {
+    /// Transient-fault plan for the perf rows: stalls and corruption keep
+    /// the injector hot every slot without triggering re-pack storms that
+    /// would swamp the tick itself.
+    fn perf_plan(&self) -> FaultPlan {
+        FaultPlan::seeded(self.seed)
+            .with_stalls(0.01)
+            .with_corruption(0.02)
+    }
+
+    /// Full-chaos plan for the correctness gate: outages and recoveries
+    /// walk the degradation ladder on top of the transient faults.
+    fn chaos_plan(&self) -> FaultPlan {
+        FaultPlan::seeded(self.seed)
+            .with_outage(0.002)
+            .with_recovery(0.05)
+            .with_stalls(0.01)
+            .with_corruption(0.02)
+    }
+
+    fn expected_time(&self, page: u32) -> u64 {
+        [self.cycle / 4, self.cycle / 2, self.cycle][(page % 3) as usize]
+    }
+}
+
+/// A station with a three-band catalogue (expected times cycle/4, cycle/2,
+/// cycle round-robin) sized well inside the channel budget.
+fn build_station(cfg: &Config, plan: Option<&FaultPlan>) -> Station {
+    let mut s = match plan {
+        Some(p) => Station::with_faults(cfg.channels, cfg.cycle, p).expect("station builds"),
+        None => Station::new(cfg.channels, cfg.cycle).expect("station builds"),
+    };
+    for i in 0..cfg.pages {
+        s.publish(PageId::new(i), cfg.expected_time(i))
+            .expect("catalogue fits the channel budget");
+    }
+    s
+}
+
+fn page_for(cfg: &Config, k: u64) -> PageId {
+    PageId::new(u32::try_from(k % u64::from(cfg.pages)).expect("page index fits"))
+}
+
+// ---------------------------------------------------------------------------
+// The pre-PR baseline: a faithful replica of the seed station's serving
+// loop, rebuilt from public APIs. Waiting lists live in a `BTreeMap` keyed
+// by `PageId`, `subscribe` walks that map, and every tick allocates its
+// buffers fresh — exactly the shape this PR's tentpole replaced.
+// ---------------------------------------------------------------------------
+
+enum SeedPlan {
+    Full,
+    Reduced(BroadcastProgram),
+    BestEffort(BroadcastProgram),
+    Offline,
+}
+
+struct SeedDelivery {
+    client: u64,
+    page: PageId,
+    wait: u64,
+    within_deadline: bool,
+}
+
+struct SeedOutcome {
+    mode: Mode,
+    on_air: Vec<Option<PageId>>,
+    corrupted: Vec<bool>,
+    deliveries: Vec<SeedDelivery>,
+    events: Vec<ChannelEvent>,
+}
+
+struct SeedStation {
+    scheduler: OnlineScheduler,
+    time: u64,
+    waiting: BTreeMap<PageId, Vec<(u64, u64)>>,
+    next_client: u64,
+    channel_up: Vec<bool>,
+    injector: Option<FaultInjector>,
+    health: HealthMonitor,
+    mode: Mode,
+    active: SeedPlan,
+    // The stats fields the equivalence check compares.
+    delivered: u64,
+    on_time: u64,
+    total_wait: u64,
+    waiting_count: u64,
+    failovers: u64,
+    repacks: u64,
+    recoveries: u64,
+    degraded_slots: u64,
+    slots_elapsed: u64,
+}
+
+impl SeedStation {
+    fn build(cfg: &Config, plan: Option<&FaultPlan>) -> Self {
+        let mut scheduler =
+            OnlineScheduler::new(cfg.channels, cfg.cycle).expect("scheduler builds");
+        for i in 0..cfg.pages {
+            scheduler
+                .add_page(PageId::new(i), cfg.expected_time(i))
+                .expect("catalogue fits the channel budget");
+        }
+        Self {
+            scheduler,
+            time: 0,
+            waiting: BTreeMap::new(),
+            next_client: 0,
+            channel_up: vec![true; cfg.channels as usize],
+            injector: plan.map(|p| FaultInjector::new(p, cfg.channels)),
+            health: HealthMonitor::new(cfg.channels, HealthThresholds::default()),
+            mode: Mode::Valid,
+            active: SeedPlan::Full,
+            delivered: 0,
+            on_time: 0,
+            total_wait: 0,
+            waiting_count: 0,
+            failovers: 0,
+            repacks: 0,
+            recoveries: 0,
+            degraded_slots: 0,
+            slots_elapsed: 0,
+        }
+    }
+
+    fn subscribe(&mut self, page: PageId) -> u64 {
+        assert!(
+            self.scheduler.pages().contains_key(&page),
+            "page is published"
+        );
+        let id = self.next_client;
+        self.next_client += 1;
+        self.waiting.entry(page).or_default().push((id, self.time));
+        self.waiting_count += 1;
+        id
+    }
+
+    fn channels_up(&self) -> u32 {
+        u32::try_from(self.channel_up.iter().filter(|&&u| u).count()).expect("fits in u32")
+    }
+
+    fn refresh_plan(&mut self) {
+        let configured = u32::try_from(self.channel_up.len()).expect("fits in u32");
+        let n_up = self.channels_up();
+        let (active, mode) = if n_up == 0 {
+            (SeedPlan::Offline, Mode::Offline)
+        } else if n_up == configured {
+            (SeedPlan::Full, Mode::Valid)
+        } else {
+            self.reduced_plan(n_up)
+        };
+        self.active = active;
+        if mode != self.mode {
+            match mode {
+                Mode::BestEffort => self.failovers += 1,
+                Mode::Repacked => self.repacks += 1,
+                Mode::Valid => self.recoveries += 1,
+                Mode::Offline => {}
+            }
+            self.mode = mode;
+        }
+    }
+
+    fn reduced_plan(&mut self, n_up: u32) -> (SeedPlan, Mode) {
+        let times: Vec<u64> = self.scheduler.pages().values().copied().collect();
+        let minimum = minimum_channels_for_times(&times).unwrap_or(u32::MAX);
+        if n_up >= minimum {
+            let mut probe = self.scheduler.clone();
+            if probe.rebuild_on_channels(n_up).is_ok() {
+                return (SeedPlan::Reduced(probe.program().clone()), Mode::Repacked);
+            }
+        }
+        let catalogue: Vec<(PageId, u64)> = self
+            .scheduler
+            .pages()
+            .iter()
+            .map(|(&p, &t)| (p, t))
+            .collect();
+        if let Ok(plan) = degrade::replan(&catalogue, n_up) {
+            return (SeedPlan::BestEffort(plan.into_program()), Mode::BestEffort);
+        }
+        (SeedPlan::Offline, Mode::Offline)
+    }
+
+    fn tick(&mut self) -> SeedOutcome {
+        let mut events = Vec::new();
+        let configured = self.channel_up.len();
+        let mut stalled = vec![false; configured];
+        let mut corrupt_wanted = vec![false; configured];
+
+        if let Some(injector) = self.injector.as_mut() {
+            let faults = injector.sample(self.time);
+            let mut changed = false;
+            for channel in faults.went_down {
+                let ch = channel.index() as usize;
+                if ch < configured && self.channel_up[ch] {
+                    self.channel_up[ch] = false;
+                    events.push(ChannelEvent::Down {
+                        channel,
+                        at: self.time,
+                    });
+                    changed = true;
+                }
+            }
+            for channel in faults.came_up {
+                let ch = channel.index() as usize;
+                if ch < configured && !self.channel_up[ch] {
+                    self.channel_up[ch] = true;
+                    self.health.reset(channel);
+                    events.push(ChannelEvent::Up {
+                        channel,
+                        at: self.time,
+                    });
+                    changed = true;
+                }
+            }
+            stalled = faults.stalled;
+            corrupt_wanted = faults.corrupted;
+            if changed {
+                self.refresh_plan();
+            }
+        }
+
+        let mut on_air: Vec<Option<PageId>> = vec![None; configured];
+        match &self.active {
+            SeedPlan::Full => {
+                let program = self.scheduler.program();
+                let column = self.time % program.cycle_len();
+                for (ch, slot) in on_air.iter_mut().enumerate() {
+                    if self.channel_up[ch] {
+                        let channel = ChannelId::new(u32::try_from(ch).expect("fits in u32"));
+                        *slot = program.page_at(GridPos::new(channel, SlotIndex::new(column)));
+                    }
+                }
+            }
+            SeedPlan::Reduced(program) | SeedPlan::BestEffort(program) => {
+                let column = self.time % program.cycle_len();
+                let mut row = 0u32;
+                for (ch, slot) in on_air.iter_mut().enumerate() {
+                    if self.channel_up[ch] && row < program.channels() {
+                        *slot = program
+                            .page_at(GridPos::new(ChannelId::new(row), SlotIndex::new(column)));
+                        row += 1;
+                    }
+                }
+            }
+            SeedPlan::Offline => {}
+        }
+
+        let mut corrupted = vec![false; configured];
+        for ch in 0..configured {
+            if !self.channel_up[ch] {
+                continue;
+            }
+            let channel = ChannelId::new(u32::try_from(ch).expect("fits in u32"));
+            if stalled[ch] {
+                if on_air[ch].take().is_some() {
+                    if let Some(e) =
+                        self.health
+                            .record(channel, SlotObservation::Stalled, self.time)
+                    {
+                        events.push(e);
+                    }
+                }
+            } else if on_air[ch].is_some() {
+                let observation = if corrupt_wanted[ch] {
+                    corrupted[ch] = true;
+                    SlotObservation::Corrupt
+                } else {
+                    SlotObservation::Clean
+                };
+                if let Some(e) = self.health.record(channel, observation, self.time) {
+                    events.push(e);
+                }
+            }
+        }
+
+        let mut deliveries = Vec::new();
+        for ch in 0..configured {
+            if corrupted[ch] {
+                continue;
+            }
+            let Some(page) = on_air[ch] else { continue };
+            if let Some(waiters) = self.waiting.remove(&page) {
+                let expected = self.scheduler.pages().get(&page).copied();
+                for (client, since) in waiters {
+                    let wait = self.time - since + 1;
+                    let within = expected.is_some_and(|t| wait <= t);
+                    deliveries.push(SeedDelivery {
+                        client,
+                        page,
+                        wait,
+                        within_deadline: within,
+                    });
+                    self.delivered += 1;
+                    self.total_wait += wait;
+                    self.waiting_count -= 1;
+                    if within {
+                        self.on_time += 1;
+                    }
+                }
+            }
+        }
+
+        if self.mode != Mode::Valid {
+            self.degraded_slots += 1;
+        }
+
+        let outcome = SeedOutcome {
+            mode: self.mode,
+            on_air,
+            corrupted,
+            deliveries,
+            events,
+        };
+        self.time += 1;
+        self.slots_elapsed += 1;
+        outcome
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Correctness gates
+// ---------------------------------------------------------------------------
+
+/// Drives two identically-configured stations in lockstep — one through
+/// `tick_into`, one through the retained `tick_reference` — under full
+/// chaos with continuous subscription churn, recording any divergence in
+/// outcomes or statistics. This is the bit-identical gate.
+fn reference_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
+    let plan = cfg.chaos_plan();
+    let plan = faulted.then_some(&plan);
+    let mut fast = build_station(cfg, plan);
+    let mut reference = build_station(cfg, plan);
+    let mut buf = TickBuf::new();
+    let gate_slots = cfg.slots.min(1024).max(2 * cfg.cycle);
+    for t in 0..gate_slots {
+        for k in 0..8u64 {
+            let page = page_for(cfg, t * 8 + k);
+            let a = fast.subscribe(page).expect("page is published");
+            let b = reference.subscribe(page).expect("page is published");
+            assert_eq!(a, b, "client ids drifted");
+        }
+        fast.tick_into(&mut buf);
+        let want = reference.tick_reference();
+        if buf.to_outcome() != want {
+            divergences.push(format!(
+                "tick_into diverges from tick_reference at slot {t} (faulted={faulted})"
+            ));
+            return;
+        }
+    }
+    if fast.stats() != reference.stats() {
+        divergences.push(format!(
+            "stats diverge from tick_reference after {gate_slots}-slot lockstep (faulted={faulted})"
+        ));
+    }
+}
+
+/// Drives the optimized station against the seed replica in lockstep,
+/// comparing everything the replica can observe (the replica mints its own
+/// client ids, so deliveries compare by display name, page, wait and
+/// deadline — order included).
+fn seed_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
+    let plan = cfg.chaos_plan();
+    let plan = faulted.then_some(&plan);
+    let mut fast = build_station(cfg, plan);
+    let mut seed = SeedStation::build(cfg, plan);
+    let mut buf = TickBuf::new();
+    let gate_slots = cfg.slots.min(1024).max(2 * cfg.cycle);
+    for t in 0..gate_slots {
+        for k in 0..8u64 {
+            let page = page_for(cfg, t * 8 + k);
+            let a = fast.subscribe(page).expect("page is published");
+            let b = seed.subscribe(page);
+            assert_eq!(a.to_string(), format!("client{b}"), "client ids drifted");
+        }
+        fast.tick_into(&mut buf);
+        let want = seed.tick();
+        let same = buf.mode() == want.mode
+            && buf.on_air() == &want.on_air[..]
+            && buf.corrupted() == &want.corrupted[..]
+            && buf.events() == &want.events[..]
+            && buf.deliveries().len() == want.deliveries.len()
+            && buf.deliveries().iter().zip(&want.deliveries).all(|(d, w)| {
+                d.client.to_string() == format!("client{}", w.client)
+                    && d.page == w.page
+                    && d.wait == w.wait
+                    && d.within_deadline == w.within_deadline
+            });
+        if !same {
+            divergences.push(format!(
+                "tick_into diverges from the seed replica at slot {t} (faulted={faulted})"
+            ));
+            return;
+        }
+    }
+    let stats = fast.stats();
+    let same_stats = stats.delivered == seed.delivered
+        && stats.on_time == seed.on_time
+        && stats.total_wait == seed.total_wait
+        && stats.waiting == seed.waiting_count
+        && stats.failovers == seed.failovers
+        && stats.repacks == seed.repacks
+        && stats.recoveries == seed.recoveries
+        && stats.degraded_slots == seed.degraded_slots
+        && stats.slots_elapsed == seed.slots_elapsed;
+    if !same_stats {
+        divergences.push(format!(
+            "stats diverge from the seed replica after {gate_slots}-slot lockstep (faulted={faulted})"
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timing
+// ---------------------------------------------------------------------------
+
+struct ScaleResult {
+    subscribers: u64,
+    faulted: bool,
+    delivered: u64,
+    /// Serving-loop slots per second (subscribe churn + tick, deliveries
+    /// consumed) through each implementation.
+    opt_tps: f64,
+    ref_tps: f64,
+    seed_tps: f64,
+    opt_dps: f64,
+    seed_dps: f64,
+}
+
+impl ScaleResult {
+    /// The headline ratio: optimized serving loop vs the pre-PR baseline.
+    fn speedup_vs_seed(&self) -> f64 {
+        self.opt_tps / self.seed_tps
+    }
+}
+
+/// Times the full serving loop at one subscriber scale: every tick admits
+/// `subscribers / slots` new clients (round-robin over the catalogue) and
+/// transmits one slot; deliveries stream out as they happen. The optimized
+/// loop holds one `TickBuf` and counts deliveries through `tick_into`; the
+/// reference loop drives `tick_reference`; the seed loop drives the
+/// pre-PR replica — both baselines materialize every delivery into one
+/// growing list, as the seed `run()` did.
+fn time_scale(
+    cfg: &Config,
+    faulted: bool,
+    scale: u64,
+    divergences: &mut Vec<String>,
+) -> ScaleResult {
+    let plan = cfg.perf_plan();
+    let plan = faulted.then_some(&plan);
+    let per_tick = scale.div_ceil(cfg.slots).max(1);
+    let subscribers = per_tick * cfg.slots;
+
+    let base = build_station(cfg, plan);
+    let mut opt_best = f64::INFINITY;
+    let mut opt_delivered = 0u64;
+    for _ in 0..cfg.reps {
+        let mut s = base.clone();
+        let mut buf = TickBuf::new();
+        let mut count = 0u64;
+        let t0 = Instant::now();
+        for t in 0..cfg.slots {
+            for k in 0..per_tick {
+                s.subscribe(page_for(cfg, t * per_tick + k))
+                    .expect("page is published");
+            }
+            s.tick_into(&mut buf);
+            count += buf.deliveries().len() as u64;
+        }
+        opt_best = opt_best.min(t0.elapsed().as_secs_f64());
+        opt_delivered = count;
+    }
+
+    let mut ref_best = f64::INFINITY;
+    let mut ref_delivered = 0u64;
+    for _ in 0..cfg.reps {
+        let mut s = base.clone();
+        let mut all = Vec::new();
+        let t0 = Instant::now();
+        for t in 0..cfg.slots {
+            for k in 0..per_tick {
+                s.subscribe(page_for(cfg, t * per_tick + k))
+                    .expect("page is published");
+            }
+            all.extend(s.tick_reference().deliveries);
+        }
+        ref_best = ref_best.min(t0.elapsed().as_secs_f64());
+        ref_delivered = all.len() as u64;
+    }
+
+    let mut seed_best = f64::INFINITY;
+    let mut seed_delivered = 0u64;
+    for _ in 0..cfg.reps {
+        let mut s = SeedStation::build(cfg, plan);
+        let mut all = Vec::new();
+        let t0 = Instant::now();
+        for t in 0..cfg.slots {
+            for k in 0..per_tick {
+                s.subscribe(page_for(cfg, t * per_tick + k));
+            }
+            all.extend(s.tick().deliveries);
+        }
+        seed_best = seed_best.min(t0.elapsed().as_secs_f64());
+        seed_delivered = all.len() as u64;
+    }
+
+    if opt_delivered != ref_delivered || opt_delivered != seed_delivered {
+        divergences.push(format!(
+            "delivery counts diverge at {subscribers} subscribers (faulted={faulted}): \
+             optimized {opt_delivered}, reference {ref_delivered}, seed {seed_delivered}"
+        ));
+    }
+
+    ScaleResult {
+        subscribers,
+        faulted,
+        delivered: opt_delivered,
+        opt_tps: cfg.slots as f64 / opt_best,
+        ref_tps: cfg.slots as f64 / ref_best,
+        seed_tps: cfg.slots as f64 / seed_best,
+        opt_dps: opt_delivered as f64 / opt_best,
+        seed_dps: seed_delivered as f64 / seed_best,
+    }
+}
+
+struct EncodeResult {
+    slots: u64,
+    bytes_per_slot: u64,
+    opt_bytes_per_sec: f64,
+    ref_bytes_per_sec: f64,
+}
+
+fn fill_on_air(on_air: &mut [Option<PageId>], program: &BroadcastProgram, t: u64) {
+    let column = SlotIndex::new(t % program.cycle_len());
+    for (ch, slot) in on_air.iter_mut().enumerate() {
+        let channel = ChannelId::new(u32::try_from(ch).expect("channel fits"));
+        *slot = program.page_at(GridPos::new(channel, column));
+    }
+}
+
+/// Times one reused-buffer `encode_slot_into` stream against the seed's
+/// per-frame `Frame::encode` (fresh buffer per frame), byte-comparing the
+/// two streams over a full cycle before timing.
+fn encode_phase(cfg: &Config, divergences: &mut Vec<String>) -> EncodeResult {
+    let per = u64::from(cfg.pages / 3);
+    let ladder = GroupLadder::new(vec![
+        (cfg.cycle / 4, per),
+        (cfg.cycle / 2, per),
+        (cfg.cycle, per),
+    ])
+    .expect("ladder builds");
+    let program = susc::schedule(&ladder, cfg.channels).expect("schedule fits");
+    let n = cfg.channels as usize;
+    let encode_slots = cfg.slots.min(2048);
+    let mut on_air: Vec<Option<PageId>> = vec![None; n];
+
+    let mut buf = BytesMut::with_capacity(8 * 1024);
+    let mut expected = Vec::new();
+    for t in 0..cfg.cycle {
+        fill_on_air(&mut on_air, &program, t);
+        buf.clear();
+        encode_slot_into(&on_air, t, &mut FixedPayload, &mut buf).expect("frames encode");
+        expected.clear();
+        for frame in frames_for_slot(&on_air, t, &mut FixedPayload) {
+            expected.extend_from_slice(&frame.encode());
+        }
+        if buf[..] != expected[..] {
+            divergences.push(format!("encode_slot_into bytes diverge at slot {t}"));
+            break;
+        }
+    }
+
+    let mut bytes_per_slot = 0u64;
+    let mut opt_best = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        let mut buf = BytesMut::with_capacity(8 * 1024);
+        let mut total = 0u64;
+        let t0 = Instant::now();
+        for t in 0..encode_slots {
+            fill_on_air(&mut on_air, &program, t);
+            buf.clear();
+            total +=
+                encode_slot_into(&on_air, t, &mut FixedPayload, &mut buf).expect("encodes") as u64;
+        }
+        opt_best = opt_best.min(t0.elapsed().as_secs_f64());
+        bytes_per_slot = total / encode_slots;
+    }
+
+    let mut ref_best = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        let mut total = 0u64;
+        let t0 = Instant::now();
+        for t in 0..encode_slots {
+            fill_on_air(&mut on_air, &program, t);
+            for frame in frames_for_slot(&on_air, t, &mut FixedPayload) {
+                total += frame.encode().len() as u64;
+            }
+        }
+        ref_best = ref_best.min(t0.elapsed().as_secs_f64());
+        let _ = total;
+    }
+
+    EncodeResult {
+        slots: encode_slots,
+        bytes_per_slot,
+        opt_bytes_per_sec: (bytes_per_slot * encode_slots) as f64 / opt_best,
+        ref_bytes_per_sec: (bytes_per_slot * encode_slots) as f64 / ref_best,
+    }
+}
+
+fn main() {
+    let (config, _dists, extra) = parse_common_args();
+    let cfg = Config {
+        channels: extra_num(&extra, "channels", 8u32),
+        cycle: extra_num(&extra, "cycle", 1024u64),
+        pages: extra_num(&extra, "pages", 1680u32),
+        slots: extra_num(&extra, "slots", 4096u64),
+        reps: extra_num(&extra, "reps", 3u32),
+        seed: config.seed,
+    };
+    let max_subs = extra_num(&extra, "max-subs", 1_000_000u64);
+    let out_path = extra
+        .iter()
+        .find(|(k, _)| k == "out")
+        .map_or_else(|| "BENCH_station.json".to_string(), |(_, v)| v.clone());
+
+    let mut scales: Vec<u64> = [10_000u64, 100_000, 1_000_000]
+        .into_iter()
+        .filter(|&s| s <= max_subs)
+        .collect();
+    if scales.is_empty() {
+        scales.push(max_subs.max(1));
+    }
+    let mut divergences: Vec<String> = Vec::new();
+    println!(
+        "station_perf: {} channels, cycle {}, {} pages, {} serving slots, subscriber scales {scales:?}\n",
+        cfg.channels, cfg.cycle, cfg.pages, cfg.slots
+    );
+
+    let mut results: Vec<ScaleResult> = Vec::new();
+    for faulted in [false, true] {
+        reference_gate(&cfg, faulted, &mut divergences);
+        seed_gate(&cfg, faulted, &mut divergences);
+        for &scale in &scales {
+            let r = time_scale(&cfg, faulted, scale, &mut divergences);
+            println!(
+                "{} subscribers ({}): {:.0} ticks/s vs seed {:.0} ({:.1}x, reference {:.0}), \
+                 {:.0} vs {:.0} deliveries/s, {} delivered",
+                r.subscribers,
+                if faulted { "faulted" } else { "clean" },
+                r.opt_tps,
+                r.seed_tps,
+                r.speedup_vs_seed(),
+                r.ref_tps,
+                r.opt_dps,
+                r.seed_dps,
+                r.delivered
+            );
+            results.push(r);
+        }
+        println!();
+    }
+
+    let encode = encode_phase(&cfg, &mut divergences);
+    println!(
+        "encode: {:.1} MB/s reused buffer vs {:.1} MB/s per-frame ({:.1}x), {} bytes/slot\n",
+        encode.opt_bytes_per_sec / 1e6,
+        encode.ref_bytes_per_sec / 1e6,
+        encode.opt_bytes_per_sec / encode.ref_bytes_per_sec,
+        encode.bytes_per_slot
+    );
+
+    // Headline: the un-faulted serving-loop ratio at the largest scale up
+    // to 100k subscribers (the acceptance operating point).
+    let headline = results
+        .iter()
+        .rfind(|r| !r.faulted && r.subscribers <= 110_000)
+        .map_or(f64::NAN, ScaleResult::speedup_vs_seed);
+    println!("headline serving-loop speedup vs seed: {headline:.1}x");
+
+    let entries = results
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"subscribers\": {subs}, \"faulted\": {faulted}, ",
+                    "\"optimized_ticks_per_sec\": {o_tps}, \"seed_ticks_per_sec\": {s_tps}, ",
+                    "\"reference_ticks_per_sec\": {r_tps}, \"speedup_vs_seed\": {speed}, ",
+                    "\"optimized_deliveries_per_sec\": {o_dps}, ",
+                    "\"seed_deliveries_per_sec\": {s_dps}, \"delivered\": {n}}}"
+                ),
+                subs = r.subscribers,
+                faulted = r.faulted,
+                o_tps = json_f(r.opt_tps),
+                s_tps = json_f(r.seed_tps),
+                r_tps = json_f(r.ref_tps),
+                speed = json_f(r.speedup_vs_seed()),
+                o_dps = json_f(r.opt_dps),
+                s_dps = json_f(r.seed_dps),
+                n = r.delivered,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"station_perf\",\n",
+            "  \"config\": {{\"channels\": {ch}, \"cycle\": {cy}, \"pages\": {pg}, ",
+            "\"serving_slots\": {sl}, \"reps\": {reps}, \"seed\": {seed}}},\n",
+            "  \"scales\": [\n{entries}\n  ],\n",
+            "  \"encode\": {{\"slots\": {e_n}, \"bytes_per_slot\": {e_b}, ",
+            "\"optimized_bytes_per_sec\": {e_o}, \"reference_bytes_per_sec\": {e_r}, ",
+            "\"speedup\": {e_x}}},\n",
+            "  \"headline_speedup_vs_seed\": {head},\n",
+            "  \"divergences\": {divs}\n",
+            "}}\n"
+        ),
+        ch = cfg.channels,
+        cy = cfg.cycle,
+        pg = cfg.pages,
+        sl = cfg.slots,
+        reps = cfg.reps,
+        seed = cfg.seed,
+        entries = entries,
+        e_n = encode.slots,
+        e_b = encode.bytes_per_slot,
+        e_o = json_f(encode.opt_bytes_per_sec),
+        e_r = json_f(encode.ref_bytes_per_sec),
+        e_x = json_f(encode.opt_bytes_per_sec / encode.ref_bytes_per_sec),
+        head = json_f(headline),
+        divs = if divergences.is_empty() {
+            "[]".to_string()
+        } else {
+            format!(
+                "[{}]",
+                divergences
+                    .iter()
+                    .map(|d| format!("\"{}\"", d.replace('"', "'")))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        },
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_station.json");
+    println!("wrote {out_path}");
+
+    if !divergences.is_empty() {
+        eprintln!("DIVERGENCE:");
+        for d in &divergences {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}

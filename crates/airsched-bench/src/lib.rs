@@ -14,6 +14,7 @@
 //! | `ablation_opt` | structured vs full-exhaustive OPT gap |
 //! | `opt_perf` | OPT search cost vs channel count |
 //! | `planner_perf` | planner/measurement perf baseline → `BENCH_planner.json` |
+//! | `station_perf` | serving-path perf vs the seed station → `BENCH_station.json` |
 //! | `drop_vs_pamad` | §4 Solution 1 (drop pages) vs PAMAD, with on-demand congestion |
 //! | `fairness` | per-group normalized delay and Jain index (design-rationale ablation) |
 //! | `hybrid_split` | push/pull transceiver budget split (extension) |

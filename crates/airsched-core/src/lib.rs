@@ -97,5 +97,5 @@ pub mod validity;
 
 pub use error::ScheduleError;
 pub use group::GroupLadder;
-pub use program::BroadcastProgram;
+pub use program::{BroadcastProgram, OccurrenceCursor, OccurrenceIndex, Occurrences};
 pub use schedule::{build_program, Algorithm, ScheduleOutcome};

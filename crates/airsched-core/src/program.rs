@@ -14,6 +14,213 @@ use core::fmt;
 
 use crate::types::{ChannelId, GridPos, PageId, SlotIndex};
 
+/// A source of per-page occurrence columns over a cyclic schedule.
+///
+/// Implemented by [`BroadcastProgram`] (live placement tables) and
+/// [`OccurrenceIndex`] (a compact, detached snapshot of the same tables), so
+/// consumers such as `validity::check` and the simulator's access paths run
+/// unchanged against either.
+pub trait Occurrences {
+    /// Cycle length in slots.
+    fn cycle_len(&self) -> u64;
+
+    /// The sorted, deduplicated columns in which `page` appears; empty for a
+    /// page never broadcast.
+    fn occurrence_columns(&self, page: PageId) -> &[u64];
+
+    /// The first slot `s >= from` whose column carries `page` (the page is
+    /// fully received at the end of that slot), or `None` if the page is
+    /// never broadcast. `O(log f_p)` via binary search.
+    fn next_broadcast(&self, page: PageId, from: u64) -> Option<u64> {
+        next_in_columns(self.occurrence_columns(page), self.cycle_len(), from)
+    }
+
+    /// The wait, in whole slots, from a tune-in at the start of slot
+    /// `arrival` until `page` is fully received (`>= 1`), or `None` if the
+    /// page is never broadcast.
+    fn wait_from(&self, page: PageId, arrival: u64) -> Option<u64> {
+        self.next_broadcast(page, arrival).map(|s| s - arrival + 1)
+    }
+}
+
+/// The first absolute slot `s >= from` congruent to one of the sorted cycle
+/// columns `cols`, or `None` when `cols` is empty. Shared kernel behind
+/// [`Occurrences::next_broadcast`] and [`BroadcastProgram::wait_from`].
+#[must_use]
+pub fn next_in_columns(cols: &[u64], cycle: u64, from: u64) -> Option<u64> {
+    if cols.is_empty() {
+        return None;
+    }
+    let a = from % cycle;
+    let idx = cols.partition_point(|&c| c < a);
+    if idx < cols.len() {
+        Some(from + (cols[idx] - a))
+    } else {
+        Some(from + (cycle - a) + cols[0])
+    }
+}
+
+/// The cyclic inter-occurrence gaps over sorted columns `cols` (including the
+/// wrap-around gap), summing to `cycle`. Empty when `cols` is empty.
+pub fn cyclic_gaps_over(cols: &[u64], cycle: u64) -> impl Iterator<Item = u64> + '_ {
+    let n = cols.len();
+    (0..n).map(move |i| {
+        if i + 1 < n {
+            cols[i + 1] - cols[i]
+        } else {
+            cycle - cols[n - 1] + cols[0]
+        }
+    })
+}
+
+/// A precomputed, immutable next-broadcast index over one program: per-page
+/// sorted slot offsets flattened into a single arena, built once per
+/// [`BroadcastProgram`] and then queried lock-step with the serving path.
+///
+/// [`Occurrences::next_broadcast`] answers "when does page `p` next air at or
+/// after slot `t`?" in `O(log f_p)`; [`OccurrenceIndex::cursor`] amortizes a
+/// monotone query stream to `O(1)` per query.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::program::{BroadcastProgram, Occurrences};
+/// use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
+///
+/// let mut program = BroadcastProgram::new(1, 4);
+/// program.place(GridPos::new(ChannelId::new(0), SlotIndex::new(2)), PageId::new(0))?;
+/// let index = program.occurrence_index();
+/// assert_eq!(index.next_broadcast(PageId::new(0), 0), Some(2));
+/// assert_eq!(index.next_broadcast(PageId::new(0), 3), Some(6)); // wraps
+/// assert_eq!(index.wait_from(PageId::new(0), 3), program.wait_from(PageId::new(0), 3));
+/// # Ok::<(), airsched_core::program::SlotOccupied>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccurrenceIndex {
+    cycle_len: u64,
+    /// All per-page column lists, concatenated page-major.
+    offsets: Vec<u64>,
+    /// Per-page half-open `(start, end)` ranges into `offsets`, indexed
+    /// densely by `PageId::index()`.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl OccurrenceIndex {
+    /// Builds the index by flattening `program`'s occurrence tables.
+    #[must_use]
+    pub fn build(program: &BroadcastProgram) -> Self {
+        let total: usize = program.columns.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(total);
+        let mut ranges = Vec::with_capacity(program.columns.len());
+        for cols in &program.columns {
+            let start = offsets.len();
+            offsets.extend_from_slice(cols);
+            ranges.push((start, offsets.len()));
+        }
+        Self {
+            cycle_len: program.cycle_len,
+            offsets,
+            ranges,
+        }
+    }
+
+    /// Number of logical occurrences (distinct columns) of `page`.
+    #[must_use]
+    pub fn frequency(&self, page: PageId) -> u64 {
+        self.occurrence_columns(page).len() as u64
+    }
+
+    /// An amortized-O(1) cursor over `page`'s occurrences for non-decreasing
+    /// query times, or `None` if the page is never broadcast.
+    #[must_use]
+    pub fn cursor(&self, page: PageId) -> Option<OccurrenceCursor<'_>> {
+        OccurrenceCursor::over(self.occurrence_columns(page), self.cycle_len)
+    }
+}
+
+impl Occurrences for OccurrenceIndex {
+    fn cycle_len(&self) -> u64 {
+        self.cycle_len
+    }
+
+    fn occurrence_columns(&self, page: PageId) -> &[u64] {
+        self.ranges
+            .get(page.index() as usize)
+            .map_or(&[], |&(start, end)| &self.offsets[start..end])
+    }
+}
+
+/// A forward-only cursor over one page's occurrences. For a stream of
+/// non-decreasing `from` values it answers [`OccurrenceCursor::next_after`]
+/// in amortized O(1): the cursor steps at most once per occurrence passed,
+/// and re-syncs with a single binary search when the stream jumps a whole
+/// cycle or more.
+#[derive(Debug, Clone)]
+pub struct OccurrenceCursor<'a> {
+    cols: &'a [u64],
+    cycle: u64,
+    /// Cycle base (a multiple of `cycle`) of the occurrence at `idx`.
+    base: u64,
+    idx: usize,
+    /// Last query time, for the monotonicity debug check.
+    last: u64,
+}
+
+impl<'a> OccurrenceCursor<'a> {
+    /// A cursor over explicit sorted `cols`; `None` when `cols` is empty.
+    #[must_use]
+    pub fn over(cols: &'a [u64], cycle: u64) -> Option<Self> {
+        if cols.is_empty() {
+            None
+        } else {
+            Some(Self {
+                cols,
+                cycle,
+                base: 0,
+                idx: 0,
+                last: 0,
+            })
+        }
+    }
+
+    /// The first absolute slot `s >= from` carrying the page. Queries must be
+    /// non-decreasing; for random access use [`Occurrences::next_broadcast`].
+    pub fn next_after(&mut self, from: u64) -> u64 {
+        debug_assert!(from >= self.last, "cursor queries must be non-decreasing");
+        self.last = from;
+        let mut next = self.base + self.cols[self.idx];
+        if from > next {
+            if from - next >= self.cycle {
+                // Far jump: re-sync with one binary search instead of
+                // stepping occurrence by occurrence.
+                let a = from % self.cycle;
+                self.base = from - a;
+                self.idx = self.cols.partition_point(|&c| c < a);
+                if self.idx == self.cols.len() {
+                    self.idx = 0;
+                    self.base += self.cycle;
+                }
+                next = self.base + self.cols[self.idx];
+            }
+            while next < from {
+                self.idx += 1;
+                if self.idx == self.cols.len() {
+                    self.idx = 0;
+                    self.base += self.cycle;
+                }
+                next = self.base + self.cols[self.idx];
+            }
+        }
+        next
+    }
+
+    /// The wait in whole slots from `from` until the page is fully received
+    /// (`next_after(from) - from + 1`). Same monotonicity contract.
+    pub fn wait_after(&mut self, from: u64) -> u64 {
+        self.next_after(from) - from + 1
+    }
+}
+
 /// A rectangular, cyclic broadcast schedule.
 ///
 /// # Examples
@@ -205,10 +412,31 @@ impl BroadcastProgram {
     /// All `(channel, slot)` cells holding `page`, sorted row-major.
     #[must_use]
     pub fn occurrences(&self, page: PageId) -> Vec<GridPos> {
+        self.occurrence_cells(page).to_vec()
+    }
+
+    /// Borrowing variant of [`BroadcastProgram::occurrences`] — the hot
+    /// multiget path walks these per candidate slot and must not clone.
+    #[must_use]
+    pub fn occurrence_cells(&self, page: PageId) -> &[GridPos] {
         self.cells
             .get(page.index() as usize)
-            .cloned()
-            .unwrap_or_default()
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// A precomputed [`OccurrenceIndex`] snapshot of this program's
+    /// occurrence tables. Build once, query many: the index is immutable and
+    /// does not track later [`BroadcastProgram::place`] calls.
+    #[must_use]
+    pub fn occurrence_index(&self) -> OccurrenceIndex {
+        OccurrenceIndex::build(self)
+    }
+
+    /// An amortized-O(1) cursor over `page`'s occurrences borrowing this
+    /// program's tables directly, or `None` if the page is never broadcast.
+    #[must_use]
+    pub fn occurrence_cursor(&self, page: PageId) -> Option<OccurrenceCursor<'_>> {
+        OccurrenceCursor::over(self.occurrence_columns(page), self.cycle_len)
     }
 
     /// Every distinct page that appears at least once, in ascending id order.
@@ -248,22 +476,8 @@ impl BroadcastProgram {
     /// ```
     #[must_use]
     pub fn wait_from(&self, page: PageId, arrival: u64) -> Option<u64> {
-        let cols = self.occurrence_columns(page);
-        if cols.is_empty() {
-            return None;
-        }
-        let a = arrival % self.cycle_len;
-        // First column >= a, else wrap to the first column next cycle.
-        match cols.binary_search(&a) {
-            Ok(_) => Some(1),
-            Err(idx) => {
-                if idx < cols.len() {
-                    Some(cols[idx] - a + 1)
-                } else {
-                    Some(self.cycle_len - a + cols[0] + 1)
-                }
-            }
-        }
+        next_in_columns(self.occurrence_columns(page), self.cycle_len, arrival)
+            .map(|s| s - arrival + 1)
     }
 
     /// The cyclic gaps, in slots, between consecutive logical occurrences of
@@ -275,16 +489,7 @@ impl BroadcastProgram {
     /// what [`crate::validity::check`] and the closed-form exact-delay path
     /// iterate per page.
     pub fn cyclic_gaps_iter(&self, page: PageId) -> impl Iterator<Item = u64> + '_ {
-        let cols = self.occurrence_columns(page);
-        let cycle = self.cycle_len;
-        let n = cols.len();
-        (0..n).map(move |i| {
-            if i + 1 < n {
-                cols[i + 1] - cols[i]
-            } else {
-                cycle - cols[n - 1] + cols[0]
-            }
-        })
+        cyclic_gaps_over(self.occurrence_columns(page), self.cycle_len)
     }
 
     /// [`BroadcastProgram::cyclic_gaps_iter`], collected.
@@ -316,6 +521,16 @@ impl BroadcastProgram {
             out.push('\n');
         }
         out
+    }
+}
+
+impl Occurrences for BroadcastProgram {
+    fn cycle_len(&self) -> u64 {
+        self.cycle_len
+    }
+
+    fn occurrence_columns(&self, page: PageId) -> &[u64] {
+        BroadcastProgram::occurrence_columns(self, page)
     }
 }
 
@@ -518,6 +733,76 @@ mod tests {
         assert_eq!(a.occurrences(PageId::new(7)), b.occurrences(PageId::new(7)));
         // Occurrences are row-major regardless of placement order.
         assert_eq!(a.occurrences(PageId::new(7)), vec![pos(0, 2), pos(1, 0)]);
+    }
+
+    #[test]
+    fn occurrence_index_matches_program_waits() {
+        let mut p = BroadcastProgram::new(2, 12);
+        for slot in [0, 3, 4, 9] {
+            p.place(pos(0, slot), PageId::new(1)).unwrap();
+        }
+        p.place(pos(1, 7), PageId::new(3)).unwrap();
+        let index = p.occurrence_index();
+        assert_eq!(Occurrences::cycle_len(&index), 12);
+        for page in [PageId::new(1), PageId::new(3), PageId::new(2)] {
+            assert_eq!(index.occurrence_columns(page), p.occurrence_columns(page));
+            assert_eq!(index.frequency(page), p.frequency(page));
+            for from in 0..36 {
+                assert_eq!(index.wait_from(page, from), p.wait_from(page, from));
+            }
+        }
+        // Unknown (out-of-table) pages are simply never broadcast.
+        assert_eq!(index.next_broadcast(PageId::new(99), 5), None);
+    }
+
+    #[test]
+    fn next_broadcast_lands_on_or_after_from() {
+        let mut p = BroadcastProgram::new(1, 6);
+        p.place(pos(0, 2), PageId::new(0)).unwrap();
+        p.place(pos(0, 5), PageId::new(0)).unwrap();
+        let index = p.occurrence_index();
+        assert_eq!(index.next_broadcast(PageId::new(0), 0), Some(2));
+        assert_eq!(index.next_broadcast(PageId::new(0), 2), Some(2));
+        assert_eq!(index.next_broadcast(PageId::new(0), 3), Some(5));
+        assert_eq!(index.next_broadcast(PageId::new(0), 6), Some(8));
+        // Arrivals many cycles out still land on the right column.
+        assert_eq!(index.next_broadcast(PageId::new(0), 601), Some(602));
+    }
+
+    #[test]
+    fn cursor_tracks_binary_search_over_monotone_sweep() {
+        let mut p = BroadcastProgram::new(1, 10);
+        for slot in [1, 4, 8] {
+            p.place(pos(0, slot), PageId::new(0)).unwrap();
+        }
+        let index = p.occurrence_index();
+        let mut cursor = index.cursor(PageId::new(0)).unwrap();
+        for from in 0..120 {
+            assert_eq!(
+                cursor.next_after(from),
+                index.next_broadcast(PageId::new(0), from).unwrap(),
+                "diverged at from={from}"
+            );
+        }
+        // A far jump (>= one full cycle) re-syncs via binary search.
+        let mut cursor = index.cursor(PageId::new(0)).unwrap();
+        assert_eq!(cursor.next_after(3), 4);
+        assert_eq!(cursor.next_after(1_000_005), 1_000_008);
+        assert_eq!(cursor.wait_after(1_000_008), 1);
+        assert!(index.cursor(PageId::new(9)).is_none());
+        assert!(p.occurrence_cursor(PageId::new(0)).is_some());
+    }
+
+    #[test]
+    fn occurrence_cells_borrow_matches_cloning_accessor() {
+        let mut p = BroadcastProgram::new(2, 4);
+        p.place(pos(1, 0), PageId::new(7)).unwrap();
+        p.place(pos(0, 2), PageId::new(7)).unwrap();
+        assert_eq!(
+            p.occurrence_cells(PageId::new(7)),
+            &p.occurrences(PageId::new(7))[..]
+        );
+        assert!(p.occurrence_cells(PageId::new(42)).is_empty());
     }
 
     #[test]

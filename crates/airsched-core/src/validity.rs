@@ -16,7 +16,7 @@
 use core::fmt;
 
 use crate::group::GroupLadder;
-use crate::program::BroadcastProgram;
+use crate::program::{cyclic_gaps_over, Occurrences};
 use crate::types::PageId;
 
 /// One way a program can fail validity for one page.
@@ -131,7 +131,9 @@ impl fmt::Display for ValidityReport {
     }
 }
 
-/// Checks `program` against `ladder` and reports every violation.
+/// Checks an occurrence source (a [`crate::program::BroadcastProgram`] or a
+/// prebuilt [`crate::program::OccurrenceIndex`]) against `ladder` and reports
+/// every violation.
 ///
 /// # Examples
 ///
@@ -143,14 +145,16 @@ impl fmt::Display for ValidityReport {
 /// let ladder = GroupLadder::new(vec![(2, 2), (4, 3)])?;
 /// let program = susc::schedule(&ladder, 2)?;
 /// assert!(check(&program, &ladder).is_valid());
+/// assert!(check(&program.occurrence_index(), &ladder).is_valid());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[must_use]
-pub fn check(program: &BroadcastProgram, ladder: &GroupLadder) -> ValidityReport {
+pub fn check<S: Occurrences + ?Sized>(source: &S, ladder: &GroupLadder) -> ValidityReport {
+    let cycle = source.cycle_len();
     let mut report = ValidityReport::default();
     for (page, group) in ladder.pages() {
         let limit = ladder.time_of(group).slots();
-        let cols = program.occurrence_columns(page);
+        let cols = source.occurrence_columns(page);
         if cols.is_empty() {
             report.violations.push(Violation::NeverBroadcast { page });
             continue;
@@ -167,7 +171,7 @@ pub fn check(program: &BroadcastProgram, ladder: &GroupLadder) -> ValidityReport
         // Condition 2: every cyclic gap at most t_i. The iterator walks the
         // occurrence columns directly, so the sweep allocates nothing per
         // page.
-        for gap in program.cyclic_gaps_iter(page) {
+        for gap in cyclic_gaps_over(cols, cycle) {
             if gap > limit {
                 report
                     .violations
@@ -182,6 +186,7 @@ pub fn check(program: &BroadcastProgram, ladder: &GroupLadder) -> ValidityReport
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::BroadcastProgram;
     use crate::types::{ChannelId, GridPos, SlotIndex};
 
     fn pos(ch: u32, slot: u64) -> GridPos {

@@ -33,6 +33,10 @@ pub const HEADER_LEN: usize = 24;
 /// Largest payload a frame may carry.
 pub const MAX_PAYLOAD: usize = u16::MAX as usize;
 
+/// Largest channel index the wire format can carry (the header stores the
+/// channel as a `u16`).
+pub const MAX_CHANNEL_INDEX: u32 = u16::MAX as u32;
+
 const FLAG_IDLE: u8 = 0b0000_0001;
 
 /// One slot transmission on one channel.
@@ -89,17 +93,60 @@ impl core::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Why a frame failed to encode.
+///
+/// The constructors ([`Frame::data`], [`Frame::idle`]) reject these states up
+/// front, but the fields are public, so the encoder re-validates hand-built
+/// frames instead of silently truncating them onto the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodeError {
+    /// The channel index does not fit the header's `u16` field — encoding it
+    /// truncated would round-trip to the wrong channel.
+    ChannelOutOfRange {
+        /// The offending channel.
+        channel: ChannelId,
+    },
+    /// The payload exceeds [`MAX_PAYLOAD`].
+    PayloadTooLarge {
+        /// The payload length found.
+        len: usize,
+    },
+}
+
+impl core::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::ChannelOutOfRange { channel } => write!(
+                f,
+                "channel {channel} exceeds the wire limit of {MAX_CHANNEL_INDEX}"
+            ),
+            Self::PayloadTooLarge { len } => {
+                write!(f, "payload of {len} byte(s) exceeds the frame limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 impl Frame {
     /// A data frame.
     ///
     /// # Panics
     ///
-    /// Panics if the payload exceeds [`MAX_PAYLOAD`].
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`] or the channel index
+    /// exceeds [`MAX_CHANNEL_INDEX`] — a wider channel id would silently
+    /// truncate on the wire and round-trip to the wrong channel.
     #[must_use]
     pub fn data(channel: ChannelId, slot_time: u64, page: PageId, payload: Bytes) -> Self {
         assert!(
             payload.len() <= MAX_PAYLOAD,
             "payload exceeds the frame limit"
+        );
+        assert!(
+            channel.index() <= MAX_CHANNEL_INDEX,
+            "channel {channel} exceeds the wire limit of {MAX_CHANNEL_INDEX}"
         );
         Self {
             channel,
@@ -110,8 +157,16 @@ impl Frame {
     }
 
     /// An idle-carrier frame (keeps receivers slot-synchronized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel index exceeds [`MAX_CHANNEL_INDEX`].
     #[must_use]
     pub fn idle(channel: ChannelId, slot_time: u64) -> Self {
+        assert!(
+            channel.index() <= MAX_CHANNEL_INDEX,
+            "channel {channel} exceeds the wire limit of {MAX_CHANNEL_INDEX}"
+        );
         Self {
             channel,
             slot_time,
@@ -126,22 +181,55 @@ impl Frame {
         self.page.is_none()
     }
 
-    /// Encodes the frame to bytes.
+    /// Encodes the frame into a fresh buffer.
+    ///
+    /// Allocates per call; a transmitter encoding a whole column should use
+    /// [`Frame::encode_into`] with one reused buffer instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame fails [`Frame::encode_into`] validation (only
+    /// possible for hand-built frames — the constructors reject both states).
     #[must_use]
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
+        self.encode_into(&mut buf).expect("frame is encodable");
+        buf.freeze()
+    }
+
+    /// Appends the encoded frame to `buf`, returning the number of bytes
+    /// written. The buffer is *not* cleared first, so a transmitter can pack
+    /// a whole column of frames into one retained allocation and
+    /// [`BytesMut::clear`] it between slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when the channel index or payload length does
+    /// not fit its wire field. On error nothing is appended.
+    pub fn encode_into(&self, buf: &mut BytesMut) -> Result<usize, EncodeError> {
+        let Ok(channel) = u16::try_from(self.channel.index()) else {
+            return Err(EncodeError::ChannelOutOfRange {
+                channel: self.channel,
+            });
+        };
+        let Ok(payload_len) = u16::try_from(self.payload.len()) else {
+            return Err(EncodeError::PayloadTooLarge {
+                len: self.payload.len(),
+            });
+        };
+        let start = buf.len();
         buf.put_u32(MAGIC);
         buf.put_u8(VERSION);
         buf.put_u8(if self.is_idle() { FLAG_IDLE } else { 0 });
-        buf.put_u16(u16::try_from(self.channel.index()).unwrap_or(u16::MAX));
+        buf.put_u16(channel);
         buf.put_u64(self.slot_time);
         buf.put_u32(self.page.map_or(0, PageId::index));
-        buf.put_u16(u16::try_from(self.payload.len()).expect("payload fits in u16"));
+        buf.put_u16(payload_len);
         // CRC over the header so far + payload.
-        let crc = crc16(buf.as_ref(), &self.payload);
+        let crc = crc16(&buf[start..], &self.payload);
         buf.put_u16(crc);
         buf.extend_from_slice(&self.payload);
-        buf.freeze()
+        Ok(buf.len() - start)
     }
 
     /// Decodes one frame from `bytes` (which must contain exactly one
@@ -236,8 +324,45 @@ pub fn decode_stream(bytes: &[u8]) -> (Vec<Frame>, usize) {
     (frames, offset)
 }
 
-/// CRC-16/CCITT-FALSE over the header prefix and payload.
+/// Per-byte lookup table for CRC-16/CCITT-FALSE (polynomial `0x1021`),
+/// computed at compile time. Entry `i` is the CRC of the single byte `i`
+/// folded through the 8 bitwise steps, so the hot loop does one table hit
+/// per byte instead of eight shift/xor rounds.
+const CRC16_TABLE: [u16; 256] = {
+    let mut table = [0u16; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = (i as u16) << 8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-16/CCITT-FALSE over the header prefix and payload (table-driven; the
+/// bitwise original is retained as [`crc16_bitwise`] and pinned equal by the
+/// golden-vector tests).
 fn crc16(header: &[u8], payload: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in header.iter().chain(payload) {
+        crc = (crc << 8) ^ CRC16_TABLE[usize::from((crc >> 8) as u8 ^ byte)];
+    }
+    crc
+}
+
+/// The seed's bit-at-a-time CRC-16/CCITT-FALSE, kept as the reference the
+/// table-driven [`crc16`] is verified against.
+#[cfg(test)]
+fn crc16_bitwise(header: &[u8], payload: &[u8]) -> u16 {
     let mut crc: u16 = 0xFFFF;
     for &byte in header.iter().chain(payload) {
         crc ^= u16::from(byte) << 8;
@@ -370,5 +495,143 @@ mod tests {
         assert_eq!(crc16(b"123456789", b""), 0x29B1); // CCITT-FALSE check value
         assert_eq!(crc16(b"", b"123456789"), 0x29B1);
         assert_eq!(crc16(b"1234", b"56789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc_golden_vectors_pin_table_against_bitwise() {
+        // Known CCITT-FALSE values (init 0xFFFF, poly 0x1021, no reflection).
+        let goldens: &[(&[u8], u16)] = &[
+            (b"", 0xFFFF),
+            (b"\x00", 0xE1F0),
+            (b"\xFF", 0xFF00),
+            (b"123456789", 0x29B1),
+            (b"A", 0xB915),
+            (b"AIRS", 0x1D9F),
+        ];
+        for &(input, expected) in goldens {
+            assert_eq!(crc16(input, b""), expected, "table CRC of {input:?}");
+            assert_eq!(
+                crc16_bitwise(input, b""),
+                expected,
+                "bitwise CRC of {input:?}"
+            );
+        }
+        // Exhaustive single-byte sweep plus a structured corpus: the table
+        // rewrite must match the bitwise original on every split.
+        for b in 0u8..=255 {
+            assert_eq!(crc16(&[b], b""), crc16_bitwise(&[b], b""), "byte {b:#04x}");
+        }
+        let corpus: Vec<u8> = (0..1024u32)
+            .map(|i| (i.wrapping_mul(31) >> 3) as u8)
+            .collect();
+        for split in [0usize, 1, 23, 512, 1024] {
+            assert_eq!(
+                crc16(&corpus[..split], &corpus[split..]),
+                crc16_bitwise(&corpus[..split], &corpus[split..]),
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_channel_is_rejected_not_truncated() {
+        // Regression: the seed encoded channel 65536+ as 65535, which
+        // round-tripped to the wrong channel. Hand-built frames (the fields
+        // are public) must now fail to encode instead.
+        let frame = Frame {
+            channel: ChannelId::new(70_000),
+            slot_time: 1,
+            page: Some(PageId::new(0)),
+            payload: Bytes::new(),
+        };
+        let mut buf = BytesMut::new();
+        assert_eq!(
+            frame.encode_into(&mut buf),
+            Err(EncodeError::ChannelOutOfRange {
+                channel: ChannelId::new(70_000)
+            })
+        );
+        // A failed encode appends nothing.
+        assert!(buf.is_empty());
+        // The boundary channel still encodes and round-trips exactly.
+        let edge = Frame::idle(ChannelId::new(MAX_CHANNEL_INDEX), 9);
+        let decoded = Frame::decode(&edge.encode()).unwrap();
+        assert_eq!(decoded.channel, ChannelId::new(MAX_CHANNEL_INDEX));
+        let err = EncodeError::ChannelOutOfRange {
+            channel: ChannelId::new(70_000),
+        };
+        assert!(err.to_string().contains("wire limit"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wire limit")]
+    fn constructor_rejects_wide_channel() {
+        let _ = Frame::data(
+            ChannelId::new(u32::from(u16::MAX) + 1),
+            0,
+            PageId::new(0),
+            Bytes::new(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wire limit")]
+    fn idle_constructor_rejects_wide_channel() {
+        let _ = Frame::idle(ChannelId::new(u32::MAX), 0);
+    }
+
+    #[test]
+    fn encode_into_reuses_one_buffer_across_a_column() {
+        let frames = [
+            Frame::data(
+                ChannelId::new(0),
+                5,
+                PageId::new(1),
+                Bytes::from_static(b"a"),
+            ),
+            Frame::idle(ChannelId::new(1), 5),
+            Frame::data(
+                ChannelId::new(2),
+                5,
+                PageId::new(3),
+                Bytes::from_static(b"bcd"),
+            ),
+        ];
+        let mut buf = BytesMut::with_capacity(256);
+        let mut expected = Vec::new();
+        let mut written = 0;
+        for frame in &frames {
+            written += frame.encode_into(&mut buf).unwrap();
+            expected.extend_from_slice(&frame.encode());
+        }
+        assert_eq!(written, buf.len());
+        assert_eq!(&buf[..], &expected[..]);
+        let (decoded, used) = decode_stream(&buf);
+        assert_eq!(used, buf.len());
+        assert_eq!(decoded, frames);
+        // Clearing retains the allocation for the next slot.
+        let cap = buf.capacity();
+        buf.clear();
+        frames[0].encode_into(&mut buf).unwrap();
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(&buf[..], &frames[0].encode()[..]);
+    }
+
+    #[test]
+    fn encode_into_rejects_oversized_payload() {
+        let frame = Frame {
+            channel: ChannelId::new(0),
+            slot_time: 0,
+            page: Some(PageId::new(0)),
+            payload: Bytes::from(vec![0u8; MAX_PAYLOAD + 1]),
+        };
+        let mut buf = BytesMut::new();
+        assert_eq!(
+            frame.encode_into(&mut buf),
+            Err(EncodeError::PayloadTooLarge {
+                len: MAX_PAYLOAD + 1
+            })
+        );
+        assert!(buf.is_empty());
     }
 }

@@ -36,6 +36,8 @@ pub mod frame;
 pub mod receiver;
 pub mod transmitter;
 
-pub use frame::{decode_stream, DecodeError, Frame};
+pub use frame::{decode_stream, DecodeError, EncodeError, Frame};
 pub use receiver::{Receiver, ReceiverStats, Reception};
-pub use transmitter::{frames_for_slot, DebugPayloads, FrameStream, PayloadSource};
+pub use transmitter::{
+    encode_slot_into, frames_for_slot, DebugPayloads, FrameStream, PayloadSource,
+};

@@ -6,9 +6,9 @@
 
 use airsched_core::program::BroadcastProgram;
 use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 
-use crate::frame::Frame;
+use crate::frame::{EncodeError, Frame};
 
 /// Supplies the payload bytes for a page each time it airs.
 pub trait PayloadSource {
@@ -122,6 +122,34 @@ pub fn frames_for_slot<S: PayloadSource>(
         .collect()
 }
 
+/// Encodes one slot's per-channel pages straight onto the wire, appending
+/// every frame (idle carriers included) to one reused `buf`. Returns the
+/// number of bytes appended. This is the zero-allocation sibling of
+/// [`frames_for_slot`]: the station's steady-state transmit loop clears and
+/// refills the same buffer every slot.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if a channel index or payload does not fit its
+/// wire field; frames encoded before the failure remain in `buf`.
+pub fn encode_slot_into<S: PayloadSource>(
+    on_air: &[Option<PageId>],
+    slot_time: u64,
+    source: &mut S,
+    buf: &mut BytesMut,
+) -> Result<usize, EncodeError> {
+    let start = buf.len();
+    for (ch, page) in on_air.iter().enumerate() {
+        let channel = ChannelId::new(u32::try_from(ch).expect("channel fits in u32"));
+        let frame = match page {
+            Some(p) => Frame::data(channel, slot_time, *p, source.payload(*p, slot_time)),
+            None => Frame::idle(channel, slot_time),
+        };
+        frame.encode_into(buf)?;
+    }
+    Ok(buf.len() - start)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +192,24 @@ mod tests {
             } else {
                 assert!(frame.payload.is_empty());
             }
+        }
+    }
+
+    #[test]
+    fn encode_slot_into_matches_per_frame_encoding() {
+        let on_air = [Some(PageId::new(3)), None, Some(PageId::new(1))];
+        let mut buf = BytesMut::with_capacity(512);
+        let mut expected = Vec::new();
+        for slot_time in 0..4u64 {
+            buf.clear();
+            let written =
+                encode_slot_into(&on_air, slot_time, &mut DebugPayloads, &mut buf).unwrap();
+            assert_eq!(written, buf.len());
+            expected.clear();
+            for f in frames_for_slot(&on_air, slot_time, &mut DebugPayloads) {
+                expected.extend_from_slice(&f.encode());
+            }
+            assert_eq!(&buf[..], &expected[..]);
         }
     }
 

@@ -223,6 +223,18 @@ pub struct SlotFaults {
 }
 
 impl SlotFaults {
+    /// An empty fault set sized for zero channels — the starting point for
+    /// [`FaultInjector::sample_into`], which resizes it in place.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            went_down: Vec::new(),
+            came_up: Vec::new(),
+            stalled: Vec::new(),
+            corrupted: Vec::new(),
+        }
+    }
+
     /// Whether this slot is entirely fault-free.
     #[must_use]
     pub fn is_clean(&self) -> bool {
@@ -230,6 +242,12 @@ impl SlotFaults {
             && self.came_up.is_empty()
             && !self.stalled.iter().any(|&s| s)
             && !self.corrupted.iter().any(|&c| c)
+    }
+}
+
+impl Default for SlotFaults {
+    fn default() -> Self {
+        Self::empty()
     }
 }
 
@@ -251,6 +269,9 @@ pub struct FaultInjector {
     recovery: f64,
     stall: f64,
     corruption: f64,
+    /// Scratch copy of `up` from the start of the current slot, kept on the
+    /// injector so [`Self::sample_into`] allocates nothing per call.
+    prev: Vec<bool>,
 }
 
 impl FaultInjector {
@@ -270,6 +291,7 @@ impl FaultInjector {
             recovery: plan.recovery,
             stall: plan.stall,
             corruption: plan.corruption,
+            prev: Vec::with_capacity(channels as usize),
         }
     }
 
@@ -315,10 +337,24 @@ impl FaultInjector {
     /// to fire (each is applied the first time `sample` sees a slot at or
     /// past its `at`).
     pub fn sample(&mut self, time: u64) -> SlotFaults {
+        let mut out = SlotFaults::empty();
+        self.sample_into(time, &mut out);
+        out
+    }
+
+    /// Allocation-free sibling of [`Self::sample`]: fills `out` in place,
+    /// reusing its buffers across slots. Byte-identical to `sample` for the
+    /// same injector state — the station's hot tick path relies on that.
+    pub fn sample_into(&mut self, time: u64, out: &mut SlotFaults) {
         let n = self.up.len();
-        let before = self.up.clone();
-        let mut stalled = vec![false; n];
-        let mut corrupted = vec![false; n];
+        self.prev.clear();
+        self.prev.extend_from_slice(&self.up);
+        out.went_down.clear();
+        out.came_up.clear();
+        out.stalled.clear();
+        out.stalled.resize(n, false);
+        out.corrupted.clear();
+        out.corrupted.resize(n, false);
 
         // Random phase: a fixed four draws per channel, state-independent.
         for ch in 0..n {
@@ -331,8 +367,8 @@ impl FaultInjector {
             } else if !self.up[ch] && recovery_draw < self.recovery {
                 self.up[ch] = true;
             }
-            stalled[ch] = stall_draw < self.stall;
-            corrupted[ch] = corrupt_draw < self.corruption;
+            out.stalled[ch] = stall_draw < self.stall;
+            out.corrupted[ch] = corrupt_draw < self.corruption;
         }
 
         // Scripted phase: overrides whatever the random phase decided.
@@ -345,8 +381,8 @@ impl FaultInjector {
                 match event {
                     FaultEvent::Down { .. } => self.up[ch] = false,
                     FaultEvent::Up { .. } => self.up[ch] = true,
-                    FaultEvent::Stall { at, .. } if *at == time => stalled[ch] = true,
-                    FaultEvent::Corrupt { at, .. } if *at == time => corrupted[ch] = true,
+                    FaultEvent::Stall { at, .. } if *at == time => out.stalled[ch] = true,
+                    FaultEvent::Corrupt { at, .. } if *at == time => out.corrupted[ch] = true,
                     // A stall/corrupt slot that was skipped over (the
                     // caller jumped past it) has no lasting effect.
                     FaultEvent::Stall { .. } | FaultEvent::Corrupt { .. } => {}
@@ -355,13 +391,11 @@ impl FaultInjector {
             self.cursor += 1;
         }
 
-        let mut went_down = Vec::new();
-        let mut came_up = Vec::new();
-        for (ch, &was_up) in before.iter().enumerate() {
+        for (ch, &was_up) in self.prev.iter().enumerate() {
             let id = ChannelId::new(u32::try_from(ch).expect("channel fits in u32"));
             match (was_up, self.up[ch]) {
-                (true, false) => went_down.push(id),
-                (false, true) => came_up.push(id),
+                (true, false) => out.went_down.push(id),
+                (false, true) => out.came_up.push(id),
                 _ => {}
             }
         }
@@ -369,16 +403,9 @@ impl FaultInjector {
         // matter for live ones; mask them for cleanliness.
         for ch in 0..n {
             if !self.up[ch] {
-                stalled[ch] = false;
-                corrupted[ch] = false;
+                out.stalled[ch] = false;
+                out.corrupted[ch] = false;
             }
-        }
-
-        SlotFaults {
-            went_down,
-            came_up,
-            stalled,
-            corrupted,
         }
     }
 }
@@ -486,6 +513,32 @@ mod tests {
         assert_eq!(inj.up_count(), 2);
         inj.force_down(ch(7)); // out of range: no-op
         assert_eq!(inj.up_count(), 2);
+    }
+
+    #[test]
+    fn sample_into_reusing_one_buffer_matches_sample() {
+        let plan = FaultPlan::seeded(11)
+            .with_outage(0.1)
+            .with_recovery(0.3)
+            .with_stalls(0.05)
+            .with_corruption(0.2)
+            .with_script(vec![
+                FaultEvent::Down {
+                    at: 40,
+                    channel: ch(2),
+                },
+                FaultEvent::Up {
+                    at: 90,
+                    channel: ch(2),
+                },
+            ]);
+        let mut fresh = FaultInjector::new(&plan, 4);
+        let mut reused = FaultInjector::new(&plan, 4);
+        let mut buf = SlotFaults::default();
+        for t in 0..300 {
+            reused.sample_into(t, &mut buf);
+            assert_eq!(fresh.sample(t), buf, "diverged at slot {t}");
+        }
     }
 
     #[test]

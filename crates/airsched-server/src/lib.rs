@@ -61,5 +61,5 @@ pub use faults::{FaultEvent, FaultInjector, FaultPlan, SlotFaults};
 pub use health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
 pub use station::{
     ClientId, DegradationPolicy, Delivery, Mode, ModeTally, Station, StationError, StationStats,
-    TickOutcome,
+    TickBuf, TickOutcome,
 };

@@ -10,7 +10,10 @@
 //! * client subscriptions ([`Station::subscribe`]) that are delivered the
 //!   moment their page airs;
 //! * a slot clock driven by [`Station::tick`], each tick transmitting one
-//!   column of the program and returning the deliveries it caused;
+//!   column of the program and returning the deliveries it caused — with
+//!   an allocation-free sibling [`Station::tick_into`] that reuses one
+//!   [`TickBuf`] across slots, and [`Station::run_with`] streaming
+//!   deliveries through a callback for long runs;
 //! * live statistics ([`Station::stats`]): waits, deadline hits, backlog,
 //!   failovers and per-mode delivery tallies.
 //!
@@ -49,7 +52,7 @@ use airsched_core::error::ScheduleError;
 use airsched_core::program::BroadcastProgram;
 use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
 
-use crate::faults::{FaultInjector, FaultPlan};
+use crate::faults::{FaultInjector, FaultPlan, SlotFaults};
 use crate::health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
 
 /// Identifier of a subscribed client, unique within one station.
@@ -182,6 +185,114 @@ pub struct TickOutcome {
     pub deliveries: Vec<Delivery>,
     /// Channel health transitions that surfaced this slot.
     pub events: Vec<ChannelEvent>,
+}
+
+/// Reusable scratch for [`Station::tick_into`]: every buffer one slot of
+/// air time needs, retained across slots so steady-state ticking performs
+/// no heap allocation at all.
+///
+/// Create one with [`TickBuf::default`], hand it to `tick_into` every
+/// slot, and read the slot's results through the accessors — or snapshot
+/// them as a [`TickOutcome`] with [`TickBuf::to_outcome`] /
+/// [`TickBuf::into_outcome`].
+#[derive(Debug, Clone)]
+pub struct TickBuf {
+    time: u64,
+    mode: Mode,
+    on_air: Vec<Option<PageId>>,
+    corrupted: Vec<bool>,
+    deliveries: Vec<Delivery>,
+    events: Vec<ChannelEvent>,
+    /// Scratch for the fault injector's per-slot output.
+    faults: SlotFaults,
+    /// Whether `faults` was filled this slot (no injector = no faults, and
+    /// the tick path skips the per-channel fault flags entirely).
+    have_faults: bool,
+}
+
+impl Default for TickBuf {
+    fn default() -> Self {
+        Self {
+            time: 0,
+            mode: Mode::Valid,
+            on_air: Vec::new(),
+            corrupted: Vec::new(),
+            deliveries: Vec::new(),
+            events: Vec::new(),
+            faults: SlotFaults::empty(),
+            have_faults: false,
+        }
+    }
+}
+
+impl TickBuf {
+    /// An empty scratch buffer (same as [`TickBuf::default`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The slot the last `tick_into` transmitted.
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// The degradation-ladder mode that slot aired in.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Pages on the air, by physical channel (`None` = idle or down).
+    #[must_use]
+    pub fn on_air(&self) -> &[Option<PageId>] {
+        &self.on_air
+    }
+
+    /// Per physical channel: the frame aired but went out corrupted.
+    #[must_use]
+    pub fn corrupted(&self) -> &[bool] {
+        &self.corrupted
+    }
+
+    /// Clients served by the slot.
+    #[must_use]
+    pub fn deliveries(&self) -> &[Delivery] {
+        &self.deliveries
+    }
+
+    /// Channel health transitions that surfaced during the slot.
+    #[must_use]
+    pub fn events(&self) -> &[ChannelEvent] {
+        &self.events
+    }
+
+    /// Clones the slot's results into an owned [`TickOutcome`].
+    #[must_use]
+    pub fn to_outcome(&self) -> TickOutcome {
+        TickOutcome {
+            time: self.time,
+            mode: self.mode,
+            on_air: self.on_air.clone(),
+            corrupted: self.corrupted.clone(),
+            deliveries: self.deliveries.clone(),
+            events: self.events.clone(),
+        }
+    }
+
+    /// Moves the slot's results into an owned [`TickOutcome`].
+    #[must_use]
+    pub fn into_outcome(self) -> TickOutcome {
+        TickOutcome {
+            time: self.time,
+            mode: self.mode,
+            on_air: self.on_air,
+            corrupted: self.corrupted,
+            deliveries: self.deliveries,
+            events: self.events,
+        }
+    }
 }
 
 /// Aggregate station statistics.
@@ -326,8 +437,14 @@ enum ActivePlan {
 pub struct Station {
     scheduler: OnlineScheduler,
     time: u64,
-    /// Waiting clients per page, with their subscription instant.
-    waiting: BTreeMap<PageId, Vec<(ClientId, u64)>>,
+    /// Waiting clients per page, keyed by the page's dense index, with
+    /// their subscription instant. Slots are emptied in place rather than
+    /// removed, so steady-state ticking reuses their allocations.
+    waiting: Vec<Vec<(ClientId, u64)>>,
+    /// Dense mirror of the catalogue: `expected[page.index()]` is the
+    /// page's expected time, `None` when unpublished. Kept in sync by
+    /// `publish`/`expire` so the tick path never touches the `BTreeMap`.
+    expected: Vec<Option<u64>>,
     next_client: u64,
     stats: StationStats,
     /// Physical channel up/down state; length is the configured count.
@@ -353,7 +470,8 @@ impl Station {
         Ok(Self {
             scheduler: OnlineScheduler::new(channels, cycle)?,
             time: 0,
-            waiting: BTreeMap::new(),
+            waiting: Vec::new(),
+            expected: Vec::new(),
             next_client: 0,
             stats: StationStats::default(),
             channel_up: vec![true; channels as usize],
@@ -517,8 +635,15 @@ impl Station {
                 .map_err(|_| StationError::CapacityExhausted { page }),
             Err(e) => Err(e.into()),
         };
-        if result.is_ok() && !matches!(self.active, ActivePlan::Full) {
-            self.refresh_plan();
+        if result.is_ok() {
+            let idx = page.index() as usize;
+            if self.expected.len() <= idx {
+                self.expected.resize(idx + 1, None);
+            }
+            self.expected[idx] = Some(expected);
+            if !matches!(self.active, ActivePlan::Full) {
+                self.refresh_plan();
+            }
         }
         result
     }
@@ -533,6 +658,9 @@ impl Station {
         self.scheduler
             .remove_page(page)
             .map_err(|_| StationError::UnknownPage { page })?;
+        if let Some(slot) = self.expected.get_mut(page.index() as usize) {
+            *slot = None;
+        }
         if !matches!(self.active, ActivePlan::Full) {
             self.refresh_plan();
         }
@@ -547,12 +675,16 @@ impl Station {
     /// catalogue (a real frontend would route such clients to the
     /// on-demand channel).
     pub fn subscribe(&mut self, page: PageId) -> Result<ClientId, StationError> {
-        if !self.scheduler.pages().contains_key(&page) {
+        let idx = page.index() as usize;
+        if self.expected.get(idx).copied().flatten().is_none() {
             return Err(StationError::UnknownPage { page });
         }
         let id = ClientId(self.next_client);
         self.next_client += 1;
-        self.waiting.entry(page).or_default().push((id, self.time));
+        if self.waiting.len() <= idx {
+            self.waiting.resize_with(idx + 1, Vec::new);
+        }
+        self.waiting[idx].push((id, self.time));
         self.stats.waiting += 1;
         Ok(id)
     }
@@ -617,7 +749,179 @@ impl Station {
     /// Transmits one slot: the fault injector (if any) is consulted,
     /// every live channel sends its scheduled page, waiting clients whose
     /// page aired intact are served, and the clock advances.
+    ///
+    /// A thin wrapper over [`Station::tick_into`]; loops that tick many
+    /// slots should hold one [`TickBuf`] and call `tick_into` directly to
+    /// skip the per-slot allocations.
     pub fn tick(&mut self) -> TickOutcome {
+        let mut buf = TickBuf::default();
+        self.tick_into(&mut buf);
+        buf.into_outcome()
+    }
+
+    /// Allocation-free sibling of [`Station::tick`]: transmits one slot
+    /// into `buf`, reusing every buffer it holds. In steady state (no
+    /// ladder transition, no health event, no subscription burst growing a
+    /// buffer past its high-water mark) this path performs no heap
+    /// allocation at all.
+    pub fn tick_into(&mut self, buf: &mut TickBuf) {
+        buf.events.clear();
+        buf.events.append(&mut self.pending_events);
+        buf.deliveries.clear();
+        let configured = self.channel_up.len();
+
+        buf.have_faults = false;
+        if let Some(injector) = self.injector.as_mut() {
+            injector.sample_into(self.time, &mut buf.faults);
+            buf.have_faults = true;
+            let mut changed = false;
+            for &channel in &buf.faults.went_down {
+                let ch = channel.index() as usize;
+                if ch < configured && self.channel_up[ch] {
+                    self.channel_up[ch] = false;
+                    buf.events.push(ChannelEvent::Down {
+                        channel,
+                        at: self.time,
+                    });
+                    changed = true;
+                }
+            }
+            for &channel in &buf.faults.came_up {
+                let ch = channel.index() as usize;
+                if ch < configured && !self.channel_up[ch] {
+                    self.channel_up[ch] = true;
+                    self.health.reset(channel);
+                    buf.events.push(ChannelEvent::Up {
+                        channel,
+                        at: self.time,
+                    });
+                    changed = true;
+                }
+            }
+            if changed {
+                self.refresh_plan();
+            }
+        }
+
+        // One column of the active plan, mapped onto physical channels
+        // (the reduced plans' logical rows fill the live channels in
+        // ascending physical order).
+        buf.on_air.clear();
+        buf.on_air.resize(configured, None);
+        match &self.active {
+            ActivePlan::Full => {
+                let program = self.scheduler.program();
+                let column = self.time % program.cycle_len();
+                for (ch, slot) in buf.on_air.iter_mut().enumerate() {
+                    if self.channel_up[ch] {
+                        let channel = ChannelId::new(u32::try_from(ch).expect("fits in u32"));
+                        *slot = program.page_at(GridPos::new(channel, SlotIndex::new(column)));
+                    }
+                }
+            }
+            ActivePlan::Reduced(program) | ActivePlan::BestEffort(program) => {
+                let column = self.time % program.cycle_len();
+                let mut row = 0u32;
+                for (ch, slot) in buf.on_air.iter_mut().enumerate() {
+                    if self.channel_up[ch] && row < program.channels() {
+                        *slot = program
+                            .page_at(GridPos::new(ChannelId::new(row), SlotIndex::new(column)));
+                        row += 1;
+                    }
+                }
+            }
+            ActivePlan::Offline => {}
+        }
+
+        // Apply stalls and corruption, feeding the health monitor one
+        // observation per attempted transmission. Without an injector no
+        // channel can stall or corrupt, so the flags are never consulted.
+        buf.corrupted.clear();
+        buf.corrupted.resize(configured, false);
+        for ch in 0..configured {
+            if !self.channel_up[ch] {
+                continue;
+            }
+            let channel = ChannelId::new(u32::try_from(ch).expect("fits in u32"));
+            if buf.have_faults && buf.faults.stalled[ch] {
+                if buf.on_air[ch].take().is_some() {
+                    if let Some(e) =
+                        self.health
+                            .record(channel, SlotObservation::Stalled, self.time)
+                    {
+                        buf.events.push(e);
+                    }
+                }
+            } else if buf.on_air[ch].is_some() {
+                let observation = if buf.have_faults && buf.faults.corrupted[ch] {
+                    buf.corrupted[ch] = true;
+                    SlotObservation::Corrupt
+                } else {
+                    SlotObservation::Clean
+                };
+                if let Some(e) = self.health.record(channel, observation, self.time) {
+                    buf.events.push(e);
+                }
+            }
+        }
+
+        // Serve waiters from intact frames only; a corrupted frame shows
+        // in `on_air` but delivers nothing.
+        for ch in 0..configured {
+            if buf.corrupted[ch] {
+                continue;
+            }
+            let Some(page) = buf.on_air[ch] else { continue };
+            let idx = page.index() as usize;
+            if idx >= self.waiting.len() || self.waiting[idx].is_empty() {
+                continue;
+            }
+            let mut waiters = std::mem::take(&mut self.waiting[idx]);
+            let expected = self.expected.get(idx).copied().flatten();
+            for &(client, since) in &waiters {
+                // Received at the end of this slot.
+                let wait = self.time - since + 1;
+                let within = expected.is_some_and(|t| wait <= t);
+                buf.deliveries.push(Delivery {
+                    client,
+                    page,
+                    wait,
+                    within_deadline: within,
+                });
+                self.stats.delivered += 1;
+                self.stats.total_wait += wait;
+                self.stats.waiting -= 1;
+                let tally = &mut self.stats.per_mode[self.mode.index()];
+                tally.delivered += 1;
+                if within {
+                    self.stats.on_time += 1;
+                    tally.on_time += 1;
+                }
+            }
+            // Hand the emptied buffer back so the next subscription burst
+            // reuses its allocation.
+            waiters.clear();
+            self.waiting[idx] = waiters;
+        }
+
+        if self.mode != Mode::Valid {
+            self.stats.degraded_slots += 1;
+        }
+
+        buf.time = self.time;
+        buf.mode = self.mode;
+        self.time += 1;
+        self.stats.slots_elapsed += 1;
+    }
+
+    /// The seed implementation of [`Station::tick`], retained verbatim as
+    /// a correctness reference: it allocates every buffer fresh and reads
+    /// expected times straight from the scheduler's catalogue instead of
+    /// the station's dense cache. The `station_perf` bench drives two
+    /// identically-configured stations — one through
+    /// [`Station::tick_into`], one through this — and exits non-zero on
+    /// any divergence.
+    pub fn tick_reference(&mut self) -> TickOutcome {
         let mut events = std::mem::take(&mut self.pending_events);
         let configured = self.channel_up.len();
         let mut stalled = vec![false; configured];
@@ -656,9 +960,6 @@ impl Station {
             }
         }
 
-        // One column of the active plan, mapped onto physical channels
-        // (the reduced plans' logical rows fill the live channels in
-        // ascending physical order).
         let mut on_air: Vec<Option<PageId>> = vec![None; configured];
         match &self.active {
             ActivePlan::Full => {
@@ -685,8 +986,6 @@ impl Station {
             ActivePlan::Offline => {}
         }
 
-        // Apply stalls and corruption, feeding the health monitor one
-        // observation per attempted transmission.
         let mut corrupted = vec![false; configured];
         for ch in 0..configured {
             if !self.channel_up[ch] {
@@ -715,35 +1014,35 @@ impl Station {
             }
         }
 
-        // Serve waiters from intact frames only; a corrupted frame shows
-        // in `on_air` but delivers nothing.
         let mut deliveries = Vec::new();
         for ch in 0..configured {
             if corrupted[ch] {
                 continue;
             }
             let Some(page) = on_air[ch] else { continue };
-            if let Some(waiters) = self.waiting.remove(&page) {
-                let expected = self.scheduler.pages().get(&page).copied();
-                for (client, since) in waiters {
-                    // Received at the end of this slot.
-                    let wait = self.time - since + 1;
-                    let within = expected.is_some_and(|t| wait <= t);
-                    deliveries.push(Delivery {
-                        client,
-                        page,
-                        wait,
-                        within_deadline: within,
-                    });
-                    self.stats.delivered += 1;
-                    self.stats.total_wait += wait;
-                    self.stats.waiting -= 1;
-                    let tally = &mut self.stats.per_mode[self.mode.index()];
-                    tally.delivered += 1;
-                    if within {
-                        self.stats.on_time += 1;
-                        tally.on_time += 1;
-                    }
+            let idx = page.index() as usize;
+            let waiters = match self.waiting.get_mut(idx) {
+                Some(w) => std::mem::take(w),
+                None => continue,
+            };
+            let expected = self.scheduler.pages().get(&page).copied();
+            for (client, since) in waiters {
+                let wait = self.time - since + 1;
+                let within = expected.is_some_and(|t| wait <= t);
+                deliveries.push(Delivery {
+                    client,
+                    page,
+                    wait,
+                    within_deadline: within,
+                });
+                self.stats.delivered += 1;
+                self.stats.total_wait += wait;
+                self.stats.waiting -= 1;
+                let tally = &mut self.stats.per_mode[self.mode.index()];
+                tally.delivered += 1;
+                if within {
+                    self.stats.on_time += 1;
+                    tally.on_time += 1;
                 }
             }
         }
@@ -765,12 +1064,23 @@ impl Station {
         outcome
     }
 
+    /// Ticks `slots` times, streaming every delivery through `sink` — the
+    /// allocation-free way to drive a long run: one internal [`TickBuf`]
+    /// serves the whole loop and no delivery list is ever materialized.
+    pub fn run_with<F: FnMut(&Delivery)>(&mut self, slots: u64, mut sink: F) {
+        let mut buf = TickBuf::default();
+        for _ in 0..slots {
+            self.tick_into(&mut buf);
+            for delivery in &buf.deliveries {
+                sink(delivery);
+            }
+        }
+    }
+
     /// Ticks `slots` times, returning all deliveries in order.
     pub fn run(&mut self, slots: u64) -> Vec<Delivery> {
         let mut out = Vec::new();
-        for _ in 0..slots {
-            out.extend(self.tick().deliveries);
-        }
+        self.run_with(slots, |d| out.push(*d));
         out
     }
 }
@@ -1134,6 +1444,84 @@ mod tests {
             assert_eq!(a.tick(), b.tick(), "streams diverged at slot {t}");
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn tick_into_matches_the_reference_tick_across_chaos() {
+        let plan = FaultPlan::seeded(77)
+            .with_outage(0.05)
+            .with_recovery(0.25)
+            .with_stalls(0.03)
+            .with_corruption(0.08)
+            .with_script(vec![
+                FaultEvent::Down {
+                    at: 50,
+                    channel: ChannelId::new(0),
+                },
+                FaultEvent::Up {
+                    at: 120,
+                    channel: ChannelId::new(0),
+                },
+            ]);
+        let build = || {
+            let mut s = Station::with_faults(3, 8, &plan).unwrap();
+            s.publish(PageId::new(0), 2).unwrap();
+            s.publish(PageId::new(1), 4).unwrap();
+            s.publish(PageId::new(2), 8).unwrap();
+            s
+        };
+        let mut fast = build();
+        let mut reference = build();
+        let mut buf = TickBuf::new();
+        for t in 0..400u64 {
+            // Interleave subscriptions so the waiting buffers keep churning.
+            if t % 3 == 0 {
+                let page = PageId::new(u32::try_from(t % 3).unwrap());
+                assert_eq!(
+                    fast.subscribe(page).unwrap(),
+                    reference.subscribe(page).unwrap()
+                );
+            }
+            fast.tick_into(&mut buf);
+            let expected = reference.tick_reference();
+            assert_eq!(buf.to_outcome(), expected, "diverged at slot {t}");
+        }
+        assert_eq!(fast.stats(), reference.stats());
+        assert_eq!(fast.mode(), reference.mode());
+    }
+
+    #[test]
+    fn run_with_streams_the_same_deliveries_as_run() {
+        let build = || {
+            let mut s = station_with_catalogue();
+            s.subscribe(PageId::new(0)).unwrap();
+            s.subscribe(PageId::new(1)).unwrap();
+            s.subscribe(PageId::new(2)).unwrap();
+            s
+        };
+        let mut collected = Vec::new();
+        build().run_with(16, |d| collected.push(*d));
+        assert_eq!(collected, build().run(16));
+        assert_eq!(collected.len(), 3);
+    }
+
+    #[test]
+    fn expire_clears_the_dense_catalogue_cache() {
+        let mut s = station_with_catalogue();
+        s.subscribe(PageId::new(2)).unwrap();
+        s.expire(PageId::new(2)).unwrap();
+        // New subscriptions are rejected while the page is unpublished...
+        assert!(matches!(
+            s.subscribe(PageId::new(2)),
+            Err(StationError::UnknownPage { .. })
+        ));
+        s.run(16);
+        assert_eq!(s.stats().waiting, 1, "waiter lost with the expiry");
+        // ...and the in-flight waiter is served once it is re-published.
+        s.publish(PageId::new(2), 8).unwrap();
+        let deliveries = s.run(8);
+        assert!(deliveries.iter().any(|d| d.page == PageId::new(2)));
+        assert_eq!(s.stats().waiting, 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! exactly `t_i`, so delays are zero — matching §3's guarantee.
 
 use airsched_core::group::GroupLadder;
-use airsched_core::program::BroadcastProgram;
+use airsched_core::program::{cyclic_gaps_over, Occurrences};
 use airsched_core::types::PageId;
 use airsched_workload::requests::Request;
 
@@ -23,7 +23,8 @@ pub struct Access {
     pub delay: u64,
 }
 
-/// Resolves one request against a program.
+/// Resolves one request against an occurrence source (a program or its
+/// prebuilt [`airsched_core::program::OccurrenceIndex`]).
 ///
 /// Returns `None` if the page is never broadcast or unknown to the ladder.
 ///
@@ -48,13 +49,13 @@ pub struct Access {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[must_use]
-pub fn access_one(
-    program: &BroadcastProgram,
+pub fn access_one<S: Occurrences + ?Sized>(
+    source: &S,
     ladder: &GroupLadder,
     request: Request,
 ) -> Option<Access> {
     let t = ladder.expected_time_of(request.page)?.slots();
-    let wait = program.wait_from(request.page, request.arrival)?;
+    let wait = source.wait_from(request.page, request.arrival)?;
     Some(Access {
         wait,
         delay: wait.saturating_sub(t),
@@ -101,8 +102,8 @@ impl MissStats {
 /// The single place a request resolves to an outcome — both the serial and
 /// the sharded measurement paths go through this, so the miss policy
 /// documented on [`MissStats`] cannot drift between them.
-fn resolve_into(
-    program: &BroadcastProgram,
+fn resolve_into<S: Occurrences + ?Sized>(
+    source: &S,
     ladder: &GroupLadder,
     req: Request,
     acc: &mut DelayAccumulator,
@@ -112,12 +113,12 @@ fn resolve_into(
         misses.unknown_page += 1;
         return;
     };
-    match access_one(program, ladder, req) {
+    match access_one(source, ladder, req) {
         Some(a) => acc.record(group, a.wait, a.delay),
         None => {
             misses.never_broadcast += 1;
             let t = ladder.time_of(group).slots();
-            acc.record(group, t + program.cycle_len(), program.cycle_len());
+            acc.record(group, t + source.cycle_len(), source.cycle_len());
         }
     }
 }
@@ -168,9 +169,9 @@ impl Measurer {
     /// reports plus the split miss statistics (see [`MissStats`] for the
     /// two miss kinds and what each records).
     #[must_use]
-    pub fn measure(
+    pub fn measure<S: Occurrences + Sync + ?Sized>(
         &self,
-        program: &BroadcastProgram,
+        source: &S,
         ladder: &GroupLadder,
         requests: &[Request],
     ) -> (DelaySummary, MissStats) {
@@ -179,7 +180,7 @@ impl Measurer {
         let mut misses = MissStats::default();
         if threads <= 1 {
             for &req in requests {
-                resolve_into(program, ladder, req, &mut acc, &mut misses);
+                resolve_into(source, ladder, req, &mut acc, &mut misses);
             }
         } else {
             let chunk_len = requests.len().div_ceil(threads);
@@ -191,7 +192,7 @@ impl Measurer {
                             let mut acc = DelayAccumulator::new();
                             let mut misses = MissStats::default();
                             for &req in chunk {
-                                resolve_into(program, ladder, req, &mut acc, &mut misses);
+                                resolve_into(source, ladder, req, &mut acc, &mut misses);
                             }
                             (acc, misses)
                         })
@@ -235,12 +236,12 @@ impl Measurer {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[must_use]
-pub fn measure(
-    program: &BroadcastProgram,
+pub fn measure<S: Occurrences + Sync + ?Sized>(
+    source: &S,
     ladder: &GroupLadder,
     requests: &[Request],
 ) -> (DelaySummary, u64) {
-    let (summary, misses) = Measurer::new().measure(program, ladder, requests);
+    let (summary, misses) = Measurer::new().measure(source, ladder, requests);
     (summary, misses.total())
 }
 
@@ -260,16 +261,17 @@ pub fn measure(
 ///
 /// Returns `None` if any ladder page is never broadcast.
 #[must_use]
-pub fn exact_avg_delay(program: &BroadcastProgram, ladder: &GroupLadder) -> Option<f64> {
-    let cycle = program.cycle_len();
+pub fn exact_avg_delay<S: Occurrences + ?Sized>(source: &S, ladder: &GroupLadder) -> Option<f64> {
+    let cycle = source.cycle_len();
     let mut total: u128 = 0;
     let mut count: u128 = 0;
     for (page, group) in ladder.pages() {
-        if program.occurrence_columns(page).is_empty() {
+        let cols = source.occurrence_columns(page);
+        if cols.is_empty() {
             return None;
         }
         let t = ladder.time_of(group).slots();
-        for g in program.cyclic_gaps_iter(page) {
+        for g in cyclic_gaps_over(cols, cycle) {
             if g > t {
                 let d = u128::from(g - t);
                 total += d * (d + 1) / 2;
@@ -284,7 +286,9 @@ pub fn exact_avg_delay(program: &BroadcastProgram, ladder: &GroupLadder) -> Opti
 /// in `tests/cross_algorithms.rs` asserts the closed-form paths equal these
 /// exactly.
 pub mod reference {
-    use super::{BroadcastProgram, GroupLadder};
+    use airsched_core::program::BroadcastProgram;
+
+    use super::GroupLadder;
 
     /// The seed implementation of [`super::exact_avg_delay`]: a per-arrival
     /// scan costing `O(pages × cycle)` binary searches.
@@ -310,8 +314,8 @@ pub mod reference {
 /// Returns the wait (slots until received) for `page` from `arrival`, or
 /// `None` if the page never airs.
 #[must_use]
-pub fn wait_for(program: &BroadcastProgram, page: PageId, arrival: u64) -> Option<u64> {
-    program.wait_from(page, arrival)
+pub fn wait_for<S: Occurrences + ?Sized>(source: &S, page: PageId, arrival: u64) -> Option<u64> {
+    source.wait_from(page, arrival)
 }
 
 #[cfg(test)]
@@ -486,6 +490,28 @@ mod tests {
         let (b, bm) = Measurer::new().measure(&program, &ladder, tiny);
         assert_eq!(a, b);
         assert_eq!(am, bm);
+    }
+
+    #[test]
+    fn occurrence_index_source_matches_program_source() {
+        let ladder = fig2_ladder();
+        let program = pamad::schedule(&ladder, 2).unwrap().into_program();
+        let index = program.occurrence_index();
+        let requests = RequestGenerator::new(&ladder, AccessPattern::Uniform, 11)
+            .take(5000, program.cycle_len());
+        let from_program = Measurer::new().measure(&program, &ladder, &requests);
+        let from_index = Measurer::new().measure(&index, &ladder, &requests);
+        assert_eq!(from_program, from_index);
+        assert_eq!(
+            exact_avg_delay(&program, &ladder),
+            exact_avg_delay(&index, &ladder)
+        );
+        for &req in requests.iter().take(64) {
+            assert_eq!(
+                access_one(&program, &ladder, req),
+                access_one(&index, &ladder, req)
+            );
+        }
     }
 
     #[test]

@@ -198,6 +198,18 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Number of bytes the builder can hold without reallocating.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Empties the builder, retaining its allocation — upstream-compatible
+    /// and the key primitive for reusing one buffer across many frames.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Appends a byte slice.
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
         self.data.extend_from_slice(extend);
@@ -372,6 +384,16 @@ mod tests {
         assert_eq!(cursor.get_u32(), 0xDEAD_BEEF);
         assert_eq!(cursor.get_u64(), 0x0102_0304_0506_0708);
         assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.extend_from_slice(&[7u8; 48]);
+        let cap = buf.capacity();
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

@@ -338,6 +338,16 @@ pub mod strategy {
 
     impl_range_strategy!(u8, u16, u32, u64, usize);
 
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = rng.next_u64() as f64 / u64::MAX as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
     macro_rules! impl_tuple_strategy {
         ($($name:ident),+) => {
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
@@ -357,6 +367,8 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D);
     impl_tuple_strategy!(A, B, C, D, E);
     impl_tuple_strategy!(A, B, C, D, E, G);
+    impl_tuple_strategy!(A, B, C, D, E, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, G, H, I);
 }
 
 /// `any::<T>()` support for primitive types and [`sample::Index`].
