@@ -11,6 +11,7 @@ use airsched_core::delay::Weighting;
 use airsched_core::group::GroupLadder;
 use airsched_core::program::BroadcastProgram;
 use airsched_core::{mpb, opt, pamad, ScheduleError};
+use airsched_lint::{lint, LintConfig, LintInput, Severity};
 use airsched_sim::access::measure;
 use airsched_workload::distributions::GroupSizeDistribution;
 use airsched_workload::requests::{AccessPattern, NormalizedRequest, RequestGenerator};
@@ -68,6 +69,67 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// Lint diagnostic counts for one program, as embedded in sweep results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LintCounts {
+    /// Deny-level diagnostics.
+    pub deny: usize,
+    /// Warn-level diagnostics.
+    pub warn: usize,
+}
+
+impl LintCounts {
+    /// Whether the program produced no diagnostics at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.deny == 0 && self.warn == 0
+    }
+}
+
+impl core::fmt::Display for LintCounts {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_clean() {
+            f.write_str("clean")
+        } else {
+            write!(f, "{}D/{}W", self.deny, self.warn)
+        }
+    }
+}
+
+/// Lint verdicts for the three programs measured at one sweep point,
+/// under [`LintConfig::structural`] — below the minimum channel count the
+/// programs legitimately miss deadlines, but they must always stay
+/// structurally sound (every page on the air, no duplicated columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PointLint {
+    /// Counts for the PAMAD program.
+    pub pamad: LintCounts,
+    /// Counts for the m-PB program.
+    pub mpb: LintCounts,
+    /// Counts for the OPT program.
+    pub opt: LintCounts,
+}
+
+impl PointLint {
+    /// Whether all three programs lint clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.pamad.is_clean() && self.mpb.is_clean() && self.opt.is_clean()
+    }
+}
+
+/// Runs the structural rule set over one program.
+fn lint_counts(program: &BroadcastProgram, ladder: &GroupLadder) -> LintCounts {
+    let report = lint(
+        &LintInput::for_program(program, ladder),
+        &LintConfig::structural(),
+    );
+    LintCounts {
+        deny: report.count_at(Severity::Deny),
+        warn: report.count_at(Severity::Warn),
+    }
+}
+
 /// Measured average delay of the three §5 contenders at one channel count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
@@ -79,6 +141,8 @@ pub struct SweepPoint {
     pub mpb: f64,
     /// Measured AvgD of OPT, in slots.
     pub opt: f64,
+    /// Structural lint verdicts for the three measured programs.
+    pub lint: PointLint,
 }
 
 /// One Figure 5 sub-figure: a full channel sweep under one distribution.
@@ -145,6 +209,11 @@ pub fn sweep_channels(
             pamad: avg_delay_of(&pamad_program, &ladder, &normalized),
             mpb: avg_delay_of(&mpb_program, &ladder, &normalized),
             opt: avg_delay_of(&opt_program, &ladder, &normalized),
+            lint: PointLint {
+                pamad: lint_counts(&pamad_program, &ladder),
+                mpb: lint_counts(&mpb_program, &ladder),
+                opt: lint_counts(&opt_program, &ladder),
+            },
         });
     }
     points.sort_by_key(|p| p.channels);
@@ -412,6 +481,21 @@ mod tests {
         assert!(s.avgd_at_1 >= s.avgd_at_fifth);
         assert!(s.avgd_at_fifth >= s.avgd_at_min - 1e-9);
         assert!(s.avgd_at_min.abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_points_embed_structural_lint_verdicts() {
+        // Every measured program — even deep below the minimum channel
+        // count — must stay structurally sound under the lint gate's
+        // best-effort rule set.
+        let config = small_config(GroupSizeDistribution::Uniform);
+        let min = minimum_channels(&config.ladder().unwrap());
+        let sweep = sweep_channels(&config, 1..=min).unwrap();
+        for p in &sweep.points {
+            assert!(p.lint.is_clean(), "channels {}: {:?}", p.channels, p.lint);
+        }
+        assert_eq!(LintCounts::default().to_string(), "clean");
+        assert_eq!(LintCounts { deny: 1, warn: 2 }.to_string(), "1D/2W");
     }
 
     #[test]

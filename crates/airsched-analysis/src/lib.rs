@@ -30,11 +30,6 @@
 //! # Ok::<(), airsched_core::error::ScheduleError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-#![warn(clippy::all)]
-
 pub mod experiment;
 pub mod fairness;
 pub mod plot;
@@ -44,6 +39,7 @@ pub mod table;
 
 pub use experiment::{
     channels_for_delay_budget, full_range, one_fifth_summary, replicated_sweep, sweep_channels,
-    ChannelSweep, ExperimentConfig, OneFifthSummary, ReplicatedPoint, SweepPoint,
+    ChannelSweep, ExperimentConfig, LintCounts, OneFifthSummary, PointLint, ReplicatedPoint,
+    SweepPoint,
 };
 pub use table::Table;

@@ -32,13 +32,20 @@ pub fn sweep_table(sweep: &ChannelSweep) -> Table {
         "PAMAD".into(),
         "m-PB".into(),
         "OPT".into(),
+        "lint".into(),
     ]);
     for p in &sweep.points {
+        let lint = if p.lint.is_clean() {
+            "clean".to_string()
+        } else {
+            format!("{}/{}/{}", p.lint.pamad, p.lint.mpb, p.lint.opt)
+        };
         table.row(vec![
             p.channels.to_string(),
             fnum(p.pamad, 3),
             fnum(p.mpb, 3),
             fnum(p.opt, 3),
+            lint,
         ]);
     }
     table
@@ -59,9 +66,15 @@ pub fn sweep_headline(sweep: &ChannelSweep) -> String {
         .filter(|p| p.pamad > 1e-9)
         .map(|p| p.mpb / p.pamad)
         .fold(1.0f64, f64::max);
+    let dirty = sweep.points.iter().filter(|p| !p.lint.is_clean()).count();
+    let lint = if dirty == 0 {
+        "all programs lint clean".to_string()
+    } else {
+        format!("{dirty} point(s) with lint findings")
+    };
     format!(
         "Figure 5 ({}): N_min = {}, max |PAMAD - OPT| = {:.3} slots, \
-         m-PB up to {:.2}x worse than PAMAD",
+         m-PB up to {:.2}x worse than PAMAD, {lint}",
         sweep.distribution, sweep.min_channels, max_gap, max_mpb_ratio
     )
 }
@@ -114,6 +127,8 @@ mod tests {
         assert!(text.contains("PAMAD"));
         assert!(text.contains("m-PB"));
         assert!(text.contains("OPT"));
+        assert!(text.contains("lint"), "{text}");
+        assert!(text.contains("clean"), "{text}");
     }
 
     #[test]

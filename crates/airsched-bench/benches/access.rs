@@ -25,13 +25,13 @@ fn bench_access(c: &mut Criterion) {
 
     c.bench_function("access/wait_from_single", |b| {
         let req = requests[0];
-        b.iter(|| black_box(program.wait_from(black_box(req.page), black_box(req.arrival))))
+        b.iter(|| black_box(program.wait_from(black_box(req.page), black_box(req.arrival))));
     });
 
     let mut group = c.benchmark_group("access");
     group.throughput(Throughput::Elements(requests.len() as u64));
     group.bench_function("measure_3000_requests", |b| {
-        b.iter(|| black_box(measure(&program, &ladder, black_box(&requests))))
+        b.iter(|| black_box(measure(&program, &ladder, black_box(&requests))));
     });
     group.finish();
 }
@@ -47,13 +47,13 @@ fn bench_request_generation(c: &mut Criterion) {
         b.iter(|| {
             let mut gen = RequestGenerator::new(&ladder, AccessPattern::Uniform, 42);
             black_box(gen.take(3000, 512))
-        })
+        });
     });
     group.bench_function("zipf_3000", |b| {
         b.iter(|| {
             let mut gen = RequestGenerator::new(&ladder, AccessPattern::Zipf { theta: 0.95 }, 42);
             black_box(gen.take(3000, 512))
-        })
+        });
     });
     group.finish();
 }

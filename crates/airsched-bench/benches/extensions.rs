@@ -33,7 +33,7 @@ fn bench_dropping(c: &mut Criterion) {
                 schedule_with_drops(black_box(&ladder), n, DropPolicy::TightestFirst)
                     .expect("drop baseline runs"),
             )
-        })
+        });
     });
 }
 
@@ -49,7 +49,7 @@ fn bench_online(c: &mut Criterion) {
                     .expect("fits at the minimum");
             }
             black_box(sched)
-        })
+        });
     });
     c.bench_function("online/remove_one_page", |b| {
         let mut sched = OnlineScheduler::new(n, ladder.max_time()).unwrap();
@@ -65,7 +65,7 @@ fn bench_online(c: &mut Criterion) {
                 black_box(s)
             },
             criterion::BatchSize::LargeInput,
-        )
+        );
     });
 }
 
@@ -75,10 +75,10 @@ fn bench_textio(c: &mut Criterion) {
     let program = pamad::schedule(&ladder, n).unwrap().into_program();
     let text = write_program(&program);
     c.bench_function("textio/write_paper_program", |b| {
-        b.iter(|| black_box(write_program(black_box(&program))))
+        b.iter(|| black_box(write_program(black_box(&program))));
     });
     c.bench_function("textio/parse_paper_program", |b| {
-        b.iter(|| black_box(parse_program(black_box(&text)).expect("own output parses")))
+        b.iter(|| black_box(parse_program(black_box(&text)).expect("own output parses")));
     });
 }
 
@@ -90,7 +90,7 @@ fn bench_des(c: &mut Criterion) {
     let requests = gen.take(3000, program.cycle_len() * 10);
     let sim = Simulation::new(&program, &ladder, SimConfig::default());
     c.bench_function("des/run_3000_requests", |b| {
-        b.iter(|| black_box(sim.run(black_box(&requests))))
+        b.iter(|| black_box(sim.run(black_box(&requests))));
     });
 }
 
@@ -109,7 +109,7 @@ fn bench_lossy(c: &mut Criterion) {
                 LossModel::with_loss(0.3),
                 7,
             ))
-        })
+        });
     });
 }
 

@@ -23,13 +23,13 @@ fn bench_susc(c: &mut Criterion) {
     let ladder = paper_ladder();
     let min = minimum_channels(&ladder);
     c.bench_function("susc/minimum_channels", |b| {
-        b.iter(|| black_box(minimum_channels(black_box(&ladder))))
+        b.iter(|| black_box(minimum_channels(black_box(&ladder))));
     });
     c.bench_function("susc/schedule_at_minimum", |b| {
-        b.iter(|| black_box(susc::schedule(black_box(&ladder), min).expect("valid")))
+        b.iter(|| black_box(susc::schedule(black_box(&ladder), min).expect("valid")));
     });
     c.bench_function("susc/schedule_fast_at_minimum", |b| {
-        b.iter(|| black_box(susc::schedule_fast(black_box(&ladder), min).expect("valid")))
+        b.iter(|| black_box(susc::schedule_fast(black_box(&ladder), min).expect("valid")));
     });
 }
 
@@ -46,10 +46,10 @@ fn bench_pamad(c: &mut Criterion) {
                     n,
                     Weighting::PaperEq2,
                 ))
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("schedule_full", n), &n, |b, &n| {
-            b.iter(|| black_box(pamad::schedule(black_box(&ladder), n).expect("pamad runs")))
+            b.iter(|| black_box(pamad::schedule(black_box(&ladder), n).expect("pamad runs")));
         });
     }
     group.finish();
@@ -67,7 +67,7 @@ fn bench_opt(c: &mut Criterion) {
                     n,
                     Weighting::PaperEq2,
                 ))
-            })
+            });
         });
     }
     group.finish();
@@ -78,7 +78,7 @@ fn bench_mpb(c: &mut Criterion) {
     let min = minimum_channels(&ladder);
     let n = min.div_ceil(5);
     c.bench_function("mpb/schedule_at_fifth", |b| {
-        b.iter(|| black_box(mpb::schedule(black_box(&ladder), n).expect("mpb runs")))
+        b.iter(|| black_box(mpb::schedule(black_box(&ladder), n).expect("mpb runs")));
     });
 }
 

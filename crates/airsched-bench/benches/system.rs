@@ -38,7 +38,7 @@ fn bench_station(c: &mut Criterion) {
             },
             |mut s| black_box(s.run(1024)),
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }
@@ -58,10 +58,10 @@ fn bench_wire(c: &mut Criterion) {
             for f in &frames {
                 black_box(f.encode());
             }
-        })
+        });
     });
     group.bench_function("decode_256_frames", |b| {
-        b.iter(|| black_box(airsched_proto::frame::decode_stream(black_box(&wire))))
+        b.iter(|| black_box(airsched_proto::frame::decode_stream(black_box(&wire))));
     });
     group.finish();
 }
@@ -75,10 +75,10 @@ fn bench_opt_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("opt_full_space");
     group.sample_size(10);
     group.bench_function("plain_enumeration", |b| {
-        b.iter(|| black_box(search_full(black_box(&ladder), 3, config).expect("fits limit")))
+        b.iter(|| black_box(search_full(black_box(&ladder), 3, config).expect("fits limit")));
     });
     group.bench_function("branch_and_bound", |b| {
-        b.iter(|| black_box(search_full_bnb(black_box(&ladder), 3, config)))
+        b.iter(|| black_box(search_full_bnb(black_box(&ladder), 3, config)));
     });
     let _ = Weighting::PaperEq2;
     group.finish();

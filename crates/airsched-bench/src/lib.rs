@@ -30,9 +30,6 @@
 //! Every binary accepts `--requests`, `--seed` and prints deterministic
 //! output for fixed seeds.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use airsched_analysis::experiment::ExperimentConfig;
 use airsched_workload::distributions::GroupSizeDistribution;
 use airsched_workload::spec::WorkloadSpec;
@@ -102,8 +99,9 @@ pub fn extra_num<T: std::str::FromStr>(extra: &[(String, String)], key: &str, de
     extra
         .iter()
         .find(|(k, _)| k == key)
-        .map(|(_, v)| v.parse().unwrap_or_else(|_| panic!("--{key}: bad value")))
-        .unwrap_or(default)
+        .map_or(default, |(_, v)| {
+            v.parse().unwrap_or_else(|_| panic!("--{key}: bad value"))
+        })
 }
 
 /// Whether a binary-specific boolean option (`--key true/1/yes`) was passed.

@@ -32,6 +32,7 @@ COMMANDS:
   drop       the drop-pages baseline (paper §4, solution 1)
   energy     tuning-energy vs latency under (1,m) air indexing
   inspect    validate a saved program file against a workload
+  lint       static analysis of a program/plan: rule-based diagnostics
   trace      print the transmission stream slot by slot
   plan       smallest channel count meeting an average-delay budget
   items      schedule variable-length items (LENxTIME specs)
@@ -53,17 +54,47 @@ COMMAND OPTIONS:
   drop:      --channels N [--policy tightest|relaxed|proportional]
   energy:    --channels N [--segments M] [--requests 3000] [--seed 42]
   inspect:   --file FILE
+  lint:      [--file FILE] [--times 2,4,8 --counts 3,5,3]
+             [--frequencies 4,2,1] [--format text|json] [--structural]
+             [--allow RULES] [--warn RULES] [--deny RULES]
+             [--max-stretch 2.0] [--max-expected-time N] [--list-rules]
+             (deny-level findings exit 1; rules by code 'AP01' or name)
   trace:     --channels N [--slots 20] [--from 0]
   plan:      --budget SLOTS [--requests 3000] [--seed 42]
   items:     --specs 3x8,1x2,2x5 [--ratio 2] [--channels N]
 ";
 
-/// Dispatches a parsed command line; returns the text to print.
+/// A command's text output plus whether the process should exit nonzero
+/// even though the command itself ran to completion (e.g. `lint` found
+/// deny-level diagnostics).
+#[derive(Debug, Clone)]
+pub struct CmdOutput {
+    /// The text to print to stdout.
+    pub text: String,
+    /// When true the process exits with a failure status after printing.
+    pub fail: bool,
+}
+
+impl CmdOutput {
+    fn ok(text: String) -> Self {
+        Self { text, fail: false }
+    }
+}
+
+/// Dispatches a parsed command line; returns the text to print plus the
+/// desired exit disposition.
 ///
 /// # Errors
 ///
 /// Returns [`ArgError`] with a user-facing message on any failure.
-pub fn run(args: &Args) -> Result<String, ArgError> {
+pub fn run_full(args: &Args) -> Result<CmdOutput, ArgError> {
+    match args.command() {
+        Some("lint") => cmd_lint(args),
+        _ => run_plain(args).map(CmdOutput::ok),
+    }
+}
+
+fn run_plain(args: &Args) -> Result<String, ArgError> {
     match args.command() {
         Some("bound") => cmd_bound(args),
         Some("schedule") => cmd_schedule(args),
@@ -78,6 +109,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         Some("plan") => cmd_plan(args),
         Some("items") => cmd_items(args),
         Some("help") | None => Ok(USAGE.to_string()),
+        Some("lint") => unreachable!("lint is dispatched by run_full"),
         Some(other) => Err(ArgError(format!("unknown command '{other}'\n\n{USAGE}"))),
     }
 }
@@ -206,6 +238,118 @@ fn cmd_inspect(args: &Args) -> Result<String, ArgError> {
         out.push_str(&program.render_grid());
     }
     Ok(out)
+}
+
+fn cmd_lint(args: &Args) -> Result<CmdOutput, ArgError> {
+    use airsched_lint::render::{render_json, render_text, SourceInfo};
+    use airsched_lint::{lint, LintConfig, LintInput, RuleId, Severity};
+
+    if args.flag("list-rules") {
+        let mut out = format!("{:<6} {:<26} {:<7} summary\n", "rule", "name", "default");
+        for rule in RuleId::ALL {
+            out.push_str(&format!(
+                "{:<6} {:<26} {:<7} {}\n",
+                rule.code(),
+                rule.name(),
+                rule.default_severity().name(),
+                rule.summary()
+            ));
+        }
+        return Ok(CmdOutput::ok(out));
+    }
+
+    // Severity configuration: preset, thresholds, per-rule overrides.
+    let mut config = if args.flag("structural") {
+        LintConfig::structural()
+    } else {
+        LintConfig::default()
+    };
+    if let Some(raw) = args.get("max-stretch") {
+        let v: f64 = raw
+            .parse()
+            .map_err(|_| ArgError(format!("--max-stretch: cannot parse '{raw}'")))?;
+        config = config.with_max_stretch(v);
+    }
+    if let Some(raw) = args.get("max-expected-time") {
+        let v: u64 = raw
+            .parse()
+            .map_err(|_| ArgError(format!("--max-expected-time: cannot parse '{raw}'")))?;
+        config = config.with_max_expected_time(v);
+    }
+    for (key, severity) in [
+        ("allow", Severity::Allow),
+        ("warn", Severity::Warn),
+        ("deny", Severity::Deny),
+    ] {
+        if let Some(list) = args.get(key) {
+            for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let rule = RuleId::lookup(name).ok_or_else(|| {
+                    ArgError(format!("--{key}: unknown rule '{name}' (try --list-rules)"))
+                })?;
+                config.set_level(rule, severity);
+            }
+        }
+    }
+
+    // Inputs: a saved program file and/or raw --times/--counts groups.
+    // The groups are deliberately *not* run through GroupLadder: the whole
+    // point is diagnosing plans the ladder constructor would reject.
+    let groups: Option<Vec<(u64, u64)>> = match (args.num_list("times")?, args.num_list("counts")?)
+    {
+        (Some(t), Some(c)) => {
+            if t.len() != c.len() {
+                return Err(ArgError(
+                    "--times and --counts must have the same length".into(),
+                ));
+            }
+            Some(t.into_iter().zip(c).collect())
+        }
+        (None, None) => None,
+        _ => {
+            return Err(ArgError(
+                "--times and --counts must be given together".into(),
+            ))
+        }
+    };
+    let parsed = match args.get("file") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read '{path}': {e}")))?;
+            let (program, map) = airsched_core::textio::parse_program_with_map(&text)
+                .map_err(|e| ArgError(format!("{path}: {e}")))?;
+            Some((path, program, map))
+        }
+        None => None,
+    };
+    let mut input = match (&parsed, &groups) {
+        (Some((_, program, _)), Some(groups)) => LintInput::for_raw_groups(Some(program), groups),
+        (Some((_, program, _)), None) => LintInput::for_raw_groups(Some(program), &[]),
+        (None, Some(groups)) => LintInput::for_plan(groups),
+        (None, None) => {
+            return Err(ArgError(
+                "lint needs --file and/or --times/--counts (see --help)".into(),
+            ))
+        }
+    };
+    if let Some(freqs) = args.num_list("frequencies")? {
+        input = input.with_frequencies(&freqs);
+    }
+
+    let report = lint(&input, &config);
+    let text = match args.get("format").unwrap_or("text") {
+        "json" => render_json(&report),
+        "text" => {
+            let source = parsed
+                .as_ref()
+                .map(|(path, _, map)| SourceInfo { name: path, map });
+            render_text(&report, source)
+        }
+        other => return Err(ArgError(format!("unknown format '{other}' (text, json)"))),
+    };
+    Ok(CmdOutput {
+        text,
+        fail: report.has_deny(),
+    })
 }
 
 fn cmd_simulate(args: &Args) -> Result<String, ArgError> {
@@ -452,7 +596,11 @@ mod tests {
     use super::*;
 
     fn run_line(parts: &[&str]) -> Result<String, ArgError> {
-        run(&Args::parse(parts.iter().map(ToString::to_string)).unwrap())
+        run_full_line(parts).map(|out| out.text)
+    }
+
+    fn run_full_line(parts: &[&str]) -> Result<CmdOutput, ArgError> {
+        run_full(&Args::parse(parts.iter().map(ToString::to_string)).unwrap())
     }
 
     #[test]
@@ -793,6 +941,140 @@ mod tests {
     fn inspect_missing_file_errors() {
         assert!(run_line(&["inspect", "--file", "/nonexistent/x.txt"]).is_err());
         assert!(run_line(&["inspect"]).is_err());
+    }
+
+    #[test]
+    fn lint_clean_program_passes() {
+        let dir = std::env::temp_dir().join("airsched-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lint-clean.txt");
+        let path_str = path.to_str().unwrap();
+        run_line(&[
+            "schedule",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--channels",
+            "4",
+            "--save",
+            path_str,
+        ])
+        .unwrap();
+        let out = run_full_line(&[
+            "lint", "--file", path_str, "--times", "2,4,8", "--counts", "3,5,3",
+        ])
+        .unwrap();
+        assert!(!out.fail, "{}", out.text);
+        assert!(out.text.contains("lint clean"), "{}", out.text);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lint_broken_file_fails_with_rule_id() {
+        let dir = std::env::temp_dir().join("airsched-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lint-broken.txt");
+        let path_str = path.to_str().unwrap();
+        std::fs::write(
+            &path,
+            "airsched-program v1\nchannels 1\ncycle 8\ngrid\n0 . . . . 0 . .\n",
+        )
+        .unwrap();
+        let out =
+            run_full_line(&["lint", "--file", path_str, "--times", "4", "--counts", "1"]).unwrap();
+        assert!(out.fail, "{}", out.text);
+        assert!(
+            out.text.contains("deny[AP01/expected-time-gap]"),
+            "{}",
+            out.text
+        );
+        // Text spans point back into the source file.
+        assert!(
+            out.text.contains(&format!("{path_str}:5:1")),
+            "{}",
+            out.text
+        );
+
+        let json = run_full_line(&[
+            "lint", "--file", path_str, "--times", "4", "--counts", "1", "--format", "json",
+        ])
+        .unwrap();
+        assert!(json.fail);
+        assert!(json.text.contains("\"rule_id\": \"AP01\""), "{}", json.text);
+
+        // Allowing the rule (and its AP06 companion) turns the run clean.
+        let allowed = run_full_line(&[
+            "lint",
+            "--file",
+            path_str,
+            "--times",
+            "4",
+            "--counts",
+            "1",
+            "--allow",
+            "AP01,AP06",
+        ])
+        .unwrap();
+        assert!(!allowed.fail, "{}", allowed.text);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lint_plan_only_checks_ladder_shape() {
+        // Non-geometric ladder warns but does not fail the run.
+        let out = run_full_line(&["lint", "--times", "2,3", "--counts", "1,1"]).unwrap();
+        assert!(!out.fail, "{}", out.text);
+        assert!(
+            out.text.contains("warn[AL01/non-geometric-ladder]"),
+            "{}",
+            out.text
+        );
+        // A zero expected time is a deny.
+        let out = run_full_line(&["lint", "--times", "0", "--counts", "1"]).unwrap();
+        assert!(out.fail, "{}", out.text);
+        assert!(out.text.contains("AL02"), "{}", out.text);
+        // Rising PAMAD frequencies are flagged.
+        let out = run_full_line(&[
+            "lint",
+            "--times",
+            "2,4",
+            "--counts",
+            "1,1",
+            "--frequencies",
+            "1,2",
+        ])
+        .unwrap();
+        assert!(out.fail, "{}", out.text);
+        assert!(out.text.contains("AL03"), "{}", out.text);
+    }
+
+    #[test]
+    fn lint_rule_listing_and_option_errors() {
+        let out = run_full_line(&["lint", "--list-rules"]).unwrap();
+        assert!(!out.fail);
+        assert!(out.text.contains("AP01"), "{}", out.text);
+        assert!(out.text.contains("AL04"), "{}", out.text);
+        assert!(out.text.contains("expected-time-gap"), "{}", out.text);
+
+        assert!(run_full_line(&["lint"]).is_err());
+        assert!(run_full_line(&["lint", "--times", "2"]).is_err());
+        assert!(run_full_line(&["lint", "--times", "2,4", "--counts", "1"]).is_err());
+        let err = run_full_line(&["lint", "--times", "2", "--counts", "1", "--deny", "AP99"])
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown rule"), "{err}");
+        assert!(
+            run_full_line(&["lint", "--times", "2", "--counts", "1", "--format", "xml",]).is_err()
+        );
+    }
+
+    #[test]
+    fn lint_structural_preset_relaxes_deadline_rules() {
+        // 2,3 is non-geometric: default warns, structural stays clean.
+        let out =
+            run_full_line(&["lint", "--times", "2,3", "--counts", "1,1", "--structural"]).unwrap();
+        assert!(!out.fail, "{}", out.text);
+        assert!(out.text.contains("lint clean"), "{}", out.text);
     }
 
     #[test]

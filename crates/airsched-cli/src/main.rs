@@ -16,10 +16,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match commands::run(&parsed) {
+    match commands::run_full(&parsed) {
         Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
+            print!("{}", output.text);
+            if output.fail {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");

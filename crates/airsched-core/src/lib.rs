@@ -69,11 +69,6 @@
 //! | [`degrade`] | — (catalogue re-planning for channel loss) |
 //! | [`retry`] | — (shared bounded-retry / tune-away policy) |
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-#![warn(clippy::all)]
-
 pub mod bound;
 pub mod degrade;
 pub mod delay;

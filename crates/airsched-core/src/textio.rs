@@ -32,13 +32,23 @@ const MAGIC: &str = "airsched-program v1";
 pub struct ParseTextError {
     /// 1-based line of the problem (0 for structural problems).
     pub line: usize,
+    /// 1-based column of the problem (0 when only the line is known).
+    pub column: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseTextError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.column > 0 {
+            write!(
+                f,
+                "line {}, col {}: {}",
+                self.line, self.column, self.message
+            )
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -47,8 +57,72 @@ impl std::error::Error for ParseTextError {}
 fn err(line: usize, message: impl Into<String>) -> ParseTextError {
     ParseTextError {
         line,
+        column: 0,
         message: message.into(),
     }
+}
+
+fn err_at(line: usize, column: usize, message: impl Into<String>) -> ParseTextError {
+    ParseTextError {
+        line,
+        column,
+        message: message.into(),
+    }
+}
+
+/// Maps grid cells of a parsed program back to `line:column` positions in
+/// the source text, so diagnostics on a parsed program can point at the
+/// offending cell in the file a human edited.
+///
+/// Every cell of the grid — including empty `.` cells — is recorded. Lines
+/// and columns are 1-based.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceMap {
+    cycle: u64,
+    /// `(line, column)` per cell, channel-major; `(0, 0)` = unrecorded.
+    cells: Vec<(u32, u32)>,
+}
+
+impl SourceMap {
+    fn new(channels: u32, cycle: u64) -> Self {
+        let len = usize::try_from(u64::from(channels) * cycle).expect("grid fits in memory");
+        Self {
+            cycle,
+            cells: vec![(0, 0); len],
+        }
+    }
+
+    fn record(&mut self, pos: GridPos, line: usize, column: usize) {
+        let idx = usize::try_from(u64::from(pos.channel.index()) * self.cycle + pos.slot.index())
+            .expect("grid fits in memory");
+        self.cells[idx] = (
+            u32::try_from(line).unwrap_or(u32::MAX),
+            u32::try_from(column).unwrap_or(u32::MAX),
+        );
+    }
+
+    /// The `(line, column)` of the cell at `pos`, both 1-based, or `None`
+    /// if the position is outside the recorded grid.
+    #[must_use]
+    pub fn location(&self, pos: GridPos) -> Option<(usize, usize)> {
+        if pos.slot.index() >= self.cycle {
+            return None;
+        }
+        let idx = usize::try_from(u64::from(pos.channel.index()) * self.cycle + pos.slot.index())
+            .ok()
+            .filter(|&i| i < self.cells.len())?;
+        let (line, col) = self.cells[idx];
+        (line > 0).then_some((line as usize, col as usize))
+    }
+}
+
+/// Splits a line on whitespace, yielding each token with its 1-based
+/// starting column (byte offset; the format is ASCII).
+fn tokens(line: &str) -> impl Iterator<Item = (usize, &str)> {
+    line.split_whitespace().map(move |tok| {
+        let offset = tok.as_ptr() as usize - line.as_ptr() as usize;
+        (offset + 1, tok)
+    })
 }
 
 /// Serializes a program to the v1 text format.
@@ -97,6 +171,17 @@ pub fn write_program(program: &BroadcastProgram) -> String {
 ///
 /// Returns [`ParseTextError`] describing the first malformed line.
 pub fn parse_program(text: &str) -> Result<BroadcastProgram, ParseTextError> {
+    parse_program_with_map(text).map(|(program, _)| program)
+}
+
+/// [`parse_program`], additionally returning a [`SourceMap`] from grid
+/// cells back to `line:column` positions in `text`.
+///
+/// # Errors
+///
+/// Returns [`ParseTextError`] describing the first malformed line; cell-level
+/// problems (bad page ids, double-placed slots) carry the cell's column.
+pub fn parse_program_with_map(text: &str) -> Result<(BroadcastProgram, SourceMap), ParseTextError> {
     let mut lines = text.lines().enumerate();
     let (_, magic) = lines.next().ok_or_else(|| err(0, "empty input"))?;
     if magic.trim() != MAGIC {
@@ -121,6 +206,7 @@ pub fn parse_program(text: &str) -> Result<BroadcastProgram, ParseTextError> {
     }
 
     let mut program = BroadcastProgram::new(channels, cycle);
+    let mut map = SourceMap::new(channels, cycle);
     let mut rows = 0u32;
     for (line_no, line) in lines {
         if line.trim().is_empty() {
@@ -129,30 +215,35 @@ pub fn parse_program(text: &str) -> Result<BroadcastProgram, ParseTextError> {
         if rows >= channels {
             return Err(err(line_no + 1, "more grid rows than channels"));
         }
-        let cells: Vec<&str> = line.split_whitespace().collect();
+        let cells: Vec<(usize, &str)> = tokens(line).collect();
         if cells.len() as u64 != cycle {
             return Err(err(
                 line_no + 1,
                 format!("expected {cycle} cells, found {}", cells.len()),
             ));
         }
-        for (slot, cell) in cells.iter().enumerate() {
-            if *cell == "." {
+        for (slot, &(column, cell)) in cells.iter().enumerate() {
+            let pos = GridPos::new(ChannelId::new(rows), SlotIndex::new(slot as u64));
+            map.record(pos, line_no + 1, column);
+            if cell == "." {
                 continue;
             }
             let page: u32 = cell
                 .parse()
-                .map_err(|_| err(line_no + 1, format!("bad page id '{cell}'")))?;
+                .map_err(|_| err_at(line_no + 1, column, format!("bad page id '{cell}'")))?;
             // Page ids index dense per-page tables; a hostile id like
             // u32::MAX would make the program allocate a table that large,
             // so bound ids by the same budget as the grid itself.
             if u128::from(page) >= MAX_PARSE_CELLS {
-                return Err(err(line_no + 1, format!("page id '{cell}' too large")));
+                return Err(err_at(
+                    line_no + 1,
+                    column,
+                    format!("page id '{cell}' too large"),
+                ));
             }
-            let pos = GridPos::new(ChannelId::new(rows), SlotIndex::new(slot as u64));
             program
                 .place(pos, PageId::new(page))
-                .map_err(|e| err(line_no + 1, e.to_string()))?;
+                .map_err(|e| err_at(line_no + 1, column, e.to_string()))?;
         }
         rows += 1;
     }
@@ -162,7 +253,7 @@ pub fn parse_program(text: &str) -> Result<BroadcastProgram, ParseTextError> {
             format!("expected {channels} grid rows, found {rows}"),
         ));
     }
-    Ok(program)
+    Ok((program, map))
 }
 
 fn parse_kv(line: Option<(usize, &str)>, key: &str) -> Result<u64, ParseTextError> {
@@ -279,6 +370,71 @@ mod tests {
         assert!(parse_program(text).is_err());
         let text = "airsched-program v1\nchannels a\ncycle 2\ngrid\n";
         assert!(parse_program(text).is_err());
+    }
+
+    #[test]
+    fn malformed_headers_carry_line_positions() {
+        // Wrong key on the channels line.
+        let e = parse_program("airsched-program v1\nchanels 2\ncycle 2\ngrid\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected 'channels <number>'"));
+        // Non-numeric cycle value.
+        let e = parse_program("airsched-program v1\nchannels 2\ncycle two\ngrid\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bad cycle value 'two'"));
+        // Extra token on a header line.
+        let e = parse_program("airsched-program v1\nchannels 2 3\ncycle 2\ngrid\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        // Missing 'grid' marker.
+        let e = parse_program("airsched-program v1\nchannels 1\ncycle 1\nnope\n").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("expected 'grid'"));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected_with_positions() {
+        // Short row.
+        let e = parse_program("airsched-program v1\nchannels 1\ncycle 3\ngrid\n1 2\n").unwrap_err();
+        assert_eq!((e.line, e.column), (5, 0));
+        assert!(e.message.contains("expected 3 cells, found 2"));
+        // Long row.
+        let e =
+            parse_program("airsched-program v1\nchannels 1\ncycle 2\ngrid\n1 2 3\n").unwrap_err();
+        assert!(e.message.contains("expected 2 cells, found 3"));
+    }
+
+    #[test]
+    fn oversized_dimensions_hit_the_cell_budget_guard() {
+        // channels * cycle beyond MAX_PARSE_CELLS (1 << 24) must be refused
+        // before any allocation happens.
+        let text = "airsched-program v1\nchannels 4096\ncycle 4097\ngrid\n";
+        let e = parse_program(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.message, "program dimensions too large");
+    }
+
+    #[test]
+    fn cell_errors_carry_columns() {
+        let e =
+            parse_program("airsched-program v1\nchannels 1\ncycle 3\ngrid\n7 . x\n").unwrap_err();
+        assert_eq!((e.line, e.column), (5, 5));
+        assert!(e.to_string().contains("line 5, col 5: bad page id 'x'"));
+    }
+
+    #[test]
+    fn source_map_locates_cells() {
+        let text = "airsched-program v1\nchannels 2\ncycle 3\ngrid\n0 1 2\n3 .  4\n";
+        let (program, map) = parse_program_with_map(text).unwrap();
+        assert_eq!(program.channels(), 2);
+        let pos = |ch, slot| GridPos::new(ChannelId::new(ch), SlotIndex::new(slot));
+        assert_eq!(map.location(pos(0, 0)), Some((5, 1)));
+        assert_eq!(map.location(pos(0, 2)), Some((5, 5)));
+        // Empty cells are recorded too, and extra spacing shifts columns.
+        assert_eq!(map.location(pos(1, 1)), Some((6, 3)));
+        assert_eq!(map.location(pos(1, 2)), Some((6, 6)));
+        // Positions outside the grid are None.
+        assert_eq!(map.location(pos(2, 0)), None);
+        assert_eq!(map.location(pos(0, 3)), None);
     }
 
     #[test]

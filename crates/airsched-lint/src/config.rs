@@ -1,0 +1,108 @@
+//! Per-rule severity configuration, clippy-style.
+
+use std::collections::BTreeMap;
+
+use crate::diagnostic::Severity;
+use crate::rules::RuleId;
+
+/// Maps each rule to an effective severity, plus the thresholds the
+/// threshold-driven rules read.
+///
+/// [`LintConfig::default`] uses every rule's default severity.
+/// [`LintConfig::structural`] keeps only structural-integrity rules active,
+/// for linting *best-effort* plans whose whole point is that deadlines
+/// cannot all be met (PAMAD under insufficient channels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintConfig {
+    overrides: BTreeMap<RuleId, Severity>,
+    max_stretch: f64,
+    max_expected_time: u64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        Self {
+            overrides: BTreeMap::new(),
+            max_stretch: 2.0,
+            max_expected_time: 1 << 20,
+        }
+    }
+}
+
+impl LintConfig {
+    /// Every rule at its default severity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A preset for best-effort plans: deadline-dependent rules (gaps,
+    /// first appearances, frequency deficits, stretch, the channel bound,
+    /// and ladder geometry) are allowed, leaving only structural integrity
+    /// active — missing pages, duplicated columns, absurd times, and
+    /// frequency monotonicity.
+    #[must_use]
+    pub fn structural() -> Self {
+        let mut config = Self::default();
+        for rule in [
+            RuleId::ExpectedTimeGap,
+            RuleId::FirstAppearanceLate,
+            RuleId::FrequencyDeficit,
+            RuleId::StretchExceeded,
+            RuleId::ChannelsBelowMinimum,
+            RuleId::NonGeometricLadder,
+        ] {
+            config.set_level(rule, Severity::Allow);
+        }
+        config
+    }
+
+    /// The effective severity of `rule` under this configuration.
+    #[must_use]
+    pub fn level(&self, rule: RuleId) -> Severity {
+        self.overrides
+            .get(&rule)
+            .copied()
+            .unwrap_or_else(|| rule.default_severity())
+    }
+
+    /// Overrides the severity of one rule.
+    pub fn set_level(&mut self, rule: RuleId, severity: Severity) {
+        self.overrides.insert(rule, severity);
+    }
+
+    /// Builder form of [`LintConfig::set_level`].
+    #[must_use]
+    pub fn with_level(mut self, rule: RuleId, severity: Severity) -> Self {
+        self.set_level(rule, severity);
+        self
+    }
+
+    /// The delay-factor threshold for [`RuleId::StretchExceeded`]: a group
+    /// whose worst wait exceeds `max_stretch * t_i` is flagged.
+    #[must_use]
+    pub fn max_stretch(&self) -> f64 {
+        self.max_stretch
+    }
+
+    /// Sets the delay-factor threshold (must be >= 1.0 to be meaningful).
+    #[must_use]
+    pub fn with_max_stretch(mut self, max_stretch: f64) -> Self {
+        self.max_stretch = max_stretch;
+        self
+    }
+
+    /// The sanity bound for expected times read by
+    /// [`RuleId::AbsurdExpectedTime`].
+    #[must_use]
+    pub fn max_expected_time(&self) -> u64 {
+        self.max_expected_time
+    }
+
+    /// Sets the expected-time sanity bound.
+    #[must_use]
+    pub fn with_max_expected_time(mut self, max_expected_time: u64) -> Self {
+        self.max_expected_time = max_expected_time;
+        self
+    }
+}

@@ -1,0 +1,334 @@
+//! The diagnostic model: severities, spans, witnesses, and the report.
+
+use core::fmt;
+
+use airsched_core::types::{GridPos, GroupId, PageId};
+
+use crate::rules::RuleId;
+
+/// How seriously a finding is treated.
+///
+/// Ordered: `Allow < Warn < Deny`, so the worst severity of a report is
+/// simply its maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The rule is disabled; no diagnostic is produced.
+    Allow,
+    /// Reported, but does not fail the lint run.
+    Warn,
+    /// Reported and fails the lint run (non-zero CLI exit, refused swap).
+    Deny,
+}
+
+impl Severity {
+    /// Parses `"allow"` / `"warn"` / `"deny"`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "allow" => Some(Self::Allow),
+            "warn" => Some(Self::Warn),
+            "deny" => Some(Self::Deny),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name (`"allow"` / `"warn"` / `"deny"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Allow => "allow",
+            Self::Warn => "warn",
+            Self::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What part of the program or plan a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Span {
+    /// The program or plan as a whole.
+    Program,
+    /// One concrete `(channel, slot)` grid cell.
+    Cell(GridPos),
+    /// One page, wherever (or nowhere) it appears.
+    Page(PageId),
+    /// One group of the expected-time ladder.
+    Group(GroupId),
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Program => write!(f, "program"),
+            Self::Cell(pos) => write!(f, "cell {pos}"),
+            Self::Page(page) => write!(f, "page {page}"),
+            Self::Group(group) => write!(f, "group {group}"),
+        }
+    }
+}
+
+/// The machine-checkable evidence behind a diagnostic.
+///
+/// Every rule attaches the concrete observation that triggered it, so a
+/// reader (or a test) can re-derive the finding instead of trusting the
+/// message text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Witness {
+    /// A concrete tune-in instant that misses its deadline: a client
+    /// arriving at the start of slot `arrival` waits `wait` slots for
+    /// `page`, above the expected time `limit`.
+    TuneIn {
+        /// The late page.
+        page: PageId,
+        /// Tune-in slot (start-of-slot, modulo the cycle).
+        arrival: u64,
+        /// Observed wait in whole slots until the page is fully received.
+        wait: u64,
+        /// The page's expected time, in slots.
+        limit: u64,
+    },
+    /// The concrete grid cells involved (e.g. duplicates in one column).
+    Cells(Vec<GridPos>),
+    /// A per-cycle occurrence count that cannot meet the deadline.
+    Frequency {
+        /// The page concerned.
+        page: PageId,
+        /// Observed occurrences per cycle.
+        observed: u64,
+        /// Minimum occurrences needed (`ceil(cycle / limit)`).
+        required: u64,
+    },
+    /// An expected-time ladder step that is not geometric.
+    LadderStep {
+        /// The preceding group's expected time.
+        prev: u64,
+        /// The offending group's expected time.
+        next: u64,
+        /// What the geometric ladder would require here.
+        required: u64,
+    },
+    /// Adjacent per-group broadcast frequencies that are not monotone.
+    Monotonicity {
+        /// The tighter (earlier) group's frequency.
+        prev: u64,
+        /// The looser (later) group's frequency, which exceeds `prev`.
+        next: u64,
+    },
+    /// A per-group worst wait exceeding the stretch threshold.
+    Stretch {
+        /// The worst page of the group.
+        page: PageId,
+        /// Its worst-case wait, in slots.
+        worst_wait: u64,
+        /// The group's expected time, in slots.
+        limit: u64,
+    },
+    /// A channel count below the Theorem 3.1 bound.
+    Channels {
+        /// Channels the program actually has.
+        configured: u32,
+        /// Minimum channels required by Theorem 3.1.
+        minimum: u32,
+    },
+    /// Empty cells in the grid.
+    DeadAir {
+        /// Number of empty cells.
+        empty: u64,
+        /// Total grid capacity (`channels * cycle`).
+        capacity: u64,
+    },
+    /// A scalar outside its sane range.
+    Value {
+        /// The observed value.
+        value: u64,
+        /// The configured upper bound.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TuneIn {
+                page,
+                arrival,
+                wait,
+                limit,
+            } => write!(
+                f,
+                "client tuning in at slot {arrival} waits {wait} slots for \
+                 {page} (expected within {limit})"
+            ),
+            Self::Cells(cells) => {
+                write!(f, "cells")?;
+                for (i, c) in cells.iter().enumerate() {
+                    write!(f, "{} {c}", if i > 0 { "," } else { "" })?;
+                }
+                Ok(())
+            }
+            Self::Frequency {
+                page,
+                observed,
+                required,
+            } => write!(
+                f,
+                "{page} airs {observed} time(s) per cycle, needs at least {required}"
+            ),
+            Self::LadderStep {
+                prev,
+                next,
+                required,
+            } => write!(
+                f,
+                "t={next} follows t={prev}, geometric ladder expects t={required}"
+            ),
+            Self::Monotonicity { prev, next } => write!(
+                f,
+                "frequency rises from {prev} to {next} while expected times loosen"
+            ),
+            Self::Stretch {
+                page,
+                worst_wait,
+                limit,
+            } => write!(
+                f,
+                "worst wait {worst_wait} slots for {page} against an expected \
+                 time of {limit}"
+            ),
+            Self::Channels {
+                configured,
+                minimum,
+            } => write!(
+                f,
+                "{configured} channel(s) configured, Theorem 3.1 requires {minimum}"
+            ),
+            Self::DeadAir { empty, capacity } => {
+                write!(f, "{empty} of {capacity} grid cells are empty")
+            }
+            Self::Value { value, limit } => write!(f, "value {value}, sane range 1..={limit}"),
+        }
+    }
+}
+
+/// One finding: a rule that fired, where, why, and what to do about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that produced this finding.
+    pub rule: RuleId,
+    /// The effective severity (after configuration overrides).
+    pub severity: Severity,
+    /// What the finding points at.
+    pub span: Span,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// The concrete evidence.
+    pub witness: Witness,
+    /// A short, actionable fix suggestion.
+    pub suggestion: &'static str,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}/{}]: {}",
+            self.severity,
+            self.rule.code(),
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// The outcome of one lint run: every diagnostic, worst-first.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Builds a report, sorting diagnostics by descending severity, then
+    /// rule code, then span.
+    #[must_use]
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.rule.code().cmp(b.rule.code()))
+                .then_with(|| a.span.cmp(&b.span))
+        });
+        Self { diagnostics }
+    }
+
+    /// All diagnostics, worst-first.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// `true` when no rule fired at warn or deny level.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// `true` when at least one deny-level diagnostic is present.
+    #[must_use]
+    pub fn has_deny(&self) -> bool {
+        self.count_at(Severity::Deny) > 0
+    }
+
+    /// Number of diagnostics at exactly `severity`.
+    #[must_use]
+    pub fn count_at(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// The distinct rules that fired, in report order.
+    #[must_use]
+    pub fn rules_fired(&self) -> Vec<RuleId> {
+        let mut out: Vec<RuleId> = Vec::new();
+        for d in &self.diagnostics {
+            if !out.contains(&d.rule) {
+                out.push(d.rule);
+            }
+        }
+        out
+    }
+
+    /// `true` when `rule` produced at least one diagnostic.
+    #[must_use]
+    pub fn fired(&self, rule: RuleId) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+
+    /// One-line summary: `"clean"` or `"N deny, M warn"`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            "clean".to_string()
+        } else {
+            format!(
+                "{} deny, {} warn",
+                self.count_at(Severity::Deny),
+                self.count_at(Severity::Warn)
+            )
+        }
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render::render_text(self, None))
+    }
+}

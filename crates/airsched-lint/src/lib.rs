@@ -1,0 +1,64 @@
+//! # airsched-lint
+//!
+//! A static analyzer for time-constrained broadcast programs and plans.
+//!
+//! The paper's value proposition ("Time-Constrained Service on Air",
+//! ICDCS 2005) is a *statically checkable* guarantee: Theorem 3.1 and the
+//! SUSC construction promise that every page is received within its
+//! expected time from any tune-in instant. This crate turns that guarantee
+//! into clippy-style diagnostics, so a bad plan — hand-edited through
+//! `textio`, produced by a degraded PAMAD replan, or corrupted upstream —
+//! is caught before it reaches the air rather than at serve time.
+//!
+//! ## Model
+//!
+//! * A [`Diagnostic`] pairs a [`rules::RuleId`] with a [`Severity`], a
+//!   [`Span`] pointing at a concrete `(channel, slot)` cell, page, or
+//!   group, a human message, a machine-checkable [`Witness`] (the tune-in
+//!   instant and observed wait, the duplicate cells, the frequency
+//!   shortfall, ...), and a fix suggestion.
+//! * [`lint`] runs every registered rule over a [`LintInput`] under a
+//!   [`LintConfig`] that maps each rule to allow/warn/deny, and returns a
+//!   [`LintReport`].
+//! * [`render::render_text`] and [`render::render_json`] turn reports into
+//!   terminal output or a stable machine-readable form; with a
+//!   [`airsched_core::textio::SourceMap`] the text renderer points at
+//!   `file:line:column` of the offending cell.
+//!
+//! ## Rule families
+//!
+//! *Program rules* (`AP..`) analyze a concrete [`BroadcastProgram`] grid
+//! against per-page expected times: oversized cyclic gaps with a witness
+//! tune-in instant, late first appearances, missing pages, dead air,
+//! duplicated pages within a column, per-page frequency deficits, and a
+//! channel count below the Theorem 3.1 bound. *Plan rules* (`AL..`)
+//! analyze the plan inputs themselves: non-geometric expected-time
+//! ladders, zero/absurd expected times, PAMAD frequency non-monotonicity,
+//! and per-group delay factors above a configurable stretch threshold.
+//!
+//! ## Example
+//!
+//! ```
+//! use airsched_core::group::GroupLadder;
+//! use airsched_core::susc;
+//! use airsched_lint::{lint, LintConfig, LintInput};
+//!
+//! let ladder = GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)])?;
+//! let program = susc::schedule(&ladder, 4)?;
+//! let report = lint(&LintInput::for_program(&program, &ladder), &LintConfig::default());
+//! assert!(report.is_clean(), "{report}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`BroadcastProgram`]: airsched_core::program::BroadcastProgram
+
+pub mod config;
+pub mod diagnostic;
+pub mod input;
+pub mod render;
+pub mod rules;
+
+pub use config::LintConfig;
+pub use diagnostic::{Diagnostic, LintReport, Severity, Span, Witness};
+pub use input::LintInput;
+pub use rules::{lint, RuleId};

@@ -1,0 +1,326 @@
+//! Text and JSON renderers for lint reports.
+//!
+//! Both renderers are dependency-free. The text form is clippy-style and
+//! pinned by a golden-snapshot test; the JSON form is a stable
+//! machine-readable mirror used by `airsched lint --format json` and the
+//! CI lint gate.
+
+use core::fmt::Write as _;
+
+use airsched_core::textio::SourceMap;
+use airsched_core::types::GridPos;
+
+use crate::diagnostic::{LintReport, Severity, Span, Witness};
+
+/// Ties a parsed program's [`SourceMap`] to a display name, so cell spans
+/// render as `name:line:column`.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceInfo<'a> {
+    /// The display name (usually the file path).
+    pub name: &'a str,
+    /// The map from grid cells back to source positions.
+    pub map: &'a SourceMap,
+}
+
+/// Renders a report in the clippy-style text form.
+///
+/// With `source`, cell spans additionally point at `file:line:column` of
+/// the offending cell in the parsed text.
+#[must_use]
+pub fn render_text(report: &LintReport, source: Option<SourceInfo<'_>>) -> String {
+    let mut out = String::new();
+    for d in report.diagnostics() {
+        let _ = writeln!(
+            out,
+            "{}[{}/{}]: {}",
+            d.severity,
+            d.rule.code(),
+            d.rule.name(),
+            d.message
+        );
+        let location = match (d.span, source) {
+            (Span::Cell(pos), Some(info)) => info
+                .map
+                .location(pos)
+                .map(|(line, col)| format!(" at {}:{line}:{col}", info.name)),
+            _ => None,
+        };
+        let _ = writeln!(out, "  --> {}{}", d.span, location.unwrap_or_default());
+        let _ = writeln!(out, "   = witness: {}", d.witness);
+        let _ = writeln!(out, "   = help: {}", d.suggestion);
+    }
+    if report.is_clean() {
+        out.push_str("lint clean: no diagnostics\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "lint summary: {} diagnostic(s) ({})",
+            report.diagnostics().len(),
+            report.summary()
+        );
+    }
+    out
+}
+
+/// Renders a report as a stable JSON document.
+///
+/// Shape:
+///
+/// ```json
+/// {
+///   "clean": false,
+///   "deny": 1,
+///   "warn": 0,
+///   "diagnostics": [
+///     {
+///       "rule_id": "AP01",
+///       "rule": "expected-time-gap",
+///       "severity": "deny",
+///       "span": {"kind": "cell", "channel": 0, "slot": 4},
+///       "message": "...",
+///       "witness": {"kind": "tune_in", "page": 3, "arrival": 5, "wait": 5, "limit": 4},
+///       "suggestion": "..."
+///     }
+///   ]
+/// }
+/// ```
+#[must_use]
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"clean\": {},", report.is_clean());
+    let _ = writeln!(out, "  \"deny\": {},", report.count_at(Severity::Deny));
+    let _ = writeln!(out, "  \"warn\": {},", report.count_at(Severity::Warn));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(out, "\"rule_id\": {}, ", json_str(d.rule.code()));
+        let _ = write!(out, "\"rule\": {}, ", json_str(d.rule.name()));
+        let _ = write!(out, "\"severity\": {}, ", json_str(d.severity.name()));
+        let _ = write!(out, "\"span\": {}, ", json_span(d.span));
+        let _ = write!(out, "\"message\": {}, ", json_str(&d.message));
+        let _ = write!(out, "\"witness\": {}, ", json_witness(&d.witness));
+        let _ = write!(out, "\"suggestion\": {}", json_str(d.suggestion));
+        out.push('}');
+    }
+    if !report.diagnostics().is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_pos(pos: GridPos) -> String {
+    format!(
+        "{{\"channel\": {}, \"slot\": {}}}",
+        pos.channel.index(),
+        pos.slot.index()
+    )
+}
+
+fn json_span(span: Span) -> String {
+    match span {
+        Span::Program => "{\"kind\": \"program\"}".to_string(),
+        Span::Cell(pos) => format!(
+            "{{\"kind\": \"cell\", \"channel\": {}, \"slot\": {}}}",
+            pos.channel.index(),
+            pos.slot.index()
+        ),
+        Span::Page(page) => format!("{{\"kind\": \"page\", \"page\": {}}}", page.index()),
+        Span::Group(group) => format!("{{\"kind\": \"group\", \"group\": {}}}", group.index()),
+    }
+}
+
+fn json_witness(witness: &Witness) -> String {
+    match witness {
+        Witness::TuneIn {
+            page,
+            arrival,
+            wait,
+            limit,
+        } => format!(
+            "{{\"kind\": \"tune_in\", \"page\": {}, \"arrival\": {arrival}, \
+             \"wait\": {wait}, \"limit\": {limit}}}",
+            page.index()
+        ),
+        Witness::Cells(cells) => {
+            let inner: Vec<String> = cells.iter().map(|&c| json_pos(c)).collect();
+            format!("{{\"kind\": \"cells\", \"cells\": [{}]}}", inner.join(", "))
+        }
+        Witness::Frequency {
+            page,
+            observed,
+            required,
+        } => format!(
+            "{{\"kind\": \"frequency\", \"page\": {}, \"observed\": {observed}, \
+             \"required\": {required}}}",
+            page.index()
+        ),
+        Witness::LadderStep {
+            prev,
+            next,
+            required,
+        } => format!(
+            "{{\"kind\": \"ladder_step\", \"prev\": {prev}, \"next\": {next}, \
+             \"required\": {required}}}"
+        ),
+        Witness::Monotonicity { prev, next } => {
+            format!("{{\"kind\": \"monotonicity\", \"prev\": {prev}, \"next\": {next}}}")
+        }
+        Witness::Stretch {
+            page,
+            worst_wait,
+            limit,
+        } => format!(
+            "{{\"kind\": \"stretch\", \"page\": {}, \"worst_wait\": {worst_wait}, \
+             \"limit\": {limit}}}",
+            page.index()
+        ),
+        Witness::Channels {
+            configured,
+            minimum,
+        } => format!(
+            "{{\"kind\": \"channels\", \"configured\": {configured}, \
+             \"minimum\": {minimum}}}"
+        ),
+        Witness::DeadAir { empty, capacity } => {
+            format!("{{\"kind\": \"dead_air\", \"empty\": {empty}, \"capacity\": {capacity}}}")
+        }
+        Witness::Value { value, limit } => {
+            format!("{{\"kind\": \"value\", \"value\": {value}, \"limit\": {limit}}}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::lint;
+    use crate::{LintConfig, LintInput};
+    use airsched_core::program::BroadcastProgram;
+    use airsched_core::textio;
+    use airsched_core::types::{ChannelId, PageId, SlotIndex};
+
+    fn broken_program() -> BroadcastProgram {
+        let mut p = BroadcastProgram::new(1, 8);
+        p.place(
+            airsched_core::types::GridPos::new(ChannelId::new(0), SlotIndex::new(0)),
+            PageId::new(0),
+        )
+        .unwrap();
+        p.place(
+            airsched_core::types::GridPos::new(ChannelId::new(0), SlotIndex::new(5)),
+            PageId::new(0),
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn text_rendering_is_clippy_shaped() {
+        let p = broken_program();
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&p), &[(4, 1)]),
+            &LintConfig::default(),
+        );
+        let text = render_text(&report, None);
+        assert!(text.contains("deny[AP01/expected-time-gap]:"), "{text}");
+        assert!(text.contains("--> cell (ch0, t0)"), "{text}");
+        assert!(
+            text.contains("= witness: client tuning in at slot 1"),
+            "{text}"
+        );
+        assert!(text.contains("= help:"), "{text}");
+        assert!(
+            text.contains("lint summary: 1 diagnostic(s) (1 deny, 0 warn)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn clean_reports_render_as_clean() {
+        let report = lint(
+            &LintInput::for_plan(&[(2, 1), (4, 1)]),
+            &LintConfig::default(),
+        );
+        assert_eq!(render_text(&report, None), "lint clean: no diagnostics\n");
+        let json = render_json(&report);
+        assert!(json.contains("\"clean\": true"), "{json}");
+        assert!(json.contains("\"diagnostics\": []"), "{json}");
+    }
+
+    #[test]
+    fn source_map_locations_appear_in_text_output() {
+        let text = "airsched-program v1\nchannels 1\ncycle 8\ngrid\n0 . . . . 0 . .\n";
+        let (program, map) = textio::parse_program_with_map(text).unwrap();
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&program), &[(4, 1)]),
+            &LintConfig::default(),
+        );
+        let rendered = render_text(
+            &report,
+            Some(SourceInfo {
+                name: "broken.txt",
+                map: &map,
+            }),
+        );
+        assert!(
+            rendered.contains("--> cell (ch0, t0) at broken.txt:5:1"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn json_rendering_carries_rule_ids_and_witnesses() {
+        let p = broken_program();
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&p), &[(4, 1)]),
+            &LintConfig::default(),
+        );
+        let json = render_json(&report);
+        assert!(json.contains("\"rule_id\": \"AP01\""), "{json}");
+        assert!(json.contains("\"severity\": \"deny\""), "{json}");
+        assert!(
+            json.contains("\"span\": {\"kind\": \"cell\", \"channel\": 0, \"slot\": 0}"),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "\"witness\": {\"kind\": \"tune_in\", \"page\": 0, \"arrival\": 1, \
+                 \"wait\": 5, \"limit\": 4}"
+            ),
+            "{json}"
+        );
+        assert!(json.contains("\"deny\": 1"), "{json}");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,991 @@
+//! The rule registry and the rule implementations.
+//!
+//! Rules come in two families. *Program rules* (`AP01`–`AP07`) need a
+//! concrete [`BroadcastProgram`] grid; *plan rules* (`AL01`–`AL04`)
+//! analyze the plan inputs (expected-time ladder, PAMAD frequencies,
+//! per-group delay factors). Each rule has a stable code, a kebab-case
+//! name, a default severity, and a one-line summary; [`lint`] runs every
+//! rule whose effective severity is warn or deny.
+//!
+//! Some findings have logically entailed companions, documented per rule:
+//! a first appearance past `t_i` implies an oversized wrap-around gap
+//! (validity condition 2 subsumes condition 1), and a per-cycle frequency
+//! below `ceil(cycle / t_i)` forces an oversized gap by pigeonhole — so
+//! `AP02` and `AP06` never fire without `AP01` also firing.
+
+use airsched_core::bound;
+use airsched_core::program::{cyclic_gaps_over, BroadcastProgram};
+use airsched_core::types::{ChannelId, GridPos, GroupId, SlotIndex};
+
+use crate::config::LintConfig;
+use crate::diagnostic::{Diagnostic, LintReport, Severity, Span, Witness};
+use crate::input::LintInput;
+
+/// Identifies one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum RuleId {
+    /// `AP01`: a cyclic inter-occurrence gap exceeds the page's expected
+    /// time (validity condition 2).
+    ExpectedTimeGap,
+    /// `AP02`: a page's first appearance is later than its expected time
+    /// (validity condition 1). Always accompanied by `AP01`.
+    FirstAppearanceLate,
+    /// `AP03`: a page under deadline never appears in the program.
+    NeverBroadcast,
+    /// `AP04`: empty grid cells (dead air). Allowed by default — PAMAD
+    /// programs legitimately contain holes.
+    DeadAir,
+    /// `AP05`: the same page occupies one column on several channels; the
+    /// duplicates waste capacity without improving any wait.
+    DuplicateInColumn,
+    /// `AP06`: a page airs fewer than `ceil(cycle / t_i)` times per cycle,
+    /// which forces an oversized gap by pigeonhole. Always accompanied by
+    /// `AP01`.
+    FrequencyDeficit,
+    /// `AP07`: the program has fewer channels than the Theorem 3.1 bound
+    /// for its deadlines.
+    ChannelsBelowMinimum,
+    /// `AL01`: the expected-time ladder is not geometric
+    /// (`t_{i+1} != c * t_i` for a constant integer `c`).
+    NonGeometricLadder,
+    /// `AL02`: an expected time is zero or beyond the sanity bound.
+    AbsurdExpectedTime,
+    /// `AL03`: per-group broadcast frequencies rise as expected times
+    /// loosen (`S_i < S_{i+1}`), inverting the PAMAD invariant.
+    FrequencyNonMonotone,
+    /// `AL04`: a group's worst wait exceeds `max_stretch * t_i`.
+    StretchExceeded,
+}
+
+impl RuleId {
+    /// Every registered rule, program family first.
+    pub const ALL: [RuleId; 11] = [
+        RuleId::ExpectedTimeGap,
+        RuleId::FirstAppearanceLate,
+        RuleId::NeverBroadcast,
+        RuleId::DeadAir,
+        RuleId::DuplicateInColumn,
+        RuleId::FrequencyDeficit,
+        RuleId::ChannelsBelowMinimum,
+        RuleId::NonGeometricLadder,
+        RuleId::AbsurdExpectedTime,
+        RuleId::FrequencyNonMonotone,
+        RuleId::StretchExceeded,
+    ];
+
+    /// The stable rule code (`"AP01"`, ..., `"AL04"`).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Self::ExpectedTimeGap => "AP01",
+            Self::FirstAppearanceLate => "AP02",
+            Self::NeverBroadcast => "AP03",
+            Self::DeadAir => "AP04",
+            Self::DuplicateInColumn => "AP05",
+            Self::FrequencyDeficit => "AP06",
+            Self::ChannelsBelowMinimum => "AP07",
+            Self::NonGeometricLadder => "AL01",
+            Self::AbsurdExpectedTime => "AL02",
+            Self::FrequencyNonMonotone => "AL03",
+            Self::StretchExceeded => "AL04",
+        }
+    }
+
+    /// The kebab-case rule name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::ExpectedTimeGap => "expected-time-gap",
+            Self::FirstAppearanceLate => "first-appearance-late",
+            Self::NeverBroadcast => "never-broadcast",
+            Self::DeadAir => "dead-air",
+            Self::DuplicateInColumn => "duplicate-in-column",
+            Self::FrequencyDeficit => "frequency-deficit",
+            Self::ChannelsBelowMinimum => "channels-below-minimum",
+            Self::NonGeometricLadder => "non-geometric-ladder",
+            Self::AbsurdExpectedTime => "absurd-expected-time",
+            Self::FrequencyNonMonotone => "frequency-non-monotone",
+            Self::StretchExceeded => "stretch-exceeded",
+        }
+    }
+
+    /// The severity the rule carries unless overridden.
+    #[must_use]
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Self::ExpectedTimeGap
+            | Self::FirstAppearanceLate
+            | Self::NeverBroadcast
+            | Self::ChannelsBelowMinimum
+            | Self::AbsurdExpectedTime
+            | Self::FrequencyNonMonotone => Severity::Deny,
+            Self::DuplicateInColumn
+            | Self::FrequencyDeficit
+            | Self::NonGeometricLadder
+            | Self::StretchExceeded => Severity::Warn,
+            Self::DeadAir => Severity::Allow,
+        }
+    }
+
+    /// One-line description for `--list-rules` output and docs.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Self::ExpectedTimeGap => {
+                "a cyclic gap between occurrences exceeds the page's expected time"
+            }
+            Self::FirstAppearanceLate => {
+                "a page first appears later than its expected time into the cycle"
+            }
+            Self::NeverBroadcast => "a page under deadline never appears in the grid",
+            Self::DeadAir => "grid cells are left empty",
+            Self::DuplicateInColumn => "a page occupies one column on several channels",
+            Self::FrequencyDeficit => {
+                "a page airs too few times per cycle to possibly meet its deadline"
+            }
+            Self::ChannelsBelowMinimum => "fewer channels than the Theorem 3.1 minimum",
+            Self::NonGeometricLadder => "expected times are not a geometric ladder",
+            Self::AbsurdExpectedTime => "an expected time is zero or absurdly large",
+            Self::FrequencyNonMonotone => "broadcast frequencies rise as deadlines loosen",
+            Self::StretchExceeded => "a group's worst wait exceeds the stretch threshold",
+        }
+    }
+
+    /// The fix suggestion attached to the rule's diagnostics.
+    #[must_use]
+    pub fn suggestion(self) -> &'static str {
+        match self {
+            Self::ExpectedTimeGap => "broadcast the page more evenly or raise its expected time",
+            Self::FirstAppearanceLate => "move an occurrence into the first t_i columns",
+            Self::NeverBroadcast => "place the page in the grid or drop its deadline",
+            Self::DeadAir => "fill the empty cells with extra occurrences of tight pages",
+            Self::DuplicateInColumn => "free the duplicate cell for a page that needs it",
+            Self::FrequencyDeficit => "give the page at least ceil(cycle/t) occurrences",
+            Self::ChannelsBelowMinimum => "add channels or relax expected times (Theorem 3.1)",
+            Self::NonGeometricLadder => "round expected times down onto a geometric ladder",
+            Self::AbsurdExpectedTime => "use an expected time in the sane range",
+            Self::FrequencyNonMonotone => "keep S_1 >= S_2 >= ... >= S_h (tight groups air most)",
+            Self::StretchExceeded => "rebalance frequencies or raise the stretch threshold",
+        }
+    }
+
+    /// Looks a rule up by code (case-insensitive) or kebab-case name.
+    #[must_use]
+    pub fn lookup(s: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|r| r.code().eq_ignore_ascii_case(s) || r.name() == s)
+    }
+}
+
+/// Runs every configured rule over `input` and collects the findings.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::susc;
+/// use airsched_lint::{lint, LintConfig, LintInput};
+///
+/// let ladder = GroupLadder::new(vec![(2, 2), (4, 3)])?;
+/// let program = susc::schedule(&ladder, 2)?;
+/// assert!(lint(&LintInput::for_program(&program, &ladder), &LintConfig::default()).is_clean());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn lint(input: &LintInput<'_>, config: &LintConfig) -> LintReport {
+    let mut diagnostics = Vec::new();
+    for rule in RuleId::ALL {
+        let severity = config.level(rule);
+        if severity == Severity::Allow {
+            continue;
+        }
+        let mut emit = |span: Span, message: String, witness: Witness| {
+            diagnostics.push(Diagnostic {
+                rule,
+                severity,
+                span,
+                message,
+                witness,
+                suggestion: rule.suggestion(),
+            });
+        };
+        match rule {
+            RuleId::ExpectedTimeGap => expected_time_gap(input, &mut emit),
+            RuleId::FirstAppearanceLate => first_appearance_late(input, &mut emit),
+            RuleId::NeverBroadcast => never_broadcast(input, &mut emit),
+            RuleId::DeadAir => dead_air(input, &mut emit),
+            RuleId::DuplicateInColumn => duplicate_in_column(input, &mut emit),
+            RuleId::FrequencyDeficit => frequency_deficit(input, &mut emit),
+            RuleId::ChannelsBelowMinimum => channels_below_minimum(input, &mut emit),
+            RuleId::NonGeometricLadder => non_geometric_ladder(input, &mut emit),
+            RuleId::AbsurdExpectedTime => absurd_expected_time(input, config, &mut emit),
+            RuleId::FrequencyNonMonotone => frequency_non_monotone(input, &mut emit),
+            RuleId::StretchExceeded => stretch_exceeded(input, config, &mut emit),
+        }
+    }
+    LintReport::new(diagnostics)
+}
+
+type Emit<'e> = dyn FnMut(Span, String, Witness) + 'e;
+
+/// The grid cell holding `page`'s occurrence at `column` (lowest channel
+/// wins when the page is duplicated across channels in that column).
+fn cell_at(program: &BroadcastProgram, page: airsched_core::types::PageId, column: u64) -> Span {
+    program
+        .occurrence_cells(page)
+        .iter()
+        .find(|c| c.slot.index() == column)
+        .map_or(Span::Page(page), |&c| Span::Cell(c))
+}
+
+/// `AP01`: every cyclic gap must be at most the page's expected time. The
+/// witness is the concrete tune-in instant right after the occurrence that
+/// opens the oversized gap; arriving there, a client waits exactly `gap`
+/// slots.
+fn expected_time_gap(input: &LintInput<'_>, emit: &mut Emit<'_>) {
+    let Some(program) = input.program else { return };
+    let cycle = program.cycle_len();
+    if cycle == 0 {
+        return;
+    }
+    for d in &input.deadlines {
+        if d.limit == 0 {
+            continue; // AL02 owns zero deadlines.
+        }
+        let cols = program.occurrence_columns(d.page);
+        if cols.is_empty() {
+            continue; // AP03 owns missing pages.
+        }
+        for (i, gap) in cyclic_gaps_over(cols, cycle).enumerate() {
+            if gap > d.limit {
+                let start = cols[i];
+                let arrival = (start + 1) % cycle;
+                emit(
+                    cell_at(program, d.page, start),
+                    format!(
+                        "{} leaves a {gap}-slot gap after column {start}, above its \
+                         expected time of {} slots",
+                        d.page, d.limit
+                    ),
+                    Witness::TuneIn {
+                        page: d.page,
+                        arrival,
+                        wait: gap,
+                        limit: d.limit,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// `AP02`: the first appearance must land within the first `t_i` columns.
+fn first_appearance_late(input: &LintInput<'_>, emit: &mut Emit<'_>) {
+    let Some(program) = input.program else { return };
+    for d in &input.deadlines {
+        if d.limit == 0 {
+            continue;
+        }
+        let cols = program.occurrence_columns(d.page);
+        let Some(&first) = cols.first() else { continue };
+        if first >= d.limit {
+            emit(
+                cell_at(program, d.page, first),
+                format!(
+                    "{} first appears in column {first}, past its expected time \
+                     of {} slots",
+                    d.page, d.limit
+                ),
+                Witness::TuneIn {
+                    page: d.page,
+                    arrival: 0,
+                    wait: first + 1,
+                    limit: d.limit,
+                },
+            );
+        }
+    }
+}
+
+/// `AP03`: every page under deadline must appear at least once.
+fn never_broadcast(input: &LintInput<'_>, emit: &mut Emit<'_>) {
+    let Some(program) = input.program else { return };
+    let cycle = program.cycle_len();
+    for d in &input.deadlines {
+        if program.occurrence_columns(d.page).is_empty() {
+            let required = if d.limit == 0 {
+                1
+            } else {
+                cycle.div_ceil(d.limit)
+            };
+            emit(
+                Span::Page(d.page),
+                format!("{} never appears in the program", d.page),
+                Witness::Frequency {
+                    page: d.page,
+                    observed: 0,
+                    required: required.max(1),
+                },
+            );
+        }
+    }
+}
+
+/// `AP04`: flags empty cells. One diagnostic for the whole grid, spanning
+/// the first empty cell.
+fn dead_air(input: &LintInput<'_>, emit: &mut Emit<'_>) {
+    let Some(program) = input.program else { return };
+    let mut empty = 0u64;
+    let mut first: Option<GridPos> = None;
+    for ch in 0..program.channels() {
+        for slot in 0..program.cycle_len() {
+            let pos = GridPos::new(ChannelId::new(ch), SlotIndex::new(slot));
+            if program.is_free(pos) {
+                empty += 1;
+                first.get_or_insert(pos);
+            }
+        }
+    }
+    if let Some(pos) = first {
+        emit(
+            Span::Cell(pos),
+            format!("{empty} of {} grid cells are dead air", program.capacity()),
+            Witness::DeadAir {
+                empty,
+                capacity: program.capacity(),
+            },
+        );
+    }
+}
+
+/// `AP05`: a page placed on several channels in the same column counts as
+/// one logical occurrence; the extras are wasted capacity.
+fn duplicate_in_column(input: &LintInput<'_>, emit: &mut Emit<'_>) {
+    let Some(program) = input.program else { return };
+    for page in program.pages() {
+        let cells = program.occurrence_cells(page);
+        if cells.len() == program.occurrence_columns(page).len() {
+            continue; // No column holds the page twice.
+        }
+        for &column in program.occurrence_columns(page) {
+            let in_column: Vec<GridPos> = cells
+                .iter()
+                .filter(|c| c.slot.index() == column)
+                .copied()
+                .collect();
+            if in_column.len() > 1 {
+                emit(
+                    Span::Cell(in_column[1]),
+                    format!(
+                        "{page} airs {} times in column {column}; parallel copies \
+                         in one column serve no additional client",
+                        in_column.len()
+                    ),
+                    Witness::Cells(in_column),
+                );
+            }
+        }
+    }
+}
+
+/// `AP06`: a page with fewer than `ceil(cycle / t_i)` occurrences cannot
+/// avoid an oversized gap (the gaps sum to the cycle), so the deficit is
+/// reported as the cause-level diagnostic next to `AP01`'s symptoms.
+fn frequency_deficit(input: &LintInput<'_>, emit: &mut Emit<'_>) {
+    let Some(program) = input.program else { return };
+    let cycle = program.cycle_len();
+    for d in &input.deadlines {
+        if d.limit == 0 {
+            continue;
+        }
+        let observed = program.frequency(d.page);
+        let required = cycle.div_ceil(d.limit);
+        if observed > 0 && observed < required {
+            emit(
+                Span::Page(d.page),
+                format!(
+                    "{} airs {observed} time(s) per {cycle}-slot cycle; at least \
+                     {required} occurrences are needed to meet {} slots",
+                    d.page, d.limit
+                ),
+                Witness::Frequency {
+                    page: d.page,
+                    observed,
+                    required,
+                },
+            );
+        }
+    }
+}
+
+/// `AP07`: Theorem 3.1 — `N >= ceil(sum over pages of 1/t_p)` channels are
+/// necessary for any valid program.
+fn channels_below_minimum(input: &LintInput<'_>, emit: &mut Emit<'_>) {
+    let Some(program) = input.program else { return };
+    if input.deadlines.is_empty() {
+        return;
+    }
+    let times: Vec<u64> = input.deadlines.iter().map(|d| d.limit).collect();
+    if times.contains(&0) {
+        return; // AL02 owns zero deadlines; the bound is undefined.
+    }
+    let Ok(minimum) = bound::minimum_channels_for_times(&times) else {
+        return;
+    };
+    let configured = program.channels();
+    if configured < minimum {
+        emit(
+            Span::Program,
+            format!(
+                "program has {configured} channel(s); Theorem 3.1 requires at \
+                 least {minimum} for these expected times"
+            ),
+            Witness::Channels {
+                configured,
+                minimum,
+            },
+        );
+    }
+}
+
+/// `AL01`: the paper's ladder assumption `t_{i+1} = c * t_i` for a constant
+/// integer `c >= 2`. Non-ascending steps, non-divisible steps, and
+/// divisible-but-varying ratios all fire here.
+fn non_geometric_ladder(input: &LintInput<'_>, emit: &mut Emit<'_>) {
+    let Some(groups) = &input.raw_groups else {
+        return;
+    };
+    let times: Vec<u64> = groups.iter().map(|&(t, _)| t).collect();
+    let mut ratio: Option<u64> = None;
+    for i in 1..times.len() {
+        let (prev, next) = (times[i - 1], times[i]);
+        if prev == 0 || next == 0 {
+            continue; // AL02 owns zero times.
+        }
+        let group = GroupId::new(u32::try_from(i).unwrap_or(u32::MAX));
+        let required = prev.saturating_mul(ratio.unwrap_or(2));
+        if next <= prev {
+            emit(
+                Span::Group(group),
+                format!(
+                    "expected times must strictly ascend: group {group} has \
+                     t={next} after t={prev}"
+                ),
+                Witness::LadderStep {
+                    prev,
+                    next,
+                    required,
+                },
+            );
+            continue;
+        }
+        if next % prev != 0 {
+            emit(
+                Span::Group(group),
+                format!("t={next} is not an integer multiple of the preceding t={prev}"),
+                Witness::LadderStep {
+                    prev,
+                    next,
+                    required,
+                },
+            );
+            continue;
+        }
+        let c = next / prev;
+        match ratio {
+            None => ratio = Some(c),
+            Some(r) if r == c => {}
+            Some(r) => emit(
+                Span::Group(group),
+                format!(
+                    "ladder ratio changes from {r} to {c} at group {group}; the \
+                     paper assumes a constant c"
+                ),
+                Witness::LadderStep {
+                    prev,
+                    next,
+                    required: prev.saturating_mul(r),
+                },
+            ),
+        }
+    }
+}
+
+/// `AL02`: zero expected times (no client can ever be served in time) and
+/// times beyond the configured sanity bound.
+fn absurd_expected_time(input: &LintInput<'_>, config: &LintConfig, emit: &mut Emit<'_>) {
+    let max = config.max_expected_time();
+    let times: Vec<u64> = input.raw_groups.as_ref().map_or_else(
+        || input.group_times.clone(),
+        |groups| groups.iter().map(|&(t, _)| t).collect(),
+    );
+    for (idx, &t) in times.iter().enumerate() {
+        let group = GroupId::new(u32::try_from(idx).unwrap_or(u32::MAX));
+        if t == 0 {
+            emit(
+                Span::Group(group),
+                format!(
+                    "group {group} has a zero expected time; no broadcast can \
+                     ever arrive in time"
+                ),
+                Witness::Value {
+                    value: 0,
+                    limit: max,
+                },
+            );
+        } else if t > max {
+            emit(
+                Span::Group(group),
+                format!(
+                    "group {group} has an expected time of {t} slots, beyond \
+                     the sanity bound of {max}"
+                ),
+                Witness::Value {
+                    value: t,
+                    limit: max,
+                },
+            );
+        }
+    }
+}
+
+/// `AL03`: PAMAD's invariant `S_1 >= S_2 >= ... >= S_h` — pages with tight
+/// deadlines must air at least as often as looser ones.
+fn frequency_non_monotone(input: &LintInput<'_>, emit: &mut Emit<'_>) {
+    let Some(frequencies) = &input.frequencies else {
+        return;
+    };
+    for i in 1..frequencies.len() {
+        let (prev, next) = (frequencies[i - 1], frequencies[i]);
+        if next > prev {
+            let group = GroupId::new(u32::try_from(i).unwrap_or(u32::MAX));
+            emit(
+                Span::Group(group),
+                format!(
+                    "group {group} broadcasts S={next} times per cycle, more \
+                     than the tighter preceding group's S={prev}"
+                ),
+                Witness::Monotonicity { prev, next },
+            );
+        }
+    }
+}
+
+/// `AL04`: per-group delay factor — the worst wait of any page of the
+/// group, divided by `t_i`, must stay within `max_stretch`.
+fn stretch_exceeded(input: &LintInput<'_>, config: &LintConfig, emit: &mut Emit<'_>) {
+    let Some(program) = input.program else { return };
+    let cycle = program.cycle_len();
+    if cycle == 0 {
+        return;
+    }
+    let max_stretch = config.max_stretch();
+    let mut worst: Vec<Option<(airsched_core::types::PageId, u64)>> =
+        vec![None; input.group_times.len()];
+    for d in &input.deadlines {
+        let idx = d.group.index() as usize;
+        if d.limit == 0 || idx >= worst.len() {
+            continue;
+        }
+        let Some(gap) = cyclic_gaps_over(program.occurrence_columns(d.page), cycle).max() else {
+            continue; // AP03 owns missing pages.
+        };
+        if worst[idx].is_none_or(|(_, w)| gap > w) {
+            worst[idx] = Some((d.page, gap));
+        }
+    }
+    for (idx, entry) in worst.iter().enumerate() {
+        let Some((page, worst_wait)) = *entry else {
+            continue;
+        };
+        let limit = input.group_times[idx];
+        #[allow(clippy::cast_precision_loss)]
+        let stretch = worst_wait as f64 / limit as f64;
+        if stretch > max_stretch {
+            let group = GroupId::new(u32::try_from(idx).unwrap_or(u32::MAX));
+            emit(
+                Span::Group(group),
+                format!(
+                    "group {group} has a delay factor of {stretch:.2} (worst \
+                     wait {worst_wait} slots for {page} against t={limit}), \
+                     above the threshold {max_stretch:.2}"
+                ),
+                Witness::Stretch {
+                    page,
+                    worst_wait,
+                    limit,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airsched_core::group::GroupLadder;
+    use airsched_core::types::PageId;
+    use airsched_core::{pamad, susc};
+
+    fn pos(ch: u32, slot: u64) -> GridPos {
+        GridPos::new(ChannelId::new(ch), SlotIndex::new(slot))
+    }
+
+    fn place(program: &mut BroadcastProgram, cells: &[(u32, u64, u32)]) {
+        for &(ch, slot, page) in cells {
+            program.place(pos(ch, slot), PageId::new(page)).unwrap();
+        }
+    }
+
+    fn fig2_ladder() -> GroupLadder {
+        GroupLadder::new(vec![(2, 3), (4, 5), (8, 3)]).unwrap()
+    }
+
+    #[test]
+    fn susc_output_is_clean() {
+        let ladder = fig2_ladder();
+        let program = susc::schedule(&ladder, 4).unwrap();
+        let report = lint(
+            &LintInput::for_program(&program, &ladder),
+            &LintConfig::default(),
+        );
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn pamad_under_shortage_passes_structural_rules() {
+        let ladder = fig2_ladder();
+        let outcome = pamad::schedule(&ladder, 3).unwrap();
+        let frequencies = outcome.plan().frequencies().to_vec();
+        let program = outcome.into_program();
+        let report = lint(
+            &LintInput::for_program(&program, &ladder).with_frequencies(&frequencies),
+            &LintConfig::structural(),
+        );
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn oversized_gap_fires_ap01_alone_with_tune_in_witness() {
+        // t=4, cycle 8, occurrences {0, 5}: gaps {5, 3}. Frequency 2 ==
+        // ceil(8/4), first appearance at 0, stretch 1.25 — only AP01 fires.
+        let mut p = BroadcastProgram::new(1, 8);
+        place(&mut p, &[(0, 0, 0), (0, 5, 0)]);
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&p), &[(4, 1)]),
+            &LintConfig::default(),
+        );
+        assert_eq!(report.rules_fired(), vec![RuleId::ExpectedTimeGap]);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.span, Span::Cell(pos(0, 0)));
+        assert_eq!(
+            d.witness,
+            Witness::TuneIn {
+                page: PageId::new(0),
+                arrival: 1,
+                wait: 5,
+                limit: 4
+            }
+        );
+        // The witness is honest: wait_from agrees with it.
+        assert_eq!(p.wait_from(PageId::new(0), 1), Some(5));
+    }
+
+    #[test]
+    fn late_first_appearance_fires_ap02_with_its_gap_companion() {
+        // t=3, cycle 6, occurrences {3, 5}: first at 3 >= 3 (AP02) and the
+        // wrap gap 5->3 is 4 > 3 (AP01). Frequency 2 == ceil(6/3).
+        let mut p = BroadcastProgram::new(1, 6);
+        place(&mut p, &[(0, 3, 0), (0, 5, 0)]);
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&p), &[(3, 1)]),
+            &LintConfig::default(),
+        );
+        assert_eq!(
+            report.rules_fired(),
+            vec![RuleId::ExpectedTimeGap, RuleId::FirstAppearanceLate]
+        );
+        let ap02 = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.rule == RuleId::FirstAppearanceLate)
+            .unwrap();
+        assert_eq!(
+            ap02.witness,
+            Witness::TuneIn {
+                page: PageId::new(0),
+                arrival: 0,
+                wait: 4,
+                limit: 3
+            }
+        );
+    }
+
+    #[test]
+    fn missing_page_fires_ap03_only() {
+        let mut p = BroadcastProgram::new(1, 2);
+        place(&mut p, &[(0, 0, 0), (0, 1, 0)]);
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&p), &[(2, 2)]),
+            &LintConfig::default(),
+        );
+        assert_eq!(report.rules_fired(), vec![RuleId::NeverBroadcast]);
+        assert_eq!(report.diagnostics()[0].span, Span::Page(PageId::new(1)));
+    }
+
+    #[test]
+    fn dead_air_is_allowed_by_default_and_fires_when_warned() {
+        let mut p = BroadcastProgram::new(1, 2);
+        place(&mut p, &[(0, 0, 0)]);
+        let input = LintInput::for_raw_groups(Some(&p), &[(2, 1)]);
+        assert!(lint(&input, &LintConfig::default()).is_clean());
+        let config = LintConfig::default().with_level(RuleId::DeadAir, Severity::Warn);
+        let report = lint(&input, &config);
+        assert_eq!(report.rules_fired(), vec![RuleId::DeadAir]);
+        assert_eq!(
+            report.diagnostics()[0].witness,
+            Witness::DeadAir {
+                empty: 1,
+                capacity: 2
+            }
+        );
+        assert_eq!(report.diagnostics()[0].span, Span::Cell(pos(0, 1)));
+    }
+
+    #[test]
+    fn duplicate_column_fires_ap05_with_both_cells() {
+        let mut p = BroadcastProgram::new(2, 2);
+        place(&mut p, &[(0, 0, 0), (1, 0, 0), (0, 1, 1)]);
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&p), &[(2, 2)]),
+            &LintConfig::default(),
+        );
+        assert_eq!(report.rules_fired(), vec![RuleId::DuplicateInColumn]);
+        assert_eq!(
+            report.diagnostics()[0].witness,
+            Witness::Cells(vec![pos(0, 0), pos(1, 0)])
+        );
+    }
+
+    #[test]
+    fn frequency_deficit_fires_ap06_with_its_gap_companion() {
+        // t=4, cycle 12, occurrences {0, 6}: 2 < ceil(12/4) = 3, and both
+        // gaps are 6 > 4.
+        let mut p = BroadcastProgram::new(1, 12);
+        place(&mut p, &[(0, 0, 0), (0, 6, 0)]);
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&p), &[(4, 1)]),
+            &LintConfig::default(),
+        );
+        assert_eq!(
+            report.rules_fired(),
+            vec![RuleId::ExpectedTimeGap, RuleId::FrequencyDeficit]
+        );
+        let ap06 = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.rule == RuleId::FrequencyDeficit)
+            .unwrap();
+        assert_eq!(
+            ap06.witness,
+            Witness::Frequency {
+                page: PageId::new(0),
+                observed: 2,
+                required: 3
+            }
+        );
+    }
+
+    #[test]
+    fn too_few_channels_fire_ap07() {
+        // Two t=2 pages and four t=4 pages need ceil(2/2 + 4/4) = 2 channels.
+        let mut p = BroadcastProgram::new(1, 4);
+        place(&mut p, &[(0, 0, 0), (0, 1, 1), (0, 2, 2), (0, 3, 3)]);
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&p), &[(2, 2), (4, 4)]),
+            &LintConfig::default(),
+        );
+        assert!(report.fired(RuleId::ChannelsBelowMinimum));
+        let ap07 = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.rule == RuleId::ChannelsBelowMinimum)
+            .unwrap();
+        assert_eq!(ap07.span, Span::Program);
+        assert_eq!(
+            ap07.witness,
+            Witness::Channels {
+                configured: 1,
+                minimum: 2
+            }
+        );
+    }
+
+    #[test]
+    fn non_geometric_ladders_fire_al01() {
+        // Non-divisible step.
+        let report = lint(
+            &LintInput::for_plan(&[(2, 1), (3, 1)]),
+            &LintConfig::default(),
+        );
+        assert_eq!(report.rules_fired(), vec![RuleId::NonGeometricLadder]);
+        // Divisible but ratio changes 2 -> 3.
+        let report = lint(
+            &LintInput::for_plan(&[(2, 1), (4, 1), (12, 1)]),
+            &LintConfig::default(),
+        );
+        assert_eq!(report.rules_fired(), vec![RuleId::NonGeometricLadder]);
+        assert_eq!(report.diagnostics()[0].span, Span::Group(GroupId::new(2)));
+        // Non-ascending.
+        let report = lint(
+            &LintInput::for_plan(&[(4, 1), (2, 1)]),
+            &LintConfig::default(),
+        );
+        assert!(report.fired(RuleId::NonGeometricLadder));
+    }
+
+    #[test]
+    fn absurd_expected_times_fire_al02() {
+        let report = lint(&LintInput::for_plan(&[(0, 1)]), &LintConfig::default());
+        assert_eq!(report.rules_fired(), vec![RuleId::AbsurdExpectedTime]);
+        assert!(report.has_deny());
+        let config = LintConfig::default().with_max_expected_time(10);
+        let report = lint(&LintInput::for_plan(&[(16, 1)]), &config);
+        assert_eq!(report.rules_fired(), vec![RuleId::AbsurdExpectedTime]);
+        assert_eq!(
+            report.diagnostics()[0].witness,
+            Witness::Value {
+                value: 16,
+                limit: 10
+            }
+        );
+    }
+
+    #[test]
+    fn rising_frequencies_fire_al03() {
+        let input = LintInput::for_plan(&[(2, 1), (4, 1)]).with_frequencies(&[1, 2]);
+        let report = lint(&input, &LintConfig::default());
+        assert_eq!(report.rules_fired(), vec![RuleId::FrequencyNonMonotone]);
+        assert_eq!(
+            report.diagnostics()[0].witness,
+            Witness::Monotonicity { prev: 1, next: 2 }
+        );
+        // Monotone frequencies are fine.
+        let input = LintInput::for_plan(&[(2, 1), (4, 1)]).with_frequencies(&[2, 1]);
+        assert!(lint(&input, &LintConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn stretch_threshold_fires_al04() {
+        // t=2, cycle 8, occurrences {0, 5}: worst gap 5, stretch 2.5 > 2.
+        let mut p = BroadcastProgram::new(1, 8);
+        place(&mut p, &[(0, 0, 0), (0, 5, 0)]);
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&p), &[(2, 1)]),
+            &LintConfig::default(),
+        );
+        assert!(report.fired(RuleId::StretchExceeded));
+        let al04 = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.rule == RuleId::StretchExceeded)
+            .unwrap();
+        assert_eq!(
+            al04.witness,
+            Witness::Stretch {
+                page: PageId::new(0),
+                worst_wait: 5,
+                limit: 2
+            }
+        );
+        // Raising the threshold silences it.
+        let config = LintConfig::default().with_max_stretch(3.0);
+        let report = lint(&LintInput::for_raw_groups(Some(&p), &[(2, 1)]), &config);
+        assert!(!report.fired(RuleId::StretchExceeded));
+    }
+
+    #[test]
+    fn structural_config_ignores_deadline_rules() {
+        // A grid full of deadline violations but structurally sound.
+        let mut p = BroadcastProgram::new(1, 8);
+        place(&mut p, &[(0, 0, 0), (0, 5, 0)]);
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&p), &[(2, 1)]),
+            &LintConfig::structural(),
+        );
+        assert!(report.is_clean(), "{report}");
+        // But a missing page still denies.
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&p), &[(2, 2)]),
+            &LintConfig::structural(),
+        );
+        assert!(report.has_deny());
+        assert_eq!(report.rules_fired(), vec![RuleId::NeverBroadcast]);
+    }
+
+    #[test]
+    fn catalogue_input_gates_like_the_station() {
+        let mut p = BroadcastProgram::new(1, 4);
+        place(&mut p, &[(0, 0, 7), (0, 2, 7), (0, 1, 9), (0, 3, 9)]);
+        let catalogue = [(PageId::new(7), 2), (PageId::new(9), 2)];
+        let report = lint(
+            &LintInput::for_catalogue(&p, &catalogue),
+            &LintConfig::default(),
+        );
+        assert!(report.is_clean(), "{report}");
+        // Catalogue grouping is synthesized, so plan-shape rules stay quiet
+        // even for times a GroupLadder would reject.
+        let mut p = BroadcastProgram::new(2, 6);
+        place(
+            &mut p,
+            &[(0, 0, 1), (0, 2, 1), (0, 4, 1), (1, 0, 2), (1, 3, 2)],
+        );
+        let catalogue = [(PageId::new(1), 2), (PageId::new(2), 3)];
+        let report = lint(
+            &LintInput::for_catalogue(&p, &catalogue),
+            &LintConfig::default(),
+        );
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn severity_overrides_and_ordering() {
+        let mut p = BroadcastProgram::new(1, 8);
+        place(&mut p, &[(0, 0, 0), (0, 5, 0)]);
+        // Allowing AP01 leaves only the (warn) stretch rule for t=2.
+        let config = LintConfig::default()
+            .with_level(RuleId::ExpectedTimeGap, Severity::Allow)
+            .with_level(RuleId::FrequencyDeficit, Severity::Allow);
+        let report = lint(&LintInput::for_raw_groups(Some(&p), &[(2, 1)]), &config);
+        assert_eq!(report.rules_fired(), vec![RuleId::StretchExceeded]);
+        assert!(!report.has_deny());
+        // Deny-level findings sort before warn-level ones.
+        let report = lint(
+            &LintInput::for_raw_groups(Some(&p), &[(2, 1)]),
+            &LintConfig::default(),
+        );
+        let severities: Vec<Severity> = report.diagnostics().iter().map(|d| d.severity).collect();
+        let mut sorted = severities.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(severities, sorted);
+    }
+
+    #[test]
+    fn rule_lookup_and_registry_are_consistent() {
+        for rule in RuleId::ALL {
+            assert_eq!(RuleId::lookup(rule.code()), Some(rule));
+            assert_eq!(RuleId::lookup(&rule.code().to_lowercase()), Some(rule));
+            assert_eq!(RuleId::lookup(rule.name()), Some(rule));
+            assert!(!rule.summary().is_empty());
+            assert!(!rule.suggestion().is_empty());
+        }
+        assert_eq!(RuleId::lookup("nope"), None);
+        // Codes are unique.
+        let mut codes: Vec<&str> = RuleId::ALL.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), RuleId::ALL.len());
+    }
+}

@@ -1,0 +1,61 @@
+//! Golden snapshot for the text renderer.
+//!
+//! The exact diagnostic text is an interface: the CI lint-gate greps it,
+//! operators read it, and DESIGN.md §9 quotes it. This test pins the
+//! renderer's output byte for byte on the checked-in exemplar program
+//! `examples/programs/gap_violation.txt` (the one the README walkthrough
+//! shows), so a wording or layout change is a conscious diff here, never
+//! an accident.
+
+use airsched_core::textio::parse_program_with_map;
+use airsched_lint::render::{render_json, render_text, SourceInfo};
+use airsched_lint::{lint, LintConfig, LintInput};
+
+const EXEMPLAR: &str = "examples/programs/gap_violation.txt";
+
+fn exemplar_report() -> (airsched_lint::LintReport, airsched_core::textio::SourceMap) {
+    let path = format!("{}/../../{EXEMPLAR}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(path).expect("exemplar program is checked in");
+    let (program, map) = parse_program_with_map(&text).expect("exemplar parses");
+    let input = LintInput::for_raw_groups(Some(&program), &[(2, 2), (4, 3)]);
+    (lint(&input, &LintConfig::default()), map)
+}
+
+#[test]
+fn text_renderer_output_is_pinned() {
+    let (report, map) = exemplar_report();
+    let rendered = render_text(
+        &report,
+        Some(SourceInfo {
+            name: EXEMPLAR,
+            map: &map,
+        }),
+    );
+    let expected = "\
+deny[AP01/expected-time-gap]: p0 leaves a 4-slot gap after column 0, above its expected time of 2 slots
+  --> cell (ch0, t0) at examples/programs/gap_violation.txt:5:1
+   = witness: client tuning in at slot 1 waits 4 slots for p0 (expected within 2)
+   = help: broadcast the page more evenly or raise its expected time
+warn[AP06/frequency-deficit]: p0 airs 1 time(s) per 4-slot cycle; at least 2 occurrences are needed to meet 2 slots
+  --> page p0
+   = witness: p0 airs 1 time(s) per cycle, needs at least 2
+   = help: give the page at least ceil(cycle/t) occurrences
+lint summary: 2 diagnostic(s) (1 deny, 1 warn)
+";
+    assert_eq!(rendered, expected);
+}
+
+#[test]
+fn json_renderer_stays_machine_stable() {
+    let (report, _) = exemplar_report();
+    let json = render_json(&report);
+    for needle in [
+        "\"clean\": false",
+        "\"deny\": 1",
+        "\"warn\": 1",
+        "\"rule_id\": \"AP01\"",
+        "\"rule_id\": \"AP06\"",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+}

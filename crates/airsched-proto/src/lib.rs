@@ -27,11 +27,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-#![warn(clippy::all)]
-
 pub mod frame;
 pub mod receiver;
 pub mod transmitter;

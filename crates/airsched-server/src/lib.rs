@@ -14,7 +14,10 @@
 //! PAMAD best-effort below it, and climbs back on recovery — preserving
 //! every in-flight subscription. Faults come from a deterministic,
 //! seed-driven injector ([`faults`]), and a windowed health monitor
-//! ([`health`]) flags noisy channels before they die.
+//! ([`health`]) flags noisy channels before they die. Every replan
+//! candidate passes a pre-swap lint gate ([`airsched_lint`]) before it
+//! reaches the air: a corrupted candidate is refused and the previous
+//! program keeps serving.
 //!
 //! ```
 //! use airsched_core::types::PageId;
@@ -48,11 +51,6 @@
 //! # Ok::<(), airsched_server::StationError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-#![warn(clippy::all)]
-
 pub mod faults;
 pub mod health;
 pub mod station;
@@ -60,6 +58,6 @@ pub mod station;
 pub use faults::{FaultEvent, FaultInjector, FaultPlan, SlotFaults};
 pub use health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
 pub use station::{
-    ClientId, DegradationPolicy, Delivery, Mode, ModeTally, Station, StationError, StationStats,
-    TickBuf, TickOutcome,
+    ClientId, DegradationPolicy, Delivery, Mode, ModeTally, PlanCorruptor, Station, StationError,
+    StationStats, TickBuf, TickOutcome,
 };

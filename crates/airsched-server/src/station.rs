@@ -42,6 +42,19 @@
 //! [`Station::fail_channel`] / [`Station::restore_channel`] API; a
 //! [`HealthMonitor`] watches windowed error/stall rates on top and
 //! surfaces typed [`ChannelEvent`]s through every tick.
+//!
+//! ## The pre-swap lint gate
+//!
+//! Before any replan candidate reaches the air it is linted
+//! ([`airsched_lint`]) against the live catalogue: re-pack candidates
+//! under the full rule set, best-effort candidates under
+//! [`LintConfig::structural`]. A deny-level diagnostic refuses the swap —
+//! the previous program keeps serving and
+//! [`StationStats::plan_rejections`] records the refusal; warn-level
+//! diagnostics are tallied in [`StationStats::plan_warnings`]. Operators
+//! can dry-run the same check with [`Station::propose_plan`], and chaos
+//! tests corrupt candidates upstream of the gate with
+//! [`Station::set_plan_corruptor`].
 
 use std::collections::BTreeMap;
 
@@ -52,8 +65,16 @@ use airsched_core::error::ScheduleError;
 use airsched_core::program::BroadcastProgram;
 use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
 
+use airsched_lint::{lint, LintConfig, LintInput, LintReport, Severity};
+
 use crate::faults::{FaultInjector, FaultPlan, SlotFaults};
 use crate::health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
+
+/// A hook that mutates replan candidates before the lint gate sees them —
+/// the chaos-engineering analogue of the [`FaultInjector`]: it simulates a
+/// corrupted replan pipeline rather than a failed transmitter. A plain
+/// function pointer so the station stays `Clone` and `Debug`.
+pub type PlanCorruptor = fn(&BroadcastProgram) -> BroadcastProgram;
 
 /// Identifier of a subscribed client, unique within one station.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -316,6 +337,11 @@ pub struct StationStats {
     pub recoveries: u64,
     /// Slots spent in any mode other than [`Mode::Valid`].
     pub degraded_slots: u64,
+    /// Replan candidates the pre-swap lint gate refused to install
+    /// (deny-level diagnostics).
+    pub plan_rejections: u64,
+    /// Warn-level lint diagnostics observed across gated candidates.
+    pub plan_warnings: u64,
     per_mode: [ModeTally; 4],
 }
 
@@ -457,6 +483,8 @@ pub struct Station {
     /// Events produced outside `tick` (manual fail/restore), surfaced on
     /// the next tick.
     pending_events: Vec<ChannelEvent>,
+    /// Chaos hook: mutates replan candidates before the lint gate.
+    corruptor: Option<PlanCorruptor>,
 }
 
 impl Station {
@@ -481,6 +509,7 @@ impl Station {
             mode: Mode::Valid,
             active: ActivePlan::Full,
             pending_events: Vec::new(),
+            corruptor: None,
         })
     }
 
@@ -689,17 +718,67 @@ impl Station {
         Ok(id)
     }
 
+    /// Installs (or removes) the plan-corruptor chaos hook: every replan
+    /// candidate passes through it *before* the pre-swap lint gate, so
+    /// tests can prove the gate catches a corrupted replan pipeline.
+    pub fn set_plan_corruptor(&mut self, corruptor: Option<PlanCorruptor>) {
+        self.corruptor = corruptor;
+    }
+
+    /// Lints `candidate` against the live catalogue exactly as the
+    /// pre-swap gate does, without installing anything — the
+    /// operator-facing dry run. The gate itself uses
+    /// [`LintConfig::default`] for re-pack candidates (which claim full
+    /// validity) and [`LintConfig::structural`] for best-effort
+    /// candidates (whose deadline misses are the accepted cost of the
+    /// rung).
+    #[must_use]
+    pub fn propose_plan(&self, candidate: &BroadcastProgram, config: &LintConfig) -> LintReport {
+        let catalogue: Vec<(PageId, u64)> = self
+            .scheduler
+            .pages()
+            .iter()
+            .map(|(&p, &t)| (p, t))
+            .collect();
+        lint(&LintInput::for_catalogue(candidate, &catalogue), config)
+    }
+
+    /// The pre-swap gate: accepts or refuses one replan candidate,
+    /// recording the verdict in [`StationStats`].
+    fn gate_candidate(&mut self, candidate: &BroadcastProgram, config: &LintConfig) -> bool {
+        let report = self.propose_plan(candidate, config);
+        self.stats.plan_warnings += report.count_at(Severity::Warn) as u64;
+        if report.has_deny() {
+            self.stats.plan_rejections += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Applies the chaos corruptor (if any) to a replan candidate.
+    fn maybe_corrupt(&self, candidate: BroadcastProgram) -> BroadcastProgram {
+        match self.corruptor {
+            Some(corrupt) => corrupt(&candidate),
+            None => candidate,
+        }
+    }
+
     /// Re-derives the on-air plan and ladder mode from the current
-    /// channel state, catalogue and policy.
+    /// channel state, catalogue and policy. When the lint gate refuses
+    /// every replan candidate, the previous plan (and mode) stay in
+    /// force — a vetted stale program beats a fresh corrupt one.
     fn refresh_plan(&mut self) {
         let configured = u32::try_from(self.channel_up.len()).expect("channel count fits in u32");
         let n_up = self.channels_up();
-        let (active, mode) = if n_up == 0 {
-            (ActivePlan::Offline, Mode::Offline)
+        let decision = if n_up == 0 {
+            Some((ActivePlan::Offline, Mode::Offline))
         } else if n_up == configured {
-            (ActivePlan::Full, Mode::Valid)
+            Some((ActivePlan::Full, Mode::Valid))
         } else {
             self.reduced_plan(n_up)
+        };
+        let Some((active, mode)) = decision else {
+            return;
         };
         self.active = active;
         if mode != self.mode {
@@ -715,16 +794,25 @@ impl Station {
 
     /// The ladder decision for `0 < n_up < configured` survivors: a SUSC
     /// re-pack while the survivors meet the catalogue's Theorem 3.1
-    /// minimum, PAMAD best-effort below it.
-    fn reduced_plan(&mut self, n_up: u32) -> (ActivePlan, Mode) {
+    /// minimum, PAMAD best-effort below it. Every candidate passes the
+    /// pre-swap lint gate; `None` means a candidate existed but was
+    /// refused, so the caller must keep the previous plan on the air.
+    fn reduced_plan(&mut self, n_up: u32) -> Option<(ActivePlan, Mode)> {
         let times: Vec<u64> = self.scheduler.pages().values().copied().collect();
         // An overflowing demand fraction cannot possibly be met by any
         // physical channel count; treat it as insufficient.
         let minimum = minimum_channels_for_times(&times).unwrap_or(u32::MAX);
+        let mut refused = false;
         if self.policy.repack && n_up >= minimum {
             let mut probe = self.scheduler.clone();
             if probe.rebuild_on_channels(n_up).is_ok() {
-                return (ActivePlan::Reduced(probe.program().clone()), Mode::Repacked);
+                let candidate = self.maybe_corrupt(probe.program().clone());
+                // A re-pack claims full validity, so it must survive the
+                // complete deadline rule set.
+                if self.gate_candidate(&candidate, &LintConfig::default()) {
+                    return Some((ActivePlan::Reduced(candidate), Mode::Repacked));
+                }
+                refused = true;
             }
             // Sufficient in principle but the packer could not place this
             // particular catalogue (non-harmonic times); fall through.
@@ -737,13 +825,20 @@ impl Station {
                 .map(|(&p, &t)| (p, t))
                 .collect();
             if let Ok(plan) = degrade::replan(&catalogue, n_up) {
-                return (
-                    ActivePlan::BestEffort(plan.into_program()),
-                    Mode::BestEffort,
-                );
+                let candidate = self.maybe_corrupt(plan.into_program());
+                // Best-effort misses deadlines by design; hold it to the
+                // structural rules only.
+                if self.gate_candidate(&candidate, &LintConfig::structural()) {
+                    return Some((ActivePlan::BestEffort(candidate), Mode::BestEffort));
+                }
+                refused = true;
             }
         }
-        (ActivePlan::Offline, Mode::Offline)
+        if refused {
+            None
+        } else {
+            Some((ActivePlan::Offline, Mode::Offline))
+        }
     }
 
     /// Transmits one slot: the fault injector (if any) is consulted,
@@ -1541,6 +1636,65 @@ mod tests {
         // Without best-effort, dropping below the minimum goes offline.
         assert_eq!(s.fail_channel(ChannelId::new(1)), Mode::Offline);
         assert!(s.degradation_policy().repack);
+    }
+
+    // --- the pre-swap lint gate ---
+
+    /// A corruptor that drops every occurrence of page 3 from the
+    /// candidate: the gate must catch the now-missing page (AP03).
+    fn drop_page3(program: &BroadcastProgram) -> BroadcastProgram {
+        let mut out = BroadcastProgram::new(program.channels(), program.cycle_len());
+        for ch in 0..program.channels() {
+            for slot in 0..program.cycle_len() {
+                let pos = GridPos::new(ChannelId::new(ch), SlotIndex::new(slot));
+                if let Some(page) = program.page_at(pos) {
+                    if page != PageId::new(3) {
+                        out.place(pos, page).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lint_gate_refuses_corrupted_replans_and_keeps_serving() {
+        let mut s = resilient_station();
+        s.set_plan_corruptor(Some(drop_page3));
+        // Both the re-pack and the best-effort candidates come out of the
+        // corrupted pipeline missing page 3; the gate refuses both, so the
+        // previous (full) plan stays on the air and the mode is unchanged.
+        assert_eq!(s.fail_channel(ChannelId::new(2)), Mode::Valid);
+        assert_eq!(s.stats().plan_rejections, 2);
+        assert_eq!(s.stats().failovers, 0);
+        assert_eq!(s.stats().repacks, 0);
+        // The survivors keep transmitting the vetted plan; the down
+        // channel airs nothing.
+        let mut aired = 0usize;
+        for _ in 0..8 {
+            let tick = s.tick();
+            assert_eq!(tick.on_air[2], None);
+            aired += tick.on_air[..2].iter().flatten().count();
+        }
+        assert!(aired > 0, "previous program stopped serving");
+        // Removing the corruptor and re-failing the ladder installs a
+        // clean re-pack again.
+        s.set_plan_corruptor(None);
+        s.restore_channel(ChannelId::new(2));
+        assert_eq!(s.fail_channel(ChannelId::new(2)), Mode::Repacked);
+        assert_eq!(s.stats().plan_rejections, 2, "clean candidate rejected");
+    }
+
+    #[test]
+    fn propose_plan_is_the_gates_dry_run() {
+        use airsched_lint::rules::RuleId;
+        let s = resilient_station();
+        let own = s.scheduler.program().clone();
+        assert!(s.propose_plan(&own, &LintConfig::default()).is_clean());
+        let corrupted = drop_page3(&own);
+        let report = s.propose_plan(&corrupted, &LintConfig::default());
+        assert!(report.has_deny(), "{report}");
+        assert!(report.fired(RuleId::NeverBroadcast), "{report}");
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //!   broadcast and congest the on-demand pull channel ([`ondemand`]) when a
 //!   program under-serves them.
 //!
-//! Shared infrastructure: the deterministic [`event::EventQueue`] and the
-//! [`metrics::DelaySummary`] statistics.
+//! Shared infrastructure: the deterministic [`event::EventQueue`], the
+//! [`metrics::DelaySummary`] statistics, and [`mutilate`] — rebuild-based
+//! program corruptors that manufacture the failure shapes `airsched-lint`
+//! exists to catch.
 //!
 //! ```
 //! use airsched_core::group::GroupLadder;
@@ -31,17 +33,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-#![warn(clippy::all)]
-
 pub mod access;
 pub mod energy;
 pub mod event;
 pub mod lossy;
 pub mod metrics;
 pub mod multiget;
+pub mod mutilate;
 pub mod ondemand;
 pub mod server;
 pub mod sim;

@@ -25,11 +25,6 @@
 //! # Ok::<(), airsched_core::error::ScheduleError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-#![warn(clippy::all)]
-
 pub mod distributions;
 pub mod requests;
 pub mod spec;

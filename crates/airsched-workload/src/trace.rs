@@ -68,14 +68,11 @@ pub fn parse_trace(text: &str) -> Result<Vec<Request>, ParseTraceError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let (arrival, page) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(a), Some(p), None) => (a, p),
-            _ => {
-                return Err(ParseTraceError {
-                    line: line_no + 1,
-                    message: "expected 'arrival page'".into(),
-                })
-            }
+        let (Some(arrival), Some(page), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(ParseTraceError {
+                line: line_no + 1,
+                message: "expected 'arrival page'".into(),
+            });
         };
         let arrival: u64 = arrival.parse().map_err(|_| ParseTraceError {
             line: line_no + 1,

@@ -317,3 +317,84 @@ fn equal_seeds_give_identical_chaos_runs() {
     assert_eq!(a.stats(), b.stats());
     assert_eq!(a.mode(), b.mode());
 }
+
+/// A corrupted replan pipeline: every candidate the ladder produces has
+/// page 0 (the tightest deadline) stripped out before the lint gate.
+fn strip_page0(
+    program: &airsched_core::program::BroadcastProgram,
+) -> airsched_core::program::BroadcastProgram {
+    use airsched_core::types::{GridPos, SlotIndex};
+    let mut out =
+        airsched_core::program::BroadcastProgram::new(program.channels(), program.cycle_len());
+    for channel in 0..program.channels() {
+        for slot in 0..program.cycle_len() {
+            let pos = GridPos::new(ch(channel), SlotIndex::new(slot));
+            if let Some(p) = program.page_at(pos) {
+                if p != page(0) {
+                    out.place(pos, p).unwrap();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The acceptance scenario for the pre-swap lint gate: an outage forces a
+/// replan, the replan pipeline is corrupted (a page vanishes), and the
+/// station must refuse the swap and keep serving the previous, vetted
+/// program instead of airing the corrupt one.
+#[test]
+fn corrupted_replan_is_rejected_and_previous_program_keeps_serving() {
+    let plan = FaultPlan::scripted(vec![FaultEvent::Down {
+        at: 8,
+        channel: ch(3),
+    }]);
+    let mut station = storm_station(&plan);
+    station.set_plan_corruptor(Some(strip_page0));
+
+    // Healthy spell: the full plan airs, page 0 included.
+    let client = station.subscribe(page(0)).unwrap();
+    let outcome = station.run(8);
+    assert!(outcome
+        .iter()
+        .any(|d| d.client == client && d.within_deadline));
+
+    // Slot 8: channel 3 dies. Three survivors meet the minimum, so the
+    // ladder proposes a re-pack — which the corruptor mutilates and the
+    // gate must refuse; the PAMAD fallback is mutilated and refused too.
+    let tick = station.tick();
+    assert_eq!(
+        tick.events,
+        vec![ChannelEvent::Down {
+            channel: ch(3),
+            at: 8
+        }]
+    );
+    assert_eq!(station.mode(), Mode::Valid, "corrupt plan was installed");
+    assert_eq!(station.stats().plan_rejections, 2);
+    assert_eq!(station.stats().repacks, 0);
+    assert_eq!(station.stats().failovers, 0);
+
+    // The previous program keeps serving: page 0 still airs on the
+    // survivors and new subscribers to it are still delivered on time.
+    let client = station.subscribe(page(0)).unwrap();
+    let mut served = false;
+    for _ in 0..4 {
+        let tick = station.tick();
+        assert_eq!(tick.on_air[3], None, "down channel aired");
+        for d in &tick.deliveries {
+            if d.client == client {
+                assert!(d.within_deadline, "{d:?}");
+                served = true;
+            }
+        }
+    }
+    assert!(served, "previous program stopped serving page 0");
+
+    // Fixing the pipeline and re-running the ladder installs the re-pack.
+    station.set_plan_corruptor(None);
+    station.restore_channel(ch(3));
+    assert_eq!(station.mode(), Mode::Valid);
+    assert_eq!(station.fail_channel(ch(3)), Mode::Repacked);
+    assert_eq!(station.stats().plan_rejections, 2, "clean replan refused");
+}

@@ -268,3 +268,114 @@ fn whole_stack_is_deterministic() {
     let b = sweep_channels(&config, [1u32, 3, 5]).unwrap();
     assert_eq!(a, b);
 }
+
+// ---------------------------------------------------------------------------
+// Lint-vs-scheduler contracts: every program our schedulers emit in their
+// supported regime must pass the static analyzer, and targeted mutilations
+// must fire exactly the rule they were built to provoke.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SUSC in the sufficient regime (Theorem 3.1 and above) is lint-clean
+    /// under the *default* strict config: no gaps, no late first
+    /// appearances, no deficits — the analyzer agrees with the theorem.
+    #[test]
+    fn susc_programs_are_lint_clean(ladder in arb_ladder(), extra in 0u32..3) {
+        use airsched_lint::{lint, LintConfig, LintInput};
+        let program = susc::schedule(&ladder, minimum_channels(&ladder) + extra).unwrap();
+        let report = lint(&LintInput::for_program(&program, &ladder), &LintConfig::default());
+        prop_assert!(report.is_clean(), "SUSC should lint clean:\n{report}");
+    }
+
+    /// PAMAD at any channel count passes the *structural* config — the one
+    /// the station's swap gate applies to best-effort candidates. Deadline
+    /// rules are allowed there (PAMAD's Eq. 8 cycle can be shorter than
+    /// t_h, so deadline misses are by design), but structural integrity
+    /// (missing pages, duplicated columns, absurd times) must hold.
+    #[test]
+    fn pamad_programs_are_structurally_clean(ladder in arb_ladder(), n in 1u32..6) {
+        use airsched_lint::{lint, LintConfig, LintInput};
+        let program = pamad::schedule(&ladder, n).unwrap().into_program();
+        let report = lint(&LintInput::for_program(&program, &ladder), &LintConfig::structural());
+        prop_assert!(report.is_clean(), "PAMAD should pass the structural gate:\n{report}");
+    }
+
+    /// Each `mutilate` corruptor fires its primary rule on an otherwise
+    /// clean SUSC program, and nothing fires beyond the documented
+    /// cause/symptom companions (AP02's late appearance implies AP01's
+    /// doubled gap; removing occurrences implies AP06's deficit; an
+    /// oversized gap can push a group's delay factor over AL04's stretch
+    /// threshold).
+    #[test]
+    fn mutilations_fire_their_documented_rules(ladder in arb_ladder()) {
+        use airsched_core::program::BroadcastProgram;
+        use airsched_lint::{lint, LintConfig, LintInput, RuleId};
+        use airsched_sim::mutilate;
+
+        let clean = susc::schedule(&ladder, minimum_channels(&ladder)).unwrap();
+        // A group-1 page repeats every t1 < cycle slots, so every
+        // corruptor below has occurrences to remove.
+        let victim = ladder.pages().next().unwrap().0;
+        prop_assert!(clean.occurrence_columns(victim).len() >= 2);
+
+        let cases: [(BroadcastProgram, RuleId, &[RuleId]); 3] = [
+            (
+                mutilate::drop_page(&clean, victim),
+                RuleId::NeverBroadcast,
+                &[],
+            ),
+            (
+                mutilate::thin_to_first_occurrence(&clean, victim),
+                RuleId::ExpectedTimeGap,
+                &[RuleId::FrequencyDeficit, RuleId::StretchExceeded],
+            ),
+            (
+                mutilate::delay_first_appearance(&clean, victim),
+                RuleId::FirstAppearanceLate,
+                &[
+                    RuleId::ExpectedTimeGap,
+                    RuleId::FrequencyDeficit,
+                    RuleId::StretchExceeded,
+                ],
+            ),
+        ];
+        for (program, expected, companions) in cases {
+            let report = lint(&LintInput::for_program(&program, &ladder), &LintConfig::default());
+            prop_assert!(
+                report.fired(expected),
+                "{} should fire:\n{report}",
+                expected.code()
+            );
+            prop_assert!(report.has_deny(), "mutilations must not pass the gate");
+            for rule in report.rules_fired() {
+                prop_assert!(
+                    rule == expected || companions.contains(&rule),
+                    "unexpected companion {} for {}:\n{report}",
+                    rule.code(),
+                    expected.code()
+                );
+            }
+        }
+    }
+
+    /// The duplicate-copy corruptor is surgical: with a spare channel to
+    /// host the parallel copy, AP05 fires and *only* AP05 — the program
+    /// stays otherwise valid, which is exactly why the waste needs a lint
+    /// rule rather than the validity checker.
+    #[test]
+    fn duplicate_mutilation_fires_only_ap05(ladder in arb_ladder()) {
+        use airsched_lint::{lint, LintConfig, LintInput, RuleId};
+        use airsched_sim::mutilate;
+
+        let clean = susc::schedule(&ladder, minimum_channels(&ladder) + 1).unwrap();
+        let victim = ladder.pages().next().unwrap().0;
+        let doubled = mutilate::duplicate_in_column(&clean, victim)
+            .expect("a spare channel always leaves a free cell in the victim's columns");
+        prop_assert!(validity::check(&doubled, &ladder).is_valid());
+        let report = lint(&LintInput::for_program(&doubled, &ladder), &LintConfig::default());
+        prop_assert_eq!(report.rules_fired(), vec![RuleId::DuplicateInColumn], "{}", report);
+        prop_assert!(!report.has_deny(), "AP05 warns; it alone must not block a swap");
+    }
+}

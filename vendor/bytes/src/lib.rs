@@ -7,9 +7,6 @@
 //! `Vec<u8>` instead of upstream's refcounted vtable machinery; semantics
 //! (not performance) match upstream for this subset.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use core::fmt;
 use core::ops::Deref;
 use std::sync::Arc;

@@ -7,9 +7,6 @@
 //! enough for CI's `cargo bench --no-run` compile check and for smoke-running
 //! benches by hand; real measurements need upstream criterion.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use std::fmt;
 use std::time::Instant;
 
@@ -96,6 +93,14 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
 }
 
+impl fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BenchmarkGroup")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
 impl BenchmarkGroup<'_> {
     /// Sets the upstream sample count; a no-op here.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
@@ -166,6 +171,7 @@ impl Criterion {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+

@@ -17,9 +17,6 @@
 //! * `prop_assert*!` delegate to `assert*!` (panic instead of returning a
 //!   `TestCaseError`), which is equivalent under this runner.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 /// Deterministic runner: configuration, PRNG, and the case loop.
 pub mod test_runner {
     /// Configuration accepted by `#![proptest_config(...)]`.
@@ -278,6 +275,12 @@ pub mod strategy {
     /// A reference-counted, type-erased strategy.
     pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
 
+    impl<T> core::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str("BoxedStrategy(..)")
+        }
+    }
+
     impl<T> Clone for BoxedStrategy<T> {
         fn clone(&self) -> Self {
             Self(Rc::clone(&self.0))
@@ -293,6 +296,7 @@ pub mod strategy {
     }
 
     /// Uniform choice among boxed strategies; built by `prop_oneof!`.
+    #[derive(Debug)]
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }

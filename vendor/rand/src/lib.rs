@@ -7,9 +7,6 @@
 //! generator is SplitMix64 — deterministic, fast, and statistically adequate
 //! for simulation workloads; it is **not** cryptographically secure.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use core::ops::{Range, RangeInclusive};
 
 /// Low-level source of randomness.
