@@ -141,6 +141,10 @@ pub struct SweepPoint {
     pub mpb: f64,
     /// Measured AvgD of OPT, in slots.
     pub opt: f64,
+    /// Candidate frequency vectors the OPT search evaluated at this point.
+    pub opt_evaluated: u64,
+    /// Subtrees the OPT search pruned (counted once per cut).
+    pub opt_pruned: u64,
     /// Structural lint verdicts for the three measured programs.
     pub lint: PointLint,
 }
@@ -201,14 +205,15 @@ pub fn sweep_channels(
     for n in channels {
         let pamad_program = pamad::schedule_with(&ladder, n, config.weighting)?.into_program();
         let mpb_program = mpb::schedule(&ladder, n)?.into_program();
-        let opt_program = opt::search_r_structured(&ladder, n, config.weighting)
-            .place(&ladder, n)?
-            .into_program();
+        let opt_search = opt::search_r_structured(&ladder, n, config.weighting);
+        let opt_program = opt_search.place(&ladder, n)?.into_program();
         points.push(SweepPoint {
             channels: n,
             pamad: avg_delay_of(&pamad_program, &ladder, &normalized),
             mpb: avg_delay_of(&mpb_program, &ladder, &normalized),
             opt: avg_delay_of(&opt_program, &ladder, &normalized),
+            opt_evaluated: opt_search.evaluated(),
+            opt_pruned: opt_search.pruned(),
             lint: PointLint {
                 pamad: lint_counts(&pamad_program, &ladder),
                 mpb: lint_counts(&mpb_program, &ladder),
@@ -222,6 +227,22 @@ pub fn sweep_channels(
         min_channels: min,
         points,
     })
+}
+
+/// Exports a sweep's OPT search costs to an observability handle: one
+/// `ReplanTiming` event per point, `stage: "opt"`, with the channel count
+/// in the slot field (a sweep has no slot clock) and zero duration (the
+/// cost counters are deterministic; wall time is not re-measured here).
+pub fn record_sweep_timings(sweep: &ChannelSweep, obs: &airsched_obs::Obs) {
+    for point in &sweep.points {
+        obs.record(airsched_obs::events::Event::ReplanTiming {
+            stage: "opt".to_string(),
+            slot: u64::from(point.channels),
+            evals: point.opt_evaluated,
+            pruned: point.opt_pruned,
+            duration_us: 0,
+        });
+    }
 }
 
 /// The default Figure 5 x-axis: every channel count from 1 to the minimum.

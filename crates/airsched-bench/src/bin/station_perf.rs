@@ -5,10 +5,15 @@
 //! the pre-PR seed station (`BTreeMap`-keyed waiting lists, `BTreeMap`
 //! subscribe, allocating tick) rebuilt here from public APIs. It also
 //! times table-driven frame encoding into one reused buffer against
-//! per-frame encoding. Emits machine-readable `BENCH_station.json`
-//! (ticks/sec, deliveries/sec, bytes encoded/sec) and **exits non-zero**
-//! if the optimized path diverges from either baseline in any outcome,
-//! delivery or statistic — CI runs it as a correctness gate.
+//! per-frame encoding, and measures the observability tax: an
+//! instrumented station (metrics registry + flight recorder attached) in
+//! lockstep against an identical plain one, with a bit-identical gate and
+//! an overhead ratio at the 100k-subscriber acceptance point. Emits
+//! machine-readable `BENCH_station.json` (ticks/sec, deliveries/sec,
+//! bytes encoded/sec, obs overhead) and **exits non-zero** if the
+//! optimized path diverges from either baseline — or the instrumented
+//! station from the plain one — in any outcome, delivery or statistic.
+//! CI runs it as a correctness gate.
 //!
 //! Run: `cargo run --release -p airsched-bench --bin station_perf`
 //!
@@ -29,6 +34,7 @@ use airsched_core::group::GroupLadder;
 use airsched_core::program::BroadcastProgram;
 use airsched_core::susc;
 use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
+use airsched_obs::Obs;
 use airsched_proto::transmitter::{encode_slot_into, frames_for_slot, PayloadSource};
 use airsched_server::faults::{FaultInjector, FaultPlan};
 use airsched_server::health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
@@ -479,6 +485,65 @@ fn seed_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
     }
 }
 
+/// Drives a plain station and an identical one with observability
+/// attached (metrics registry + flight recorder) in lockstep under full
+/// chaos. Instrumentation is read-only: every tick outcome and the final
+/// statistics must be bit-identical, and the registry counters must
+/// mirror the station's own stats exactly.
+fn obs_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
+    let plan = cfg.chaos_plan();
+    let plan = faulted.then_some(&plan);
+    let mut plain = build_station(cfg, plan);
+    let mut instrumented = build_station(cfg, plan);
+    let obs = Obs::with_recorder_capacity(4096);
+    instrumented.attach_obs(&obs);
+    let mut buf_plain = TickBuf::new();
+    let mut buf_obs = TickBuf::new();
+    let gate_slots = cfg.slots.min(1024).max(2 * cfg.cycle);
+    for t in 0..gate_slots {
+        for k in 0..8u64 {
+            let page = page_for(cfg, t * 8 + k);
+            let a = plain.subscribe(page).expect("page is published");
+            let b = instrumented.subscribe(page).expect("page is published");
+            assert_eq!(a, b, "client ids drifted");
+        }
+        plain.tick_into(&mut buf_plain);
+        instrumented.tick_into(&mut buf_obs);
+        if buf_plain.to_outcome() != buf_obs.to_outcome() {
+            divergences.push(format!(
+                "instrumented station diverges from plain at slot {t} (faulted={faulted})"
+            ));
+            return;
+        }
+    }
+    let stats = plain.stats();
+    if stats != instrumented.stats() {
+        divergences.push(format!(
+            "instrumented stats diverge from plain after {gate_slots}-slot lockstep \
+             (faulted={faulted})"
+        ));
+    }
+    let snapshot = obs.snapshot();
+    let mirrored = [
+        ("airsched_station_slots_total", stats.slots_elapsed),
+        ("airsched_station_delivered_total", stats.delivered),
+        ("airsched_station_on_time_total", stats.on_time),
+        (
+            "airsched_station_degraded_slots_total",
+            stats.degraded_slots,
+        ),
+        ("airsched_station_mode_changes_total", stats.mode_changes),
+    ];
+    for (name, want) in mirrored {
+        let got = snapshot.scalar_total(name);
+        if got != want {
+            divergences.push(format!(
+                "registry counter {name} = {got} but station stats say {want} (faulted={faulted})"
+            ));
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Timing
 // ---------------------------------------------------------------------------
@@ -590,6 +655,104 @@ fn time_scale(
         seed_tps: cfg.slots as f64 / seed_best,
         opt_dps: opt_delivered as f64 / opt_best,
         seed_dps: seed_delivered as f64 / seed_best,
+    }
+}
+
+struct ObsOverhead {
+    subscribers: u64,
+    faulted: bool,
+    /// Isolated serving loop: subscribe + `tick_into` only.
+    plain_tps: f64,
+    instrumented_tps: f64,
+    /// Full broadcast slot: serving loop plus frame encoding, the work a
+    /// deployed station does every slot.
+    plain_slot_tps: f64,
+    instrumented_slot_tps: f64,
+}
+
+impl ObsOverhead {
+    /// How much slower the instrumented serving loop runs in isolation:
+    /// plain ticks/sec over instrumented ticks/sec, so 1.02 means a 2%
+    /// tax. This charges the whole tax against the nanosecond-scale
+    /// serving loop alone — the worst-case framing.
+    fn overhead_ratio(&self) -> f64 {
+        self.plain_tps / self.instrumented_tps
+    }
+
+    /// The same tax charged against the full broadcast slot (serve +
+    /// encode) — the deployment-relevant number, since a station that
+    /// never encodes frames broadcasts nothing.
+    fn slot_overhead_ratio(&self) -> f64 {
+        self.plain_slot_tps / self.instrumented_slot_tps
+    }
+}
+
+/// Times the station at the acceptance operating point with and without
+/// observability attached — same subscribe churn, same `tick_into` loop,
+/// same fault plan as the perf rows — in two framings: the serving loop
+/// alone, and the full broadcast slot (serving loop + `encode_slot_into`
+/// of the on-air frames, the per-slot work a deployed station cannot
+/// skip). All four variants alternate rep by rep so clock drift and
+/// thermal noise hit them alike, and extra reps tighten the best-of
+/// estimate (the ratio is a few percent, well under run-to-run noise on
+/// a single rep). Each instrumented rep gets a fresh registry and
+/// recorder so ring-buffer state never carries across reps.
+fn time_obs_overhead(cfg: &Config, faulted: bool, scale: u64) -> ObsOverhead {
+    let plan = cfg.perf_plan();
+    let plan = faulted.then_some(&plan);
+    let per_tick = scale.div_ceil(cfg.slots).max(1);
+    let subscribers = per_tick * cfg.slots;
+    let base = build_station(cfg, plan);
+
+    let run = |s: &mut Station, encode: bool| {
+        let mut buf = TickBuf::new();
+        let mut frame_buf = BytesMut::with_capacity(8 * 1024);
+        let mut bytes = 0u64;
+        let t0 = Instant::now();
+        for t in 0..cfg.slots {
+            for k in 0..per_tick {
+                s.subscribe(page_for(cfg, t * per_tick + k))
+                    .expect("page is published");
+            }
+            s.tick_into(&mut buf);
+            if encode {
+                bytes += encode_slot_into(buf.on_air(), t, &mut FixedPayload, &mut frame_buf)
+                    .expect("frames encode") as u64;
+            }
+        }
+        std::hint::black_box(bytes);
+        t0.elapsed().as_secs_f64()
+    };
+
+    let mut plain_best = f64::INFINITY;
+    let mut obs_best = f64::INFINITY;
+    let mut plain_slot_best = f64::INFINITY;
+    let mut obs_slot_best = f64::INFINITY;
+    for _ in 0..cfg.reps.max(7) {
+        let mut s = base.clone();
+        plain_best = plain_best.min(run(&mut s, false));
+
+        let mut s = base.clone();
+        let obs = Obs::with_recorder_capacity(4096);
+        s.attach_obs(&obs);
+        obs_best = obs_best.min(run(&mut s, false));
+
+        let mut s = base.clone();
+        plain_slot_best = plain_slot_best.min(run(&mut s, true));
+
+        let mut s = base.clone();
+        let obs = Obs::with_recorder_capacity(4096);
+        s.attach_obs(&obs);
+        obs_slot_best = obs_slot_best.min(run(&mut s, true));
+    }
+
+    ObsOverhead {
+        subscribers,
+        faulted,
+        plain_tps: cfg.slots as f64 / plain_best,
+        instrumented_tps: cfg.slots as f64 / obs_best,
+        plain_slot_tps: cfg.slots as f64 / plain_slot_best,
+        instrumented_slot_tps: cfg.slots as f64 / obs_slot_best,
     }
 }
 
@@ -711,6 +874,7 @@ fn main() {
     for faulted in [false, true] {
         reference_gate(&cfg, faulted, &mut divergences);
         seed_gate(&cfg, faulted, &mut divergences);
+        obs_gate(&cfg, faulted, &mut divergences);
         for &scale in &scales {
             let r = time_scale(&cfg, faulted, scale, &mut divergences);
             println!(
@@ -730,6 +894,32 @@ fn main() {
         }
         println!();
     }
+
+    // Observability tax at the acceptance operating point (100k
+    // subscribers, or the largest scale allowed by --max-subs).
+    let obs_scale = scales
+        .iter()
+        .copied()
+        .filter(|&s| s <= 100_000)
+        .max()
+        .unwrap_or_else(|| scales[0]);
+    let obs_rows: Vec<ObsOverhead> = [false, true]
+        .into_iter()
+        .map(|faulted| time_obs_overhead(&cfg, faulted, obs_scale))
+        .collect();
+    for obs in &obs_rows {
+        println!(
+            "obs overhead at {} subscribers ({}): {:.0} ticks/s instrumented vs {:.0} plain \
+             ({:.3}x serving loop alone, {:.3}x full slot with encode)",
+            obs.subscribers,
+            if obs.faulted { "faulted" } else { "clean" },
+            obs.instrumented_tps,
+            obs.plain_tps,
+            obs.overhead_ratio(),
+            obs.slot_overhead_ratio()
+        );
+    }
+    println!();
 
     let encode = encode_phase(&cfg, &mut divergences);
     println!(
@@ -782,6 +972,7 @@ fn main() {
             "  \"encode\": {{\"slots\": {e_n}, \"bytes_per_slot\": {e_b}, ",
             "\"optimized_bytes_per_sec\": {e_o}, \"reference_bytes_per_sec\": {e_r}, ",
             "\"speedup\": {e_x}}},\n",
+            "  \"obs\": [\n{ob_rows}\n  ],\n",
             "  \"headline_speedup_vs_seed\": {head},\n",
             "  \"divergences\": {divs}\n",
             "}}\n"
@@ -798,6 +989,31 @@ fn main() {
         e_o = json_f(encode.opt_bytes_per_sec),
         e_r = json_f(encode.ref_bytes_per_sec),
         e_x = json_f(encode.opt_bytes_per_sec / encode.ref_bytes_per_sec),
+        ob_rows = obs_rows
+            .iter()
+            .map(|o| {
+                format!(
+                    concat!(
+                        "    {{\"subscribers\": {subs}, \"faulted\": {faulted}, ",
+                        "\"plain_ticks_per_sec\": {plain}, ",
+                        "\"instrumented_ticks_per_sec\": {instr}, ",
+                        "\"overhead_ratio\": {ratio}, ",
+                        "\"plain_slot_ticks_per_sec\": {plain_s}, ",
+                        "\"instrumented_slot_ticks_per_sec\": {instr_s}, ",
+                        "\"slot_overhead_ratio\": {ratio_s}}}"
+                    ),
+                    subs = o.subscribers,
+                    faulted = o.faulted,
+                    plain = json_f(o.plain_tps),
+                    instr = json_f(o.instrumented_tps),
+                    ratio = json_f(o.overhead_ratio()),
+                    plain_s = json_f(o.plain_slot_tps),
+                    instr_s = json_f(o.instrumented_slot_tps),
+                    ratio_s = json_f(o.slot_overhead_ratio()),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n"),
         head = json_f(headline),
         divs = if divergences.is_empty() {
             "[]".to_string()

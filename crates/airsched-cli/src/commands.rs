@@ -36,6 +36,9 @@ COMMANDS:
   trace      print the transmission stream slot by slot
   plan       smallest channel count meeting an average-delay budget
   items      schedule variable-length items (LENxTIME specs)
+  run        drive a live station under (optional) fault injection, with
+             flight-recorder observability attached
+  obs        same scenario as run, printing the metrics snapshot table
 
 WORKLOAD OPTIONS:
   --times 2,4,8 --counts 3,5,3   explicit groups, or
@@ -50,6 +53,7 @@ COMMAND OPTIONS:
              [--trace FILE] (replay a recorded trace instead of generating)
              [--save-trace FILE] (record the generated requests)
   sweep:     [--requests 3000] [--seed 42] [--csv] [--step K] [--max N]
+             [--events-out FILE] (OPT search costs as ReplanTiming events)
   rearrange: --raw-times 2,3,4,6,9 [--ratio 2]
   drop:      --channels N [--policy tightest|relaxed|proportional]
   energy:    --channels N [--segments M] [--requests 3000] [--seed 42]
@@ -62,6 +66,13 @@ COMMAND OPTIONS:
   trace:     --channels N [--slots 20] [--from 0]
   plan:      --budget SLOTS [--requests 3000] [--seed 42]
   items:     --specs 3x8,1x2,2x5 [--ratio 2] [--channels N]
+  run/obs:   [--channels 4] [--cycle 16] [--slots 600] [--seed 805381]
+             [--times 2,4,8,16,4,8] (catalogue expected times, pages 0..k)
+             [--subscribe-every 5] (0 disables subscriptions)
+             [--chaos] (storm preset: outages, stalls, corruption, blackout)
+             [--outage P] [--recovery P] [--stall P] [--corruption P]
+             [--metrics-out FILE] (Prometheus text exposition)
+             [--events-out FILE]  (flight-recorder events as JSONL)
 ";
 
 /// A command's text output plus whether the process should exit nonzero
@@ -108,6 +119,8 @@ fn run_plain(args: &Args) -> Result<String, ArgError> {
         Some("trace") => cmd_trace(args),
         Some("plan") => cmd_plan(args),
         Some("items") => cmd_items(args),
+        Some("run") => cmd_run(args),
+        Some("obs") => cmd_obs(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some("lint") => unreachable!("lint is dispatched by run_full"),
         Some(other) => Err(ArgError(format!("unknown command '{other}'\n\n{USAGE}"))),
@@ -445,12 +458,19 @@ fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
     let channels: Vec<u32> = (1..=max.min(min)).step_by(step as usize).collect();
     let sweep = sweep_channels(&config, channels).map_err(|e| ArgError(e.to_string()))?;
     let table = sweep_table(&sweep);
-    let body = if args.flag("csv") {
+    let mut out = format!("{}\n", sweep_headline(&sweep));
+    out.push_str(&if args.flag("csv") {
         table.render_csv()
     } else {
         table.render()
-    };
-    Ok(format!("{}\n{body}", sweep_headline(&sweep)))
+    });
+    // Each point's OPT search cost, exported as ReplanTiming events.
+    if args.get("events-out").is_some() {
+        let obs = airsched_obs::Obs::new();
+        airsched_analysis::experiment::record_sweep_timings(&sweep, &obs);
+        write_obs_outputs(args, &obs, &mut out)?;
+    }
+    Ok(out)
 }
 
 fn cmd_onefifth(args: &Args) -> Result<String, ArgError> {
@@ -588,6 +608,138 @@ fn cmd_items(args: &Args) -> Result<String, ArgError> {
             catalogue.worst_case_assembly(item),
         ));
     }
+    Ok(out)
+}
+
+/// Shared scenario driver for `run` and `obs`: a live station with a
+/// flight recorder attached, ridden through `--slots` slots of
+/// (optionally faulty) air time. Returns the observability handle, the
+/// finished station, and the mode-transition log.
+fn run_station_scenario(
+    args: &Args,
+) -> Result<(airsched_obs::Obs, airsched_server::Station, String), ArgError> {
+    use airsched_core::types::{ChannelId, PageId};
+    use airsched_server::{FaultEvent, FaultPlan, Station};
+
+    let channels: u32 = args.num("channels", 4)?;
+    let cycle: u64 = args.num("cycle", 16)?;
+    let slots: u64 = args.num("slots", 600)?;
+    let seed: u64 = args.num("seed", 0xC4A05)?;
+    let subscribe_every: u64 = args.num("subscribe-every", 5)?;
+    let times = args
+        .num_list("times")?
+        .unwrap_or_else(|| vec![2, 4, 8, 16, 4, 8]);
+    if times.is_empty() {
+        return Err(ArgError("--times must name at least one page".into()));
+    }
+
+    let chaos = args.flag("chaos");
+    let pick = |key: &str, preset: f64| args.num(key, if chaos { preset } else { 0.0 });
+    let mut plan = FaultPlan::seeded(seed)
+        .with_outage(pick("outage", 0.01)?)
+        .with_recovery(pick("recovery", 0.15)?)
+        .with_stalls(pick("stall", 0.03)?)
+        .with_corruption(pick("corruption", 0.05)?);
+    if chaos {
+        // The example storm's scripted mid-run blackout: every transmitter
+        // down at once, then staggered recoveries.
+        let at = slots / 2;
+        let script: Vec<FaultEvent> = (0..channels)
+            .map(|c| FaultEvent::Down {
+                at,
+                channel: ChannelId::new(c),
+            })
+            .chain((0..channels).map(|c| FaultEvent::Up {
+                at: at + 20 + 10 * u64::from(c),
+                channel: ChannelId::new(c),
+            }))
+            .collect();
+        plan = plan.with_script(script);
+    }
+
+    let mut station =
+        Station::with_faults(channels, cycle, &plan).map_err(|e| ArgError(e.to_string()))?;
+    let obs = airsched_obs::Obs::with_recorder_capacity(8192);
+    station.attach_obs(&obs);
+    for (i, &t) in times.iter().enumerate() {
+        let page = PageId::new(u32::try_from(i).expect("catalogue fits in u32"));
+        station
+            .publish(page, t)
+            .map_err(|e| ArgError(e.to_string()))?;
+    }
+
+    let pages = times.len() as u64;
+    let mut log = String::new();
+    let mut mode = station.mode();
+    for t in 0..slots {
+        if subscribe_every > 0 && t % subscribe_every == 0 {
+            let page = PageId::new(u32::try_from(t / subscribe_every % pages).expect("< pages"));
+            station
+                .subscribe(page)
+                .map_err(|e| ArgError(e.to_string()))?;
+        }
+        let out = station.tick();
+        if out.mode != mode {
+            log.push_str(&format!(
+                "slot {t:>5}: {mode} -> {next} ({up}/{channels} transmitters up)\n",
+                next = out.mode,
+                up = station.channels_up(),
+            ));
+            mode = out.mode;
+        }
+    }
+    Ok((obs, station, log))
+}
+
+/// Handles `--metrics-out` / `--events-out` for the obs-capable verbs.
+fn write_obs_outputs(
+    args: &Args,
+    obs: &airsched_obs::Obs,
+    out: &mut String,
+) -> Result<(), ArgError> {
+    if let Some(path) = args.get("metrics-out") {
+        std::fs::write(path, obs.render_prometheus())
+            .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+        out.push_str(&format!("wrote metrics to {path}\n"));
+    }
+    if let Some(path) = args.get("events-out") {
+        std::fs::write(path, obs.events_jsonl())
+            .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+        out.push_str(&format!("wrote events to {path}\n"));
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<String, ArgError> {
+    let (obs, station, log) = run_station_scenario(args)?;
+    let stats = station.stats();
+    let mut out = log;
+    out.push_str(&format!(
+        "final mode {mode}: {delivered} deliveries ({rate:.1}% on time), \
+         {waiting} waiting, {changes} mode changes, {degraded} of {slots} \
+         slots degraded\n",
+        mode = station.mode(),
+        delivered = stats.delivered,
+        rate = stats.on_time_rate() * 100.0,
+        waiting = stats.waiting,
+        changes = stats.mode_changes,
+        degraded = stats.degraded_slots,
+        slots = stats.slots_elapsed,
+    ));
+    // Black-box dumps: every capture taken on entry into best-effort or
+    // offline service during the run.
+    for pm in obs.take_postmortems() {
+        out.push('\n');
+        out.push_str(&pm.to_jsonl());
+    }
+    write_obs_outputs(args, &obs, &mut out)?;
+    Ok(out)
+}
+
+fn cmd_obs(args: &Args) -> Result<String, ArgError> {
+    let (obs, _station, _log) = run_station_scenario(args)?;
+    let mut out = obs.snapshot().render_table();
+    write_obs_outputs(args, &obs, &mut out)?;
     Ok(out)
 }
 
@@ -1075,6 +1227,123 @@ mod tests {
             run_full_line(&["lint", "--times", "2,3", "--counts", "1,1", "--structural"]).unwrap();
         assert!(!out.fail, "{}", out.text);
         assert!(out.text.contains("lint clean"), "{}", out.text);
+    }
+
+    #[test]
+    fn run_chaos_reports_mode_changes_and_postmortems() {
+        let dir = std::env::temp_dir().join("airsched-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("run.prom");
+        let events = dir.join("run.jsonl");
+        let out = run_line(&[
+            "run",
+            "--chaos",
+            "--slots",
+            "400",
+            "--seed",
+            "805381",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--events-out",
+            events.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("final mode"), "{out}");
+        assert!(out.contains("mode changes"), "{out}");
+        // The scripted mid-run blackout guarantees a postmortem dump.
+        assert!(out.contains("# postmortem trigger="), "{out}");
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("airsched_station_slots_total 400"), "{prom}");
+        assert!(
+            prom.contains("airsched_station_mode_changes_total"),
+            "{prom}"
+        );
+        let jsonl = std::fs::read_to_string(&events).unwrap();
+        for line in jsonl.lines() {
+            assert!(
+                airsched_obs::events::Event::parse_jsonl(line).is_some(),
+                "unparsable event line: {line}"
+            );
+        }
+        assert!(jsonl.contains("\"type\":\"mode_change\""), "{jsonl}");
+        std::fs::remove_file(&metrics).ok();
+        std::fs::remove_file(&events).ok();
+    }
+
+    /// Masks the one documented source of nondeterminism in the event
+    /// dump: `duration_us` is wall-clock replan time, everything else is
+    /// slot-indexed.
+    fn mask_durations(text: &str) -> String {
+        let mut out = String::with_capacity(text.len());
+        let mut rest = text;
+        while let Some(at) = rest.find("\"duration_us\":") {
+            let tail = at + "\"duration_us\":".len();
+            out.push_str(&rest[..tail]);
+            out.push('N');
+            rest = rest[tail..].trim_start_matches(|c: char| c.is_ascii_digit());
+        }
+        out.push_str(rest);
+        out
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let line = &["run", "--chaos", "--slots", "300", "--seed", "7"];
+        assert_eq!(
+            mask_durations(&run_line(line).unwrap()),
+            mask_durations(&run_line(line).unwrap())
+        );
+    }
+
+    #[test]
+    fn obs_renders_snapshot_table() {
+        let out = run_line(&["obs", "--slots", "100"]).unwrap();
+        assert!(out.contains("airsched_station_slots_total"), "{out}");
+        assert!(out.contains("airsched_station_wait_slots"), "{out}");
+        assert!(out.contains("p95="), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_empty_catalogue() {
+        // An empty --times list cannot be expressed (`--times` with no
+        // value parses as a flag), so the check triggers via a fault-free
+        // station erroring on zero channels instead.
+        assert!(run_line(&["run", "--channels", "0"]).is_err());
+    }
+
+    #[test]
+    fn sweep_exports_opt_search_costs() {
+        let dir = std::env::temp_dir().join("airsched-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("sweep.jsonl");
+        let out = run_line(&[
+            "sweep",
+            "--n",
+            "40",
+            "--groups",
+            "3",
+            "--t1",
+            "2",
+            "--requests",
+            "200",
+            "--events-out",
+            events.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote events"), "{out}");
+        let jsonl = std::fs::read_to_string(&events).unwrap();
+        assert!(jsonl.contains("\"stage\":\"opt\""), "{jsonl}");
+        for line in jsonl.lines() {
+            let event = airsched_obs::events::Event::parse_jsonl(line).unwrap();
+            match event {
+                airsched_obs::events::Event::ReplanTiming { stage, evals, .. } => {
+                    assert_eq!(stage, "opt");
+                    assert!(evals > 0, "OPT search must evaluate candidates");
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        std::fs::remove_file(&events).ok();
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub struct DegradedPlan {
     program: BroadcastProgram,
     ladder: GroupLadder,
     assignments: Vec<ReplanAssignment>,
+    stage_evaluations: u64,
 }
 
 impl DegradedPlan {
@@ -77,6 +78,14 @@ impl DegradedPlan {
             .iter()
             .find(|a| a.page == page)
             .map(|a| a.assigned_time)
+    }
+
+    /// Total PAMAD frequency-derivation candidates evaluated across all
+    /// stages while building this plan — the replan's search cost, fed to
+    /// observability as `ReplanTiming.evals`.
+    #[must_use]
+    pub fn stage_evaluations(&self) -> u64 {
+        self.stage_evaluations
     }
 }
 
@@ -133,6 +142,7 @@ pub fn replan(catalogue: &[(PageId, u64)], channels: u32) -> Result<DegradedPlan
     let times: Vec<u64> = catalogue.iter().map(|&(_, t)| t).collect();
     let rearranged = Rearrangement::with_ratio(&times, 2)?;
     let outcome = pamad::schedule(rearranged.ladder(), channels)?;
+    let stage_evaluations = outcome.plan().stages().iter().map(|s| s.evaluated).sum();
     let dense_program = outcome.into_program();
 
     // Dense ladder id -> caller id, by catalogue position.
@@ -169,6 +179,7 @@ pub fn replan(catalogue: &[(PageId, u64)], channels: u32) -> Result<DegradedPlan
         program,
         ladder: rearranged.ladder().clone(),
         assignments,
+        stage_evaluations,
     })
 }
 
@@ -195,6 +206,7 @@ mod tests {
             assert!(plan.program().frequency(page) >= 1, "{page} vanished");
         }
         assert_eq!(plan.assignments().len(), 5);
+        assert!(plan.stage_evaluations() > 0, "search cost not recorded");
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! The shared log-linear bucket layout every histogram in the workspace
+//! uses — the atomic registry histograms ([`crate::metrics::Histogram`])
+//! and the plain single-writer [`crate::hist::LogHistogram`] alike.
+//!
+//! Values below [`LINEAR_MAX`] get one bucket each (exact); above it,
+//! every power-of-two octave is split into [`SUB_BUCKETS`] linear
+//! sub-buckets, so a bucket's width is at most 1/8 of its magnitude.
+//! Quantiles answered from bucket counts therefore carry a **relative
+//! error of at most 12.5%** (and are *exact* for values `< 64`), while
+//! the whole `u64` range fits in [`BUCKETS`] fixed counters — percentile
+//! queries without storing samples, at any stream length.
+
+/// Values below this are tracked exactly, one bucket per value.
+pub const LINEAR_MAX: u64 = 64;
+
+/// Linear sub-buckets per power-of-two octave above [`LINEAR_MAX`].
+pub const SUB_BUCKETS: usize = 8;
+
+/// First octave exponent above the linear range (`LINEAR_MAX == 2^6`).
+const FIRST_OCTAVE: usize = 6;
+
+/// Total number of buckets covering the whole `u64` range.
+pub const BUCKETS: usize = LINEAR_MAX as usize + (64 - FIRST_OCTAVE) * SUB_BUCKETS;
+
+/// The bucket a value lands in.
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_MAX {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros() as usize; // >= FIRST_OCTAVE
+    let sub = ((value >> (msb - 3)) & 0b111) as usize;
+    LINEAR_MAX as usize + (msb - FIRST_OCTAVE) * SUB_BUCKETS + sub
+}
+
+/// The largest value a bucket holds (inclusive). Saturates at
+/// `u64::MAX` for the final octave's buckets.
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    assert!(index < BUCKETS, "bucket index out of range");
+    if index < LINEAR_MAX as usize {
+        return index as u64;
+    }
+    let above = index - LINEAR_MAX as usize;
+    let octave = (above / SUB_BUCKETS + FIRST_OCTAVE) as u32;
+    let sub = (above % SUB_BUCKETS) as u128 + 1;
+    let bound = (1u128 << octave) + (sub << (octave - 3)) - 1;
+    u64::try_from(bound).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..LINEAR_MAX {
+            let idx = bucket_index(v);
+            assert_eq!(idx, v as usize);
+            assert_eq!(bucket_upper_bound(idx), v);
+        }
+    }
+
+    #[test]
+    fn indices_are_monotone_and_in_range() {
+        let mut last = 0usize;
+        let mut v = 0u64;
+        while v < u64::MAX / 2 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index regressed at {v}");
+            assert!(idx < BUCKETS);
+            last = idx;
+            v = v.saturating_mul(2).saturating_add(1);
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn upper_bound_contains_the_value() {
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            100,
+            1000,
+            4095,
+            4096,
+            1 << 20,
+            (1 << 20) + 7,
+            u64::MAX / 3,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            let ub = bucket_upper_bound(idx);
+            assert!(ub >= v, "bucket {idx} upper bound {ub} below value {v}");
+            // Relative error bound: the bucket's width is at most 1/8 of
+            // the value's magnitude.
+            if v >= LINEAR_MAX && ub != u64::MAX {
+                assert!(ub - v <= v / 8, "bucket too wide at {v}: ub {ub}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_partition_the_range() {
+        // Each bucket's upper bound must map back to the same bucket, and
+        // the next value must map to the next (non-final) bucket.
+        for idx in 0..BUCKETS - 1 {
+            let ub = bucket_upper_bound(idx);
+            assert_eq!(bucket_index(ub), idx, "upper bound escapes bucket {idx}");
+            if ub < u64::MAX {
+                assert_eq!(bucket_index(ub + 1), idx + 1, "gap after bucket {idx}");
+            }
+        }
+    }
+}

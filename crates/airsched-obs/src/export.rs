@@ -1,0 +1,380 @@
+//! Exporters: an in-process [`Snapshot`] API, Prometheus text
+//! exposition, and a human-readable snapshot table.
+//!
+//! The Prometheus renderer is deterministic: families are sorted by
+//! name, samples by label values, and every value is an integer — so a
+//! seeded run produces byte-for-byte identical exposition, which the CI
+//! golden diff depends on.
+
+use std::fmt::Write as _;
+
+use crate::buckets::bucket_upper_bound;
+use crate::metrics::{MetricKind, MetricsRegistry, SeriesValue};
+
+/// A point-in-time capture of one histogram series.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+    /// Non-empty buckets as `(upper_bound, count)`, ascending,
+    /// non-cumulative.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// The `q`-quantile by nearest rank over the captured buckets,
+    /// clamped to the exact max; `None` when empty. Same error bound as
+    /// the live histograms: exact `< 64`, ≤12.5% relative above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(ub, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(ub.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// One sample's captured value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampleValue {
+    /// Counter or gauge reading.
+    Scalar(u64),
+    /// Histogram capture.
+    Hist(HistSnapshot),
+}
+
+/// One labelled series within a family.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// Label pairs in registration order.
+    pub labels: Vec<(&'static str, String)>,
+    /// Captured value.
+    pub value: SampleValue,
+}
+
+/// All series sharing one metric name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Family {
+    /// Metric name (`airsched_<subsystem>_<name>`).
+    pub name: &'static str,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// Series, sorted by label values.
+    pub samples: Vec<Sample>,
+}
+
+/// A point-in-time capture of a whole registry, for in-process scraping
+/// without going through a serialized format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Families sorted by name.
+    pub families: Vec<Family>,
+}
+
+impl Snapshot {
+    /// Captures the registry's current values.
+    #[must_use]
+    pub fn capture(registry: &MetricsRegistry) -> Snapshot {
+        let mut families: Vec<Family> = Vec::new();
+        registry.visit(|name, labels, kind, value| {
+            let value = match value {
+                SeriesValue::Scalar(v) => SampleValue::Scalar(v),
+                SeriesValue::Hist(h) => SampleValue::Hist(HistSnapshot {
+                    count: h.count(),
+                    sum: h.sum(),
+                    max: h.max(),
+                    buckets: h.nonzero_buckets(),
+                }),
+            };
+            let sample = Sample {
+                labels: labels.to_vec(),
+                value,
+            };
+            if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+                family.samples.push(sample);
+            } else {
+                families.push(Family {
+                    name,
+                    kind,
+                    samples: vec![sample],
+                });
+            }
+        });
+        families.sort_by(|a, b| a.name.cmp(b.name));
+        for family in &mut families {
+            family.samples.sort_by(|a, b| a.labels.cmp(&b.labels));
+        }
+        Snapshot { families }
+    }
+
+    /// Finds a family by name.
+    #[must_use]
+    pub fn family(&self, name: &str) -> Option<&Family> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Sums the scalar samples of a family (0 if absent). Convenient for
+    /// cross-checking labelled counters against unlabelled stats.
+    #[must_use]
+    pub fn scalar_total(&self, name: &str) -> u64 {
+        self.family(name).map_or(0, |f| {
+            f.samples
+                .iter()
+                .map(|s| match &s.value {
+                    SampleValue::Scalar(v) => *v,
+                    SampleValue::Hist(h) => h.count,
+                })
+                .sum()
+        })
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    /// Deterministic: sorted families/samples, integer values only.
+    /// Histograms emit cumulative `_bucket{le=...}` lines for non-empty
+    /// buckets plus `le="+Inf"`, then `_sum` and `_count`.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            let kind = match family.kind {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+                MetricKind::Histogram => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {}", family.name, kind);
+            for sample in &family.samples {
+                match &sample.value {
+                    SampleValue::Scalar(v) => {
+                        out.push_str(family.name);
+                        push_labels(&mut out, &sample.labels, None);
+                        let _ = writeln!(out, " {v}");
+                    }
+                    SampleValue::Hist(h) => {
+                        let mut cumulative = 0u64;
+                        for &(ub, n) in &h.buckets {
+                            cumulative += n;
+                            let _ = write!(out, "{}_bucket", family.name);
+                            push_labels(&mut out, &sample.labels, Some(&ub.to_string()));
+                            let _ = writeln!(out, " {cumulative}");
+                        }
+                        let _ = write!(out, "{}_bucket", family.name);
+                        push_labels(&mut out, &sample.labels, Some("+Inf"));
+                        let _ = writeln!(out, " {}", h.count);
+                        out.push_str(family.name);
+                        out.push_str("_sum");
+                        push_labels(&mut out, &sample.labels, None);
+                        let _ = writeln!(out, " {}", h.sum);
+                        out.push_str(family.name);
+                        out.push_str("_count");
+                        push_labels(&mut out, &sample.labels, None);
+                        let _ = writeln!(out, " {}", h.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as an aligned, human-readable table — the
+    /// `airsched obs` verb's output. Histograms show count/mean/p50/p95/
+    /// p99/max.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for family in &self.families {
+            for sample in &family.samples {
+                let mut name = family.name.to_string();
+                if !sample.labels.is_empty() {
+                    name.push('{');
+                    for (i, (k, v)) in sample.labels.iter().enumerate() {
+                        if i > 0 {
+                            name.push(',');
+                        }
+                        let _ = write!(name, "{k}={v}");
+                    }
+                    name.push('}');
+                }
+                let rendered = match &sample.value {
+                    SampleValue::Scalar(v) => v.to_string(),
+                    SampleValue::Hist(h) => format!(
+                        "count={} mean={:.1} p50={} p95={} p99={} max={}",
+                        h.count,
+                        if h.count == 0 {
+                            0.0
+                        } else {
+                            h.sum as f64 / h.count as f64
+                        },
+                        h.quantile(0.50).unwrap_or(0),
+                        h.quantile(0.95).unwrap_or(0),
+                        h.quantile(0.99).unwrap_or(0),
+                        h.max,
+                    ),
+                };
+                rows.push((name, rendered));
+            }
+        }
+        let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in rows {
+            let _ = writeln!(out, "{name:<width$}  {value}");
+        }
+        out
+    }
+}
+
+fn push_labels(out: &mut String, labels: &[(&'static str, String)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Sanity check: every bucket upper bound rendered into an exposition is
+/// a real bucket boundary. Exposed for tests.
+#[must_use]
+pub fn is_bucket_boundary(ub: u64) -> bool {
+    (0..crate::buckets::BUCKETS).any(|i| bucket_upper_bound(i) == ub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        let delivered_valid = reg.counter("airsched_station_delivered_total", &[("mode", "valid")]);
+        let delivered_be = reg.counter(
+            "airsched_station_delivered_total",
+            &[("mode", "best-effort")],
+        );
+        let waiting = reg.gauge("airsched_station_waiting", &[]);
+        let wait = reg.histogram("airsched_station_wait_slots", &[]);
+        delivered_valid.add(120);
+        delivered_be.add(5);
+        waiting.set(17);
+        for v in [0u64, 0, 1, 2, 3, 3, 70, 200] {
+            wait.observe(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn exposition_is_byte_exact() {
+        let snap = Snapshot::capture(&example_registry());
+        let expected = "\
+# TYPE airsched_station_delivered_total counter
+airsched_station_delivered_total{mode=\"best-effort\"} 5
+airsched_station_delivered_total{mode=\"valid\"} 120
+# TYPE airsched_station_wait_slots histogram
+airsched_station_wait_slots_bucket{le=\"0\"} 2
+airsched_station_wait_slots_bucket{le=\"1\"} 3
+airsched_station_wait_slots_bucket{le=\"2\"} 4
+airsched_station_wait_slots_bucket{le=\"3\"} 6
+airsched_station_wait_slots_bucket{le=\"71\"} 7
+airsched_station_wait_slots_bucket{le=\"207\"} 8
+airsched_station_wait_slots_bucket{le=\"+Inf\"} 8
+airsched_station_wait_slots_sum 279
+airsched_station_wait_slots_count 8
+# TYPE airsched_station_waiting gauge
+airsched_station_waiting 17
+";
+        assert_eq!(snap.render_prometheus(), expected);
+    }
+
+    #[test]
+    fn exposition_is_stable_across_registration_order() {
+        let reg = MetricsRegistry::new();
+        // Register in the reverse order of example_registry().
+        let wait = reg.histogram("airsched_station_wait_slots", &[]);
+        let waiting = reg.gauge("airsched_station_waiting", &[]);
+        let delivered_be = reg.counter(
+            "airsched_station_delivered_total",
+            &[("mode", "best-effort")],
+        );
+        let delivered_valid = reg.counter("airsched_station_delivered_total", &[("mode", "valid")]);
+        delivered_valid.add(120);
+        delivered_be.add(5);
+        waiting.set(17);
+        for v in [0u64, 0, 1, 2, 3, 3, 70, 200] {
+            wait.observe(v);
+        }
+        let a = Snapshot::capture(&example_registry()).render_prometheus();
+        let b = Snapshot::capture(&reg).render_prometheus();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_quantiles_match_live_histogram() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("airsched_q", &[]);
+        for v in 0..5000u64 {
+            h.observe(v * 11);
+        }
+        let snap = Snapshot::capture(&reg);
+        let captured = match &snap.family("airsched_q").unwrap().samples[0].value {
+            SampleValue::Hist(hs) => hs.clone(),
+            SampleValue::Scalar(_) => panic!("expected histogram"),
+        };
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(captured.quantile(q), h.quantile(q));
+        }
+        for &(ub, _) in &captured.buckets {
+            assert!(is_bucket_boundary(ub), "rogue bucket bound {ub}");
+        }
+    }
+
+    #[test]
+    fn scalar_total_sums_across_labels() {
+        let snap = Snapshot::capture(&example_registry());
+        assert_eq!(snap.scalar_total("airsched_station_delivered_total"), 125);
+        assert_eq!(snap.scalar_total("airsched_station_wait_slots"), 8);
+        assert_eq!(snap.scalar_total("absent"), 0);
+    }
+
+    #[test]
+    fn table_lists_every_series() {
+        let table = Snapshot::capture(&example_registry()).render_table();
+        assert!(table.contains("airsched_station_delivered_total{mode=valid}"));
+        assert!(table.contains("airsched_station_waiting"));
+        assert!(table.contains("p95="));
+        assert_eq!(table.lines().count(), 4);
+    }
+}

@@ -1,0 +1,218 @@
+//! A plain (non-atomic) log-bucket histogram for single-writer
+//! aggregation pipelines — the bounded-memory replacement for "keep every
+//! sample in a sorted `Vec`". Shares its bucket layout (and therefore its
+//! error bound) with the registry's atomic [`crate::metrics::Histogram`]:
+//! quantiles are exact for values `< 64` and within 12.5% relative error
+//! above, regardless of how many samples were recorded.
+
+use crate::buckets::{bucket_index, bucket_upper_bound, BUCKETS};
+
+/// A fixed-size log-linear histogram over `u64` samples.
+///
+/// Memory is constant (`BUCKETS` counters) no matter how many samples are
+/// recorded; `merge` is a plain per-bucket addition, so shard order never
+/// changes the result.
+///
+/// # Examples
+///
+/// ```
+/// use airsched_obs::hist::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for d in [0u64, 0, 1, 2, 10] {
+///     h.record(d);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.quantile(0.5), Some(1)); // exact below 64
+/// assert_eq!(h.quantile(1.0), Some(10));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.total)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact sum of all samples (saturating at `u64::MAX`).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact largest sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty) — exact, from the tracked sum.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by the nearest-rank method over
+    /// buckets, reported as the bucket's upper bound clamped to the exact
+    /// maximum. `None` when empty.
+    ///
+    /// Exact for values `< 64`; at most 12.5% relative error above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_upper_bound(idx).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Absorbs another histogram (per-bucket addition): shard merges are
+    /// order-independent.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| (bucket_upper_bound(idx), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_neutral() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn small_values_give_exact_quantiles() {
+        let mut h = LogHistogram::new();
+        for d in [0u64, 0, 1, 2, 10] {
+            h.record(d);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.9), Some(10));
+        assert_eq!(h.quantile(1.0), Some(10));
+        assert_eq!(h.mean(), 2.6);
+        assert_eq!(h.max(), 10);
+    }
+
+    #[test]
+    fn large_values_stay_within_the_error_bound() {
+        let mut h = LogHistogram::new();
+        for v in 0..100_000u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let approx = h.quantile(q).unwrap() as f64;
+            let exact = (q * 100_000.0).ceil() - 1.0;
+            assert!(
+                approx >= exact && approx <= exact * 1.125 + 1.0,
+                "q{q}: approx {approx} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), Some(99_999)); // clamped to exact max
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in 0..1000u64 {
+            whole.record(v * 7);
+            if v % 2 == 0 {
+                a.record(v * 7);
+            } else {
+                b.record(v * 7);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert!(ab == whole && ba == whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_out_of_range_panics() {
+        let _ = LogHistogram::new().quantile(1.5);
+    }
+}

@@ -1,0 +1,264 @@
+//! Flight-recorder observability for the airsched stack.
+//!
+//! A std-only (the offline build image cannot reach crates.io, so no
+//! `tracing`/`prometheus`) instrumentation core in three parts:
+//!
+//! - [`metrics::MetricsRegistry`] — named counters, gauges, and
+//!   fixed-bucket log-scale histograms. Hot-path handles are relaxed
+//!   atomics (`Counter::inc` is one `fetch_add`), so the zero-allocation
+//!   serving loop stays zero-allocation when instrumented.
+//! - [`events::FlightRecorder`] — a bounded ring buffer of typed,
+//!   **slot-indexed** [`events::Event`]s (deterministic across runs),
+//!   dumpable as stable JSONL; [`events::Postmortem`] captures the
+//!   recent history when the station degrades.
+//! - [`export::Snapshot`] — in-process scraping plus byte-deterministic
+//!   Prometheus text exposition and a human-readable table.
+//!
+//! The [`Obs`] handle bundles all three. It is threaded through the
+//! stack as an *optional* component: constructing a station, receiver,
+//! or planner without one keeps exactly the uninstrumented behavior.
+//!
+//! Metric names follow `airsched_<subsystem>_<name>{label=...}`; see
+//! DESIGN.md §10 for the full schema and event taxonomy.
+//!
+//! # Examples
+//!
+//! ```
+//! use airsched_obs::{Obs, events::Event};
+//!
+//! let obs = Obs::new();
+//! let served = obs.registry().counter("airsched_station_delivered_total", &[]);
+//! served.add(3);
+//! obs.record(Event::ModeChange {
+//!     from: "valid".into(),
+//!     to: "repacked".into(),
+//!     slot: 41,
+//!     cause: "channel_down".into(),
+//! });
+//! assert!(obs.render_prometheus().contains("airsched_station_delivered_total 3"));
+//! assert_eq!(obs.events_jsonl().lines().count(), 1);
+//! ```
+
+pub mod buckets;
+pub mod events;
+pub mod export;
+pub mod hist;
+pub mod metrics;
+
+use std::sync::{Arc, Mutex};
+
+use events::{Event, FlightRecorder, Postmortem};
+use export::Snapshot;
+use metrics::MetricsRegistry;
+
+/// How many trailing events a [`Postmortem`] captures.
+pub const POSTMORTEM_EVENTS: usize = 64;
+
+struct ObsInner {
+    registry: MetricsRegistry,
+    recorder: Mutex<FlightRecorder>,
+    postmortems: Mutex<Vec<Postmortem>>,
+}
+
+/// The shared observability handle: one metrics registry plus one flight
+/// recorder. Cloning is cheap (an `Arc`) and every clone sees the same
+/// state, so the handle can be passed to a station, its health monitor,
+/// and a receiver simultaneously.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Arc<ObsInner>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Obs")
+            .field("registry", &self.inner.registry)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Obs {
+    /// A fresh handle with the default flight-recorder capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_recorder_capacity(events::DEFAULT_RECORDER_CAPACITY)
+    }
+
+    /// A fresh handle whose flight recorder holds at most `capacity`
+    /// events.
+    #[must_use]
+    pub fn with_recorder_capacity(capacity: usize) -> Self {
+        Obs {
+            inner: Arc::new(ObsInner {
+                registry: MetricsRegistry::new(),
+                recorder: Mutex::new(FlightRecorder::new(capacity)),
+                postmortems: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The metrics registry, for registering counters/gauges/histograms.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    /// Records an event into the flight recorder.
+    pub fn record(&self, event: Event) {
+        self.inner
+            .recorder
+            .lock()
+            .expect("flight recorder poisoned")
+            .record(event);
+    }
+
+    /// Drains `events` into the flight recorder in order, under a single
+    /// recorder lock — the hot-path way to record several events from one
+    /// batch (e.g. a tick's deadline misses). The vector is left empty
+    /// with its capacity intact, ready to be refilled. A no-op (no lock
+    /// taken) when `events` is empty.
+    pub fn record_batch(&self, events: &mut Vec<Event>) {
+        if events.is_empty() {
+            return;
+        }
+        let mut recorder = self
+            .inner
+            .recorder
+            .lock()
+            .expect("flight recorder poisoned");
+        for event in events.drain(..) {
+            recorder.record(event);
+        }
+    }
+
+    /// The last `n` recorded events, oldest first.
+    #[must_use]
+    pub fn recent_events(&self, n: usize) -> Vec<Event> {
+        self.inner
+            .recorder
+            .lock()
+            .expect("flight recorder poisoned")
+            .recent(n)
+    }
+
+    /// Total events ever recorded (including ones evicted from the
+    /// ring).
+    #[must_use]
+    pub fn events_recorded(&self) -> u64 {
+        self.inner
+            .recorder
+            .lock()
+            .expect("flight recorder poisoned")
+            .recorded()
+    }
+
+    /// Captures a black-box postmortem: the recorder's last
+    /// [`POSTMORTEM_EVENTS`] events, stamped with the triggering mode.
+    /// The dump is stored on the handle (see [`Obs::take_postmortems`])
+    /// and returned.
+    pub fn capture_postmortem(&self, slot: u64, trigger: &str) -> Postmortem {
+        let events = self.recent_events(POSTMORTEM_EVENTS);
+        let pm = Postmortem {
+            slot,
+            trigger: trigger.to_string(),
+            events,
+        };
+        self.inner
+            .postmortems
+            .lock()
+            .expect("postmortems poisoned")
+            .push(pm.clone());
+        pm
+    }
+
+    /// Drains the stored postmortems, oldest first.
+    #[must_use]
+    pub fn take_postmortems(&self) -> Vec<Postmortem> {
+        std::mem::take(&mut *self.inner.postmortems.lock().expect("postmortems poisoned"))
+    }
+
+    /// Captures a point-in-time snapshot of the registry.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(&self.inner.registry)
+    }
+
+    /// Renders the registry in Prometheus text exposition format
+    /// (deterministic for seeded runs).
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+
+    /// Renders the flight recorder's held events as JSONL, oldest first.
+    #[must_use]
+    pub fn events_jsonl(&self) -> String {
+        self.inner
+            .recorder
+            .lock()
+            .expect("flight recorder poisoned")
+            .to_jsonl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::new();
+        let twin = obs.clone();
+        let c = obs.registry().counter("airsched_shared_total", &[]);
+        c.inc();
+        let snap = twin.snapshot();
+        assert_eq!(snap.scalar_total("airsched_shared_total"), 1);
+        twin.record(Event::PlanRejected {
+            slot: 1,
+            rule_ids: vec!["AP01".into()],
+        });
+        assert_eq!(obs.recent_events(8).len(), 1);
+        assert_eq!(obs.events_recorded(), 1);
+    }
+
+    #[test]
+    fn postmortem_captures_recent_history_and_drains_once() {
+        let obs = Obs::with_recorder_capacity(8);
+        for slot in 0..20u64 {
+            obs.record(Event::PlanRejected {
+                slot,
+                rule_ids: vec![],
+            });
+        }
+        let pm = obs.capture_postmortem(20, "best-effort");
+        assert_eq!(pm.trigger, "best-effort");
+        assert_eq!(pm.events.len(), 8); // ring capacity bounds the dump
+        assert_eq!(pm.events.first().map(Event::slot), Some(12));
+        let stored = obs.take_postmortems();
+        assert_eq!(stored, vec![pm]);
+        assert!(obs.take_postmortems().is_empty());
+    }
+
+    #[test]
+    fn jsonl_dump_round_trips() {
+        let obs = Obs::new();
+        obs.record(Event::DeadlineMiss {
+            page: 3,
+            slot: 99,
+            wait: 12,
+            expected: 8,
+        });
+        let dump = obs.events_jsonl();
+        let parsed: Vec<Event> = dump
+            .lines()
+            .map(|l| Event::parse_jsonl(l).unwrap())
+            .collect();
+        assert_eq!(parsed, obs.recent_events(16));
+    }
+}

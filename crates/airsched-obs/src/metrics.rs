@@ -1,0 +1,489 @@
+//! The metrics registry: named counters, gauges, and atomic log-bucket
+//! histograms with hot-path handles.
+//!
+//! Handles are `Arc`-shared atomics — `Counter::inc` is a single relaxed
+//! `fetch_add`, so instrumenting an allocation-free serving loop adds no
+//! allocation and no lock. Registration (the cold path) goes through a
+//! mutex and dedupes by `(name, labels)`: registering the same series
+//! twice hands back a handle to the same underlying atomic.
+//!
+//! All values are `u64`. Keeping floats out of the registry makes the
+//! Prometheus exposition of a seeded run byte-for-byte reproducible,
+//! which the CI golden diff relies on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::buckets::{bucket_index, bucket_upper_bound, BUCKETS};
+
+/// A monotonically increasing counter. Cheap to clone (an `Arc`).
+///
+/// # Examples
+///
+/// ```
+/// use airsched_obs::metrics::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// let served = reg.counter("airsched_station_delivered_total", &[("mode", "valid")]);
+/// served.inc();
+/// served.add(3);
+/// assert_eq!(served.get(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one. One relaxed atomic add — safe in the hot path.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Stores an absolute value with a plain relaxed store — no locked
+    /// read-modify-write, so a tight loop can mirror an internally-kept
+    /// total into the series for nearly free.
+    ///
+    /// Single-writer only: concurrent `store` / `inc` callers on the same
+    /// series lose updates (last writer wins). Use it for series with one
+    /// authoritative owner — e.g. a station mirroring its own stats —
+    /// and keep `inc`/`add` for series shared by many writers.
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can be set to arbitrary `u64`s.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic log-bucket histogram sharing the [`crate::buckets`] layout:
+/// p50/p95/p99/max without storing samples (exact `< 64`, ≤12.5% relative
+/// error above). `observe` is three relaxed adds and a `fetch_max`.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[derive(Debug)]
+struct HistogramInner {
+    counts: Box<[AtomicU64]>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        let counts: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            counts: counts.into_boxed_slice(),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let inner = &*self.0;
+        inner.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.total.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Single-writer sibling of [`Histogram::observe`]: bumps only the
+    /// value's bucket, with a relaxed load + store instead of a locked
+    /// `fetch_add`, and touches none of the totals. The owner must follow
+    /// up with [`Histogram::store_totals`] (e.g. once per batch) to keep
+    /// `count`/`sum`/`max` coherent; readers in between may see bucket
+    /// counts momentarily ahead of the totals.
+    ///
+    /// Like [`Counter::store`], this is only sound for a series with one
+    /// authoritative writer — concurrent writers lose samples.
+    #[inline]
+    pub fn observe_bucket(&self, value: u64) {
+        let slot = &self.0.counts[bucket_index(value)];
+        slot.store(slot.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+
+    /// Stores the aggregate totals directly (single-writer counterpart of
+    /// the bookkeeping `observe` does per sample). `count` must equal the
+    /// sum of all bucket counts for quantiles to be meaningful.
+    #[inline]
+    pub fn store_totals(&self, count: u64, sum: u64, max: u64) {
+        self.0.total.store(count, Ordering::Relaxed);
+        self.0.sum.store(sum, Ordering::Relaxed);
+        self.0.max.store(max, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping on `u64` overflow).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest rank over buckets,
+    /// clamped to the exact max. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, slot) in self.0.counts.iter().enumerate() {
+            seen += slot.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(bucket_upper_bound(idx).min(self.max()));
+            }
+        }
+        Some(self.max())
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs, ascending.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.0
+            .counts
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| {
+                let n = slot.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_upper_bound(idx), n))
+            })
+            .collect()
+    }
+}
+
+/// What kind of series a registry entry is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing counter.
+    Counter,
+    /// Arbitrarily settable value.
+    Gauge,
+    /// Log-bucket distribution.
+    Histogram,
+}
+
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct MetricEntry {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+    series: Series,
+}
+
+/// A registry of named metric series. Cloning shares the registry.
+///
+/// Names follow the `airsched_<subsystem>_<name>` schema (see DESIGN.md
+/// §10); labels distinguish series within a family (same name, different
+/// label values). Registration dedupes: asking for an existing
+/// `(name, labels)` pair returns a handle to the same atomic, so wiring
+/// code never needs to thread handles around just to avoid double
+/// registration.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    entries: Arc<Mutex<Vec<MetricEntry>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let n = self.entries.lock().map_or(0, |e| e.len());
+        f.debug_struct("MetricsRegistry")
+            .field("series", &n)
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry {
+            entries: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Registers (or finds) a counter series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `(name, labels)` pair is already registered as a
+    /// different metric kind.
+    #[must_use]
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        if let Some(entry) = find(&entries, name, labels) {
+            match &entry.series {
+                Series::Counter(c) => return c.clone(),
+                _ => panic!("metric {name} already registered with a different kind"),
+            }
+        }
+        let c = Counter(Arc::new(AtomicU64::new(0)));
+        entries.push(MetricEntry {
+            name,
+            labels: own(labels),
+            series: Series::Counter(c.clone()),
+        });
+        c
+    }
+
+    /// Registers (or finds) a gauge series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `(name, labels)` pair is already registered as a
+    /// different metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        if let Some(entry) = find(&entries, name, labels) {
+            match &entry.series {
+                Series::Gauge(g) => return g.clone(),
+                _ => panic!("metric {name} already registered with a different kind"),
+            }
+        }
+        let g = Gauge(Arc::new(AtomicU64::new(0)));
+        entries.push(MetricEntry {
+            name,
+            labels: own(labels),
+            series: Series::Gauge(g.clone()),
+        });
+        g
+    }
+
+    /// Registers (or finds) a histogram series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `(name, labels)` pair is already registered as a
+    /// different metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Histogram {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        if let Some(entry) = find(&entries, name, labels) {
+            match &entry.series {
+                Series::Histogram(h) => return h.clone(),
+                _ => panic!("metric {name} already registered with a different kind"),
+            }
+        }
+        let h = Histogram::new();
+        entries.push(MetricEntry {
+            name,
+            labels: own(labels),
+            series: Series::Histogram(h.clone()),
+        });
+        h
+    }
+
+    /// Visits every registered series in registration order.
+    pub(crate) fn visit<F>(&self, mut f: F)
+    where
+        F: FnMut(&'static str, &[(&'static str, String)], MetricKind, SeriesValue),
+    {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        for entry in entries.iter() {
+            match &entry.series {
+                Series::Counter(c) => f(
+                    entry.name,
+                    &entry.labels,
+                    MetricKind::Counter,
+                    SeriesValue::Scalar(c.get()),
+                ),
+                Series::Gauge(g) => f(
+                    entry.name,
+                    &entry.labels,
+                    MetricKind::Gauge,
+                    SeriesValue::Scalar(g.get()),
+                ),
+                Series::Histogram(h) => f(
+                    entry.name,
+                    &entry.labels,
+                    MetricKind::Histogram,
+                    SeriesValue::Hist(h.clone()),
+                ),
+            }
+        }
+    }
+}
+
+/// A visited series' current value.
+pub(crate) enum SeriesValue {
+    Scalar(u64),
+    Hist(Histogram),
+}
+
+fn find<'a>(
+    entries: &'a [MetricEntry],
+    name: &str,
+    labels: &[(&'static str, &str)],
+) -> Option<&'a MetricEntry> {
+    entries.iter().find(|e| {
+        e.name == name
+            && e.labels.len() == labels.len()
+            && e.labels
+                .iter()
+                .zip(labels)
+                .all(|((ak, av), (bk, bv))| ak == bk && av == bv)
+    })
+}
+
+fn own(labels: &[(&'static str, &str)]) -> Vec<(&'static str, String)> {
+    labels.iter().map(|&(k, v)| (k, v.to_string())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_dedupe_by_name_and_labels() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("airsched_test_total", &[("mode", "valid")]);
+        let b = reg.counter("airsched_test_total", &[("mode", "valid")]);
+        let other = reg.counter("airsched_test_total", &[("mode", "offline")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_are_rejected() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("airsched_test_total", &[]);
+        let _ = reg.gauge("airsched_test_total", &[]);
+    }
+
+    #[test]
+    fn gauge_set_and_get() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("airsched_station_waiting", &[]);
+        g.set(41);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_quantiles_match_plain_histogram() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("airsched_station_wait_slots", &[]);
+        let mut plain = crate::hist::LogHistogram::new();
+        for v in 0..10_000u64 {
+            h.observe(v * 3);
+            plain.record(v * 3);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), plain.quantile(q), "q{q} diverged");
+        }
+        assert_eq!(h.count(), plain.count());
+        assert_eq!(h.sum(), plain.sum());
+        assert_eq!(h.max(), plain.max());
+        assert_eq!(
+            h.nonzero_buckets(),
+            plain.nonzero_buckets().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_writer_path_matches_observe() {
+        let reg = MetricsRegistry::new();
+        let rmw = reg.histogram("airsched_rmw", &[]);
+        let sw = reg.histogram("airsched_sw", &[]);
+        let (mut count, mut sum, mut max) = (0u64, 0u64, 0u64);
+        for v in [0u64, 1, 63, 64, 100, 4096, 1_000_000] {
+            rmw.observe(v);
+            sw.observe_bucket(v);
+            count += 1;
+            sum += v;
+            max = max.max(v);
+        }
+        sw.store_totals(count, sum, max);
+        assert_eq!(sw.count(), rmw.count());
+        assert_eq!(sw.sum(), rmw.sum());
+        assert_eq!(sw.max(), rmw.max());
+        assert_eq!(sw.nonzero_buckets(), rmw.nonzero_buckets());
+        for q in [0.5, 0.95, 1.0] {
+            assert_eq!(sw.quantile(q), rmw.quantile(q), "q{q} diverged");
+        }
+        let c = reg.counter("airsched_sw_total", &[]);
+        c.store(41);
+        c.inc();
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn histograms_shared_across_threads() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("airsched_threaded", &[]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for v in 0..1000 {
+                        h.observe(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.max(), 999);
+    }
+}

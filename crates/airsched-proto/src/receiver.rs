@@ -14,11 +14,21 @@
 //! corrupt frames tunes the receiver away from the air entirely for the
 //! policy's backoff window. [`Receiver::new`] keeps the legacy
 //! behaviour — unlimited patience — via [`RetryPolicy::unlimited`].
+//!
+//! Receivers can optionally export their counters to an
+//! [`airsched_obs::Obs`] handle via [`Receiver::attach_obs`]. All
+//! receivers attached to the same handle share one set of
+//! `airsched_receiver_*_total` series (the registry dedupes by name), so
+//! the exported numbers are fleet aggregates; per-receiver figures remain
+//! available through [`Receiver::stats`]. An unattached receiver pays
+//! nothing.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use airsched_core::retry::RetryPolicy;
 use airsched_core::types::PageId;
+use airsched_obs::metrics::Counter;
+use airsched_obs::Obs;
 use bytes::Bytes;
 
 use crate::frame::Frame;
@@ -51,6 +61,35 @@ pub struct ReceiverStats {
     pub tune_aways: u64,
     /// Frames ignored because they arrived inside a backoff window.
     pub ignored: u64,
+}
+
+/// Hot-path metric handles mirroring [`ReceiverStats`], one relaxed
+/// atomic add per increment. Shared across every receiver attached to the
+/// same [`Obs`] handle.
+#[derive(Debug, Clone)]
+struct ReceiverObs {
+    frames: Counter,
+    hits: Counter,
+    gaps: Counter,
+    corrupt: Counter,
+    abandoned: Counter,
+    tune_aways: Counter,
+    ignored: Counter,
+}
+
+impl ReceiverObs {
+    fn new(obs: &Obs) -> Self {
+        let registry = obs.registry();
+        Self {
+            frames: registry.counter("airsched_receiver_frames_total", &[]),
+            hits: registry.counter("airsched_receiver_hits_total", &[]),
+            gaps: registry.counter("airsched_receiver_gaps_total", &[]),
+            corrupt: registry.counter("airsched_receiver_corrupt_total", &[]),
+            abandoned: registry.counter("airsched_receiver_abandoned_total", &[]),
+            tune_aways: registry.counter("airsched_receiver_tune_aways_total", &[]),
+            ignored: registry.counter("airsched_receiver_ignored_total", &[]),
+        }
+    }
 }
 
 /// A client-side receiver with a set of wanted pages.
@@ -102,6 +141,7 @@ pub struct Receiver {
     backoff_until: Option<u64>,
     last_slot: Option<u64>,
     stats: ReceiverStats,
+    obs: Option<ReceiverObs>,
 }
 
 impl Receiver {
@@ -122,7 +162,15 @@ impl Receiver {
             backoff_until: None,
             last_slot: None,
             stats: ReceiverStats::default(),
+            obs: None,
         }
+    }
+
+    /// Exports this receiver's counters through `obs` as
+    /// `airsched_receiver_*_total` series. Counters are shared (summed)
+    /// across every receiver attached to the same handle.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = Some(ReceiverObs::new(obs));
     }
 
     /// Pages still outstanding.
@@ -176,8 +224,14 @@ impl Receiver {
     /// the client is not listening, so even a wanted page passes it by.
     pub fn consume(&mut self, frame: &Frame) -> Option<Reception> {
         self.stats.frames += 1;
+        if let Some(o) = &self.obs {
+            o.frames.inc();
+        }
         if self.is_backing_off(frame.slot_time) {
             self.stats.ignored += 1;
+            if let Some(o) = &self.obs {
+                o.ignored.inc();
+            }
             return None;
         }
         self.backoff_until = None;
@@ -189,6 +243,9 @@ impl Receiver {
         if self.wanted.remove(&page) {
             self.attempts.remove(&page);
             self.stats.hits += 1;
+            if let Some(o) = &self.obs {
+                o.hits.inc();
+            }
             Some(Reception {
                 page,
                 slot_time: frame.slot_time,
@@ -209,13 +266,22 @@ impl Receiver {
     /// tune-away: the receiver stops listening for `backoff_slots` slots.
     pub fn consume_corrupt(&mut self, frame: &Frame) -> Option<PageId> {
         self.stats.frames += 1;
+        if let Some(o) = &self.obs {
+            o.frames.inc();
+        }
         if self.is_backing_off(frame.slot_time) {
             self.stats.ignored += 1;
+            if let Some(o) = &self.obs {
+                o.ignored.inc();
+            }
             return None;
         }
         self.backoff_until = None;
         self.track_slot(frame.slot_time);
         self.stats.corrupt += 1;
+        if let Some(o) = &self.obs {
+            o.corrupt.inc();
+        }
 
         let mut gave_up = None;
         if let Some(page) = frame.page {
@@ -227,6 +293,9 @@ impl Receiver {
                     self.attempts.remove(&page);
                     self.abandoned.insert(page);
                     self.stats.abandoned += 1;
+                    if let Some(o) = &self.obs {
+                        o.abandoned.inc();
+                    }
                     gave_up = Some(page);
                 }
             }
@@ -237,6 +306,9 @@ impl Receiver {
             self.corrupt_run = 0;
             self.backoff_until = Some(frame.slot_time + 1 + self.policy.backoff_slots());
             self.stats.tune_aways += 1;
+            if let Some(o) = &self.obs {
+                o.tune_aways.inc();
+            }
         }
         gave_up
     }
@@ -253,6 +325,9 @@ impl Receiver {
         if let Some(last) = self.last_slot {
             if slot_time > last + 1 {
                 self.stats.gaps += 1;
+                if let Some(o) = &self.obs {
+                    o.gaps.inc();
+                }
             }
         }
         self.last_slot = Some(self.last_slot.map_or(slot_time, |l| l.max(slot_time)));
@@ -402,6 +477,46 @@ mod tests {
         assert_eq!(rx.stats().tune_aways, 0);
         rx.consume_corrupt(&data(3, 9));
         assert_eq!(rx.stats().tune_aways, 1);
+    }
+
+    #[test]
+    fn attached_obs_counters_mirror_stats_exactly() {
+        let obs = airsched_obs::Obs::new();
+        let policy = RetryPolicy::new(2).unwrap().with_tune_away(3, 4).unwrap();
+        let mut rx = Receiver::with_policy([PageId::new(1), PageId::new(2)], policy);
+        rx.attach_obs(&obs);
+        // Exercise every counter: a hit, a gap, corruption to abandonment,
+        // a tune-away, and an ignored in-backoff frame.
+        assert!(rx.consume(&data(0, 1)).is_some());
+        rx.consume(&Frame::idle(ChannelId::new(0), 5)); // gap
+        rx.consume_corrupt(&data(6, 2));
+        rx.consume_corrupt(&data(7, 2)); // budget gone: abandoned
+        rx.consume_corrupt(&data(8, 9)); // third in a row: tune away
+        assert!(rx.consume(&data(9, 9)).is_none()); // ignored (backing off)
+
+        let snapshot = obs.snapshot();
+        let stats = rx.stats();
+        for (name, want) in [
+            ("airsched_receiver_frames_total", stats.frames),
+            ("airsched_receiver_hits_total", stats.hits),
+            ("airsched_receiver_gaps_total", stats.gaps),
+            ("airsched_receiver_corrupt_total", stats.corrupt),
+            ("airsched_receiver_abandoned_total", stats.abandoned),
+            ("airsched_receiver_tune_aways_total", stats.tune_aways),
+            ("airsched_receiver_ignored_total", stats.ignored),
+        ] {
+            assert!(want > 0, "{name}: test failed to exercise the counter");
+            assert_eq!(snapshot.scalar_total(name), want, "{name} diverged");
+        }
+    }
+
+    #[test]
+    fn unattached_receiver_registers_nothing() {
+        let obs = airsched_obs::Obs::new();
+        let mut rx = Receiver::new([PageId::new(1)]);
+        assert!(rx.consume(&data(0, 1)).is_some());
+        assert!(obs.snapshot().families.is_empty());
+        assert_eq!(rx.stats().hits, 1);
     }
 
     #[test]

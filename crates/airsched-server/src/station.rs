@@ -55,8 +55,20 @@
 //! can dry-run the same check with [`Station::propose_plan`], and chaos
 //! tests corrupt candidates upstream of the gate with
 //! [`Station::set_plan_corruptor`].
+//!
+//! ## Observability
+//!
+//! [`Station::attach_obs`] hooks an [`airsched_obs::Obs`] handle into the
+//! serving loop: per-mode delivery counters, a wait histogram, channel
+//! health / mode-change / plan-gate flight-recorder events, and an
+//! automatic black-box postmortem whenever the ladder drops onto
+//! [`Mode::BestEffort`] or [`Mode::Offline`]. The handle is optional — a
+//! station built without one behaves exactly as before, and the hot path
+//! pays only relaxed atomic adds when one is attached (see DESIGN.md §10
+//! for the metric schema).
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use airsched_core::bound::minimum_channels_for_times;
 use airsched_core::degrade;
@@ -66,6 +78,10 @@ use airsched_core::program::BroadcastProgram;
 use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
 
 use airsched_lint::{lint, LintConfig, LintInput, LintReport, Severity};
+
+use airsched_obs::events::{Event as ObsEvent, HealthTransition};
+use airsched_obs::metrics::{Counter, Gauge, Histogram};
+use airsched_obs::Obs;
 
 use crate::faults::{FaultInjector, FaultPlan, SlotFaults};
 use crate::health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
@@ -122,6 +138,12 @@ impl Mode {
         matches!(self, Self::Valid | Self::Repacked)
     }
 
+    /// Stable lowercase name, used in metric labels and event fields.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        MODE_NAMES[self.index()]
+    }
+
     fn index(self) -> usize {
         match self {
             Self::Valid => 0,
@@ -132,14 +154,12 @@ impl Mode {
     }
 }
 
+/// Mode names indexed by [`Mode::index`].
+const MODE_NAMES: [&str; 4] = ["valid", "repacked", "best-effort", "offline"];
+
 impl core::fmt::Display for Mode {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(match self {
-            Self::Valid => "valid",
-            Self::Repacked => "repacked",
-            Self::BestEffort => "best-effort",
-            Self::Offline => "offline",
-        })
+        f.write_str(self.name())
     }
 }
 
@@ -342,6 +362,14 @@ pub struct StationStats {
     pub plan_rejections: u64,
     /// Warn-level lint diagnostics observed across gated candidates.
     pub plan_warnings: u64,
+    /// Degradation-ladder mode transitions in either direction (the sum
+    /// of `failovers + repacks + recoveries + drops to offline`) — the
+    /// counter twin of the flight recorder's `ModeChange` event stream,
+    /// so the two can be cross-checked.
+    pub mode_changes: u64,
+    /// Slot of the most recent mode transition, `None` while the station
+    /// has never left its initial mode.
+    pub last_mode_change_slot: Option<u64>,
     per_mode: [ModeTally; 4],
 }
 
@@ -434,6 +462,172 @@ enum ActivePlan {
     Offline,
 }
 
+/// Replan stage names indexed by the `STAGE_*` constants below.
+const STAGE_NAMES: [&str; 2] = ["repack", "pamad"];
+const STAGE_REPACK: usize = 0;
+const STAGE_PAMAD: usize = 1;
+
+/// Health-transition labels indexed by [`transition_index`].
+const TRANSITION_NAMES: [&str; 4] = ["down", "up", "degraded", "healthy"];
+
+fn transition_index(t: HealthTransition) -> usize {
+    match t {
+        HealthTransition::Down => 0,
+        HealthTransition::Up => 1,
+        HealthTransition::Degraded => 2,
+        HealthTransition::Healthy => 3,
+    }
+}
+
+/// Pre-registered metric handles for one instrumented station.
+///
+/// The serving-path series are **single-writer mirrors** of
+/// [`StationStats`]: the tick loop does no per-delivery atomic
+/// read-modify-write at all. Deliveries bump only their wait bucket
+/// (one relaxed load + store on the station's own histogram), and the
+/// end of each tick re-stores the scalar series straight from the stats
+/// the uninstrumented loop maintains anyway — a handful of plain relaxed
+/// stores, no locked instructions. This is what keeps the instrumented
+/// station within a few percent of the plain one. Rare-path series
+/// (mode changes, plan verdicts, health transitions, replans, fault
+/// frames) stay `inc`/`add` at their event sites so they are exact even
+/// between ticks.
+#[derive(Debug, Clone)]
+struct StationObs {
+    obs: Obs,
+    slots: Counter,
+    delivered: [Counter; 4],
+    on_time: [Counter; 4],
+    deadline_miss: Counter,
+    degraded_slots: Counter,
+    mode_changes: Counter,
+    plan_rejections: Counter,
+    plan_warnings: Counter,
+    stalled_frames: Counter,
+    corrupt_frames: Counter,
+    health_transitions: [Counter; 4],
+    replan_runs: [Counter; 2],
+    replan_evals: [Counter; 2],
+    waiting: Gauge,
+    channels_up: Gauge,
+    mode: Gauge,
+    wait_hist: Histogram,
+    /// Largest delivery wait seen, tracked as a plain local so the hot
+    /// loop never needs an atomic `fetch_max`; mirrored into the
+    /// histogram's totals at end of tick.
+    wait_max: u64,
+    /// Stats baseline captured at attach time: the wait histogram only
+    /// buckets deliveries made *since* attach, so its totals subtract the
+    /// pre-attach history to stay consistent with its buckets.
+    base_delivered: u64,
+    base_wait: u64,
+    /// Reused scratch for the tick's `DeadlineMiss` events, drained into
+    /// the recorder under a single lock at end of tick.
+    miss_scratch: Vec<ObsEvent>,
+}
+
+impl StationObs {
+    fn new(obs: &Obs) -> Self {
+        let reg = obs.registry();
+        Self {
+            obs: obs.clone(),
+            slots: reg.counter("airsched_station_slots_total", &[]),
+            delivered: core::array::from_fn(|i| {
+                reg.counter(
+                    "airsched_station_delivered_total",
+                    &[("mode", MODE_NAMES[i])],
+                )
+            }),
+            on_time: core::array::from_fn(|i| {
+                reg.counter("airsched_station_on_time_total", &[("mode", MODE_NAMES[i])])
+            }),
+            deadline_miss: reg.counter("airsched_station_deadline_miss_total", &[]),
+            degraded_slots: reg.counter("airsched_station_degraded_slots_total", &[]),
+            mode_changes: reg.counter("airsched_station_mode_changes_total", &[]),
+            plan_rejections: reg.counter("airsched_station_plan_rejections_total", &[]),
+            plan_warnings: reg.counter("airsched_station_plan_warnings_total", &[]),
+            stalled_frames: reg.counter("airsched_station_stalled_frames_total", &[]),
+            corrupt_frames: reg.counter("airsched_station_corrupt_frames_total", &[]),
+            health_transitions: core::array::from_fn(|i| {
+                reg.counter(
+                    "airsched_health_transitions_total",
+                    &[("transition", TRANSITION_NAMES[i])],
+                )
+            }),
+            replan_runs: core::array::from_fn(|i| {
+                reg.counter("airsched_replan_runs_total", &[("stage", STAGE_NAMES[i])])
+            }),
+            replan_evals: core::array::from_fn(|i| {
+                reg.counter("airsched_replan_evals_total", &[("stage", STAGE_NAMES[i])])
+            }),
+            waiting: reg.gauge("airsched_station_waiting", &[]),
+            channels_up: reg.gauge("airsched_station_channels_up", &[]),
+            mode: reg.gauge("airsched_station_mode", &[]),
+            wait_hist: reg.histogram("airsched_station_wait_slots", &[]),
+            wait_max: 0,
+            base_delivered: 0,
+            base_wait: 0,
+            miss_scratch: Vec::new(),
+        }
+    }
+
+    /// Mirrors every stats-backed scalar series — all plain relaxed
+    /// stores. Called at attach so the registry starts exactly on the
+    /// station's lifetime stats; the per-tick path uses the narrower
+    /// [`StationObs::sync_tick`].
+    fn sync_full(&self, stats: &StationStats, channels_up: u64) {
+        for (m, tally) in stats.per_mode.iter().enumerate() {
+            self.delivered[m].store(tally.delivered);
+            self.on_time[m].store(tally.on_time);
+        }
+        self.mode_changes.store(stats.mode_changes);
+        self.plan_rejections.store(stats.plan_rejections);
+        self.plan_warnings.store(stats.plan_warnings);
+        self.sync_tick(stats, 0, channels_up);
+    }
+
+    /// End-of-tick mirror: re-stores only the series a tick can move.
+    /// Delivery tallies bump only the current mode's series, the rare
+    /// counters (`mode_changes`, plan verdicts, health, replans, fault
+    /// frames) are `inc`ed at their event sites, and everything else here
+    /// is one relaxed store — so the registry equals the stats at every
+    /// slot boundary without a single locked instruction in the tick.
+    fn sync_tick(&self, stats: &StationStats, mode: usize, channels_up: u64) {
+        self.slots.store(stats.slots_elapsed);
+        let tally = &stats.per_mode[mode];
+        self.delivered[mode].store(tally.delivered);
+        self.on_time[mode].store(tally.on_time);
+        self.deadline_miss.store(stats.delivered - stats.on_time);
+        self.degraded_slots.store(stats.degraded_slots);
+        self.waiting.set(stats.waiting);
+        self.channels_up.set(channels_up);
+        self.wait_hist.store_totals(
+            stats.delivered - self.base_delivered,
+            stats.total_wait - self.base_wait,
+            self.wait_max,
+        );
+    }
+
+    /// Mirrors one health [`ChannelEvent`] into the counter and event
+    /// streams. Called at the event's creation site, *before* any replan
+    /// it triggers, so a postmortem always shows the cause ahead of the
+    /// `ModeChange` it led to.
+    fn record_channel_event(&self, event: &ChannelEvent) {
+        let (channel, at, transition) = match *event {
+            ChannelEvent::Down { channel, at } => (channel, at, HealthTransition::Down),
+            ChannelEvent::Up { channel, at } => (channel, at, HealthTransition::Up),
+            ChannelEvent::Degraded { channel, at, .. } => (channel, at, HealthTransition::Degraded),
+            ChannelEvent::Healthy { channel, at } => (channel, at, HealthTransition::Healthy),
+        };
+        self.health_transitions[transition_index(transition)].inc();
+        self.obs.record(ObsEvent::ChannelHealth {
+            ch: channel.index(),
+            slot: at,
+            transition,
+        });
+    }
+}
+
 /// A live broadcast station.
 ///
 /// # Examples
@@ -485,6 +679,9 @@ pub struct Station {
     pending_events: Vec<ChannelEvent>,
     /// Chaos hook: mutates replan candidates before the lint gate.
     corruptor: Option<PlanCorruptor>,
+    /// Optional observability wiring; `None` keeps the exact
+    /// uninstrumented behavior.
+    obs: Option<StationObs>,
 }
 
 impl Station {
@@ -510,7 +707,37 @@ impl Station {
             active: ActivePlan::Full,
             pending_events: Vec::new(),
             corruptor: None,
+            obs: None,
         })
+    }
+
+    /// Attaches an observability handle: the station registers its metric
+    /// series on `obs`'s registry and starts feeding the flight recorder.
+    /// The serving-path series are single-writer mirrors of
+    /// [`StationStats`], synced at attach and at every slot boundary, so
+    /// they reflect the station's lifetime stats; the wait histogram
+    /// buckets deliveries made from attach onward. Entering
+    /// [`Mode::BestEffort`] or [`Mode::Offline`] from now on captures a
+    /// black-box postmortem on the handle.
+    ///
+    /// The station must be the series' only writer: attach each station
+    /// (and each clone of an instrumented station — clones share the
+    /// handle) to its own `Obs`, or their absolute stores will clobber
+    /// one another. The retained seed path [`Station::tick_reference`]
+    /// stays uninstrumented by design.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        let mut wired = StationObs::new(obs);
+        wired.base_delivered = self.stats.delivered;
+        wired.base_wait = self.stats.total_wait;
+        wired.mode.set(self.mode.index() as u64);
+        wired.sync_full(&self.stats, u64::from(self.channels_up()));
+        self.obs = Some(wired);
+    }
+
+    /// The attached observability handle, if any.
+    #[must_use]
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref().map(|o| &o.obs)
     }
 
     /// Creates a station with a [`FaultPlan`] attached: every tick first
@@ -548,7 +775,7 @@ impl Station {
     /// ladder under it.
     pub fn set_degradation_policy(&mut self, policy: DegradationPolicy) {
         self.policy = policy;
-        self.refresh_plan();
+        self.refresh_plan("policy");
     }
 
     /// The active degradation policy.
@@ -612,11 +839,15 @@ impl Station {
             if let Some(injector) = &mut self.injector {
                 injector.force_down(channel);
             }
-            self.pending_events.push(ChannelEvent::Down {
+            let event = ChannelEvent::Down {
                 channel,
                 at: self.time,
-            });
-            self.refresh_plan();
+            };
+            if let Some(o) = &self.obs {
+                o.record_channel_event(&event);
+            }
+            self.pending_events.push(event);
+            self.refresh_plan("channel_down");
         }
         self.mode
     }
@@ -632,11 +863,15 @@ impl Station {
                 injector.force_up(channel);
             }
             self.health.reset(channel);
-            self.pending_events.push(ChannelEvent::Up {
+            let event = ChannelEvent::Up {
                 channel,
                 at: self.time,
-            });
-            self.refresh_plan();
+            };
+            if let Some(o) = &self.obs {
+                o.record_channel_event(&event);
+            }
+            self.pending_events.push(event);
+            self.refresh_plan("channel_up");
         }
         self.mode
     }
@@ -671,7 +906,7 @@ impl Station {
             }
             self.expected[idx] = Some(expected);
             if !matches!(self.active, ActivePlan::Full) {
-                self.refresh_plan();
+                self.refresh_plan("catalogue");
             }
         }
         result
@@ -691,7 +926,7 @@ impl Station {
             *slot = None;
         }
         if !matches!(self.active, ActivePlan::Full) {
-            self.refresh_plan();
+            self.refresh_plan("catalogue");
         }
         Ok(())
     }
@@ -747,12 +982,55 @@ impl Station {
     /// recording the verdict in [`StationStats`].
     fn gate_candidate(&mut self, candidate: &BroadcastProgram, config: &LintConfig) -> bool {
         let report = self.propose_plan(candidate, config);
-        self.stats.plan_warnings += report.count_at(Severity::Warn) as u64;
+        let warnings = report.count_at(Severity::Warn) as u64;
+        self.stats.plan_warnings += warnings;
+        if let Some(o) = &self.obs {
+            o.plan_warnings.add(warnings);
+        }
         if report.has_deny() {
             self.stats.plan_rejections += 1;
+            if let Some(o) = &self.obs {
+                o.plan_rejections.inc();
+                // The refusal event carries the deny-level rule codes so a
+                // postmortem shows *why* the swap was blocked.
+                let mut rule_ids: Vec<String> = Vec::new();
+                for d in report.diagnostics() {
+                    if d.severity == Severity::Deny {
+                        let code = d.rule.code().to_string();
+                        if !rule_ids.contains(&code) {
+                            rule_ids.push(code);
+                        }
+                    }
+                }
+                o.obs.record(ObsEvent::PlanRejected {
+                    slot: self.time,
+                    rule_ids,
+                });
+            }
             return false;
         }
         true
+    }
+
+    /// Records one replan stage's cost: counters in the registry, a
+    /// `ReplanTiming` event (the only event with a wall-clock field, and
+    /// the only place wall-clock appears at all) in the recorder. A no-op
+    /// when uninstrumented.
+    fn record_replan(&self, stage: usize, evals: u64, started: Option<Instant>) {
+        if let Some(o) = &self.obs {
+            o.replan_runs[stage].inc();
+            o.replan_evals[stage].add(evals);
+            let duration_us = started.map_or(0, |t| {
+                u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+            });
+            o.obs.record(ObsEvent::ReplanTiming {
+                stage: STAGE_NAMES[stage].to_string(),
+                slot: self.time,
+                evals,
+                pruned: 0,
+                duration_us,
+            });
+        }
     }
 
     /// Applies the chaos corruptor (if any) to a replan candidate.
@@ -767,7 +1045,11 @@ impl Station {
     /// channel state, catalogue and policy. When the lint gate refuses
     /// every replan candidate, the previous plan (and mode) stay in
     /// force — a vetted stale program beats a fresh corrupt one.
-    fn refresh_plan(&mut self) {
+    ///
+    /// `cause` names what triggered the re-evaluation (`"channel_down"`,
+    /// `"channel_up"`, `"fault"`, `"catalogue"`, `"policy"`); it is
+    /// carried on the `ModeChange` flight-recorder event.
+    fn refresh_plan(&mut self, cause: &'static str) {
         let configured = u32::try_from(self.channel_up.len()).expect("channel count fits in u32");
         let n_up = self.channels_up();
         let decision = if n_up == 0 {
@@ -788,7 +1070,27 @@ impl Station {
                 Mode::Valid => self.stats.recoveries += 1,
                 Mode::Offline => {}
             }
+            self.stats.mode_changes += 1;
+            self.stats.last_mode_change_slot = Some(self.time);
+            let from = self.mode;
             self.mode = mode;
+            if let Some(o) = &self.obs {
+                o.mode_changes.inc();
+                o.mode.set(mode.index() as u64);
+                o.obs.record(ObsEvent::ModeChange {
+                    from: from.name().to_string(),
+                    to: mode.name().to_string(),
+                    slot: self.time,
+                    cause: cause.to_string(),
+                });
+                // Dropping onto a non-valid rung is the black-box moment:
+                // capture the recent history (the causal ChannelHealth /
+                // PlanRejected events precede the ModeChange just
+                // recorded).
+                if matches!(mode, Mode::BestEffort | Mode::Offline) {
+                    let _ = o.obs.capture_postmortem(self.time, mode.name());
+                }
+            }
         }
     }
 
@@ -804,9 +1106,16 @@ impl Station {
         let minimum = minimum_channels_for_times(&times).unwrap_or(u32::MAX);
         let mut refused = false;
         if self.policy.repack && n_up >= minimum {
+            // The Instant exists only when instrumented: wall-clock stays
+            // out of the uninstrumented path (and out of the registry, so
+            // metric exposition remains deterministic either way).
+            let started = self.obs.as_ref().map(|_| Instant::now());
             let mut probe = self.scheduler.clone();
             if probe.rebuild_on_channels(n_up).is_ok() {
                 let candidate = self.maybe_corrupt(probe.program().clone());
+                // SUSC places each page once: the sweep size is the
+                // catalogue.
+                self.record_replan(STAGE_REPACK, times.len() as u64, started);
                 // A re-pack claims full validity, so it must survive the
                 // complete deadline rule set.
                 if self.gate_candidate(&candidate, &LintConfig::default()) {
@@ -818,6 +1127,7 @@ impl Station {
             // particular catalogue (non-harmonic times); fall through.
         }
         if self.policy.best_effort {
+            let started = self.obs.as_ref().map(|_| Instant::now());
             let catalogue: Vec<(PageId, u64)> = self
                 .scheduler
                 .pages()
@@ -825,7 +1135,9 @@ impl Station {
                 .map(|(&p, &t)| (p, t))
                 .collect();
             if let Ok(plan) = degrade::replan(&catalogue, n_up) {
+                let evals = plan.stage_evaluations();
                 let candidate = self.maybe_corrupt(plan.into_program());
+                self.record_replan(STAGE_PAMAD, evals, started);
                 // Best-effort misses deadlines by design; hold it to the
                 // structural rules only.
                 if self.gate_candidate(&candidate, &LintConfig::structural()) {
@@ -874,10 +1186,14 @@ impl Station {
                 let ch = channel.index() as usize;
                 if ch < configured && self.channel_up[ch] {
                     self.channel_up[ch] = false;
-                    buf.events.push(ChannelEvent::Down {
+                    let event = ChannelEvent::Down {
                         channel,
                         at: self.time,
-                    });
+                    };
+                    if let Some(o) = &self.obs {
+                        o.record_channel_event(&event);
+                    }
+                    buf.events.push(event);
                     changed = true;
                 }
             }
@@ -886,15 +1202,19 @@ impl Station {
                 if ch < configured && !self.channel_up[ch] {
                     self.channel_up[ch] = true;
                     self.health.reset(channel);
-                    buf.events.push(ChannelEvent::Up {
+                    let event = ChannelEvent::Up {
                         channel,
                         at: self.time,
-                    });
+                    };
+                    if let Some(o) = &self.obs {
+                        o.record_channel_event(&event);
+                    }
+                    buf.events.push(event);
                     changed = true;
                 }
             }
             if changed {
-                self.refresh_plan();
+                self.refresh_plan("fault");
             }
         }
 
@@ -940,28 +1260,46 @@ impl Station {
             let channel = ChannelId::new(u32::try_from(ch).expect("fits in u32"));
             if buf.have_faults && buf.faults.stalled[ch] {
                 if buf.on_air[ch].take().is_some() {
+                    if let Some(o) = &self.obs {
+                        o.stalled_frames.inc();
+                    }
                     if let Some(e) =
                         self.health
                             .record(channel, SlotObservation::Stalled, self.time)
                     {
+                        if let Some(o) = &self.obs {
+                            o.record_channel_event(&e);
+                        }
                         buf.events.push(e);
                     }
                 }
             } else if buf.on_air[ch].is_some() {
                 let observation = if buf.have_faults && buf.faults.corrupted[ch] {
                     buf.corrupted[ch] = true;
+                    if let Some(o) = &self.obs {
+                        o.corrupt_frames.inc();
+                    }
                     SlotObservation::Corrupt
                 } else {
                     SlotObservation::Clean
                 };
                 if let Some(e) = self.health.record(channel, observation, self.time) {
+                    if let Some(o) = &self.obs {
+                        o.record_channel_event(&e);
+                    }
                     buf.events.push(e);
                 }
             }
         }
 
         // Serve waiters from intact frames only; a corrupted frame shows
-        // in `on_air` but delivers nothing.
+        // in `on_air` but delivers nothing. Instrumentation rides inline
+        // (rather than re-walking the deliveries afterwards) because the
+        // wait and deadline verdict are already in registers here: with
+        // observability attached each delivery adds one histogram-bucket
+        // bump — a relaxed load + store, no locked instruction — and a
+        // plain compare for the running max.
+        let mut obs = self.obs.as_mut();
         for ch in 0..configured {
             if buf.corrupted[ch] {
                 continue;
@@ -992,6 +1330,22 @@ impl Station {
                     self.stats.on_time += 1;
                     tally.on_time += 1;
                 }
+                if let Some(o) = obs.as_deref_mut() {
+                    o.wait_hist.observe_bucket(wait);
+                    if wait > o.wait_max {
+                        o.wait_max = wait;
+                    }
+                    if !within {
+                        if let Some(expected) = expected {
+                            o.miss_scratch.push(ObsEvent::DeadlineMiss {
+                                page: page.index(),
+                                slot: self.time,
+                                wait,
+                                expected,
+                            });
+                        }
+                    }
+                }
             }
             // Hand the emptied buffer back so the next subscription burst
             // reuses its allocation.
@@ -1007,6 +1361,18 @@ impl Station {
         buf.mode = self.mode;
         self.time += 1;
         self.stats.slots_elapsed += 1;
+        // Per-delivery bucket bumps happened inline above; the tail only
+        // flushes the slot's deadline-miss events (one recorder lock for
+        // the whole batch, none when it is empty) and mirrors the
+        // stats-backed series — plain relaxed stores only.
+        if let Some(o) = self.obs.as_mut() {
+            o.obs.record_batch(&mut o.miss_scratch);
+            o.sync_tick(
+                &self.stats,
+                self.mode.index(),
+                self.channel_up.iter().filter(|&&u| u).count() as u64,
+            );
+        }
     }
 
     /// The seed implementation of [`Station::tick`], retained verbatim as
@@ -1016,6 +1382,12 @@ impl Station {
     /// identically-configured stations — one through
     /// [`Station::tick_into`], one through this — and exits non-zero on
     /// any divergence.
+    ///
+    /// This path is **not** instrumented: with an [`Obs`] handle attached
+    /// it still updates [`StationStats`] (including `mode_changes`) and
+    /// the replan/gate instrumentation shared through `refresh_plan`, but
+    /// records no per-delivery metrics. Use [`Station::tick_into`] for
+    /// observed serving.
     pub fn tick_reference(&mut self) -> TickOutcome {
         let mut events = std::mem::take(&mut self.pending_events);
         let configured = self.channel_up.len();
@@ -1051,7 +1423,7 @@ impl Station {
             stalled = faults.stalled;
             corrupt_wanted = faults.corrupted;
             if changed {
-                self.refresh_plan();
+                self.refresh_plan("fault");
             }
         }
 
@@ -1719,5 +2091,192 @@ mod tests {
             seen.extend(s.tick().on_air[0]);
         }
         assert!(seen.contains(&PageId::new(4)));
+    }
+
+    // --- observability ---
+
+    #[test]
+    fn attached_obs_changes_nothing_and_mirrors_stats() {
+        let plan = FaultPlan::seeded(41)
+            .with_outage(0.05)
+            .with_recovery(0.2)
+            .with_stalls(0.02)
+            .with_corruption(0.1);
+        let build = || {
+            let mut s = Station::with_faults(3, 8, &plan).unwrap();
+            s.publish(PageId::new(0), 2).unwrap();
+            s.publish(PageId::new(1), 2).unwrap();
+            s.publish(PageId::new(2), 4).unwrap();
+            s.publish(PageId::new(3), 8).unwrap();
+            s
+        };
+        let mut plain = build();
+        let mut observed = build();
+        let obs = Obs::with_recorder_capacity(4096);
+        observed.attach_obs(&obs);
+        let mut a = TickBuf::new();
+        let mut b = TickBuf::new();
+        for t in 0..400u64 {
+            if t % 4 == 0 {
+                let page = PageId::new(u32::try_from(t % 4).unwrap());
+                assert_eq!(
+                    plain.subscribe(page).unwrap(),
+                    observed.subscribe(page).unwrap()
+                );
+            }
+            plain.tick_into(&mut a);
+            observed.tick_into(&mut b);
+            assert_eq!(a.to_outcome(), b.to_outcome(), "obs changed slot {t}");
+        }
+        // Bit-identical serving, identical stats.
+        assert_eq!(plain.stats(), observed.stats());
+        // Every counter family mirrors its stats twin exactly.
+        let stats = observed.stats();
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.scalar_total("airsched_station_delivered_total"),
+            stats.delivered
+        );
+        assert_eq!(
+            snap.scalar_total("airsched_station_on_time_total"),
+            stats.on_time
+        );
+        assert_eq!(
+            snap.scalar_total("airsched_station_deadline_miss_total"),
+            stats.delivered - stats.on_time
+        );
+        assert_eq!(
+            snap.scalar_total("airsched_station_slots_total"),
+            stats.slots_elapsed
+        );
+        assert_eq!(
+            snap.scalar_total("airsched_station_degraded_slots_total"),
+            stats.degraded_slots
+        );
+        assert_eq!(
+            snap.scalar_total("airsched_station_mode_changes_total"),
+            stats.mode_changes
+        );
+        assert_eq!(
+            snap.scalar_total("airsched_station_plan_rejections_total"),
+            stats.plan_rejections
+        );
+        assert_eq!(
+            snap.scalar_total("airsched_station_plan_warnings_total"),
+            stats.plan_warnings
+        );
+        // The wait histogram saw every delivery, and its sum is the total
+        // wait (both exact regardless of bucketing).
+        assert_eq!(
+            snap.scalar_total("airsched_station_wait_slots"),
+            stats.delivered
+        );
+        // The event stream agrees with the counters: one ModeChange event
+        // per stats.mode_changes, each consecutive pair chained
+        // (from == previous to), and the last one matching the live mode.
+        let changes: Vec<(String, String, u64)> = obs
+            .recent_events(4096)
+            .into_iter()
+            .filter_map(|e| match e {
+                ObsEvent::ModeChange { from, to, slot, .. } => Some((from, to, slot)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(changes.len() as u64, stats.mode_changes);
+        for pair in changes.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "mode-change chain broken");
+        }
+        if let Some(last) = changes.last() {
+            assert_eq!(last.1, observed.mode().name());
+            assert_eq!(Some(last.2), stats.last_mode_change_slot);
+        }
+    }
+
+    #[test]
+    fn mode_change_stats_track_transitions_without_obs() {
+        let mut s = resilient_station();
+        assert_eq!(s.stats().mode_changes, 0);
+        assert_eq!(s.stats().last_mode_change_slot, None);
+        s.fail_channel(ChannelId::new(2));
+        s.run(5);
+        s.fail_channel(ChannelId::new(1));
+        let stats = s.stats();
+        assert_eq!(stats.mode_changes, 2);
+        assert_eq!(stats.last_mode_change_slot, Some(5));
+        assert_eq!(
+            stats.mode_changes,
+            stats.failovers + stats.repacks + stats.recoveries
+        );
+    }
+
+    #[test]
+    fn entering_best_effort_captures_a_causal_postmortem() {
+        let mut s = resilient_station();
+        let obs = Obs::new();
+        s.attach_obs(&obs);
+        s.fail_channel(ChannelId::new(2));
+        s.fail_channel(ChannelId::new(1)); // drops onto best-effort
+        let dumps = obs.take_postmortems();
+        assert_eq!(dumps.len(), 1);
+        let pm = &dumps[0];
+        assert_eq!(pm.trigger, "best-effort");
+        assert!(!pm.events.is_empty());
+        // The triggering ModeChange is last; the causal Down transitions
+        // precede it.
+        let last = pm.events.last().unwrap();
+        assert!(
+            matches!(last, ObsEvent::ModeChange { to, .. } if to == "best-effort"),
+            "{last:?}"
+        );
+        let downs = pm
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    ObsEvent::ChannelHealth {
+                        transition: HealthTransition::Down,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(downs, 2, "causal channel losses missing from the dump");
+    }
+
+    #[test]
+    fn gate_refusals_record_rule_ids() {
+        let mut s = resilient_station();
+        let obs = Obs::new();
+        s.attach_obs(&obs);
+        s.set_plan_corruptor(Some(drop_page3));
+        // Both the re-pack and the best-effort candidates are refused
+        // (page 3 vanished: AP03 denies under both configs).
+        s.fail_channel(ChannelId::new(2));
+        let refusals: Vec<Vec<String>> = obs
+            .recent_events(64)
+            .into_iter()
+            .filter_map(|e| match e {
+                ObsEvent::PlanRejected { rule_ids, .. } => Some(rule_ids),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(refusals.len(), 2);
+        for ids in &refusals {
+            assert!(ids.contains(&"AP03".to_string()), "{ids:?}");
+        }
+        // Replan timings were recorded for both attempted stages.
+        let stages: Vec<String> = obs
+            .recent_events(64)
+            .into_iter()
+            .filter_map(|e| match e {
+                ObsEvent::ReplanTiming { stage, evals, .. } => {
+                    assert!(evals > 0, "zero-cost replan recorded");
+                    Some(stage)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stages, vec!["repack".to_string(), "pamad".to_string()]);
     }
 }

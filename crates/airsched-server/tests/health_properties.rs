@@ -1,0 +1,128 @@
+//! Property tests for health transition sequencing: the typed
+//! [`ChannelEvent`] stream must be a lossless encoding of the monitor's
+//! state machine — replaying the events reconstructs the final
+//! per-channel degraded flags exactly, with no lost or duplicated
+//! transitions.
+
+use proptest::prelude::*;
+
+use airsched_core::types::ChannelId;
+use airsched_server::health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
+
+/// Replays an event stream into per-channel degraded flags, asserting the
+/// alternation invariant: a channel never transitions into the state it is
+/// already in (that would be a duplicated transition).
+fn replay(events: &[ChannelEvent], channels: usize) -> Vec<bool> {
+    let mut degraded = vec![false; channels];
+    for event in events {
+        match *event {
+            ChannelEvent::Degraded { channel, .. } => {
+                let ch = channel.index() as usize;
+                assert!(
+                    !degraded[ch],
+                    "duplicate Degraded on {channel} in {events:?}"
+                );
+                degraded[ch] = true;
+            }
+            ChannelEvent::Healthy { channel, .. } => {
+                let ch = channel.index() as usize;
+                assert!(degraded[ch], "Healthy without Degraded on {channel}");
+                degraded[ch] = false;
+            }
+            // Hard outages are produced by the station, not the monitor;
+            // the monitor's own stream never contains them.
+            ChannelEvent::Down { .. } | ChannelEvent::Up { .. } => {
+                panic!("monitor emitted an outage event");
+            }
+        }
+    }
+    degraded
+}
+
+fn arb_observation() -> impl Strategy<Value = SlotObservation> {
+    // Clean-biased 3:1:1 mix, expressed as a mapped range (the vendored
+    // proptest stub has no weighted prop_oneof).
+    (0u8..5).prop_map(|v| match v {
+        0..=2 => SlotObservation::Clean,
+        3 => SlotObservation::Stalled,
+        _ => SlotObservation::Corrupt,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Feeding an arbitrary observation stream (with interleaved resets)
+    /// to the monitor yields an event stream whose replay matches the
+    /// monitor's final per-channel state bit for bit.
+    #[test]
+    fn event_stream_reconstructs_final_state(
+        channels in 1u32..=4,
+        window in 1u32..=6,
+        error_permille in 100u32..=900,
+        stall_permille in 100u32..=900,
+        steps in prop::collection::vec(
+            (0u32..4, arb_observation(), 0u8..20),
+            0..200,
+        ),
+    ) {
+        let thresholds = HealthThresholds { window, error_permille, stall_permille };
+        let mut monitor = HealthMonitor::new(channels, thresholds);
+        let mut events = Vec::new();
+        for (t, &(ch, observation, reset_draw)) in steps.iter().enumerate() {
+            let channel = ChannelId::new(ch % channels);
+            // ~5% of steps hit the channel with a hard-recovery reset.
+            if reset_draw == 0 {
+                // A reset is an out-of-band transition to healthy: mirror
+                // it in the replayed state the same way the station does
+                // (reset is only called on hard recovery, which the
+                // station reports as its own Up event).
+                if monitor.is_degraded(channel) {
+                    events.push(ChannelEvent::Healthy { channel, at: t as u64 });
+                }
+                monitor.reset(channel);
+            }
+            if let Some(event) = monitor.record(channel, observation, t as u64) {
+                events.push(event);
+            }
+        }
+        let replayed = replay(&events, channels as usize);
+        for ch in 0..channels {
+            prop_assert_eq!(
+                replayed[ch as usize],
+                monitor.is_degraded(ChannelId::new(ch)),
+                "replayed state diverged on channel {} (events: {:?})",
+                ch,
+                events
+            );
+        }
+    }
+
+    /// Per channel, the monitor's event stream strictly alternates
+    /// Degraded/Healthy starting with Degraded — the structural form of
+    /// "no lost or duplicated transitions".
+    #[test]
+    fn transitions_alternate_per_channel(
+        observations in prop::collection::vec(arb_observation(), 0..300),
+    ) {
+        let thresholds = HealthThresholds { window: 4, error_permille: 400, stall_permille: 400 };
+        let mut monitor = HealthMonitor::new(1, thresholds);
+        let mut last_degraded = false;
+        for (t, &observation) in observations.iter().enumerate() {
+            if let Some(event) = monitor.record(ChannelId::new(0), observation, t as u64) {
+                match event {
+                    ChannelEvent::Degraded { .. } => {
+                        prop_assert!(!last_degraded, "Degraded twice in a row");
+                        last_degraded = true;
+                    }
+                    ChannelEvent::Healthy { .. } => {
+                        prop_assert!(last_degraded, "Healthy twice in a row");
+                        last_degraded = false;
+                    }
+                    other => prop_assert!(false, "unexpected event {other:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(last_degraded, monitor.is_degraded(ChannelId::new(0)));
+    }
+}

@@ -15,9 +15,19 @@
 //! fault-tolerance promises end to end: the run is bit-identical under
 //! the same seed, and no subscriber is stranded once calm air returns.
 //!
+//! The storm runs with a flight recorder attached
+//! ([`airsched_obs::Obs`]): after the weather clears, the example replays
+//! the outage from the recorder's point of view — the exported metrics,
+//! the mode-change event stream, and the black-box postmortems captured
+//! at each drop onto a non-valid rung. Attaching the recorder does not
+//! change a single tick (the twin runs uninstrumented, and the streams
+//! still compare equal).
+//!
 //! Run with: `cargo run -p airsched-cli --example chaos_station [seed]`
 
 use airsched_core::types::{ChannelId, PageId};
+use airsched_obs::events::Event;
+use airsched_obs::Obs;
 use airsched_server::{FaultEvent, FaultPlan, Mode, Station, TickOutcome};
 
 /// Six pages on a 16-slot cycle: demand fraction 1.3125, so two of the
@@ -95,14 +105,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("chaos storm, seed {seed:#x}: {SLOTS} slots, 4 transmitters, 6 pages\n");
 
     let mut station = build_station(seed)?;
+    let obs = Obs::with_recorder_capacity(4096);
+    station.attach_obs(&obs);
     let outcomes = run_storm(&mut station, true);
 
-    // Promise 1: determinism. A twin station fed the same seed and the
-    // same subscriptions produces the identical TickOutcome stream.
+    // Promise 1: determinism — and the flight recorder rides along for
+    // free. The twin runs *uninstrumented*; equal streams prove the
+    // recorder never perturbs the broadcast.
     let mut twin = build_station(seed)?;
     let twin_outcomes = run_storm(&mut twin, false);
     assert_eq!(outcomes, twin_outcomes, "equal seeds must give equal runs");
-    println!("\ndeterminism: twin run with the same seed is bit-identical");
+    println!("\ndeterminism: uninstrumented twin run with the same seed is bit-identical");
 
     // Promise 2: nobody is stranded. Stop the weather, restore all
     // transmitters, and the backlog drains within one cycle.
@@ -139,5 +152,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          {} full recoveries, {} of {} slots degraded",
         stats.failovers, stats.repacks, stats.recoveries, stats.degraded_slots, stats.slots_elapsed
     );
+
+    // ------------------------------------------------------------------
+    // The same storm, replayed from the flight recorder.
+    // ------------------------------------------------------------------
+
+    // The metrics registry mirrors the station's statistics exactly —
+    // what a Prometheus scrape (or `airsched obs`) would show. Replan
+    // timings carry wall-clock durations, so they are skipped here to
+    // keep the walkthrough's output stable run to run.
+    println!("\nexported metrics (excerpt):");
+    for line in obs.snapshot().render_table().lines() {
+        if line.starts_with("airsched_station_") && !line.contains("replan") {
+            println!("  {line}");
+        }
+    }
+    let snap = obs.snapshot();
+    assert_eq!(
+        snap.scalar_total("airsched_station_delivered_total"),
+        stats.delivered,
+        "the registry mirrors the station's own statistics"
+    );
+
+    // The typed event stream: every mode change the storm caused, in
+    // order, with its cause — the printed ladder above, recovered from
+    // the black box instead of the live run.
+    println!("\nflight-recorder event stream (mode changes):");
+    for event in obs.recent_events(4096) {
+        if let Event::ModeChange {
+            from,
+            to,
+            slot,
+            cause,
+        } = event
+        {
+            println!("  slot {slot:4}: {from} -> {to} ({cause})");
+        }
+    }
+
+    // Every drop onto a non-valid rung captured a postmortem: the events
+    // leading up to the drop, ready to be dumped when nobody was
+    // watching the console. The last event in each window is the trigger
+    // itself; the causal channel-health transitions precede it.
+    let dumps = obs.take_postmortems();
+    assert!(
+        !dumps.is_empty(),
+        "the blackout must have tripped at least one postmortem"
+    );
+    println!("\npostmortems captured at degradation points:");
+    for pm in &dumps {
+        println!(
+            "  slot {:4} -> {} ({} events of history), tail:",
+            pm.slot,
+            pm.trigger,
+            pm.events.len()
+        );
+        for event in pm.events.iter().rev().take(3).rev() {
+            if !matches!(event, Event::ReplanTiming { .. }) {
+                println!("    {}", event.to_jsonl());
+            }
+        }
+    }
     Ok(())
 }

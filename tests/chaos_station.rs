@@ -16,6 +16,8 @@
 
 use airsched_core::bound::minimum_channels_for_times;
 use airsched_core::types::{ChannelId, PageId};
+use airsched_obs::events::{Event, HealthTransition};
+use airsched_obs::Obs;
 use airsched_server::{ChannelEvent, FaultEvent, FaultPlan, Mode, Station};
 
 fn ch(n: u32) -> ChannelId {
@@ -397,4 +399,206 @@ fn corrupted_replan_is_rejected_and_previous_program_keeps_serving() {
     assert_eq!(station.mode(), Mode::Valid);
     assert_eq!(station.fail_channel(ch(3)), Mode::Repacked);
     assert_eq!(station.stats().plan_rejections, 2, "clean replan refused");
+}
+
+/// The storm script shared by the observability tests: the same walk down
+/// the ladder and back as `scripted_storm_walks_the_ladder_and_keeps_promises`.
+fn storm_script() -> Vec<FaultEvent> {
+    let down = [(20, 3), (40, 2), (60, 1), (80, 0)];
+    let up = [(90, 0), (100, 1), (120, 2), (140, 3)];
+    down.iter()
+        .map(|&(at, c)| FaultEvent::Down { at, channel: ch(c) })
+        .chain(
+            up.iter()
+                .map(|&(at, c)| FaultEvent::Up { at, channel: ch(c) }),
+        )
+        .collect()
+}
+
+/// Drives the scripted storm with an `Obs` handle attached and hands back
+/// the station and handle for inspection.
+fn observed_storm() -> (Station, Obs) {
+    let mut station = storm_station(&FaultPlan::scripted(storm_script()));
+    let obs = Obs::with_recorder_capacity(4096);
+    station.attach_obs(&obs);
+    for t in 0..200u64 {
+        if t < 180 && t % 3 == 0 {
+            station.subscribe(page((t % 6) as u32)).unwrap();
+        }
+        station.tick();
+    }
+    (station, obs)
+}
+
+/// The flight recorder and metrics registry tell the same story as the
+/// station's own statistics, end to end through the full storm: counters
+/// mirror stats exactly, and the `ModeChange` event stream is precisely
+/// the ladder walk (with `ChannelHealth` events at the scripted slots).
+#[test]
+fn flight_recorder_mirrors_the_storm() {
+    let (station, obs) = observed_storm();
+    let stats = station.stats();
+    let snap = obs.snapshot();
+
+    for (metric, want) in [
+        ("airsched_station_slots_total", stats.slots_elapsed),
+        ("airsched_station_delivered_total", stats.delivered),
+        ("airsched_station_on_time_total", stats.on_time),
+        (
+            "airsched_station_deadline_miss_total",
+            stats.delivered - stats.on_time,
+        ),
+        (
+            "airsched_station_degraded_slots_total",
+            stats.degraded_slots,
+        ),
+        ("airsched_station_mode_changes_total", stats.mode_changes),
+        ("airsched_station_wait_slots", stats.delivered),
+    ] {
+        assert_eq!(snap.scalar_total(metric), want, "{metric}");
+    }
+
+    let events = obs.recent_events(4096);
+    let changes: Vec<(String, String, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::ModeChange { from, to, slot, .. } => Some((from.clone(), to.clone(), *slot)),
+            _ => None,
+        })
+        .collect();
+    let ladder = [
+        ("valid", "repacked", 20),
+        ("repacked", "best-effort", 60),
+        ("best-effort", "offline", 80),
+        ("offline", "best-effort", 90),
+        ("best-effort", "repacked", 100),
+        ("repacked", "valid", 140),
+    ];
+    assert_eq!(changes.len(), ladder.len());
+    assert_eq!(changes.len() as u64, stats.mode_changes);
+    for ((from, to, slot), want) in changes.iter().zip(ladder) {
+        assert_eq!(
+            (from.as_str(), to.as_str(), *slot),
+            want,
+            "ladder walk diverges"
+        );
+    }
+
+    // One ChannelHealth event per scripted transition, at its slot.
+    let health: Vec<(u32, u64, HealthTransition)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::ChannelHealth {
+                ch,
+                slot,
+                transition,
+            } => Some((*ch, *slot, *transition)),
+            _ => None,
+        })
+        .collect();
+    let downs = [(3, 20), (2, 40), (1, 60), (0, 80)];
+    let ups = [(0, 90), (1, 100), (2, 120), (3, 140)];
+    for (c, at) in downs {
+        assert!(
+            health.contains(&(c, at, HealthTransition::Down)),
+            "missing Down for channel {c} at {at}"
+        );
+    }
+    for (c, at) in ups {
+        assert!(
+            health.contains(&(c, at, HealthTransition::Up)),
+            "missing Up for channel {c} at {at}"
+        );
+    }
+
+    // The Prometheus exposition carries the same numbers: the unlabelled
+    // slot counter verbatim, and the per-mode delivered series by label.
+    let prom = obs.render_prometheus();
+    assert!(prom.contains(&format!(
+        "airsched_station_slots_total {}",
+        stats.slots_elapsed
+    )));
+    assert!(prom.contains("airsched_station_delivered_total{mode=\"best-effort\"}"));
+}
+
+/// Dropping onto a non-valid rung auto-captures a black-box postmortem
+/// whose trailing event window contains the cause: the `ChannelHealth`
+/// transition that triggered the drop, then the `ModeChange` itself.
+#[test]
+fn best_effort_degradation_dumps_a_postmortem() {
+    let (_station, obs) = observed_storm();
+    let dumps = obs.take_postmortems();
+
+    // BestEffort at 60, Offline at 80, and BestEffort again at 90 while
+    // climbing back out — three black-box moments.
+    let triggers: Vec<(&str, u64)> = dumps
+        .iter()
+        .map(|pm| (pm.trigger.as_str(), pm.slot))
+        .collect();
+    assert_eq!(
+        triggers,
+        [("best-effort", 60), ("offline", 80), ("best-effort", 90)]
+    );
+
+    let first = &dumps[0];
+    assert!(!first.events.is_empty(), "postmortem carries history");
+    // The last event in the window is the ModeChange that triggered the
+    // dump, and the causal ChannelHealth Down precedes it.
+    assert!(
+        matches!(
+            first.events.last(),
+            Some(Event::ModeChange { to, slot: 60, .. }) if to == "best-effort"
+        ),
+        "postmortem ends with its trigger: {:?}",
+        first.events.last()
+    );
+    let cause = first.events.iter().position(|e| {
+        matches!(
+            e,
+            Event::ChannelHealth {
+                ch: 1,
+                slot: 60,
+                transition: HealthTransition::Down
+            }
+        )
+    });
+    assert!(
+        cause.is_some_and(|i| i < first.events.len() - 1),
+        "causal ChannelHealth Down missing from the window"
+    );
+
+    // The dumps drain exactly once.
+    assert!(obs.take_postmortems().is_empty());
+}
+
+/// Attaching observability never perturbs the broadcast: a plain station
+/// and an instrumented one driven through the same seeded random storm
+/// produce bit-identical `TickOutcome` streams and statistics.
+#[test]
+fn instrumented_chaos_run_is_bit_identical_to_plain() {
+    let plan = FaultPlan::seeded(0x0B5)
+        .with_outage(0.03)
+        .with_recovery(0.2)
+        .with_stalls(0.05)
+        .with_corruption(0.08);
+    let mut plain = storm_station(&plan);
+    let mut observed = storm_station(&plan);
+    let obs = Obs::with_recorder_capacity(4096);
+    observed.attach_obs(&obs);
+
+    for t in 0..600u64 {
+        if t % 5 == 0 {
+            let p = page((t % 6) as u32);
+            assert_eq!(plain.subscribe(p).unwrap(), observed.subscribe(p).unwrap());
+        }
+        assert_eq!(plain.tick(), observed.tick(), "obs perturbed slot {t}");
+    }
+    assert_eq!(plain.stats(), observed.stats());
+    assert_eq!(plain.mode(), observed.mode());
+    // And the mirror still agrees with the (identical) stats.
+    assert_eq!(
+        obs.snapshot()
+            .scalar_total("airsched_station_delivered_total"),
+        plain.stats().delivered
+    );
 }
