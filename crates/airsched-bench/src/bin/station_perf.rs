@@ -8,12 +8,16 @@
 //! per-frame encoding, and measures the observability tax: an
 //! instrumented station (metrics registry + flight recorder attached) in
 //! lockstep against an identical plain one, with a bit-identical gate and
-//! an overhead ratio at the 100k-subscriber acceptance point. Emits
-//! machine-readable `BENCH_station.json` (ticks/sec, deliveries/sec,
-//! bytes encoded/sec, obs overhead) and **exits non-zero** if the
-//! optimized path diverges from either baseline — or the instrumented
-//! station from the plain one — in any outcome, delivery or statistic.
-//! CI runs it as a correctness gate.
+//! an overhead ratio at the 100k-subscriber acceptance point. A fourth
+//! gate kills a journaled, checkpointed station mid-run, recovers it from
+//! its state directory, and drives the continuation in lockstep against
+//! the never-crashed twin — restore-after-crash must be bit-identical in
+//! every `TickOutcome` and the final statistics. Emits machine-readable
+//! `BENCH_station.json` (ticks/sec, deliveries/sec, bytes encoded/sec,
+//! obs overhead) and **exits non-zero** if the optimized path diverges
+//! from either baseline — or the instrumented station from the plain
+//! one, or the recovered station from its twin — in any outcome,
+//! delivery or statistic. CI runs it as a correctness gate.
 //!
 //! Run: `cargo run --release -p airsched-bench --bin station_perf`
 //!
@@ -544,6 +548,141 @@ fn obs_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
     }
 }
 
+/// Kills a journaled, checkpointed station mid-run, recovers it from the
+/// state directory, and drives the continuation in lockstep against a
+/// never-crashed twin: every post-recovery `TickOutcome` and the final
+/// statistics must be bit-identical. This is the restore-after-crash
+/// gate the `airsched-recover` determinism contract is held to.
+fn recovery_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
+    use airsched_recover::{CrashInjector, RecoverError, RecoverableStation, RecoveryOptions};
+
+    let plan = faulted.then(|| cfg.chaos_plan());
+    let gate_slots = cfg.slots.min(1024).max(2 * cfg.cycle);
+    // Off the checkpoint cadence on purpose, so recovery exercises both
+    // the checkpoint restore and a non-empty journal replay.
+    let crash_at = gate_slots / 2 + 3;
+    let every = (cfg.cycle / 4).max(8);
+
+    let mut twin = build_station(cfg, plan.as_ref());
+    let mut want = Vec::with_capacity(usize::try_from(gate_slots).expect("fits"));
+    for t in 0..gate_slots {
+        for k in 0..8u64 {
+            twin.subscribe(page_for(cfg, t * 8 + k))
+                .expect("page is published");
+        }
+        want.push(twin.tick());
+    }
+
+    let dir = std::env::temp_dir().join(format!(
+        "airsched-perf-recovery-{}-{faulted}",
+        std::process::id()
+    ));
+    let opts = RecoveryOptions::new()
+        .checkpoint_every(every)
+        .with_crash(CrashInjector::at_slot(crash_at));
+    let run = RecoverableStation::create(&dir, build_station(cfg, plan.as_ref()), plan, opts);
+    let mut run = match run {
+        Ok(r) => r,
+        Err(e) => {
+            divergences.push(format!(
+                "recovery gate: create failed (faulted={faulted}): {e}"
+            ));
+            return;
+        }
+    };
+    let mut t = 0u64;
+    loop {
+        for k in 0..8u64 {
+            run.subscribe(page_for(cfg, t * 8 + k))
+                .expect("page is published");
+        }
+        match run.tick() {
+            Ok(got) => {
+                if got != want[usize::try_from(t).expect("fits")] {
+                    divergences.push(format!(
+                        "journaled station diverges from its twin at slot {t} \
+                         before the crash (faulted={faulted})"
+                    ));
+                    std::fs::remove_dir_all(&dir).ok();
+                    return;
+                }
+                t += 1;
+            }
+            Err(RecoverError::Crashed { slot }) => {
+                assert_eq!(slot, crash_at, "the scripted crash fired off cue");
+                break;
+            }
+            Err(e) => {
+                divergences.push(format!(
+                    "recovery gate: tick failed (faulted={faulted}): {e}"
+                ));
+                std::fs::remove_dir_all(&dir).ok();
+                return;
+            }
+        }
+    }
+    drop(run); // the "process" dies; only the state directory survives
+
+    let resumed =
+        RecoverableStation::resume(&dir, RecoveryOptions::new().checkpoint_every(every), None);
+    let (mut resumed, report) = match resumed {
+        Ok(pair) => pair,
+        Err(e) => {
+            divergences.push(format!(
+                "recovery gate: resume failed (faulted={faulted}): {e}"
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            return;
+        }
+    };
+    if report.resumed_at != crash_at || resumed.now() != crash_at {
+        divergences.push(format!(
+            "recovery resumed at slot {} instead of the crash slot {crash_at} (faulted={faulted})",
+            resumed.now()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
+    for t in crash_at..gate_slots {
+        // The crash fired before ticking `crash_at` but after that slot's
+        // subscriptions were journaled — replay already applied them, so
+        // only later slots subscribe afresh.
+        if t != crash_at {
+            for k in 0..8u64 {
+                resumed
+                    .subscribe(page_for(cfg, t * 8 + k))
+                    .expect("page is published");
+            }
+        }
+        match resumed.tick() {
+            Ok(got) => {
+                if got != want[usize::try_from(t).expect("fits")] {
+                    divergences.push(format!(
+                        "recovered station diverges from its never-crashed twin at \
+                         slot {t} (crash at {crash_at}, faulted={faulted})"
+                    ));
+                    std::fs::remove_dir_all(&dir).ok();
+                    return;
+                }
+            }
+            Err(e) => {
+                divergences.push(format!(
+                    "recovery gate: post-recovery tick failed (faulted={faulted}): {e}"
+                ));
+                std::fs::remove_dir_all(&dir).ok();
+                return;
+            }
+        }
+    }
+    if resumed.stats() != twin.stats() {
+        divergences.push(format!(
+            "recovered station's final stats diverge from its never-crashed twin \
+             (crash at {crash_at}, faulted={faulted})"
+        ));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 // ---------------------------------------------------------------------------
 // Timing
 // ---------------------------------------------------------------------------
@@ -875,6 +1014,7 @@ fn main() {
         reference_gate(&cfg, faulted, &mut divergences);
         seed_gate(&cfg, faulted, &mut divergences);
         obs_gate(&cfg, faulted, &mut divergences);
+        recovery_gate(&cfg, faulted, &mut divergences);
         for &scale in &scales {
             let r = time_scale(&cfg, faulted, scale, &mut divergences);
             println!(

@@ -39,6 +39,8 @@ COMMANDS:
   run        drive a live station under (optional) fault injection, with
              flight-recorder observability attached
   obs        same scenario as run, printing the metrics snapshot table
+  checkpoint inspect the checkpoint + journal a crash-safe run left behind
+  restore    recover a crashed run from its state directory and finish it
 
 WORKLOAD OPTIONS:
   --times 2,4,8 --counts 3,5,3   explicit groups, or
@@ -73,6 +75,14 @@ COMMAND OPTIONS:
              [--outage P] [--recovery P] [--stall P] [--corruption P]
              [--metrics-out FILE] (Prometheus text exposition)
              [--events-out FILE]  (flight-recorder events as JSONL)
+  run only:  [--state-dir DIR] (run crash-safe: journal every mutation and
+             checkpoint the full station state into DIR)
+             [--checkpoint-every N] (auto-checkpoint cadence in slots;
+             0 = only the creation and final checkpoints)
+             [--crash-at SLOT] (scripted process death, for recovery drills)
+  checkpoint: --state-dir DIR
+  restore:   --state-dir DIR (plus the original run's scenario options, so
+             the continuation follows the same subscription schedule)
 ";
 
 /// A command's text output plus whether the process should exit nonzero
@@ -121,6 +131,8 @@ fn run_plain(args: &Args) -> Result<String, ArgError> {
         Some("items") => cmd_items(args),
         Some("run") => cmd_run(args),
         Some("obs") => cmd_obs(args),
+        Some("checkpoint") => cmd_checkpoint(args),
+        Some("restore") => cmd_restore(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some("lint") => unreachable!("lint is dispatched by run_full"),
         Some(other) => Err(ArgError(format!("unknown command '{other}'\n\n{USAGE}"))),
@@ -611,15 +623,22 @@ fn cmd_items(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
-/// Shared scenario driver for `run` and `obs`: a live station with a
-/// flight recorder attached, ridden through `--slots` slots of
-/// (optionally faulty) air time. Returns the observability handle, the
-/// finished station, and the mode-transition log.
-fn run_station_scenario(
-    args: &Args,
-) -> Result<(airsched_obs::Obs, airsched_server::Station, String), ArgError> {
-    use airsched_core::types::{ChannelId, PageId};
-    use airsched_server::{FaultEvent, FaultPlan, Station};
+/// The run/obs scenario distilled from the command line: station shape,
+/// fault plan, and the deterministic subscription schedule. `restore`
+/// rebuilds the same schedule from the same options, so a recovered
+/// continuation follows the exact inputs the never-crashed twin would.
+struct Scenario {
+    channels: u32,
+    cycle: u64,
+    slots: u64,
+    subscribe_every: u64,
+    times: Vec<u64>,
+    plan: airsched_server::FaultPlan,
+}
+
+fn scenario_from_args(args: &Args) -> Result<Scenario, ArgError> {
+    use airsched_core::types::ChannelId;
+    use airsched_server::{FaultEvent, FaultPlan};
 
     let channels: u32 = args.num("channels", 4)?;
     let cycle: u64 = args.num("cycle", 16)?;
@@ -656,35 +675,101 @@ fn run_station_scenario(
             .collect();
         plan = plan.with_script(script);
     }
+    Ok(Scenario {
+        channels,
+        cycle,
+        slots,
+        subscribe_every,
+        times,
+        plan,
+    })
+}
 
-    let mut station =
-        Station::with_faults(channels, cycle, &plan).map_err(|e| ArgError(e.to_string()))?;
-    let obs = airsched_obs::Obs::with_recorder_capacity(8192);
-    station.attach_obs(&obs);
-    for (i, &t) in times.iter().enumerate() {
-        let page = PageId::new(u32::try_from(i).expect("catalogue fits in u32"));
-        station
-            .publish(page, t)
-            .map_err(|e| ArgError(e.to_string()))?;
+impl Scenario {
+    /// Builds the station with the fault plan armed and the catalogue
+    /// published.
+    fn station(&self) -> Result<airsched_server::Station, ArgError> {
+        use airsched_core::types::PageId;
+        let mut station =
+            airsched_server::Station::with_faults(self.channels, self.cycle, &self.plan)
+                .map_err(|e| ArgError(e.to_string()))?;
+        for (i, &t) in self.times.iter().enumerate() {
+            let page = PageId::new(u32::try_from(i).expect("catalogue fits in u32"));
+            station
+                .publish(page, t)
+                .map_err(|e| ArgError(e.to_string()))?;
+        }
+        Ok(station)
     }
 
-    let pages = times.len() as u64;
+    /// The page slot `t` subscribes to, if any — the deterministic
+    /// schedule `run`, `obs`, and a post-`restore` continuation all
+    /// follow.
+    fn sub_page(&self, t: u64) -> Option<airsched_core::types::PageId> {
+        if self.subscribe_every == 0 || !t.is_multiple_of(self.subscribe_every) {
+            return None;
+        }
+        let pages = self.times.len() as u64;
+        Some(airsched_core::types::PageId::new(
+            u32::try_from(t / self.subscribe_every % pages).expect("< pages"),
+        ))
+    }
+
+    /// The mode-transition log line emitted when a tick changes mode.
+    fn mode_line(
+        &self,
+        t: u64,
+        from: airsched_server::Mode,
+        to: airsched_server::Mode,
+        up: u32,
+    ) -> String {
+        format!(
+            "slot {t:>5}: {from} -> {to} ({up}/{channels} transmitters up)\n",
+            channels = self.channels,
+        )
+    }
+}
+
+/// The `final mode ...` summary shared by `run` and `restore`, so a
+/// recovered continuation can be diffed line-for-line against a clean
+/// run's ending.
+fn stats_line(mode: airsched_server::Mode, stats: &airsched_server::StationStats) -> String {
+    format!(
+        "final mode {mode}: {delivered} deliveries ({rate:.1}% on time), \
+         {waiting} waiting, {changes} mode changes, {degraded} of {slots} \
+         slots degraded\n",
+        delivered = stats.delivered,
+        rate = stats.on_time_rate() * 100.0,
+        waiting = stats.waiting,
+        changes = stats.mode_changes,
+        degraded = stats.degraded_slots,
+        slots = stats.slots_elapsed,
+    )
+}
+
+/// Shared scenario driver for `run` and `obs`: a live station with a
+/// flight recorder attached, ridden through `--slots` slots of
+/// (optionally faulty) air time. Returns the observability handle, the
+/// finished station, and the mode-transition log.
+fn run_station_scenario(
+    args: &Args,
+) -> Result<(airsched_obs::Obs, airsched_server::Station, String), ArgError> {
+    let sc = scenario_from_args(args)?;
+    let mut station = sc.station()?;
+    let obs = airsched_obs::Obs::with_recorder_capacity(8192);
+    station.attach_obs(&obs);
+
     let mut log = String::new();
     let mut mode = station.mode();
-    for t in 0..slots {
-        if subscribe_every > 0 && t % subscribe_every == 0 {
-            let page = PageId::new(u32::try_from(t / subscribe_every % pages).expect("< pages"));
+    for t in 0..sc.slots {
+        if let Some(page) = sc.sub_page(t) {
             station
                 .subscribe(page)
                 .map_err(|e| ArgError(e.to_string()))?;
         }
         let out = station.tick();
         if out.mode != mode {
-            log.push_str(&format!(
-                "slot {t:>5}: {mode} -> {next} ({up}/{channels} transmitters up)\n",
-                next = out.mode,
-                up = station.channels_up(),
-            ));
+            log.push_str(&sc.mode_line(t, mode, out.mode, station.channels_up()));
             mode = out.mode;
         }
     }
@@ -711,23 +796,186 @@ fn write_obs_outputs(
 }
 
 fn cmd_run(args: &Args) -> Result<String, ArgError> {
+    if args.get("state-dir").is_some() {
+        return cmd_run_recoverable(args);
+    }
     let (obs, station, log) = run_station_scenario(args)?;
-    let stats = station.stats();
     let mut out = log;
-    out.push_str(&format!(
-        "final mode {mode}: {delivered} deliveries ({rate:.1}% on time), \
-         {waiting} waiting, {changes} mode changes, {degraded} of {slots} \
-         slots degraded\n",
-        mode = station.mode(),
-        delivered = stats.delivered,
-        rate = stats.on_time_rate() * 100.0,
-        waiting = stats.waiting,
-        changes = stats.mode_changes,
-        degraded = stats.degraded_slots,
-        slots = stats.slots_elapsed,
-    ));
+    out.push_str(&stats_line(station.mode(), &station.stats()));
     // Black-box dumps: every capture taken on entry into best-effort or
     // offline service during the run.
+    for pm in obs.take_postmortems() {
+        out.push('\n');
+        out.push_str(&pm.to_jsonl());
+    }
+    write_obs_outputs(args, &obs, &mut out)?;
+    Ok(out)
+}
+
+/// `run --state-dir DIR`: the same scenario as plain `run`, but every
+/// mutation is journaled and the station state checkpointed, so the run
+/// survives process death (scriptable with `--crash-at` for drills).
+fn cmd_run_recoverable(args: &Args) -> Result<String, ArgError> {
+    use airsched_recover::{CrashInjector, RecoverError, RecoverableStation, RecoveryOptions};
+
+    let sc = scenario_from_args(args)?;
+    let dir = std::path::PathBuf::from(args.get("state-dir").expect("caller checked"));
+    let every: u64 = args.num("checkpoint-every", 0)?;
+    let mut opts = RecoveryOptions::new();
+    if every > 0 {
+        opts = opts.checkpoint_every(every);
+    }
+    if args.get("crash-at").is_some() {
+        opts = opts.with_crash(CrashInjector::at_slot(args.require_num("crash-at")?));
+    }
+
+    let obs = airsched_obs::Obs::with_recorder_capacity(8192);
+    let mut run = RecoverableStation::create(&dir, sc.station()?, Some(sc.plan.clone()), opts)
+        .map_err(|e| ArgError(e.to_string()))?;
+    run.attach_obs(&obs);
+
+    let mut out = String::new();
+    let mut mode = run.mode();
+    for t in 0..sc.slots {
+        if let Some(page) = sc.sub_page(t) {
+            run.subscribe(page).map_err(|e| ArgError(e.to_string()))?;
+        }
+        match run.tick() {
+            Ok(o) => {
+                if o.mode != mode {
+                    out.push_str(&sc.mode_line(t, mode, o.mode, run.station().channels_up()));
+                    mode = o.mode;
+                }
+            }
+            Err(RecoverError::Crashed { slot }) => {
+                out.push_str(&format!(
+                    "scripted crash fired at slot {slot}; state preserved in {dir}\n\
+                     (resume with: airsched restore --state-dir {dir})\n",
+                    dir = dir.display(),
+                ));
+                write_obs_outputs(args, &obs, &mut out)?;
+                return Ok(out);
+            }
+            Err(e) => return Err(ArgError(e.to_string())),
+        }
+    }
+    // Park the directory current so `checkpoint` describes the final
+    // state and a later `restore` resumes instantly.
+    run.checkpoint().map_err(|e| ArgError(e.to_string()))?;
+    out.push_str(&format!(
+        "state directory {} is current through slot {}\n",
+        dir.display(),
+        run.now(),
+    ));
+    out.push_str(&stats_line(run.mode(), &run.stats()));
+    for pm in obs.take_postmortems() {
+        out.push('\n');
+        out.push_str(&pm.to_jsonl());
+    }
+    write_obs_outputs(args, &obs, &mut out)?;
+    Ok(out)
+}
+
+/// `checkpoint --state-dir DIR`: decode and describe the checkpoint and
+/// journal a crash-safe run left behind, without touching either.
+fn cmd_checkpoint(args: &Args) -> Result<String, ArgError> {
+    use airsched_recover::{read_journal, Checkpoint, JOURNAL_FILE};
+
+    let dir = std::path::PathBuf::from(
+        args.get("state-dir")
+            .ok_or_else(|| ArgError("checkpoint requires --state-dir DIR".into()))?,
+    );
+    let ck = Checkpoint::read(&dir).map_err(|e| ArgError(e.to_string()))?;
+    let journal = read_journal(&dir.join(JOURNAL_FILE)).map_err(|e| ArgError(e.to_string()))?;
+    let records = u64::try_from(journal.records.len()).expect("record count fits in u64");
+    let snap = &ck.snapshot;
+    let waiting: usize = snap.waiting.iter().map(Vec::len).sum();
+    let up = snap.channel_up.iter().filter(|&&u| u).count();
+    let mut out = format!("state directory {}:\n", dir.display());
+    out.push_str(&format!(
+        "  checkpoint: slot {time}, mode {mode}, {up}/{channels} transmitters up\n\
+         \x20 catalogue: {pages} page(s); {waiting} waiting client(s)\n\
+         \x20 stats: {delivered} deliveries, {changes} mode changes over {slots} slots\n",
+        time = snap.time,
+        mode = snap.mode,
+        channels = snap.channel_up.len(),
+        pages = snap.expected.len(),
+        delivered = snap.stats.delivered,
+        changes = snap.stats.mode_changes,
+        slots = snap.stats.slots_elapsed,
+    ));
+    out.push_str(&format!(
+        "  journal: {records} valid record(s), cursor at {cursor} (lag {lag}), \
+         {dropped} corrupt tail byte(s)\n",
+        cursor = ck.journal_skip,
+        lag = records.saturating_sub(ck.journal_skip),
+        dropped = journal.dropped_bytes,
+    ));
+    out.push_str(&format!(
+        "  fault plan persisted: {}\n",
+        if ck.fault_plan.is_some() { "yes" } else { "no" },
+    ));
+    Ok(out)
+}
+
+/// `restore --state-dir DIR`: rebuild the station a crashed run left
+/// behind (checkpoint + journal replay), then finish the scenario so the
+/// ending can be diffed against a never-crashed run's.
+fn cmd_restore(args: &Args) -> Result<String, ArgError> {
+    use airsched_recover::{
+        read_journal, JournalRecord, RecoverableStation, RecoveryOptions, JOURNAL_FILE,
+    };
+
+    let sc = scenario_from_args(args)?;
+    let dir = std::path::PathBuf::from(
+        args.get("state-dir")
+            .ok_or_else(|| ArgError("restore requires --state-dir DIR".into()))?,
+    );
+    // A crash fires *before* the slot's tick but *after* its
+    // subscription was journaled (and therefore replayed); the
+    // continuation must not subscribe that slot twice. The journal's
+    // valid tail says which case we are in.
+    let crash_slot_subscribed = read_journal(&dir.join(JOURNAL_FILE))
+        .is_ok_and(|j| matches!(j.records.last(), Some(JournalRecord::Subscribe { .. })));
+    let every: u64 = args.num("checkpoint-every", 0)?;
+    let mut opts = RecoveryOptions::new();
+    if every > 0 {
+        opts = opts.checkpoint_every(every);
+    }
+
+    let obs = airsched_obs::Obs::with_recorder_capacity(8192);
+    let (mut run, report) =
+        RecoverableStation::resume(&dir, opts, Some(&obs)).map_err(|e| ArgError(e.to_string()))?;
+    let mut out = format!(
+        "recovered station at slot {at}: replayed {replayed} journal record(s) in {us} us{dropped}\n",
+        at = report.resumed_at,
+        replayed = report.replayed,
+        us = report.duration_us,
+        dropped = if report.dropped_bytes > 0 {
+            format!(", dropped {} corrupt tail byte(s)", report.dropped_bytes)
+        } else {
+            String::new()
+        },
+    );
+
+    let resumed_at = report.resumed_at;
+    let mut mode = run.mode();
+    for t in resumed_at..sc.slots {
+        if t != resumed_at || !crash_slot_subscribed {
+            if let Some(page) = sc.sub_page(t) {
+                run.subscribe(page).map_err(|e| ArgError(e.to_string()))?;
+            }
+        }
+        let o = run.tick().map_err(|e| ArgError(e.to_string()))?;
+        if o.mode != mode {
+            out.push_str(&sc.mode_line(t, mode, o.mode, run.station().channels_up()));
+            mode = o.mode;
+        }
+    }
+    if run.now() > resumed_at {
+        run.checkpoint().map_err(|e| ArgError(e.to_string()))?;
+    }
+    out.push_str(&stats_line(run.mode(), &run.stats()));
     for pm in obs.take_postmortems() {
         out.push('\n');
         out.push_str(&pm.to_jsonl());
@@ -1344,6 +1592,119 @@ mod tests {
             }
         }
         std::fs::remove_file(&events).ok();
+    }
+
+    #[test]
+    fn run_crash_restore_matches_a_clean_run() {
+        let dir = std::env::temp_dir().join(format!("airsched-cli-crash-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap();
+        let scenario = &[
+            "--channels",
+            "3",
+            "--cycle",
+            "8",
+            "--slots",
+            "80",
+            "--chaos",
+            "--times",
+            "2,4,8,8",
+        ];
+        let with = |verb: &str, extra: &[&str]| {
+            let mut parts = vec![verb];
+            parts.extend_from_slice(scenario);
+            parts.extend_from_slice(extra);
+            run_line(&parts)
+        };
+
+        // Ground truth: the never-crashed twin's ending.
+        let clean = with("run", &[]).unwrap();
+        let clean_final = clean
+            .lines()
+            .find(|l| l.starts_with("final mode"))
+            .unwrap()
+            .to_string();
+
+        // Crash-safe run killed on cue at a subscription slot (35 % 5 == 0),
+        // so restore must also prove it does not double-apply that slot's
+        // already-journaled subscription.
+        let crashed = with(
+            "run",
+            &[
+                "--state-dir",
+                dir_s,
+                "--checkpoint-every",
+                "16",
+                "--crash-at",
+                "35",
+            ],
+        )
+        .unwrap();
+        assert!(
+            crashed.contains("scripted crash fired at slot 35"),
+            "{crashed}"
+        );
+
+        let desc = with("checkpoint", &["--state-dir", dir_s]).unwrap();
+        assert!(desc.contains("checkpoint: slot 32"), "{desc}");
+        assert!(desc.contains("fault plan persisted: yes"), "{desc}");
+
+        let restored = with("restore", &["--state-dir", dir_s]).unwrap();
+        assert!(
+            restored.contains("recovered station at slot 35"),
+            "{restored}"
+        );
+        let restored_final = restored
+            .lines()
+            .find(|l| l.starts_with("final mode"))
+            .unwrap();
+        assert_eq!(
+            restored_final, clean_final,
+            "the recovered continuation must end exactly where the clean run does"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_recoverable_completes_and_parks_a_current_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("airsched-cli-park-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap();
+        let out = run_line(&[
+            "run",
+            "--slots",
+            "40",
+            "--state-dir",
+            dir_s,
+            "--checkpoint-every",
+            "10",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("state directory") && out.contains("current through slot 40"),
+            "{out}"
+        );
+        // A restore from a parked directory replays nothing and has
+        // nothing left to run.
+        let restored = run_line(&["restore", "--slots", "40", "--state-dir", dir_s]).unwrap();
+        assert!(
+            restored.contains("recovered station at slot 40: replayed 0"),
+            "{restored}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_and_restore_demand_a_state_dir() {
+        assert!(run_line(&["checkpoint"])
+            .unwrap_err()
+            .to_string()
+            .contains("--state-dir"));
+        assert!(run_line(&["restore"])
+            .unwrap_err()
+            .to_string()
+            .contains("--state-dir"));
+        let missing = std::env::temp_dir().join("airsched-cli-nonexistent-state");
+        let err = run_line(&["restore", "--state-dir", missing.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("no checkpoint"), "{err}");
     }
 
     #[test]

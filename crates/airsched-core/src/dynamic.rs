@@ -212,6 +212,75 @@ impl OnlineScheduler {
         self.rebuild_onto(channels, &[])
     }
 
+    /// Captures the scheduler's exact state — the grid cell by cell plus
+    /// the live-page map — for checkpointing.
+    ///
+    /// The grid itself is serialized (rather than the page list) because
+    /// placement is insertion-order dependent: re-adding the same pages in
+    /// a different order can produce a different (equally valid) layout,
+    /// which would break the bit-identical replay contract.
+    #[must_use]
+    pub fn snapshot(&self) -> SchedulerSnapshot {
+        let channels = self.program.channels();
+        let cycle = self.program.cycle_len();
+        let mut grid = Vec::with_capacity((channels as usize) * (cycle as usize));
+        for ch in 0..channels {
+            for slot in 0..cycle {
+                grid.push(
+                    self.program
+                        .page_at(GridPos::new(ChannelId::new(ch), SlotIndex::new(slot))),
+                );
+            }
+        }
+        SchedulerSnapshot {
+            channels,
+            cycle,
+            grid,
+            pages: self.pages.iter().map(|(&p, &t)| (p, t)).collect(),
+        }
+    }
+
+    /// Rebuilds a scheduler from a snapshot taken by [`Self::snapshot`],
+    /// reproducing the exact same grid.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::NoChannels`] / [`ScheduleError::InvalidFrequencies`]
+    ///   if the snapshot's dimensions are malformed.
+    /// * [`ScheduleError::PlacementFailed`] if the grid data is internally
+    ///   inconsistent (wrong length — a corrupt snapshot).
+    pub fn from_snapshot(snapshot: &SchedulerSnapshot) -> Result<Self, ScheduleError> {
+        if snapshot.channels == 0 {
+            return Err(ScheduleError::NoChannels);
+        }
+        if snapshot.cycle == 0 {
+            return Err(ScheduleError::InvalidFrequencies {
+                reason: "cycle length must be positive",
+            });
+        }
+        let expected_cells = (snapshot.channels as usize) * (snapshot.cycle as usize);
+        if snapshot.grid.len() != expected_cells {
+            return Err(ScheduleError::InvalidFrequencies {
+                reason: "snapshot grid length does not match its dimensions",
+            });
+        }
+        let mut program = BroadcastProgram::new(snapshot.channels, snapshot.cycle);
+        let mut cells = snapshot.grid.iter();
+        for ch in 0..snapshot.channels {
+            for slot in 0..snapshot.cycle {
+                if let Some(page) = cells.next().copied().flatten() {
+                    program
+                        .place(GridPos::new(ChannelId::new(ch), SlotIndex::new(slot)), page)
+                        .expect("fresh grid cells are free");
+                }
+            }
+        }
+        Ok(Self {
+            program,
+            pages: snapshot.pages.iter().copied().collect(),
+        })
+    }
+
     fn rebuild_onto(
         &mut self,
         channels: u32,
@@ -231,6 +300,20 @@ impl OnlineScheduler {
         }
         Ok(())
     }
+}
+
+/// The full state of an [`OnlineScheduler`], cell-exact, as captured by
+/// [`OnlineScheduler::snapshot`] for the crash-recovery checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerSnapshot {
+    /// Channel count of the grid.
+    pub channels: u32,
+    /// Cycle length of the grid.
+    pub cycle: u64,
+    /// Every grid cell in channel-major order (`ch * cycle + slot`).
+    pub grid: Vec<Option<PageId>>,
+    /// The live pages and their expected times, sorted by page id.
+    pub pages: Vec<(PageId, u64)>,
 }
 
 #[cfg(test)]
@@ -363,6 +446,36 @@ mod tests {
             sched.rebuild_on_channels(0),
             Err(ScheduleError::NoChannels)
         ));
+    }
+
+    #[test]
+    fn snapshot_round_trips_the_exact_grid() {
+        let mut sched = OnlineScheduler::new(2, 8).unwrap();
+        sched.add_page(PageId::new(0), 2).unwrap();
+        sched.add_page(PageId::new(1), 4).unwrap();
+        sched.add_page(PageId::new(2), 8).unwrap();
+        // Fragment the layout so insertion order would matter.
+        sched.remove_page(PageId::new(1)).unwrap();
+        sched.add_page(PageId::new(3), 8).unwrap();
+        let snap = sched.snapshot();
+        let restored = OnlineScheduler::from_snapshot(&snap).unwrap();
+        assert_eq!(restored, sched);
+        assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        let sched = OnlineScheduler::new(1, 4).unwrap();
+        let mut snap = sched.snapshot();
+        snap.grid.pop();
+        assert!(OnlineScheduler::from_snapshot(&snap).is_err());
+        let mut snap = sched.snapshot();
+        snap.channels = 0;
+        assert!(OnlineScheduler::from_snapshot(&snap).is_err());
+        let mut snap = sched.snapshot();
+        snap.cycle = 0;
+        snap.grid.clear();
+        assert!(OnlineScheduler::from_snapshot(&snap).is_err());
     }
 
     #[test]

@@ -136,6 +136,25 @@ impl RetryPolicy {
     pub const fn allows_attempt(&self, attempts_so_far: u32) -> bool {
         attempts_so_far < self.max_attempts
     }
+
+    /// The slot at which a client that tuned away at `now` resumes
+    /// listening.
+    ///
+    /// Saturating: with `backoff_slots` near `u64::MAX` (a "never come
+    /// back" policy) the deadline pins to `u64::MAX` instead of wrapping
+    /// around to the past and re-enabling the receiver immediately.
+    #[must_use]
+    pub const fn backoff_deadline(&self, now: u64) -> u64 {
+        now.saturating_add(self.backoff_slots)
+    }
+
+    /// Adds one backoff window to an accumulated wait, saturating at
+    /// `u64::MAX` so repeated tune-aways under an extreme policy cannot
+    /// overflow the caller's delay accounting.
+    #[must_use]
+    pub const fn accrue_backoff(&self, wait_so_far: u64) -> u64 {
+        wait_so_far.saturating_add(self.backoff_slots)
+    }
 }
 
 impl Default for RetryPolicy {
@@ -181,6 +200,20 @@ mod tests {
         assert_eq!(policy.max_attempts(), 5);
         assert_eq!(policy.tune_away_after(), 3);
         assert_eq!(policy.backoff_slots(), 16);
+    }
+
+    #[test]
+    fn backoff_arithmetic_saturates() {
+        let policy = RetryPolicy::new(1)
+            .unwrap()
+            .with_tune_away(1, u64::MAX)
+            .unwrap();
+        assert_eq!(policy.backoff_deadline(5), u64::MAX);
+        assert_eq!(policy.accrue_backoff(u64::MAX - 1), u64::MAX);
+        let mild = RetryPolicy::new(1).unwrap().with_tune_away(1, 8).unwrap();
+        assert_eq!(mild.backoff_deadline(100), 108);
+        assert_eq!(mild.accrue_backoff(2), 10);
+        assert_eq!(mild.backoff_deadline(u64::MAX), u64::MAX);
     }
 
     #[test]

@@ -110,6 +110,28 @@ pub enum Event {
         /// non-deterministic field in the event stream.
         duration_us: u64,
     },
+    /// A crash-recovery checkpoint reached stable storage.
+    CheckpointWritten {
+        /// Slot the checkpoint captured (the station clock at capture).
+        slot: u64,
+        /// Encoded checkpoint size on disk, in bytes.
+        bytes: u64,
+        /// Journal records made obsolete by this checkpoint (the journal
+        /// lag that was just reset to zero).
+        journal_records: u64,
+    },
+    /// A crashed station was rebuilt from checkpoint + journal replay.
+    RecoveryCompleted {
+        /// Slot the recovered station resumed at.
+        slot: u64,
+        /// Journal records replayed on top of the checkpoint.
+        replayed: u64,
+        /// Corrupt or torn records dropped from the journal tail.
+        dropped_records: u64,
+        /// Measured wall-clock recovery duration in microseconds
+        /// (non-deterministic, like `ReplanTiming::duration_us`).
+        duration_us: u64,
+    },
 }
 
 impl Event {
@@ -121,7 +143,9 @@ impl Event {
             | Event::PlanRejected { slot, .. }
             | Event::ChannelHealth { slot, .. }
             | Event::DeadlineMiss { slot, .. }
-            | Event::ReplanTiming { slot, .. } => *slot,
+            | Event::ReplanTiming { slot, .. }
+            | Event::CheckpointWritten { slot, .. }
+            | Event::RecoveryCompleted { slot, .. } => *slot,
         }
     }
 
@@ -134,6 +158,8 @@ impl Event {
             Event::ChannelHealth { .. } => "channel_health",
             Event::DeadlineMiss { .. } => "deadline_miss",
             Event::ReplanTiming { .. } => "replan_timing",
+            Event::CheckpointWritten { .. } => "checkpoint_written",
+            Event::RecoveryCompleted { .. } => "recovery_completed",
         }
     }
 
@@ -192,6 +218,27 @@ impl Event {
                 let _ = write!(
                     out,
                     ",\"evals\":{evals},\"pruned\":{pruned},\"duration_us\":{duration_us}"
+                );
+            }
+            Event::CheckpointWritten {
+                bytes,
+                journal_records,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"bytes\":{bytes},\"journal_records\":{journal_records}"
+                );
+            }
+            Event::RecoveryCompleted {
+                replayed,
+                dropped_records,
+                duration_us,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"replayed\":{replayed},\"dropped_records\":{dropped_records},\"duration_us\":{duration_us}"
                 );
             }
         }
@@ -257,6 +304,17 @@ impl Event {
                 slot,
                 evals: num_of("evals")?,
                 pruned: num_of("pruned")?,
+                duration_us: num_of("duration_us")?,
+            },
+            "checkpoint_written" => Event::CheckpointWritten {
+                slot,
+                bytes: num_of("bytes")?,
+                journal_records: num_of("journal_records")?,
+            },
+            "recovery_completed" => Event::RecoveryCompleted {
+                slot,
+                replayed: num_of("replayed")?,
+                dropped_records: num_of("dropped_records")?,
                 duration_us: num_of("duration_us")?,
             },
             _ => return None,
@@ -526,6 +584,17 @@ mod tests {
                 pruned: 7098,
                 duration_us: 1234,
             },
+            Event::CheckpointWritten {
+                slot: 47,
+                bytes: 8192,
+                journal_records: 96,
+            },
+            Event::RecoveryCompleted {
+                slot: 48,
+                replayed: 96,
+                dropped_records: 1,
+                duration_us: 541,
+            },
         ]
     }
 
@@ -633,8 +702,8 @@ mod tests {
         let mut lines = dump.lines();
         assert_eq!(
             lines.next(),
-            Some("# postmortem trigger=best-effort slot=300 events=6")
+            Some("# postmortem trigger=best-effort slot=300 events=8")
         );
-        assert_eq!(lines.count(), 6);
+        assert_eq!(lines.count(), 8);
     }
 }

@@ -349,9 +349,13 @@ const CRC16_TABLE: [u16; 256] = {
 };
 
 /// CRC-16/CCITT-FALSE over the header prefix and payload (table-driven; the
-/// bitwise original is retained as [`crc16_bitwise`] and pinned equal by the
+/// bitwise original is retained as `crc16_bitwise` and pinned equal by the
 /// golden-vector tests).
-fn crc16(header: &[u8], payload: &[u8]) -> u16 {
+///
+/// Public so other on-disk formats (the recovery subsystem's checkpoint
+/// and journal framing) share the exact same checksum as the wire.
+#[must_use]
+pub fn crc16(header: &[u8], payload: &[u8]) -> u16 {
     let mut crc: u16 = 0xFFFF;
     for &byte in header.iter().chain(payload) {
         crc = (crc << 8) ^ CRC16_TABLE[usize::from((crc >> 8) as u8 ^ byte)];
@@ -633,5 +637,85 @@ mod tests {
             })
         );
         assert!(buf.is_empty());
+    }
+
+    mod robustness {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+            prop::collection::vec(any::<u8>(), 0..max)
+        }
+
+        /// A valid encoded frame to mutate.
+        fn arb_encoded() -> impl Strategy<Value = Vec<u8>> {
+            (any::<u16>(), any::<u64>(), any::<u32>(), arb_bytes(48)).prop_map(
+                |(ch, slot, page, payload)| {
+                    Frame::data(
+                        ChannelId::new(u32::from(ch)),
+                        slot,
+                        PageId::new(page),
+                        Bytes::from(payload),
+                    )
+                    .encode()
+                    .to_vec()
+                },
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Arbitrary byte soup never panics the decoder, never makes
+            /// it hand back more payload than was offered, and anything
+            /// it does accept re-encodes to exactly the input.
+            #[test]
+            fn arbitrary_bytes_never_panic_or_overallocate(bytes in arb_bytes(96)) {
+                // A typed error is the other allowed outcome.
+                if let Ok(frame) = Frame::decode(&bytes) {
+                    prop_assert!(frame.payload.len() <= bytes.len());
+                    prop_assert_eq!(&frame.encode()[..], &bytes[..]);
+                }
+                let (frames, used) = decode_stream(&bytes);
+                prop_assert!(used <= bytes.len());
+                let total: usize = frames.iter().map(|f| f.payload.len()).sum();
+                prop_assert!(total <= bytes.len());
+            }
+
+            /// Truncating a valid frame anywhere yields a typed error —
+            /// and for cuts at or beyond the header, specifically
+            /// `Truncated` (a short length prefix can also surface as a
+            /// checksum/framing error, never a panic).
+            #[test]
+            fn truncated_frames_error_cleanly(encoded in arb_encoded(), cut in any::<usize>()) {
+                let cut = cut % encoded.len().max(1);
+                let err = Frame::decode(&encoded[..cut]).unwrap_err();
+                if cut < HEADER_LEN {
+                    prop_assert_eq!(err, DecodeError::Truncated { missing: HEADER_LEN - cut });
+                } else {
+                    prop_assert!(matches!(err, DecodeError::Truncated { .. }));
+                }
+            }
+
+            /// A single flipped bit anywhere in a valid frame is always
+            /// detected: decode either errors, or (when the flip lands in
+            /// the length field and re-frames the buffer) returns a frame
+            /// different from a clean re-encode of the original bytes.
+            #[test]
+            fn bit_flips_never_round_trip_silently(
+                encoded in arb_encoded(),
+                pos in any::<usize>(),
+                bit in 0u8..8,
+            ) {
+                let original = Frame::decode(&encoded).unwrap();
+                let mut tampered = encoded.clone();
+                let pos = pos % tampered.len();
+                tampered[pos] ^= 1 << bit;
+                match Frame::decode(&tampered) {
+                    Err(_) => {}
+                    Ok(frame) => prop_assert_ne!(frame, original, "flip at byte {} bit {} went undetected", pos, bit),
+                }
+            }
+        }
     }
 }

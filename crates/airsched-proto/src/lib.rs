@@ -31,7 +31,7 @@ pub mod frame;
 pub mod receiver;
 pub mod transmitter;
 
-pub use frame::{decode_stream, DecodeError, EncodeError, Frame};
+pub use frame::{crc16, decode_stream, DecodeError, EncodeError, Frame};
 pub use receiver::{Receiver, ReceiverStats, Reception};
 pub use transmitter::{
     encode_slot_into, frames_for_slot, DebugPayloads, FrameStream, PayloadSource,

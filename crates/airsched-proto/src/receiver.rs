@@ -304,7 +304,12 @@ impl Receiver {
         self.corrupt_run = self.corrupt_run.saturating_add(1);
         if self.corrupt_run >= self.policy.tune_away_after() {
             self.corrupt_run = 0;
-            self.backoff_until = Some(frame.slot_time + 1 + self.policy.backoff_slots());
+            // Saturating: a "never come back" backoff near u64::MAX must
+            // pin to the end of time, not wrap into the past.
+            self.backoff_until = Some(
+                self.policy
+                    .backoff_deadline(frame.slot_time.saturating_add(1)),
+            );
             self.stats.tune_aways += 1;
             if let Some(o) = &self.obs {
                 o.tune_aways.inc();

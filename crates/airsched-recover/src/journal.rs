@@ -1,0 +1,435 @@
+//! The append-only mutation journal.
+//!
+//! Every externally-driven mutation between checkpoints — subscriptions,
+//! catalogue changes, manual channel failures, and each slot advance —
+//! is appended as one CRC-framed record. Replaying the records on top of
+//! the last checkpoint reproduces the crashed station bit for bit,
+//! because the station's only other input (the fault injector) is
+//! deterministic given the state the checkpoint restored.
+//!
+//! ## Record framing
+//!
+//! ```text
+//! [len: u16 LE][body: len bytes][crc: u16 LE]
+//! ```
+//!
+//! where `crc` is CRC-16/CCITT-FALSE ([`airsched_proto::crc16`]) over
+//! the length prefix *and* the body, so a record whose length field was
+//! torn cannot pass as a shorter valid one. The reader walks frames in
+//! order and stops at the first torn or corrupt frame, dropping that
+//! tail: the journal recovers to the last valid record rather than
+//! refusing the whole file.
+//!
+//! ## Record kinds
+//!
+//! *Input* records are replayed by re-invoking the station API
+//! (`Subscribe`, `Publish`, `Expire`, `FailChannel`, `RestoreChannel`,
+//! `Tick`). *Assertion* records (`ModeChange`, `DeliveryDrain`,
+//! `PlanSwap`) carry no new inputs — they are checkpoints-in-miniature
+//! that replay cross-checks against the rebuilt station, turning silent
+//! divergence into a typed [`RecoverError::Divergence`].
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, ErrorKind, Write as _};
+use std::path::Path;
+
+use airsched_proto::crc16;
+use airsched_server::station::Mode;
+
+use crate::checkpoint::{mode_from_u8, mode_to_u8};
+use crate::codec::{ByteReader, ByteWriter, Reason};
+use crate::RecoverError;
+
+/// File name of the journal inside a state directory.
+pub const JOURNAL_FILE: &str = "journal.bin";
+
+/// One journal record. See the module docs for the input/assertion
+/// split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A client subscribed to `page`; the station assigned `client`.
+    /// The id doubles as an assertion: replay must assign the same one.
+    Subscribe {
+        /// Dense page index subscribed to.
+        page: u32,
+        /// Raw id the original run assigned.
+        client: u64,
+    },
+    /// A page was published with an expected time.
+    Publish {
+        /// Dense page index published.
+        page: u32,
+        /// Its expected time in slots.
+        expected: u64,
+    },
+    /// A page was expired from the catalogue.
+    Expire {
+        /// Dense page index expired.
+        page: u32,
+    },
+    /// An operator failed a channel by hand.
+    FailChannel {
+        /// Zero-based channel index.
+        channel: u32,
+    },
+    /// An operator restored a channel by hand.
+    RestoreChannel {
+        /// Zero-based channel index.
+        channel: u32,
+    },
+    /// One slot of air time elapsed. `slot` is the station clock
+    /// *before* the tick — replay asserts it, then ticks. This is also
+    /// what advances the fault injector's deterministic sample stream.
+    Tick {
+        /// Station clock before the tick.
+        slot: u64,
+    },
+    /// Assertion: after the tick at `slot`, the station was in `to`.
+    ModeChange {
+        /// Slot of the transition.
+        slot: u64,
+        /// The mode entered.
+        to: Mode,
+    },
+    /// Assertion: cumulative delivery counters after the tick at `slot`.
+    DeliveryDrain {
+        /// Slot the deliveries happened in.
+        slot: u64,
+        /// Cumulative deliveries.
+        delivered: u64,
+        /// Cumulative on-time deliveries.
+        on_time: u64,
+        /// Cumulative wait sum.
+        total_wait: u64,
+    },
+    /// Assertion: a replan installed a new program at `slot`, leaving
+    /// the station in `mode`.
+    PlanSwap {
+        /// Slot of the swap.
+        slot: u64,
+        /// The mode whose plan went on the air.
+        mode: Mode,
+    },
+}
+
+impl JournalRecord {
+    /// Whether this record is a pure cross-check (no new input).
+    #[must_use]
+    pub fn is_assertion(&self) -> bool {
+        matches!(
+            self,
+            Self::ModeChange { .. } | Self::DeliveryDrain { .. } | Self::PlanSwap { .. }
+        )
+    }
+
+    fn encode_body(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Self::Subscribe { page, client } => {
+                w.u8(0);
+                w.u32(*page);
+                w.u64(*client);
+            }
+            Self::Publish { page, expected } => {
+                w.u8(1);
+                w.u32(*page);
+                w.u64(*expected);
+            }
+            Self::Expire { page } => {
+                w.u8(2);
+                w.u32(*page);
+            }
+            Self::FailChannel { channel } => {
+                w.u8(3);
+                w.u32(*channel);
+            }
+            Self::RestoreChannel { channel } => {
+                w.u8(4);
+                w.u32(*channel);
+            }
+            Self::Tick { slot } => {
+                w.u8(5);
+                w.u64(*slot);
+            }
+            Self::ModeChange { slot, to } => {
+                w.u8(6);
+                w.u64(*slot);
+                w.u8(mode_to_u8(*to));
+            }
+            Self::DeliveryDrain {
+                slot,
+                delivered,
+                on_time,
+                total_wait,
+            } => {
+                w.u8(7);
+                w.u64(*slot);
+                w.u64(*delivered);
+                w.u64(*on_time);
+                w.u64(*total_wait);
+            }
+            Self::PlanSwap { slot, mode } => {
+                w.u8(8);
+                w.u64(*slot);
+                w.u8(mode_to_u8(*mode));
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, Reason> {
+        let mut r = ByteReader::new(body);
+        let record = match r.u8()? {
+            0 => Self::Subscribe {
+                page: r.u32()?,
+                client: r.u64()?,
+            },
+            1 => Self::Publish {
+                page: r.u32()?,
+                expected: r.u64()?,
+            },
+            2 => Self::Expire { page: r.u32()? },
+            3 => Self::FailChannel { channel: r.u32()? },
+            4 => Self::RestoreChannel { channel: r.u32()? },
+            5 => Self::Tick { slot: r.u64()? },
+            6 => Self::ModeChange {
+                slot: r.u64()?,
+                to: mode_from_u8(r.u8()?)?,
+            },
+            7 => Self::DeliveryDrain {
+                slot: r.u64()?,
+                delivered: r.u64()?,
+                on_time: r.u64()?,
+                total_wait: r.u64()?,
+            },
+            8 => Self::PlanSwap {
+                slot: r.u64()?,
+                mode: mode_from_u8(r.u8()?)?,
+            },
+            _ => return Err("unknown journal record kind"),
+        };
+        r.finish()?;
+        Ok(record)
+    }
+
+    /// Encodes the record as one framed entry (length, body, CRC).
+    #[must_use]
+    pub fn encode_framed(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let len = u16::try_from(body.len()).expect("journal record bodies are tiny");
+        let len_bytes = len.to_le_bytes();
+        let crc = crc16(&len_bytes, &body);
+        let mut out = Vec::with_capacity(body.len() + 4);
+        out.extend_from_slice(&len_bytes);
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+/// Append handle over a journal file. Records are written unbuffered so
+/// a process crash (the failure mode the recovery suite simulates)
+/// loses at most the record being written; [`JournalWriter::sync`]
+/// additionally fsyncs for machine-crash durability and is called at
+/// every checkpoint.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    records: u64,
+}
+
+impl JournalWriter {
+    /// Opens `path` for appending, creating it if absent. `existing`
+    /// is the count of valid records already in the file (0 for a
+    /// fresh journal).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn open(path: &Path, existing: u64) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            file,
+            records: existing,
+        })
+    }
+
+    /// Appends one framed record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the record counter only advances on
+    /// success.
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        self.file.write_all(&record.encode_framed())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Total valid records in the journal (pre-existing + appended).
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Fsyncs the journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+/// What reading a journal produced: the valid prefix, plus how much
+/// torn/corrupt tail was dropped to get there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalReadOutcome {
+    /// Every record of the valid prefix, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Byte offset where the valid prefix ends (where an appender must
+    /// resume to avoid stranding new records behind garbage).
+    pub valid_bytes: u64,
+    /// Bytes dropped after the last valid record (0 for a clean file).
+    pub dropped_bytes: u64,
+}
+
+/// Reads the journal at `path`, dropping any torn or corrupt tail. A
+/// missing file reads as an empty journal — a station that crashed
+/// before its first append.
+///
+/// # Errors
+///
+/// Propagates I/O failures other than the file not existing.
+pub fn read_journal(path: &Path) -> Result<JournalReadOutcome, RecoverError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == ErrorKind::NotFound => {
+            return Ok(JournalReadOutcome {
+                records: Vec::new(),
+                valid_bytes: 0,
+                dropped_bytes: 0,
+            })
+        }
+        Err(e) => return Err(RecoverError::Io(e)),
+    };
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= 2 {
+        let len_bytes: [u8; 2] = bytes[pos..pos + 2].try_into().expect("2 bytes");
+        let len = u16::from_le_bytes(len_bytes) as usize;
+        let Some(frame_end) = pos.checked_add(2 + len + 2) else {
+            break;
+        };
+        if frame_end > bytes.len() {
+            break; // torn final frame
+        }
+        let body = &bytes[pos + 2..pos + 2 + len];
+        let stored =
+            u16::from_le_bytes(bytes[pos + 2 + len..frame_end].try_into().expect("2 bytes"));
+        if crc16(&len_bytes, body) != stored {
+            break; // corrupt frame: stop at the last valid record
+        }
+        let Ok(record) = JournalRecord::decode_body(body) else {
+            break; // CRC-valid but semantically alien: same policy
+        };
+        records.push(record);
+        pos = frame_end;
+    }
+    Ok(JournalReadOutcome {
+        records,
+        valid_bytes: pos as u64,
+        dropped_bytes: (bytes.len() - pos) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "airsched-journal-{tag}-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Publish {
+                page: 0,
+                expected: 4,
+            },
+            JournalRecord::Subscribe { page: 0, client: 7 },
+            JournalRecord::Tick { slot: 41 },
+            JournalRecord::ModeChange {
+                slot: 41,
+                to: Mode::Repacked,
+            },
+            JournalRecord::DeliveryDrain {
+                slot: 41,
+                delivered: 3,
+                on_time: 2,
+                total_wait: 9,
+            },
+            JournalRecord::PlanSwap {
+                slot: 41,
+                mode: Mode::BestEffort,
+            },
+            JournalRecord::FailChannel { channel: 2 },
+            JournalRecord::RestoreChannel { channel: 2 },
+            JournalRecord::Expire { page: 0 },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_the_file() {
+        let path = temp_path("roundtrip");
+        let mut w = JournalWriter::open(&path, 0).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        assert_eq!(w.records(), 9);
+        drop(w);
+        let out = read_journal(&path).unwrap();
+        assert_eq!(out.records, sample_records());
+        assert_eq!(out.dropped_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_tail_recovers_to_the_last_valid_record() {
+        let path = temp_path("corrupt");
+        let mut w = JournalWriter::open(&path, 0).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        drop(w);
+        let clean = std::fs::read(&path).unwrap();
+        // Flip a bit inside the final record's body.
+        let mut tampered = clean.clone();
+        let last = tampered.len() - 3;
+        tampered[last] ^= 0x40;
+        std::fs::write(&path, &tampered).unwrap();
+        let out = read_journal(&path).unwrap();
+        assert_eq!(out.records, sample_records()[..8].to_vec());
+        assert!(out.dropped_bytes > 0);
+        // A torn final frame (half-written record) is likewise dropped.
+        let torn = &clean[..clean.len() - 2];
+        std::fs::write(&path, torn).unwrap();
+        let out = read_journal(&path).unwrap();
+        assert_eq!(out.records, sample_records()[..8].to_vec());
+        assert_eq!(out.valid_bytes + out.dropped_bytes, torn.len() as u64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_reads_as_empty() {
+        let out = read_journal(&temp_path("missing")).unwrap();
+        assert!(out.records.is_empty());
+        assert_eq!(out.dropped_bytes, 0);
+    }
+}

@@ -204,6 +204,30 @@ impl FaultPlan {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// Per-slot outage probability.
+    #[must_use]
+    pub fn outage(&self) -> f64 {
+        self.outage
+    }
+
+    /// Per-slot recovery probability.
+    #[must_use]
+    pub fn recovery(&self) -> f64 {
+        self.recovery
+    }
+
+    /// Per-slot stall probability.
+    #[must_use]
+    pub fn stall(&self) -> f64 {
+        self.stall
+    }
+
+    /// Per-slot corruption probability.
+    #[must_use]
+    pub fn corruption(&self) -> f64 {
+        self.corruption
+    }
 }
 
 /// The faults affecting one slot, as produced by [`FaultInjector::sample`].
@@ -331,6 +355,30 @@ impl FaultInjector {
         }
     }
 
+    /// Captures the injector's evolving state — script cursor, RNG state,
+    /// and per-channel up/down flags — for checkpointing. The static parts
+    /// (script, rates) are rebuilt from the plan on restore.
+    #[must_use]
+    pub fn snapshot(&self) -> FaultInjectorSnapshot {
+        FaultInjectorSnapshot {
+            cursor: u64::try_from(self.cursor).expect("cursor fits in u64"),
+            rng_state: self.rng.state(),
+            up: self.up.clone(),
+        }
+    }
+
+    /// Rebuilds an injector from its originating plan plus a snapshot
+    /// taken by [`Self::snapshot`]. The restored injector's fault stream
+    /// is bit-identical to the continuation of the snapshotted one.
+    #[must_use]
+    pub fn from_snapshot(plan: &FaultPlan, snapshot: &FaultInjectorSnapshot) -> Self {
+        let mut inj = Self::new(plan, u32::try_from(snapshot.up.len()).expect("fits in u32"));
+        inj.cursor = usize::try_from(snapshot.cursor).expect("cursor fits in usize");
+        inj.rng = SmallRng::seed_from_u64(snapshot.rng_state);
+        inj.up.copy_from_slice(&snapshot.up);
+        inj
+    }
+
     /// Produces the faults for slot `time`.
     ///
     /// `time` must advance monotonically across calls for scripted events
@@ -408,6 +456,18 @@ impl FaultInjector {
             }
         }
     }
+}
+
+/// The evolving part of a [`FaultInjector`]'s state, as captured by
+/// [`FaultInjector::snapshot`] for the crash-recovery checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultInjectorSnapshot {
+    /// Position in the (sorted) scripted event list.
+    pub cursor: u64,
+    /// Internal state of the random-phase generator.
+    pub rng_state: u64,
+    /// Per-channel up/down flags at snapshot time.
+    pub up: Vec<bool>,
 }
 
 #[cfg(test)]
@@ -539,6 +599,36 @@ mod tests {
             reused.sample_into(t, &mut buf);
             assert_eq!(fresh.sample(t), buf, "diverged at slot {t}");
         }
+    }
+
+    #[test]
+    fn snapshot_restores_the_exact_fault_stream() {
+        let plan = FaultPlan::seeded(23)
+            .with_outage(0.1)
+            .with_recovery(0.3)
+            .with_stalls(0.05)
+            .with_corruption(0.2)
+            .with_script(vec![
+                FaultEvent::Down {
+                    at: 150,
+                    channel: ch(1),
+                },
+                FaultEvent::Up {
+                    at: 220,
+                    channel: ch(1),
+                },
+            ]);
+        let mut reference = FaultInjector::new(&plan, 3);
+        for t in 0..100 {
+            reference.sample(t);
+        }
+        let snap = reference.snapshot();
+        let mut restored = FaultInjector::from_snapshot(&plan, &snap);
+        assert_eq!(restored.channels(), 3);
+        for t in 100..300 {
+            assert_eq!(reference.sample(t), restored.sample(t), "slot {t}");
+        }
+        assert_eq!(reference.snapshot(), restored.snapshot());
     }
 
     #[test]

@@ -203,6 +203,67 @@ impl HealthMonitor {
             *state = ChannelHealth::default();
         }
     }
+
+    /// Captures every channel's in-flight window for checkpointing.
+    #[must_use]
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            thresholds: self.thresholds,
+            channels: self
+                .channels
+                .iter()
+                .map(|c| ChannelHealthSnapshot {
+                    samples: c.samples,
+                    errors: c.errors,
+                    stalls: c.stalls,
+                    degraded: c.degraded,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a monitor from a snapshot taken by [`Self::snapshot`].
+    /// Subsequent [`Self::record`] calls behave bit-identically to the
+    /// snapshotted monitor's continuation.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &HealthSnapshot) -> Self {
+        Self {
+            thresholds: snapshot.thresholds,
+            channels: snapshot
+                .channels
+                .iter()
+                .map(|c| ChannelHealth {
+                    samples: c.samples,
+                    errors: c.errors,
+                    stalls: c.stalls,
+                    degraded: c.degraded,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One channel's in-flight health window, as captured by
+/// [`HealthMonitor::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelHealthSnapshot {
+    /// Observations accumulated in the current window.
+    pub samples: u32,
+    /// Corrupt frames seen in the current window.
+    pub errors: u32,
+    /// Stalls seen in the current window.
+    pub stalls: u32,
+    /// Whether the channel is currently flagged degraded.
+    pub degraded: bool,
+}
+
+/// The full state of a [`HealthMonitor`] for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// The active thresholds.
+    pub thresholds: HealthThresholds,
+    /// Per-channel window state.
+    pub channels: Vec<ChannelHealthSnapshot>,
 }
 
 #[cfg(test)]
@@ -306,6 +367,37 @@ mod tests {
         assert_eq!(m.record(ch(9), SlotObservation::Corrupt, 0), None);
         assert!(!m.is_degraded(ch(9)));
         m.reset(ch(9)); // no panic
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_window() {
+        let mut m = small_monitor();
+        // Leave channel 0 two corrupt frames into a window, channel 1
+        // degraded with one stall pending.
+        m.record(ch(0), SlotObservation::Corrupt, 0);
+        m.record(ch(0), SlotObservation::Corrupt, 1);
+        for t in 0..4 {
+            m.record(ch(1), SlotObservation::Stalled, t);
+        }
+        m.record(ch(1), SlotObservation::Stalled, 4);
+        let snap = m.snapshot();
+        let mut restored = HealthMonitor::from_snapshot(&snap);
+        assert!(restored.is_degraded(ch(1)));
+        assert!(!restored.is_degraded(ch(0)));
+        // Both monitors complete their windows identically.
+        for t in 5..12 {
+            assert_eq!(
+                m.record(ch(0), SlotObservation::Corrupt, t),
+                restored.record(ch(0), SlotObservation::Corrupt, t),
+                "slot {t}"
+            );
+            assert_eq!(
+                m.record(ch(1), SlotObservation::Clean, t),
+                restored.record(ch(1), SlotObservation::Clean, t),
+                "slot {t}"
+            );
+        }
+        assert_eq!(m.snapshot(), restored.snapshot());
     }
 
     #[test]

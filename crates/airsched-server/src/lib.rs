@@ -55,9 +55,12 @@ pub mod faults;
 pub mod health;
 pub mod station;
 
-pub use faults::{FaultEvent, FaultInjector, FaultPlan, SlotFaults};
-pub use health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
+pub use faults::{FaultEvent, FaultInjector, FaultInjectorSnapshot, FaultPlan, SlotFaults};
+pub use health::{
+    ChannelEvent, ChannelHealthSnapshot, HealthMonitor, HealthSnapshot, HealthThresholds,
+    SlotObservation,
+};
 pub use station::{
-    ClientId, DegradationPolicy, Delivery, Mode, ModeTally, PlanCorruptor, Station, StationError,
-    StationStats, TickBuf, TickOutcome,
+    ActivePlanSnapshot, ClientId, DegradationPolicy, Delivery, Mode, ModeTally, PlanCorruptor,
+    ProgramSnapshot, Station, StationError, StationSnapshot, StationStats, TickBuf, TickOutcome,
 };

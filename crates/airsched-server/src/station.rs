@@ -72,7 +72,7 @@ use std::time::Instant;
 
 use airsched_core::bound::minimum_channels_for_times;
 use airsched_core::degrade;
-use airsched_core::dynamic::OnlineScheduler;
+use airsched_core::dynamic::{OnlineScheduler, SchedulerSnapshot};
 use airsched_core::error::ScheduleError;
 use airsched_core::program::BroadcastProgram;
 use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
@@ -83,8 +83,10 @@ use airsched_obs::events::{Event as ObsEvent, HealthTransition};
 use airsched_obs::metrics::{Counter, Gauge, Histogram};
 use airsched_obs::Obs;
 
-use crate::faults::{FaultInjector, FaultPlan, SlotFaults};
-use crate::health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
+use crate::faults::{FaultInjector, FaultInjectorSnapshot, FaultPlan, SlotFaults};
+use crate::health::{
+    ChannelEvent, HealthMonitor, HealthSnapshot, HealthThresholds, SlotObservation,
+};
 
 /// A hook that mutates replan candidates before the lint gate sees them —
 /// the chaos-engineering analogue of the [`FaultInjector`]: it simulates a
@@ -95,6 +97,16 @@ pub type PlanCorruptor = fn(&BroadcastProgram) -> BroadcastProgram;
 /// Identifier of a subscribed client, unique within one station.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClientId(u64);
+
+impl ClientId {
+    /// The raw numeric id. Ids are assigned from a per-station counter
+    /// that snapshot/restore preserves, so the recovery journal can
+    /// assert that a replayed subscription receives the original id.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 impl core::fmt::Display for ClientId {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -399,6 +411,19 @@ impl StationStats {
     pub fn per_mode(&self, mode: Mode) -> ModeTally {
         self.per_mode[mode.index()]
     }
+
+    /// All four per-mode tallies, in ladder order (valid, repacked,
+    /// best-effort, offline) — the checkpoint encoder's read path.
+    #[must_use]
+    pub fn mode_tallies(&self) -> [ModeTally; 4] {
+        self.per_mode
+    }
+
+    /// Replaces the per-mode tallies — the checkpoint decoder's write
+    /// path, paired with [`StationStats::mode_tallies`].
+    pub fn set_mode_tallies(&mut self, tallies: [ModeTally; 4]) {
+        self.per_mode = tallies;
+    }
 }
 
 /// Errors specific to station operation (scheduling errors pass through
@@ -419,6 +444,12 @@ pub enum StationError {
     },
     /// An underlying scheduling error.
     Schedule(ScheduleError),
+    /// A [`StationSnapshot`] could not be turned back into a station
+    /// (internally inconsistent — a corrupt or truncated checkpoint).
+    CorruptSnapshot {
+        /// What was wrong with it.
+        reason: &'static str,
+    },
 }
 
 impl core::fmt::Display for StationError {
@@ -430,6 +461,9 @@ impl core::fmt::Display for StationError {
                 "cannot admit {page}: catalogue exceeds the channel budget"
             ),
             Self::Schedule(e) => write!(f, "{e}"),
+            Self::CorruptSnapshot { reason } => {
+                write!(f, "cannot restore station snapshot: {reason}")
+            }
         }
     }
 }
@@ -1550,6 +1584,230 @@ impl Station {
         self.run_with(slots, |d| out.push(*d));
         out
     }
+
+    /// Captures the station's complete serving state as plain data — the
+    /// payload of a crash-recovery checkpoint.
+    ///
+    /// Two things are deliberately *not* captured, because they are not
+    /// data: the plan-corruptor chaos hook (a function pointer) and the
+    /// observability wiring. A restored station comes up with neither;
+    /// callers re-attach them (`set_plan_corruptor`, `attach_obs`) after
+    /// [`Station::from_snapshot`]. Neither influences the `TickOutcome`
+    /// stream, so the bit-identical replay contract is unaffected.
+    #[must_use]
+    pub fn snapshot(&self) -> StationSnapshot {
+        StationSnapshot {
+            scheduler: self.scheduler.snapshot(),
+            time: self.time,
+            waiting: self
+                .waiting
+                .iter()
+                .map(|w| w.iter().map(|&(client, since)| (client.0, since)).collect())
+                .collect(),
+            expected: self.expected.clone(),
+            next_client: self.next_client,
+            stats: self.stats,
+            channel_up: self.channel_up.clone(),
+            injector: self.injector.as_ref().map(FaultInjector::snapshot),
+            health: self.health.snapshot(),
+            policy: self.policy,
+            mode: self.mode,
+            active: match &self.active {
+                ActivePlan::Full => ActivePlanSnapshot::Full,
+                ActivePlan::Reduced(p) => ActivePlanSnapshot::Reduced(ProgramSnapshot::capture(p)),
+                ActivePlan::BestEffort(p) => {
+                    ActivePlanSnapshot::BestEffort(ProgramSnapshot::capture(p))
+                }
+                ActivePlan::Offline => ActivePlanSnapshot::Offline,
+            },
+            pending_events: self.pending_events.clone(),
+        }
+    }
+
+    /// Rebuilds a station from a snapshot taken by [`Station::snapshot`].
+    ///
+    /// `fault_plan` must be the plan the snapshotted station was running
+    /// under (the snapshot carries only the injector's evolving state;
+    /// the script and rates are rebuilt from the plan). Pass `None` for a
+    /// station that had no injector.
+    ///
+    /// The restored station's subsequent [`TickOutcome`] stream — and
+    /// every stat — is bit-identical to the snapshotted station's
+    /// continuation, provided both see the same post-snapshot inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StationError::CorruptSnapshot`] (or a schedule error) if
+    /// the snapshot is internally inconsistent or the fault plan is
+    /// missing while the snapshot carries injector state.
+    pub fn from_snapshot(
+        snapshot: &StationSnapshot,
+        fault_plan: Option<&FaultPlan>,
+    ) -> Result<Self, StationError> {
+        let injector = match (&snapshot.injector, fault_plan) {
+            (Some(inj), Some(plan)) => {
+                if inj.up.len() != snapshot.channel_up.len() {
+                    return Err(StationError::CorruptSnapshot {
+                        reason: "injector channel count disagrees with the station's",
+                    });
+                }
+                Some(FaultInjector::from_snapshot(plan, inj))
+            }
+            (Some(_), None) => {
+                return Err(StationError::CorruptSnapshot {
+                    reason: "snapshot carries fault-injector state but no fault plan was supplied",
+                })
+            }
+            (None, _) => None,
+        };
+        let active = match &snapshot.active {
+            ActivePlanSnapshot::Full => ActivePlan::Full,
+            ActivePlanSnapshot::Reduced(p) => ActivePlan::Reduced(p.rebuild()?),
+            ActivePlanSnapshot::BestEffort(p) => ActivePlan::BestEffort(p.rebuild()?),
+            ActivePlanSnapshot::Offline => ActivePlan::Offline,
+        };
+        Ok(Self {
+            scheduler: OnlineScheduler::from_snapshot(&snapshot.scheduler)?,
+            time: snapshot.time,
+            waiting: snapshot
+                .waiting
+                .iter()
+                .map(|w| {
+                    w.iter()
+                        .map(|&(client, since)| (ClientId(client), since))
+                        .collect()
+                })
+                .collect(),
+            expected: snapshot.expected.clone(),
+            next_client: snapshot.next_client,
+            stats: snapshot.stats,
+            channel_up: snapshot.channel_up.clone(),
+            injector,
+            health: HealthMonitor::from_snapshot(&snapshot.health),
+            policy: snapshot.policy,
+            mode: snapshot.mode,
+            active,
+            pending_events: snapshot.pending_events.clone(),
+            corruptor: None,
+            obs: None,
+        })
+    }
+}
+
+/// Cell-exact capture of one [`BroadcastProgram`].
+///
+/// The degraded rungs' programs are persisted verbatim rather than
+/// re-derived on restore: the pre-swap lint gate may refuse a freshly
+/// derived candidate (keeping the previous plan on the air), so
+/// re-planning is not guaranteed to reproduce the program that was
+/// actually transmitting when the checkpoint was taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSnapshot {
+    /// Channel count of the grid.
+    pub channels: u32,
+    /// Cycle length of the grid.
+    pub cycle: u64,
+    /// Every grid cell in channel-major order (`ch * cycle + slot`).
+    pub grid: Vec<Option<PageId>>,
+}
+
+impl ProgramSnapshot {
+    /// Serializes `program` cell by cell.
+    #[must_use]
+    pub fn capture(program: &BroadcastProgram) -> Self {
+        let channels = program.channels();
+        let cycle = program.cycle_len();
+        let mut grid = Vec::with_capacity((channels as usize) * (cycle as usize));
+        for ch in 0..channels {
+            for slot in 0..cycle {
+                grid.push(program.page_at(GridPos::new(ChannelId::new(ch), SlotIndex::new(slot))));
+            }
+        }
+        Self {
+            channels,
+            cycle,
+            grid,
+        }
+    }
+
+    /// Reconstructs the exact program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StationError::CorruptSnapshot`] on malformed dimensions.
+    pub fn rebuild(&self) -> Result<BroadcastProgram, StationError> {
+        if self.channels == 0 || self.cycle == 0 {
+            return Err(StationError::CorruptSnapshot {
+                reason: "program snapshot has zero channels or cycle",
+            });
+        }
+        if self.grid.len() != (self.channels as usize) * (self.cycle as usize) {
+            return Err(StationError::CorruptSnapshot {
+                reason: "program snapshot grid length does not match its dimensions",
+            });
+        }
+        let mut program = BroadcastProgram::new(self.channels, self.cycle);
+        let mut cells = self.grid.iter();
+        for ch in 0..self.channels {
+            for slot in 0..self.cycle {
+                if let Some(page) = cells.next().copied().flatten() {
+                    program
+                        .place(GridPos::new(ChannelId::new(ch), SlotIndex::new(slot)), page)
+                        .expect("fresh grid cells are free");
+                }
+            }
+        }
+        Ok(program)
+    }
+}
+
+/// Which rung's program was on the air, with the program itself persisted
+/// cell-exactly for the degraded rungs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActivePlanSnapshot {
+    /// The primary scheduler's program (already captured in
+    /// [`StationSnapshot::scheduler`]).
+    Full,
+    /// A valid SUSC re-pack onto the surviving channels.
+    Reduced(ProgramSnapshot),
+    /// A PAMAD best-effort plan onto the surviving channels.
+    BestEffort(ProgramSnapshot),
+    /// Nothing transmits.
+    Offline,
+}
+
+/// Plain-data capture of a [`Station`]'s complete serving state, produced
+/// by [`Station::snapshot`] and consumed by [`Station::from_snapshot`].
+/// The crash-recovery checkpoint format (`airsched-recover`) is a binary
+/// encoding of exactly this struct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationSnapshot {
+    /// The primary scheduler: grid and live catalogue.
+    pub scheduler: SchedulerSnapshot,
+    /// The slot clock.
+    pub time: u64,
+    /// Waiting clients per dense page index, as `(client id, since)`.
+    pub waiting: Vec<Vec<(u64, u64)>>,
+    /// Dense expected-time mirror of the catalogue.
+    pub expected: Vec<Option<u64>>,
+    /// The next client id to assign.
+    pub next_client: u64,
+    /// Aggregate statistics.
+    pub stats: StationStats,
+    /// Physical channel up/down state.
+    pub channel_up: Vec<bool>,
+    /// The fault injector's evolving state, if one was attached.
+    pub injector: Option<FaultInjectorSnapshot>,
+    /// Per-channel health windows.
+    pub health: HealthSnapshot,
+    /// The degradation policy.
+    pub policy: DegradationPolicy,
+    /// The ladder mode.
+    pub mode: Mode,
+    /// The plan on the air.
+    pub active: ActivePlanSnapshot,
+    /// Events produced outside `tick`, not yet surfaced.
+    pub pending_events: Vec<ChannelEvent>,
 }
 
 #[cfg(test)]
@@ -2278,5 +2536,81 @@ mod tests {
             })
             .collect();
         assert_eq!(stages, vec!["repack".to_string(), "pamad".to_string()]);
+    }
+
+    #[test]
+    fn snapshot_restores_a_bit_identical_twin_mid_chaos() {
+        let plan = FaultPlan::seeded(99)
+            .with_outage(0.05)
+            .with_recovery(0.25)
+            .with_stalls(0.02)
+            .with_corruption(0.1)
+            .with_script(vec![FaultEvent::Down {
+                at: 30,
+                channel: ChannelId::new(1),
+            }]);
+        let mut original = Station::with_faults(3, 8, &plan).unwrap();
+        original.publish(PageId::new(0), 2).unwrap();
+        original.publish(PageId::new(1), 4).unwrap();
+        original.publish(PageId::new(2), 8).unwrap();
+        // Drive it into the interesting regime: mid-chaos, clients
+        // waiting, health windows partially filled.
+        for t in 0..150u64 {
+            if t % 4 == 0 {
+                original
+                    .subscribe(PageId::new(u32::try_from(t % 3).unwrap()))
+                    .unwrap();
+            }
+            original.tick();
+        }
+        let snap = original.snapshot();
+        let mut restored = Station::from_snapshot(&snap, Some(&plan)).unwrap();
+        assert_eq!(restored.stats(), original.stats());
+        assert_eq!(restored.mode(), original.mode());
+        assert_eq!(restored.now(), original.now());
+        // The continuation must be bit-identical, including fresh
+        // subscriptions handled on both sides.
+        for t in 150..400u64 {
+            if t % 4 == 0 {
+                let page = PageId::new(u32::try_from(t % 3).unwrap());
+                assert_eq!(
+                    original.subscribe(page).unwrap(),
+                    restored.subscribe(page).unwrap()
+                );
+            }
+            assert_eq!(original.tick(), restored.tick(), "diverged at slot {t}");
+        }
+        assert_eq!(original.stats(), restored.stats());
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_inconsistencies() {
+        let plan = FaultPlan::seeded(7).with_outage(0.1).with_recovery(0.2);
+        let mut s = Station::with_faults(2, 8, &plan).unwrap();
+        s.publish(PageId::new(0), 2).unwrap();
+        s.run(20);
+        let snap = s.snapshot();
+        // Injector state without the plan that explains it.
+        let err = Station::from_snapshot(&snap, None).unwrap_err();
+        assert!(matches!(err, StationError::CorruptSnapshot { .. }));
+        assert!(err.to_string().contains("cannot restore station snapshot"));
+        // Injector channel count out of step with the station's.
+        let mut bad = snap.clone();
+        bad.injector.as_mut().unwrap().up.push(true);
+        assert!(matches!(
+            Station::from_snapshot(&bad, Some(&plan)),
+            Err(StationError::CorruptSnapshot { .. })
+        ));
+        // A degraded-plan grid that lies about its dimensions.
+        let mut bad = snap;
+        bad.active = ActivePlanSnapshot::Reduced(ProgramSnapshot {
+            channels: 2,
+            cycle: 8,
+            grid: vec![None; 3],
+        });
+        assert!(matches!(
+            Station::from_snapshot(&bad, Some(&plan)),
+            Err(StationError::CorruptSnapshot { .. })
+        ));
     }
 }

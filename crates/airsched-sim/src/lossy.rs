@@ -168,21 +168,23 @@ pub fn measure_lossy(
             let Some(wait) = program.wait_from(req.page, clock) else {
                 break;
             };
-            wait_total += wait;
+            wait_total = wait_total.saturating_add(wait);
             if model.loss == 0.0 || rng.gen::<f64>() >= model.loss {
                 acc.record(group, wait_total, wait_total.saturating_sub(t));
                 served = true;
                 break;
             }
             // Missed it; resume listening right after that slot.
-            clock += wait;
+            clock = clock.saturating_add(wait);
             missed_run += 1;
             if missed_run >= model.retry.tune_away_after() {
                 // Tune away: the client stops listening for the backoff
-                // window, which counts toward its wait.
+                // window, which counts toward its wait. Saturating, so an
+                // extreme backoff policy pins the clock instead of
+                // wrapping it back into the past.
                 missed_run = 0;
-                clock += model.retry.backoff_slots();
-                wait_total += model.retry.backoff_slots();
+                clock = model.retry.backoff_deadline(clock);
+                wait_total = model.retry.accrue_backoff(wait_total);
             }
         }
         if !served {

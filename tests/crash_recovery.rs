@@ -1,0 +1,280 @@
+//! Crash-recovery integration suite: kill the station at every slot (and
+//! half-way through a checkpoint write), restore it, and require the
+//! recovered continuation — every `TickOutcome` and the final stats — to
+//! be bit-identical to a twin that never crashed.
+
+use std::fs;
+use std::path::PathBuf;
+
+use airsched_core::types::{ChannelId, PageId};
+use airsched_obs::events::Event;
+use airsched_obs::Obs;
+use airsched_recover::{
+    CrashInjector, RecoverError, RecoverableStation, RecoveryOptions, CHECKPOINT_SHADOW,
+    JOURNAL_FILE,
+};
+use airsched_server::faults::{FaultEvent, FaultPlan};
+use airsched_server::{Station, StationStats, TickOutcome};
+
+const CHANNELS: u32 = 3;
+const CYCLE: u64 = 8;
+const SLOTS: u64 = 96;
+/// The paper-example flavour of catalogue: a small ladder of expected
+/// times on a few pages.
+const TIMES: [(u32, u64); 4] = [(0, 2), (1, 4), (2, 8), (3, 8)];
+
+fn plan() -> FaultPlan {
+    FaultPlan::seeded(0xC4A5)
+        .with_outage(0.04)
+        .with_recovery(0.2)
+        .with_stalls(0.02)
+        .with_corruption(0.06)
+        .with_script(vec![
+            FaultEvent::Down {
+                at: 24,
+                channel: ChannelId::new(0),
+            },
+            FaultEvent::Up {
+                at: 48,
+                channel: ChannelId::new(0),
+            },
+        ])
+}
+
+fn fresh_station() -> Station {
+    let mut s = Station::with_faults(CHANNELS, CYCLE, &plan()).expect("station builds");
+    for (page, expected) in TIMES {
+        s.publish(PageId::new(page), expected).expect("publishes");
+    }
+    s
+}
+
+/// The deterministic subscription schedule both twins follow.
+fn sub_page(t: u64) -> Option<PageId> {
+    t.is_multiple_of(3)
+        .then(|| PageId::new(u32::try_from(t % 4).expect("small")))
+}
+
+/// Drives an uninterrupted station through all `SLOTS`, returning every
+/// outcome and the final stats — the ground truth every crashed-and-
+/// recovered run must match exactly.
+fn twin_outcomes() -> (Vec<TickOutcome>, StationStats) {
+    let mut s = fresh_station();
+    let mut out = Vec::with_capacity(usize::try_from(SLOTS).expect("small"));
+    for t in 0..SLOTS {
+        if let Some(p) = sub_page(t) {
+            s.subscribe(p).expect("subscribes");
+        }
+        out.push(s.tick());
+    }
+    (out, s.stats())
+}
+
+fn state_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("airsched-crashsweep-{tag}-{}", std::process::id()))
+}
+
+/// Runs a recoverable station until its scripted crash fires, returning
+/// the crash slot.
+fn run_until_crash(run: &mut RecoverableStation) -> u64 {
+    let mut t = run.now();
+    loop {
+        if let Some(p) = sub_page(t) {
+            run.subscribe(p).expect("subscribes");
+        }
+        match run.tick() {
+            Ok(_) => t = run.now(),
+            Err(RecoverError::Crashed { slot }) => return slot,
+            Err(e) => panic!("unexpected recovery error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn crash_at_every_slot_recovers_bit_identically() {
+    let (twin, twin_stats) = twin_outcomes();
+    for crash_at in 1..SLOTS {
+        let dir = state_dir(&format!("slot{crash_at}"));
+        let opts = RecoveryOptions::new()
+            .checkpoint_every(8)
+            .with_crash(CrashInjector::at_slot(crash_at));
+        let mut run = RecoverableStation::create(&dir, fresh_station(), Some(plan()), opts)
+            .expect("create succeeds");
+        let crashed = run_until_crash(&mut run);
+        assert_eq!(crashed, crash_at);
+        drop(run); // the "process" dies; only the state directory survives
+
+        let (mut resumed, report) =
+            RecoverableStation::resume(&dir, RecoveryOptions::new().checkpoint_every(8), None)
+                .unwrap_or_else(|e| panic!("crash at {crash_at}: resume failed: {e}"));
+        assert_eq!(resumed.now(), crash_at, "recovery lost or invented slots");
+        assert_eq!(report.resumed_at, crash_at);
+
+        for t in crash_at..SLOTS {
+            // The crash fired *before* ticking `crash_at`, but after that
+            // slot's subscription was journaled — replay already applied
+            // it, so only later slots subscribe afresh.
+            if t != crash_at {
+                if let Some(p) = sub_page(t) {
+                    resumed.subscribe(p).expect("subscribes");
+                }
+            }
+            let got = resumed.tick().expect("post-recovery ticks");
+            assert_eq!(
+                got,
+                twin[usize::try_from(t).expect("small")],
+                "crash at {crash_at}: outcome diverged at slot {t}"
+            );
+        }
+        assert_eq!(
+            resumed.stats(),
+            twin_stats,
+            "crash at {crash_at}: final stats diverged"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn crash_mid_checkpoint_write_recovers_from_the_previous_checkpoint() {
+    let (twin, twin_stats) = twin_outcomes();
+    let dir = state_dir("midckpt");
+    // Checkpoint #1 is the creation one; #2 lands at slot 8; #3 at slot
+    // 16 is torn half-way through its shadow write.
+    let opts = RecoveryOptions::new()
+        .checkpoint_every(8)
+        .with_crash(CrashInjector::mid_checkpoint(3));
+    let mut run =
+        RecoverableStation::create(&dir, fresh_station(), Some(plan()), opts).expect("create");
+    let crashed = run_until_crash(&mut run);
+    assert_eq!(crashed, 16);
+    drop(run);
+    assert!(
+        dir.join(CHECKPOINT_SHADOW).exists(),
+        "the torn shadow should be left on disk"
+    );
+
+    let (mut resumed, report) =
+        RecoverableStation::resume(&dir, RecoveryOptions::new().checkpoint_every(8), None)
+            .expect("resume survives a torn shadow");
+    // Unlike an inter-slot crash, the tick that triggered the torn
+    // checkpoint had already completed, so nothing is lost at all.
+    assert_eq!(resumed.now(), 16);
+    assert!(
+        report.replayed > 0,
+        "the slot-8 checkpoint plus journal replay should carry slots 8..16"
+    );
+    for t in 16..SLOTS {
+        if let Some(p) = sub_page(t) {
+            resumed.subscribe(p).expect("subscribes");
+        }
+        let got = resumed.tick().expect("post-recovery ticks");
+        assert_eq!(
+            got,
+            twin[usize::try_from(t).expect("small")],
+            "outcome diverged at slot {t}"
+        );
+    }
+    assert_eq!(resumed.stats(), twin_stats);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_journal_tail_recovers_to_the_last_valid_record() {
+    let dir = state_dir("tail");
+    let mut run =
+        RecoverableStation::create(&dir, fresh_station(), Some(plan()), RecoveryOptions::new())
+            .expect("create");
+    for t in 0..20 {
+        if let Some(p) = sub_page(t) {
+            run.subscribe(p).expect("subscribes");
+        }
+        run.tick().expect("ticks");
+    }
+    drop(run);
+
+    // Bit-rot the journal's final bytes on disk.
+    let journal_path = dir.join(JOURNAL_FILE);
+    let mut bytes = fs::read(&journal_path).expect("journal exists");
+    let n = bytes.len();
+    for b in &mut bytes[n - 6..] {
+        *b ^= 0xFF;
+    }
+    fs::write(&journal_path, &bytes).expect("rewrite");
+
+    let (resumed, report) = RecoverableStation::resume(&dir, RecoveryOptions::new(), None)
+        .expect("a corrupt tail must not refuse recovery");
+    assert!(report.dropped_bytes > 0, "the clobbered tail was dropped");
+    // Only the final record (or two, if the clobber straddled a frame
+    // boundary) can be lost.
+    assert!(
+        resumed.now() >= 18 && resumed.now() <= 20,
+        "{}",
+        resumed.now()
+    );
+    drop(resumed);
+
+    // Resume truncated the garbage and re-anchored with a fresh
+    // checkpoint, so a second recovery is clean.
+    let (second, report2) =
+        RecoverableStation::resume(&dir, RecoveryOptions::new(), None).expect("second resume");
+    assert_eq!(report2.dropped_bytes, 0);
+    assert_eq!(
+        report2.replayed, 0,
+        "the re-anchor checkpoint covers everything"
+    );
+    assert!(second.now() >= 18);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_postmortem_carries_the_pre_crash_causal_history() {
+    let dir = state_dir("postmortem");
+    // The scripted blackout at slot 24 precedes the crash at slot 30, so
+    // the mode change and channel-health transitions it caused are part
+    // of the history the crash destroyed.
+    let opts = RecoveryOptions::new()
+        .checkpoint_every(16)
+        .with_crash(CrashInjector::at_slot(30));
+    let mut run =
+        RecoverableStation::create(&dir, fresh_station(), Some(plan()), opts).expect("create");
+    let crashed = run_until_crash(&mut run);
+    assert_eq!(crashed, 30);
+    drop(run);
+
+    let obs = Obs::new();
+    let (_resumed, report) =
+        RecoverableStation::resume(&dir, RecoveryOptions::new(), Some(&obs)).expect("resume");
+    assert!(report.replayed > 0);
+
+    // The replayed ticks regenerated the flight-recorder stream, so the
+    // recovery postmortem shows what led up to the crash.
+    let pms = obs.take_postmortems();
+    let pm = pms
+        .iter()
+        .find(|p| p.trigger == "recovery")
+        .expect("a recovery postmortem was captured");
+    assert_eq!(pm.slot, 30);
+    assert!(
+        pm.events
+            .iter()
+            .any(|e| matches!(e, Event::ModeChange { .. })),
+        "the pre-crash mode change is part of the causal history"
+    );
+    assert!(
+        pm.events
+            .iter()
+            .any(|e| matches!(e, Event::ChannelHealth { .. })),
+        "the pre-crash channel loss is part of the causal history"
+    );
+    assert!(
+        pm.events
+            .iter()
+            .any(|e| matches!(e, Event::RecoveryCompleted { .. })),
+        "the recovery itself closes the postmortem"
+    );
+    let prom = obs.render_prometheus();
+    assert!(prom.contains("airsched_recover_recovery_duration_us"));
+    assert!(prom.contains("airsched_recover_checkpoints_total"));
+    fs::remove_dir_all(&dir).ok();
+}

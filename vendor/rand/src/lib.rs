@@ -192,6 +192,19 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The generator's current internal state.
+        ///
+        /// Feeding the returned value back through
+        /// [`SeedableRng::seed_from_u64`] reconstructs a generator that
+        /// continues the exact same stream — the hook checkpoint/restore
+        /// machinery relies on.
+        #[must_use]
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+    }
+
     /// Alias of [`SmallRng`]; the stub has a single generator.
     pub type StdRng = SmallRng;
 }
