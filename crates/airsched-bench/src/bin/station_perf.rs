@@ -23,9 +23,13 @@
 //!
 //! Options (beyond the common `--seed`): `--channels` (8), `--cycle`
 //! (1024), `--pages` (1680), `--slots` (4096, serving-loop slots timed per
-//! rep), `--max-subs` (1000000, caps the subscriber matrix), `--reps` (3)
-//! and `--out <path>` for the JSON file (default `BENCH_station.json` in
-//! the working directory).
+//! rep), `--scales` (`10000,100000,1000000`, comma-separated subscriber
+//! scales), `--max-subs` (1000000, caps the subscriber matrix), `--par`
+//! (`1,2,4`, comma-separated shard counts: every lockstep gate runs at
+//! each count, and the optimized serving loop is timed at each count —
+//! `1` is always included so the serial baseline row exists), `--reps`
+//! (3) and `--out <path>` for the JSON file (default
+//! `BENCH_station.json` in the working directory).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -401,13 +405,15 @@ impl SeedStation {
 // ---------------------------------------------------------------------------
 
 /// Drives two identically-configured stations in lockstep — one through
-/// `tick_into`, one through the retained `tick_reference` — under full
-/// chaos with continuous subscription churn, recording any divergence in
-/// outcomes or statistics. This is the bit-identical gate.
-fn reference_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
+/// `tick_into` at shard count `par`, one through the retained
+/// `tick_reference` — under full chaos with continuous subscription
+/// churn, recording any divergence in outcomes or statistics. This is
+/// the bit-identical gate.
+fn reference_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<String>) {
     let plan = cfg.chaos_plan();
     let plan = faulted.then_some(&plan);
     let mut fast = build_station(cfg, plan);
+    fast.parallelism(par);
     let mut reference = build_station(cfg, plan);
     let mut buf = TickBuf::new();
     let gate_slots = cfg.slots.min(1024).max(2 * cfg.cycle);
@@ -422,14 +428,16 @@ fn reference_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
         let want = reference.tick_reference();
         if buf.to_outcome() != want {
             divergences.push(format!(
-                "tick_into diverges from tick_reference at slot {t} (faulted={faulted})"
+                "tick_into diverges from tick_reference at slot {t} \
+                 (faulted={faulted}, parallelism={par})"
             ));
             return;
         }
     }
     if fast.stats() != reference.stats() {
         divergences.push(format!(
-            "stats diverge from tick_reference after {gate_slots}-slot lockstep (faulted={faulted})"
+            "stats diverge from tick_reference after {gate_slots}-slot lockstep \
+             (faulted={faulted}, parallelism={par})"
         ));
     }
 }
@@ -438,10 +446,11 @@ fn reference_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
 /// comparing everything the replica can observe (the replica mints its own
 /// client ids, so deliveries compare by display name, page, wait and
 /// deadline — order included).
-fn seed_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
+fn seed_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<String>) {
     let plan = cfg.chaos_plan();
     let plan = faulted.then_some(&plan);
     let mut fast = build_station(cfg, plan);
+    fast.parallelism(par);
     let mut seed = SeedStation::build(cfg, plan);
     let mut buf = TickBuf::new();
     let gate_slots = cfg.slots.min(1024).max(2 * cfg.cycle);
@@ -467,7 +476,8 @@ fn seed_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
             });
         if !same {
             divergences.push(format!(
-                "tick_into diverges from the seed replica at slot {t} (faulted={faulted})"
+                "tick_into diverges from the seed replica at slot {t} \
+                 (faulted={faulted}, parallelism={par})"
             ));
             return;
         }
@@ -484,7 +494,8 @@ fn seed_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
         && stats.slots_elapsed == seed.slots_elapsed;
     if !same_stats {
         divergences.push(format!(
-            "stats diverge from the seed replica after {gate_slots}-slot lockstep (faulted={faulted})"
+            "stats diverge from the seed replica after {gate_slots}-slot lockstep \
+             (faulted={faulted}, parallelism={par})"
         ));
     }
 }
@@ -493,12 +504,16 @@ fn seed_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
 /// attached (metrics registry + flight recorder) in lockstep under full
 /// chaos. Instrumentation is read-only: every tick outcome and the final
 /// statistics must be bit-identical, and the registry counters must
-/// mirror the station's own stats exactly.
-fn obs_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
+/// mirror the station's own stats exactly. The instrumented station runs
+/// its drains at shard count `par` while the plain twin stays serial, so
+/// one gate proves both that instrumentation observes without perturbing
+/// and that the obs mirrors stay single-writer under sharding.
+fn obs_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<String>) {
     let plan = cfg.chaos_plan();
     let plan = faulted.then_some(&plan);
     let mut plain = build_station(cfg, plan);
     let mut instrumented = build_station(cfg, plan);
+    instrumented.parallelism(par);
     let obs = Obs::with_recorder_capacity(4096);
     instrumented.attach_obs(&obs);
     let mut buf_plain = TickBuf::new();
@@ -515,7 +530,8 @@ fn obs_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
         instrumented.tick_into(&mut buf_obs);
         if buf_plain.to_outcome() != buf_obs.to_outcome() {
             divergences.push(format!(
-                "instrumented station diverges from plain at slot {t} (faulted={faulted})"
+                "instrumented station diverges from plain at slot {t} \
+                 (faulted={faulted}, parallelism={par})"
             ));
             return;
         }
@@ -524,7 +540,7 @@ fn obs_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
     if stats != instrumented.stats() {
         divergences.push(format!(
             "instrumented stats diverge from plain after {gate_slots}-slot lockstep \
-             (faulted={faulted})"
+             (faulted={faulted}, parallelism={par})"
         ));
     }
     let snapshot = obs.snapshot();
@@ -542,7 +558,8 @@ fn obs_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
         let got = snapshot.scalar_total(name);
         if got != want {
             divergences.push(format!(
-                "registry counter {name} = {got} but station stats say {want} (faulted={faulted})"
+                "registry counter {name} = {got} but station stats say {want} \
+                 (faulted={faulted}, parallelism={par})"
             ));
         }
     }
@@ -552,8 +569,12 @@ fn obs_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
 /// state directory, and drives the continuation in lockstep against a
 /// never-crashed twin: every post-recovery `TickOutcome` and the final
 /// statistics must be bit-identical. This is the restore-after-crash
-/// gate the `airsched-recover` determinism contract is held to.
-fn recovery_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
+/// gate the `airsched-recover` determinism contract is held to. The
+/// twin and the crashed process tick at shard count `par` while the
+/// resumed process deliberately runs at a *different* count — bit-equal
+/// continuation across the crash then proves the checkpoint format does
+/// not leak the partition count.
+fn recovery_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<String>) {
     use airsched_recover::{CrashInjector, RecoverError, RecoverableStation, RecoveryOptions};
 
     let plan = faulted.then(|| cfg.chaos_plan());
@@ -562,8 +583,10 @@ fn recovery_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
     // the checkpoint restore and a non-empty journal replay.
     let crash_at = gate_slots / 2 + 3;
     let every = (cfg.cycle / 4).max(8);
+    let resumed_par = if par == 1 { 2 } else { 1 };
 
     let mut twin = build_station(cfg, plan.as_ref());
+    twin.parallelism(par);
     let mut want = Vec::with_capacity(usize::try_from(gate_slots).expect("fits"));
     for t in 0..gate_slots {
         for k in 0..8u64 {
@@ -574,18 +597,20 @@ fn recovery_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
     }
 
     let dir = std::env::temp_dir().join(format!(
-        "airsched-perf-recovery-{}-{faulted}",
+        "airsched-perf-recovery-{}-{faulted}-{par}",
         std::process::id()
     ));
     let opts = RecoveryOptions::new()
         .checkpoint_every(every)
         .with_crash(CrashInjector::at_slot(crash_at));
-    let run = RecoverableStation::create(&dir, build_station(cfg, plan.as_ref()), plan, opts);
+    let mut doomed = build_station(cfg, plan.as_ref());
+    doomed.parallelism(par);
+    let run = RecoverableStation::create(&dir, doomed, plan, opts);
     let mut run = match run {
         Ok(r) => r,
         Err(e) => {
             divergences.push(format!(
-                "recovery gate: create failed (faulted={faulted}): {e}"
+                "recovery gate: create failed (faulted={faulted}, parallelism={par}): {e}"
             ));
             return;
         }
@@ -601,7 +626,7 @@ fn recovery_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
                 if got != want[usize::try_from(t).expect("fits")] {
                     divergences.push(format!(
                         "journaled station diverges from its twin at slot {t} \
-                         before the crash (faulted={faulted})"
+                         before the crash (faulted={faulted}, parallelism={par})"
                     ));
                     std::fs::remove_dir_all(&dir).ok();
                     return;
@@ -614,7 +639,7 @@ fn recovery_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
             }
             Err(e) => {
                 divergences.push(format!(
-                    "recovery gate: tick failed (faulted={faulted}): {e}"
+                    "recovery gate: tick failed (faulted={faulted}, parallelism={par}): {e}"
                 ));
                 std::fs::remove_dir_all(&dir).ok();
                 return;
@@ -629,15 +654,17 @@ fn recovery_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
         Ok(pair) => pair,
         Err(e) => {
             divergences.push(format!(
-                "recovery gate: resume failed (faulted={faulted}): {e}"
+                "recovery gate: resume failed (faulted={faulted}, parallelism={par}): {e}"
             ));
             std::fs::remove_dir_all(&dir).ok();
             return;
         }
     };
+    resumed.parallelism(resumed_par);
     if report.resumed_at != crash_at || resumed.now() != crash_at {
         divergences.push(format!(
-            "recovery resumed at slot {} instead of the crash slot {crash_at} (faulted={faulted})",
+            "recovery resumed at slot {} instead of the crash slot {crash_at} \
+             (faulted={faulted}, parallelism={par})",
             resumed.now()
         ));
         std::fs::remove_dir_all(&dir).ok();
@@ -659,7 +686,8 @@ fn recovery_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
                 if got != want[usize::try_from(t).expect("fits")] {
                     divergences.push(format!(
                         "recovered station diverges from its never-crashed twin at \
-                         slot {t} (crash at {crash_at}, faulted={faulted})"
+                         slot {t} (crash at {crash_at}, faulted={faulted}, \
+                         parallelism {par} -> {resumed_par})"
                     ));
                     std::fs::remove_dir_all(&dir).ok();
                     return;
@@ -667,7 +695,8 @@ fn recovery_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
             }
             Err(e) => {
                 divergences.push(format!(
-                    "recovery gate: post-recovery tick failed (faulted={faulted}): {e}"
+                    "recovery gate: post-recovery tick failed \
+                     (faulted={faulted}, parallelism={par}): {e}"
                 ));
                 std::fs::remove_dir_all(&dir).ok();
                 return;
@@ -677,7 +706,7 @@ fn recovery_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
     if resumed.stats() != twin.stats() {
         divergences.push(format!(
             "recovered station's final stats diverge from its never-crashed twin \
-             (crash at {crash_at}, faulted={faulted})"
+             (crash at {crash_at}, faulted={faulted}, parallelism {par} -> {resumed_par})"
         ));
     }
     std::fs::remove_dir_all(&dir).ok();
@@ -690,6 +719,9 @@ fn recovery_gate(cfg: &Config, faulted: bool, divergences: &mut Vec<String>) {
 struct ScaleResult {
     subscribers: u64,
     faulted: bool,
+    /// Shard count the optimized loop ran at; the seed and reference
+    /// baselines are inherently serial and shared across all counts.
+    parallelism: u32,
     delivered: u64,
     /// Serving-loop slots per second (subscribe churn + tick, deliveries
     /// consumed) through each implementation.
@@ -710,40 +742,24 @@ impl ScaleResult {
 /// Times the full serving loop at one subscriber scale: every tick admits
 /// `subscribers / slots` new clients (round-robin over the catalogue) and
 /// transmits one slot; deliveries stream out as they happen. The optimized
-/// loop holds one `TickBuf` and counts deliveries through `tick_into`; the
-/// reference loop drives `tick_reference`; the seed loop drives the
-/// pre-PR replica — both baselines materialize every delivery into one
-/// growing list, as the seed `run()` did.
+/// loop holds one `TickBuf` and counts deliveries through `tick_into`,
+/// timed once per shard count in `pars`; the reference loop drives
+/// `tick_reference`; the seed loop drives the pre-PR replica — both
+/// baselines materialize every delivery into one growing list, as the
+/// seed `run()` did, and being serial are timed once and shared across
+/// every parallelism row.
 fn time_scale(
     cfg: &Config,
     faulted: bool,
     scale: u64,
+    pars: &[u32],
     divergences: &mut Vec<String>,
-) -> ScaleResult {
+) -> Vec<ScaleResult> {
     let plan = cfg.perf_plan();
     let plan = faulted.then_some(&plan);
     let per_tick = scale.div_ceil(cfg.slots).max(1);
     let subscribers = per_tick * cfg.slots;
-
     let base = build_station(cfg, plan);
-    let mut opt_best = f64::INFINITY;
-    let mut opt_delivered = 0u64;
-    for _ in 0..cfg.reps {
-        let mut s = base.clone();
-        let mut buf = TickBuf::new();
-        let mut count = 0u64;
-        let t0 = Instant::now();
-        for t in 0..cfg.slots {
-            for k in 0..per_tick {
-                s.subscribe(page_for(cfg, t * per_tick + k))
-                    .expect("page is published");
-            }
-            s.tick_into(&mut buf);
-            count += buf.deliveries().len() as u64;
-        }
-        opt_best = opt_best.min(t0.elapsed().as_secs_f64());
-        opt_delivered = count;
-    }
 
     let mut ref_best = f64::INFINITY;
     let mut ref_delivered = 0u64;
@@ -777,24 +793,54 @@ fn time_scale(
         seed_best = seed_best.min(t0.elapsed().as_secs_f64());
         seed_delivered = all.len() as u64;
     }
-
-    if opt_delivered != ref_delivered || opt_delivered != seed_delivered {
+    if ref_delivered != seed_delivered {
         divergences.push(format!(
             "delivery counts diverge at {subscribers} subscribers (faulted={faulted}): \
-             optimized {opt_delivered}, reference {ref_delivered}, seed {seed_delivered}"
+             reference {ref_delivered}, seed {seed_delivered}"
         ));
     }
 
-    ScaleResult {
-        subscribers,
-        faulted,
-        delivered: opt_delivered,
-        opt_tps: cfg.slots as f64 / opt_best,
-        ref_tps: cfg.slots as f64 / ref_best,
-        seed_tps: cfg.slots as f64 / seed_best,
-        opt_dps: opt_delivered as f64 / opt_best,
-        seed_dps: seed_delivered as f64 / seed_best,
+    let mut rows = Vec::with_capacity(pars.len());
+    for &par in pars {
+        let mut opt_best = f64::INFINITY;
+        let mut opt_delivered = 0u64;
+        for _ in 0..cfg.reps {
+            let mut s = base.clone();
+            s.parallelism(par);
+            let mut buf = TickBuf::new();
+            let mut count = 0u64;
+            let t0 = Instant::now();
+            for t in 0..cfg.slots {
+                for k in 0..per_tick {
+                    s.subscribe(page_for(cfg, t * per_tick + k))
+                        .expect("page is published");
+                }
+                s.tick_into(&mut buf);
+                count += buf.deliveries().len() as u64;
+            }
+            opt_best = opt_best.min(t0.elapsed().as_secs_f64());
+            opt_delivered = count;
+        }
+        if opt_delivered != seed_delivered {
+            divergences.push(format!(
+                "delivery counts diverge at {subscribers} subscribers \
+                 (faulted={faulted}, parallelism={par}): \
+                 optimized {opt_delivered}, seed {seed_delivered}"
+            ));
+        }
+        rows.push(ScaleResult {
+            subscribers,
+            faulted,
+            parallelism: par,
+            delivered: opt_delivered,
+            opt_tps: cfg.slots as f64 / opt_best,
+            ref_tps: cfg.slots as f64 / ref_best,
+            seed_tps: cfg.slots as f64 / seed_best,
+            opt_dps: opt_delivered as f64 / opt_best,
+            seed_dps: seed_delivered as f64 / seed_best,
+        });
     }
+    rows
 }
 
 struct ObsOverhead {
@@ -996,41 +1042,74 @@ fn main() {
         .find(|(k, _)| k == "out")
         .map_or_else(|| "BENCH_station.json".to_string(), |(_, v)| v.clone());
 
-    let mut scales: Vec<u64> = [10_000u64, 100_000, 1_000_000]
-        .into_iter()
+    let mut scales: Vec<u64> = extra
+        .iter()
+        .find(|(k, _)| k == "scales")
+        .map_or("10000,100000,1000000", |(_, v)| v.as_str())
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("--scales: bad value '{s}'"))
+        })
         .filter(|&s| s <= max_subs)
         .collect();
     if scales.is_empty() {
         scales.push(max_subs.max(1));
     }
+    // Shard counts to exercise. `1` is always present: the lockstep gates
+    // sweep it as the base case and the serial timing row anchors the
+    // before/after curve.
+    let mut pars: Vec<u32> = extra
+        .iter()
+        .find(|(k, _)| k == "par")
+        .map_or("1,2,4", |(_, v)| v.as_str())
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("--par: bad value '{s}'"))
+        })
+        .collect();
+    if !pars.contains(&1) {
+        pars.push(1);
+    }
+    pars.sort_unstable();
+    pars.dedup();
+
     let mut divergences: Vec<String> = Vec::new();
     println!(
-        "station_perf: {} channels, cycle {}, {} pages, {} serving slots, subscriber scales {scales:?}\n",
+        "station_perf: {} channels, cycle {}, {} pages, {} serving slots, \
+         subscriber scales {scales:?}, shard counts {pars:?}\n",
         cfg.channels, cfg.cycle, cfg.pages, cfg.slots
     );
 
     let mut results: Vec<ScaleResult> = Vec::new();
     for faulted in [false, true] {
-        reference_gate(&cfg, faulted, &mut divergences);
-        seed_gate(&cfg, faulted, &mut divergences);
-        obs_gate(&cfg, faulted, &mut divergences);
-        recovery_gate(&cfg, faulted, &mut divergences);
+        for &par in &pars {
+            reference_gate(&cfg, faulted, par, &mut divergences);
+            seed_gate(&cfg, faulted, par, &mut divergences);
+            obs_gate(&cfg, faulted, par, &mut divergences);
+            recovery_gate(&cfg, faulted, par, &mut divergences);
+        }
         for &scale in &scales {
-            let r = time_scale(&cfg, faulted, scale, &mut divergences);
-            println!(
-                "{} subscribers ({}): {:.0} ticks/s vs seed {:.0} ({:.1}x, reference {:.0}), \
-                 {:.0} vs {:.0} deliveries/s, {} delivered",
-                r.subscribers,
-                if faulted { "faulted" } else { "clean" },
-                r.opt_tps,
-                r.seed_tps,
-                r.speedup_vs_seed(),
-                r.ref_tps,
-                r.opt_dps,
-                r.seed_dps,
-                r.delivered
-            );
-            results.push(r);
+            for r in time_scale(&cfg, faulted, scale, &pars, &mut divergences) {
+                println!(
+                    "{} subscribers ({}, par {}): {:.0} ticks/s vs seed {:.0} \
+                     ({:.1}x, reference {:.0}), {:.0} vs {:.0} deliveries/s, {} delivered",
+                    r.subscribers,
+                    if faulted { "faulted" } else { "clean" },
+                    r.parallelism,
+                    r.opt_tps,
+                    r.seed_tps,
+                    r.speedup_vs_seed(),
+                    r.ref_tps,
+                    r.opt_dps,
+                    r.seed_dps,
+                    r.delivered
+                );
+                results.push(r);
+            }
         }
         println!();
     }
@@ -1070,11 +1149,13 @@ fn main() {
         encode.bytes_per_slot
     );
 
-    // Headline: the un-faulted serving-loop ratio at the largest scale up
-    // to 100k subscribers (the acceptance operating point).
+    // Headline: the un-faulted serial serving-loop ratio at the largest
+    // scale up to 100k subscribers (the acceptance operating point) —
+    // pinned to parallelism 1 so the number stays comparable across runs
+    // regardless of the --par sweep.
     let headline = results
         .iter()
-        .rfind(|r| !r.faulted && r.subscribers <= 110_000)
+        .rfind(|r| !r.faulted && r.parallelism == 1 && r.subscribers <= 110_000)
         .map_or(f64::NAN, ScaleResult::speedup_vs_seed);
     println!("headline serving-loop speedup vs seed: {headline:.1}x");
 
@@ -1084,6 +1165,7 @@ fn main() {
             format!(
                 concat!(
                     "    {{\"subscribers\": {subs}, \"faulted\": {faulted}, ",
+                    "\"parallelism\": {par}, ",
                     "\"optimized_ticks_per_sec\": {o_tps}, \"seed_ticks_per_sec\": {s_tps}, ",
                     "\"reference_ticks_per_sec\": {r_tps}, \"speedup_vs_seed\": {speed}, ",
                     "\"optimized_deliveries_per_sec\": {o_dps}, ",
@@ -1091,6 +1173,7 @@ fn main() {
                 ),
                 subs = r.subscribers,
                 faulted = r.faulted,
+                par = r.parallelism,
                 o_tps = json_f(r.opt_tps),
                 s_tps = json_f(r.seed_tps),
                 r_tps = json_f(r.ref_tps),
@@ -1107,7 +1190,8 @@ fn main() {
             "{{\n",
             "  \"bench\": \"station_perf\",\n",
             "  \"config\": {{\"channels\": {ch}, \"cycle\": {cy}, \"pages\": {pg}, ",
-            "\"serving_slots\": {sl}, \"reps\": {reps}, \"seed\": {seed}}},\n",
+            "\"serving_slots\": {sl}, \"reps\": {reps}, \"seed\": {seed}, ",
+            "\"parallelism\": {pars}}},\n",
             "  \"scales\": [\n{entries}\n  ],\n",
             "  \"encode\": {{\"slots\": {e_n}, \"bytes_per_slot\": {e_b}, ",
             "\"optimized_bytes_per_sec\": {e_o}, \"reference_bytes_per_sec\": {e_r}, ",
@@ -1123,6 +1207,13 @@ fn main() {
         sl = cfg.slots,
         reps = cfg.reps,
         seed = cfg.seed,
+        pars = format!(
+            "[{}]",
+            pars.iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
         entries = entries,
         e_n = encode.slots,
         e_b = encode.bytes_per_slot,

@@ -450,6 +450,16 @@ impl RecoverableStation {
         &self.station
     }
 
+    /// Sets the tick parallelism of the wrapped station (see
+    /// [`Station::parallelism`]). Pure execution configuration: it is
+    /// neither journaled nor checkpointed, ticks stay bit-identical for
+    /// every setting, and a resumed process picks its own value
+    /// independently of whatever the crashed process ran with.
+    pub fn parallelism(&mut self, k: u32) -> &mut Self {
+        self.station.parallelism(k);
+        self
+    }
+
     /// Current station clock.
     #[must_use]
     pub fn now(&self) -> u64 {

@@ -54,6 +54,7 @@
 pub mod faults;
 pub mod health;
 pub mod station;
+mod waiting;
 
 pub use faults::{FaultEvent, FaultInjector, FaultInjectorSnapshot, FaultPlan, SlotFaults};
 pub use health::{

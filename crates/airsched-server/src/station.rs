@@ -87,6 +87,7 @@ use crate::faults::{FaultInjector, FaultInjectorSnapshot, FaultPlan, SlotFaults}
 use crate::health::{
     ChannelEvent, HealthMonitor, HealthSnapshot, HealthThresholds, SlotObservation,
 };
+use crate::waiting::{DrainDelta, DrainReq, WaitingSet, SHARD_COUNT};
 
 /// A hook that mutates replan candidates before the lint gate sees them —
 /// the chaos-engineering analogue of the [`FaultInjector`]: it simulates a
@@ -105,6 +106,12 @@ impl ClientId {
     #[must_use]
     pub const fn raw(self) -> u64 {
         self.0
+    }
+
+    /// Rebuilds an id from its raw value — the waiting-set arenas store
+    /// clients as bare `u64` columns.
+    pub(crate) const fn from_raw(raw: u64) -> Self {
+        Self(raw)
     }
 }
 
@@ -691,14 +698,15 @@ impl StationObs {
 pub struct Station {
     scheduler: OnlineScheduler,
     time: u64,
-    /// Waiting clients per page, keyed by the page's dense index, with
-    /// their subscription instant. Slots are emptied in place rather than
-    /// removed, so steady-state ticking reuses their allocations.
-    waiting: Vec<Vec<(ClientId, u64)>>,
-    /// Dense mirror of the catalogue: `expected[page.index()]` is the
-    /// page's expected time, `None` when unpublished. Kept in sync by
-    /// `publish`/`expire` so the tick path never touches the `BTreeMap`.
-    expected: Vec<Option<u64>>,
+    /// Waiting clients and the catalogue's dense expected-time mirror, in
+    /// partitioned struct-of-arrays form (see the `waiting` module and
+    /// DESIGN.md §12). Spans are emptied in place rather than freed, so
+    /// steady-state ticking reuses their capacity.
+    waits: WaitingSet,
+    /// Shard workers `tick_into`'s drain phase fans out to; 1 = serial.
+    /// Execution configuration, not serving state: never snapshotted,
+    /// and the output stream is bit-identical at every setting.
+    parallelism: u32,
     next_client: u64,
     stats: StationStats,
     /// Physical channel up/down state; length is the configured count.
@@ -729,8 +737,8 @@ impl Station {
         Ok(Self {
             scheduler: OnlineScheduler::new(channels, cycle)?,
             time: 0,
-            waiting: Vec::new(),
-            expected: Vec::new(),
+            waits: WaitingSet::new(),
+            parallelism: 1,
             next_client: 0,
             stats: StationStats::default(),
             channel_up: vec![true; channels as usize],
@@ -934,11 +942,9 @@ impl Station {
             Err(e) => Err(e.into()),
         };
         if result.is_ok() {
-            let idx = page.index() as usize;
-            if self.expected.len() <= idx {
-                self.expected.resize(idx + 1, None);
-            }
-            self.expected[idx] = Some(expected);
+            // Pre-sizes the page's waiting span too, so steady-state
+            // subscribes hit no resize branch at all.
+            self.waits.publish(page.index() as usize, expected);
             if !matches!(self.active, ActivePlan::Full) {
                 self.refresh_plan("catalogue");
             }
@@ -956,9 +962,7 @@ impl Station {
         self.scheduler
             .remove_page(page)
             .map_err(|_| StationError::UnknownPage { page })?;
-        if let Some(slot) = self.expected.get_mut(page.index() as usize) {
-            *slot = None;
-        }
+        self.waits.expire(page.index() as usize);
         if !matches!(self.active, ActivePlan::Full) {
             self.refresh_plan("catalogue");
         }
@@ -972,19 +976,33 @@ impl Station {
     /// Returns [`StationError::UnknownPage`] for a page not in the
     /// catalogue (a real frontend would route such clients to the
     /// on-demand channel).
+    #[inline]
     pub fn subscribe(&mut self, page: PageId) -> Result<ClientId, StationError> {
         let idx = page.index() as usize;
-        if self.expected.get(idx).copied().flatten().is_none() {
+        if !self.waits.subscribe(idx, self.next_client, self.time) {
             return Err(StationError::UnknownPage { page });
         }
         let id = ClientId(self.next_client);
         self.next_client += 1;
-        if self.waiting.len() <= idx {
-            self.waiting.resize_with(idx + 1, Vec::new);
-        }
-        self.waiting[idx].push((id, self.time));
         self.stats.waiting += 1;
         Ok(id)
+    }
+
+    /// Sets how many shard workers the drain phase of
+    /// [`Station::tick_into`] fans out to. `k = 1` (the default) drains
+    /// serially on the calling thread; `2 ≤ k ≤ 16` splits the waiting
+    /// set's shards into `k` contiguous chunks and drains them on
+    /// [`std::thread::scope`] workers, merging deliveries back in channel
+    /// order. Values are clamped to that range.
+    ///
+    /// The produced [`TickOutcome`] stream, every statistic, and every
+    /// subsequent [`Station::snapshot`] are **bit-identical** for every
+    /// setting — `k` trades latency for cores, never behavior — and the
+    /// setting itself is execution configuration: it is not captured in
+    /// snapshots, and a restored station starts back at 1.
+    pub fn parallelism(&mut self, k: u32) -> &mut Self {
+        self.parallelism = k.clamp(1, SHARD_COUNT as u32);
+        self
     }
 
     /// Installs (or removes) the plan-corruptor chaos hook: every replan
@@ -1327,64 +1345,78 @@ impl Station {
         }
 
         // Serve waiters from intact frames only; a corrupted frame shows
-        // in `on_air` but delivers nothing. Instrumentation rides inline
-        // (rather than re-walking the deliveries afterwards) because the
-        // wait and deadline verdict are already in registers here: with
-        // observability attached each delivery adds one histogram-bucket
-        // bump — a relaxed load + store, no locked instruction — and a
-        // plain compare for the running max.
-        let mut obs = self.obs.as_mut();
-        for ch in 0..configured {
-            if buf.corrupted[ch] {
-                continue;
+        // in `on_air` but delivers nothing. The drain kernel batches the
+        // deadline verdict and wait sums over each page's contiguous
+        // (client, since) columns and reports one `DrainDelta` per page
+        // instead of six stat read-modify-writes per waiter; spans are
+        // emptied in place so their capacity is reused.
+        let delta = if self.parallelism >= 2 {
+            // Sharded drain: requests in ascending channel order, results
+            // merged back in that same order — bit-identical to serial.
+            let mut reqs: Vec<DrainReq> = Vec::with_capacity(configured);
+            for ch in 0..configured {
+                if buf.corrupted[ch] {
+                    continue;
+                }
+                if let Some(page) = buf.on_air[ch] {
+                    reqs.push(DrainReq {
+                        page,
+                        idx: page.index() as usize,
+                    });
+                }
             }
-            let Some(page) = buf.on_air[ch] else { continue };
-            let idx = page.index() as usize;
-            if idx >= self.waiting.len() || self.waiting[idx].is_empty() {
-                continue;
-            }
-            let mut waiters = std::mem::take(&mut self.waiting[idx]);
-            let expected = self.expected.get(idx).copied().flatten();
-            for &(client, since) in &waiters {
-                // Received at the end of this slot.
-                let wait = self.time - since + 1;
-                let within = expected.is_some_and(|t| wait <= t);
-                buf.deliveries.push(Delivery {
-                    client,
+            self.waits.drain_sharded(
+                &reqs,
+                self.time,
+                self.parallelism as usize,
+                &mut buf.deliveries,
+            )
+        } else {
+            let mut delta = DrainDelta::default();
+            for ch in 0..configured {
+                if buf.corrupted[ch] {
+                    continue;
+                }
+                let Some(page) = buf.on_air[ch] else { continue };
+                delta.merge(self.waits.drain_page(
+                    page.index() as usize,
                     page,
-                    wait,
-                    within_deadline: within,
-                });
-                self.stats.delivered += 1;
-                self.stats.total_wait += wait;
-                self.stats.waiting -= 1;
-                let tally = &mut self.stats.per_mode[self.mode.index()];
-                tally.delivered += 1;
-                if within {
-                    self.stats.on_time += 1;
-                    tally.on_time += 1;
+                    self.time,
+                    &mut buf.deliveries,
+                ));
+            }
+            delta
+        };
+        self.stats.delivered += delta.delivered;
+        self.stats.on_time += delta.on_time;
+        self.stats.total_wait = self.stats.total_wait.wrapping_add(delta.total_wait);
+        self.stats.waiting -= delta.delivered;
+        let tally = &mut self.stats.per_mode[self.mode.index()];
+        tally.delivered += delta.delivered;
+        tally.on_time += delta.on_time;
+        // With observability attached, walk the slot's deliveries in the
+        // exact order they were produced: each adds one histogram-bucket
+        // bump (a relaxed load + store, no locked instruction), a plain
+        // compare for the running max, and — on a miss of a live page —
+        // a DeadlineMiss event staged for the end-of-tick batch.
+        if let Some(o) = self.obs.as_mut() {
+            for d in &buf.deliveries {
+                o.wait_hist.observe_bucket(d.wait);
+                if d.wait > o.wait_max {
+                    o.wait_max = d.wait;
                 }
-                if let Some(o) = obs.as_deref_mut() {
-                    o.wait_hist.observe_bucket(wait);
-                    if wait > o.wait_max {
-                        o.wait_max = wait;
-                    }
-                    if !within {
-                        if let Some(expected) = expected {
-                            o.miss_scratch.push(ObsEvent::DeadlineMiss {
-                                page: page.index(),
-                                slot: self.time,
-                                wait,
-                                expected,
-                            });
-                        }
+                if !d.within_deadline {
+                    let expected = self.waits.deadline(d.page.index() as usize);
+                    if expected != 0 {
+                        o.miss_scratch.push(ObsEvent::DeadlineMiss {
+                            page: d.page.index(),
+                            slot: self.time,
+                            wait: d.wait,
+                            expected,
+                        });
                     }
                 }
             }
-            // Hand the emptied buffer back so the next subscription burst
-            // reuses its allocation.
-            waiters.clear();
-            self.waiting[idx] = waiters;
         }
 
         if self.mode != Mode::Valid {
@@ -1522,10 +1554,7 @@ impl Station {
             }
             let Some(page) = on_air[ch] else { continue };
             let idx = page.index() as usize;
-            let waiters = match self.waiting.get_mut(idx) {
-                Some(w) => std::mem::take(w),
-                None => continue,
-            };
+            let waiters = self.waits.take_dense(idx);
             let expected = self.scheduler.pages().get(&page).copied();
             for (client, since) in waiters {
                 let wait = self.time - since + 1;
@@ -1599,12 +1628,8 @@ impl Station {
         StationSnapshot {
             scheduler: self.scheduler.snapshot(),
             time: self.time,
-            waiting: self
-                .waiting
-                .iter()
-                .map(|w| w.iter().map(|&(client, since)| (client.0, since)).collect())
-                .collect(),
-            expected: self.expected.clone(),
+            waiting: self.waits.snapshot_waiting(),
+            expected: self.waits.snapshot_expected(),
             next_client: self.next_client,
             stats: self.stats,
             channel_up: self.channel_up.clone(),
@@ -1669,16 +1694,8 @@ impl Station {
         Ok(Self {
             scheduler: OnlineScheduler::from_snapshot(&snapshot.scheduler)?,
             time: snapshot.time,
-            waiting: snapshot
-                .waiting
-                .iter()
-                .map(|w| {
-                    w.iter()
-                        .map(|&(client, since)| (ClientId(client), since))
-                        .collect()
-                })
-                .collect(),
-            expected: snapshot.expected.clone(),
+            waits: WaitingSet::restore(&snapshot.expected, &snapshot.waiting),
+            parallelism: 1,
             next_client: snapshot.next_client,
             stats: snapshot.stats,
             channel_up: snapshot.channel_up.clone(),
@@ -2553,6 +2570,10 @@ mod tests {
         original.publish(PageId::new(0), 2).unwrap();
         original.publish(PageId::new(1), 4).unwrap();
         original.publish(PageId::new(2), 8).unwrap();
+        // The original drains on 4 scoped workers; the snapshot it takes
+        // must not remember that (parallelism is execution configuration,
+        // never state).
+        original.parallelism(4);
         // Drive it into the interesting regime: mid-chaos, clients
         // waiting, health windows partially filled.
         for t in 0..150u64 {
@@ -2564,13 +2585,17 @@ mod tests {
             original.tick();
         }
         let snap = original.snapshot();
+        // The twin restores at the default serial setting and later
+        // re-shards differently — the continuation must stay bit-identical
+        // through all of it, including fresh subscriptions on both sides.
         let mut restored = Station::from_snapshot(&snap, Some(&plan)).unwrap();
         assert_eq!(restored.stats(), original.stats());
         assert_eq!(restored.mode(), original.mode());
         assert_eq!(restored.now(), original.now());
-        // The continuation must be bit-identical, including fresh
-        // subscriptions handled on both sides.
         for t in 150..400u64 {
+            if t == 260 {
+                restored.parallelism(7);
+            }
             if t % 4 == 0 {
                 let page = PageId::new(u32::try_from(t % 3).unwrap());
                 assert_eq!(

@@ -10,8 +10,8 @@ use airsched_core::types::{ChannelId, PageId};
 use airsched_obs::events::Event;
 use airsched_obs::Obs;
 use airsched_recover::{
-    CrashInjector, RecoverError, RecoverableStation, RecoveryOptions, CHECKPOINT_SHADOW,
-    JOURNAL_FILE,
+    CrashInjector, RecoverError, RecoverableStation, RecoveryOptions, CHECKPOINT_FILE,
+    CHECKPOINT_SHADOW, JOURNAL_FILE,
 };
 use airsched_server::faults::{FaultEvent, FaultPlan};
 use airsched_server::{Station, StationStats, TickOutcome};
@@ -133,6 +133,70 @@ fn crash_at_every_slot_recovers_bit_identically() {
         );
         fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// A station draining on scoped workers persists exactly the bytes its
+/// serial twin does — checkpoint and journal formats carry no trace of
+/// the shard count — and its crashed state resumes bit-identical to the
+/// never-crashed serial twin even when the resumed process picks yet
+/// another shard count. `Station::parallelism` is execution
+/// configuration, invisible to the durability layer.
+#[test]
+fn partitioned_station_checkpoints_and_recovers_like_its_serial_twin() {
+    let (twin, twin_stats) = twin_outcomes();
+    // Off the 8-slot checkpoint cadence so recovery replays a non-empty
+    // journal tail on top of the slot-40 checkpoint.
+    let crash_at = 43;
+    let doomed_run = |tag: &str, par: u32| {
+        let dir = state_dir(&format!("par-{tag}"));
+        let opts = RecoveryOptions::new()
+            .checkpoint_every(8)
+            .with_crash(CrashInjector::at_slot(crash_at));
+        let mut station = fresh_station();
+        station.parallelism(par);
+        let mut run =
+            RecoverableStation::create(&dir, station, Some(plan()), opts).expect("create succeeds");
+        assert_eq!(run_until_crash(&mut run), crash_at);
+        drop(run); // the "process" dies; only the state directory survives
+        dir
+    };
+    let serial_dir = doomed_run("serial", 1);
+    let sharded_dir = doomed_run("sharded", 4);
+
+    for file in [CHECKPOINT_FILE, JOURNAL_FILE] {
+        assert_eq!(
+            fs::read(serial_dir.join(file)).expect("serial state file"),
+            fs::read(sharded_dir.join(file)).expect("sharded state file"),
+            "{file} differs between a serial and a sharded run"
+        );
+    }
+
+    let (mut resumed, report) = RecoverableStation::resume(
+        &sharded_dir,
+        RecoveryOptions::new().checkpoint_every(8),
+        None,
+    )
+    .expect("resume succeeds");
+    assert_eq!(report.resumed_at, crash_at);
+    resumed.parallelism(3);
+    for t in crash_at..SLOTS {
+        // As in the crash sweep: slot `crash_at`'s subscription was
+        // journaled before the crash, so replay already applied it.
+        if t != crash_at {
+            if let Some(p) = sub_page(t) {
+                resumed.subscribe(p).expect("subscribes");
+            }
+        }
+        let got = resumed.tick().expect("post-recovery ticks");
+        assert_eq!(
+            got,
+            twin[usize::try_from(t).expect("small")],
+            "sharded recovery diverged from the serial twin at slot {t}"
+        );
+    }
+    assert_eq!(resumed.stats(), twin_stats);
+    fs::remove_dir_all(&serial_dir).ok();
+    fs::remove_dir_all(&sharded_dir).ok();
 }
 
 #[test]
