@@ -19,17 +19,31 @@
 //! one, or the recovered station from its twin — in any outcome,
 //! delivery or statistic. CI runs it as a correctness gate.
 //!
+//! On top of the serving loop, the wire side is timed in three shapes —
+//! per-frame `Frame::encode` (the seed), streaming `encode_slot_into`
+//! into one reused buffer, and the [`FrameTemplateCache`] patch path
+//! (pre-encoded wire images, eight slot bytes + an incrementally
+//! corrected CRC rewritten per frame) — with a byte-lockstep gate pinning
+//! the template stream to the fresh one. *Full-slot* rows then measure
+//! what a deployed station does every slot (serve **and** encode), with
+//! the templated [`SlotBroadcaster`] against the fresh encoder, per scale
+//! and parallelism setting, and a template gate drives broadcaster
+//! encoding through full chaos — degradations, restores, a mid-run
+//! snapshot/restore onto a fresh broadcaster — byte-comparing every slot.
+//!
 //! Run: `cargo run --release -p airsched-bench --bin station_perf`
 //!
 //! Options (beyond the common `--seed`): `--channels` (8), `--cycle`
 //! (1024), `--pages` (1680), `--slots` (4096, serving-loop slots timed per
 //! rep), `--scales` (`10000,100000,1000000`, comma-separated subscriber
 //! scales), `--max-subs` (1000000, caps the subscriber matrix), `--par`
-//! (`1,2,4`, comma-separated shard counts: every lockstep gate runs at
-//! each count, and the optimized serving loop is timed at each count —
-//! `1` is always included so the serial baseline row exists), `--reps`
-//! (3) and `--out <path>` for the JSON file (default
-//! `BENCH_station.json` in the working directory).
+//! (`1,2,4,auto`, comma-separated drain settings: integers are fixed
+//! worker counts, `auto` is a 4-thread pool behind the
+//! [`Station::parallelism_auto`] crossover that drains small ticks
+//! serially; every lockstep gate runs at each setting and the serving
+//! loop is timed at each — `1` is always included so the serial baseline
+//! row exists), `--reps` (3) and `--out <path>` for the JSON file
+//! (default `BENCH_station.json` in the working directory).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -43,22 +57,66 @@ use airsched_core::program::BroadcastProgram;
 use airsched_core::susc;
 use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
 use airsched_obs::Obs;
-use airsched_proto::transmitter::{encode_slot_into, frames_for_slot, PayloadSource};
+use airsched_proto::template::FrameTemplateCache;
+use airsched_proto::transmitter::{encode_slot_into, frames_for_slot, FixedPayloads};
 use airsched_server::faults::{FaultInjector, FaultPlan};
 use airsched_server::health::{ChannelEvent, HealthMonitor, HealthThresholds, SlotObservation};
 use airsched_server::station::{Station, TickBuf};
-use airsched_server::Mode;
+use airsched_server::{Mode, SlotBroadcaster};
 use bytes::{Bytes, BytesMut};
 
-/// Constant payload for the encode phase: an `Arc` clone per frame, so
-/// payload synthesis is negligible next to the encoding being measured.
+/// Constant payload for the encode phases: [`FixedPayloads`] serves it by
+/// borrowing append (no allocation per frame), so payload synthesis is
+/// negligible next to the encoding being measured.
 static PAYLOAD: [u8; 64] = [0x5A; 64];
 
-struct FixedPayload;
+fn fixed_payloads() -> FixedPayloads {
+    FixedPayloads::new(Bytes::from_static(&PAYLOAD))
+}
 
-impl PayloadSource for FixedPayload {
-    fn payload(&mut self, _page: PageId, _slot_time: u64) -> Bytes {
-        Bytes::from_static(&PAYLOAD)
+/// Worker count behind `--par auto`: a real pool, big enough that the
+/// crossover (not luck) has to keep small ticks off it.
+const AUTO_WORKERS: u32 = 4;
+
+/// One `--par` entry: a fixed drain worker count, or the auto crossover.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ParSetting {
+    Fixed(u32),
+    Auto(u32),
+}
+
+impl ParSetting {
+    fn apply(self, s: &mut Station) {
+        match self {
+            Self::Fixed(k) => {
+                s.parallelism(k);
+            }
+            Self::Auto(k) => {
+                s.parallelism_auto(k, Station::AUTO_DRAIN_THRESHOLD);
+            }
+        }
+    }
+
+    /// Human label: the count, or `auto`.
+    fn label(self) -> String {
+        match self {
+            Self::Fixed(k) => k.to_string(),
+            Self::Auto(_) => "auto".to_string(),
+        }
+    }
+
+    /// JSON value: a number for fixed counts, the string `"auto"`.
+    fn json(self) -> String {
+        match self {
+            Self::Fixed(k) => k.to_string(),
+            Self::Auto(_) => "\"auto\"".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParSetting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
     }
 }
 
@@ -409,11 +467,11 @@ impl SeedStation {
 /// `tick_reference` — under full chaos with continuous subscription
 /// churn, recording any divergence in outcomes or statistics. This is
 /// the bit-identical gate.
-fn reference_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<String>) {
+fn reference_gate(cfg: &Config, faulted: bool, par: ParSetting, divergences: &mut Vec<String>) {
     let plan = cfg.chaos_plan();
     let plan = faulted.then_some(&plan);
     let mut fast = build_station(cfg, plan);
-    fast.parallelism(par);
+    par.apply(&mut fast);
     let mut reference = build_station(cfg, plan);
     let mut buf = TickBuf::new();
     let gate_slots = cfg.slots.min(1024).max(2 * cfg.cycle);
@@ -446,11 +504,11 @@ fn reference_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<S
 /// comparing everything the replica can observe (the replica mints its own
 /// client ids, so deliveries compare by display name, page, wait and
 /// deadline — order included).
-fn seed_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<String>) {
+fn seed_gate(cfg: &Config, faulted: bool, par: ParSetting, divergences: &mut Vec<String>) {
     let plan = cfg.chaos_plan();
     let plan = faulted.then_some(&plan);
     let mut fast = build_station(cfg, plan);
-    fast.parallelism(par);
+    par.apply(&mut fast);
     let mut seed = SeedStation::build(cfg, plan);
     let mut buf = TickBuf::new();
     let gate_slots = cfg.slots.min(1024).max(2 * cfg.cycle);
@@ -508,12 +566,12 @@ fn seed_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<String
 /// its drains at shard count `par` while the plain twin stays serial, so
 /// one gate proves both that instrumentation observes without perturbing
 /// and that the obs mirrors stay single-writer under sharding.
-fn obs_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<String>) {
+fn obs_gate(cfg: &Config, faulted: bool, par: ParSetting, divergences: &mut Vec<String>) {
     let plan = cfg.chaos_plan();
     let plan = faulted.then_some(&plan);
     let mut plain = build_station(cfg, plan);
     let mut instrumented = build_station(cfg, plan);
-    instrumented.parallelism(par);
+    par.apply(&mut instrumented);
     let obs = Obs::with_recorder_capacity(4096);
     instrumented.attach_obs(&obs);
     let mut buf_plain = TickBuf::new();
@@ -574,7 +632,7 @@ fn obs_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<String>
 /// resumed process deliberately runs at a *different* count — bit-equal
 /// continuation across the crash then proves the checkpoint format does
 /// not leak the partition count.
-fn recovery_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<String>) {
+fn recovery_gate(cfg: &Config, faulted: bool, par: ParSetting, divergences: &mut Vec<String>) {
     use airsched_recover::{CrashInjector, RecoverError, RecoverableStation, RecoveryOptions};
 
     let plan = faulted.then(|| cfg.chaos_plan());
@@ -583,10 +641,16 @@ fn recovery_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<St
     // the checkpoint restore and a non-empty journal replay.
     let crash_at = gate_slots / 2 + 3;
     let every = (cfg.cycle / 4).max(8);
-    let resumed_par = if par == 1 { 2 } else { 1 };
+    // Resume under a DIFFERENT drain setting than the crashed twin ran
+    // with: recovery must be bit-identical across serial, pooled, and
+    // adaptive execution.
+    let resumed_par = match par {
+        ParSetting::Fixed(1) => ParSetting::Auto(2),
+        _ => ParSetting::Fixed(1),
+    };
 
     let mut twin = build_station(cfg, plan.as_ref());
-    twin.parallelism(par);
+    par.apply(&mut twin);
     let mut want = Vec::with_capacity(usize::try_from(gate_slots).expect("fits"));
     for t in 0..gate_slots {
         for k in 0..8u64 {
@@ -604,7 +668,7 @@ fn recovery_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<St
         .checkpoint_every(every)
         .with_crash(CrashInjector::at_slot(crash_at));
     let mut doomed = build_station(cfg, plan.as_ref());
-    doomed.parallelism(par);
+    par.apply(&mut doomed);
     let run = RecoverableStation::create(&dir, doomed, plan, opts);
     let mut run = match run {
         Ok(r) => r,
@@ -660,7 +724,14 @@ fn recovery_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<St
             return;
         }
     };
-    resumed.parallelism(resumed_par);
+    match resumed_par {
+        ParSetting::Fixed(k) => {
+            resumed.parallelism(k);
+        }
+        ParSetting::Auto(k) => {
+            resumed.parallelism_auto(k, Station::AUTO_DRAIN_THRESHOLD);
+        }
+    }
     if report.resumed_at != crash_at || resumed.now() != crash_at {
         divergences.push(format!(
             "recovery resumed at slot {} instead of the crash slot {crash_at} \
@@ -712,6 +783,82 @@ fn recovery_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<St
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Drives a chaos station (outages, recoveries, stalls, corruption —
+/// the plan swaps under the cache repeatedly) while encoding every slot
+/// twice: through the [`SlotBroadcaster`]'s template cache and through
+/// the fresh encoder over the same on-air column. Any byte of
+/// divergence fails the run. Halfway through, the station is
+/// snapshotted and restored onto a *fresh* broadcaster which must
+/// rebuild from the recovered plan and keep the stream byte-identical —
+/// the template cache's recovery discipline.
+fn template_gate(cfg: &Config, faulted: bool, par: ParSetting, divergences: &mut Vec<String>) {
+    let plan = cfg.chaos_plan();
+    let plan = faulted.then_some(&plan);
+    let mut station = build_station(cfg, plan);
+    par.apply(&mut station);
+    let mut tx = SlotBroadcaster::new(fixed_payloads());
+    let mut fresh_src = fixed_payloads();
+    let mut buf = TickBuf::new();
+    let mut wire = BytesMut::with_capacity(8 * 1024);
+    let mut fresh = BytesMut::with_capacity(8 * 1024);
+    let gate_slots = cfg.slots.min(1024).max(2 * cfg.cycle);
+    let restore_at = gate_slots / 2 + 1;
+    for t in 0..gate_slots {
+        if t == restore_at {
+            // Crash-recover mid-chaos: the restored twin continues with a
+            // fresh broadcaster, exactly as a recovered process must.
+            let snapshot = station.snapshot();
+            station = match Station::from_snapshot(&snapshot, plan) {
+                Ok(s) => s,
+                Err(e) => {
+                    divergences.push(format!(
+                        "template gate: snapshot restore failed at slot {t} \
+                         (faulted={faulted}, parallelism={par}): {e}"
+                    ));
+                    return;
+                }
+            };
+            par.apply(&mut station);
+            tx = SlotBroadcaster::new(fixed_payloads());
+        }
+        for k in 0..8u64 {
+            station
+                .subscribe(page_for(cfg, t * 8 + k))
+                .expect("page is published");
+        }
+        station.tick_into(&mut buf);
+        wire.clear();
+        let written = match tx.encode_slot(&station, buf.on_air(), buf.time(), &mut wire) {
+            Ok(n) => n,
+            Err(e) => {
+                divergences.push(format!(
+                    "template gate: slot {t} failed to encode \
+                     (faulted={faulted}, parallelism={par}): {e}"
+                ));
+                return;
+            }
+        };
+        fresh.clear();
+        encode_slot_into(buf.on_air(), buf.time(), &mut fresh_src, &mut fresh)
+            .expect("fresh encoding succeeds");
+        if written != wire.len() || wire[..] != fresh[..] {
+            divergences.push(format!(
+                "template-encoded slot {t} diverges from fresh encoding \
+                 (faulted={faulted}, parallelism={par}, restored={})",
+                t >= restore_at
+            ));
+            return;
+        }
+    }
+    if faulted && tx.rebuilds() < 2 {
+        divergences.push(format!(
+            "template gate ran {gate_slots} chaos slots but rebuilt only {} time(s) — \
+             the ladder never exercised invalidation (parallelism={par})",
+            tx.rebuilds()
+        ));
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Timing
 // ---------------------------------------------------------------------------
@@ -719,9 +866,9 @@ fn recovery_gate(cfg: &Config, faulted: bool, par: u32, divergences: &mut Vec<St
 struct ScaleResult {
     subscribers: u64,
     faulted: bool,
-    /// Shard count the optimized loop ran at; the seed and reference
-    /// baselines are inherently serial and shared across all counts.
-    parallelism: u32,
+    /// Drain setting the optimized loop ran at; the seed and reference
+    /// baselines are inherently serial and shared across all settings.
+    parallelism: ParSetting,
     delivered: u64,
     /// Serving-loop slots per second (subscribe churn + tick, deliveries
     /// consumed) through each implementation.
@@ -730,12 +877,27 @@ struct ScaleResult {
     seed_tps: f64,
     opt_dps: f64,
     seed_dps: f64,
+    /// Full broadcast slots per second — serve *and* encode, the work a
+    /// deployed station does every slot: `tick_into` plus the templated
+    /// [`SlotBroadcaster`], at this row's drain setting.
+    full_slot_tps: f64,
+    /// The same loop with the fresh encoder instead of templates, serial
+    /// (the pre-PR wire shape), shared across the scale's rows.
+    full_slot_fresh_tps: f64,
+    /// `(pooled, serial)` tick counts from [`Station::drain_crossover`]
+    /// over the full-slot run; `None` for rows without a pool.
+    crossover: Option<(u64, u64)>,
 }
 
 impl ScaleResult {
     /// The headline ratio: optimized serving loop vs the pre-PR baseline.
     fn speedup_vs_seed(&self) -> f64 {
         self.opt_tps / self.seed_tps
+    }
+
+    /// The encode-wall ratio: templated full slots vs fresh-encoded ones.
+    fn full_slot_speedup(&self) -> f64 {
+        self.full_slot_tps / self.full_slot_fresh_tps
     }
 }
 
@@ -752,7 +914,7 @@ fn time_scale(
     cfg: &Config,
     faulted: bool,
     scale: u64,
-    pars: &[u32],
+    pars: &[ParSetting],
     divergences: &mut Vec<String>,
 ) -> Vec<ScaleResult> {
     let plan = cfg.perf_plan();
@@ -800,13 +962,37 @@ fn time_scale(
         ));
     }
 
+    // The pre-PR wire shape: serial serve plus fresh per-slot encoding —
+    // the full-slot baseline every templated row is judged against.
+    let mut fresh_slot_best = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        let mut s = base.clone();
+        let mut src = fixed_payloads();
+        let mut buf = TickBuf::new();
+        let mut wire = BytesMut::with_capacity(8 * 1024);
+        let mut bytes = 0u64;
+        let t0 = Instant::now();
+        for t in 0..cfg.slots {
+            for k in 0..per_tick {
+                s.subscribe(page_for(cfg, t * per_tick + k))
+                    .expect("page is published");
+            }
+            s.tick_into(&mut buf);
+            wire.clear();
+            bytes += encode_slot_into(buf.on_air(), buf.time(), &mut src, &mut wire)
+                .expect("frames encode") as u64;
+        }
+        std::hint::black_box(bytes);
+        fresh_slot_best = fresh_slot_best.min(t0.elapsed().as_secs_f64());
+    }
+
     let mut rows = Vec::with_capacity(pars.len());
     for &par in pars {
         let mut opt_best = f64::INFINITY;
         let mut opt_delivered = 0u64;
         for _ in 0..cfg.reps {
             let mut s = base.clone();
-            s.parallelism(par);
+            par.apply(&mut s);
             let mut buf = TickBuf::new();
             let mut count = 0u64;
             let t0 = Instant::now();
@@ -828,6 +1014,47 @@ fn time_scale(
                  optimized {opt_delivered}, seed {seed_delivered}"
             ));
         }
+
+        // Full broadcast slot: same serving loop plus template-patched
+        // encoding through the broadcaster.
+        let mut slot_best = f64::INFINITY;
+        let mut crossover = None;
+        for _ in 0..cfg.reps {
+            let mut s = base.clone();
+            par.apply(&mut s);
+            let mut tx = SlotBroadcaster::new(fixed_payloads());
+            let mut buf = TickBuf::new();
+            let mut wire = BytesMut::with_capacity(8 * 1024);
+            let mut bytes = 0u64;
+            // Build the template cache before the clock starts: a deployed
+            // station pays that cost at plan-swap time, not per slot. An
+            // all-idle column touches no plan cell, so the warmup cannot
+            // drift however the plan looks. Mid-run invalidations (the
+            // faulted rows' fail/restore) still rebuild inside the timed
+            // region — that cost is real.
+            let idle_col = vec![None; usize::try_from(cfg.channels).expect("channel count fits")];
+            tx.encode_slot(&s, &idle_col, s.now(), &mut wire)
+                .expect("warmup slot encodes");
+            wire.clear();
+            let t0 = Instant::now();
+            for t in 0..cfg.slots {
+                for k in 0..per_tick {
+                    s.subscribe(page_for(cfg, t * per_tick + k))
+                        .expect("page is published");
+                }
+                s.tick_into(&mut buf);
+                wire.clear();
+                bytes += tx
+                    .encode_slot(&s, buf.on_air(), buf.time(), &mut wire)
+                    .expect("frames encode") as u64;
+            }
+            std::hint::black_box(bytes);
+            slot_best = slot_best.min(t0.elapsed().as_secs_f64());
+            if matches!(par, ParSetting::Auto(_)) {
+                crossover = Some(s.drain_crossover());
+            }
+        }
+
         rows.push(ScaleResult {
             subscribers,
             faulted,
@@ -838,6 +1065,9 @@ fn time_scale(
             seed_tps: cfg.slots as f64 / seed_best,
             opt_dps: opt_delivered as f64 / opt_best,
             seed_dps: seed_delivered as f64 / seed_best,
+            full_slot_tps: cfg.slots as f64 / slot_best,
+            full_slot_fresh_tps: cfg.slots as f64 / fresh_slot_best,
+            crossover,
         });
     }
     rows
@@ -891,6 +1121,7 @@ fn time_obs_overhead(cfg: &Config, faulted: bool, scale: u64) -> ObsOverhead {
 
     let run = |s: &mut Station, encode: bool| {
         let mut buf = TickBuf::new();
+        let mut src = fixed_payloads();
         let mut frame_buf = BytesMut::with_capacity(8 * 1024);
         let mut bytes = 0u64;
         let t0 = Instant::now();
@@ -901,7 +1132,7 @@ fn time_obs_overhead(cfg: &Config, faulted: bool, scale: u64) -> ObsOverhead {
             }
             s.tick_into(&mut buf);
             if encode {
-                bytes += encode_slot_into(buf.on_air(), t, &mut FixedPayload, &mut frame_buf)
+                bytes += encode_slot_into(buf.on_air(), t, &mut src, &mut frame_buf)
                     .expect("frames encode") as u64;
             }
         }
@@ -944,8 +1175,13 @@ fn time_obs_overhead(cfg: &Config, faulted: bool, scale: u64) -> ObsOverhead {
 struct EncodeResult {
     slots: u64,
     bytes_per_slot: u64,
+    /// Distinct wire images the template cache interned for the program.
+    templates: usize,
     opt_bytes_per_sec: f64,
     ref_bytes_per_sec: f64,
+    /// The template-patch path: pre-encoded images, eight slot bytes and
+    /// an incrementally corrected CRC rewritten per frame.
+    template_bytes_per_sec: f64,
 }
 
 fn fill_on_air(on_air: &mut [Option<PageId>], program: &BroadcastProgram, t: u64) {
@@ -956,9 +1192,10 @@ fn fill_on_air(on_air: &mut [Option<PageId>], program: &BroadcastProgram, t: u64
     }
 }
 
-/// Times one reused-buffer `encode_slot_into` stream against the seed's
-/// per-frame `Frame::encode` (fresh buffer per frame), byte-comparing the
-/// two streams over a full cycle before timing.
+/// Times three encode shapes over the same program: the seed's per-frame
+/// `Frame::encode` (fresh buffer per frame), one reused-buffer
+/// `encode_slot_into` stream, and the [`FrameTemplateCache`] patch path —
+/// byte-comparing all three streams over a full cycle before timing.
 fn encode_phase(cfg: &Config, divergences: &mut Vec<String>) -> EncodeResult {
     let per = u64::from(cfg.pages / 3);
     let ladder = GroupLadder::new(vec![
@@ -972,18 +1209,29 @@ fn encode_phase(cfg: &Config, divergences: &mut Vec<String>) -> EncodeResult {
     let encode_slots = cfg.slots.min(2048);
     let mut on_air: Vec<Option<PageId>> = vec![None; n];
 
+    let mut src = fixed_payloads();
+    let mut ref_src = fixed_payloads();
+    let mut cache =
+        FrameTemplateCache::build(&program, &mut fixed_payloads()).expect("templates build");
     let mut buf = BytesMut::with_capacity(8 * 1024);
+    let mut patched = BytesMut::with_capacity(8 * 1024);
     let mut expected = Vec::new();
     for t in 0..cfg.cycle {
         fill_on_air(&mut on_air, &program, t);
         buf.clear();
-        encode_slot_into(&on_air, t, &mut FixedPayload, &mut buf).expect("frames encode");
+        encode_slot_into(&on_air, t, &mut src, &mut buf).expect("frames encode");
         expected.clear();
-        for frame in frames_for_slot(&on_air, t, &mut FixedPayload) {
+        for frame in frames_for_slot(&on_air, t, &mut ref_src) {
             expected.extend_from_slice(&frame.encode());
         }
         if buf[..] != expected[..] {
             divergences.push(format!("encode_slot_into bytes diverge at slot {t}"));
+            break;
+        }
+        patched.clear();
+        cache.encode_cycle_slot(t, &mut patched);
+        if patched[..] != expected[..] {
+            divergences.push(format!("template-patched bytes diverge at slot {t}"));
             break;
         }
     }
@@ -997,8 +1245,7 @@ fn encode_phase(cfg: &Config, divergences: &mut Vec<String>) -> EncodeResult {
         for t in 0..encode_slots {
             fill_on_air(&mut on_air, &program, t);
             buf.clear();
-            total +=
-                encode_slot_into(&on_air, t, &mut FixedPayload, &mut buf).expect("encodes") as u64;
+            total += encode_slot_into(&on_air, t, &mut src, &mut buf).expect("encodes") as u64;
         }
         opt_best = opt_best.min(t0.elapsed().as_secs_f64());
         bytes_per_slot = total / encode_slots;
@@ -1010,7 +1257,7 @@ fn encode_phase(cfg: &Config, divergences: &mut Vec<String>) -> EncodeResult {
         let t0 = Instant::now();
         for t in 0..encode_slots {
             fill_on_air(&mut on_air, &program, t);
-            for frame in frames_for_slot(&on_air, t, &mut FixedPayload) {
+            for frame in frames_for_slot(&on_air, t, &mut ref_src) {
                 total += frame.encode().len() as u64;
             }
         }
@@ -1018,11 +1265,30 @@ fn encode_phase(cfg: &Config, divergences: &mut Vec<String>) -> EncodeResult {
         let _ = total;
     }
 
+    // The template path needs no on-air column: the cycle *is* the plan,
+    // so each slot is a memcpy of cached images plus the slot-byte and
+    // CRC patches.
+    let mut template_best = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        let mut buf = BytesMut::with_capacity(8 * 1024);
+        let mut total = 0u64;
+        let t0 = Instant::now();
+        for t in 0..encode_slots {
+            buf.clear();
+            total += cache.encode_cycle_slot(t, &mut buf) as u64;
+        }
+        std::hint::black_box(&buf);
+        template_best = template_best.min(t0.elapsed().as_secs_f64());
+        let _ = total;
+    }
+
     EncodeResult {
         slots: encode_slots,
         bytes_per_slot,
+        templates: cache.template_count(),
         opt_bytes_per_sec: (bytes_per_slot * encode_slots) as f64 / opt_best,
         ref_bytes_per_sec: (bytes_per_slot * encode_slots) as f64 / ref_best,
+        template_bytes_per_sec: (bytes_per_slot * encode_slots) as f64 / template_best,
     }
 }
 
@@ -1057,30 +1323,37 @@ fn main() {
     if scales.is_empty() {
         scales.push(max_subs.max(1));
     }
-    // Shard counts to exercise. `1` is always present: the lockstep gates
-    // sweep it as the base case and the serial timing row anchors the
-    // before/after curve.
-    let mut pars: Vec<u32> = extra
+    // Drain settings to exercise. `1` is always present: the lockstep
+    // gates sweep it as the base case and the serial timing row anchors
+    // the before/after curve. `auto` is a pool behind the crossover.
+    let mut pars: Vec<ParSetting> = extra
         .iter()
         .find(|(k, _)| k == "par")
-        .map_or("1,2,4", |(_, v)| v.as_str())
+        .map_or("1,2,4,auto", |(_, v)| v.as_str())
         .split(',')
         .map(|s| {
-            s.trim()
-                .parse()
-                .unwrap_or_else(|_| panic!("--par: bad value '{s}'"))
+            let s = s.trim();
+            if s.eq_ignore_ascii_case("auto") {
+                ParSetting::Auto(AUTO_WORKERS)
+            } else {
+                ParSetting::Fixed(
+                    s.parse()
+                        .unwrap_or_else(|_| panic!("--par: bad value '{s}'")),
+                )
+            }
         })
         .collect();
-    if !pars.contains(&1) {
-        pars.push(1);
+    if !pars.contains(&ParSetting::Fixed(1)) {
+        pars.push(ParSetting::Fixed(1));
     }
     pars.sort_unstable();
     pars.dedup();
 
     let mut divergences: Vec<String> = Vec::new();
+    let par_labels = pars.iter().map(|p| p.label()).collect::<Vec<_>>().join(",");
     println!(
         "station_perf: {} channels, cycle {}, {} pages, {} serving slots, \
-         subscriber scales {scales:?}, shard counts {pars:?}\n",
+         subscriber scales {scales:?}, drain settings [{par_labels}]\n",
         cfg.channels, cfg.cycle, cfg.pages, cfg.slots
     );
 
@@ -1091,12 +1364,14 @@ fn main() {
             seed_gate(&cfg, faulted, par, &mut divergences);
             obs_gate(&cfg, faulted, par, &mut divergences);
             recovery_gate(&cfg, faulted, par, &mut divergences);
+            template_gate(&cfg, faulted, par, &mut divergences);
         }
         for &scale in &scales {
             for r in time_scale(&cfg, faulted, scale, &pars, &mut divergences) {
                 println!(
                     "{} subscribers ({}, par {}): {:.0} ticks/s vs seed {:.0} \
-                     ({:.1}x, reference {:.0}), {:.0} vs {:.0} deliveries/s, {} delivered",
+                     ({:.1}x, reference {:.0}), {:.0} vs {:.0} deliveries/s, {} delivered; \
+                     full slot {:.0}/s vs fresh {:.0}/s ({:.1}x){}",
                     r.subscribers,
                     if faulted { "faulted" } else { "clean" },
                     r.parallelism,
@@ -1106,7 +1381,14 @@ fn main() {
                     r.ref_tps,
                     r.opt_dps,
                     r.seed_dps,
-                    r.delivered
+                    r.delivered,
+                    r.full_slot_tps,
+                    r.full_slot_fresh_tps,
+                    r.full_slot_speedup(),
+                    r.crossover
+                        .map_or(String::new(), |(pooled, serial)| format!(
+                            ", crossover {pooled} pooled / {serial} serial"
+                        ))
                 );
                 results.push(r);
             }
@@ -1142,11 +1424,14 @@ fn main() {
 
     let encode = encode_phase(&cfg, &mut divergences);
     println!(
-        "encode: {:.1} MB/s reused buffer vs {:.1} MB/s per-frame ({:.1}x), {} bytes/slot\n",
+        "encode: {:.1} MB/s template-patched vs {:.1} MB/s reused buffer vs \
+         {:.1} MB/s per-frame ({:.1}x over fresh), {} bytes/slot, {} templates\n",
+        encode.template_bytes_per_sec / 1e6,
         encode.opt_bytes_per_sec / 1e6,
         encode.ref_bytes_per_sec / 1e6,
-        encode.opt_bytes_per_sec / encode.ref_bytes_per_sec,
-        encode.bytes_per_slot
+        encode.template_bytes_per_sec / encode.opt_bytes_per_sec,
+        encode.bytes_per_slot,
+        encode.templates
     );
 
     // Headline: the un-faulted serial serving-loop ratio at the largest
@@ -1155,7 +1440,7 @@ fn main() {
     // regardless of the --par sweep.
     let headline = results
         .iter()
-        .rfind(|r| !r.faulted && r.parallelism == 1 && r.subscribers <= 110_000)
+        .rfind(|r| !r.faulted && r.parallelism == ParSetting::Fixed(1) && r.subscribers <= 110_000)
         .map_or(f64::NAN, ScaleResult::speedup_vs_seed);
     println!("headline serving-loop speedup vs seed: {headline:.1}x");
 
@@ -1169,11 +1454,14 @@ fn main() {
                     "\"optimized_ticks_per_sec\": {o_tps}, \"seed_ticks_per_sec\": {s_tps}, ",
                     "\"reference_ticks_per_sec\": {r_tps}, \"speedup_vs_seed\": {speed}, ",
                     "\"optimized_deliveries_per_sec\": {o_dps}, ",
-                    "\"seed_deliveries_per_sec\": {s_dps}, \"delivered\": {n}}}"
+                    "\"seed_deliveries_per_sec\": {s_dps}, \"delivered\": {n}, ",
+                    "\"full_slot_ticks_per_sec\": {fs_tps}, ",
+                    "\"full_slot_fresh_ticks_per_sec\": {fs_fresh}, ",
+                    "\"full_slot_speedup\": {fs_x}, \"crossover\": {cross}}}"
                 ),
                 subs = r.subscribers,
                 faulted = r.faulted,
-                par = r.parallelism,
+                par = r.parallelism.json(),
                 o_tps = json_f(r.opt_tps),
                 s_tps = json_f(r.seed_tps),
                 r_tps = json_f(r.ref_tps),
@@ -1181,6 +1469,12 @@ fn main() {
                 o_dps = json_f(r.opt_dps),
                 s_dps = json_f(r.seed_dps),
                 n = r.delivered,
+                fs_tps = json_f(r.full_slot_tps),
+                fs_fresh = json_f(r.full_slot_fresh_tps),
+                fs_x = json_f(r.full_slot_speedup()),
+                cross = r.crossover.map_or("null".to_string(), |(pooled, serial)| {
+                    format!("{{\"pooled\": {pooled}, \"serial\": {serial}}}")
+                }),
             )
         })
         .collect::<Vec<_>>()
@@ -1194,8 +1488,10 @@ fn main() {
             "\"parallelism\": {pars}}},\n",
             "  \"scales\": [\n{entries}\n  ],\n",
             "  \"encode\": {{\"slots\": {e_n}, \"bytes_per_slot\": {e_b}, ",
+            "\"channels\": {e_ch}, \"payload_bytes\": {e_pb}, \"templates\": {e_t}, ",
             "\"optimized_bytes_per_sec\": {e_o}, \"reference_bytes_per_sec\": {e_r}, ",
-            "\"speedup\": {e_x}}},\n",
+            "\"template_bytes_per_sec\": {e_tp}, ",
+            "\"speedup\": {e_x}, \"template_speedup\": {e_tx}}},\n",
             "  \"obs\": [\n{ob_rows}\n  ],\n",
             "  \"headline_speedup_vs_seed\": {head},\n",
             "  \"divergences\": {divs}\n",
@@ -1209,17 +1505,19 @@ fn main() {
         seed = cfg.seed,
         pars = format!(
             "[{}]",
-            pars.iter()
-                .map(u32::to_string)
-                .collect::<Vec<_>>()
-                .join(", ")
+            pars.iter().map(|p| p.json()).collect::<Vec<_>>().join(", ")
         ),
         entries = entries,
         e_n = encode.slots,
         e_b = encode.bytes_per_slot,
+        e_ch = cfg.channels,
+        e_pb = PAYLOAD.len(),
+        e_t = encode.templates,
         e_o = json_f(encode.opt_bytes_per_sec),
         e_r = json_f(encode.ref_bytes_per_sec),
+        e_tp = json_f(encode.template_bytes_per_sec),
         e_x = json_f(encode.opt_bytes_per_sec / encode.ref_bytes_per_sec),
+        e_tx = json_f(encode.template_bytes_per_sec / encode.ref_bytes_per_sec),
         ob_rows = obs_rows
             .iter()
             .map(|o| {

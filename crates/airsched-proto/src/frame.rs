@@ -37,7 +37,7 @@ pub const MAX_PAYLOAD: usize = u16::MAX as usize;
 /// channel as a `u16`).
 pub const MAX_CHANNEL_INDEX: u32 = u16::MAX as u32;
 
-const FLAG_IDLE: u8 = 0b0000_0001;
+pub(crate) const FLAG_IDLE: u8 = 0b0000_0001;
 
 /// One slot transmission on one channel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -328,7 +328,7 @@ pub fn decode_stream(bytes: &[u8]) -> (Vec<Frame>, usize) {
 /// computed at compile time. Entry `i` is the CRC of the single byte `i`
 /// folded through the 8 bitwise steps, so the hot loop does one table hit
 /// per byte instead of eight shift/xor rounds.
-const CRC16_TABLE: [u16; 256] = {
+pub(crate) const CRC16_TABLE: [u16; 256] = {
     let mut table = [0u16; 256];
     let mut i = 0usize;
     while i < 256 {
@@ -361,6 +361,16 @@ pub fn crc16(header: &[u8], payload: &[u8]) -> u16 {
         crc = (crc << 8) ^ CRC16_TABLE[usize::from((crc >> 8) as u8 ^ byte)];
     }
     crc
+}
+
+/// Advances a CRC state by one *zero* input byte: `s → (s << 8) ^
+/// T[s >> 8]`. This is the linear part `A` of the per-byte step `s' =
+/// A(s) ^ T[b]` (see [`crate::template::DeltaTable`] for why the step
+/// decomposes that way); the incremental-CRC delta tables are built by
+/// repeated application of it.
+#[inline]
+pub(crate) fn crc16_advance_zero(state: u16) -> u16 {
+    (state << 8) ^ CRC16_TABLE[usize::from((state >> 8) as u8)]
 }
 
 /// The seed's bit-at-a-time CRC-16/CCITT-FALSE, kept as the reference the

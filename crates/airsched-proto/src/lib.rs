@@ -29,10 +29,14 @@
 
 pub mod frame;
 pub mod receiver;
+pub mod template;
 pub mod transmitter;
 
 pub use frame::{crc16, decode_stream, DecodeError, EncodeError, Frame};
 pub use receiver::{Receiver, ReceiverStats, Reception};
+pub use template::{
+    CyclicPayloads, CyclicSource, DeltaTable, FrameTemplateCache, TemplateError, TemplateStats,
+};
 pub use transmitter::{
-    encode_slot_into, frames_for_slot, DebugPayloads, FrameStream, PayloadSource,
+    encode_slot_into, frames_for_slot, DebugPayloads, FixedPayloads, FrameStream, PayloadSource,
 };

@@ -1,0 +1,868 @@
+//! Cyclic frame templates: pre-encoded wire images patched per slot.
+//!
+//! Broadcast programs are *periodic* — every channel repeats a fixed cycle
+//! of pages — so across the whole run a channel's slot differs from the
+//! same slot one cycle earlier in exactly one header field: the 8-byte
+//! `slot_time`. The fresh encoder still rebuilds the header, copies the
+//! payload, and re-scans every byte for the CRC each slot. This module
+//! hoists all of that to plan-publish time: [`FrameTemplateCache`]
+//! pre-encodes one wire image per `(channel, slot-in-cycle)` cell, and the
+//! per-slot work collapses to one `memcpy` of the image plus an 8-byte
+//! `slot_time` patch and an *incremental* CRC fix-up.
+//!
+//! # Why the CRC can be patched without a re-scan
+//!
+//! CRC-16/CCITT-FALSE processes a message one byte at a time:
+//! `s' = A(s) ^ T[b ^ hi(s)]` where `T` is the byte table and
+//! `A(s) = (s << 8) ^ T[hi(s)]` is the state advance for a zero byte.
+//! Both `A` and `T` are linear over GF(2) (`T[a ^ b] = T[a] ^ T[b]`, pinned
+//! by a test below), which makes the whole CRC an *affine* function of the
+//! message: for two equal-length messages `m1`, `m2` the nonlinear parts —
+//! the `0xFFFF` init and every byte the messages share — cancel, leaving
+//!
+//! ```text
+//! crc(m1) ^ crc(m2) = L(m1 ^ m2)
+//! ```
+//!
+//! with `L` linear. When the messages differ only in the 8 `slot_time`
+//! bytes, `L` collapses to eight 256-entry lookup tables — one per slot
+//! byte position, each entry pre-advanced over the `tail_len` bytes that
+//! follow the slot field ([`DeltaTable`]). Templates bake `slot_time = 0`,
+//! so the XOR of the fields *is* the new slot bytes, and the patched CRC is
+//! `base_crc ^ delta(slot_time)` — 8 lookups instead of a full message
+//! scan, identical bit-for-bit to re-encoding (the fresh
+//! [`crate::transmitter::encode_slot_into`] stays as the reference, and
+//! the lockstep gates in `station_perf` compare the two byte-for-byte).
+//!
+//! # Invalidation
+//!
+//! The cache is a snapshot of one plan. Callers must rebuild it whenever
+//! the plan changes shape: plan swap/publish, a degradation-ladder repack
+//! (channel failure or recovery), or recovery `restore()`. Stalls need no
+//! rebuild — a stalled or down channel airs the cached per-channel idle
+//! template. [`FrameTemplateCache::encode_slot_into`] detects a stale
+//! cache (`on_air` naming a page the cached plan does not have in that
+//! cell) and returns [`TemplateError::PlanDrift`] instead of emitting
+//! wrong bytes.
+
+use std::collections::BTreeMap;
+
+use airsched_core::program::BroadcastProgram;
+use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
+use bytes::{Bytes, BytesMut};
+
+use crate::frame::{
+    crc16, crc16_advance_zero, EncodeError, CRC16_TABLE, FLAG_IDLE, HEADER_LEN, MAGIC, MAX_PAYLOAD,
+    VERSION,
+};
+use crate::transmitter::PayloadSource;
+
+/// Byte offset of the `slot_time` field in a frame header.
+const SLOT_TIME_OFFSET: usize = 8;
+/// Byte offset of the CRC field in a frame header.
+const CRC_OFFSET: usize = HEADER_LEN - 2;
+/// Header bytes after the `slot_time` field that feed the CRC
+/// (page id + payload length).
+const HEADER_TAIL: usize = CRC_OFFSET - (SLOT_TIME_OFFSET + 8);
+
+/// Supplies the payload bytes for a page when its template is built.
+///
+/// Unlike [`PayloadSource`], the payload may not depend on the slot time:
+/// the same bytes air every time the page's cell comes around in the
+/// cycle, which is exactly what makes the template reusable. (This matches
+/// the paper's model — a page is one fixed unit of content rebroadcast
+/// periodically.) Use [`CyclicSource`] to drive the fresh encoder from the
+/// same payloads when comparing the two paths.
+pub trait CyclicPayloads {
+    /// Appends the payload for `page` to `out`.
+    fn page_payload(&mut self, page: PageId, out: &mut BytesMut);
+}
+
+/// Adapts a [`CyclicPayloads`] to the slot-aware [`PayloadSource`] trait so
+/// the fresh encoder ([`crate::transmitter::encode_slot_into`]) can be run
+/// on the exact payloads a template cache was built from — the basis of
+/// every template-vs-fresh lockstep gate.
+#[derive(Debug)]
+pub struct CyclicSource<'a, P> {
+    inner: &'a mut P,
+}
+
+impl<'a, P> CyclicSource<'a, P> {
+    /// Wraps a cyclic payload supplier.
+    pub fn new(inner: &'a mut P) -> Self {
+        Self { inner }
+    }
+}
+
+impl<P: CyclicPayloads> PayloadSource for CyclicSource<'_, P> {
+    fn payload(&mut self, page: PageId, _slot_time: u64) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.inner.page_payload(page, &mut buf);
+        buf.freeze()
+    }
+
+    fn payload_into(&mut self, page: PageId, _slot_time: u64, out: &mut BytesMut) {
+        self.inner.page_payload(page, out);
+    }
+}
+
+/// The linear delta operator `L` for one message shape: maps the XOR of
+/// the 8 `slot_time` bytes straight onto the XOR of the checksums, for
+/// messages whose slot field is followed by exactly `tail_len` bytes.
+///
+/// `entry(pos, v)` is the checksum contribution of XOR byte `v` at slot
+/// byte position `pos` (0 = most significant). Built from the CRC byte
+/// table by repeated zero-byte advances: position 7's entries are
+/// `A^tail_len(T[v])`, and each earlier position is one more advance of
+/// the next. Linearity of `T` lets the base row be assembled from the 8
+/// single-bit columns instead of advancing all 256 entries.
+#[derive(Debug, Clone)]
+pub struct DeltaTable {
+    tbl: Box<[[u16; 256]; 8]>,
+}
+
+impl DeltaTable {
+    /// Builds the delta operator for a slot field followed by `tail_len`
+    /// bytes (for a wire frame: 6 header bytes + the payload length).
+    #[must_use]
+    pub fn new(tail_len: usize) -> Self {
+        // Advance each single-bit basis column over the tail once, then
+        // expand to all 256 byte values by GF(2) linearity.
+        let mut basis = [0u16; 8];
+        for (bit, slot) in basis.iter_mut().enumerate() {
+            let mut s = CRC16_TABLE[1usize << bit];
+            for _ in 0..tail_len {
+                s = crc16_advance_zero(s);
+            }
+            *slot = s;
+        }
+        let mut tbl = Box::new([[0u16; 256]; 8]);
+        for v in 0..256usize {
+            let mut d = 0u16;
+            for (bit, &contribution) in basis.iter().enumerate() {
+                if v & (1 << bit) != 0 {
+                    d ^= contribution;
+                }
+            }
+            tbl[7][v] = d;
+        }
+        for pos in (0..7).rev() {
+            for v in 0..256 {
+                tbl[pos][v] = crc16_advance_zero(tbl[pos + 1][v]);
+            }
+        }
+        Self { tbl }
+    }
+
+    /// The checksum contribution of XOR byte `value` at slot byte
+    /// position `pos` (0 = most significant byte of `slot_time`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 8`.
+    #[must_use]
+    pub fn entry(&self, pos: usize, value: u8) -> u16 {
+        self.tbl[pos][usize::from(value)]
+    }
+
+    /// Maps the XOR of the 8 slot bytes onto the XOR of the checksums.
+    #[must_use]
+    pub fn delta(&self, xor: [u8; 8]) -> u16 {
+        let mut d = 0u16;
+        for (pos, &b) in xor.iter().enumerate() {
+            d ^= self.tbl[pos][usize::from(b)];
+        }
+        d
+    }
+}
+
+/// One pre-encoded wire image (with `slot_time = 0` baked in).
+#[derive(Debug, Clone)]
+struct Template {
+    bytes: Box<[u8]>,
+    base_crc: u16,
+    /// Index into the cache's [`DeltaTable`] list (one per distinct
+    /// payload length).
+    table: u32,
+}
+
+/// Frame counters for the template emit path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TemplateStats {
+    /// Data frames emitted by patching a cached template.
+    pub data_frames: u64,
+    /// Idle frames emitted by patching a cached idle template.
+    pub idle_frames: u64,
+}
+
+/// Why a template emit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TemplateError {
+    /// The on-air column names a page the cached plan does not have in
+    /// that cell — the plan changed under the cache. Rebuild and retry.
+    PlanDrift {
+        /// The channel whose cell disagreed.
+        channel: u32,
+        /// The slot being encoded.
+        slot_time: u64,
+        /// What the cached plan has in the cell.
+        expected: Option<PageId>,
+        /// What the on-air column asked for.
+        found: PageId,
+    },
+    /// The on-air column width differs from the cached channel count.
+    ChannelMismatch {
+        /// Channels the cache was built for.
+        cached: u32,
+        /// Channels in the on-air column.
+        found: usize,
+    },
+}
+
+impl core::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::PlanDrift {
+                channel,
+                slot_time,
+                expected,
+                found,
+            } => write!(
+                f,
+                "plan drift on channel {channel} at slot {slot_time}: \
+                 cache holds {expected:?}, on-air wants {found}"
+            ),
+            Self::ChannelMismatch { cached, found } => write!(
+                f,
+                "on-air column has {found} channel(s) but the cache was \
+                 built for {cached}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// Pre-encoded wire images for every `(channel, slot-in-cycle)` cell of
+/// one broadcast plan, emitted per slot by patching `slot_time` and
+/// fixing the CRC incrementally (see the module docs for the argument).
+///
+/// # Examples
+///
+/// ```
+/// use airsched_core::group::GroupLadder;
+/// use airsched_core::susc;
+/// use airsched_core::types::PageId;
+/// use airsched_proto::template::{CyclicPayloads, FrameTemplateCache};
+/// use bytes::BytesMut;
+///
+/// struct Fixed;
+/// impl CyclicPayloads for Fixed {
+///     fn page_payload(&mut self, page: PageId, out: &mut BytesMut) {
+///         out.extend_from_slice(page.to_string().as_bytes());
+///     }
+/// }
+///
+/// let ladder = GroupLadder::new(vec![(2, 2), (4, 3)])?;
+/// let program = susc::schedule(&ladder, 2)?;
+/// let mut cache = FrameTemplateCache::build(&program, &mut Fixed)?;
+/// let mut buf = BytesMut::new();
+/// let written = cache.encode_cycle_slot(7, &mut buf);
+/// assert_eq!(written, buf.len());
+/// // Every emitted frame decodes — the patched CRC is valid.
+/// let (frames, used) = airsched_proto::decode_stream(&buf);
+/// assert_eq!(used, buf.len());
+/// assert_eq!(frames.len(), program.channels() as usize);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameTemplateCache {
+    channels: u32,
+    cycle_len: u64,
+    templates: Vec<Template>,
+    tables: Vec<DeltaTable>,
+    /// Template index per cell, channel-major (`ch * cycle_len + column`);
+    /// idle cells point at the channel's idle template.
+    cells: Vec<u32>,
+    /// The plan's page per cell, for drift detection.
+    pages: Vec<Option<PageId>>,
+    /// Idle template per channel.
+    idle: Vec<u32>,
+    /// Per-table slot delta for the slot being emitted.
+    delta_scratch: Vec<u16>,
+    stats: TemplateStats,
+}
+
+impl FrameTemplateCache {
+    /// Pre-encodes every cell of `program`, pulling one payload per
+    /// distinct page from `payloads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when a channel index or payload does not
+    /// fit its wire field.
+    pub fn build<P: CyclicPayloads>(
+        program: &BroadcastProgram,
+        payloads: &mut P,
+    ) -> Result<Self, EncodeError> {
+        let channels = program.channels();
+        let cycle_len = program.cycle_len();
+        let mut cells =
+            Vec::with_capacity(usize::try_from(program.capacity()).expect("grid fits in memory"));
+        for ch in 0..channels {
+            for col in 0..cycle_len {
+                cells.push(program.page_at(GridPos::new(ChannelId::new(ch), SlotIndex::new(col))));
+            }
+        }
+        Self::from_cells(channels, cycle_len, &cells, payloads)
+    }
+
+    /// Pre-encodes an explicit channel-major grid (`cells[ch * cycle_len +
+    /// column]`) — the entry point for a live station, whose effective grid
+    /// under degraded plans is not a [`BroadcastProgram`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when a channel index or payload does not
+    /// fit its wire field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_len` is zero or `cells.len() != channels *
+    /// cycle_len`.
+    pub fn from_cells<P: CyclicPayloads>(
+        channels: u32,
+        cycle_len: u64,
+        cells: &[Option<PageId>],
+        payloads: &mut P,
+    ) -> Result<Self, EncodeError> {
+        assert!(cycle_len > 0, "a plan cycle has at least one slot");
+        let n = usize::try_from(u64::from(channels) * cycle_len).expect("grid fits in memory");
+        assert_eq!(
+            cells.len(),
+            n,
+            "cells must be channel-major, channels x cycle_len"
+        );
+        let mut cache = Self {
+            channels,
+            cycle_len,
+            templates: Vec::new(),
+            tables: Vec::new(),
+            cells: Vec::with_capacity(n),
+            pages: Vec::with_capacity(n),
+            idle: Vec::with_capacity(channels as usize),
+            delta_scratch: Vec::new(),
+            stats: TemplateStats::default(),
+        };
+        let mut tables_by_len: BTreeMap<usize, u32> = BTreeMap::new();
+        let mut by_key: BTreeMap<(u32, Option<u32>), u32> = BTreeMap::new();
+        let mut payload = BytesMut::new();
+        for ch in 0..channels {
+            let ti = cache.intern(ch, None, &[], &mut tables_by_len, &mut by_key)?;
+            cache.idle.push(ti);
+        }
+        for ch in 0..channels {
+            for col in 0..cycle_len {
+                let page = cells[cache.cell_index(ch as usize, col)];
+                let ti = match page {
+                    None => cache.idle[ch as usize],
+                    Some(p) => {
+                        if let Some(&ti) = by_key.get(&(ch, Some(p.index()))) {
+                            ti
+                        } else {
+                            payload.clear();
+                            payloads.page_payload(p, &mut payload);
+                            cache.intern(ch, Some(p), &payload, &mut tables_by_len, &mut by_key)?
+                        }
+                    }
+                };
+                cache.cells.push(ti);
+                cache.pages.push(page);
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Builds (or reuses) the template for `(ch, page)` and returns its
+    /// index. `page: None` builds the channel's idle template.
+    fn intern(
+        &mut self,
+        ch: u32,
+        page: Option<PageId>,
+        payload: &[u8],
+        tables_by_len: &mut BTreeMap<usize, u32>,
+        by_key: &mut BTreeMap<(u32, Option<u32>), u32>,
+    ) -> Result<u32, EncodeError> {
+        let key = (ch, page.map(PageId::index));
+        if let Some(&ti) = by_key.get(&key) {
+            return Ok(ti);
+        }
+        let Ok(wire_ch) = u16::try_from(ch) else {
+            return Err(EncodeError::ChannelOutOfRange {
+                channel: ChannelId::new(ch),
+            });
+        };
+        if payload.len() > MAX_PAYLOAD {
+            return Err(EncodeError::PayloadTooLarge { len: payload.len() });
+        }
+        let tail_len = HEADER_TAIL + payload.len();
+        let table = *tables_by_len.entry(tail_len).or_insert_with(|| {
+            self.tables.push(DeltaTable::new(tail_len));
+            u32::try_from(self.tables.len() - 1).expect("table count fits in u32")
+        });
+        // The wire image with slot_time = 0 baked in: the XOR against any
+        // real slot is then the slot bytes themselves.
+        let mut img = Vec::with_capacity(HEADER_LEN + payload.len());
+        img.extend_from_slice(&MAGIC.to_be_bytes());
+        img.push(VERSION);
+        img.push(if page.is_none() { FLAG_IDLE } else { 0 });
+        img.extend_from_slice(&wire_ch.to_be_bytes());
+        img.extend_from_slice(&0u64.to_be_bytes());
+        img.extend_from_slice(&page.map_or(0, PageId::index).to_be_bytes());
+        let payload_len = u16::try_from(payload.len()).expect("length checked above");
+        img.extend_from_slice(&payload_len.to_be_bytes());
+        let base_crc = crc16(&img, payload);
+        img.extend_from_slice(&base_crc.to_be_bytes());
+        img.extend_from_slice(payload);
+        let ti = u32::try_from(self.templates.len()).expect("template count fits in u32");
+        self.templates.push(Template {
+            bytes: img.into_boxed_slice(),
+            base_crc,
+            table,
+        });
+        by_key.insert(key, ti);
+        Ok(ti)
+    }
+
+    /// Channels the cache was built for.
+    #[must_use]
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Cycle length the cache was built for.
+    #[must_use]
+    pub fn cycle_len(&self) -> u64 {
+        self.cycle_len
+    }
+
+    /// Distinct wire images held (idle templates included).
+    #[must_use]
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Distinct delta tables held (one per distinct payload length).
+    #[must_use]
+    pub fn delta_table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Frame counters for the emit path.
+    #[must_use]
+    pub fn stats(&self) -> TemplateStats {
+        self.stats
+    }
+
+    /// The cached plan's page for `channel` at `slot_time`.
+    #[must_use]
+    pub fn page_at(&self, channel: u32, slot_time: u64) -> Option<PageId> {
+        let col = slot_time % self.cycle_len;
+        self.pages[self.cell_index(channel as usize, col)]
+    }
+
+    fn cell_index(&self, ch: usize, col: u64) -> usize {
+        ch * usize::try_from(self.cycle_len).expect("cycle fits in memory")
+            + usize::try_from(col).expect("column fits in memory")
+    }
+
+    /// Computes each table's slot delta once per slot, shared by every
+    /// template of the same payload length in the column.
+    fn prepare_slot(&mut self, slot_time: u64) {
+        let slot_bytes = slot_time.to_be_bytes();
+        self.delta_scratch.clear();
+        for table in &self.tables {
+            self.delta_scratch.push(table.delta(slot_bytes));
+        }
+    }
+
+    /// Appends one template's image with `slot_time` and the CRC patched.
+    fn emit(&self, ti: u32, slot_bytes: [u8; 8], buf: &mut BytesMut) {
+        let t = &self.templates[ti as usize];
+        let at = buf.len();
+        buf.extend_from_slice(&t.bytes);
+        let out = &mut buf[at..];
+        out[SLOT_TIME_OFFSET..SLOT_TIME_OFFSET + 8].copy_from_slice(&slot_bytes);
+        let crc = t.base_crc ^ self.delta_scratch[t.table as usize];
+        out[CRC_OFFSET..CRC_OFFSET + 2].copy_from_slice(&crc.to_be_bytes());
+    }
+
+    /// Encodes one live slot (e.g. a station's `TickOutcome::on_air`) by
+    /// patching cached templates, appending every frame (idle carriers
+    /// included) to `buf`. Returns the bytes appended. Bit-identical to
+    /// [`crate::transmitter::encode_slot_into`] over the same payloads.
+    ///
+    /// A `None` cell airs the channel's idle template whatever the plan
+    /// holds there — that is exactly what a stalled or down channel
+    /// transmits — so stalls and outages need no cache rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemplateError`] when `on_air` does not fit the cached
+    /// plan (wrong width, or a page not in the cached cell — i.e. the
+    /// plan was swapped or repacked without a rebuild). On error nothing
+    /// is appended.
+    pub fn encode_slot_into(
+        &mut self,
+        on_air: &[Option<PageId>],
+        slot_time: u64,
+        buf: &mut BytesMut,
+    ) -> Result<usize, TemplateError> {
+        if on_air.len() != self.channels as usize {
+            return Err(TemplateError::ChannelMismatch {
+                cached: self.channels,
+                found: on_air.len(),
+            });
+        }
+        self.prepare_slot(slot_time);
+        let slot_bytes = slot_time.to_be_bytes();
+        let col = slot_time % self.cycle_len;
+        let start = buf.len();
+        let mut data_frames = 0u64;
+        let mut idle_frames = 0u64;
+        for (ch, &page) in on_air.iter().enumerate() {
+            let ti = match page {
+                None => {
+                    idle_frames += 1;
+                    self.idle[ch]
+                }
+                Some(p) => {
+                    let cell = self.cell_index(ch, col);
+                    if self.pages[cell] != Some(p) {
+                        buf.truncate(start);
+                        return Err(TemplateError::PlanDrift {
+                            channel: u32::try_from(ch).expect("channel fits in u32"),
+                            slot_time,
+                            expected: self.pages[cell],
+                            found: p,
+                        });
+                    }
+                    data_frames += 1;
+                    self.cells[cell]
+                }
+            };
+            self.emit(ti, slot_bytes, buf);
+        }
+        self.stats.data_frames += data_frames;
+        self.stats.idle_frames += idle_frames;
+        Ok(buf.len() - start)
+    }
+
+    /// Encodes the plan's own column for `slot_time` — the template
+    /// counterpart of walking [`crate::transmitter::FrameStream`] for one
+    /// slot and encoding each frame. Returns the bytes appended.
+    pub fn encode_cycle_slot(&mut self, slot_time: u64, buf: &mut BytesMut) -> usize {
+        self.prepare_slot(slot_time);
+        let slot_bytes = slot_time.to_be_bytes();
+        let col = slot_time % self.cycle_len;
+        let start = buf.len();
+        for ch in 0..self.channels as usize {
+            let cell = self.cell_index(ch, col);
+            if self.pages[cell].is_some() {
+                self.stats.data_frames += 1;
+            } else {
+                self.stats.idle_frames += 1;
+            }
+            self.emit(self.cells[cell], slot_bytes, buf);
+        }
+        buf.len() - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+    use crate::transmitter::{encode_slot_into, FrameStream};
+    use airsched_core::group::GroupLadder;
+    use airsched_core::susc;
+
+    /// Deterministic per-page payload with per-page lengths (so several
+    /// delta tables coexist).
+    struct TestPayloads;
+
+    impl CyclicPayloads for TestPayloads {
+        fn page_payload(&mut self, page: PageId, out: &mut BytesMut) {
+            let len = (page.index() as usize * 7) % 41;
+            for i in 0..len {
+                out.extend_from_slice(&[(page.index() as u8)
+                    .wrapping_mul(31)
+                    .wrapping_add(i as u8)]);
+            }
+        }
+    }
+
+    fn program() -> BroadcastProgram {
+        let ladder = GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap();
+        susc::schedule(&ladder, 2).unwrap()
+    }
+
+    #[test]
+    fn crc_byte_table_is_gf2_linear() {
+        // The whole delta argument rests on T[a ^ b] == T[a] ^ T[b].
+        for a in 0u16..=255 {
+            for b in 0u16..=255 {
+                assert_eq!(
+                    CRC16_TABLE[usize::from(a ^ b)],
+                    CRC16_TABLE[usize::from(a)] ^ CRC16_TABLE[usize::from(b)],
+                    "a={a:#04x} b={b:#04x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_matches_crc_difference_of_real_messages() {
+        // crc(m1) ^ crc(m2) == delta(slot1 ^ slot2) for messages that
+        // differ only in the 8 slot bytes, across several tail lengths.
+        let mut rng_state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        for tail_len in [0usize, 1, 6, 22, 70, 512] {
+            let table = DeltaTable::new(tail_len);
+            for _ in 0..8 {
+                let prefix: Vec<u8> = (0..SLOT_TIME_OFFSET).map(|_| next() as u8).collect();
+                let tail: Vec<u8> = (0..tail_len).map(|_| next() as u8).collect();
+                let s1 = next().to_be_bytes();
+                let s2 = next().to_be_bytes();
+                let msg = |s: [u8; 8]| {
+                    let mut m = prefix.clone();
+                    m.extend_from_slice(&s);
+                    m.extend_from_slice(&tail);
+                    m
+                };
+                let mut xor = [0u8; 8];
+                for (x, (a, b)) in xor.iter_mut().zip(s1.iter().zip(s2.iter())) {
+                    *x = a ^ b;
+                }
+                assert_eq!(
+                    crc16(&msg(s1), b"") ^ crc16(&msg(s2), b""),
+                    table.delta(xor),
+                    "tail_len={tail_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_table_golden_vectors() {
+        // Pinned against an independent implementation, next to the CRC
+        // goldens in `frame`. tail_len 6 is an idle frame, 22 a 16-byte
+        // payload, 70 a 64-byte payload.
+        let t6 = DeltaTable::new(6);
+        let t22 = DeltaTable::new(22);
+        let t70 = DeltaTable::new(70);
+        assert_eq!(DeltaTable::new(0).entry(7, 0x01), 0x1021); // = T[1]
+        assert_eq!(t6.entry(0, 0x01), 0x7B61);
+        assert_eq!(t6.entry(7, 0x01), 0xB861);
+        assert_eq!(t6.entry(7, 0xFF), 0xA571);
+        assert_eq!(t6.entry(3, 0xA5), 0xAADE);
+        assert_eq!(t6.delta(1u64.to_be_bytes()), 0xB861);
+        assert_eq!(t6.delta(0xDEAD_BEEFu64.to_be_bytes()), 0xCA77);
+        assert_eq!(t22.entry(0, 0x01), 0x091F);
+        assert_eq!(t22.entry(7, 0x01), 0x650B);
+        assert_eq!(t22.entry(7, 0xFF), 0x31F8);
+        assert_eq!(t22.entry(3, 0xA5), 0xDE36);
+        assert_eq!(t22.delta(1u64.to_be_bytes()), 0x650B);
+        assert_eq!(t22.delta(0xDEAD_BEEFu64.to_be_bytes()), 0x54B5);
+        assert_eq!(t70.entry(0, 0x01), 0x9C98);
+        assert_eq!(t70.entry(7, 0x01), 0x8832);
+        assert_eq!(t70.entry(7, 0xFF), 0x9671);
+        assert_eq!(t70.entry(3, 0xA5), 0xEB24);
+        assert_eq!(t70.delta(1u64.to_be_bytes()), 0x8832);
+        assert_eq!(t70.delta(0xDEAD_BEEFu64.to_be_bytes()), 0xECFD);
+        // The zero XOR never changes a checksum.
+        assert_eq!(t6.delta([0; 8]), 0);
+        assert_eq!(t70.delta([0; 8]), 0);
+    }
+
+    #[test]
+    fn cycle_slots_match_fresh_framestream_encoding() {
+        let p = program();
+        let mut cache = FrameTemplateCache::build(&p, &mut TestPayloads).unwrap();
+        let slots = 3 * p.cycle_len();
+        let mut payloads = TestPayloads;
+        let mut stream = FrameStream::new(&p, CyclicSource::new(&mut payloads));
+        let mut buf = BytesMut::new();
+        for slot_time in 0..slots {
+            buf.clear();
+            let written = cache.encode_cycle_slot(slot_time, &mut buf);
+            assert_eq!(written, buf.len());
+            let mut expected = Vec::new();
+            for _ in 0..p.channels() {
+                let frame = stream.next().unwrap();
+                assert_eq!(frame.slot_time, slot_time);
+                expected.extend_from_slice(&frame.encode());
+            }
+            assert_eq!(&buf[..], &expected[..], "slot {slot_time}");
+        }
+        let stats = cache.stats();
+        assert!(stats.data_frames > 0);
+        assert_eq!(
+            stats.data_frames + stats.idle_frames,
+            slots * u64::from(p.channels())
+        );
+    }
+
+    #[test]
+    fn live_slots_match_fresh_encoder_including_stalls() {
+        let p = program();
+        let mut cache = FrameTemplateCache::build(&p, &mut TestPayloads).unwrap();
+        let mut buf = BytesMut::new();
+        let mut fresh = BytesMut::new();
+        // Far-future slot times exercise all 8 slot bytes.
+        for slot_time in [0u64, 1, 7, 1 << 35, u64::MAX - 1, u64::MAX] {
+            let col = slot_time % p.cycle_len();
+            let mut on_air: Vec<Option<PageId>> = (0..p.channels())
+                .map(|ch| p.page_at(GridPos::new(ChannelId::new(ch), SlotIndex::new(col))))
+                .collect();
+            // A stalled channel airs idle regardless of the plan.
+            on_air[1] = None;
+            buf.clear();
+            cache
+                .encode_slot_into(&on_air, slot_time, &mut buf)
+                .unwrap();
+            fresh.clear();
+            encode_slot_into(
+                &on_air,
+                slot_time,
+                &mut CyclicSource::new(&mut TestPayloads),
+                &mut fresh,
+            )
+            .unwrap();
+            assert_eq!(&buf[..], &fresh[..], "slot {slot_time}");
+            // Each frame decodes with a valid checksum.
+            let (frames, used) = crate::frame::decode_stream(&buf);
+            assert_eq!(used, buf.len());
+            assert_eq!(frames.len(), p.channels() as usize);
+        }
+    }
+
+    #[test]
+    fn plan_drift_is_detected_and_appends_nothing() {
+        let p = program();
+        let mut cache = FrameTemplateCache::build(&p, &mut TestPayloads).unwrap();
+        let col = 0;
+        let mut on_air: Vec<Option<PageId>> = (0..p.channels())
+            .map(|ch| p.page_at(GridPos::new(ChannelId::new(ch), SlotIndex::new(col))))
+            .collect();
+        // Swap in a page the plan does not have in that cell.
+        let wrong = PageId::new(9_999);
+        on_air[0] = Some(wrong);
+        let mut buf = BytesMut::new();
+        let err = cache.encode_slot_into(&on_air, 0, &mut buf).unwrap_err();
+        assert!(matches!(err, TemplateError::PlanDrift { channel: 0, .. }));
+        assert!(buf.is_empty(), "a refused emit must append nothing");
+        assert!(err.to_string().contains("plan drift"));
+        // Wrong width is also refused.
+        let err = cache.encode_slot_into(&[None], 0, &mut buf).unwrap_err();
+        assert!(matches!(err, TemplateError::ChannelMismatch { .. }));
+    }
+
+    #[test]
+    fn idle_only_column_patches_cleanly() {
+        let mut cache =
+            FrameTemplateCache::from_cells(3, 4, &[None; 12], &mut TestPayloads).unwrap();
+        let mut buf = BytesMut::new();
+        let written = cache
+            .encode_slot_into(&[None, None, None], 123_456_789, &mut buf)
+            .unwrap();
+        assert_eq!(written, 3 * HEADER_LEN);
+        let (frames, used) = crate::frame::decode_stream(&buf);
+        assert_eq!(used, buf.len());
+        for (ch, frame) in frames.iter().enumerate() {
+            assert!(frame.is_idle());
+            assert_eq!(frame.slot_time, 123_456_789);
+            assert_eq!(frame.channel, ChannelId::new(u32::try_from(ch).unwrap()));
+        }
+        assert_eq!(cache.stats().idle_frames, 3);
+        assert_eq!(cache.template_count(), 3); // idle templates only
+        assert_eq!(cache.delta_table_count(), 1);
+    }
+
+    #[test]
+    fn templates_are_deduped_across_the_cycle() {
+        let p = program();
+        let cache = FrameTemplateCache::build(&p, &mut TestPayloads).unwrap();
+        // One template per distinct (channel, page) pair plus one idle per
+        // channel — not one per cell.
+        let mut distinct = std::collections::BTreeSet::new();
+        for ch in 0..p.channels() {
+            for col in 0..p.cycle_len() {
+                if let Some(page) = p.page_at(GridPos::new(ChannelId::new(ch), SlotIndex::new(col)))
+                {
+                    distinct.insert((ch, page));
+                }
+            }
+        }
+        assert_eq!(
+            cache.template_count(),
+            distinct.len() + p.channels() as usize
+        );
+    }
+
+    #[test]
+    fn wide_channel_and_oversize_payload_are_refused_at_build() {
+        struct Huge;
+        impl CyclicPayloads for Huge {
+            fn page_payload(&mut self, _page: PageId, out: &mut BytesMut) {
+                out.extend_from_slice(&vec![0u8; MAX_PAYLOAD + 1]);
+            }
+        }
+        let cells = vec![Some(PageId::new(0))];
+        let err = FrameTemplateCache::from_cells(1, 1, &cells, &mut Huge).unwrap_err();
+        assert!(matches!(err, EncodeError::PayloadTooLarge { .. }));
+        // Channel 65536 cannot be named on the wire; the grid build fails
+        // before any emit can truncate it.
+        let wide = u64::from(u16::MAX) + 2;
+        let cells = vec![None; usize::try_from(wide).unwrap()];
+        let err = FrameTemplateCache::from_cells(
+            u32::try_from(wide).unwrap(),
+            1,
+            &cells,
+            &mut TestPayloads,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EncodeError::ChannelOutOfRange { .. }));
+    }
+
+    #[test]
+    fn patched_frames_equal_fresh_frames_at_max_payload_edge() {
+        struct MaxPayload;
+        impl CyclicPayloads for MaxPayload {
+            fn page_payload(&mut self, page: PageId, out: &mut BytesMut) {
+                let byte = page.index() as u8;
+                out.extend_from_slice(&vec![byte ^ 0x5A; MAX_PAYLOAD]);
+            }
+        }
+        let cells = vec![Some(PageId::new(1)), Some(PageId::new(2))];
+        let mut cache = FrameTemplateCache::from_cells(1, 2, &cells, &mut MaxPayload).unwrap();
+        let mut buf = BytesMut::new();
+        for slot_time in [1u64, u64::MAX] {
+            buf.clear();
+            cache.encode_cycle_slot(slot_time, &mut buf);
+            let col = slot_time % 2;
+            let page = cells[usize::try_from(col).unwrap()].unwrap();
+            let mut payload = BytesMut::new();
+            MaxPayload.page_payload(page, &mut payload);
+            let expected =
+                Frame::data(ChannelId::new(0), slot_time, page, payload.freeze()).encode();
+            assert_eq!(&buf[..], &expected[..], "slot {slot_time}");
+        }
+    }
+}

@@ -6,14 +6,25 @@
 
 use airsched_core::program::BroadcastProgram;
 use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
-use bytes::{Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
-use crate::frame::{EncodeError, Frame};
+use crate::frame::{EncodeError, Frame, FLAG_IDLE, HEADER_LEN, MAGIC, VERSION};
+use crate::template::CyclicPayloads;
 
 /// Supplies the payload bytes for a page each time it airs.
 pub trait PayloadSource {
     /// The bytes to transmit for `page` at `slot_time`.
     fn payload(&mut self, page: PageId, slot_time: u64) -> Bytes;
+
+    /// Appends the bytes for `page` at `slot_time` directly to `out` — the
+    /// allocation-free sibling of [`PayloadSource::payload`], used by
+    /// [`encode_slot_into`] so the steady-state transmit loop never
+    /// round-trips payloads through an owned [`Bytes`]. The default
+    /// delegates to [`PayloadSource::payload`]; sources that can render in
+    /// place should override it.
+    fn payload_into(&mut self, page: PageId, slot_time: u64, out: &mut BytesMut) {
+        out.extend_from_slice(&self.payload(page, slot_time));
+    }
 }
 
 /// A payload source that renders a deterministic text payload — handy for
@@ -24,6 +35,64 @@ pub struct DebugPayloads;
 impl PayloadSource for DebugPayloads {
     fn payload(&mut self, page: PageId, slot_time: u64) -> Bytes {
         Bytes::from(format!("{page}@t{slot_time}"))
+    }
+
+    fn payload_into(&mut self, page: PageId, slot_time: u64, out: &mut BytesMut) {
+        use core::fmt::Write;
+        // Render straight into the frame buffer: same bytes as
+        // `format!`, none of its per-frame `String` + `Bytes` churn.
+        write!(WriteBytes(out), "{page}@t{slot_time}").expect("writing to a buffer is infallible");
+    }
+}
+
+/// `fmt::Write` adapter appending UTF-8 to a [`BytesMut`].
+struct WriteBytes<'a>(&'a mut BytesMut);
+
+impl core::fmt::Write for WriteBytes<'_> {
+    fn write_str(&mut self, s: &str) -> core::fmt::Result {
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// A payload source that serves one fixed byte pattern for every page —
+/// the borrowing workhorse for benchmarks and load tests, where payload
+/// *content* is irrelevant but payload *cost* must not include the
+/// allocator. Also usable as [`CyclicPayloads`] (the bytes never vary by
+/// slot), so one instance can drive both the template cache and the fresh
+/// encoder in lockstep gates.
+#[derive(Debug, Clone)]
+pub struct FixedPayloads {
+    data: Bytes,
+}
+
+impl FixedPayloads {
+    /// A source serving `data` for every page.
+    #[must_use]
+    pub fn new(data: Bytes) -> Self {
+        Self { data }
+    }
+
+    /// The fixed payload served.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl PayloadSource for FixedPayloads {
+    fn payload(&mut self, _page: PageId, _slot_time: u64) -> Bytes {
+        self.data.clone()
+    }
+
+    fn payload_into(&mut self, _page: PageId, _slot_time: u64, out: &mut BytesMut) {
+        out.extend_from_slice(&self.data);
+    }
+}
+
+impl CyclicPayloads for FixedPayloads {
+    fn page_payload(&mut self, _page: PageId, out: &mut BytesMut) {
+        out.extend_from_slice(&self.data);
     }
 }
 
@@ -126,7 +195,12 @@ pub fn frames_for_slot<S: PayloadSource>(
 /// every frame (idle carriers included) to one reused `buf`. Returns the
 /// number of bytes appended. This is the zero-allocation sibling of
 /// [`frames_for_slot`]: the station's steady-state transmit loop clears and
-/// refills the same buffer every slot.
+/// refills the same buffer every slot. Payloads are rendered in place via
+/// [`PayloadSource::payload_into`] — no intermediate [`Frame`] or
+/// [`Bytes`] is built — and the payload length and CRC are patched into
+/// the header afterwards, producing bytes identical to
+/// [`Frame::encode_into`]. (This fresh path is also the bit-identity
+/// reference for the patched [`crate::template::FrameTemplateCache`].)
 ///
 /// # Errors
 ///
@@ -140,12 +214,35 @@ pub fn encode_slot_into<S: PayloadSource>(
 ) -> Result<usize, EncodeError> {
     let start = buf.len();
     for (ch, page) in on_air.iter().enumerate() {
-        let channel = ChannelId::new(u32::try_from(ch).expect("channel fits in u32"));
-        let frame = match page {
-            Some(p) => Frame::data(channel, slot_time, *p, source.payload(*p, slot_time)),
-            None => Frame::idle(channel, slot_time),
+        let channel = u32::try_from(ch).expect("channel fits in u32");
+        let Ok(wire_ch) = u16::try_from(channel) else {
+            return Err(EncodeError::ChannelOutOfRange {
+                channel: ChannelId::new(channel),
+            });
         };
-        frame.encode_into(buf)?;
+        let at = buf.len();
+        buf.put_u32(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(if page.is_none() { FLAG_IDLE } else { 0 });
+        buf.put_u16(wire_ch);
+        buf.put_u64(slot_time);
+        buf.put_u32(page.map_or(0, PageId::index));
+        // Payload length and CRC are not known yet; reserve their fields
+        // and patch them once the payload is in place.
+        buf.put_u16(0);
+        buf.put_u16(0);
+        if let Some(p) = page {
+            source.payload_into(*p, slot_time, buf);
+        }
+        let payload_len = buf.len() - at - HEADER_LEN;
+        let Ok(wire_len) = u16::try_from(payload_len) else {
+            buf.truncate(at);
+            return Err(EncodeError::PayloadTooLarge { len: payload_len });
+        };
+        let frame = &mut buf[at..];
+        frame[HEADER_LEN - 4..HEADER_LEN - 2].copy_from_slice(&wire_len.to_be_bytes());
+        let crc = crate::frame::crc16(&frame[..HEADER_LEN - 2], &frame[HEADER_LEN..]);
+        frame[HEADER_LEN - 2..HEADER_LEN].copy_from_slice(&crc.to_be_bytes());
     }
     Ok(buf.len() - start)
 }
@@ -211,6 +308,51 @@ mod tests {
             }
             assert_eq!(&buf[..], &expected[..]);
         }
+    }
+
+    #[test]
+    fn debug_payload_into_matches_format() {
+        let mut out = BytesMut::new();
+        DebugPayloads.payload_into(PageId::new(12), 345, &mut out);
+        assert_eq!(
+            &out[..],
+            DebugPayloads.payload(PageId::new(12), 345).as_ref()
+        );
+        assert_eq!(&out[..], b"p12@t345");
+    }
+
+    #[test]
+    fn fixed_payloads_serve_the_same_bytes_on_every_path() {
+        let mut src = FixedPayloads::new(Bytes::from_static(b"tick"));
+        assert_eq!(src.data(), b"tick");
+        let owned = src.payload(PageId::new(3), 9);
+        let mut appended = BytesMut::new();
+        src.payload_into(PageId::new(3), 9, &mut appended);
+        let mut cyclic = BytesMut::new();
+        crate::template::CyclicPayloads::page_payload(&mut src, PageId::new(3), &mut cyclic);
+        assert_eq!(&owned[..], &appended[..]);
+        assert_eq!(&owned[..], &cyclic[..]);
+    }
+
+    #[test]
+    fn encode_slot_into_rejects_oversize_and_keeps_earlier_frames() {
+        use crate::frame::MAX_PAYLOAD;
+        struct Huge;
+        impl PayloadSource for Huge {
+            fn payload(&mut self, _page: PageId, _slot_time: u64) -> Bytes {
+                Bytes::from(vec![0u8; MAX_PAYLOAD + 1])
+            }
+        }
+        let on_air = [None, Some(PageId::new(1))];
+        let mut buf = BytesMut::new();
+        let err = encode_slot_into(&on_air, 5, &mut Huge, &mut buf).unwrap_err();
+        assert!(matches!(err, EncodeError::PayloadTooLarge { .. }));
+        // The idle frame on channel 0 was already encoded and survives;
+        // the oversize frame was rolled back cleanly.
+        let (frames, used) = crate::frame::decode_stream(&buf);
+        assert_eq!(used, buf.len());
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].is_idle());
     }
 
     #[test]

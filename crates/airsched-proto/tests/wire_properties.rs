@@ -1,11 +1,16 @@
-//! Property tests for the wire format: round-trip fidelity and decoder
-//! robustness against arbitrary and corrupted bytes.
+//! Property tests for the wire format: round-trip fidelity, decoder
+//! robustness against arbitrary and corrupted bytes, and bit-identity of
+//! the incremental-CRC template path against full re-encoding.
+
+use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
 use airsched_core::types::{ChannelId, PageId};
 use airsched_proto::frame::{decode_stream, Frame, HEADER_LEN};
-use bytes::Bytes;
+use airsched_proto::template::{CyclicPayloads, CyclicSource, DeltaTable, FrameTemplateCache};
+use airsched_proto::transmitter::encode_slot_into;
+use bytes::{Bytes, BytesMut};
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     (
@@ -81,5 +86,115 @@ proptest! {
         prop_assume!(bytes.len() > HEADER_LEN || !frame.payload.is_empty() || bytes.len() > 1);
         let cut = cut.index(bytes.len().saturating_sub(1).max(1));
         prop_assert!(Frame::decode(&bytes[..cut]).is_err());
+    }
+}
+
+/// Payload per page id, fixed across slots (the template-cache contract).
+#[derive(Debug, Default)]
+struct MapPayloads(BTreeMap<u32, Vec<u8>>);
+
+impl CyclicPayloads for MapPayloads {
+    fn page_payload(&mut self, page: PageId, out: &mut BytesMut) {
+        if let Some(bytes) = self.0.get(&page.index()) {
+            out.extend_from_slice(bytes);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The incremental-CRC delta operator equals a full recomputation for
+    /// arbitrary messages: two messages differing only in the 8 slot bytes
+    /// have checksums differing by exactly `delta(xor)`, for any tail.
+    #[test]
+    fn crc_delta_equals_full_recomputation(
+        prefix in prop::collection::vec(any::<u8>(), 8),
+        tail in prop::collection::vec(any::<u8>(), 0..1024),
+        slot_a in any::<u64>(),
+        slot_b in any::<u64>(),
+    ) {
+        let table = DeltaTable::new(tail.len());
+        let message = |slot: u64| {
+            let mut m = prefix.clone();
+            m.extend_from_slice(&slot.to_be_bytes());
+            m.extend_from_slice(&tail);
+            m
+        };
+        let full_a = airsched_proto::crc16(&message(slot_a), b"");
+        let full_b = airsched_proto::crc16(&message(slot_b), b"");
+        let mut xor = [0u8; 8];
+        for (x, (a, b)) in xor
+            .iter_mut()
+            .zip(slot_a.to_be_bytes().iter().zip(slot_b.to_be_bytes().iter()))
+        {
+            *x = a ^ b;
+        }
+        prop_assert_eq!(full_a ^ full_b, table.delta(xor));
+    }
+
+    /// Template-patched frames are byte-identical to fresh encoding for
+    /// arbitrary grids, payload lengths, slot times, and stall patterns
+    /// (stalled cells air idle frames on both paths).
+    #[test]
+    fn template_patching_matches_fresh_encoding(
+        channels in 1u32..4,
+        cycle_len in 1u64..5,
+        cell_seed in prop::collection::vec(prop::option::of(0u32..6), 16),
+        payload_lens in prop::collection::vec(0usize..300, 6),
+        slot_times in prop::collection::vec(any::<u64>(), 1..5),
+        stall_mask in any::<u16>(),
+    ) {
+        let n = (channels as usize) * (cycle_len as usize);
+        let cells: Vec<Option<PageId>> = (0..n)
+            .map(|i| cell_seed[i % cell_seed.len()].map(PageId::new))
+            .collect();
+        let mut payloads = MapPayloads(
+            payload_lens
+                .iter()
+                .enumerate()
+                .map(|(page, &len)| {
+                    (
+                        page as u32,
+                        (0..len).map(|i| (i as u8) ^ (page as u8).wrapping_mul(37)).collect(),
+                    )
+                })
+                .collect(),
+        );
+        let mut cache =
+            FrameTemplateCache::from_cells(channels, cycle_len, &cells, &mut payloads)
+                .expect("grid encodes");
+        let mut patched = BytesMut::new();
+        let mut fresh = BytesMut::new();
+        for &slot_time in &slot_times {
+            let col = (slot_time % cycle_len) as usize;
+            let on_air: Vec<Option<PageId>> = (0..channels as usize)
+                .map(|ch| {
+                    if stall_mask & (1 << (ch % 16)) != 0 {
+                        None // stalled channel: idle carrier, no rebuild
+                    } else {
+                        cells[ch * cycle_len as usize + col]
+                    }
+                })
+                .collect();
+            patched.clear();
+            let wrote = cache
+                .encode_slot_into(&on_air, slot_time, &mut patched)
+                .expect("on-air column matches the cached plan");
+            fresh.clear();
+            encode_slot_into(
+                &on_air,
+                slot_time,
+                &mut CyclicSource::new(&mut payloads),
+                &mut fresh,
+            )
+            .expect("fresh encoding succeeds");
+            prop_assert_eq!(wrote, patched.len());
+            prop_assert_eq!(&patched[..], &fresh[..], "slot {}", slot_time);
+            // Patched CRCs are valid end to end: every frame decodes.
+            let (frames, used) = decode_stream(&patched);
+            prop_assert_eq!(used, patched.len());
+            prop_assert_eq!(frames.len(), channels as usize);
+        }
     }
 }

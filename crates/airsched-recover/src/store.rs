@@ -460,6 +460,15 @@ impl RecoverableStation {
         self
     }
 
+    /// Sets adaptive tick parallelism on the wrapped station (see
+    /// [`Station::parallelism_auto`]). Like [`Self::parallelism`] this is
+    /// pure execution configuration: never journaled or checkpointed, and
+    /// bit-identical to every other setting.
+    pub fn parallelism_auto(&mut self, k: u32, threshold: u64) -> &mut Self {
+        self.station.parallelism_auto(k, threshold);
+        self
+    }
+
     /// Current station clock.
     #[must_use]
     pub fn now(&self) -> u64 {

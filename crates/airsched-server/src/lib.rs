@@ -53,7 +53,9 @@
 
 pub mod faults;
 pub mod health;
+mod pool;
 pub mod station;
+pub mod transmit;
 mod waiting;
 
 pub use faults::{FaultEvent, FaultInjector, FaultInjectorSnapshot, FaultPlan, SlotFaults};
@@ -62,6 +64,8 @@ pub use health::{
     SlotObservation,
 };
 pub use station::{
-    ActivePlanSnapshot, ClientId, DegradationPolicy, Delivery, Mode, ModeTally, PlanCorruptor,
-    ProgramSnapshot, Station, StationError, StationSnapshot, StationStats, TickBuf, TickOutcome,
+    ActivePlanSnapshot, ClientId, DegradationPolicy, Delivery, Mode, ModeTally, PlanCells,
+    PlanCorruptor, ProgramSnapshot, Station, StationError, StationSnapshot, StationStats, TickBuf,
+    TickOutcome,
 };
+pub use transmit::SlotBroadcaster;

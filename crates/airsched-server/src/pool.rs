@@ -1,0 +1,314 @@
+//! A persistent parked-worker pool for the tick drain phase.
+//!
+//! `WaitingSet::drain_sharded` pays a `std::thread::scope` spawn + join
+//! per tick — ~15µs at `parallelism(2)`, which dwarfs the drain itself on
+//! all but the largest ticks and made every `--par > 1` benchmark row at
+//! small scale a regression. This pool hoists the thread cost to
+//! `Station::parallelism(k)` time, the same hoist-to-setup theme as the
+//! frame-template cache: `k - 1` workers are spawned once and park on a
+//! condvar between ticks.
+//!
+//! # Handoff protocol
+//!
+//! The workspace forbids `unsafe`, so workers cannot borrow the waiting
+//! set across threads the way a scoped spawn can. Instead, ownership
+//! moves: per drain, the shard vector is split into `k` contiguous
+//! chunks (the same `SHARD_COUNT * (j + 1) / k` boundaries as
+//! `drain_sharded`) which travel *into* a mutex-guarded [`Job`] slot and
+//! travel back when drained. Moving a chunk moves only the shard
+//! headers — the arenas stay where they are — so the handoff cost is a
+//! few hundred bytes of memcpy, not a data copy.
+//!
+//! Each worker owns one chunk, fixed at pool build (worker `j` drains
+//! chunk `j + 1`). The *submitting* thread participates: it drains chunk
+//! 0, then greedily claims any chunk whose worker has not yet started
+//! it. Every chunk therefore has exactly two potential claimants (its
+//! worker and the submitter), claims are resolved under the job mutex,
+//! and on a single-CPU host the submitter simply drains everything
+//! itself without ever blocking on a context switch — the pool degrades
+//! to the serial path plus one condvar broadcast.
+//!
+//! # Determinism
+//!
+//! Which thread drains a chunk never reaches the output: results carry
+//! their request index and are merged in request order, stat deltas
+//! merge with plain adds, and the shard chunks are reassembled in base
+//! order — bit-identical to `drain_sharded`, which is itself pinned
+//! bit-identical to the serial walk (DESIGN.md §12–§13).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::station::Delivery;
+use crate::waiting::{DrainDelta, DrainReq, WaitShard, SHARD_COUNT};
+
+/// Everything a drain needs that is shared read-only by all claimants.
+struct JobCtx {
+    reqs: Vec<DrainReq>,
+    deadlines: Vec<u64>,
+    now: u64,
+}
+
+/// One contiguous run of shards travelling through the pool.
+struct Chunk {
+    /// Index of the first shard (`range = base..base + shards.len()`).
+    base: usize,
+    shards: Vec<WaitShard>,
+}
+
+/// One drain in flight.
+struct Job {
+    /// Unclaimed chunks, indexed by chunk number; a claimant takes the
+    /// `Option`.
+    chunks: Vec<Option<Chunk>>,
+    ctx: Arc<JobCtx>,
+    /// Chunks not yet drained and returned (claimed or not).
+    outstanding: usize,
+    /// Drained chunks, carrying the shards back.
+    finished: Vec<Chunk>,
+    /// Request-indexed results, merged by the submitter in request order.
+    results: Vec<(usize, Vec<Delivery>, DrainDelta)>,
+}
+
+struct PoolState {
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Wakes workers: a new job was published (or shutdown).
+    start: Condvar,
+    /// Wakes the submitter: a chunk came back.
+    done: Condvar,
+}
+
+/// A persistent pool of parked drain workers. Built once per
+/// `Station::parallelism(k)` setting and reused every tick; dropped (and
+/// joined) when the station re-keys or is dropped.
+pub(crate) struct DrainPool {
+    shared: Arc<PoolShared>,
+    /// Serializes drains when clones of one station share the pool.
+    submit: Mutex<()>,
+    workers: Vec<JoinHandle<()>>,
+    k: usize,
+}
+
+impl std::fmt::Debug for DrainPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DrainPool")
+            .field("k", &self.k)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl DrainPool {
+    /// Spawns `k - 1` parked workers; the submitting thread is the `k`th.
+    /// `k` is clamped to `2..=SHARD_COUNT` (a pool below 2 is pointless —
+    /// callers use the serial path).
+    pub fn new(k: usize) -> Self {
+        let k = k.clamp(2, SHARD_COUNT);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..k)
+            .map(|chunk_index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("airsched-drain-{chunk_index}"))
+                    .spawn(move || worker_loop(&shared, chunk_index))
+                    .expect("spawning a drain worker succeeds")
+            })
+            .collect();
+        Self {
+            shared,
+            submit: Mutex::new(()),
+            workers,
+            k,
+        }
+    }
+
+    /// Worker count including the submitting thread.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Drains every request across the pool, appending deliveries to
+    /// `out` in request order. `shards`, `deadlines` and `reqs` are
+    /// lent to the job (emptied, then refilled exactly as they were —
+    /// shards in base order, the vectors keeping their allocations).
+    pub fn drain(
+        &self,
+        shards: &mut Vec<WaitShard>,
+        deadlines: &mut Vec<u64>,
+        reqs: &mut Vec<DrainReq>,
+        now: u64,
+        out: &mut Vec<Delivery>,
+    ) -> DrainDelta {
+        let _submitting = self
+            .submit
+            .lock()
+            .expect("pool submit lock is never poisoned");
+        let k = self.k;
+        debug_assert_eq!(shards.len(), SHARD_COUNT);
+        let mut chunks: Vec<Option<Chunk>> = Vec::with_capacity(k);
+        let mut lo = 0usize;
+        for j in 0..k {
+            let hi = SHARD_COUNT * (j + 1) / k;
+            let mut chunk = Vec::with_capacity(hi - lo);
+            chunk.extend(shards.drain(..hi - lo));
+            chunks.push(Some(Chunk {
+                base: lo,
+                shards: chunk,
+            }));
+            lo = hi;
+        }
+        let ctx = Arc::new(JobCtx {
+            reqs: std::mem::take(reqs),
+            deadlines: std::mem::take(deadlines),
+            now,
+        });
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            .expect("pool lock is never poisoned");
+        debug_assert!(st.job.is_none(), "submits are serialized");
+        st.job = Some(Job {
+            chunks,
+            ctx: Arc::clone(&ctx),
+            outstanding: k,
+            finished: Vec::with_capacity(k),
+            results: Vec::new(),
+        });
+        drop(ctx);
+        self.shared.start.notify_all();
+        // Participate: drain chunk 0, then steal any chunk whose worker
+        // has not started it. On a single-CPU host this thread drains
+        // everything and never blocks.
+        loop {
+            let job = st
+                .job
+                .as_mut()
+                .expect("job lives until the submitter takes it");
+            let claimed = job.chunks.iter_mut().find_map(|slot| slot.take());
+            if let Some(chunk) = claimed {
+                let ctx = Arc::clone(&job.ctx);
+                drop(st);
+                let (chunk, results) = drain_one(chunk, &ctx);
+                st = self
+                    .shared
+                    .state
+                    .lock()
+                    .expect("pool lock is never poisoned");
+                drop(ctx);
+                finish(
+                    st.job.as_mut().expect("job outlives its chunks"),
+                    chunk,
+                    results,
+                );
+                continue;
+            }
+            if job.outstanding == 0 {
+                break;
+            }
+            st = self
+                .shared
+                .done
+                .wait(st)
+                .expect("pool lock is never poisoned");
+        }
+        let mut job = st.job.take().expect("submitter owns the finished job");
+        drop(st);
+        // Every worker dropped its ctx clone (under the lock) before the
+        // last chunk was counted back in, so the Arc is ours again.
+        let ctx = Arc::try_unwrap(job.ctx)
+            .unwrap_or_else(|_| unreachable!("all claimants returned their chunks"));
+        *reqs = ctx.reqs;
+        *deadlines = ctx.deadlines;
+        job.finished.sort_by_key(|c| c.base);
+        for chunk in job.finished {
+            shards.extend(chunk.shards);
+        }
+        job.results.sort_by_key(|&(ri, _, _)| ri);
+        let mut delta = DrainDelta::default();
+        for (_, deliveries, d) in job.results {
+            out.extend(deliveries);
+            delta.merge(d);
+        }
+        delta
+    }
+}
+
+impl Drop for DrainPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .expect("pool lock is never poisoned");
+            st.shutdown = true;
+        }
+        self.shared.start.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("drain worker exits cleanly");
+        }
+    }
+}
+
+/// Drains one chunk against the shared context. Runs without any lock.
+fn drain_one(mut chunk: Chunk, ctx: &JobCtx) -> (Chunk, Vec<(usize, Vec<Delivery>, DrainDelta)>) {
+    let range = chunk.base..chunk.base + chunk.shards.len();
+    let results = crate::waiting::drain_chunk(
+        &mut chunk.shards,
+        &range,
+        &ctx.reqs,
+        &ctx.deadlines,
+        ctx.now,
+    );
+    (chunk, results)
+}
+
+/// Books a drained chunk back into the job; must run under the pool lock
+/// *after* the claimant dropped its ctx clone, so that `outstanding == 0`
+/// implies the submitter holds the only remaining `Arc<JobCtx>`.
+fn finish(job: &mut Job, chunk: Chunk, results: Vec<(usize, Vec<Delivery>, DrainDelta)>) {
+    job.finished.push(chunk);
+    job.results.extend(results);
+    job.outstanding -= 1;
+}
+
+fn worker_loop(shared: &PoolShared, chunk_index: usize) {
+    let mut st = shared.state.lock().expect("pool lock is never poisoned");
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let claimed = st
+            .job
+            .as_mut()
+            .and_then(|job| job.chunks.get_mut(chunk_index).and_then(Option::take));
+        if let Some(chunk) = claimed {
+            let job = st.job.as_mut().expect("claim implies a live job");
+            let ctx = Arc::clone(&job.ctx);
+            drop(st);
+            let (chunk, results) = drain_one(chunk, &ctx);
+            st = shared.state.lock().expect("pool lock is never poisoned");
+            drop(ctx);
+            let job = st.job.as_mut().expect("job outlives its chunks");
+            finish(job, chunk, results);
+            if job.outstanding == 0 {
+                shared.done.notify_all();
+            }
+            continue;
+        }
+        st = shared.start.wait(st).expect("pool lock is never poisoned");
+    }
+}

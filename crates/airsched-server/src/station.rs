@@ -68,6 +68,7 @@
 //! for the metric schema).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use airsched_core::bound::minimum_channels_for_times;
@@ -87,6 +88,7 @@ use crate::faults::{FaultInjector, FaultInjectorSnapshot, FaultPlan, SlotFaults}
 use crate::health::{
     ChannelEvent, HealthMonitor, HealthSnapshot, HealthThresholds, SlotObservation,
 };
+use crate::pool::DrainPool;
 use crate::waiting::{DrainDelta, DrainReq, WaitingSet, SHARD_COUNT};
 
 /// A hook that mutates replan candidates before the lint gate sees them —
@@ -707,6 +709,29 @@ pub struct Station {
     /// Execution configuration, not serving state: never snapshotted,
     /// and the output stream is bit-identical at every setting.
     parallelism: u32,
+    /// Persistent parked workers backing `parallelism >= 2`; `None`
+    /// while serial. Clones of a parallel station share the pool (its
+    /// submit lock serializes their drains). Execution configuration
+    /// like `parallelism`: never snapshotted.
+    pool: Option<Arc<DrainPool>>,
+    /// When set, each tick estimates its drain work and takes the
+    /// serial path below `par_threshold` instead of paying the pool
+    /// handoff.
+    par_auto: bool,
+    /// Minimum [`WaitingSet::pending_for`] estimate that justifies the
+    /// pool handoff under `par_auto`.
+    par_threshold: u64,
+    /// `(pooled, serial)` tick counts under the crossover. Diagnostics
+    /// only — deliberately outside [`StationStats`], which the
+    /// bit-identity gates compare across parallelism settings.
+    crossover: (u64, u64),
+    /// Bumped whenever the effective on-air grid may change (publish,
+    /// expire, any ladder re-evaluation); frame-template caches key
+    /// their validity on it. Not snapshotted: a restored station
+    /// restarts at 0 with a fresh [`crate::SlotBroadcaster`].
+    plan_epoch: u64,
+    /// Reusable request buffer for the parallel drain path.
+    drain_reqs: Vec<DrainReq>,
     next_client: u64,
     stats: StationStats,
     /// Physical channel up/down state; length is the configured count.
@@ -739,6 +764,12 @@ impl Station {
             time: 0,
             waits: WaitingSet::new(),
             parallelism: 1,
+            pool: None,
+            par_auto: false,
+            par_threshold: Self::AUTO_DRAIN_THRESHOLD,
+            crossover: (0, 0),
+            plan_epoch: 0,
+            drain_reqs: Vec::new(),
             next_client: 0,
             stats: StationStats::default(),
             channel_up: vec![true; channels as usize],
@@ -945,6 +976,8 @@ impl Station {
             // Pre-sizes the page's waiting span too, so steady-state
             // subscribes hit no resize branch at all.
             self.waits.publish(page.index() as usize, expected);
+            // The full program changed even when no ladder move follows.
+            self.plan_epoch += 1;
             if !matches!(self.active, ActivePlan::Full) {
                 self.refresh_plan("catalogue");
             }
@@ -963,6 +996,7 @@ impl Station {
             .remove_page(page)
             .map_err(|_| StationError::UnknownPage { page })?;
         self.waits.expire(page.index() as usize);
+        self.plan_epoch += 1;
         if !matches!(self.active, ActivePlan::Full) {
             self.refresh_plan("catalogue");
         }
@@ -988,12 +1022,19 @@ impl Station {
         Ok(id)
     }
 
-    /// Sets how many shard workers the drain phase of
-    /// [`Station::tick_into`] fans out to. `k = 1` (the default) drains
-    /// serially on the calling thread; `2 ≤ k ≤ 16` splits the waiting
-    /// set's shards into `k` contiguous chunks and drains them on
-    /// [`std::thread::scope`] workers, merging deliveries back in channel
-    /// order. Values are clamped to that range.
+    /// Default [`Station::parallelism_auto`] crossover: ticks whose
+    /// estimated drain work (the waiting-entry count on the pages
+    /// actually draining) is below this many entries drain serially
+    /// instead of paying the pool handoff.
+    pub const AUTO_DRAIN_THRESHOLD: u64 = 4096;
+
+    /// Sets how many threads the drain phase of [`Station::tick_into`]
+    /// fans out to. `k = 1` (the default) drains serially on the calling
+    /// thread and tears down any worker pool; `2 ≤ k ≤ 16` builds a
+    /// persistent pool of `k - 1` condvar-parked workers (the calling
+    /// thread is the `k`th), reused every tick — the thread cost is paid
+    /// here, once, not per slot. Values are clamped to that range, and
+    /// re-setting the same `k` keeps the existing pool.
     ///
     /// The produced [`TickOutcome`] stream, every statistic, and every
     /// subsequent [`Station::snapshot`] are **bit-identical** for every
@@ -1001,8 +1042,132 @@ impl Station {
     /// setting itself is execution configuration: it is not captured in
     /// snapshots, and a restored station starts back at 1.
     pub fn parallelism(&mut self, k: u32) -> &mut Self {
-        self.parallelism = k.clamp(1, SHARD_COUNT as u32);
+        let k = k.clamp(1, SHARD_COUNT as u32);
+        self.parallelism = k;
+        self.par_auto = false;
+        if k >= 2 {
+            let rebuild = match &self.pool {
+                Some(pool) => pool.k() != k as usize,
+                None => true,
+            };
+            if rebuild {
+                self.pool = Some(Arc::new(DrainPool::new(k as usize)));
+            }
+        } else {
+            self.pool = None;
+        }
         self
+    }
+
+    /// Like [`Station::parallelism`], but with a per-tick crossover:
+    /// each tick estimates its drain work (the waiting-entry count on
+    /// the pages draining) and only routes through the pool when the
+    /// estimate reaches `threshold` waiting entries — below it the
+    /// tick drains serially on the calling thread, so small-backlog
+    /// stations never pay the handoff that made every fixed `--par > 1`
+    /// setting a regression at small scale. The output stream is
+    /// bit-identical either way; [`Station::drain_crossover`] reports
+    /// which side each tick took. `k = 1` disables both the pool and the
+    /// crossover.
+    pub fn parallelism_auto(&mut self, k: u32, threshold: u64) -> &mut Self {
+        self.parallelism(k);
+        if self.parallelism >= 2 {
+            self.par_auto = true;
+            self.par_threshold = threshold;
+        }
+        self
+    }
+
+    /// `(pooled, serial)` tick counts since the last parallelism change:
+    /// how many ticks routed the drain through the pool vs. stayed
+    /// serial (under [`Station::parallelism_auto`]'s crossover, or
+    /// `k = 1`). Diagnostics only — deliberately outside
+    /// [`StationStats`] so stats stay comparable across parallelism
+    /// settings.
+    #[must_use]
+    pub fn drain_crossover(&self) -> (u64, u64) {
+        self.crossover
+    }
+
+    /// A counter that moves whenever the effective on-air grid may have
+    /// changed: publish, expire, manual fail/restore, a policy change,
+    /// or any in-tick ladder re-evaluation. [`crate::SlotBroadcaster`]
+    /// compares it against the epoch its frame-template cache was built
+    /// at and rebuilds on mismatch. Not snapshotted — a restored station
+    /// restarts at 0, so bind a fresh broadcaster to each station
+    /// instance.
+    #[must_use]
+    pub fn plan_epoch(&self) -> u64 {
+        self.plan_epoch
+    }
+
+    /// Materializes the effective on-air grid: for every physical
+    /// channel and every slot-in-cycle column, the page a tick at that
+    /// column would put on the air (before per-slot stalls, which idle a
+    /// carrier without changing the plan). Down channels are all-`None`
+    /// rows, and the reduced rungs' logical rows fill the live channels
+    /// in ascending physical order — exactly the mapping
+    /// [`Station::tick_into`] applies. This is the input a frame-template
+    /// cache is built from; it is stale as soon as
+    /// [`Station::plan_epoch`] moves.
+    #[must_use]
+    pub fn plan_cells(&self) -> PlanCells {
+        let configured = self.channel_up.len();
+        let channels = u32::try_from(configured).expect("channel count fits in u32");
+        match &self.active {
+            ActivePlan::Full => {
+                let program = self.scheduler.program();
+                let cycle_len = program.cycle_len();
+                let cols = usize::try_from(cycle_len).expect("cycle fits in usize");
+                let mut cells = Vec::with_capacity(configured * cols);
+                for (ch, &up) in self.channel_up.iter().enumerate() {
+                    let channel = ChannelId::new(u32::try_from(ch).expect("fits in u32"));
+                    for col in 0..cycle_len {
+                        cells.push(if up {
+                            program.page_at(GridPos::new(channel, SlotIndex::new(col)))
+                        } else {
+                            None
+                        });
+                    }
+                }
+                PlanCells {
+                    channels,
+                    cycle_len,
+                    cells,
+                }
+            }
+            ActivePlan::Reduced(program) | ActivePlan::BestEffort(program) => {
+                let cycle_len = program.cycle_len();
+                let cols = usize::try_from(cycle_len).expect("cycle fits in usize");
+                let mut cells = Vec::with_capacity(configured * cols);
+                let mut row = 0u32;
+                for &up in &self.channel_up {
+                    if up && row < program.channels() {
+                        for col in 0..cycle_len {
+                            cells.push(
+                                program.page_at(GridPos::new(
+                                    ChannelId::new(row),
+                                    SlotIndex::new(col),
+                                )),
+                            );
+                        }
+                        row += 1;
+                    } else {
+                        cells.extend(std::iter::repeat_n(None, cols));
+                    }
+                }
+                PlanCells {
+                    channels,
+                    cycle_len,
+                    cells,
+                }
+            }
+            ActivePlan::Offline => PlanCells {
+                channels,
+                cycle_len: 1,
+                cells: vec![None; configured],
+            },
+        }
     }
 
     /// Installs (or removes) the plan-corruptor chaos hook: every replan
@@ -1102,6 +1267,11 @@ impl Station {
     /// `"channel_up"`, `"fault"`, `"catalogue"`, `"policy"`); it is
     /// carried on the `ModeChange` flight-recorder event.
     fn refresh_plan(&mut self, cause: &'static str) {
+        // Even a refused swap can follow a channel_up change, which moves
+        // the logical-row → physical-channel mapping: any re-evaluation
+        // invalidates cached frame templates. Spurious bumps cost one
+        // rebuild, never correctness.
+        self.plan_epoch += 1;
         let configured = u32::try_from(self.channel_up.len()).expect("channel count fits in u32");
         let n_up = self.channels_up();
         let decision = if n_up == 0 {
@@ -1351,26 +1521,46 @@ impl Station {
         // instead of six stat read-modify-writes per waiter; spans are
         // emptied in place so their capacity is reused.
         let delta = if self.parallelism >= 2 {
-            // Sharded drain: requests in ascending channel order, results
+            // Pooled drain: requests in ascending channel order, results
             // merged back in that same order — bit-identical to serial.
-            let mut reqs: Vec<DrainReq> = Vec::with_capacity(configured);
+            // The request buffer is owned by the station so steady-state
+            // ticks reuse its capacity.
+            self.drain_reqs.clear();
             for ch in 0..configured {
                 if buf.corrupted[ch] {
                     continue;
                 }
                 if let Some(page) = buf.on_air[ch] {
-                    reqs.push(DrainReq {
+                    self.drain_reqs.push(DrainReq {
                         page,
                         idx: page.index() as usize,
                     });
                 }
             }
-            self.waits.drain_sharded(
-                &reqs,
-                self.time,
-                self.parallelism as usize,
-                &mut buf.deliveries,
-            )
+            let pooled =
+                !self.par_auto || self.waits.pending_for(&self.drain_reqs) >= self.par_threshold;
+            if pooled {
+                self.crossover.0 += 1;
+                let pool = self.pool.clone().expect("parallelism >= 2 keeps a pool");
+                self.waits
+                    .drain_pooled(&mut self.drain_reqs, self.time, &pool, &mut buf.deliveries)
+            } else {
+                // Below the crossover the handoff would cost more than it
+                // buys: drain the same requests serially, in the same
+                // order — the two sides are bit-identical by the pooled
+                // lockstep tests.
+                self.crossover.1 += 1;
+                let mut delta = DrainDelta::default();
+                for req in &self.drain_reqs {
+                    delta.merge(self.waits.drain_page(
+                        req.idx,
+                        req.page,
+                        self.time,
+                        &mut buf.deliveries,
+                    ));
+                }
+                delta
+            }
         } else {
             let mut delta = DrainDelta::default();
             for ch in 0..configured {
@@ -1696,6 +1886,12 @@ impl Station {
             time: snapshot.time,
             waits: WaitingSet::restore(&snapshot.expected, &snapshot.waiting),
             parallelism: 1,
+            pool: None,
+            par_auto: false,
+            par_threshold: Self::AUTO_DRAIN_THRESHOLD,
+            crossover: (0, 0),
+            plan_epoch: 0,
+            drain_reqs: Vec::new(),
             next_client: snapshot.next_client,
             stats: snapshot.stats,
             channel_up: snapshot.channel_up.clone(),
@@ -1709,6 +1905,22 @@ impl Station {
             obs: None,
         })
     }
+}
+
+/// The effective on-air grid of a station at one instant, as physical
+/// cells: `cells[ch * cycle_len + col]` is the page a tick at column
+/// `col` (`= time % cycle_len`) would transmit on physical channel `ch`,
+/// `None` meaning an idle or down carrier. Produced by
+/// [`Station::plan_cells`] and consumed by frame-template caches; valid
+/// until [`Station::plan_epoch`] moves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanCells {
+    /// Configured physical channel count (grid rows).
+    pub channels: u32,
+    /// Grid columns; tick `t` airs column `t % cycle_len`.
+    pub cycle_len: u64,
+    /// Channel-major cells (`ch * cycle_len + col`).
+    pub cells: Vec<Option<PageId>>,
 }
 
 /// Cell-exact capture of one [`BroadcastProgram`].

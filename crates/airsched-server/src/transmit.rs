@@ -1,0 +1,360 @@
+//! The station's wire side: template-cached slot encoding.
+//!
+//! [`SlotBroadcaster`] owns a [`FrameTemplateCache`] built from the
+//! station's effective on-air grid ([`Station::plan_cells`]) and keyed on
+//! [`Station::plan_epoch`]: in steady state each slot is emitted by
+//! memcpy-ing pre-encoded wire images and patching only the eight
+//! `slot_time` bytes plus an incrementally-corrected CRC, instead of
+//! re-walking header fields, payload bytes and the full CRC every tick
+//! (the "encode wall" — see DESIGN.md §13).
+//!
+//! Invalidation is epoch-driven, not guessed: every path that can change
+//! what a column puts on the air — publish, expire, manual fail/restore,
+//! a policy change, any in-tick ladder move — bumps the station's plan
+//! epoch, and the broadcaster rebuilds its cache on the next slot. Per
+//! slot stalls need no rebuild (a `None` carrier patches the channel's
+//! idle template), and drift that slips through anyway (a column computed
+//! just before a swap) is caught by the cache's plan-drift check,
+//! answered with one rebuild-and-retry, and — if the column still
+//! disagrees — a fresh encode, so the emitted bytes are *always* exactly
+//! what the fresh encoder would produce.
+//!
+//! A broadcaster is bound to one station instance: the epoch is not
+//! snapshotted, so after [`Station::from_snapshot`] bind a fresh
+//! broadcaster (its first slot rebuilds from the restored plan, keeping
+//! recovery byte-identical).
+
+use airsched_core::types::PageId;
+use airsched_proto::frame::EncodeError;
+use airsched_proto::template::{CyclicPayloads, CyclicSource, FrameTemplateCache};
+use airsched_proto::transmitter::encode_slot_into;
+use bytes::BytesMut;
+
+use crate::station::Station;
+
+/// Encodes one slot of air time per call, serving frames from a
+/// plan-epoch-keyed [`FrameTemplateCache`] and falling back to fresh
+/// encoding only when the cache provably disagrees with the column.
+///
+/// ```
+/// use airsched_core::types::PageId;
+/// use airsched_proto::transmitter::FixedPayloads;
+/// use airsched_server::{SlotBroadcaster, Station, TickBuf};
+/// use bytes::{Bytes, BytesMut};
+///
+/// let mut station = Station::new(2, 8)?;
+/// station.publish(PageId::new(0), 2)?;
+/// let mut tx = SlotBroadcaster::new(FixedPayloads::new(Bytes::from_static(b"body")));
+/// let mut buf = TickBuf::default();
+/// let mut wire = BytesMut::new();
+/// station.tick_into(&mut buf);
+/// let written = tx.encode_slot(&station, buf.on_air(), buf.time(), &mut wire)?;
+/// assert_eq!(written, wire.len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SlotBroadcaster<P> {
+    payloads: P,
+    cache: Option<FrameTemplateCache>,
+    /// The [`Station::plan_epoch`] the cache was built at; `None` until
+    /// the first slot.
+    built_epoch: Option<u64>,
+    rebuilds: u64,
+    fresh_fallbacks: u64,
+}
+
+impl<P> std::fmt::Debug for SlotBroadcaster<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotBroadcaster")
+            .field("built_epoch", &self.built_epoch)
+            .field("rebuilds", &self.rebuilds)
+            .field("fresh_fallbacks", &self.fresh_fallbacks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: CyclicPayloads> SlotBroadcaster<P> {
+    /// Wraps a payload supplier; the first [`SlotBroadcaster::encode_slot`]
+    /// builds the cache.
+    pub fn new(payloads: P) -> Self {
+        Self {
+            payloads,
+            cache: None,
+            built_epoch: None,
+            rebuilds: 0,
+            fresh_fallbacks: 0,
+        }
+    }
+
+    /// Appends one encoded slot — one frame per physical channel, idle
+    /// frames for `None` carriers — to `buf`, returning the bytes
+    /// written. `on_air` is the tick's post-stall column
+    /// ([`crate::TickBuf::on_air`]) and `slot_time` its slot
+    /// ([`crate::TickBuf::time`]); the output is byte-identical to
+    /// running the fresh encoder over the same column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EncodeError`] from a cache rebuild or fresh-encode
+    /// fallback (a channel index or payload too wide for the wire
+    /// format) with nothing appended for the offending slot.
+    pub fn encode_slot(
+        &mut self,
+        station: &Station,
+        on_air: &[Option<PageId>],
+        slot_time: u64,
+        buf: &mut BytesMut,
+    ) -> Result<usize, EncodeError> {
+        let epoch = station.plan_epoch();
+        if self.built_epoch != Some(epoch) || self.cache.is_none() {
+            self.rebuild(station)?;
+        }
+        let cache = self.cache.as_mut().expect("rebuild installs a cache");
+        if let Ok(written) = cache.encode_slot_into(on_air, slot_time, buf) {
+            return Ok(written);
+        }
+        // The column disagrees with the cached plan (drift the epoch did
+        // not cover, e.g. a column captured just before a swap): rebuild
+        // once and retry, then encode fresh if it still disagrees. Either
+        // way the emitted bytes match the fresh encoder's.
+        self.rebuild(station)?;
+        let cache = self.cache.as_mut().expect("rebuild installs a cache");
+        if let Ok(written) = cache.encode_slot_into(on_air, slot_time, buf) {
+            return Ok(written);
+        }
+        self.fresh_fallbacks += 1;
+        encode_slot_into(
+            on_air,
+            slot_time,
+            &mut CyclicSource::new(&mut self.payloads),
+            buf,
+        )
+    }
+
+    /// Rebuilds the template cache from the station's current effective
+    /// grid and records the epoch it captured.
+    fn rebuild(&mut self, station: &Station) -> Result<(), EncodeError> {
+        let plan = station.plan_cells();
+        self.cache = Some(FrameTemplateCache::from_cells(
+            plan.channels,
+            plan.cycle_len,
+            &plan.cells,
+            &mut self.payloads,
+        )?);
+        self.built_epoch = Some(station.plan_epoch());
+        self.rebuilds += 1;
+        Ok(())
+    }
+
+    /// How many times the cache was (re)built — 1 after the first slot
+    /// of an unchanging plan, +1 per plan change encountered since.
+    #[must_use]
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Slots that fell all the way back to the fresh encoder (cache
+    /// disagreed with the column even after a rebuild). Zero in any
+    /// steady pipeline.
+    #[must_use]
+    pub fn fresh_fallbacks(&self) -> u64 {
+        self.fresh_fallbacks
+    }
+
+    /// The live cache, if one has been built.
+    #[must_use]
+    pub fn cache(&self) -> Option<&FrameTemplateCache> {
+        self.cache.as_ref()
+    }
+
+    /// The payload supplier.
+    pub fn payloads_mut(&mut self) -> &mut P {
+        &mut self.payloads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::station::TickBuf;
+    use airsched_core::types::ChannelId;
+
+    /// Per-page deterministic payloads, page-keyed (the template
+    /// contract) with distinct lengths so delta tables are exercised.
+    #[derive(Debug, Clone, Default)]
+    struct PagePayloads;
+
+    impl CyclicPayloads for PagePayloads {
+        fn page_payload(&mut self, page: PageId, out: &mut BytesMut) {
+            let n = (page.index() as usize % 5) * 17 + 3;
+            out.extend_from_slice(
+                &(0..n)
+                    .map(|i| (i as u8) ^ (page.index() as u8).wrapping_mul(73))
+                    .collect::<Vec<u8>>(),
+            );
+        }
+    }
+
+    fn build_station() -> Station {
+        let mut station = Station::new(3, 8).expect("station builds");
+        station.publish(PageId::new(0), 2).expect("publishes");
+        station.publish(PageId::new(1), 4).expect("publishes");
+        station.publish(PageId::new(2), 8).expect("publishes");
+        station.publish(PageId::new(3), 8).expect("publishes");
+        station
+    }
+
+    /// One tick's wire bytes from the fresh encoder, for comparison.
+    fn fresh_bytes(on_air: &[Option<PageId>], slot_time: u64) -> BytesMut {
+        let mut buf = BytesMut::new();
+        encode_slot_into(
+            on_air,
+            slot_time,
+            &mut CyclicSource::new(&mut PagePayloads),
+            &mut buf,
+        )
+        .expect("fresh encoding succeeds");
+        buf
+    }
+
+    #[test]
+    fn plan_epoch_moves_on_every_invalidation_point() {
+        let mut station = build_station();
+        let mut last = station.plan_epoch();
+        let expect_bump = |station: &Station, what: &str, last: &mut u64| {
+            assert!(
+                station.plan_epoch() > *last,
+                "{what} must bump the plan epoch"
+            );
+            *last = station.plan_epoch();
+        };
+        station.publish(PageId::new(4), 8).expect("publishes");
+        expect_bump(&station, "publish", &mut last);
+        station.expire(PageId::new(4)).expect("expires");
+        expect_bump(&station, "expire", &mut last);
+        station.fail_channel(ChannelId::new(2));
+        expect_bump(&station, "fail_channel", &mut last);
+        station.restore_channel(ChannelId::new(2));
+        expect_bump(&station, "restore_channel", &mut last);
+        station.set_degradation_policy(crate::station::DegradationPolicy::default());
+        expect_bump(&station, "set_degradation_policy", &mut last);
+        // Plain ticking of an unchanged plan must NOT bump: steady state
+        // keeps the cache.
+        let mut buf = TickBuf::default();
+        station.tick_into(&mut buf);
+        assert_eq!(station.plan_epoch(), last, "a quiet tick keeps the epoch");
+    }
+
+    #[test]
+    fn template_slots_match_fresh_encoding_through_the_ladder() {
+        let mut station = build_station();
+        let mut tx = SlotBroadcaster::new(PagePayloads);
+        let mut buf = TickBuf::default();
+        let mut wire = BytesMut::new();
+        let mut check = |station: &mut Station, tx: &mut SlotBroadcaster<PagePayloads>| {
+            station.tick_into(&mut buf);
+            wire.clear();
+            let written = tx
+                .encode_slot(station, buf.on_air(), buf.time(), &mut wire)
+                .expect("slot encodes");
+            assert_eq!(written, wire.len());
+            assert_eq!(
+                &wire[..],
+                &fresh_bytes(buf.on_air(), buf.time())[..],
+                "slot {} diverged from the fresh encoder",
+                buf.time()
+            );
+        };
+        for _ in 0..16 {
+            check(&mut station, &mut tx);
+        }
+        assert_eq!(tx.rebuilds(), 1, "a steady plan builds once");
+        // Walk down the ladder (repack, then best-effort) and back up,
+        // publishing mid-degradation; every slot must stay byte-exact.
+        station.fail_channel(ChannelId::new(2));
+        for _ in 0..8 {
+            check(&mut station, &mut tx);
+        }
+        station.fail_channel(ChannelId::new(1));
+        station.publish(PageId::new(9), 8).expect("publishes");
+        for _ in 0..8 {
+            check(&mut station, &mut tx);
+        }
+        station.restore_channel(ChannelId::new(1));
+        station.restore_channel(ChannelId::new(2));
+        for _ in 0..8 {
+            check(&mut station, &mut tx);
+        }
+        assert_eq!(
+            tx.fresh_fallbacks(),
+            0,
+            "epoch keying covers every plan change"
+        );
+    }
+
+    #[test]
+    fn restored_station_with_fresh_broadcaster_is_byte_identical() {
+        let mut station = build_station();
+        let mut tx = SlotBroadcaster::new(PagePayloads);
+        let mut buf = TickBuf::default();
+        let mut wire = BytesMut::new();
+        for _ in 0..5 {
+            station.tick_into(&mut buf);
+            wire.clear();
+            tx.encode_slot(&station, buf.on_air(), buf.time(), &mut wire)
+                .expect("slot encodes");
+        }
+        station.fail_channel(ChannelId::new(0));
+        let snapshot = station.snapshot();
+        // The survivor continues; the twin restores and binds a fresh
+        // broadcaster, as crash recovery must.
+        let mut twin = Station::from_snapshot(&snapshot, None).expect("snapshot restores");
+        let mut twin_tx = SlotBroadcaster::new(PagePayloads);
+        let mut twin_buf = TickBuf::default();
+        let mut twin_wire = BytesMut::new();
+        for _ in 0..12 {
+            station.tick_into(&mut buf);
+            wire.clear();
+            tx.encode_slot(&station, buf.on_air(), buf.time(), &mut wire)
+                .expect("slot encodes");
+            twin.tick_into(&mut twin_buf);
+            twin_wire.clear();
+            twin_tx
+                .encode_slot(&twin, twin_buf.on_air(), twin_buf.time(), &mut twin_wire)
+                .expect("twin slot encodes");
+            assert_eq!(buf.time(), twin_buf.time());
+            assert_eq!(
+                &wire[..],
+                &twin_wire[..],
+                "restored slot {} diverged on the wire",
+                buf.time()
+            );
+        }
+    }
+
+    #[test]
+    fn stale_column_falls_back_without_wrong_bytes() {
+        // Encode a column captured *before* a plan change with the
+        // post-change station: the epoch rebuild makes the cache disagree
+        // with the stale column, so the broadcaster must take the fresh
+        // path — and still emit exactly what the fresh encoder does.
+        let mut station = build_station();
+        let mut tx = SlotBroadcaster::new(PagePayloads);
+        let mut buf = TickBuf::default();
+        station.tick_into(&mut buf);
+        let stale: Vec<Option<PageId>> = buf.on_air().to_vec();
+        let stale_time = buf.time();
+        let mut wire = BytesMut::new();
+        tx.encode_slot(&station, &stale, stale_time, &mut wire)
+            .expect("pre-change slot encodes");
+        station.expire(PageId::new(0)).expect("expires");
+        station.publish(PageId::new(7), 2).expect("publishes");
+        wire.clear();
+        tx.encode_slot(&station, &stale, stale_time, &mut wire)
+            .expect("stale column still encodes");
+        assert_eq!(&wire[..], &fresh_bytes(&stale, stale_time)[..]);
+        assert!(
+            tx.fresh_fallbacks() >= 1,
+            "a genuinely stale column exercises the fallback"
+        );
+    }
+}

@@ -125,7 +125,7 @@ pub(crate) struct DrainReq {
 /// the arena tail, relocating otherwise — and the arena compacts once
 /// relocations strand more dead capacity than live.
 #[derive(Debug, Clone, Default)]
-struct WaitShard {
+pub(crate) struct WaitShard {
     metas: Vec<PageMeta>,
     arena: Vec<(u64, u64)>,
     /// Arena records stranded by span relocation, reclaimed by `compact`.
@@ -397,6 +397,11 @@ impl WaitingSet {
     /// function), so a page aired on two channels drains at its
     /// lowest-channel request and the later request sees an empty span —
     /// exactly as in the serial walk.
+    ///
+    /// Retained as the lockstep reference for [`WaitingSet::drain_pooled`]
+    /// (the serving path uses the pool; spawn-per-tick only survives here
+    /// and in the tests that pin the two bit-identical).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn drain_sharded(
         &mut self,
         reqs: &[DrainReq],
@@ -448,6 +453,49 @@ impl WaitingSet {
         delta
     }
 
+    /// Drains every request on a persistent [`DrainPool`], merging
+    /// deliveries back in request order — bit-identical to
+    /// [`WaitingSet::drain_sharded`] (and therefore to the serial walk)
+    /// over the same requests, but without the per-tick thread spawn:
+    /// shard chunks move into the pool's parked workers and move back
+    /// when drained (see `pool` module docs for the handoff protocol).
+    ///
+    /// `reqs` is lent to the job and comes back untouched (the `&mut` is
+    /// the loan, not a mutation).
+    pub fn drain_pooled(
+        &mut self,
+        reqs: &mut Vec<DrainReq>,
+        now: u64,
+        pool: &crate::pool::DrainPool,
+        out: &mut Vec<Delivery>,
+    ) -> DrainDelta {
+        if reqs.len() <= 1 {
+            let mut delta = DrainDelta::default();
+            for r in reqs.iter() {
+                delta.merge(self.drain_page(r.idx, r.page, now, out));
+            }
+            return delta;
+        }
+        pool.drain(&mut self.shards, &mut self.deadlines, reqs, now, out)
+    }
+
+    /// Waiters currently parked on the requested pages — the tick's drain
+    /// workload, used by the `parallelism` auto mode to decide whether a
+    /// parallel drain can pay for its handoff. A page aired on two
+    /// channels is counted twice; the estimate is an upper bound, which
+    /// only ever errs toward parallelism.
+    pub fn pending_for(&self, reqs: &[DrainReq]) -> u64 {
+        reqs.iter()
+            .map(|r| {
+                let shard = &self.shards[shard_of(r.idx)];
+                shard
+                    .metas
+                    .get(local_of(r.idx))
+                    .map_or(0, |m| u64::from(m.len))
+            })
+            .sum()
+    }
+
     /// Removes and returns one page's waiters in FIFO order — used by
     /// `tick_reference`, which keeps the seed's allocating shape.
     pub fn take_dense(&mut self, idx: usize) -> Vec<(ClientId, u64)> {
@@ -496,7 +544,7 @@ impl WaitingSet {
 /// Drains the requests owned by one contiguous shard chunk, in request
 /// order, tagging each result with its request index for the caller's
 /// deterministic merge.
-fn drain_chunk(
+pub(crate) fn drain_chunk(
     chunk: &mut [WaitShard],
     range: &std::ops::Range<usize>,
     reqs: &[DrainReq],
@@ -682,6 +730,65 @@ mod tests {
                 serial.snapshot_waiting(),
                 "residual waiting state diverged at k={k}"
             );
+        }
+    }
+
+    #[test]
+    fn pooled_drain_is_bit_identical_to_serial_for_every_k() {
+        let build = || {
+            let mut w = WaitingSet::new();
+            for idx in 0..200 {
+                w.publish(idx, 8);
+            }
+            let mut c = 0u64;
+            for round in 0..40u64 {
+                for idx in 0..200usize {
+                    if (idx as u64 + round).is_multiple_of(3) {
+                        assert!(w.subscribe(idx, c, round));
+                        c += 1;
+                    }
+                }
+            }
+            w
+        };
+        let reqs: Vec<DrainReq> = [3usize, 40, 77, 111, 160, 199, 3, 58]
+            .iter()
+            .map(|&idx| DrainReq {
+                page: PageId::new(u32::try_from(idx).unwrap()),
+                idx,
+            })
+            .collect();
+        let mut serial = build();
+        let mut serial_out = Vec::new();
+        let serial_delta = serial.drain_sharded(&reqs, 40, 1, &mut serial_out);
+        assert!(!serial_out.is_empty());
+        let expected_pending: u64 = serial_out.len() as u64;
+        for k in [2usize, 3, 4, 16] {
+            let pool = crate::pool::DrainPool::new(k);
+            let mut pooled = build();
+            assert_eq!(
+                pooled.pending_for(&reqs),
+                expected_pending + pooled.pending_for(&reqs[6..7])
+            );
+            let mut reqs_buf = reqs.clone();
+            let mut out = Vec::new();
+            let delta = pooled.drain_pooled(&mut reqs_buf, 40, &pool, &mut out);
+            // The request buffer is lent to the job and comes back as-is.
+            assert_eq!(reqs_buf.len(), reqs.len());
+            assert_eq!(out, serial_out, "delivery stream diverged at k={k}");
+            assert_eq!(delta, serial_delta, "stat delta diverged at k={k}");
+            assert_eq!(
+                pooled.snapshot_waiting(),
+                serial.snapshot_waiting(),
+                "residual waiting state diverged at k={k}"
+            );
+            // The pool is reusable: a second, now-empty drain delivers
+            // nothing and leaves the set intact.
+            let mut out2 = Vec::new();
+            let delta2 = pooled.drain_pooled(&mut reqs_buf, 41, &pool, &mut out2);
+            assert!(out2.is_empty());
+            assert_eq!(delta2, DrainDelta::default());
+            assert_eq!(pooled.snapshot_waiting(), serial.snapshot_waiting());
         }
     }
 

@@ -212,6 +212,12 @@ impl BytesMut {
         self.data.extend_from_slice(extend);
     }
 
+    /// Shortens the buffer to `len` bytes, keeping the front — upstream
+    /// compatible; a no-op when `len` exceeds the current length.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
     /// Converts the builder into an immutable [`Bytes`].
     #[must_use]
     pub fn freeze(self) -> Bytes {
@@ -225,11 +231,23 @@ impl AsRef<[u8]> for BytesMut {
     }
 }
 
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
 impl Deref for BytesMut {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl core::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
