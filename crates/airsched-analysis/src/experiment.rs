@@ -147,6 +147,12 @@ pub struct SweepPoint {
     pub opt_pruned: u64,
     /// Structural lint verdicts for the three measured programs.
     pub lint: PointLint,
+    /// The difference-constraint solver's feasibility verdict for this
+    /// channel count ([`airsched_solve::check_ladder`]): whether a fully
+    /// valid schedule exists at all. Flips from `false` to `true` exactly
+    /// at [`ChannelSweep::min_channels`] — an independent certification
+    /// of the sweep's Theorem 3.1 right edge.
+    pub feasible: bool,
 }
 
 /// One Figure 5 sub-figure: a full channel sweep under one distribution.
@@ -219,6 +225,7 @@ pub fn sweep_channels(
                 mpb: lint_counts(&mpb_program, &ladder),
                 opt: lint_counts(&opt_program, &ladder),
             },
+            feasible: airsched_solve::check_ladder(&ladder, n)?.is_feasible(),
         });
     }
     points.sort_by_key(|p| p.channels);
@@ -517,6 +524,24 @@ mod tests {
         }
         assert_eq!(LintCounts::default().to_string(), "clean");
         assert_eq!(LintCounts { deny: 1, warn: 2 }.to_string(), "1D/2W");
+    }
+
+    #[test]
+    fn solver_feasibility_flips_exactly_at_the_minimum() {
+        // The per-point solver verdict must agree with Theorem 3.1: every
+        // point below the minimum is certified infeasible, the minimum
+        // itself (and above) feasible.
+        let config = small_config(GroupSizeDistribution::Uniform);
+        let min = minimum_channels(&config.ladder().unwrap());
+        let sweep = sweep_channels(&config, 1..=min + 1).unwrap();
+        for p in &sweep.points {
+            assert_eq!(
+                p.feasible,
+                p.channels >= min,
+                "channels {} vs minimum {min}",
+                p.channels
+            );
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub fn sweep_table(sweep: &ChannelSweep) -> Table {
         "m-PB".into(),
         "OPT".into(),
         "lint".into(),
+        "feasible".into(),
     ]);
     for p in &sweep.points {
         let lint = if p.lint.is_clean() {
@@ -46,6 +47,7 @@ pub fn sweep_table(sweep: &ChannelSweep) -> Table {
             fnum(p.mpb, 3),
             fnum(p.opt, 3),
             lint,
+            if p.feasible { "yes" } else { "no" }.to_string(),
         ]);
     }
     table

@@ -190,6 +190,72 @@ fn main() {
         }
     );
 
+    // --- Difference-constraint solver: feasibility check, synthesis, and
+    // the KSY PTAS baseline, each gated against its reference. ---
+    let epsilon = extra_num(&extra, "epsilon", 0.1f64);
+    let (check_verdict, solve_check_us) = time_us(3, || {
+        airsched_solve::check_ladder(&ladder, n_min).expect("paper ladder encodes")
+    });
+    if !check_verdict.is_feasible() {
+        divergences.push(format!("solve: N_min = {n_min} certified infeasible"));
+    }
+    if n_min > 1 {
+        match airsched_solve::check_ladder(&ladder, n_min - 1).expect("paper ladder encodes") {
+            airsched_solve::Verdict::Infeasible(cert) => {
+                if cert.replay().is_err() {
+                    divergences.push("solve: certificate below N_min fails replay".into());
+                }
+            }
+            airsched_solve::Verdict::Feasible(_) => {
+                divergences.push(format!("solve: N_min - 1 = {} feasible", n_min - 1));
+            }
+        }
+    }
+    let (synth_program, solve_synth_us) = time_us(3, || {
+        airsched_solve::synthesize(&ladder, n_min).expect("feasible at the minimum")
+    });
+    if !validity::check(&synth_program, &ladder).is_valid() {
+        divergences.push("solve: synthesized program fails validity::check".into());
+    }
+    // Solver-vs-validity cross-check on the measured (below-minimum)
+    // program: the two verdicts must be identical.
+    let program_verdict = airsched_solve::check_program(&program, &ladder);
+    if program_verdict.is_feasible() != report.is_valid() {
+        divergences.push(format!(
+            "solve: check_program {} but validity::check {}",
+            program_verdict.is_feasible(),
+            report.is_valid()
+        ));
+    }
+    println!(
+        "solve: check @ N={n_min} {solve_check_us:.1} µs ({}), synth {solve_synth_us:.1} µs ({} slots)",
+        if check_verdict.is_feasible() {
+            "feasible"
+        } else {
+            "infeasible"
+        },
+        synth_program.occupied_slots()
+    );
+
+    // PTAS at the measurement point (real delays): its objective must stay
+    // within (1 + epsilon) of the r-structured OPT's, the paper's
+    // reference. (The seed tracks that optimum closely, so the grid search
+    // never drifts above the epsilon band.)
+    let opt_meas = opt::search_r_structured(&ladder, meas_n, Weighting::PaperEq2);
+    let (ptas_out, ptas_us) = time_us(1, || {
+        airsched_solve::ptas::approximate(&ladder, meas_n, epsilon, Weighting::PaperEq2)
+    });
+    let ptas_ratio = ptas_out.ratio_vs(opt_meas.objective());
+    if !ptas_ratio.is_finite() || ptas_ratio > 1.0 + epsilon + 1e-9 {
+        divergences.push(format!(
+            "ptas: ratio vs r-structured OPT at N={meas_n} is {ptas_ratio} (epsilon {epsilon})"
+        ));
+    }
+    println!(
+        "solve: PTAS @ N={meas_n} eps={epsilon}: {ptas_us:.1} µs, {} candidates, ratio vs OPT {ptas_ratio:.4}\n",
+        ptas_out.evaluated()
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -208,6 +274,9 @@ fn main() {
             "  \"measure\": {{\"requests\": {m_n}, \"serial_us\": {m_s}, \"parallel_us\": {m_p}, ",
             "\"identical\": {m_id}}},\n",
             "  \"validity\": {{\"check_us\": {v_us}, \"valid\": {v_ok}}},\n",
+            "  \"solve\": {{\"check_us\": {s_c}, \"synth_us\": {s_s}, \"ptas_us\": {s_p}, ",
+            "\"ptas_epsilon\": {s_eps}, \"ptas_evaluated\": {s_ev}, \"ptas_ratio_vs_opt\": {s_r}, ",
+            "\"feasible_at_min\": {s_ok}, \"verdicts_agree\": {s_ag}}},\n",
             "  \"divergences\": {divs}\n",
             "}}\n"
         ),
@@ -243,6 +312,14 @@ fn main() {
         m_id = serial_meas == parallel_meas,
         v_us = json_f(validity_us),
         v_ok = report.is_valid(),
+        s_c = json_f(solve_check_us),
+        s_s = json_f(solve_synth_us),
+        s_p = json_f(ptas_us),
+        s_eps = json_f(epsilon),
+        s_ev = ptas_out.evaluated(),
+        s_r = json_f(ptas_ratio),
+        s_ok = check_verdict.is_feasible(),
+        s_ag = program_verdict.is_feasible() == report.is_valid(),
         divs = if divergences.is_empty() {
             "[]".to_string()
         } else {

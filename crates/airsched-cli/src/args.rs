@@ -6,10 +6,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Parsed command line: the subcommand plus `--key value` options.
+/// Parsed command line: the subcommand, an optional action word (a
+/// second positional, used by `solve check` / `solve synth`), plus
+/// `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
     command: Option<String>,
+    action: Option<String>,
     options: BTreeMap<String, String>,
     flags: Vec<String>,
 }
@@ -34,7 +37,8 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns [`ArgError`] on a positional argument after the command.
+    /// Returns [`ArgError`] on a positional argument after the command
+    /// and action.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
         let mut args = Args::default();
         let mut iter = raw.into_iter().peekable();
@@ -49,6 +53,8 @@ impl Args {
                 }
             } else if args.command.is_none() {
                 args.command = Some(tok);
+            } else if args.action.is_none() {
+                args.action = Some(tok);
             } else {
                 return Err(ArgError(format!(
                     "unexpected positional argument '{tok}' (options are --key value)"
@@ -62,6 +68,14 @@ impl Args {
     #[must_use]
     pub fn command(&self) -> Option<&str> {
         self.command.as_deref()
+    }
+
+    /// The action word (second positional), if any. Commands that take
+    /// no action reject it at dispatch, keeping stray positionals an
+    /// error everywhere else.
+    #[must_use]
+    pub fn action(&self) -> Option<&str> {
+        self.action.as_deref()
     }
 
     /// A string option.
@@ -156,8 +170,16 @@ mod tests {
     }
 
     #[test]
+    fn second_positional_is_the_action() {
+        let args = parse(&["solve", "check", "--channels", "2"]);
+        assert_eq!(args.command(), Some("solve"));
+        assert_eq!(args.action(), Some("check"));
+        assert_eq!(args.num::<u32>("channels", 0).unwrap(), 2);
+    }
+
+    #[test]
     fn rejects_extra_positionals() {
-        let err = Args::parse(["a".to_string(), "b".to_string()]).unwrap_err();
+        let err = Args::parse(["a".to_string(), "b".to_string(), "c".to_string()]).unwrap_err();
         assert!(err.to_string().contains("unexpected positional"));
     }
 

@@ -33,6 +33,8 @@ COMMANDS:
   energy     tuning-energy vs latency under (1,m) air indexing
   inspect    validate a saved program file against a workload
   lint       static analysis of a program/plan: rule-based diagnostics
+  solve      difference-constraint feasibility: certify a budget/program
+             or synthesize a schedule, with infeasibility certificates
   trace      print the transmission stream slot by slot
   plan       smallest channel count meeting an average-delay budget
   items      schedule variable-length items (LENxTIME specs)
@@ -65,6 +67,10 @@ COMMAND OPTIONS:
              [--allow RULES] [--warn RULES] [--deny RULES]
              [--max-stretch 2.0] [--max-expected-time N] [--list-rules]
              (deny-level findings exit 1; rules by code 'AP01' or name)
+  solve:     check --times T --counts C (--channels N | --file FILE)
+             synth --times T --counts C --channels N [--save FILE]
+             [--format text|json] (an infeasible verdict prints the
+             negative-cycle certificate and exits 1)
   trace:     --channels N [--slots 20] [--from 0]
   plan:      --budget SLOTS [--requests 3000] [--seed 42]
   items:     --specs 3x8,1x2,2x5 [--ratio 2] [--channels N]
@@ -109,8 +115,18 @@ impl CmdOutput {
 ///
 /// Returns [`ArgError`] with a user-facing message on any failure.
 pub fn run_full(args: &Args) -> Result<CmdOutput, ArgError> {
+    // Only `solve` takes an action word; a stray positional anywhere
+    // else stays the parse-time error it always was.
+    if let Some(action) = args.action() {
+        if args.command() != Some("solve") {
+            return Err(ArgError(format!(
+                "unexpected positional argument '{action}' (options are --key value)"
+            )));
+        }
+    }
     match args.command() {
         Some("lint") => cmd_lint(args),
+        Some("solve") => cmd_solve(args),
         _ => run_plain(args).map(CmdOutput::ok),
     }
 }
@@ -134,7 +150,7 @@ fn run_plain(args: &Args) -> Result<String, ArgError> {
         Some("checkpoint") => cmd_checkpoint(args),
         Some("restore") => cmd_restore(args),
         Some("help") | None => Ok(USAGE.to_string()),
-        Some("lint") => unreachable!("lint is dispatched by run_full"),
+        Some("lint" | "solve") => unreachable!("dispatched by run_full"),
         Some(other) => Err(ArgError(format!("unknown command '{other}'\n\n{USAGE}"))),
     }
 }
@@ -375,6 +391,82 @@ fn cmd_lint(args: &Args) -> Result<CmdOutput, ArgError> {
         text,
         fail: report.has_deny(),
     })
+}
+
+fn cmd_solve(args: &Args) -> Result<CmdOutput, ArgError> {
+    use airsched_solve::{check_ladder, check_program, render, Verdict};
+
+    let format = args.get("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(ArgError(format!("unknown format '{format}' (text, json)")));
+    }
+    let ladder = ladder_from_args(args)?;
+    let action = args.action().unwrap_or("check");
+    let verdict = match action {
+        "check" => match args.get("file") {
+            // A saved program: certify it against the workload's
+            // deadlines (observed mode).
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| ArgError(format!("cannot read '{path}': {e}")))?;
+                let program = airsched_core::textio::parse_program(&text)
+                    .map_err(|e| ArgError(format!("{path}: {e}")))?;
+                check_program(&program, &ladder)
+            }
+            // No program: pure ladder feasibility at a channel budget.
+            None => {
+                let channels: u32 = args.require_num("channels")?;
+                check_ladder(&ladder, channels).map_err(|e| ArgError(e.to_string()))?
+            }
+        },
+        "synth" => {
+            let channels: u32 = args.require_num("channels")?;
+            check_ladder(&ladder, channels).map_err(|e| ArgError(e.to_string()))?
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown solve action '{other}' (check, synth)"
+            )))
+        }
+    };
+    match verdict {
+        Verdict::Feasible(witness) => {
+            let mut text = match format {
+                "json" => format!(
+                    "{{\"verdict\": \"feasible\", \"channels\": {}, \"cycle\": {}, \
+                     \"occupied_slots\": {}}}\n",
+                    witness.channels(),
+                    witness.cycle_len(),
+                    witness.occupied_slots()
+                ),
+                _ => format!(
+                    "feasible: a valid schedule exists on {} channel(s) (witness: {witness})\n",
+                    witness.channels()
+                ),
+            };
+            if action == "synth" {
+                let rendered = airsched_core::textio::write_program(&witness);
+                match args.get("save") {
+                    Some(path) => {
+                        std::fs::write(path, &rendered)
+                            .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+                        text.push_str(&format!("saved program to {path}\n"));
+                    }
+                    None => text.push_str(&rendered),
+                }
+            }
+            Ok(CmdOutput::ok(text))
+        }
+        Verdict::Infeasible(cert) => {
+            let text = match format {
+                "json" => render::render_json(&cert),
+                _ => render::render_text(&cert),
+            };
+            // Like `lint`: a refusal prints the certificate and exits
+            // nonzero.
+            Ok(CmdOutput { text, fail: true })
+        }
+    }
 }
 
 fn cmd_simulate(args: &Args) -> Result<String, ArgError> {
@@ -1368,6 +1460,113 @@ mod tests {
         assert!(!out.fail, "{}", out.text);
         assert!(out.text.contains("lint clean"), "{}", out.text);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_check_feasible_and_infeasible_budgets() {
+        let ok = run_full_line(&[
+            "solve",
+            "check",
+            "--times",
+            "2,4",
+            "--counts",
+            "2,3",
+            "--channels",
+            "2",
+        ])
+        .unwrap();
+        assert!(!ok.fail, "{}", ok.text);
+        assert!(ok.text.contains("feasible"), "{}", ok.text);
+
+        let refused = run_full_line(&[
+            "solve",
+            "check",
+            "--times",
+            "2,4",
+            "--counts",
+            "2,3",
+            "--channels",
+            "1",
+        ])
+        .unwrap();
+        assert!(refused.fail, "{}", refused.text);
+        assert!(
+            refused.text.contains("deny[SV01/negative-cycle]"),
+            "{}",
+            refused.text
+        );
+
+        let json = run_full_line(&[
+            "solve",
+            "check",
+            "--times",
+            "2,4",
+            "--counts",
+            "2,3",
+            "--channels",
+            "1",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(json.fail);
+        assert!(
+            json.text.contains("\"verdict\": \"infeasible\""),
+            "{}",
+            json.text
+        );
+    }
+
+    #[test]
+    fn solve_synth_round_trips_through_inspect_and_lint() {
+        let dir = std::env::temp_dir().join("airsched-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("solve-synth.txt");
+        let path_str = path.to_str().unwrap();
+        let out = run_full_line(&[
+            "solve",
+            "synth",
+            "--times",
+            "2,4,8",
+            "--counts",
+            "3,5,3",
+            "--channels",
+            "4",
+            "--save",
+            path_str,
+        ])
+        .unwrap();
+        assert!(!out.fail, "{}", out.text);
+        assert!(out.text.contains("saved program"), "{}", out.text);
+        // The synthesized witness is lint-clean under the full rule set
+        // and certifies against its own ladder.
+        let linted = run_full_line(&[
+            "lint", "--file", path_str, "--times", "2,4,8", "--counts", "3,5,3",
+        ])
+        .unwrap();
+        assert!(!linted.fail, "{}", linted.text);
+        let checked = run_full_line(&[
+            "solve", "check", "--file", path_str, "--times", "2,4,8", "--counts", "3,5,3",
+        ])
+        .unwrap();
+        assert!(!checked.fail, "{}", checked.text);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_rejects_unknown_action_and_stray_positionals_elsewhere() {
+        assert!(run_full_line(&[
+            "solve",
+            "prove",
+            "--times",
+            "2",
+            "--counts",
+            "1",
+            "--channels",
+            "1"
+        ])
+        .is_err());
+        assert!(run_full_line(&["bound", "check", "--times", "2", "--counts", "1"]).is_err());
     }
 
     #[test]

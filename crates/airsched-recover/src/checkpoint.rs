@@ -54,7 +54,7 @@ pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
 pub const CHECKPOINT_SHADOW: &str = "checkpoint.tmp";
 
 const MAGIC: u32 = 0x4153_434B; // "ASCK"
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 const HEADER_LEN: usize = 10;
 
 fn corrupt(reason: Reason) -> RecoverError {
@@ -321,6 +321,7 @@ fn put_stats(w: &mut ByteWriter, s: &StationStats) {
     w.u64(s.degraded_slots);
     w.u64(s.plan_rejections);
     w.u64(s.plan_warnings);
+    w.u64(s.solve_rejections);
     w.u64(s.mode_changes);
     w.opt_u64(s.last_mode_change_slot);
     for tally in s.mode_tallies() {
@@ -345,6 +346,7 @@ fn get_stats(r: &mut ByteReader<'_>) -> Result<StationStats, Reason> {
     s.degraded_slots = r.u64()?;
     s.plan_rejections = r.u64()?;
     s.plan_warnings = r.u64()?;
+    s.solve_rejections = r.u64()?;
     s.mode_changes = r.u64()?;
     s.last_mode_change_slot = r.opt_u64()?;
     let mut tallies = [ModeTally::default(); 4];

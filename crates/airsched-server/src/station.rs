@@ -54,7 +54,12 @@
 //! diagnostics are tallied in [`StationStats::plan_warnings`]. Operators
 //! can dry-run the same check with [`Station::propose_plan`], and chaos
 //! tests corrupt candidates upstream of the gate with
-//! [`Station::set_plan_corruptor`].
+//! [`Station::set_plan_corruptor`]. With [`Station::set_deep_verify`] on,
+//! re-pack candidates are additionally certified by the
+//! difference-constraint solver ([`airsched_solve::check_observed`]) —
+//! an independent derivation of the same deadline semantics whose
+//! refusals carry machine-checkable certificates and are tallied in
+//! [`StationStats::solve_rejections`].
 //!
 //! ## Observability
 //!
@@ -383,6 +388,12 @@ pub struct StationStats {
     pub plan_rejections: u64,
     /// Warn-level lint diagnostics observed across gated candidates.
     pub plan_warnings: u64,
+    /// Re-pack candidates the deep-verify solver gate refused: the
+    /// difference-constraint oracle ([`airsched_solve::check_observed`])
+    /// produced an infeasibility certificate for the candidate against
+    /// the live catalogue. Zero unless [`Station::set_deep_verify`] is
+    /// on.
+    pub solve_rejections: u64,
     /// Degradation-ladder mode transitions in either direction (the sum
     /// of `failovers + repacks + recoveries + drops to offline`) — the
     /// counter twin of the flight recorder's `ModeChange` event stream,
@@ -746,6 +757,10 @@ pub struct Station {
     pending_events: Vec<ChannelEvent>,
     /// Chaos hook: mutates replan candidates before the lint gate.
     corruptor: Option<PlanCorruptor>,
+    /// When on, every re-pack candidate is additionally certified by the
+    /// difference-constraint solver (see the pre-swap gate docs above).
+    /// Execution configuration like `parallelism`: never snapshotted.
+    deep_verify: bool,
     /// Optional observability wiring; `None` keeps the exact
     /// uninstrumented behavior.
     obs: Option<StationObs>,
@@ -780,6 +795,7 @@ impl Station {
             active: ActivePlan::Full,
             pending_events: Vec::new(),
             corruptor: None,
+            deep_verify: false,
             obs: None,
         })
     }
@@ -1177,6 +1193,54 @@ impl Station {
         self.corruptor = corruptor;
     }
 
+    /// Switches the deep-verify mode of the pre-swap gate: when on, every
+    /// re-pack candidate is also handed to the difference-constraint
+    /// oracle ([`airsched_solve::check_observed`]), which re-derives the
+    /// deadline semantics from first principles and, on refusal, carries
+    /// a machine-checkable infeasibility certificate. The solver runs
+    /// *alongside* the lint gate (not only after it passes), so
+    /// [`StationStats::solve_rejections`] versus
+    /// [`StationStats::plan_rejections`] exposes any divergence between
+    /// the two verdicts — by construction there should be none. A refusal
+    /// by either blocks the swap. Off by default: the lint gate alone is
+    /// the production configuration; deep-verify is the
+    /// belt-and-suspenders mode for certification runs.
+    pub fn set_deep_verify(&mut self, on: bool) {
+        self.deep_verify = on;
+    }
+
+    /// Whether the deep-verify solver gate is on.
+    #[must_use]
+    pub fn deep_verify(&self) -> bool {
+        self.deep_verify
+    }
+
+    /// The deep-verify half of the pre-swap gate: asks the solver for a
+    /// feasibility verdict on `candidate` against the live catalogue.
+    fn certify_candidate(&mut self, candidate: &BroadcastProgram) -> bool {
+        let deadlines: Vec<(PageId, u64)> = self
+            .scheduler
+            .pages()
+            .iter()
+            .map(|(&p, &t)| (p, t))
+            .collect();
+        match airsched_solve::check_observed(candidate, &deadlines) {
+            airsched_solve::Verdict::Feasible(_) => true,
+            airsched_solve::Verdict::Infeasible(_) => {
+                self.stats.solve_rejections += 1;
+                if let Some(o) = &self.obs {
+                    // The refusal event names the solver's rule code so a
+                    // postmortem distinguishes it from lint refusals.
+                    o.obs.record(ObsEvent::PlanRejected {
+                        slot: self.time,
+                        rule_ids: vec![airsched_solve::render::RULE.to_string()],
+                    });
+                }
+                false
+            }
+        }
+    }
+
     /// Lints `candidate` against the live catalogue exactly as the
     /// pre-swap gate does, without installing anything — the
     /// operator-facing dry run. The gate itself uses
@@ -1339,8 +1403,12 @@ impl Station {
                 // catalogue.
                 self.record_replan(STAGE_REPACK, times.len() as u64, started);
                 // A re-pack claims full validity, so it must survive the
-                // complete deadline rule set.
-                if self.gate_candidate(&candidate, &LintConfig::default()) {
+                // complete deadline rule set — and, under deep-verify,
+                // the solver's independent certification as well. Both
+                // checks always run so their verdicts can be compared.
+                let lint_ok = self.gate_candidate(&candidate, &LintConfig::default());
+                let solve_ok = !self.deep_verify || self.certify_candidate(&candidate);
+                if lint_ok && solve_ok {
                     return Some((ActivePlan::Reduced(candidate), Mode::Repacked));
                 }
                 refused = true;
@@ -1902,6 +1970,7 @@ impl Station {
             active,
             pending_events: snapshot.pending_events.clone(),
             corruptor: None,
+            deep_verify: false,
             obs: None,
         })
     }
@@ -2542,6 +2611,25 @@ mod tests {
         s.restore_channel(ChannelId::new(2));
         assert_eq!(s.fail_channel(ChannelId::new(2)), Mode::Repacked);
         assert_eq!(s.stats().plan_rejections, 2, "clean candidate rejected");
+    }
+
+    #[test]
+    fn deep_verify_certifies_clean_repacks_and_refuses_corrupted_ones() {
+        let mut s = resilient_station();
+        s.set_deep_verify(true);
+        assert!(s.deep_verify());
+        // A clean re-pack passes both the lint gate and the solver: the
+        // swap happens and no solve rejection is recorded.
+        assert_eq!(s.fail_channel(ChannelId::new(2)), Mode::Repacked);
+        assert_eq!(s.stats().solve_rejections, 0);
+        assert_eq!(s.stats().plan_rejections, 0);
+        s.restore_channel(ChannelId::new(2));
+        // A corrupted candidate is refused by the lint gate *and* by the
+        // solver — the two verdicts must agree, and both tallies move.
+        s.set_plan_corruptor(Some(drop_page3));
+        assert_ne!(s.fail_channel(ChannelId::new(2)), Mode::Repacked);
+        assert_eq!(s.stats().solve_rejections, 1, "solver must refuse too");
+        assert!(s.stats().plan_rejections >= 1);
     }
 
     #[test]

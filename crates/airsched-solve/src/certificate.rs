@@ -1,0 +1,387 @@
+//! Machine-checkable infeasibility certificates.
+//!
+//! A difference-constraint system `{u - v <= c}` is unsatisfiable **iff**
+//! its constraint graph (one edge `v -> u` of weight `c` per constraint)
+//! contains a cycle of negative total weight: summing the constraints
+//! around the cycle telescopes every variable away and leaves `0 <= sum`,
+//! a contradiction whenever the sum is negative. A [`Certificate`] is that
+//! cycle, stored as the exact list of constraint edges the solver found.
+//!
+//! Verifying a certificate needs **no solver**: [`Certificate::replay`]
+//! checks that consecutive edges chain variable-to-variable, that the
+//! cycle closes, and that the bounds sum below zero — arithmetic any
+//! third party can redo from the JSON rendering in a few lines of any
+//! language (CI does exactly that in python).
+
+use airsched_core::types::PageId;
+
+/// One variable of the difference-constraint system.
+///
+/// Columns are measured relative to [`VarName::Origin`] (the start of the
+/// broadcast cycle), so every other variable denotes "the column at which
+/// something airs".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarName {
+    /// The reference point `z`: column 0 of the cycle.
+    Origin,
+    /// `x[p,k]`: the column of the `k`-th occurrence of page `p` within
+    /// one cycle (`k` is 0-based and ascending).
+    Occurrence {
+        /// The page whose occurrence this is.
+        page: PageId,
+        /// 0-based occurrence index within the cycle.
+        occ: u64,
+    },
+    /// `s[j]`: the column of the `j`-th cell-token in the aggregate
+    /// capacity chain (`j` is 1-based; tokens are all pages' occurrences
+    /// merged and sorted by column).
+    Token {
+        /// 1-based rank in the sorted token order.
+        rank: u64,
+    },
+}
+
+impl VarName {
+    /// Canonical compact spelling, used by both renderers and by the
+    /// replay chain check (`origin`, `x[p3,1]`, `s[7]`).
+    #[must_use]
+    pub fn display(&self) -> String {
+        match self {
+            Self::Origin => "origin".to_string(),
+            Self::Occurrence { page, occ } => format!("x[p{},{occ}]", page.index()),
+            Self::Token { rank } => format!("s[{rank}]"),
+        }
+    }
+}
+
+/// Why a constraint edge exists: which rule of the model (or which
+/// observation of a concrete program) it encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintKind {
+    /// `x[p,0] - z <= t - 1`: the first airing of a page with expected
+    /// time `t` must land strictly before column `t` (validity cond. 1).
+    First {
+        /// The page's expected time `t`, in slots.
+        limit: u64,
+    },
+    /// `x[p,k+1] - x[p,k] <= t`: consecutive airings at most `t` apart
+    /// (validity condition 2).
+    Gap {
+        /// The page's expected time `t`, in slots.
+        limit: u64,
+    },
+    /// `x[p,0] - x[p,last] <= t - T`: the wraparound gap from the last
+    /// airing through the cycle boundary back to the first is also at
+    /// most `t` (validity condition 2 across the seam).
+    Wrap {
+        /// The page's expected time `t`, in slots.
+        limit: u64,
+        /// The cycle length `T`, in slots.
+        cycle: u64,
+    },
+    /// `x[p,k] - x[p,k+1] <= -1`: occurrences are distinct columns in
+    /// ascending order.
+    Order,
+    /// `z - x <= 0`: occurrences do not precede the cycle start.
+    RangeLo,
+    /// `x - z <= T - 1`: occurrences fit inside the cycle.
+    RangeHi {
+        /// The cycle length `T`, in slots.
+        cycle: u64,
+    },
+    /// `s[j] - s[j+N] <= -1`: with `N` channels at most `N` tokens share
+    /// a column, so `N` ranks further down the sorted order means at
+    /// least one column later.
+    Capacity {
+        /// The channel budget `N`.
+        channels: u32,
+    },
+    /// `s[j] - z <= T - 1`: every token airs inside the cycle.
+    TokenSpan {
+        /// The cycle length `T`, in slots.
+        cycle: u64,
+    },
+    /// `z - s[j] <= 0`: tokens air at column 0 or later.
+    TokenStart,
+    /// `x[p,k] - z <= v`: the program under check airs this occurrence at
+    /// column `v` (observation, upper half).
+    ObservedUpper {
+        /// The observed column.
+        column: u64,
+    },
+    /// `z - x[p,k] <= -v`: the same observation, lower half.
+    ObservedLower {
+        /// The observed column.
+        column: u64,
+    },
+    /// `z - x[p,0] <= -horizon`: the program never airs the page inside
+    /// the horizon (observation for a missing page).
+    NeverObserved {
+        /// `max(cycle, expected_time)`, the span searched for an airing.
+        horizon: u64,
+    },
+}
+
+impl ConstraintKind {
+    /// Short kebab-case label (stable across renderers and goldens).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::First { .. } => "first-appearance",
+            Self::Gap { .. } => "gap",
+            Self::Wrap { .. } => "wraparound-gap",
+            Self::Order => "order",
+            Self::RangeLo => "range-lo",
+            Self::RangeHi { .. } => "range-hi",
+            Self::Capacity { .. } => "capacity",
+            Self::TokenSpan { .. } => "token-span",
+            Self::TokenStart => "token-start",
+            Self::ObservedUpper { .. } => "observed-column-upper",
+            Self::ObservedLower { .. } => "observed-column-lower",
+            Self::NeverObserved { .. } => "never-observed",
+        }
+    }
+
+    /// Whether this edge records an *observation* of the checked program
+    /// rather than a rule of the model. A violated-program certificate
+    /// always mixes both: the model edge that was broken plus the
+    /// observations pinning the airing columns that broke it.
+    #[must_use]
+    pub fn is_observation(&self) -> bool {
+        matches!(
+            self,
+            Self::ObservedUpper { .. } | Self::ObservedLower { .. } | Self::NeverObserved { .. }
+        )
+    }
+}
+
+/// One constraint `minuend - subtrahend <= bound` of the negative cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CertEdge {
+    /// The `u` of `u - v <= c`.
+    pub minuend: VarName,
+    /// The `v` of `u - v <= c`.
+    pub subtrahend: VarName,
+    /// The `c` of `u - v <= c`.
+    pub bound: i64,
+    /// The model rule or observation this constraint encodes.
+    pub kind: ConstraintKind,
+}
+
+/// What the refuted system was about, for rendering and for relating the
+/// certificate back to its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Subject {
+    /// A ladder + channel-budget feasibility question (no program given).
+    Ladder {
+        /// Expected times `t_1..t_h`, ascending.
+        times: Vec<u64>,
+        /// Page counts `P_1..P_h`.
+        counts: Vec<u64>,
+        /// The cycle length `T = t_h` the system was built over.
+        cycle: u64,
+        /// The channel budget under test.
+        channels: u32,
+    },
+    /// A concrete broadcast program checked against per-page deadlines.
+    Program {
+        /// The program's channel count.
+        channels: u32,
+        /// The program's cycle length, in slots.
+        cycle: u64,
+        /// Number of pages whose deadlines were checked.
+        pages: u64,
+    },
+}
+
+/// Ways a certificate can fail to replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The certificate carries no edges.
+    Empty,
+    /// Edge `at` does not start where edge `at - 1` (cyclically) ended.
+    BrokenChain {
+        /// Index of the offending edge.
+        at: usize,
+    },
+    /// The chained bounds sum to `sum >= 0`, refuting nothing.
+    NonNegativeSum {
+        /// The actual sum.
+        sum: i64,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "certificate has no edges"),
+            Self::BrokenChain { at } => {
+                write!(f, "edge {at} does not chain from its predecessor")
+            }
+            Self::NonNegativeSum { sum } => {
+                write!(f, "cycle bounds sum to {sum}, which refutes nothing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// A negative cycle: independently replayable proof of infeasibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    subject: Subject,
+    edges: Vec<CertEdge>,
+}
+
+impl Certificate {
+    /// Packages a negative cycle found by the solver.
+    #[must_use]
+    pub fn new(subject: Subject, edges: Vec<CertEdge>) -> Self {
+        Self { subject, edges }
+    }
+
+    /// What the refuted system was about.
+    #[must_use]
+    pub fn subject(&self) -> &Subject {
+        &self.subject
+    }
+
+    /// The cycle's edges, in traversal order: edge `i`'s minuend is edge
+    /// `i + 1`'s subtrahend, and the last minuend is the first subtrahend.
+    #[must_use]
+    pub fn edges(&self) -> &[CertEdge] {
+        &self.edges
+    }
+
+    /// Number of edges in the cycle.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the certificate is (degenerately) empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The telescoped bound: `sum_i bound_i`.
+    #[must_use]
+    pub fn bound_sum(&self) -> i64 {
+        self.edges.iter().map(|e| e.bound).sum()
+    }
+
+    /// Re-adds the constraints around the cycle without consulting any
+    /// solver state: consecutive edges must chain (`minuend[i] ==
+    /// subtrahend[i+1]`, cyclically) and the bounds must sum below zero.
+    /// On success returns the (negative) sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ReplayError`] encountered.
+    pub fn replay(&self) -> Result<i64, ReplayError> {
+        if self.edges.is_empty() {
+            return Err(ReplayError::Empty);
+        }
+        for i in 0..self.edges.len() {
+            let prev = &self.edges[(i + self.edges.len() - 1) % self.edges.len()];
+            if self.edges[i].subtrahend != prev.minuend {
+                return Err(ReplayError::BrokenChain { at: i });
+            }
+        }
+        let sum = self.bound_sum();
+        if sum >= 0 {
+            return Err(ReplayError::NonNegativeSum { sum });
+        }
+        Ok(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(minuend: VarName, subtrahend: VarName, bound: i64) -> CertEdge {
+        CertEdge {
+            minuend,
+            subtrahend,
+            bound,
+            kind: ConstraintKind::Order,
+        }
+    }
+
+    fn subject() -> Subject {
+        Subject::Ladder {
+            times: vec![2],
+            counts: vec![1],
+            cycle: 2,
+            channels: 1,
+        }
+    }
+
+    #[test]
+    fn replay_accepts_a_real_negative_cycle() {
+        let x = VarName::Occurrence {
+            page: PageId::new(0),
+            occ: 0,
+        };
+        let cert = Certificate::new(
+            subject(),
+            vec![edge(x, VarName::Origin, 1), edge(VarName::Origin, x, -2)],
+        );
+        assert_eq!(cert.replay(), Ok(-1));
+    }
+
+    #[test]
+    fn replay_rejects_broken_chains_and_nonnegative_sums() {
+        let x = VarName::Occurrence {
+            page: PageId::new(0),
+            occ: 0,
+        };
+        let y = VarName::Occurrence {
+            page: PageId::new(1),
+            occ: 0,
+        };
+        assert_eq!(
+            Certificate::new(subject(), vec![]).replay(),
+            Err(ReplayError::Empty)
+        );
+        let broken = Certificate::new(
+            subject(),
+            vec![edge(x, VarName::Origin, 1), edge(VarName::Origin, y, -2)],
+        );
+        assert_eq!(broken.replay(), Err(ReplayError::BrokenChain { at: 1 }));
+        let weak = Certificate::new(
+            subject(),
+            vec![edge(x, VarName::Origin, 2), edge(VarName::Origin, x, -2)],
+        );
+        assert_eq!(weak.replay(), Err(ReplayError::NonNegativeSum { sum: 0 }));
+    }
+
+    #[test]
+    fn self_loop_certificates_replay() {
+        let x = VarName::Occurrence {
+            page: PageId::new(3),
+            occ: 0,
+        };
+        let cert = Certificate::new(subject(), vec![edge(x, x, -2)]);
+        assert_eq!(cert.replay(), Ok(-2));
+    }
+
+    #[test]
+    fn display_forms_are_stable() {
+        assert_eq!(VarName::Origin.display(), "origin");
+        assert_eq!(
+            VarName::Occurrence {
+                page: PageId::new(3),
+                occ: 1
+            }
+            .display(),
+            "x[p3,1]"
+        );
+        assert_eq!(VarName::Token { rank: 7 }.display(), "s[7]");
+        assert!(ConstraintKind::ObservedUpper { column: 4 }.is_observation());
+        assert!(!ConstraintKind::Gap { limit: 4 }.is_observation());
+    }
+}

@@ -1,0 +1,185 @@
+//! Certificate renderers: clippy-shaped text and stable JSON.
+//!
+//! The text form mirrors `airsched-lint`'s diagnostics (severity, code,
+//! span-ish subject line, `=`-prefixed notes); the JSON form is the
+//! machine-facing proof object. Both are pinned byte-for-byte by golden
+//! tests, and the JSON is what CI's independent python replayer consumes:
+//! it needs only `edges[*].minuend/subtrahend/bound` to re-add the cycle.
+
+use crate::certificate::{CertEdge, Certificate, ConstraintKind, Subject};
+
+/// Stable rule code for infeasibility-by-negative-cycle.
+pub const RULE: &str = "SV01/negative-cycle";
+
+/// Renders a certificate in the analyzer's text style.
+#[must_use]
+pub fn render_text(cert: &Certificate) -> String {
+    let mut out = String::new();
+    match cert.subject() {
+        Subject::Ladder { channels, .. } => {
+            out.push_str(&format!(
+                "deny[{RULE}]: no valid schedule fits {channels} channel(s)\n"
+            ));
+        }
+        Subject::Program { .. } => {
+            out.push_str(&format!(
+                "deny[{RULE}]: the broadcast program misses at least one deadline\n"
+            ));
+        }
+    }
+    out.push_str(&format!(" --> {}\n", subject_line(cert.subject())));
+    out.push_str(&format!(
+        "  = cycle: {} constraint edge(s), bounds telescope to {} < 0\n",
+        cert.len(),
+        cert.bound_sum()
+    ));
+    for edge in cert.edges() {
+        out.push_str(&format!("  = edge: {}\n", edge_line(edge)));
+    }
+    match cert.subject() {
+        Subject::Ladder { .. } => out.push_str(
+            "  = help: every edge above is entailed by any schedule meeting the \
+             deadlines, so none exists at this budget; raise the channel count or \
+             relax expected times\n",
+        ),
+        Subject::Program { .. } => out.push_str(
+            "  = help: the observed edges pin columns the program actually airs; \
+             the model edge they contradict names the broken deadline\n",
+        ),
+    }
+    out
+}
+
+/// Renders a certificate as JSON.
+#[must_use]
+pub fn render_json(cert: &Certificate) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"verdict\": \"infeasible\",\n");
+    out.push_str(&format!("  \"rule\": \"{RULE}\",\n"));
+    out.push_str(&format!(
+        "  \"subject\": {},\n",
+        subject_json(cert.subject())
+    ));
+    out.push_str(&format!("  \"cycle_len\": {},\n", cert.len()));
+    out.push_str(&format!("  \"bound_sum\": {},\n", cert.bound_sum()));
+    out.push_str("  \"edges\": [");
+    for (i, edge) in cert.edges().iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    {}", edge_json(edge)));
+    }
+    out.push_str(if cert.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+fn subject_line(subject: &Subject) -> String {
+    match subject {
+        Subject::Ladder {
+            times,
+            counts,
+            cycle,
+            channels,
+        } => format!(
+            "ladder times {times:?}, page counts {counts:?}, cycle {cycle}, channels {channels}"
+        ),
+        Subject::Program {
+            channels,
+            cycle,
+            pages,
+        } => format!("program channels {channels}, cycle {cycle}, pages checked {pages}"),
+    }
+}
+
+fn subject_json(subject: &Subject) -> String {
+    match subject {
+        Subject::Ladder {
+            times,
+            counts,
+            cycle,
+            channels,
+        } => format!(
+            "{{\"kind\": \"ladder\", \"times\": {}, \"counts\": {}, \"cycle\": {cycle}, \
+             \"channels\": {channels}}}",
+            num_array(times),
+            num_array(counts)
+        ),
+        Subject::Program {
+            channels,
+            cycle,
+            pages,
+        } => format!(
+            "{{\"kind\": \"program\", \"channels\": {channels}, \"cycle\": {cycle}, \
+             \"pages\": {pages}}}"
+        ),
+    }
+}
+
+fn edge_line(edge: &CertEdge) -> String {
+    let source = if edge.kind.is_observation() {
+        "observed"
+    } else {
+        "model"
+    };
+    format!(
+        "{} - {} <= {} ({}: {}) [{source}]",
+        edge.minuend.display(),
+        edge.subtrahend.display(),
+        edge.bound,
+        edge.kind.label(),
+        kind_detail(&edge.kind)
+    )
+}
+
+fn edge_json(edge: &CertEdge) -> String {
+    let source = if edge.kind.is_observation() {
+        "observed"
+    } else {
+        "model"
+    };
+    format!(
+        "{{\"minuend\": \"{}\", \"subtrahend\": \"{}\", \"bound\": {}, \"kind\": \"{}\", \
+         \"source\": \"{source}\"}}",
+        edge.minuend.display(),
+        edge.subtrahend.display(),
+        edge.bound,
+        edge.kind.label()
+    )
+}
+
+fn kind_detail(kind: &ConstraintKind) -> String {
+    match kind {
+        ConstraintKind::First { limit } => {
+            format!("the first airing lands before column {limit}")
+        }
+        ConstraintKind::Gap { limit } => {
+            format!("consecutive airings at most {limit} slots apart")
+        }
+        ConstraintKind::Wrap { limit, cycle } => {
+            format!("the gap across the {cycle}-slot cycle seam stays within {limit} slots")
+        }
+        ConstraintKind::Order => "occurrences air in ascending columns".to_string(),
+        ConstraintKind::RangeLo => "occurrences do not precede the cycle".to_string(),
+        ConstraintKind::RangeHi { cycle } => {
+            format!("occurrences air before column {cycle}")
+        }
+        ConstraintKind::Capacity { channels } => {
+            format!("at most {channels} page(s) share a column")
+        }
+        ConstraintKind::TokenSpan { cycle } => {
+            format!("every airing fits before column {cycle}")
+        }
+        ConstraintKind::TokenStart => "airings start at column 0 or later".to_string(),
+        ConstraintKind::ObservedUpper { column } | ConstraintKind::ObservedLower { column } => {
+            format!("the program airs this occurrence at column {column}")
+        }
+        ConstraintKind::NeverObserved { horizon } => {
+            format!("the program never airs this page within {horizon} slots")
+        }
+    }
+}
+
+fn num_array(xs: &[u64]) -> String {
+    let body: Vec<String> = xs.iter().map(u64::to_string).collect();
+    format!("[{}]", body.join(", "))
+}

@@ -1,0 +1,151 @@
+//! Schedule synthesis from a feasible difference system.
+//!
+//! Once the ladder-mode system has no negative cycle, the closed DBM
+//! bounds every first occurrence `x[p,0]` into the window `[0, t_p - 1]`
+//! (lower bound from the range edges, upper bound from the
+//! first-appearance edge, both read off the shortest-path closure). The
+//! synthesizer turns those windows into a concrete grid: pages are
+//! processed in ascending expected time, and each page takes the first
+//! channel with a free start column `c` inside its window, occupying
+//! `c, c + t, c + 2t, ...` on that channel.
+//!
+//! **Why first-fit cannot fail** (for divisible ladders at or above the
+//! Theorem 3.1 minimum): when a page with time `t` is placed, every page
+//! already on a channel has a time `t'` dividing `t`, and a stride-`t'`
+//! page occupies a full residue class mod `t'` — which is a union of
+//! residue classes mod `t`. So each channel's free set is always a union
+//! of residue classes mod `t`, and its free-cell count is a multiple of
+//! `T / t`. If no channel could take the page, every channel's free count
+//! would be below `T / t` and hence zero — meaning `N * T` cells were
+//! already full, contradicting `M <= N * T`, which the solver just
+//! certified. The same argument shows the synthesized program uses
+//! exactly the canonical `T / t_p` airings per page, so it passes
+//! [`airsched_core::validity::check`] (gaps are exactly `t_p`, first
+//! appearance is inside the window) and the strict lint set.
+//!
+//! This is where the solver pays off on *irregular* (non-geometric but
+//! divisibility-respecting) ladders: [`airsched_core::rearrange`] rounds
+//! arbitrary times down onto a geometric grid first, inflating demand,
+//! while the synthesizer packs the true times directly.
+
+use airsched_core::group::GroupLadder;
+use airsched_core::program::BroadcastProgram;
+use airsched_core::types::{ChannelId, GridPos, PageId, SlotIndex};
+
+use crate::encode::LadderSystem;
+
+/// Extracts a concrete program from a feasible ladder system.
+///
+/// # Panics
+///
+/// Panics if the system still contains a negative cycle (callers check
+/// first) — and never otherwise, by the residue-class argument above.
+pub(crate) fn extract(
+    system: &LadderSystem,
+    ladder: &GroupLadder,
+    channels: u32,
+) -> BroadcastProgram {
+    let cycle = ladder.max_time();
+    let dist = system
+        .graph
+        .shortest_from_origin()
+        .expect("synthesis requires a feasible system");
+    let mut program = BroadcastProgram::new(channels, cycle);
+    let mut free: Vec<u64> = vec![cycle; channels as usize];
+    for (page, group) in ladder.pages() {
+        let t = ladder.time_of(group).slots();
+        let need = cycle / t;
+        // The DBM window for the first occurrence: [0, dist(x[p,0])].
+        let hi = u64::try_from(dist[system.first_var[page.index() as usize] as usize])
+            .expect("first-occurrence bound is non-negative");
+        place_page(&mut program, &mut free, page, t, need, hi);
+    }
+    program
+}
+
+/// First-fit placement of one page at stride `t` with start in `[0, hi]`.
+fn place_page(
+    program: &mut BroadcastProgram,
+    free: &mut [u64],
+    page: PageId,
+    t: u64,
+    need: u64,
+    hi: u64,
+) {
+    for (ch, slack) in free.iter_mut().enumerate() {
+        if *slack < need {
+            continue;
+        }
+        let channel = ChannelId::new(u32::try_from(ch).expect("channel index fits u32"));
+        for c in 0..=hi {
+            let open = (0..need)
+                .all(|k| program.is_free(GridPos::new(channel, SlotIndex::new(c + k * t))));
+            if open {
+                for k in 0..need {
+                    program
+                        .place(GridPos::new(channel, SlotIndex::new(c + k * t)), page)
+                        .expect("probed cells are free");
+                }
+                *slack -= need;
+                return;
+            }
+        }
+    }
+    unreachable!("first-fit cannot fail at a certified-feasible channel count");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::ladder_system;
+    use airsched_core::bound::minimum_channels;
+    use airsched_core::validity;
+
+    fn synth(ladder: &GroupLadder, channels: u32) -> BroadcastProgram {
+        let sys = ladder_system(ladder, channels).unwrap();
+        assert!(sys.graph.negative_cycle().is_none());
+        extract(&sys, ladder, channels)
+    }
+
+    #[test]
+    fn geometric_ladder_synthesizes_valid_at_minimum() {
+        let ladder = GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap();
+        let program = synth(&ladder, minimum_channels(&ladder));
+        let report = validity::check(&program, &ladder);
+        assert!(report.is_valid(), "{report:?}");
+    }
+
+    #[test]
+    fn irregular_ladder_synthesizes_valid_at_minimum() {
+        // 2 | 4 | 12 but no uniform ratio: rearrangement would round 12
+        // down to 8 and waste bandwidth; the synthesizer packs it as-is.
+        let ladder = GroupLadder::new(vec![(2, 1), (4, 2), (12, 6)]).unwrap();
+        assert!(ladder.uniform_ratio().is_none());
+        let min = minimum_channels(&ladder);
+        let program = synth(&ladder, min);
+        assert!(validity::check(&program, &ladder).is_valid());
+        assert_eq!(program.channels(), min);
+    }
+
+    #[test]
+    fn synthesized_airings_are_exactly_canonical() {
+        let ladder = GroupLadder::new(vec![(2, 2), (4, 3), (8, 5)]).unwrap();
+        let program = synth(&ladder, minimum_channels(&ladder));
+        for (page, group) in ladder.pages() {
+            let t = ladder.time_of(group).slots();
+            assert_eq!(
+                program.frequency(page),
+                ladder.max_time() / t,
+                "page {page:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn extra_channels_are_tolerated() {
+        let ladder = GroupLadder::new(vec![(2, 1), (4, 1)]).unwrap();
+        let program = synth(&ladder, minimum_channels(&ladder) + 3);
+        let ok = validity::check(&program, &ladder);
+        assert!(ok.is_valid());
+    }
+}

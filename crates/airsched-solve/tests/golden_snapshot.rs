@@ -1,0 +1,84 @@
+//! Golden snapshots for the certificate renderers.
+//!
+//! A certificate is only as good as its stability: CI's independent
+//! python replayer parses the JSON form, the README quotes the text
+//! form, and `airsched solve` prints both verbatim (`main` uses
+//! `print!`, so CLI bytes == renderer bytes). These tests pin each
+//! renderer byte for byte against the checked-in goldens in
+//! `tests/golden/` — the same files CI diffs the CLI output against —
+//! so any wording, ordering, or layout drift is a conscious two-file
+//! diff here, never an accident.
+//!
+//! Regenerate after an intentional change:
+//!
+//! ```console
+//! $ cargo run -q -p airsched-cli -- solve check --times 2,4 --counts 2,3 \
+//!     --channels 1 > tests/golden/solve_infeasible.txt
+//! $ cargo run -q -p airsched-cli -- solve check --times 2,4 --counts 2,3 \
+//!     --channels 1 --format json > tests/golden/solve_infeasible.json
+//! ```
+
+use airsched_core::group::GroupLadder;
+use airsched_core::textio::parse_program;
+use airsched_solve::render::{render_json, render_text};
+use airsched_solve::{check_ladder, check_program, Certificate};
+
+/// The README workload — `--times 2,4 --counts 2,3` — at a budget one
+/// below its Theorem 3.1 minimum of 2.
+fn ladder_certificate() -> Certificate {
+    let ladder = GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap();
+    let verdict = check_ladder(&ladder, 1).unwrap();
+    verdict
+        .certificate()
+        .expect("1 channel is infeasible")
+        .clone()
+}
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/../../tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(path).expect("golden file is checked in")
+}
+
+#[test]
+fn text_renderer_output_is_pinned() {
+    assert_eq!(
+        render_text(&ladder_certificate()),
+        golden("solve_infeasible.txt")
+    );
+}
+
+#[test]
+fn json_renderer_output_is_pinned() {
+    assert_eq!(
+        render_json(&ladder_certificate()),
+        golden("solve_infeasible.json")
+    );
+}
+
+/// The program-subject renderer, pinned on the checked-in exemplar: a
+/// single channel carrying one airing of each of pages 0–3 (page 4
+/// never airs) against the same workload. The minimal cycle the solver
+/// extracts is p1's wraparound gap — one self-edge whose bound is
+/// already negative.
+#[test]
+fn program_certificate_text_is_pinned() {
+    let path = format!(
+        "{}/../../examples/programs/one_channel_overload.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(path).expect("exemplar program is checked in");
+    let program = parse_program(&text).expect("exemplar parses");
+    let ladder = GroupLadder::new(vec![(2, 2), (4, 3)]).unwrap();
+    let verdict = check_program(&program, &ladder);
+    let cert = verdict.certificate().expect("exemplar misses deadlines");
+    let expected = "\
+deny[SV01/negative-cycle]: the broadcast program misses at least one deadline
+ --> program channels 1, cycle 4, pages checked 5
+  = cycle: 1 constraint edge(s), bounds telescope to -2 < 0
+  = edge: x[p1,0] - x[p1,0] <= -2 (wraparound-gap: the gap across the 4-slot cycle seam \
+stays within 2 slots) [model]
+  = help: the observed edges pin columns the program actually airs; the model edge they \
+contradict names the broken deadline
+";
+    assert_eq!(render_text(cert), expected);
+}
