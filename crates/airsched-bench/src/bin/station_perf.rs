@@ -12,12 +12,19 @@
 //! gate kills a journaled, checkpointed station mid-run, recovers it from
 //! its state directory, and drives the continuation in lockstep against
 //! the never-crashed twin — restore-after-crash must be bit-identical in
-//! every `TickOutcome` and the final statistics. Emits machine-readable
-//! `BENCH_station.json` (ticks/sec, deliveries/sec, bytes encoded/sec,
-//! obs overhead) and **exits non-zero** if the optimized path diverges
+//! every `TickOutcome` and the final statistics. A tracing gate runs a
+//! phase-traced station at sampling 1/1 (every slot captured) in
+//! lockstep against a plain twin, and trace-overhead rows time the
+//! serving loop with tracing sampled at 1/32, attached with sampling
+//! off, and not attached at all — the enabled taxes are capped at
+//! 1.15x and the not-attached (dormant-branch) tax, which doubles as
+//! an A/A noise floor, at 1.02x. Emits machine-readable `BENCH_station.json`
+//! (ticks/sec, deliveries/sec, bytes encoded/sec, obs and trace
+//! overhead) and **exits non-zero** if the optimized path diverges
 //! from either baseline — or the instrumented station from the plain
-//! one, or the recovered station from its twin — in any outcome,
-//! delivery or statistic. CI runs it as a correctness gate.
+//! one, the traced station from the plain one, or the recovered station
+//! from its twin — in any outcome, delivery or statistic, or if a
+//! tracing tax exceeds its ceiling. CI runs it as a correctness gate.
 //!
 //! On top of the serving loop, the wire side is timed in three shapes —
 //! per-frame `Frame::encode` (the seed), streaming `encode_slot_into`
@@ -623,6 +630,62 @@ fn obs_gate(cfg: &Config, faulted: bool, par: ParSetting, divergences: &mut Vec<
     }
 }
 
+/// Drives a plain station and an identical one with phase tracing
+/// attached at sampling 1/1 — every slot captures a full span tree, the
+/// most invasive setting the tracer has — in lockstep under full chaos.
+/// Tracing is observation-only: every tick outcome and the final
+/// statistics must be bit-identical. The traced station drains at shard
+/// count `par` while the plain twin stays serial, so the gate also
+/// proves the chunk-timing plumb through the drain pool does not
+/// perturb pooled execution.
+fn trace_gate(cfg: &Config, faulted: bool, par: ParSetting, divergences: &mut Vec<String>) {
+    let plan = cfg.chaos_plan();
+    let plan = faulted.then_some(&plan);
+    let mut plain = build_station(cfg, plan);
+    let mut traced = build_station(cfg, plan);
+    par.apply(&mut traced);
+    let trace = airsched_trace::Trace::new(airsched_trace::TraceConfig {
+        sample_every: 1,
+        ring_capacity: 64,
+        slo: airsched_trace::SloConfig::default(),
+    });
+    traced.attach_trace(&trace);
+    let mut buf_plain = TickBuf::new();
+    let mut buf_trace = TickBuf::new();
+    let gate_slots = cfg.slots.min(1024).max(2 * cfg.cycle);
+    for t in 0..gate_slots {
+        for k in 0..8u64 {
+            let page = page_for(cfg, t * 8 + k);
+            let a = plain.subscribe(page).expect("page is published");
+            let b = traced.subscribe(page).expect("page is published");
+            assert_eq!(a, b, "client ids drifted");
+        }
+        plain.tick_into(&mut buf_plain);
+        traced.tick_into(&mut buf_trace);
+        if buf_plain.to_outcome() != buf_trace.to_outcome() {
+            divergences.push(format!(
+                "traced station diverges from plain at slot {t} \
+                 (faulted={faulted}, parallelism={par})"
+            ));
+            return;
+        }
+    }
+    if plain.stats() != traced.stats() {
+        divergences.push(format!(
+            "traced stats diverge from plain after {gate_slots}-slot lockstep \
+             (faulted={faulted}, parallelism={par})"
+        ));
+    }
+    let snap = trace.snapshot();
+    if snap.sampled != gate_slots {
+        divergences.push(format!(
+            "trace at sampling 1/1 captured {} of {gate_slots} slots \
+             (faulted={faulted}, parallelism={par})",
+            snap.sampled
+        ));
+    }
+}
+
 /// Kills a journaled, checkpointed station mid-run, recovers it from the
 /// state directory, and drives the continuation in lockstep against a
 /// never-crashed twin: every post-recovery `TickOutcome` and the final
@@ -1172,6 +1235,152 @@ fn time_obs_overhead(cfg: &Config, faulted: bool, scale: u64) -> ObsOverhead {
     }
 }
 
+struct TraceOverhead {
+    subscribers: u64,
+    faulted: bool,
+    /// Serving-loop ticks/sec with no tracer attached.
+    plain_tps: f64,
+    /// Tracer attached, sampling 1/`TRACE_SAMPLE_EVERY`: span trees are
+    /// captured on sampled slots, the SLO window updates every tick.
+    sampled_tps: f64,
+    /// Tracer attached with sampling off (`sample_every` 0): the SLO
+    /// window still updates every tick, but no slot ever takes a clock
+    /// reading. Still an *enabled* mode — the station is paying for
+    /// live SLO tracking.
+    unsampled_tps: f64,
+    /// No tracer attached at all — the `Option` stays `None` and every
+    /// instrumentation site reduces to one dormant branch. This is the
+    /// disabled state the "~zero cost" claim is about; the ratio also
+    /// doubles as an A/A noise floor for the other two.
+    disabled_tps: f64,
+    /// Median over reps of the per-rep `sampled / plain` time ratio.
+    /// Each rep's variants run back to back, so scheduler and frequency
+    /// noise — time-correlated on a small VM — cancels within the pair
+    /// instead of skewing a quotient of independently-taken extremes.
+    sampled_ratio: f64,
+    /// Median per-rep `unsampled / plain` time ratio (same pairing).
+    unsampled_ratio: f64,
+    /// Median per-rep `disabled / plain` time ratio (same pairing).
+    disabled_ratio: f64,
+}
+
+/// Sampling cadence the `sampled` trace-overhead row runs at.
+const TRACE_SAMPLE_EVERY: u64 = 32;
+
+/// Ceiling on the tracing-enabled serving-loop tax (both the sampled
+/// and the sampling-off variants); exceeding it fails the run.
+const TRACE_ENABLED_CEILING: f64 = 1.15;
+
+/// Ceiling on the not-attached tax — the dormant branch must be free to
+/// within measurement noise.
+const TRACE_DISABLED_CEILING: f64 = 1.02;
+
+/// Smallest operating point the overhead ceilings are enforced at.
+/// Below this the serving loop ticks in a few hundred nanoseconds and
+/// the amortized sampled-slot cost legitimately reaches the ceiling, so
+/// smaller sweeps report the rows without gating them.
+const TRACE_GATE_MIN_SUBS: u64 = 65_536;
+
+/// Times the serving loop at the acceptance operating point with phase
+/// tracing in three states against a plain baseline — sampling 1/32,
+/// attached with sampling off, and not attached (the disabled A/A
+/// variant) — same subscribe churn and fault plan as the perf rows.
+/// The variants alternate rep by rep so clock drift hits them alike.
+fn time_trace_overhead(cfg: &Config, faulted: bool, scale: u64) -> TraceOverhead {
+    let plan = cfg.perf_plan();
+    let plan = faulted.then_some(&plan);
+    let per_tick = scale.div_ceil(cfg.slots).max(1);
+    let subscribers = per_tick * cfg.slots;
+    let base = build_station(cfg, plan);
+
+    let run = |s: &mut Station, window: u64| {
+        let mut buf = TickBuf::new();
+        let t0 = Instant::now();
+        for t in 0..window {
+            for k in 0..per_tick {
+                s.subscribe(page_for(cfg, t * per_tick + k))
+                    .expect("page is published");
+            }
+            s.tick_into(&mut buf);
+            std::hint::black_box(buf.deliveries().len());
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let trace_with = |sample_every: u64| {
+        airsched_trace::Trace::new(airsched_trace::TraceConfig {
+            sample_every,
+            ring_capacity: 64,
+            slo: airsched_trace::SloConfig::default(),
+        })
+    };
+
+    // Calibrate the measurement window: the ratio ceilings are tight
+    // enough that a sub-millisecond timed region hands the verdict to
+    // scheduler noise, so a short slot program (small `--slots`, fast
+    // ticks) is repeated — the churn pattern is cyclic in the page
+    // catalogue — until one plain pass costs a few milliseconds.
+    let mut window = cfg.slots;
+    loop {
+        let mut s = base.clone();
+        let secs = run(&mut s, window);
+        if secs >= 0.004 || window >= 1 << 20 {
+            break;
+        }
+        window *= 2;
+    }
+
+    let mut plain_times = Vec::new();
+    let mut sampled_ratios = Vec::new();
+    let mut unsampled_ratios = Vec::new();
+    let mut disabled_ratios = Vec::new();
+    // Each rep is a few milliseconds, so a deep sweep costs nothing; the
+    // ratio ceilings below are tight enough that scheduler noise on a
+    // short window would otherwise dominate the measurement. Each rep
+    // pairs the traced variants with its own plain run taken moments
+    // before, and the gated ratio is the median of those per-rep
+    // quotients — time-local pairing cancels the drift a quotient of
+    // independently-taken extremes would keep.
+    for _ in 0..cfg.reps.max(25) {
+        let mut s = base.clone();
+        let plain = run(&mut s, window);
+        plain_times.push(plain);
+
+        let mut s = base.clone();
+        let trace = trace_with(TRACE_SAMPLE_EVERY);
+        s.attach_trace(&trace);
+        sampled_ratios.push(run(&mut s, window) / plain);
+
+        let mut s = base.clone();
+        let trace = trace_with(0);
+        s.attach_trace(&trace);
+        unsampled_ratios.push(run(&mut s, window) / plain);
+
+        let mut s = base.clone();
+        disabled_ratios.push(run(&mut s, window) / plain);
+    }
+    let median = |samples: &mut Vec<f64>| {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+
+    let plain_secs = median(&mut plain_times);
+    let plain_tps = window as f64 / plain_secs;
+    let sampled_ratio = median(&mut sampled_ratios);
+    let unsampled_ratio = median(&mut unsampled_ratios);
+    let disabled_ratio = median(&mut disabled_ratios);
+    TraceOverhead {
+        subscribers,
+        faulted,
+        plain_tps,
+        sampled_tps: plain_tps / sampled_ratio,
+        unsampled_tps: plain_tps / unsampled_ratio,
+        disabled_tps: plain_tps / disabled_ratio,
+        sampled_ratio,
+        unsampled_ratio,
+        disabled_ratio,
+    }
+}
+
 struct EncodeResult {
     slots: u64,
     bytes_per_slot: u64,
@@ -1363,6 +1572,7 @@ fn main() {
             reference_gate(&cfg, faulted, par, &mut divergences);
             seed_gate(&cfg, faulted, par, &mut divergences);
             obs_gate(&cfg, faulted, par, &mut divergences);
+            trace_gate(&cfg, faulted, par, &mut divergences);
             recovery_gate(&cfg, faulted, par, &mut divergences);
             template_gate(&cfg, faulted, par, &mut divergences);
         }
@@ -1419,6 +1629,59 @@ fn main() {
             obs.overhead_ratio(),
             obs.slot_overhead_ratio()
         );
+    }
+    println!();
+
+    // Tracing tax at the same operating point, in both states a deployed
+    // station runs in: sampling 1/32 (enabled) and sampling off
+    // (attached but dormant). Both are gated.
+    let trace_rows: Vec<TraceOverhead> = [false, true]
+        .into_iter()
+        .map(|faulted| time_trace_overhead(&cfg, faulted, obs_scale))
+        .collect();
+    for t in &trace_rows {
+        println!(
+            "trace overhead at {} subscribers ({}): vs {:.0} plain ticks/s — \
+             sampled 1/{} {:.3}x, sampling off {:.3}x, not attached {:.3}x",
+            t.subscribers,
+            if t.faulted { "faulted" } else { "clean" },
+            t.plain_tps,
+            TRACE_SAMPLE_EVERY,
+            t.sampled_ratio,
+            t.unsampled_ratio,
+            t.disabled_ratio
+        );
+        // The 1.15x/1.02x ceilings are the acceptance claim at the 100k
+        // operating point, where a tick is slow enough that the
+        // per-sampled-slot cost amortizes cleanly. A reduced sweep
+        // (smoke runs with small --max-subs) still prints and exports
+        // the rows, but ticks there are a few hundred nanoseconds and
+        // the sampled ratio legitimately rides the ceiling — gating it
+        // would turn the smoke job into a coin flip.
+        if t.subscribers < TRACE_GATE_MIN_SUBS {
+            continue;
+        }
+        if t.sampled_ratio > TRACE_ENABLED_CEILING {
+            divergences.push(format!(
+                "tracing at 1/{TRACE_SAMPLE_EVERY} costs {:.3}x at {} subscribers \
+                 (faulted={}) — ceiling is {TRACE_ENABLED_CEILING}x",
+                t.sampled_ratio, t.subscribers, t.faulted
+            ));
+        }
+        if t.unsampled_ratio > TRACE_ENABLED_CEILING {
+            divergences.push(format!(
+                "tracing with sampling off costs {:.3}x at {} subscribers \
+                 (faulted={}) — ceiling is {TRACE_ENABLED_CEILING}x",
+                t.unsampled_ratio, t.subscribers, t.faulted
+            ));
+        }
+        if t.disabled_ratio > TRACE_DISABLED_CEILING {
+            divergences.push(format!(
+                "tracing not attached costs {:.3}x at {} subscribers \
+                 (faulted={}) — ceiling is {TRACE_DISABLED_CEILING}x",
+                t.disabled_ratio, t.subscribers, t.faulted
+            ));
+        }
     }
     println!();
 
@@ -1493,6 +1756,7 @@ fn main() {
             "\"template_bytes_per_sec\": {e_tp}, ",
             "\"speedup\": {e_x}, \"template_speedup\": {e_tx}}},\n",
             "  \"obs\": [\n{ob_rows}\n  ],\n",
+            "  \"trace\": [\n{tr_rows}\n  ],\n",
             "  \"headline_speedup_vs_seed\": {head},\n",
             "  \"divergences\": {divs}\n",
             "}}\n"
@@ -1539,6 +1803,35 @@ fn main() {
                     plain_s = json_f(o.plain_slot_tps),
                     instr_s = json_f(o.instrumented_slot_tps),
                     ratio_s = json_f(o.slot_overhead_ratio()),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        tr_rows = trace_rows
+            .iter()
+            .map(|t| {
+                format!(
+                    concat!(
+                        "    {{\"subscribers\": {subs}, \"faulted\": {faulted}, ",
+                        "\"sample_every\": {every}, ",
+                        "\"plain_ticks_per_sec\": {plain}, ",
+                        "\"sampled_ticks_per_sec\": {sampled}, ",
+                        "\"sampled_overhead_ratio\": {s_ratio}, ",
+                        "\"unsampled_ticks_per_sec\": {unsampled}, ",
+                        "\"unsampled_overhead_ratio\": {u_ratio}, ",
+                        "\"disabled_ticks_per_sec\": {disabled}, ",
+                        "\"disabled_overhead_ratio\": {d_ratio}}}"
+                    ),
+                    subs = t.subscribers,
+                    faulted = t.faulted,
+                    every = TRACE_SAMPLE_EVERY,
+                    plain = json_f(t.plain_tps),
+                    sampled = json_f(t.sampled_tps),
+                    s_ratio = json_f(t.sampled_ratio),
+                    unsampled = json_f(t.unsampled_tps),
+                    u_ratio = json_f(t.unsampled_ratio),
+                    disabled = json_f(t.disabled_tps),
+                    d_ratio = json_f(t.disabled_ratio),
                 )
             })
             .collect::<Vec<_>>()

@@ -41,6 +41,8 @@ COMMANDS:
   run        drive a live station under (optional) fault injection, with
              flight-recorder observability attached
   obs        same scenario as run, printing the metrics snapshot table
+  top        same scenario as run, rendered as a live dashboard: phase
+             timings, SLO burn gauges, shard drain bars, mode changes
   checkpoint inspect the checkpoint + journal a crash-safe run left behind
   restore    recover a crashed run from its state directory and finish it
 
@@ -81,6 +83,15 @@ COMMAND OPTIONS:
              [--outage P] [--recovery P] [--stall P] [--corruption P]
              [--metrics-out FILE] (Prometheus text exposition)
              [--events-out FILE]  (flight-recorder events as JSONL)
+             [--trace-out FILE] (sampled slots as Chrome trace-event JSON,
+             loadable in Perfetto / chrome://tracing)
+             [--trace-sample N] (capture every Nth slot; default 32)
+             [--trace-norm] (deterministic synthetic timestamps in the
+             trace file, for golden diffs)
+  top:       run's scenario options, plus [--once] (single frame at the
+             end instead of a live screen) [--format text|json]
+             [--refresh SLOTS] (slots per frame, default 64)
+             [--color] (ANSI colors; live frames always colorize)
   run only:  [--state-dir DIR] (run crash-safe: journal every mutation and
              checkpoint the full station state into DIR)
              [--checkpoint-every N] (auto-checkpoint cadence in slots;
@@ -147,6 +158,7 @@ fn run_plain(args: &Args) -> Result<String, ArgError> {
         Some("items") => cmd_items(args),
         Some("run") => cmd_run(args),
         Some("obs") => cmd_obs(args),
+        Some("top") => cmd_top(args),
         Some("checkpoint") => cmd_checkpoint(args),
         Some("restore") => cmd_restore(args),
         Some("help") | None => Ok(USAGE.to_string()),
@@ -839,33 +851,132 @@ fn stats_line(mode: airsched_server::Mode, stats: &airsched_server::StationStats
     )
 }
 
-/// Shared scenario driver for `run` and `obs`: a live station with a
-/// flight recorder attached, ridden through `--slots` slots of
-/// (optionally faulty) air time. Returns the observability handle, the
-/// finished station, and the mode-transition log.
-fn run_station_scenario(
-    args: &Args,
-) -> Result<(airsched_obs::Obs, airsched_server::Station, String), ArgError> {
-    let sc = scenario_from_args(args)?;
-    let mut station = sc.station()?;
-    let obs = airsched_obs::Obs::with_recorder_capacity(8192);
-    station.attach_obs(&obs);
+/// Builds the tracer the trace-capable verbs share when any `--trace-*`
+/// option asks for one (`top` always builds its own).
+fn trace_from_args(args: &Args) -> Result<Option<airsched_trace::Trace>, ArgError> {
+    let wanted = args.get("trace-out").is_some()
+        || args.get("trace-sample").is_some()
+        || args.flag("trace-norm");
+    if !wanted {
+        return Ok(None);
+    }
+    Ok(Some(trace_with_sample(args.num("trace-sample", 32)?)))
+}
 
-    let mut log = String::new();
-    let mut mode = station.mode();
-    for t in 0..sc.slots {
-        if let Some(page) = sc.sub_page(t) {
-            station
+fn trace_with_sample(sample_every: u64) -> airsched_trace::Trace {
+    airsched_trace::Trace::new(airsched_trace::TraceConfig {
+        sample_every,
+        ring_capacity: 64,
+        slo: airsched_trace::SloConfig::default(),
+    })
+}
+
+/// One scenario slot, shared by `run`/`obs`/`top`: the optional
+/// subscription, the station tick, and the slot's wire encode + send
+/// through the template-cached broadcaster. On trace-sampled slots the
+/// encode and transmit are clocked and appended to the slot's span tree.
+struct ScenarioDriver {
+    sc: Scenario,
+    station: airsched_server::Station,
+    trace: Option<airsched_trace::Trace>,
+    tx: airsched_server::SlotBroadcaster<airsched_proto::FixedPayloads>,
+    wire: bytes::BytesMut,
+    tx_bytes: airsched_obs::metrics::Counter,
+    log: String,
+    mode: airsched_server::Mode,
+}
+
+impl ScenarioDriver {
+    fn new(
+        args: &Args,
+        obs: &airsched_obs::Obs,
+        trace: Option<airsched_trace::Trace>,
+    ) -> Result<Self, ArgError> {
+        let sc = scenario_from_args(args)?;
+        let mut station = sc.station()?;
+        station.attach_obs(obs);
+        if let Some(t) = &trace {
+            station.attach_trace(t);
+        }
+        let mut tx = airsched_server::SlotBroadcaster::new(airsched_proto::FixedPayloads::new(
+            bytes::Bytes::from_static(b"airsched page payload"),
+        ));
+        tx.attach_obs(obs);
+        let mode = station.mode();
+        Ok(Self {
+            sc,
+            station,
+            trace,
+            tx,
+            wire: bytes::BytesMut::with_capacity(4096),
+            tx_bytes: obs.registry().counter("airsched_transmit_bytes_total", &[]),
+            log: String::new(),
+            mode,
+        })
+    }
+
+    fn slot(&mut self, t: u64) -> Result<(), ArgError> {
+        use airsched_trace::Phase;
+        if let Some(page) = self.sc.sub_page(t) {
+            self.station
                 .subscribe(page)
                 .map_err(|e| ArgError(e.to_string()))?;
         }
-        let out = station.tick();
-        if out.mode != mode {
-            log.push_str(&sc.mode_line(t, mode, out.mode, station.channels_up()));
-            mode = out.mode;
+        let out = self.station.tick();
+        if out.mode != self.mode {
+            let line = self
+                .sc
+                .mode_line(t, self.mode, out.mode, self.station.channels_up());
+            self.log.push_str(&line);
+            self.mode = out.mode;
         }
+        // Encode the slot onto the wire through the template cache, then
+        // "send" it (account the bytes). Clocked only on sampled slots.
+        let sampled = self
+            .trace
+            .as_ref()
+            .filter(|tr| tr.sample_due(out.time))
+            .cloned();
+        self.wire.clear();
+        let enc_from = sampled.as_ref().map(airsched_trace::Trace::now_ns);
+        let written = self
+            .tx
+            .encode_slot(&self.station, &out.on_air, out.time, &mut self.wire)
+            .map_err(|e| ArgError(e.to_string()))?;
+        if let (Some(tr), Some(from)) = (&sampled, enc_from) {
+            tr.record_phase(out.time, Phase::Encode, from, tr.now_ns() - from);
+        }
+        let send_from = sampled.as_ref().map(airsched_trace::Trace::now_ns);
+        self.tx_bytes.add(written as u64);
+        if let (Some(tr), Some(from)) = (&sampled, send_from) {
+            tr.record_phase(out.time, Phase::Transmit, from, tr.now_ns() - from);
+        }
+        Ok(())
     }
-    Ok((obs, station, log))
+}
+
+/// Shared scenario driver for `run` and `obs`: a live station with a
+/// flight recorder (and, when requested, a tracer) attached, ridden
+/// through `--slots` slots of (optionally faulty) air time. Returns the
+/// observability handle, the tracer (if any), the finished station, and
+/// the mode-transition log.
+fn run_station_scenario(
+    args: &Args,
+) -> Result<
+    (
+        airsched_obs::Obs,
+        Option<airsched_trace::Trace>,
+        airsched_server::Station,
+        String,
+    ),
+    ArgError,
+> {
+    let obs = airsched_obs::Obs::with_recorder_capacity(8192);
+    let mut driver = ScenarioDriver::new(args, &obs, trace_from_args(args)?)?;
+    for t in 0..driver.sc.slots {
+        driver.slot(t)?;
+    }
+    Ok((obs, driver.trace, driver.station, driver.log))
 }
 
 /// Handles `--metrics-out` / `--events-out` for the obs-capable verbs.
@@ -887,11 +998,31 @@ fn write_obs_outputs(
     Ok(())
 }
 
+/// Handles `--trace-out` for the trace-capable verbs: the captured ring
+/// as Chrome trace-event JSON (`--trace-norm` swaps wall-clock stamps
+/// for deterministic synthetic ones).
+fn write_trace_output(
+    args: &Args,
+    trace: Option<&airsched_trace::Trace>,
+    out: &mut String,
+) -> Result<(), ArgError> {
+    let Some(path) = args.get("trace-out") else {
+        return Ok(());
+    };
+    let Some(trace) = trace else {
+        return Ok(());
+    };
+    std::fs::write(path, trace.render_chrome(args.flag("trace-norm")))
+        .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+    out.push_str(&format!("wrote trace to {path}\n"));
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<String, ArgError> {
     if args.get("state-dir").is_some() {
         return cmd_run_recoverable(args);
     }
-    let (obs, station, log) = run_station_scenario(args)?;
+    let (obs, trace, station, log) = run_station_scenario(args)?;
     let mut out = log;
     out.push_str(&stats_line(station.mode(), &station.stats()));
     // Black-box dumps: every capture taken on entry into best-effort or
@@ -901,6 +1032,7 @@ fn cmd_run(args: &Args) -> Result<String, ArgError> {
         out.push_str(&pm.to_jsonl());
     }
     write_obs_outputs(args, &obs, &mut out)?;
+    write_trace_output(args, trace.as_ref(), &mut out)?;
     Ok(out)
 }
 
@@ -925,6 +1057,10 @@ fn cmd_run_recoverable(args: &Args) -> Result<String, ArgError> {
     let mut run = RecoverableStation::create(&dir, sc.station()?, Some(sc.plan.clone()), opts)
         .map_err(|e| ArgError(e.to_string()))?;
     run.attach_obs(&obs);
+    let trace = trace_from_args(args)?;
+    if let Some(t) = &trace {
+        run.attach_trace(t);
+    }
 
     let mut out = String::new();
     let mut mode = run.mode();
@@ -946,6 +1082,7 @@ fn cmd_run_recoverable(args: &Args) -> Result<String, ArgError> {
                     dir = dir.display(),
                 ));
                 write_obs_outputs(args, &obs, &mut out)?;
+                write_trace_output(args, trace.as_ref(), &mut out)?;
                 return Ok(out);
             }
             Err(e) => return Err(ArgError(e.to_string())),
@@ -965,6 +1102,7 @@ fn cmd_run_recoverable(args: &Args) -> Result<String, ArgError> {
         out.push_str(&pm.to_jsonl());
     }
     write_obs_outputs(args, &obs, &mut out)?;
+    write_trace_output(args, trace.as_ref(), &mut out)?;
     Ok(out)
 }
 
@@ -1077,10 +1215,98 @@ fn cmd_restore(args: &Args) -> Result<String, ArgError> {
 }
 
 fn cmd_obs(args: &Args) -> Result<String, ArgError> {
-    let (obs, _station, _log) = run_station_scenario(args)?;
+    let (obs, trace, _station, _log) = run_station_scenario(args)?;
     let mut out = obs.snapshot().render_table();
     write_obs_outputs(args, &obs, &mut out)?;
+    write_trace_output(args, trace.as_ref(), &mut out)?;
     Ok(out)
+}
+
+/// `top`: the run scenario rendered as a dashboard. Live mode repaints
+/// an ANSI frame every `--refresh` slots; `--once` runs the whole
+/// scenario first and prints a single frame (`--format json` for
+/// scripting). Sampling defaults denser than `run` (every 8th slot) so
+/// the sparklines move.
+fn cmd_top(args: &Args) -> Result<String, ArgError> {
+    use std::io::Write as _;
+
+    let obs = airsched_obs::Obs::with_recorder_capacity(8192);
+    let trace = trace_with_sample(args.num("trace-sample", 8)?);
+    let mut driver = ScenarioDriver::new(args, &obs, Some(trace.clone()))?;
+    let once = args.flag("once");
+    let json = match args.get("format").unwrap_or("text") {
+        "json" => true,
+        "text" => false,
+        other => return Err(ArgError(format!("--format: unknown format '{other}'"))),
+    };
+    let refresh: u64 = args.num("refresh", 64)?;
+    let refresh = refresh.max(1);
+
+    let started = std::time::Instant::now();
+    let mut last_frame = started;
+    let mut last_slot = 0u64;
+    for t in 0..driver.sc.slots {
+        driver.slot(t)?;
+        let live_frame_due = !once && (t + 1).is_multiple_of(refresh);
+        if live_frame_due {
+            let now = std::time::Instant::now();
+            let dt = now.duration_since(last_frame).as_secs_f64();
+            let slots_per_sec = if dt > 0.0 {
+                (t + 1 - last_slot) as f64 / dt
+            } else {
+                0.0
+            };
+            last_frame = now;
+            last_slot = t + 1;
+            let frame = top_frame(&driver, &trace, slots_per_sec, json, true);
+            let mut stdout = std::io::stdout().lock();
+            // Clear + home, then the frame: plain ANSI, no terminal deps.
+            let _ = write!(stdout, "\x1b[2J\x1b[H{frame}");
+            let _ = stdout.flush();
+        }
+    }
+    let dt = started.elapsed().as_secs_f64();
+    let slots_per_sec = if dt > 0.0 {
+        driver.sc.slots as f64 / dt
+    } else {
+        0.0
+    };
+    Ok(top_frame(
+        &driver,
+        &trace,
+        slots_per_sec,
+        json,
+        args.flag("color"),
+    ))
+}
+
+/// Renders one `top` frame from the driver's current state.
+fn top_frame(
+    driver: &ScenarioDriver,
+    trace: &airsched_trace::Trace,
+    slots_per_sec: f64,
+    json: bool,
+    color: bool,
+) -> String {
+    let stats = driver.station.stats();
+    let snap = trace.snapshot();
+    let ctx = airsched_trace::DashContext {
+        slots_per_sec,
+        mode: driver.station.mode().to_string(),
+        delivered: stats.delivered,
+        on_time: stats.on_time,
+        waiting: stats.waiting,
+        mode_tail: {
+            let lines: Vec<&str> = driver.log.lines().collect();
+            let skip = lines.len().saturating_sub(5);
+            lines[skip..].iter().map(ToString::to_string).collect()
+        },
+    };
+    if json {
+        airsched_trace::render_json(&snap, &ctx)
+    } else {
+        airsched_trace::render_text(&snap, &ctx, color)
+    }
 }
 
 #[cfg(test)]
@@ -1748,6 +1974,128 @@ mod tests {
         assert!(out.contains("airsched_station_slots_total"), "{out}");
         assert!(out.contains("airsched_station_wait_slots"), "{out}");
         assert!(out.contains("p95="), "{out}");
+    }
+
+    #[test]
+    fn top_once_renders_json_frame() {
+        let out = run_line(&[
+            "top",
+            "--once",
+            "--format",
+            "json",
+            "--slots",
+            "64",
+            "--trace-sample",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.starts_with('{'), "{out}");
+        assert!(out.contains("\"slo\":{"), "{out}");
+        assert!(out.contains("\"phases\":["), "{out}");
+        assert!(out.contains("\"slots\":64"), "{out}");
+        assert!(out.contains("\"sample_every\":4"), "{out}");
+    }
+
+    #[test]
+    fn top_once_renders_text_frame() {
+        let out = run_line(&["top", "--once", "--slots", "32"]).unwrap();
+        assert!(out.contains("airsched top"), "{out}");
+        assert!(out.contains("slo"), "{out}");
+        // Plain frame: no ANSI colour without --color.
+        assert!(!out.contains('\x1b'), "{out}");
+    }
+
+    #[test]
+    fn top_rejects_unknown_format() {
+        assert!(run_line(&["top", "--once", "--format", "xml", "--slots", "8"]).is_err());
+    }
+
+    #[test]
+    fn run_writes_chrome_trace() {
+        let dir = std::env::temp_dir().join("airsched-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("run_trace.json");
+        let out = run_line(&[
+            "run",
+            "--chaos",
+            "--slots",
+            "200",
+            "--seed",
+            "11",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--trace-sample",
+            "8",
+        ])
+        .unwrap();
+        assert!(out.contains("wrote trace"), "{out}");
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"name\":\"slot\""), "{json}");
+        assert!(json.contains("\"ph\":\"B\""), "{json}");
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn normalized_trace_is_deterministic_per_seed() {
+        let dir = std::env::temp_dir().join("airsched-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("trace_a.json");
+        let b = dir.join("trace_b.json");
+        for path in [&a, &b] {
+            run_line(&[
+                "run",
+                "--chaos",
+                "--slots",
+                "200",
+                "--seed",
+                "11",
+                "--trace-out",
+                path.to_str().unwrap(),
+                "--trace-sample",
+                "8",
+                "--trace-norm",
+            ])
+            .unwrap();
+        }
+        let left = std::fs::read_to_string(&a).unwrap();
+        let right = std::fs::read_to_string(&b).unwrap();
+        assert_eq!(left, right, "normalized traces must be byte-identical");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn normalized_trace_matches_checked_in_golden() {
+        let dir = std::env::temp_dir().join("airsched-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("trace_golden.json");
+        run_line(&[
+            "run",
+            "--chaos",
+            "--slots",
+            "200",
+            "--seed",
+            "11",
+            "--trace-out",
+            out.to_str().unwrap(),
+            "--trace-sample",
+            "32",
+            "--trace-norm",
+        ])
+        .unwrap();
+        let fresh = std::fs::read_to_string(&out).unwrap();
+        let golden = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/golden/trace_slot.json"
+        ))
+        .unwrap();
+        assert_eq!(
+            fresh, golden,
+            "normalized trace drifted from tests/golden/trace_slot.json; \
+             regenerate it with the command in this test if the change is intended"
+        );
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]

@@ -132,6 +132,23 @@ pub enum Event {
         /// (non-deterministic, like `ReplanTiming::duration_us`).
         duration_us: u64,
     },
+    /// The SLO tracker's fast and slow burn-rate windows both crossed
+    /// their thresholds: error budget is burning unsustainably. Fired
+    /// edge-triggered by `airsched-trace` *before* the degradation
+    /// ladder reacts, and auto-captures a postmortem. All ratios are in
+    /// milli (1000 = 100% / 1x), fully deterministic.
+    SloBurn {
+        /// Slot at which the alert fired.
+        slot: u64,
+        /// Fast-window burn rate (milli of budget per budget-period).
+        fast_burn_milli: u64,
+        /// Slow-window burn rate (milli).
+        slow_burn_milli: u64,
+        /// Slow-window deadline-hit ratio (milli).
+        hit_milli: u64,
+        /// The fast-window burn threshold that was crossed (milli).
+        threshold_milli: u64,
+    },
 }
 
 impl Event {
@@ -145,7 +162,8 @@ impl Event {
             | Event::DeadlineMiss { slot, .. }
             | Event::ReplanTiming { slot, .. }
             | Event::CheckpointWritten { slot, .. }
-            | Event::RecoveryCompleted { slot, .. } => *slot,
+            | Event::RecoveryCompleted { slot, .. }
+            | Event::SloBurn { slot, .. } => *slot,
         }
     }
 
@@ -160,6 +178,7 @@ impl Event {
             Event::ReplanTiming { .. } => "replan_timing",
             Event::CheckpointWritten { .. } => "checkpoint_written",
             Event::RecoveryCompleted { .. } => "recovery_completed",
+            Event::SloBurn { .. } => "slo_burn",
         }
     }
 
@@ -241,6 +260,18 @@ impl Event {
                     ",\"replayed\":{replayed},\"dropped_records\":{dropped_records},\"duration_us\":{duration_us}"
                 );
             }
+            Event::SloBurn {
+                fast_burn_milli,
+                slow_burn_milli,
+                hit_milli,
+                threshold_milli,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"fast_burn_milli\":{fast_burn_milli},\"slow_burn_milli\":{slow_burn_milli},\"hit_milli\":{hit_milli},\"threshold_milli\":{threshold_milli}"
+                );
+            }
         }
         out.push('}');
         out
@@ -316,6 +347,13 @@ impl Event {
                 replayed: num_of("replayed")?,
                 dropped_records: num_of("dropped_records")?,
                 duration_us: num_of("duration_us")?,
+            },
+            "slo_burn" => Event::SloBurn {
+                slot,
+                fast_burn_milli: num_of("fast_burn_milli")?,
+                slow_burn_milli: num_of("slow_burn_milli")?,
+                hit_milli: num_of("hit_milli")?,
+                threshold_milli: num_of("threshold_milli")?,
             },
             _ => return None,
         })
@@ -595,6 +633,13 @@ mod tests {
                 dropped_records: 1,
                 duration_us: 541,
             },
+            Event::SloBurn {
+                slot: 49,
+                fast_burn_milli: 14200,
+                slow_burn_milli: 2100,
+                hit_milli: 895,
+                threshold_milli: 2000,
+            },
         ]
     }
 
@@ -702,8 +747,8 @@ mod tests {
         let mut lines = dump.lines();
         assert_eq!(
             lines.next(),
-            Some("# postmortem trigger=best-effort slot=300 events=8")
+            Some("# postmortem trigger=best-effort slot=300 events=9")
         );
-        assert_eq!(lines.count(), 8);
+        assert_eq!(lines.count(), 9);
     }
 }

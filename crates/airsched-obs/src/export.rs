@@ -27,8 +27,9 @@ pub struct HistSnapshot {
 
 impl HistSnapshot {
     /// The `q`-quantile by nearest rank over the captured buckets,
-    /// clamped to the exact max; `None` when empty. Same error bound as
-    /// the live histograms: exact `< 64`, ≤12.5% relative above.
+    /// clamped to the exact max; an empty window reads as `Some(0)`,
+    /// matching the live histograms. Same error bound as the live
+    /// histograms: exact `< 64`, ≤12.5% relative above.
     ///
     /// # Panics
     ///
@@ -37,7 +38,7 @@ impl HistSnapshot {
     pub fn quantile(&self, q: f64) -> Option<u64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.count == 0 {
-            return None;
+            return Some(0);
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -359,6 +360,18 @@ airsched_station_waiting 17
         for &(ub, _) in &captured.buckets {
             assert!(is_bucket_boundary(ub), "rogue bucket bound {ub}");
         }
+    }
+
+    #[test]
+    fn empty_snapshot_quantiles_read_zero() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.histogram("airsched_q", &[]);
+        let snap = Snapshot::capture(&reg);
+        let captured = match &snap.family("airsched_q").unwrap().samples[0].value {
+            SampleValue::Hist(hs) => hs.clone(),
+            SampleValue::Scalar(_) => panic!("expected histogram"),
+        };
+        assert_eq!(captured.quantile(0.5), Some(0));
     }
 
     #[test]

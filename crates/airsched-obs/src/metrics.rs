@@ -162,7 +162,10 @@ impl Histogram {
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`) by nearest rank over buckets,
-    /// clamped to the exact max. `None` when empty.
+    /// clamped to the exact max. An empty window reads as `Some(0)` —
+    /// explicitly zero, never a bucket lower bound (this matters for
+    /// mirrored histograms whose totals were stored while the window
+    /// held no samples).
     ///
     /// # Panics
     ///
@@ -172,7 +175,7 @@ impl Histogram {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         let total = self.count();
         if total == 0 {
-            return None;
+            return Some(0);
         }
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
@@ -440,6 +443,19 @@ mod tests {
             h.nonzero_buckets(),
             plain.nonzero_buckets().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn empty_window_quantiles_read_zero() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("airsched_station_wait_slots", &[]);
+        assert_eq!(h.quantile(0.5), Some(0));
+        // `store_totals` on an empty window must also read 0, never the
+        // first bucket's bound.
+        h.store_totals(0, 0, 0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(0), "q{q} nonzero on empty window");
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ use airsched_obs::metrics::{Counter, Gauge};
 use airsched_obs::Obs;
 use airsched_server::faults::FaultPlan;
 use airsched_server::station::{ClientId, Mode, Station, StationStats, TickOutcome};
+use airsched_trace::{Phase, Trace};
 
 use crate::checkpoint::{Checkpoint, CHECKPOINT_SHADOW};
 use crate::journal::{read_journal, JournalRecord, JournalWriter, JOURNAL_FILE};
@@ -304,6 +305,10 @@ pub struct RecoverableStation {
     checkpoints_written: u64,
     crash: Option<CrashInjector>,
     obs: Option<ObsHooks>,
+    /// Intra-slot tracing: shared with the wrapped station, plus
+    /// `journal` and `checkpoint` phase spans recorded here on sampled
+    /// slots. `None` keeps the wrapper clock-free.
+    trace: Option<Trace>,
 }
 
 impl RecoverableStation {
@@ -342,6 +347,7 @@ impl RecoverableStation {
             checkpoints_written: 0,
             crash: options.crash,
             obs: None,
+            trace: None,
         };
         this.checkpoint()?;
         Ok(this)
@@ -420,6 +426,7 @@ impl RecoverableStation {
             checkpoints_written: 0,
             crash: options.crash,
             obs: obs.map(ObsHooks::new),
+            trace: None,
         };
         if let Some(h) = &this.obs {
             h.journal_lag
@@ -441,6 +448,18 @@ impl RecoverableStation {
             .journal_lag
             .set(self.journal.records() - self.checkpoint_skip);
         self.obs = Some(hooks);
+    }
+
+    /// Attaches intra-slot tracing to the wrapped station *and* the
+    /// persistence machinery: on sampled slots the station captures its
+    /// pipeline phases, and the wrapper appends `journal` spans (the
+    /// slot's record appends, measured around the station tick) and
+    /// `checkpoint` spans (checkpoint writes) to the same slot trees.
+    /// Unsampled slots stay clock-free here exactly as in
+    /// [`Station::attach_trace`].
+    pub fn attach_trace(&mut self, trace: &Trace) {
+        self.station.attach_trace(trace);
+        self.trace = Some(trace.clone());
     }
 
     /// The wrapped station, read-only. Mutations must go through the
@@ -578,10 +597,20 @@ impl RecoverableStation {
                 return Err(RecoverError::Crashed { slot });
             }
         }
+        // On a sampled slot, clock the journal appends around the
+        // station tick and fold them into the slot's span tree as one
+        // `journal` phase. The station commits its tree during
+        // `tick()`, so the wrapper's spans merge into the same ring
+        // entry. Unsampled slots never read the clock.
+        let traced = self.trace.as_ref().filter(|t| t.sample_due(slot)).cloned();
+        let journal_from = traced.as_ref().map(Trace::now_ns);
         self.journal.append(&JournalRecord::Tick { slot })?;
+        let mut journal_ns =
+            journal_from.map_or(0, |from| traced.as_ref().map_or(0, |t| t.now_ns() - from));
         let before = self.station.mode();
         let outcome = self.station.tick();
         let after = self.station.mode();
+        let tail_from = traced.as_ref().map(Trace::now_ns);
         if after != before {
             self.journal
                 .append(&JournalRecord::ModeChange { slot, to: after })?;
@@ -598,6 +627,11 @@ impl RecoverableStation {
                 on_time: stats.on_time,
                 total_wait: stats.total_wait,
             })?;
+        }
+        if let Some(t) = &traced {
+            journal_ns += tail_from.map_or(0, |from| t.now_ns() - from);
+            let start = journal_from.unwrap_or(0);
+            t.record_phase(slot, Phase::Journal, start, journal_ns);
         }
         if let Some(h) = &self.obs {
             h.journal_lag
@@ -621,6 +655,27 @@ impl RecoverableStation {
     /// fires (leaving a torn shadow and the previous checkpoint), or an
     /// I/O failure.
     pub fn checkpoint(&mut self) -> Result<u64, RecoverError> {
+        // Checkpoints run between slots; when the current slot is
+        // sampled the write is clocked and appended to its span tree.
+        let traced = self
+            .trace
+            .as_ref()
+            .filter(|t| t.sample_due(self.station.now()))
+            .cloned();
+        let from = traced.as_ref().map(Trace::now_ns);
+        let bytes = self.checkpoint_inner()?;
+        if let (Some(t), Some(from)) = (&traced, from) {
+            t.record_phase(
+                self.station.now(),
+                Phase::Checkpoint,
+                from,
+                t.now_ns() - from,
+            );
+        }
+        Ok(bytes)
+    }
+
+    fn checkpoint_inner(&mut self) -> Result<u64, RecoverError> {
         self.checkpoints_written += 1;
         let ck = Checkpoint {
             journal_skip: self.journal.records(),

@@ -38,19 +38,38 @@
 
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::station::Delivery;
 use crate::waiting::{DrainDelta, DrainReq, WaitShard, SHARD_COUNT};
+
+/// Wall-clock timing of one chunk drain, measured only when the caller
+/// passes a clock epoch (i.e. on trace-sampled slots). Offsets are
+/// nanoseconds since that epoch so they land on the same timeline as the
+/// station's phase spans.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChunkDrainTime {
+    /// Chunk number within the split (`0..k`).
+    pub chunk: u32,
+    /// Drain start, nanoseconds since the caller's epoch.
+    pub start_ns: u64,
+    /// Drain duration in nanoseconds.
+    pub dur_ns: u64,
+}
 
 /// Everything a drain needs that is shared read-only by all claimants.
 struct JobCtx {
     reqs: Vec<DrainReq>,
     deadlines: Vec<u64>,
     now: u64,
+    /// Epoch for per-chunk timing; `None` keeps the drain clock-free.
+    clock: Option<Instant>,
 }
 
 /// One contiguous run of shards travelling through the pool.
 struct Chunk {
+    /// Chunk number within the split (fixed at submit).
+    index: u32,
     /// Index of the first shard (`range = base..base + shards.len()`).
     base: usize,
     shards: Vec<WaitShard>,
@@ -68,6 +87,8 @@ struct Job {
     finished: Vec<Chunk>,
     /// Request-indexed results, merged by the submitter in request order.
     results: Vec<(usize, Vec<Delivery>, DrainDelta)>,
+    /// Per-chunk timings (only when the job carried a clock epoch).
+    timings: Vec<ChunkDrainTime>,
 }
 
 struct PoolState {
@@ -143,6 +164,10 @@ impl DrainPool {
     /// `out` in request order. `shards`, `deadlines` and `reqs` are
     /// lent to the job (emptied, then refilled exactly as they were —
     /// shards in base order, the vectors keeping their allocations).
+    ///
+    /// When `times` carries `(epoch, sink)`, each chunk's drain is
+    /// wall-clocked relative to `epoch` and appended to `sink` in chunk
+    /// order; `None` keeps the hot path clock-free.
     pub fn drain(
         &self,
         shards: &mut Vec<WaitShard>,
@@ -150,6 +175,7 @@ impl DrainPool {
         reqs: &mut Vec<DrainReq>,
         now: u64,
         out: &mut Vec<Delivery>,
+        times: Option<(Instant, &mut Vec<ChunkDrainTime>)>,
     ) -> DrainDelta {
         let _submitting = self
             .submit
@@ -164,15 +190,21 @@ impl DrainPool {
             let mut chunk = Vec::with_capacity(hi - lo);
             chunk.extend(shards.drain(..hi - lo));
             chunks.push(Some(Chunk {
+                index: j as u32,
                 base: lo,
                 shards: chunk,
             }));
             lo = hi;
         }
+        let (clock, time_sink) = match times {
+            Some((epoch, sink)) => (Some(epoch), Some(sink)),
+            None => (None, None),
+        };
         let ctx = Arc::new(JobCtx {
             reqs: std::mem::take(reqs),
             deadlines: std::mem::take(deadlines),
             now,
+            clock,
         });
         let mut st = self
             .shared
@@ -186,6 +218,7 @@ impl DrainPool {
             outstanding: k,
             finished: Vec::with_capacity(k),
             results: Vec::new(),
+            timings: Vec::new(),
         });
         drop(ctx);
         self.shared.start.notify_all();
@@ -201,7 +234,7 @@ impl DrainPool {
             if let Some(chunk) = claimed {
                 let ctx = Arc::clone(&job.ctx);
                 drop(st);
-                let (chunk, results) = drain_one(chunk, &ctx);
+                let (chunk, results, timing) = drain_one(chunk, &ctx);
                 st = self
                     .shared
                     .state
@@ -212,6 +245,7 @@ impl DrainPool {
                     st.job.as_mut().expect("job outlives its chunks"),
                     chunk,
                     results,
+                    timing,
                 );
                 continue;
             }
@@ -242,6 +276,10 @@ impl DrainPool {
             out.extend(deliveries);
             delta.merge(d);
         }
+        if let Some(sink) = time_sink {
+            job.timings.sort_unstable_by_key(|t| t.chunk);
+            sink.extend(job.timings);
+        }
         delta
     }
 }
@@ -263,8 +301,19 @@ impl Drop for DrainPool {
     }
 }
 
+/// What one chunk drain hands back: the chunk (ownership returned to
+/// the submitter), per-request deliveries with their fold deltas, and
+/// the timing row when the job carried a clock epoch.
+type ChunkDrainResult = (
+    Chunk,
+    Vec<(usize, Vec<Delivery>, DrainDelta)>,
+    Option<ChunkDrainTime>,
+);
+
 /// Drains one chunk against the shared context. Runs without any lock.
-fn drain_one(mut chunk: Chunk, ctx: &JobCtx) -> (Chunk, Vec<(usize, Vec<Delivery>, DrainDelta)>) {
+/// Clocks the drain only when the job carries an epoch.
+fn drain_one(mut chunk: Chunk, ctx: &JobCtx) -> ChunkDrainResult {
+    let started = ctx.clock.map(|epoch| (Instant::now(), epoch));
     let range = chunk.base..chunk.base + chunk.shards.len();
     let results = crate::waiting::drain_chunk(
         &mut chunk.shards,
@@ -273,15 +322,26 @@ fn drain_one(mut chunk: Chunk, ctx: &JobCtx) -> (Chunk, Vec<(usize, Vec<Delivery
         &ctx.deadlines,
         ctx.now,
     );
-    (chunk, results)
+    let timing = started.map(|(t0, epoch)| ChunkDrainTime {
+        chunk: chunk.index,
+        start_ns: t0.duration_since(epoch).as_nanos() as u64,
+        dur_ns: t0.elapsed().as_nanos() as u64,
+    });
+    (chunk, results, timing)
 }
 
 /// Books a drained chunk back into the job; must run under the pool lock
 /// *after* the claimant dropped its ctx clone, so that `outstanding == 0`
 /// implies the submitter holds the only remaining `Arc<JobCtx>`.
-fn finish(job: &mut Job, chunk: Chunk, results: Vec<(usize, Vec<Delivery>, DrainDelta)>) {
+fn finish(
+    job: &mut Job,
+    chunk: Chunk,
+    results: Vec<(usize, Vec<Delivery>, DrainDelta)>,
+    timing: Option<ChunkDrainTime>,
+) {
     job.finished.push(chunk);
     job.results.extend(results);
+    job.timings.extend(timing);
     job.outstanding -= 1;
 }
 
@@ -299,11 +359,11 @@ fn worker_loop(shared: &PoolShared, chunk_index: usize) {
             let job = st.job.as_mut().expect("claim implies a live job");
             let ctx = Arc::clone(&job.ctx);
             drop(st);
-            let (chunk, results) = drain_one(chunk, &ctx);
+            let (chunk, results, timing) = drain_one(chunk, &ctx);
             st = shared.state.lock().expect("pool lock is never poisoned");
             drop(ctx);
             let job = st.job.as_mut().expect("job outlives its chunks");
-            finish(job, chunk, results);
+            finish(job, chunk, results, timing);
             if job.outstanding == 0 {
                 shared.done.notify_all();
             }

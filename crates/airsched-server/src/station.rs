@@ -93,7 +93,9 @@ use crate::faults::{FaultInjector, FaultInjectorSnapshot, FaultPlan, SlotFaults}
 use crate::health::{
     ChannelEvent, HealthMonitor, HealthSnapshot, HealthThresholds, SlotObservation,
 };
-use crate::pool::DrainPool;
+use airsched_trace::{Phase, SloTracker, SlotTrace, SpanKind, SpanRec, Trace};
+
+use crate::pool::{ChunkDrainTime, DrainPool};
 use crate::waiting::{DrainDelta, DrainReq, WaitingSet, SHARD_COUNT};
 
 /// A hook that mutates replan candidates before the lint gate sees them —
@@ -517,9 +519,13 @@ enum ActivePlan {
 }
 
 /// Replan stage names indexed by the `STAGE_*` constants below.
-const STAGE_NAMES: [&str; 2] = ["repack", "pamad"];
+const STAGE_NAMES: [&str; 3] = ["repack", "pamad", "solve"];
 const STAGE_REPACK: usize = 0;
 const STAGE_PAMAD: usize = 1;
+const STAGE_SOLVE: usize = 2;
+
+/// Drain path labels for `airsched_station_drain_ticks_total`.
+const DRAIN_PATH_NAMES: [&str; 2] = ["pooled", "serial"];
 
 /// Health-transition labels indexed by [`transition_index`].
 const TRANSITION_NAMES: [&str; 4] = ["down", "up", "degraded", "healthy"];
@@ -560,8 +566,18 @@ struct StationObs {
     stalled_frames: Counter,
     corrupt_frames: Counter,
     health_transitions: [Counter; 4],
-    replan_runs: [Counter; 2],
-    replan_evals: [Counter; 2],
+    replan_runs: [Counter; 3],
+    replan_evals: [Counter; 3],
+    /// Re-pack candidates the difference-constraint solver rejected
+    /// under deep verify.
+    solve_rejections: Counter,
+    /// Ticks through the parallel drain by path taken at the crossover:
+    /// `[pooled, serial]`, mirrored from [`Station`]'s crossover tallies.
+    drain_ticks: [Counter; 2],
+    /// Waiting-set shard compactions, summed across shards.
+    compactions: Counter,
+    /// Bytes held by the waiting-set deadline arenas.
+    arena_bytes: Gauge,
     waiting: Gauge,
     channels_up: Gauge,
     mode: Gauge,
@@ -614,6 +630,15 @@ impl StationObs {
             replan_evals: core::array::from_fn(|i| {
                 reg.counter("airsched_replan_evals_total", &[("stage", STAGE_NAMES[i])])
             }),
+            solve_rejections: reg.counter("airsched_station_solve_rejections_total", &[]),
+            drain_ticks: core::array::from_fn(|i| {
+                reg.counter(
+                    "airsched_station_drain_ticks_total",
+                    &[("path", DRAIN_PATH_NAMES[i])],
+                )
+            }),
+            compactions: reg.counter("airsched_waiting_compactions_total", &[]),
+            arena_bytes: reg.gauge("airsched_waiting_arena_bytes", &[]),
             waiting: reg.gauge("airsched_station_waiting", &[]),
             channels_up: reg.gauge("airsched_station_channels_up", &[]),
             mode: reg.gauge("airsched_station_mode", &[]),
@@ -637,6 +662,7 @@ impl StationObs {
         self.mode_changes.store(stats.mode_changes);
         self.plan_rejections.store(stats.plan_rejections);
         self.plan_warnings.store(stats.plan_warnings);
+        self.solve_rejections.store(stats.solve_rejections);
         self.sync_tick(stats, 0, channels_up);
     }
 
@@ -662,6 +688,18 @@ impl StationObs {
         );
     }
 
+    /// Mirrors the auxiliary single-writer series that live outside
+    /// [`StationStats`]: the drain crossover tallies, waiting-set shard
+    /// compactions, and arena footprint. Same relaxed-store discipline as
+    /// [`StationObs::sync_tick`]; split out so the stats-only callers
+    /// keep their signature.
+    fn sync_aux(&self, crossover: (u64, u64), compactions: u64, arena_bytes: u64) {
+        self.drain_ticks[0].store(crossover.0);
+        self.drain_ticks[1].store(crossover.1);
+        self.compactions.store(compactions);
+        self.arena_bytes.set(arena_bytes);
+    }
+
     /// Mirrors one health [`ChannelEvent`] into the counter and event
     /// streams. Called at the event's creation site, *before* any replan
     /// it triggers, so a postmortem always shows the cause ahead of the
@@ -679,6 +717,38 @@ impl StationObs {
             slot: at,
             transition,
         });
+    }
+}
+
+/// Intra-slot tracing state for one instrumented station.
+///
+/// Cost discipline mirrors [`StationObs`]: the SLO tracker runs every
+/// tick (integer arithmetic plus a handful of relaxed stores), but the
+/// clock is read and spans are built **only on sampled slots** — every
+/// `sample_every`-th tick per [`airsched_trace::TraceConfig`]. An
+/// unsampled tick takes one dormant branch per phase boundary and never
+/// calls `Instant::now`.
+#[derive(Debug, Clone)]
+struct StationTrace {
+    trace: Trace,
+    /// Deadline-hit SLO over rolling windows; pushed every tick.
+    slo: SloTracker,
+    /// Boundary timestamps for the current sampled slot. Taken with
+    /// `mem::take` at tick start so the borrow of `self` stays free;
+    /// empty on unsampled ticks.
+    marks: Vec<Instant>,
+    /// Per-chunk drain times collected from the pool on sampled ticks.
+    chunks: Vec<ChunkDrainTime>,
+}
+
+impl StationTrace {
+    fn new(trace: &Trace) -> Self {
+        Self {
+            trace: trace.clone(),
+            slo: SloTracker::new(trace.config().slo),
+            marks: Vec::with_capacity(8),
+            chunks: Vec::new(),
+        }
     }
 }
 
@@ -764,6 +834,10 @@ pub struct Station {
     /// Optional observability wiring; `None` keeps the exact
     /// uninstrumented behavior.
     obs: Option<StationObs>,
+    /// Optional intra-slot tracing wiring; `None` skips even the dormant
+    /// phase-boundary branches. Execution configuration like
+    /// `parallelism`: never snapshotted.
+    trace: Option<StationTrace>,
 }
 
 impl Station {
@@ -797,6 +871,7 @@ impl Station {
             corruptor: None,
             deep_verify: false,
             obs: None,
+            trace: None,
         })
     }
 
@@ -820,6 +895,11 @@ impl Station {
         wired.base_wait = self.stats.total_wait;
         wired.mode.set(self.mode.index() as u64);
         wired.sync_full(&self.stats, u64::from(self.channels_up()));
+        wired.sync_aux(
+            self.crossover,
+            self.waits.compactions(),
+            self.waits.arena_bytes(),
+        );
         self.obs = Some(wired);
     }
 
@@ -827,6 +907,30 @@ impl Station {
     #[must_use]
     pub fn obs(&self) -> Option<&Obs> {
         self.obs.as_ref().map(|o| &o.obs)
+    }
+
+    /// Attaches an intra-slot tracing handle: the station starts pushing
+    /// its deadline-hit ratio into the SLO tracker every tick and, on
+    /// sampled slots (every `sample_every`-th per the trace's config),
+    /// captures a full span tree of the tick pipeline into the handle's
+    /// ring. Unsampled ticks never read the clock; see the crate docs of
+    /// [`airsched_trace`] for the full cost model.
+    ///
+    /// When both a trace and an [`Obs`] handle are attached, a fired SLO
+    /// burn-rate alert additionally records an
+    /// [`ObsEvent::SloBurn`](airsched_obs::events::Event::SloBurn) and
+    /// captures a postmortem on the obs handle.
+    ///
+    /// Like [`Station::attach_obs`], the station must be the handle's
+    /// only writer, and [`Station::tick_reference`] stays uninstrumented.
+    pub fn attach_trace(&mut self, trace: &Trace) {
+        self.trace = Some(StationTrace::new(trace));
+    }
+
+    /// The attached tracing handle, if any.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref().map(|t| &t.trace)
     }
 
     /// Creates a station with a [`FaultPlan`] attached: every tick first
@@ -1224,11 +1328,17 @@ impl Station {
             .iter()
             .map(|(&p, &t)| (p, t))
             .collect();
-        match airsched_solve::check_observed(candidate, &deadlines) {
+        // The solver's wall time rides the same `ReplanTiming` channel as
+        // the repack/pamad stages (clocked only when instrumented).
+        let started = self.obs.as_ref().map(|_| Instant::now());
+        let verdict = airsched_solve::check_observed(candidate, &deadlines);
+        self.record_replan(STAGE_SOLVE, deadlines.len() as u64, started);
+        match verdict {
             airsched_solve::Verdict::Feasible(_) => true,
             airsched_solve::Verdict::Infeasible(_) => {
                 self.stats.solve_rejections += 1;
                 if let Some(o) = &self.obs {
+                    o.solve_rejections.inc();
                     // The refusal event names the solver's rule code so a
                     // postmortem distinguishes it from lint refusals.
                     o.obs.record(ObsEvent::PlanRejected {
@@ -1467,6 +1577,26 @@ impl Station {
         buf.deliveries.clear();
         let configured = self.channel_up.len();
 
+        // Intra-slot tracing: `trace_epoch` is `Some` only on sampled
+        // slots, and only then do the boundary marks below read the
+        // clock — an unsampled tick pays one dormant branch per
+        // boundary. The scratch vectors are taken out of the tracer so
+        // the rest of the tick can borrow `self` freely; they are handed
+        // back (capacity intact) when the tree is committed.
+        let mut trace_marks = Vec::new();
+        let mut trace_chunks = Vec::new();
+        let trace_epoch = match &mut self.trace {
+            Some(t) if t.trace.sample_due(self.time) => {
+                trace_marks = std::mem::take(&mut t.marks);
+                trace_chunks = std::mem::take(&mut t.chunks);
+                trace_marks.clear();
+                trace_chunks.clear();
+                trace_marks.push(Instant::now());
+                Some(t.trace.epoch())
+            }
+            _ => None,
+        };
+
         buf.have_faults = false;
         if let Some(injector) = self.injector.as_mut() {
             injector.sample_into(self.time, &mut buf.faults);
@@ -1506,6 +1636,9 @@ impl Station {
             if changed {
                 self.refresh_plan("fault");
             }
+        }
+        if trace_epoch.is_some() {
+            trace_marks.push(Instant::now()); // faults end
         }
 
         // One column of the active plan, mapped onto physical channels
@@ -1581,6 +1714,9 @@ impl Station {
                 }
             }
         }
+        if trace_epoch.is_some() {
+            trace_marks.push(Instant::now()); // air end
+        }
 
         // Serve waiters from intact frames only; a corrupted frame shows
         // in `on_air` but delivers nothing. The drain kernel batches the
@@ -1610,8 +1746,14 @@ impl Station {
             if pooled {
                 self.crossover.0 += 1;
                 let pool = self.pool.clone().expect("parallelism >= 2 keeps a pool");
-                self.waits
-                    .drain_pooled(&mut self.drain_reqs, self.time, &pool, &mut buf.deliveries)
+                let times = trace_epoch.map(|epoch| (epoch, &mut trace_chunks));
+                self.waits.drain_pooled(
+                    &mut self.drain_reqs,
+                    self.time,
+                    &pool,
+                    &mut buf.deliveries,
+                    times,
+                )
             } else {
                 // Below the crossover the handoff would cost more than it
                 // buys: drain the same requests serially, in the same
@@ -1645,6 +1787,9 @@ impl Station {
             }
             delta
         };
+        if trace_epoch.is_some() {
+            trace_marks.push(Instant::now()); // drain end
+        }
         self.stats.delivered += delta.delivered;
         self.stats.on_time += delta.on_time;
         self.stats.total_wait = self.stats.total_wait.wrapping_add(delta.total_wait);
@@ -1652,6 +1797,32 @@ impl Station {
         let tally = &mut self.stats.per_mode[self.mode.index()];
         tally.delivered += delta.delivered;
         tally.on_time += delta.on_time;
+        // The SLO tracker runs every tick — integer window arithmetic
+        // plus a handful of relaxed mirror stores, no clock reads. A
+        // fired burn-rate alert is edge-triggered; with an obs handle
+        // attached it lands in the flight recorder and snapshots a
+        // postmortem so the minutes before the burn are preserved.
+        if let Some(t) = self.trace.as_mut() {
+            let alert = t.slo.push(delta.delivered, delta.on_time);
+            // The dashboard reads at human cadence, so the mirror only
+            // refreshes every 8th slot (and instantly on an alert);
+            // readers between refreshes see values at most 7 slots old.
+            if alert.is_some() || t.slo.slots().is_multiple_of(8) {
+                t.trace.mirror_slo(&t.slo);
+            }
+            if let Some(a) = alert {
+                if let Some(o) = self.obs.as_mut() {
+                    o.obs.record(ObsEvent::SloBurn {
+                        slot: self.time,
+                        fast_burn_milli: a.fast_burn_milli,
+                        slow_burn_milli: a.slow_burn_milli,
+                        hit_milli: a.hit_milli,
+                        threshold_milli: a.threshold_milli,
+                    });
+                    let _ = o.obs.capture_postmortem(self.time, "slo_burn");
+                }
+            }
+        }
         // With observability attached, walk the slot's deliveries in the
         // exact order they were produced: each adds one histogram-bucket
         // bump (a relaxed load + store, no locked instruction), a plain
@@ -1676,6 +1847,9 @@ impl Station {
                 }
             }
         }
+        if trace_epoch.is_some() {
+            trace_marks.push(Instant::now()); // deadline end
+        }
 
         if self.mode != Mode::Valid {
             self.stats.degraded_slots += 1;
@@ -1696,6 +1870,54 @@ impl Station {
                 self.mode.index(),
                 self.channel_up.iter().filter(|&&u| u).count() as u64,
             );
+            o.sync_aux(
+                self.crossover,
+                self.waits.compactions(),
+                self.waits.arena_bytes(),
+            );
+        }
+
+        // Sampled slot: close the pipeline, assemble the preorder span
+        // tree (chunk spans nest under the drain phase), and fold it
+        // into the tracer — one lock for the whole slot.
+        if let Some(epoch) = trace_epoch {
+            trace_marks.push(Instant::now()); // sync end
+            let ns = |i: Instant| i.duration_since(epoch).as_nanos() as u64;
+            let slot = buf.time;
+            let mut spans = Vec::with_capacity(6 + trace_chunks.len());
+            spans.push(SpanRec {
+                kind: SpanKind::Slot(slot),
+                depth: 0,
+                start_ns: ns(trace_marks[0]),
+                dur_ns: ns(trace_marks[5]) - ns(trace_marks[0]),
+            });
+            const PIPELINE: [Phase; 5] = [
+                Phase::Faults,
+                Phase::Air,
+                Phase::Drain,
+                Phase::Deadline,
+                Phase::Sync,
+            ];
+            for (i, phase) in PIPELINE.into_iter().enumerate() {
+                spans.push(SpanRec {
+                    kind: SpanKind::Phase(phase),
+                    depth: 1,
+                    start_ns: ns(trace_marks[i]),
+                    dur_ns: ns(trace_marks[i + 1]) - ns(trace_marks[i]),
+                });
+                if phase == Phase::Drain {
+                    spans.extend(trace_chunks.iter().map(|c| SpanRec {
+                        kind: SpanKind::Chunk(c.chunk),
+                        depth: 2,
+                        start_ns: c.start_ns,
+                        dur_ns: c.dur_ns,
+                    }));
+                }
+            }
+            let t = self.trace.as_mut().expect("sampled tick keeps its tracer");
+            t.trace.commit_slot(SlotTrace { slot, spans });
+            t.marks = trace_marks;
+            t.chunks = trace_chunks;
         }
     }
 
@@ -1972,6 +2194,7 @@ impl Station {
             corruptor: None,
             deep_verify: false,
             obs: None,
+            trace: None,
         })
     }
 }
@@ -2937,5 +3160,141 @@ mod tests {
             Station::from_snapshot(&bad, Some(&plan)),
             Err(StationError::CorruptSnapshot { .. })
         ));
+    }
+
+    fn every_slot_trace() -> Trace {
+        Trace::new(airsched_trace::TraceConfig {
+            sample_every: 1,
+            ring_capacity: 16,
+            slo: airsched_trace::SloConfig::default(),
+        })
+    }
+
+    #[test]
+    fn trace_samples_span_trees_and_chunks() {
+        // Demand 1.5 channels keeps both transmitters busy, so the drain
+        // sees >= 2 requests per slot and the pooled path splits chunks.
+        let mut s = Station::new(2, 8).unwrap();
+        s.publish(PageId::new(0), 2).unwrap();
+        s.publish(PageId::new(1), 2).unwrap();
+        s.publish(PageId::new(2), 4).unwrap();
+        s.publish(PageId::new(3), 4).unwrap();
+        s.parallelism(4);
+        let trace = every_slot_trace();
+        s.attach_trace(&trace);
+        assert!(s.trace().is_some());
+        for t in 0..32u64 {
+            let page = PageId::new(u32::try_from(t % 4).unwrap());
+            s.subscribe(page).unwrap();
+            s.tick();
+        }
+        let snap = trace.snapshot();
+        assert_eq!(snap.slots, 32, "SLO tracker must see every tick");
+        assert_eq!(snap.sampled, 32, "sample_every=1 captures every slot");
+        for phase in [
+            Phase::Faults,
+            Phase::Air,
+            Phase::Drain,
+            Phase::Deadline,
+            Phase::Sync,
+        ] {
+            assert!(
+                snap.phases
+                    .iter()
+                    .any(|p| p.phase == phase && p.count == 32),
+                "phase {} missing from snapshot",
+                phase.name()
+            );
+        }
+        assert!(
+            !snap.chunks.is_empty(),
+            "pooled drain must record chunk spans"
+        );
+        let doc = trace.render_chrome(false);
+        for name in ["\"slot\"", "\"drain\"", "\"drain-chunk\""] {
+            assert!(doc.contains(name), "chrome doc missing {name}: {doc}");
+        }
+    }
+
+    #[test]
+    fn unsampled_ticks_still_track_slo() {
+        let mut s = station_with_catalogue();
+        let trace = Trace::new(airsched_trace::TraceConfig {
+            sample_every: 0,
+            ring_capacity: 16,
+            slo: airsched_trace::SloConfig::default(),
+        });
+        s.attach_trace(&trace);
+        s.subscribe(PageId::new(0)).unwrap();
+        s.run(16);
+        let snap = trace.snapshot();
+        assert_eq!(snap.slots, 16);
+        assert_eq!(snap.sampled, 0, "sampling off must capture nothing");
+        assert!(snap.phases.is_empty());
+        assert_eq!(snap.slo_burns, 0);
+        assert_eq!(snap.fast_hit_milli, 1000, "valid schedule serves on time");
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_output_stream() {
+        let mut plain = station_with_catalogue();
+        let mut traced = station_with_catalogue();
+        let trace = every_slot_trace();
+        traced.attach_trace(&trace);
+        for t in 0..100u64 {
+            if t % 3 == 0 {
+                let page = PageId::new(u32::try_from(t % 3).unwrap());
+                assert_eq!(
+                    plain.subscribe(page).unwrap(),
+                    traced.subscribe(page).unwrap()
+                );
+            }
+            assert_eq!(plain.tick(), traced.tick(), "diverged at slot {t}");
+        }
+        assert_eq!(plain.stats(), traced.stats());
+    }
+
+    #[test]
+    fn slo_burn_fires_on_late_deliveries_and_captures_postmortem() {
+        let mut s = station_with_catalogue();
+        let obs = Obs::new();
+        s.attach_obs(&obs);
+        let trace = every_slot_trace();
+        s.attach_trace(&trace);
+        // Park a crowd on the fastest page, then black out both channels
+        // long enough to fill the fast SLO window and blow the deadline.
+        for _ in 0..8 {
+            s.subscribe(PageId::new(0)).unwrap();
+        }
+        s.fail_channel(ChannelId::new(0));
+        s.fail_channel(ChannelId::new(1));
+        s.run(80);
+        assert_eq!(trace.snapshot().slo_burns, 0, "idle slots are not misses");
+        // Restoration serves the crowd far past its deadline: the slot's
+        // deliveries all miss, the fast and slow windows both burn, and
+        // the alert lands in the flight recorder with a postmortem.
+        s.restore_channel(ChannelId::new(0));
+        s.restore_channel(ChannelId::new(1));
+        s.run(8);
+        let snap = trace.snapshot();
+        assert!(snap.slo_burns >= 1, "burn alert must fire: {snap:?}");
+        let events = obs.recent_events(256);
+        let burn = events
+            .iter()
+            .find(|e| matches!(e, ObsEvent::SloBurn { .. }))
+            .expect("SloBurn event recorded");
+        if let ObsEvent::SloBurn {
+            fast_burn_milli,
+            threshold_milli,
+            ..
+        } = burn
+        {
+            assert!(fast_burn_milli >= threshold_milli);
+        }
+        let pms = obs.take_postmortems();
+        assert!(
+            pms.iter().any(|p| p.trigger == "slo_burn"),
+            "postmortem captured for the burn"
+        );
     }
 }

@@ -60,6 +60,13 @@ pub struct SlotBroadcaster<P> {
     built_epoch: Option<u64>,
     rebuilds: u64,
     fresh_fallbacks: u64,
+    /// Registry mirrors for the two counters above (single-writer
+    /// `store` after each encode), installed by
+    /// [`SlotBroadcaster::attach_obs`].
+    obs_counters: Option<(
+        airsched_obs::metrics::Counter,
+        airsched_obs::metrics::Counter,
+    )>,
 }
 
 impl<P> std::fmt::Debug for SlotBroadcaster<P> {
@@ -82,7 +89,22 @@ impl<P: CyclicPayloads> SlotBroadcaster<P> {
             built_epoch: None,
             rebuilds: 0,
             fresh_fallbacks: 0,
+            obs_counters: None,
         }
+    }
+
+    /// Registers the broadcaster's template counters
+    /// (`airsched_transmit_template_rebuilds_total`,
+    /// `airsched_transmit_fresh_fallbacks_total`) with `obs` and mirrors
+    /// them after every encode. Series appear immediately (value 0), so
+    /// exposition is stable whether or not a rebuild has happened yet.
+    pub fn attach_obs(&mut self, obs: &airsched_obs::Obs) {
+        let reg = obs.registry();
+        let rebuilds = reg.counter("airsched_transmit_template_rebuilds_total", &[]);
+        let fallbacks = reg.counter("airsched_transmit_fresh_fallbacks_total", &[]);
+        rebuilds.store(self.rebuilds);
+        fallbacks.store(self.fresh_fallbacks);
+        self.obs_counters = Some((rebuilds, fallbacks));
     }
 
     /// Appends one encoded slot — one frame per physical channel, idle
@@ -98,6 +120,21 @@ impl<P: CyclicPayloads> SlotBroadcaster<P> {
     /// fallback (a channel index or payload too wide for the wire
     /// format) with nothing appended for the offending slot.
     pub fn encode_slot(
+        &mut self,
+        station: &Station,
+        on_air: &[Option<PageId>],
+        slot_time: u64,
+        buf: &mut BytesMut,
+    ) -> Result<usize, EncodeError> {
+        let result = self.encode_slot_inner(station, on_air, slot_time, buf);
+        if let Some((rebuilds, fallbacks)) = &self.obs_counters {
+            rebuilds.store(self.rebuilds);
+            fallbacks.store(self.fresh_fallbacks);
+        }
+        result
+    }
+
+    fn encode_slot_inner(
         &mut self,
         station: &Station,
         on_air: &[Option<PageId>],

@@ -130,6 +130,9 @@ pub(crate) struct WaitShard {
     arena: Vec<(u64, u64)>,
     /// Arena records stranded by span relocation, reclaimed by `compact`.
     dead: usize,
+    /// Lifetime compaction count; travels with the shard through the
+    /// drain pool and is summed by [`WaitingSet::compactions`].
+    compactions: u64,
 }
 
 impl WaitShard {
@@ -220,6 +223,7 @@ impl WaitShard {
         }
         self.arena = arena;
         self.dead = 0;
+        self.compactions += 1;
     }
 
     /// Drains `local`'s span into `out`: the batched serving kernel.
@@ -462,12 +466,17 @@ impl WaitingSet {
     ///
     /// `reqs` is lent to the job and comes back untouched (the `&mut` is
     /// the loan, not a mutation).
+    ///
+    /// `times` optionally collects per-chunk drain timings (trace-sampled
+    /// slots); `None` keeps the drain clock-free. The ≤1-request serial
+    /// short-circuit never splits into chunks, so it records nothing.
     pub fn drain_pooled(
         &mut self,
         reqs: &mut Vec<DrainReq>,
         now: u64,
         pool: &crate::pool::DrainPool,
         out: &mut Vec<Delivery>,
+        times: Option<(std::time::Instant, &mut Vec<crate::pool::ChunkDrainTime>)>,
     ) -> DrainDelta {
         if reqs.len() <= 1 {
             let mut delta = DrainDelta::default();
@@ -476,7 +485,25 @@ impl WaitingSet {
             }
             return delta;
         }
-        pool.drain(&mut self.shards, &mut self.deadlines, reqs, now, out)
+        pool.drain(&mut self.shards, &mut self.deadlines, reqs, now, out, times)
+    }
+
+    /// Total arena compactions across all shards since construction.
+    /// Deterministic: arena evolution is identical for any worker count.
+    #[must_use]
+    pub fn compactions(&self) -> u64 {
+        self.shards.iter().map(|s| s.compactions).sum()
+    }
+
+    /// Bytes currently held by the shard arenas (arena length × record
+    /// size; length rather than capacity so the figure is deterministic
+    /// across allocator and std versions).
+    #[must_use]
+    pub fn arena_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| (s.arena.len() * std::mem::size_of::<(u64, u64)>()) as u64)
+            .sum()
     }
 
     /// Waiters currently parked on the requested pages — the tick's drain
@@ -772,7 +799,17 @@ mod tests {
             );
             let mut reqs_buf = reqs.clone();
             let mut out = Vec::new();
-            let delta = pooled.drain_pooled(&mut reqs_buf, 40, &pool, &mut out);
+            let mut chunk_times = Vec::new();
+            let delta = pooled.drain_pooled(
+                &mut reqs_buf,
+                40,
+                &pool,
+                &mut out,
+                Some((std::time::Instant::now(), &mut chunk_times)),
+            );
+            // Every chunk reports a timing, in chunk order.
+            assert_eq!(chunk_times.len(), k);
+            assert!(chunk_times.windows(2).all(|w| w[0].chunk < w[1].chunk));
             // The request buffer is lent to the job and comes back as-is.
             assert_eq!(reqs_buf.len(), reqs.len());
             assert_eq!(out, serial_out, "delivery stream diverged at k={k}");
@@ -785,7 +822,7 @@ mod tests {
             // The pool is reusable: a second, now-empty drain delivers
             // nothing and leaves the set intact.
             let mut out2 = Vec::new();
-            let delta2 = pooled.drain_pooled(&mut reqs_buf, 41, &pool, &mut out2);
+            let delta2 = pooled.drain_pooled(&mut reqs_buf, 41, &pool, &mut out2, None);
             assert!(out2.is_empty());
             assert_eq!(delta2, DrainDelta::default());
             assert_eq!(pooled.snapshot_waiting(), serial.snapshot_waiting());

@@ -1,0 +1,396 @@
+//! Rolling-window SLO tracking with multi-window burn-rate alerting.
+//!
+//! The service objective is a deadline-hit ratio (on-time deliveries over
+//! deliveries).  Following the Prometheus SRE multi-window recipe, an
+//! alert fires only when **both** a fast window (reacts in slots) and a
+//! slow window (filters blips) burn error budget faster than their
+//! thresholds.  All arithmetic is integer milli-units over slot-indexed
+//! windows, so the tracker is bit-deterministic and replay-safe.
+//!
+//! Burn rate: with a target hit ratio of `target_milli`/1000, the error
+//! budget is `1000 - target_milli` milli.  A window whose miss ratio is
+//! `m` milli burns at `m * 1000 / budget` milli (1000 = consuming budget
+//! exactly at the sustainable rate; 2000 = twice as fast).
+
+/// SLO targets and alerting thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloConfig {
+    /// Target deadline-hit ratio in milli (950 = 95.0%).
+    pub target_milli: u64,
+    /// Fast window length in slots (reacts quickly).
+    pub fast_window: usize,
+    /// Slow window length in slots (confirms the trend).
+    pub slow_window: usize,
+    /// Fast-window burn threshold in milli (2000 = 2x budget rate).
+    pub fast_burn_milli: u64,
+    /// Slow-window burn threshold in milli.
+    pub slow_burn_milli: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            target_milli: 950,
+            fast_window: 64,
+            slow_window: 512,
+            fast_burn_milli: 2000,
+            slow_burn_milli: 1000,
+        }
+    }
+}
+
+/// Circular per-slot (delivered, on-time) window with running sums.
+#[derive(Debug, Clone)]
+struct Window {
+    ring: Vec<(u64, u64)>,
+    head: usize,
+    filled: usize,
+    delivered: u64,
+    on_time: u64,
+}
+
+impl Window {
+    fn new(len: usize) -> Self {
+        Window {
+            ring: vec![(0, 0); len.max(1)],
+            head: 0,
+            filled: 0,
+            delivered: 0,
+            on_time: 0,
+        }
+    }
+
+    fn push(&mut self, delivered: u64, on_time: u64) {
+        let slot = &mut self.ring[self.head];
+        self.delivered -= slot.0;
+        self.on_time -= slot.1;
+        *slot = (delivered, on_time);
+        self.delivered += delivered;
+        self.on_time += on_time;
+        // Conditional wrap, not `%`: the ring length is a runtime value,
+        // so the modulo would be a hardware divide on the per-tick path.
+        self.head += 1;
+        if self.head == self.ring.len() {
+            self.head = 0;
+        }
+        self.filled = (self.filled + 1).min(self.ring.len());
+    }
+
+    fn full(&self) -> bool {
+        self.filled == self.ring.len()
+    }
+
+    /// Hit ratio in milli; an idle window reads as fully on-target.
+    /// The all-on-time case (which subsumes idle) is division-free —
+    /// this runs every tick whether or not the slot is sampled.
+    fn hit_milli(&self) -> u64 {
+        if self.on_time == self.delivered {
+            1000
+        } else {
+            self.on_time * 1000 / self.delivered
+        }
+    }
+
+    /// Miss ratio in milli (0 for an idle window).
+    fn miss_milli(&self) -> u64 {
+        1000 - self.hit_milli()
+    }
+
+    /// True iff the window's miss ratio (milli) is at least `m`,
+    /// decided multiplicatively: this predicate runs on the per-tick
+    /// path, where a hardware divide per window would be the single
+    /// largest cost of the tracker.
+    ///
+    /// `miss >= m` ⟺ `floor(on·1000/del) <= 1000−m` ⟺
+    /// `on·1000 < del·(1001−m)`.
+    fn miss_at_least(&self, m: u64) -> bool {
+        if m == 0 {
+            return true;
+        }
+        if m > 1000 || self.on_time == self.delivered {
+            // Misses cap at 1000 milli; equal sums (idle included) miss 0.
+            return false;
+        }
+        self.on_time * 1000 < self.delivered * (1001 - m)
+    }
+}
+
+/// An SLO burn alert: both windows exceeded their burn thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloBurnAlert {
+    /// Fast-window burn rate (milli) at the moment of firing.
+    pub fast_burn_milli: u64,
+    /// Slow-window burn rate (milli) at the moment of firing.
+    pub slow_burn_milli: u64,
+    /// Slow-window hit ratio (milli) at the moment of firing.
+    pub hit_milli: u64,
+    /// The fast-window threshold that was crossed (milli).
+    pub threshold_milli: u64,
+}
+
+/// Single-writer SLO tracker, pushed once per slot by the station.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    config: SloConfig,
+    fast: Window,
+    slow: Window,
+    armed: bool,
+    burns: u64,
+    slots: u64,
+    /// Error budget in milli: `1000 - target_milli`, floored at 1.
+    budget_milli: u64,
+    /// Miss thresholds (milli) equivalent to the configured burn-rate
+    /// thresholds: `burn >= thr` ⟺ `miss >= ceil(thr·budget/1000)`.
+    /// Precomputed so the per-tick alert check never divides.
+    fast_miss_thr: u64,
+    slow_miss_thr: u64,
+}
+
+impl SloTracker {
+    /// Creates a tracker with the given targets.
+    #[must_use]
+    pub fn new(config: SloConfig) -> Self {
+        let fast = Window::new(config.fast_window);
+        let slow = Window::new(config.slow_window.max(config.fast_window));
+        let budget_milli = (1000 - config.target_milli.min(1000)).max(1);
+        SloTracker {
+            config,
+            fast,
+            slow,
+            armed: true,
+            burns: 0,
+            slots: 0,
+            budget_milli,
+            fast_miss_thr: (config.fast_burn_milli * budget_milli).div_ceil(1000),
+            slow_miss_thr: (config.slow_burn_milli * budget_milli).div_ceil(1000),
+        }
+    }
+
+    /// The configuration this tracker was built with.
+    #[must_use]
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    /// Burn rate (milli) for a window miss ratio under this config.
+    /// Division-free when the window is not missing at all — the
+    /// steady-state answer on a healthy station.
+    fn burn_of(&self, miss_milli: u64) -> u64 {
+        if miss_milli == 0 {
+            return 0;
+        }
+        miss_milli * 1000 / self.budget_milli
+    }
+
+    /// Records one slot's delivery outcome; returns an alert when both
+    /// windows cross their thresholds.  Alerts are edge-triggered: after
+    /// firing, the tracker re-arms only once the fast window drops back
+    /// under the sustainable burn rate (1000 milli).
+    ///
+    /// This runs every tick whether or not the slot is sampled, so the
+    /// no-alert path is division-free: threshold crossings are decided
+    /// by `Window::miss_at_least` against precomputed miss cutoffs
+    /// (`burn >= thr` ⟺ `miss >= ceil(thr·budget/1000)`, and the
+    /// re-arm test `burn < 1000` ⟺ `miss < budget`); the milli burn
+    /// rates themselves are only materialized for a firing alert.
+    pub fn push(&mut self, delivered: u64, on_time: u64) -> Option<SloBurnAlert> {
+        self.fast.push(delivered, on_time);
+        self.slow.push(delivered, on_time);
+        self.slots += 1;
+
+        if !self.armed {
+            if !self.fast.miss_at_least(self.budget_milli) {
+                self.armed = true;
+            }
+            return None;
+        }
+        // The fast window must have real history before alerting; the
+        // slow window may still be partially filled early in a run.
+        if !self.fast.full() {
+            return None;
+        }
+        if self.fast.miss_at_least(self.fast_miss_thr)
+            && self.slow.miss_at_least(self.slow_miss_thr)
+        {
+            self.armed = false;
+            self.burns += 1;
+            return Some(SloBurnAlert {
+                fast_burn_milli: self.burn_of(self.fast.miss_milli()),
+                slow_burn_milli: self.burn_of(self.slow.miss_milli()),
+                hit_milli: self.slow.hit_milli(),
+                threshold_milli: self.config.fast_burn_milli,
+            });
+        }
+        None
+    }
+
+    /// Current fast-window burn rate in milli.
+    #[must_use]
+    pub fn fast_burn_milli(&self) -> u64 {
+        self.burn_of(self.fast.miss_milli())
+    }
+
+    /// Current slow-window burn rate in milli.
+    #[must_use]
+    pub fn slow_burn_milli(&self) -> u64 {
+        self.burn_of(self.slow.miss_milli())
+    }
+
+    /// Current fast-window hit ratio in milli.
+    #[must_use]
+    pub fn fast_hit_milli(&self) -> u64 {
+        self.fast.hit_milli()
+    }
+
+    /// Current slow-window hit ratio in milli.
+    #[must_use]
+    pub fn slow_hit_milli(&self) -> u64 {
+        self.slow.hit_milli()
+    }
+
+    /// Fast-window running sums `(delivered, on_time)` — the raw
+    /// numerator/denominator behind [`SloTracker::fast_hit_milli`],
+    /// exported so a mirror can publish them without dividing on the
+    /// per-tick path.
+    #[must_use]
+    pub fn fast_sums(&self) -> (u64, u64) {
+        (self.fast.delivered, self.fast.on_time)
+    }
+
+    /// Slow-window running sums `(delivered, on_time)`.
+    #[must_use]
+    pub fn slow_sums(&self) -> (u64, u64) {
+        (self.slow.delivered, self.slow.on_time)
+    }
+
+    /// Total alerts fired so far.
+    #[must_use]
+    pub fn burns(&self) -> u64 {
+        self.burns
+    }
+
+    /// Total slots observed.
+    #[must_use]
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SloTracker {
+        SloTracker::new(SloConfig {
+            target_milli: 900,
+            fast_window: 4,
+            slow_window: 8,
+            fast_burn_milli: 2000,
+            slow_burn_milli: 1000,
+        })
+    }
+
+    #[test]
+    fn idle_windows_do_not_burn() {
+        let mut t = tiny();
+        for _ in 0..32 {
+            assert!(t.push(0, 0).is_none());
+        }
+        assert_eq!(t.fast_burn_milli(), 0);
+        assert_eq!(t.slow_hit_milli(), 1000);
+    }
+
+    #[test]
+    fn healthy_traffic_does_not_alert() {
+        let mut t = tiny();
+        for _ in 0..64 {
+            assert!(t.push(10, 10).is_none());
+        }
+        assert_eq!(t.burns(), 0);
+        assert_eq!(t.fast_hit_milli(), 1000);
+    }
+
+    #[test]
+    fn sustained_misses_alert_once_then_rearm() {
+        let mut t = tiny();
+        for _ in 0..8 {
+            t.push(10, 10);
+        }
+        // 50% miss: miss=500 milli, budget=100 → burn 5000 milli.
+        let mut alerts = 0;
+        for _ in 0..8 {
+            if t.push(10, 5).is_some() {
+                alerts += 1;
+            }
+        }
+        assert_eq!(alerts, 1, "edge-triggered: one alert per episode");
+        assert_eq!(t.burns(), 1);
+        // Recover fully; the tracker re-arms and a second episode fires.
+        for _ in 0..16 {
+            t.push(10, 10);
+        }
+        let mut second = 0;
+        for _ in 0..8 {
+            if t.push(10, 5).is_some() {
+                second += 1;
+            }
+        }
+        assert_eq!(second, 1);
+        assert_eq!(t.burns(), 2);
+    }
+
+    #[test]
+    fn alert_carries_window_state() {
+        let mut t = tiny();
+        for _ in 0..8 {
+            t.push(10, 10);
+        }
+        let mut got = None;
+        for _ in 0..8 {
+            if let Some(a) = t.push(10, 0) {
+                got = Some(a);
+                break;
+            }
+        }
+        let a = got.expect("total misses must alert");
+        assert!(a.fast_burn_milli >= 2000);
+        assert!(a.slow_burn_milli >= 1000);
+        assert!(a.hit_milli < 1000);
+        assert_eq!(a.threshold_milli, 2000);
+    }
+
+    #[test]
+    fn fast_blip_without_slow_confirmation_stays_quiet() {
+        let mut t = SloTracker::new(SloConfig {
+            target_milli: 900,
+            fast_window: 2,
+            slow_window: 64,
+            fast_burn_milli: 2000,
+            slow_burn_milli: 1000,
+        });
+        for _ in 0..60 {
+            t.push(10, 10);
+        }
+        // Two bad slots spike the fast window but drown in the slow one.
+        assert!(t.push(10, 5).is_none());
+        assert!(t.push(10, 5).is_none());
+        assert_eq!(t.burns(), 0);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_state() {
+        let feed = |t: &mut SloTracker| {
+            for i in 0..200u64 {
+                let d = 5 + i % 7;
+                let o = d - (i % 3).min(d);
+                t.push(d, o);
+            }
+        };
+        let (mut a, mut b) = (tiny(), tiny());
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a.fast_burn_milli(), b.fast_burn_milli());
+        assert_eq!(a.slow_burn_milli(), b.slow_burn_milli());
+        assert_eq!(a.burns(), b.burns());
+    }
+}
